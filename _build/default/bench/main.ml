@@ -1,0 +1,220 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation, runs the ablation sweeps DESIGN.md calls out, and
+   finishes with Bechamel microbenchmarks of the simulator's components.
+
+   Run with: dune exec bench/main.exe
+   (Set MCSIM_BENCH_FAST=1 for a quick pass with shorter traces.) *)
+
+module Machine = Mcsim_cluster.Machine
+module Spec92 = Mcsim_workload.Spec92
+
+let fast = Sys.getenv_opt "MCSIM_BENCH_FAST" <> None
+let table2_instrs = if fast then 30_000 else 120_000
+let ablation_instrs = if fast then 10_000 else 30_000
+
+let section title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n\n" bar title bar
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1 - instruction-issue rules and functional-unit latencies";
+  print_string (Mcsim.Config.table1 ());
+  print_newline ();
+  Printf.printf "single-cluster machine: %s\n"
+    (Mcsim.Config.describe (Machine.single_cluster ()));
+  Printf.printf "dual-cluster machine:   %s\n" (Mcsim.Config.describe (Machine.dual_cluster ()))
+
+let figures_2_to_5 () =
+  section "Figures 2-5 - the five execution scenarios (section 2.1)";
+  List.iter
+    (fun o ->
+      print_string (Mcsim.Scenario.render o);
+      print_newline ())
+    (Mcsim.Scenario.all ())
+
+let figure6 () =
+  section "Figure 6 - the local scheduler's worked example (section 3.5)";
+  print_string (Mcsim.Figure6.render (Mcsim.Figure6.run ()))
+
+let table2 () =
+  section
+    (Printf.sprintf "Table 2 - dual-cluster speedup/slowdown (%d-instruction traces)"
+       table2_instrs);
+  let rows = Mcsim.Table2.run ~max_instrs:table2_instrs () in
+  print_string (Mcsim.Table2.render rows);
+  print_newline ();
+  print_endline "Qualitative claims (measured against the paper):";
+  List.iter
+    (fun (ok, what) -> Printf.printf "  [%s] %s\n" (if ok then "ok" else "MISS") what)
+    (Mcsim.Table2.shape_holds rows);
+  print_newline ();
+  print_endline "Replay-exception counts (the paper's explanation of the ora row):";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-9s none=%d local=%d\n" r.Mcsim.Table2.benchmark
+        r.Mcsim.Table2.none_replays r.Mcsim.Table2.local_replays)
+    rows;
+  rows
+
+let cycle_time rows =
+  section "Sections 4.2 and 5 - folding in the Palacharla cycle-time model";
+  print_string (Mcsim.Cycle_time.break_even_example ());
+  print_newline ();
+  let net = Mcsim.Cycle_time.analyse rows in
+  print_string (Mcsim.Cycle_time.render net);
+  print_newline ();
+  List.iter
+    (fun (ok, what) -> Printf.printf "  [%s] %s\n" (if ok then "ok" else "MISS") what)
+    (Mcsim.Cycle_time.conclusion_holds net)
+
+let four_way () =
+  section
+    "Four-way issue machines (the paper ran both widths; 8-way shows the trends more clearly)";
+  let rows =
+    Mcsim.Table2.run
+      ~max_instrs:(table2_instrs / 2)
+      ~single_config:(Machine.single_cluster_4 ())
+      ~dual_config:(Machine.dual_cluster_2x2 ())
+      ()
+  in
+  let header = [ "benchmark"; "none %"; "local %" ] in
+  let body =
+    List.map
+      (fun r ->
+        [ r.Mcsim.Table2.benchmark; Printf.sprintf "%+.1f" r.Mcsim.Table2.none_pct;
+          Printf.sprintf "%+.1f" r.Mcsim.Table2.local_pct ])
+      rows
+  in
+  Mcsim_util.Text_table.print
+    ~aligns:[| Mcsim_util.Text_table.Left; Right; Right |]
+    (header :: body)
+
+let cluster_scaling () =
+  section "Cluster-count scaling (the paper's two clusters, generalized to four)";
+  print_string
+    (Mcsim.Cluster_count.render (Mcsim.Cluster_count.run ~max_instrs:(table2_instrs / 2) ()))
+
+let reassignment () =
+  section "Section 6 extension - dynamic register reassignment";
+  print_string (Mcsim.Reassign.render (Mcsim.Reassign.run ()))
+
+let ablations () =
+  section "Ablations - design choices called out in DESIGN.md";
+  let show s = print_string (Mcsim.Ablation.render s); print_newline () in
+  show (Mcsim.Ablation.transfer_buffers ~max_instrs:ablation_instrs Spec92.Gcc1);
+  show (Mcsim.Ablation.imbalance_threshold ~max_instrs:ablation_instrs Spec92.Compress);
+  show (Mcsim.Ablation.partitioners ~max_instrs:ablation_instrs Spec92.Compress);
+  show (Mcsim.Ablation.partitioners ~max_instrs:ablation_instrs Spec92.Tomcatv);
+  show (Mcsim.Ablation.global_registers ~max_instrs:ablation_instrs Spec92.Gcc1);
+  show (Mcsim.Ablation.dispatch_queue_split ~max_instrs:ablation_instrs Spec92.Compress);
+  show (Mcsim.Ablation.queue_organization ~max_instrs:ablation_instrs Spec92.Doduc);
+  show (Mcsim.Ablation.memory_latency ~max_instrs:ablation_instrs Spec92.Su2cor);
+  show (Mcsim.Ablation.mshr_entries ~max_instrs:ablation_instrs Spec92.Su2cor);
+  show (Mcsim.Ablation.unrolling ~max_instrs:ablation_instrs Spec92.Tomcatv);
+  show (Mcsim.Ablation.unrolling_kernel ~max_instrs:ablation_instrs ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let microbenchmarks () =
+  section "Microbenchmarks - cost of the simulator's building blocks (Bechamel)";
+  let open Bechamel in
+  let predictor = Mcsim_branch.Mcfarling.create () in
+  let pc = ref 0 in
+  let bench_predictor () =
+    pc := (!pc + 13) land 0xfff;
+    let taken = !pc land 3 <> 0 in
+    let _, tok = Mcsim_branch.Mcfarling.predict predictor ~pc:!pc in
+    Mcsim_branch.Mcfarling.note_outcome predictor ~taken;
+    Mcsim_branch.Mcfarling.train predictor tok ~taken
+  in
+  let cache = Mcsim_cache.Cache.create Mcsim_cache.Cache.default_config in
+  let cache_cycle = ref 0 in
+  let bench_cache () =
+    incr cache_cycle;
+    ignore
+      (Mcsim_cache.Cache.access cache ~cycle:!cache_cycle
+         ~addr:(!cache_cycle * 40 land 0x3ffff) ~write:false)
+  in
+  let asg = Mcsim_cluster.Assignment.create ~num_clusters:2 () in
+  let add =
+    Mcsim_isa.Instr.make ~op:Mcsim_isa.Op_class.Int_other
+      ~srcs:[ Mcsim_isa.Reg.int_reg 4; Mcsim_isa.Reg.int_reg 1 ]
+      ~dst:(Some (Mcsim_isa.Reg.int_reg 2))
+  in
+  let bench_plan () = ignore (Mcsim_cluster.Distribution.plan asg add) in
+  let gcc = Spec92.program Spec92.Gcc1 in
+  let profile = Mcsim_trace.Walker.profile gcc in
+  let native =
+    Mcsim_compiler.Pipeline.compile ~profile ~scheduler:Mcsim_compiler.Pipeline.Sched_none gcc
+  in
+  let small_trace =
+    Mcsim_trace.Walker.trace ~max_instrs:2_000 native.Mcsim_compiler.Pipeline.mach
+  in
+  let bench_machine_single () = ignore (Machine.run (Machine.single_cluster ()) small_trace) in
+  let bench_machine_dual () = ignore (Machine.run (Machine.dual_cluster ()) small_trace) in
+  let bench_local_scheduler () =
+    ignore (Mcsim_compiler.Local_scheduler.partition gcc profile)
+  in
+  let bench_regalloc () =
+    ignore (Mcsim_compiler.Regalloc.allocate gcc (Mcsim_compiler.Partition.none gcc))
+  in
+  let bench_trace_walk () =
+    ignore (Mcsim_trace.Walker.trace ~max_instrs:2_000 native.Mcsim_compiler.Pipeline.mach)
+  in
+  let tests =
+    Test.make_grouped ~name:"mcsim"
+      [ Test.make ~name:"predictor predict+train" (Staged.stage bench_predictor);
+        Test.make ~name:"cache access" (Staged.stage bench_cache);
+        Test.make ~name:"distribution plan" (Staged.stage bench_plan);
+        Test.make ~name:"machine: 2k-instr trace, single" (Staged.stage bench_machine_single);
+        Test.make ~name:"machine: 2k-instr trace, dual" (Staged.stage bench_machine_dual);
+        Test.make ~name:"local scheduler on gcc1" (Staged.stage bench_local_scheduler);
+        Test.make ~name:"graph coloring on gcc1" (Staged.stage bench_regalloc);
+        Test.make ~name:"trace walk, 2k instrs" (Staged.stage bench_trace_walk) ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if fast then 0.25 else 0.5))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let ns =
+        match Analyze.OLS.estimates est with Some [ v ] -> v | Some _ | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let fmt ns =
+    if Float.is_nan ns then "n/a"
+    else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+    else Printf.sprintf "%8.1f ns" ns
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-40s %s/run\n" name (fmt ns))
+    (List.sort compare !rows)
+
+let () =
+  print_endline "mcsim benchmark harness - reproducing the evaluation of";
+  print_endline "\"The Multicluster Architecture: Reducing Cycle Time Through Partitioning\"";
+  print_endline "(Farkas, Chow, Jouppi, Vranesic; MICRO-30, 1997)";
+  table1 ();
+  figures_2_to_5 ();
+  figure6 ();
+  let rows = table2 () in
+  cycle_time rows;
+  four_way ();
+  cluster_scaling ();
+  reassignment ();
+  ablations ();
+  microbenchmarks ();
+  print_newline ();
+  print_endline "done."

@@ -1,0 +1,270 @@
+(* Command-line front end for the multicluster simulator. *)
+
+open Cmdliner
+
+let max_instrs_arg =
+  let doc = "Committed-trace length per run." in
+  Arg.(value & opt int 60_000 & info [ "n"; "max-instrs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for branch outcomes and address streams." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let bench_conv =
+  let parse s =
+    match Mcsim_workload.Spec92.of_name s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S" s))
+  in
+  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Mcsim_workload.Spec92.name b))
+
+let benchmarks_arg =
+  let doc = "Benchmarks to run (default: all six)." in
+  Arg.(value & opt (list bench_conv) Mcsim_workload.Spec92.all & info [ "benchmarks" ] ~doc)
+
+let bench_pos =
+  Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCHMARK")
+
+(* ------------------------------------------------------------------ *)
+
+let table1_cmd =
+  let run () = print_string (Mcsim.Config.table1 ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"Print Table 1 (issue rules and latencies).")
+    Term.(const run $ const ())
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a text table.")
+
+let four_way_arg =
+  Arg.(value & flag
+       & info [ "four-way" ] ~doc:"Use the four-way-issue machine pair instead of eight-way.")
+
+let table2_cmd =
+  let run max_instrs seed benchmarks csv four_way =
+    let single_config, dual_config =
+      if four_way then
+        (Some (Mcsim_cluster.Machine.single_cluster_4 ()),
+         Some (Mcsim_cluster.Machine.dual_cluster_2x2 ()))
+      else (None, None)
+    in
+    let rows =
+      Mcsim.Table2.run ~max_instrs ~seed ~benchmarks ?single_config ?dual_config ()
+    in
+    if csv then print_string (Mcsim.Report.table2_csv rows)
+    else begin
+      print_string (Mcsim.Table2.render rows);
+      print_newline ();
+      List.iter
+        (fun (ok, what) -> Printf.printf "[%s] %s\n" (if ok then "ok" else "FAIL") what)
+        (Mcsim.Table2.shape_holds rows)
+    end
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Run the Table-2 experiment (none/local vs single-cluster).")
+    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg)
+
+let scenarios_cmd =
+  let run () =
+    List.iter
+      (fun o -> print_string (Mcsim.Scenario.render o); print_newline ())
+      (Mcsim.Scenario.all ())
+  in
+  Cmd.v (Cmd.info "scenarios" ~doc:"Replay the five execution scenarios (Figures 2-5).")
+    Term.(const run $ const ())
+
+let figure6_cmd =
+  let run () = print_string (Mcsim.Figure6.render (Mcsim.Figure6.run ())) in
+  Cmd.v (Cmd.info "figure6" ~doc:"Walk the local scheduler through the Figure-6 example.")
+    Term.(const run $ const ())
+
+let cycle_time_cmd =
+  let run max_instrs seed benchmarks =
+    print_string (Mcsim.Cycle_time.break_even_example ());
+    print_newline ();
+    let rows = Mcsim.Table2.run ~max_instrs ~seed ~benchmarks () in
+    let net = Mcsim.Cycle_time.analyse rows in
+    print_string (Mcsim.Cycle_time.render net);
+    List.iter
+      (fun (ok, what) -> Printf.printf "[%s] %s\n" (if ok then "ok" else "FAIL") what)
+      (Mcsim.Cycle_time.conclusion_holds net)
+  in
+  Cmd.v (Cmd.info "cycle-time" ~doc:"The net-performance analysis of paper sections 4.2 and 5.")
+    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg)
+
+let workloads_cmd =
+  let run () =
+    List.iter
+      (fun b ->
+        let prog = Mcsim_workload.Spec92.program b in
+        Printf.printf "%-9s %4d blocks %4d live ranges %5d static instrs\n  %s\n"
+          (Mcsim_workload.Spec92.name b)
+          (Mcsim_ir.Program.num_blocks prog)
+          (Mcsim_ir.Program.num_lrs prog)
+          (Mcsim_ir.Program.num_static_instrs prog)
+          (Mcsim_workload.Spec92.description b))
+      Mcsim_workload.Spec92.all
+  in
+  Cmd.v (Cmd.info "workloads" ~doc:"Describe the six SPEC92-like synthetic benchmarks.")
+    Term.(const run $ const ())
+
+let scheduler_conv =
+  let parse = function
+    | "none" -> Ok Mcsim_compiler.Pipeline.Sched_none
+    | "local" -> Ok Mcsim_compiler.Pipeline.default_local
+    | "round-robin" | "rr" -> Ok Mcsim_compiler.Pipeline.Sched_round_robin
+    | "random" -> Ok (Mcsim_compiler.Pipeline.Sched_random 7)
+    | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt s -> Format.pp_print_string fmt (Mcsim_compiler.Pipeline.scheduler_name s) )
+
+let run_cmd =
+  let machine_arg =
+    Arg.(value & opt (enum [ ("single", `Single); ("dual", `Dual) ]) `Dual
+         & info [ "machine" ] ~doc:"Machine to run on: single or dual.")
+  in
+  let scheduler_arg =
+    Arg.(value & opt scheduler_conv Mcsim_compiler.Pipeline.default_local
+         & info [ "scheduler" ] ~doc:"none, local, round-robin, or random.")
+  in
+  let run bench machine scheduler max_instrs seed =
+    let prog = Mcsim_workload.Spec92.program bench in
+    let profile = Mcsim_trace.Walker.profile ~seed prog in
+    let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
+    let trace = Mcsim_trace.Walker.trace ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach in
+    let cfg =
+      match machine with
+      | `Single -> Mcsim_cluster.Machine.single_cluster ()
+      | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
+    in
+    let r = Mcsim_cluster.Machine.run cfg trace in
+    Printf.printf "%s on the %s machine, %s scheduler:\n"
+      (Mcsim_workload.Spec92.name bench)
+      (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
+      (Mcsim_compiler.Pipeline.scheduler_name scheduler);
+    Printf.printf "  %d instructions in %d cycles (IPC %.2f)\n" r.Mcsim_cluster.Machine.retired
+      r.Mcsim_cluster.Machine.cycles r.Mcsim_cluster.Machine.ipc;
+    Printf.printf "  branch accuracy %.3f, d-cache miss rate %.3f, i-cache miss rate %.4f\n"
+      r.Mcsim_cluster.Machine.branch_accuracy r.Mcsim_cluster.Machine.dcache_miss_rate
+      r.Mcsim_cluster.Machine.icache_miss_rate;
+    Printf.printf "  %d single- and %d dual-distributed, %d replays\n"
+      r.Mcsim_cluster.Machine.single_distributed r.Mcsim_cluster.Machine.dual_distributed
+      r.Mcsim_cluster.Machine.replays;
+    print_endline "  counters:";
+    List.iter
+      (fun (k, v) -> Printf.printf "    %-28s %d\n" k v)
+      r.Mcsim_cluster.Machine.counters
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one benchmark and dump all counters.")
+    Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg)
+
+let clusters_cmd =
+  let run max_instrs seed benchmarks =
+    print_string (Mcsim.Cluster_count.render (Mcsim.Cluster_count.run ~max_instrs ~seed ~benchmarks ()))
+  in
+  Cmd.v
+    (Cmd.info "clusters" ~doc:"Cluster-count scaling: 1 vs 2 vs 4 clusters.")
+    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg)
+
+let reassign_cmd =
+  let run () = print_string (Mcsim.Reassign.render (Mcsim.Reassign.run ())) in
+  Cmd.v
+    (Cmd.info "reassign"
+       ~doc:"Demonstrate dynamic register reassignment (paper section 6).")
+    Term.(const run $ const ())
+
+let ablate_cmd =
+  let sweep_arg =
+    Arg.(required
+         & pos 0
+             (some
+                (enum
+                   [ ("buffers", `Buffers); ("threshold", `Threshold);
+                     ("partitioners", `Partitioners); ("globals", `Globals); ("dq", `Dq);
+                     ("unroll", `Unroll); ("queues", `Queues); ("memory", `Memory); ("mshrs", `Mshrs) ]))
+             None
+         & info [] ~docv:"SWEEP")
+  in
+  let bench_pos1 =
+    Arg.(required & pos 1 (some bench_conv) None & info [] ~docv:"BENCHMARK")
+  in
+  let run sweep bench max_instrs =
+    let s =
+      match sweep with
+      | `Buffers -> Mcsim.Ablation.transfer_buffers ~max_instrs bench
+      | `Threshold -> Mcsim.Ablation.imbalance_threshold ~max_instrs bench
+      | `Partitioners -> Mcsim.Ablation.partitioners ~max_instrs bench
+      | `Globals -> Mcsim.Ablation.global_registers ~max_instrs bench
+      | `Dq -> Mcsim.Ablation.dispatch_queue_split ~max_instrs bench
+      | `Unroll -> Mcsim.Ablation.unrolling ~max_instrs bench
+      | `Queues -> Mcsim.Ablation.queue_organization ~max_instrs bench
+      | `Memory -> Mcsim.Ablation.memory_latency ~max_instrs bench
+      | `Mshrs -> Mcsim.Ablation.mshr_entries ~max_instrs bench
+    in
+    print_string (Mcsim.Ablation.render s)
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"Design-space sweeps: buffers, threshold, partitioners, globals, dq, unroll.")
+    Term.(const run $ sweep_arg $ bench_pos1 $ max_instrs_arg)
+
+let compile_cmd =
+  let scheduler_arg =
+    Arg.(value & opt scheduler_conv Mcsim_compiler.Pipeline.default_local
+         & info [ "scheduler" ] ~doc:"none, local, round-robin, or random.")
+  in
+  let run bench scheduler seed =
+    let prog = Mcsim_workload.Spec92.program bench in
+    let profile = Mcsim_trace.Walker.profile ~seed prog in
+    let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
+    print_string (Mcsim_compiler.Mach_text.print c.Mcsim_compiler.Pipeline.mach)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a benchmark and print the machine program in textual form.")
+    Term.(const run $ bench_pos $ scheduler_arg $ seed_arg)
+
+let simulate_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"A machine program in the textual format (see the compile command).")
+  in
+  let machine_arg =
+    Arg.(value & opt (enum [ ("single", `Single); ("dual", `Dual) ]) `Dual
+         & info [ "machine" ] ~doc:"Machine to run on.")
+  in
+  let run file machine max_instrs seed =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Mcsim_compiler.Mach_text.parse text with
+    | Error e ->
+      prerr_endline ("parse error: " ^ e);
+      exit 1
+    | Ok m ->
+      let trace = Mcsim_trace.Walker.trace ~seed ~max_instrs m in
+      let cfg =
+        match machine with
+        | `Single -> Mcsim_cluster.Machine.single_cluster ()
+        | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
+      in
+      let r = Mcsim_cluster.Machine.run cfg trace in
+      Printf.printf "%s: %d instructions, %d cycles (IPC %.2f), %d dual-distributed, %d replays\n"
+        m.Mcsim_compiler.Mach_prog.name r.Mcsim_cluster.Machine.retired
+        r.Mcsim_cluster.Machine.cycles r.Mcsim_cluster.Machine.ipc
+        r.Mcsim_cluster.Machine.dual_distributed r.Mcsim_cluster.Machine.replays
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Parse a textual machine program and run it.")
+    Term.(const run $ file_arg $ machine_arg $ max_instrs_arg $ seed_arg)
+
+let () =
+  let doc = "Multicluster architecture simulator (Farkas, Chow, Jouppi & Vranesic, MICRO-30)." in
+  let info = Cmd.info "mcsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ table1_cmd; table2_cmd; scenarios_cmd; figure6_cmd; cycle_time_cmd; workloads_cmd;
+            run_cmd; ablate_cmd; reassign_cmd; clusters_cmd; compile_cmd; simulate_cmd ]))

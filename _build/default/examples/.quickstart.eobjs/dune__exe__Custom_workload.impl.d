@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Format List Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_isa Mcsim_timing Mcsim_trace Printf

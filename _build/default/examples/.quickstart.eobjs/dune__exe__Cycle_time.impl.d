@@ -1,0 +1,1 @@
+examples/cycle_time.ml: List Mcsim Mcsim_timing Mcsim_workload Printf

@@ -1,0 +1,1 @@
+examples/cycle_time.mli:

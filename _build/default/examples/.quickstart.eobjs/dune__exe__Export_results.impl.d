@@ -1,0 +1,1 @@
+examples/export_results.ml: In_channel List Mcsim Mcsim_cluster Mcsim_compiler Mcsim_trace Mcsim_workload Out_channel Printf String

@@ -1,0 +1,1 @@
+examples/four_clusters.ml: List Mcsim_cluster Mcsim_compiler Mcsim_timing Mcsim_trace Mcsim_workload Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_timing Mcsim_trace Mcsim_workload Printf

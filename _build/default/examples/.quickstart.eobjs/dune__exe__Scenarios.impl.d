@@ -1,0 +1,1 @@
+examples/scenarios.ml: Array List Mcsim Mcsim_cluster Mcsim_isa Printf String

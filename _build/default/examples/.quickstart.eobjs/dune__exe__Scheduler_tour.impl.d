@@ -1,0 +1,1 @@
+examples/scheduler_tour.ml: Format List Mcsim Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_trace Mcsim_workload Printf

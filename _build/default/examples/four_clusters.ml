@@ -1,0 +1,62 @@
+(* Beyond the paper's pair: the same program on one, two, and four
+   clusters.
+
+   The paper develops the multicluster mechanism for two clusters
+   "without loss of generality". This example compiles gcc1 for each
+   cluster count (the local scheduler balances N ways, the register
+   allocator colors registers modulo N) and runs the matching machine:
+   an 8-issue monolith, two 4-issue clusters, four 2-issue clusters --
+   always the same total issue width, window capacity, and register
+   count.
+
+   Run with: dune exec examples/four_clusters.exe *)
+
+module Machine = Mcsim_cluster.Machine
+module Pipeline = Mcsim_compiler.Pipeline
+module Palacharla = Mcsim_timing.Palacharla
+
+let () =
+  let prog = Mcsim_workload.Spec92.program Mcsim_workload.Spec92.Gcc1 in
+  let profile = Mcsim_trace.Walker.profile prog in
+  let max_instrs = 40_000 in
+  let run clusters =
+    let scheduler = if clusters = 1 then Pipeline.Sched_none else Pipeline.default_local in
+    let c = Pipeline.compile ~clusters ~profile ~scheduler prog in
+    let trace = Mcsim_trace.Walker.trace ~max_instrs c.Pipeline.mach in
+    let cfg =
+      match clusters with
+      | 1 -> Machine.single_cluster ()
+      | 2 -> Machine.dual_cluster ()
+      | _ -> Machine.quad_cluster ()
+    in
+    (Machine.run cfg trace, c)
+  in
+  let r1, _ = run 1 in
+  Printf.printf "gcc1, %d dynamic instructions:\n\n" max_instrs;
+  Printf.printf "%-22s %8s %6s %12s %14s %12s\n" "machine" "cycles" "IPC" "multi-copies"
+    "clock @0.18um" "net @0.18um";
+  List.iter
+    (fun clusters ->
+      let r, _ = run clusters in
+      let t =
+        Palacharla.cycle_time (Palacharla.per_cluster_config ~clusters Palacharla.F0_18)
+      in
+      let t1 =
+        Palacharla.cycle_time (Palacharla.per_cluster_config ~clusters:1 Palacharla.F0_18)
+      in
+      let net =
+        100.0
+        -. (100.0 *. float_of_int r.Machine.cycles *. t
+            /. (float_of_int r1.Machine.cycles *. t1))
+      in
+      Printf.printf "%-22s %8d %6.2f %12d %11.0f ps %+11.1f%%\n"
+        (match clusters with
+        | 1 -> "1 x 8-issue (paper)"
+        | 2 -> "2 x 4-issue (paper)"
+        | _ -> "4 x 2-issue (ours)")
+        r.Machine.cycles r.Machine.ipc r.Machine.dual_distributed t net)
+    [ 1; 2; 4 ];
+  print_newline ();
+  print_endline "Narrower clusters clock faster (smaller windows, shorter bypasses) but";
+  print_endline "multi-distribute more instructions; at 0.18um the integer benchmarks";
+  print_endline "still come out ahead even at four clusters."

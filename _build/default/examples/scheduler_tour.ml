@@ -1,0 +1,35 @@
+(* A tour of the static scheduling pipeline on the paper's own worked
+   example (Figure 6), plus the same pipeline on a real benchmark.
+
+   Run with: dune exec examples/scheduler_tour.exe *)
+
+module Pipeline = Mcsim_compiler.Pipeline
+module Partition = Mcsim_compiler.Partition
+
+let () =
+  (* Part 1: the Figure-6 walkthrough. *)
+  let o = Mcsim.Figure6.run () in
+  print_string (Mcsim.Figure6.render o);
+  print_newline ();
+  print_endline "The Figure-6 control flow graph:";
+  Format.printf "%a@." Mcsim_ir.Program.pp o.Mcsim.Figure6.program;
+
+  (* Part 2: the full pipeline on a benchmark, step by step. *)
+  let prog = Mcsim_workload.Spec92.program Mcsim_workload.Spec92.Gcc1 in
+  let profile = Mcsim_trace.Walker.profile prog in
+  Printf.printf "gcc1: %d blocks, %d live ranges\n"
+    (Mcsim_ir.Program.num_blocks prog) (Mcsim_ir.Program.num_lrs prog);
+  List.iter
+    (fun scheduler ->
+      let c = Pipeline.compile ~profile ~scheduler prog in
+      let c0, c1, u, g = Partition.counts c.Pipeline.alloc.Mcsim_compiler.Regalloc.partition in
+      let asg = Mcsim_cluster.Assignment.create ~num_clusters:2 () in
+      let s, d = Pipeline.dual_distribution_count asg c.Pipeline.mach in
+      Printf.printf
+        "%-12s live ranges C0/C1/unconstrained/global = %d/%d/%d/%d; static single/dual = \
+         %d/%d; spills = %d\n"
+        (Pipeline.scheduler_name scheduler)
+        c0 c1 u g s d
+        (List.length c.Pipeline.alloc.Mcsim_compiler.Regalloc.spilled_lrs))
+    [ Pipeline.Sched_none; Pipeline.Sched_round_robin; Pipeline.Sched_random 7;
+      Pipeline.default_local ]

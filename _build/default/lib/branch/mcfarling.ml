@@ -1,0 +1,80 @@
+type config = {
+  bimodal_bits : int;
+  global_bits : int;
+  choice_bits : int;
+  history_bits : int;
+}
+
+let default_config = { bimodal_bits = 12; global_bits = 12; choice_bits = 12; history_bits = 12 }
+
+(* Two-bit saturating counters stored as ints 0..3; >=2 means taken (for
+   direction tables) or "use global" (for the choice table). *)
+type t = {
+  config : config;
+  bimodal : int array;
+  global : int array;
+  choice : int array;
+  mutable history : int;
+  mutable n_predictions : int;
+  mutable n_mispredictions : int;
+}
+
+let create ?(config = default_config) () =
+  let table bits = Array.make (1 lsl bits) 1 in
+  { config;
+    bimodal = table config.bimodal_bits;
+    global = table config.global_bits;
+    choice = table config.choice_bits;
+    history = 0;
+    n_predictions = 0;
+    n_mispredictions = 0 }
+
+type token = {
+  t_bimodal_ix : int;
+  t_global_ix : int;
+  t_choice_ix : int;
+  t_pred_bimodal : bool;
+  t_pred_global : bool;
+  t_prediction : bool;
+}
+
+let mask bits v = v land ((1 lsl bits) - 1)
+
+let predict t ~pc =
+  let c = t.config in
+  let bimodal_ix = mask c.bimodal_bits pc in
+  let global_ix = mask c.global_bits (pc lxor t.history) in
+  let choice_ix = mask c.choice_bits pc in
+  let pred_bimodal = t.bimodal.(bimodal_ix) >= 2 in
+  let pred_global = t.global.(global_ix) >= 2 in
+  let use_global = t.choice.(choice_ix) >= 2 in
+  let prediction = if use_global then pred_global else pred_bimodal in
+  ( prediction,
+    { t_bimodal_ix = bimodal_ix; t_global_ix = global_ix; t_choice_ix = choice_ix;
+      t_pred_bimodal = pred_bimodal; t_pred_global = pred_global; t_prediction = prediction } )
+
+let note_outcome t ~taken =
+  t.history <- mask t.config.history_bits ((t.history lsl 1) lor if taken then 1 else 0)
+
+let bump table ix up = table.(ix) <- (if up then min 3 (table.(ix) + 1) else max 0 (table.(ix) - 1))
+
+let train t tok ~taken =
+  t.n_predictions <- t.n_predictions + 1;
+  if tok.t_prediction <> taken then t.n_mispredictions <- t.n_mispredictions + 1;
+  bump t.bimodal tok.t_bimodal_ix taken;
+  bump t.global tok.t_global_ix taken;
+  (* The selector trains only when the two component predictions differ,
+     moving toward whichever component was right (McFarling's rule). *)
+  if tok.t_pred_bimodal <> tok.t_pred_global then
+    bump t.choice tok.t_choice_ix (tok.t_pred_global = taken)
+
+let predictions t = t.n_predictions
+let mispredictions t = t.n_mispredictions
+
+let accuracy t =
+  if t.n_predictions = 0 then 1.0
+  else 1.0 -. (float_of_int t.n_mispredictions /. float_of_int t.n_predictions)
+
+let reset_stats t =
+  t.n_predictions <- 0;
+  t.n_mispredictions <- 0

@@ -1,0 +1,1 @@
+lib/cluster/assignment.ml: Array List Mcsim_isa

@@ -1,0 +1,1 @@
+lib/cluster/assignment.mli: Mcsim_isa

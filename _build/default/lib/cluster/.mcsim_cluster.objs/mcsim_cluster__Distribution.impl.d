@@ -1,0 +1,1 @@
+lib/cluster/distribution.ml: Array Assignment Fun List Mcsim_isa Option Printf String

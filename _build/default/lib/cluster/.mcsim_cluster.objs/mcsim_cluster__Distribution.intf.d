@@ -1,0 +1,1 @@
+lib/cluster/distribution.mli: Assignment Mcsim_isa

@@ -1,0 +1,1 @@
+lib/cluster/machine.ml: Array Assignment Distribution Format List Mcsim_branch Mcsim_cache Mcsim_cpu Mcsim_isa Mcsim_util Option Printf Transfer_buffer

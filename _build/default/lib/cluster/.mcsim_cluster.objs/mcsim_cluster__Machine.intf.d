@@ -1,0 +1,1 @@
+lib/cluster/machine.mli: Assignment Format Mcsim_branch Mcsim_cache Mcsim_isa

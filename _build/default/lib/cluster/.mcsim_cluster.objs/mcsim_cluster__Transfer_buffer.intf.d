@@ -1,0 +1,1 @@
+lib/cluster/transfer_buffer.mli:

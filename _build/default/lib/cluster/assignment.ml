@@ -1,0 +1,57 @@
+type placement = Local of int | Global
+
+type t = {
+  n : int;
+  table : placement array;  (* indexed by Reg.flat_index *)
+}
+
+let build num_clusters f =
+  if num_clusters < 1 then invalid_arg "Assignment: num_clusters < 1";
+  let table =
+    Array.init 64 (fun i ->
+        let r = Mcsim_isa.Reg.of_flat_index i in
+        if Mcsim_isa.Reg.is_zero r then Global
+        else
+          match f r with
+          | Global -> Global
+          | Local c ->
+            if c < 0 || c >= num_clusters then
+              invalid_arg "Assignment: Local cluster out of range"
+            else Local c)
+  in
+  { n = num_clusters; table }
+
+let create ~num_clusters ?(globals = [ Mcsim_isa.Reg.sp; Mcsim_isa.Reg.gp ]) () =
+  build num_clusters (fun r ->
+      if List.exists (Mcsim_isa.Reg.equal r) globals then Global
+      else Local (Mcsim_isa.Reg.index r mod num_clusters))
+
+let custom ~num_clusters f = build num_clusters f
+
+let single = create ~num_clusters:1 ~globals:[] ()
+
+let num_clusters t = t.n
+
+let placement t r = t.table.(Mcsim_isa.Reg.flat_index r)
+
+let clusters_of t r =
+  match placement t r with
+  | Local c -> [ c ]
+  | Global -> List.init t.n (fun i -> i)
+
+let readable_in t r c =
+  match placement t r with Local c' -> c = c' | Global -> true
+
+let locals_of t c =
+  List.filter
+    (fun r ->
+      (not (Mcsim_isa.Reg.is_zero r))
+      && match placement t r with Local c' -> c = c' | Global -> false)
+    Mcsim_isa.Reg.all
+
+let globals t =
+  List.filter
+    (fun r ->
+      (not (Mcsim_isa.Reg.is_zero r))
+      && match placement t r with Global -> true | Local _ -> false)
+    Mcsim_isa.Reg.all

@@ -1,0 +1,44 @@
+(** Static assignment of architectural registers to clusters (paper §2.1).
+
+    Each architectural register is either {e local} to one cluster or
+    {e global} (a physical copy in every cluster). The paper's evaluation
+    assigns even-numbered registers to cluster 0 and odd-numbered ones to
+    cluster 1 (§4), with the stack and global pointers global. The
+    hardwired-zero registers are readable everywhere and are reported
+    global. *)
+
+type placement = Local of int | Global
+
+type t
+
+val create :
+  num_clusters:int -> ?globals:Mcsim_isa.Reg.t list -> unit -> t
+(** Even/odd parity mapping over [num_clusters] (register [n] is local to
+    cluster [n mod num_clusters]), with [globals] (default
+    [\[Reg.sp; Reg.gp\]]) global. With [num_clusters = 1] every register is
+    local to cluster 0. @raise Invalid_argument if [num_clusters < 1]. *)
+
+val custom :
+  num_clusters:int -> (Mcsim_isa.Reg.t -> placement) -> t
+(** Arbitrary mapping (for ablations). The function is sampled once per
+    register at construction; [Local c] must satisfy
+    [0 <= c < num_clusters]. *)
+
+val single : t
+(** [create ~num_clusters:1 ~globals:[] ()]. *)
+
+val num_clusters : t -> int
+
+val placement : t -> Mcsim_isa.Reg.t -> placement
+(** Zero registers report [Global]. *)
+
+val clusters_of : t -> Mcsim_isa.Reg.t -> int list
+(** Clusters holding a copy of the register. *)
+
+val readable_in : t -> Mcsim_isa.Reg.t -> int -> bool
+
+val locals_of : t -> int -> Mcsim_isa.Reg.t list
+(** Registers local to a cluster (excludes zeros). *)
+
+val globals : t -> Mcsim_isa.Reg.t list
+(** Global registers (excludes zeros). *)

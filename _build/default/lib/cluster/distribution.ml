@@ -1,0 +1,137 @@
+type slave = {
+  s_cluster : int;
+  s_forward_srcs : Mcsim_isa.Reg.t list;
+  s_receives_result : bool;
+}
+
+type plan =
+  | Single of { cluster : int }
+  | Multi of {
+      master : int;
+      slaves : slave list;
+      master_writes_reg : bool;
+    }
+
+let dedupe regs =
+  List.fold_left
+    (fun acc r -> if List.exists (Mcsim_isa.Reg.equal r) acc then acc else r :: acc)
+    [] regs
+  |> List.rev
+
+let plan asg ?(prefer = 0) (instr : Mcsim_isa.Instr.t) =
+  let n = Assignment.num_clusters asg in
+  if n = 1 then Single { cluster = 0 }
+  else begin
+    let not_zero r = not (Mcsim_isa.Reg.is_zero r) in
+    let srcs = dedupe (List.filter not_zero instr.srcs) in
+    let dst = match instr.dst with Some d when not_zero d -> Some d | Some _ | None -> None in
+    let named = srcs @ Option.to_list dst in
+    (* Count the local registers named per cluster (the master-selection
+       majority of §2.1; globals do not vote). *)
+    let counts = Array.make n 0 in
+    List.iter
+      (fun r ->
+        match Assignment.placement asg r with
+        | Assignment.Local c -> counts.(c) <- counts.(c) + 1
+        | Assignment.Global -> ())
+      named;
+    let srcs_readable_in c = List.for_all (fun r -> Assignment.readable_in asg r c) srcs in
+    let dst_allows_single c =
+      match dst with
+      | None -> true
+      | Some d -> (
+        match Assignment.placement asg d with
+        | Assignment.Local c' -> c = c'
+        | Assignment.Global -> false)
+    in
+    let clusters = List.init n Fun.id in
+    let candidates = List.filter (fun c -> srcs_readable_in c && dst_allows_single c) clusters in
+    let best_of cands =
+      (* Highest local-register count; ties prefer the destination's home,
+         then [prefer], then the lowest id. *)
+      let max_count = List.fold_left (fun acc c -> max acc counts.(c)) 0 cands in
+      let tied = List.filter (fun c -> counts.(c) = max_count) cands in
+      match tied with
+      | [ c ] -> c
+      | _ -> (
+        let dst_home =
+          match dst with
+          | Some d -> (
+            match Assignment.placement asg d with
+            | Assignment.Local c when List.mem c tied -> Some c
+            | Assignment.Local _ | Assignment.Global -> None)
+          | None -> None
+        in
+        match dst_home with
+        | Some c -> c
+        | None -> if List.mem prefer tied then prefer else List.hd tied)
+    in
+    match candidates with
+    | _ :: _ -> Single { cluster = best_of candidates }
+    | [] ->
+      let master = best_of clusters in
+      let forward_srcs_of c =
+        List.filter
+          (fun r ->
+            (not (Assignment.readable_in asg r master))
+            && Assignment.placement asg r = Assignment.Local c)
+          srcs
+      in
+      let receives c =
+        match dst with
+        | None -> false
+        | Some d -> (
+          match Assignment.placement asg d with
+          | Assignment.Local c' -> c = c' && c <> master
+          | Assignment.Global -> c <> master)
+      in
+      let master_writes_reg =
+        match dst with
+        | None -> false
+        | Some d -> (
+          match Assignment.placement asg d with
+          | Assignment.Local c' -> c' = master
+          | Assignment.Global -> true)
+      in
+      let slaves =
+        List.filter_map
+          (fun c ->
+            if c = master then None
+            else begin
+              let fwd = forward_srcs_of c in
+              let rcv = receives c in
+              if fwd = [] && not rcv then None
+              else Some { s_cluster = c; s_forward_srcs = fwd; s_receives_result = rcv }
+            end)
+          clusters
+      in
+      (* At least one slave exists, else a single-cluster candidate would
+         have been found. *)
+      assert (slaves <> []);
+      Multi { master; slaves; master_writes_reg }
+  end
+
+let copies = function Single _ -> 1 | Multi { slaves; _ } -> 1 + List.length slaves
+
+let scenario = function
+  | Single _ -> 1
+  | Multi { slaves; master_writes_reg; _ } -> (
+    let fwd = List.exists (fun s -> s.s_forward_srcs <> []) slaves in
+    let rf = List.exists (fun s -> s.s_receives_result) slaves in
+    match (fwd, rf) with
+    | true, true -> 5
+    | true, false -> 2
+    | false, true -> if master_writes_reg then 4 else 3
+    | false, false -> 2 (* unreachable: a slave always forwards or receives *))
+
+let describe = function
+  | Single { cluster } -> Printf.sprintf "single(C%d)" cluster
+  | Multi { master; slaves; master_writes_reg } ->
+    let slave_str s =
+      Printf.sprintf "C%d[%s%s]" s.s_cluster
+        (String.concat "," (List.map Mcsim_isa.Reg.to_string s.s_forward_srcs))
+        (if s.s_receives_result then " result" else "")
+    in
+    Printf.sprintf "multi(master=C%d slaves=%s%s)" master
+      (String.concat " " (List.map slave_str slaves))
+      (if master_writes_reg then " m-writes" else "")

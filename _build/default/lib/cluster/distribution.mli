@@ -1,0 +1,65 @@
+(** Instruction distribution (paper §2.1): deciding, from the architectural
+    registers an instruction names and their cluster assignment, whether
+    the instruction executes in one cluster or is distributed to several —
+    a {e master} copy that performs the operation plus one {e slave} copy
+    per other cluster that must forward a source operand to the master
+    and/or receive the result.
+
+    The paper develops the mechanism for two clusters ("without loss of
+    generality"); this implementation generalizes it: with more clusters,
+    a slave is created in every cluster that exclusively holds a needed
+    source, and in every cluster that holds a copy of the destination
+    (all other clusters, for a global destination).
+
+    For a two-cluster assignment the plans coincide with the paper's five
+    execution scenarios, recovered by {!scenario}:
+
+    - 1: all registers reachable in one cluster, local destination;
+    - 2: a source must be forwarded from the other cluster, destination
+      local to the master;
+    - 3: sources in one cluster, destination local to the other — result
+      forwarded to the slave;
+    - 4: sources in one cluster, global destination — master writes its
+      copy, result also forwarded to the slave's copy;
+    - 5: operand forwarded {e and} result forwarded to the same slave,
+      which issues, suspends, and wakes. *)
+
+type slave = {
+  s_cluster : int;
+  s_forward_srcs : Mcsim_isa.Reg.t list;
+      (** sources this slave reads from its own register file and writes
+          into the master cluster's operand transfer buffer *)
+  s_receives_result : bool;
+      (** the slave writes the destination's copy in its cluster, reading
+          the master's result out of its cluster's result transfer
+          buffer *)
+}
+
+type plan =
+  | Single of { cluster : int }
+  | Multi of {
+      master : int;
+      slaves : slave list;  (** ordered by cluster id; non-empty *)
+      master_writes_reg : bool;
+          (** master allocates a physical destination register
+              (destination local to master, or global) *)
+    }
+
+val plan : Assignment.t -> ?prefer:int -> Mcsim_isa.Instr.t -> plan
+(** [prefer] (default 0) breaks ties when the named registers do not pin a
+    cluster (e.g., an instruction naming only global registers); real
+    hardware could round-robin this.
+
+    Master selection: the cluster named by the majority of the
+    instruction's {e local} registers; ties prefer the destination's
+    cluster when the destination is local, then [prefer], then the lowest
+    tied cluster. *)
+
+val copies : plan -> int
+(** 1 for [Single]; 1 + number of slaves otherwise. *)
+
+val scenario : plan -> int
+(** 1 for [Single]; 2–5 as in §2.1 judged per the master/first-slave pair
+    (multi-distributed instructions without a destination report 2). *)
+
+val describe : plan -> string

@@ -1,0 +1,1100 @@
+module Reg = Mcsim_isa.Reg
+module Op_class = Mcsim_isa.Op_class
+module Instr = Mcsim_isa.Instr
+module Issue_rules = Mcsim_isa.Issue_rules
+module Regfile = Mcsim_cpu.Regfile
+module Fu = Mcsim_cpu.Fu
+module Cache = Mcsim_cache.Cache
+module Mcfarling = Mcsim_branch.Mcfarling
+module Deque = Mcsim_util.Deque
+module Fixed_queue = Mcsim_util.Fixed_queue
+module Stats = Mcsim_util.Stats
+
+type queue_split = Unified | Per_class
+
+(* Queue index under Per_class: 0 = integer (and control), 1 = floating
+   point, 2 = memory - the R10000/21264 arrangement the paper contrasts
+   its single queue with. *)
+let queue_of_class (op : Op_class.t) split =
+  match split with
+  | Unified -> 0
+  | Per_class -> (
+    match op with
+    | Int_multiply | Int_other | Control -> 0
+    | Fp_divide _ | Fp_other -> 1
+    | Load | Store -> 2)
+
+let num_queues = function Unified -> 1 | Per_class -> 3
+
+(* Per-queue capacity: the integer queue gets half the entries, fp and
+   memory a quarter each (rounded up). *)
+let queue_capacity split dq_entries q =
+  match split with
+  | Unified -> dq_entries
+  | Per_class -> if q = 0 then (dq_entries + 1) / 2 else (dq_entries + 3) / 4
+
+type config = {
+  assignment : Assignment.t;
+  dq_entries : int;
+  phys_per_bank : int;
+  fetch_width : int;
+  dispatch_width : int;
+  retire_width : int;
+  issue_limits : Issue_rules.limits;
+  queue_split : queue_split;
+  operand_buffer_entries : int;
+  result_buffer_entries : int;
+  icache : Cache.config;
+  dcache : Cache.config;
+  predictor : Mcfarling.config;
+  redirect_penalty : int;
+  replay_threshold : int;
+  replay_penalty : int;
+}
+
+let single_cluster () =
+  { assignment = Assignment.single;
+    dq_entries = 128;
+    phys_per_bank = 128;
+    fetch_width = 12;
+    dispatch_width = 12;
+    retire_width = 8;
+    issue_limits = Issue_rules.single_cluster;
+    queue_split = Unified;
+    operand_buffer_entries = 8;
+    result_buffer_entries = 8;
+    icache = Cache.default_config;
+    dcache = Cache.default_config;
+    predictor = Mcfarling.default_config;
+    redirect_penalty = 1;
+    replay_threshold = 8;
+    replay_penalty = 6 }
+
+let dual_cluster () =
+  { (single_cluster ()) with
+    assignment = Assignment.create ~num_clusters:2 ();
+    dq_entries = 64;
+    phys_per_bank = 64;
+    issue_limits = Issue_rules.dual_per_cluster }
+
+let quad_cluster () =
+  { (single_cluster ()) with
+    assignment = Assignment.create ~num_clusters:4 ();
+    dq_entries = 32;
+    phys_per_bank = 32;
+    issue_limits = Issue_rules.four_way_dual_per_cluster;
+    operand_buffer_entries = 4;
+    result_buffer_entries = 4 }
+
+let single_cluster_4 () =
+  { (single_cluster ()) with
+    dq_entries = 64;
+    phys_per_bank = 64;
+    fetch_width = 6;
+    dispatch_width = 6;
+    retire_width = 4;
+    issue_limits = Issue_rules.four_way_single }
+
+let dual_cluster_2x2 () =
+  { (single_cluster_4 ()) with
+    assignment = Assignment.create ~num_clusters:2 ();
+    dq_entries = 32;
+    phys_per_bank = 32;
+    issue_limits = Issue_rules.four_way_dual_per_cluster;
+    operand_buffer_entries = 4;
+    result_buffer_entries = 4 }
+
+let validate_config c =
+  if Assignment.num_clusters c.assignment < 1 || Assignment.num_clusters c.assignment > 8 then
+    invalid_arg "Machine: 1 to 8 clusters";
+  if c.dq_entries < 1 then invalid_arg "Machine: dq_entries < 1";
+  if c.phys_per_bank < 32 then invalid_arg "Machine: phys_per_bank < 32";
+  if c.fetch_width < 1 || c.dispatch_width < 1 || c.retire_width < 1 then
+    invalid_arg "Machine: widths must be >= 1";
+  if c.operand_buffer_entries < 1 || c.result_buffer_entries < 1 then
+    invalid_arg "Machine: buffer entries must be >= 1";
+  if c.redirect_penalty < 0 || c.replay_penalty < 0 then
+    invalid_arg "Machine: penalties must be >= 0";
+  if c.replay_threshold < 1 then invalid_arg "Machine: replay_threshold < 1";
+  Cache.validate_config c.icache;
+  Cache.validate_config c.dcache
+
+type role = Single_copy | Master_copy | Slave_copy
+
+let role_to_string = function
+  | Single_copy -> "single"
+  | Master_copy -> "master"
+  | Slave_copy -> "slave"
+
+type event =
+  | Ev_fetch of { cycle : int; seq : int }
+  | Ev_dispatch of { cycle : int; seq : int; cluster : int; role : role; scenario : int }
+  | Ev_issue of { cycle : int; seq : int; cluster : int; role : role }
+  | Ev_operand_forward of { cycle : int; seq : int; from_cluster : int; to_cluster : int }
+  | Ev_result_forward of { cycle : int; seq : int; from_cluster : int; to_cluster : int }
+  | Ev_suspend of { cycle : int; seq : int; cluster : int }
+  | Ev_wakeup of { cycle : int; seq : int; cluster : int }
+  | Ev_writeback of { cycle : int; seq : int; cluster : int; role : role }
+  | Ev_retire of { cycle : int; seq : int }
+  | Ev_replay of { cycle : int; seq : int }
+
+let pp_event fmt = function
+  | Ev_fetch { cycle; seq } -> Format.fprintf fmt "[%4d] fetch #%d" cycle seq
+  | Ev_dispatch { cycle; seq; cluster; role; scenario } ->
+    Format.fprintf fmt "[%4d] dispatch #%d C%d %s (scenario %d)" cycle seq cluster
+      (role_to_string role) scenario
+  | Ev_issue { cycle; seq; cluster; role } ->
+    Format.fprintf fmt "[%4d] issue #%d C%d %s" cycle seq cluster (role_to_string role)
+  | Ev_operand_forward { cycle; seq; from_cluster; to_cluster } ->
+    Format.fprintf fmt "[%4d] operand #%d C%d -> operand buffer of C%d" cycle seq from_cluster
+      to_cluster
+  | Ev_result_forward { cycle; seq; from_cluster; to_cluster } ->
+    Format.fprintf fmt "[%4d] result #%d C%d -> result buffer of C%d" cycle seq from_cluster
+      to_cluster
+  | Ev_suspend { cycle; seq; cluster } ->
+    Format.fprintf fmt "[%4d] suspend #%d C%d" cycle seq cluster
+  | Ev_wakeup { cycle; seq; cluster } ->
+    Format.fprintf fmt "[%4d] wakeup #%d C%d" cycle seq cluster
+  | Ev_writeback { cycle; seq; cluster; role } ->
+    Format.fprintf fmt "[%4d] writeback #%d C%d %s" cycle seq cluster (role_to_string role)
+  | Ev_retire { cycle; seq } -> Format.fprintf fmt "[%4d] retire #%d" cycle seq
+  | Ev_replay { cycle; seq } -> Format.fprintf fmt "[%4d] replay from #%d" cycle seq
+
+type cstate = C_waiting | C_issued | C_suspended | C_squashed
+
+type dst_alloc = { d_reg : Reg.t; d_bank : Regfile.bank; d_new : int; d_prev : int }
+
+type copy = {
+  c_seq : int;
+  c_cluster : int;
+  c_role : role;
+  c_op : Op_class.t;  (** architectural operation (master/single) *)
+  c_issue_class : Op_class.t;  (** issue-slot class this copy consumes *)
+  c_srcs : (Regfile.bank * int) array;  (** local physical sources *)
+  c_dst : dst_alloc option;
+  c_forwards : bool;
+  c_receives_result : bool;
+  c_result_forward : bool;  (** master must allocate a result entry *)
+  c_has_slave_operand : bool;  (** master waits for the slave's operand *)
+  c_num_operand_entries : int;  (** entries a forwarding slave needs *)
+  mutable c_state : cstate;
+  mutable c_issue : int;
+  mutable c_finish : int;
+  mutable c_operand_entries : int list;
+  mutable c_result_entry : int;
+      (** on a receiving slave: the entry (in its own cluster's result
+          buffer) reserved by the master; -1 when none *)
+  c_master_cluster : int;  (** the master copy's cluster *)
+  c_group : group;
+}
+
+and group = {
+  g_seq : int;
+  g_dyn : Instr.dynamic;
+  g_scenario : int;
+  mutable g_master : copy option;  (** the executing copy (single or master) *)
+  mutable g_slaves : copy list;  (** one per participating other cluster *)
+  g_token : Mcfarling.token option;
+  g_mispred : bool;
+  mutable g_retired : bool;
+}
+
+type cluster_state = {
+  cl_id : int;
+  rf : Regfile.t;
+  fu : Fu.t;
+  dqs : copy Deque.t array;  (** one queue ([Unified]) or int/fp/mem ([Per_class]) *)
+  dq_waiting : int array;  (** per queue: entries occupied by waiting copies *)
+  operand_buf : Transfer_buffer.t;  (** written by slaves in the other cluster *)
+  result_buf : Transfer_buffer.t;  (** written by masters in the other cluster *)
+}
+
+let total_waiting cl = Array.fold_left ( + ) 0 cl.dq_waiting
+
+type result = {
+  cycles : int;
+  retired : int;
+  ipc : float;
+  single_distributed : int;
+  dual_distributed : int;
+  replays : int;
+  branch_accuracy : float;
+  icache_miss_rate : float;
+  dcache_miss_rate : float;
+  counters : (string * int) list;
+}
+
+let counter r name = match List.assoc_opt name r.counters with Some v -> v | None -> 0
+
+type fetched = {
+  f_dyn : Instr.dynamic;
+  f_token : Mcfarling.token option;
+  f_mispred : bool;
+}
+
+type state = {
+  cfg : config;
+  mutable assignment : Assignment.t;  (* current phase's register assignment *)
+  mutable trace : Instr.dynamic array;
+  mutable clusters : cluster_state array;
+  icache : Cache.t;
+  dcache : Cache.t;
+  predictor : Mcfarling.t;
+  rob : group Deque.t;
+  fetch_buffer : fetched Fixed_queue.t;
+  ctrs : Stats.counter_set;
+  emit : event -> unit;
+  mutable cycle : int;
+  mutable trace_idx : int;
+  mutable fetch_resume : int;  (** first cycle fetch may proceed *)
+  mutable redirect_pending : bool;  (** mispredicted branch fetched, not yet executed *)
+  mutable last_fetch_line : int;
+  mutable max_finish : int;  (** latest known completion among issued copies *)
+  mutable stall_cycles : int;  (** consecutive no-progress cycles *)
+  mutable pending_train : (int * int * Mcfarling.token * bool) list;
+      (** (train_cycle, seq, token, taken) *)
+  mutable max_issued_seq : int;
+      (** youngest instruction issued so far (issue-disorder metric) *)
+  mutable head_blocked : int * int;
+      (** (seq, consecutive cycles) the oldest in-flight instruction has
+          been issue-blocked on a transfer buffer — replay trigger even
+          when younger instructions keep the machine busy *)
+}
+
+let rob_capacity = 16384
+
+let bank_of_op_for_slot (b : Regfile.bank) : Op_class.t =
+  match b with Regfile.B_int -> Op_class.Int_other | Regfile.B_fp -> Op_class.Fp_other
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let nonzero_srcs (i : Instr.t) = List.filter (fun r -> not (Reg.is_zero r)) i.srcs
+
+let effective_dst (i : Instr.t) =
+  match i.dst with Some d when not (Reg.is_zero d) -> Some d | Some _ | None -> None
+
+(* Physical sources a copy reads from its own cluster's register file. *)
+let local_src_phys rf regs = Array.of_list (List.map (fun r -> (Regfile.bank_of_reg r, Regfile.lookup rf r)) regs)
+
+let make_group st (f : fetched) scenario =
+  { g_seq = f.f_dyn.Instr.seq; g_dyn = f.f_dyn; g_scenario = scenario; g_master = None;
+    g_slaves = []; g_token = f.f_token; g_mispred = f.f_mispred; g_retired = false }
+  |> fun g ->
+  Deque.push_back st.rob g;
+  g
+
+let try_dispatch_one st (f : fetched) =
+  let cfg = st.cfg in
+  let dyn = f.f_dyn in
+  let instr = dyn.Instr.instr in
+  let prefer =
+    if Array.length st.clusters = 1 then 0
+    else if total_waiting st.clusters.(0) <= total_waiting st.clusters.(1) then 0
+    else 1
+  in
+  let plan = Distribution.plan st.assignment ~prefer instr in
+  let scenario = Distribution.scenario plan in
+  if Deque.length st.rob >= rob_capacity then begin
+    Stats.incr st.ctrs "stall_rob_full";
+    false
+  end
+  else
+    match plan with
+    | Distribution.Single { cluster } ->
+      let cl = st.clusters.(cluster) in
+      let dst = effective_dst instr in
+      let need_phys = Option.is_some dst in
+      let q = queue_of_class instr.Instr.op cfg.queue_split in
+      if cl.dq_waiting.(q) >= queue_capacity cfg.queue_split cfg.dq_entries q then begin
+        Stats.incr st.ctrs "stall_dq_full";
+        false
+      end
+      else if
+        need_phys
+        && Regfile.free_count cl.rf (Regfile.bank_of_reg (Option.get dst)) = 0
+      then begin
+        Stats.incr st.ctrs "stall_phys";
+        false
+      end
+      else begin
+        let g = make_group st f scenario in
+        let srcs = local_src_phys cl.rf (nonzero_srcs instr) in
+        let dst_alloc =
+          match dst with
+          | None -> None
+          | Some d -> (
+            match Regfile.rename cl.rf d with
+            | Some (n, p) ->
+              Some { d_reg = d; d_bank = Regfile.bank_of_reg d; d_new = n; d_prev = p }
+            | None -> assert false)
+        in
+        let c =
+          { c_seq = g.g_seq; c_cluster = cluster; c_role = Single_copy; c_op = instr.Instr.op;
+            c_issue_class = instr.Instr.op; c_srcs = srcs; c_dst = dst_alloc;
+            c_forwards = false; c_receives_result = false; c_result_forward = false;
+            c_has_slave_operand = false; c_num_operand_entries = 0; c_state = C_waiting;
+            c_issue = -1; c_finish = max_int; c_operand_entries = []; c_result_entry = -1;
+            c_master_cluster = cluster; c_group = g }
+        in
+        g.g_master <- Some c;
+        Deque.push_back cl.dqs.(q) c;
+        cl.dq_waiting.(q) <- cl.dq_waiting.(q) + 1;
+        Stats.incr st.ctrs "single_distributed";
+        Stats.incr st.ctrs (Printf.sprintf "scenario_%d" scenario);
+        st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq; cluster; role = Single_copy;
+                               scenario });
+        true
+      end
+    | Distribution.Multi { master; slaves; master_writes_reg } ->
+      let mcl = st.clusters.(master) in
+      let dst = effective_dst instr in
+      let dst_bank = Option.map Regfile.bank_of_reg dst in
+      (* Queue and class per slave copy. *)
+      let slave_issue_class (sl : Distribution.slave) =
+        match sl.Distribution.s_forward_srcs with
+        | r :: _ -> bank_of_op_for_slot (Regfile.bank_of_reg r)
+        | [] -> bank_of_op_for_slot (Option.get dst_bank)
+      in
+      let mq = queue_of_class instr.Instr.op cfg.queue_split in
+      let room_ok =
+        mcl.dq_waiting.(mq) < queue_capacity cfg.queue_split cfg.dq_entries mq
+        && List.for_all
+             (fun sl ->
+               let scl = st.clusters.(sl.Distribution.s_cluster) in
+               let sq = queue_of_class (slave_issue_class sl) cfg.queue_split in
+               scl.dq_waiting.(sq) < queue_capacity cfg.queue_split cfg.dq_entries sq)
+             slaves
+      in
+      let phys_ok =
+        (match dst_bank with
+        | None -> true
+        | Some bank ->
+          ((not master_writes_reg) || Regfile.free_count mcl.rf bank > 0)
+          && List.for_all
+               (fun sl ->
+                 (not sl.Distribution.s_receives_result)
+                 || Regfile.free_count st.clusters.(sl.Distribution.s_cluster).rf bank > 0)
+               slaves)
+      in
+      if not room_ok then begin
+        Stats.incr st.ctrs "stall_dq_full";
+        false
+      end
+      else if not phys_ok then begin
+        Stats.incr st.ctrs "stall_phys";
+        false
+      end
+      else begin
+        let g = make_group st f scenario in
+        let alloc cl writes =
+          if not writes then None
+          else
+            let d = Option.get dst in
+            match Regfile.rename cl.rf d with
+            | Some (n, p) ->
+              Some { d_reg = d; d_bank = Regfile.bank_of_reg d; d_new = n; d_prev = p }
+            | None -> assert false
+        in
+        let is_forwarded r =
+          List.exists
+            (fun sl -> List.exists (Reg.equal r) sl.Distribution.s_forward_srcs)
+            slaves
+        in
+        let master_srcs =
+          local_src_phys mcl.rf (List.filter (fun r -> not (is_forwarded r)) (nonzero_srcs instr))
+        in
+        let has_forward = List.exists (fun sl -> sl.Distribution.s_forward_srcs <> []) slaves in
+        let result_forward = List.exists (fun sl -> sl.Distribution.s_receives_result) slaves in
+        let master_dst = alloc mcl master_writes_reg in
+        let mc =
+          { c_seq = g.g_seq; c_cluster = master; c_role = Master_copy; c_op = instr.Instr.op;
+            c_issue_class = instr.Instr.op; c_srcs = master_srcs; c_dst = master_dst;
+            c_forwards = false; c_receives_result = false; c_result_forward = result_forward;
+            c_has_slave_operand = has_forward; c_num_operand_entries = 0; c_state = C_waiting;
+            c_issue = -1; c_finish = max_int; c_operand_entries = []; c_result_entry = -1;
+            c_master_cluster = master; c_group = g }
+        in
+        g.g_master <- Some mc;
+        Deque.push_back mcl.dqs.(mq) mc;
+        mcl.dq_waiting.(mq) <- mcl.dq_waiting.(mq) + 1;
+        st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq; cluster = master;
+                               role = Master_copy; scenario });
+        let make_slave (sl : Distribution.slave) =
+          let scl = st.clusters.(sl.Distribution.s_cluster) in
+          let slave_dst = alloc scl sl.Distribution.s_receives_result in
+          let cls = slave_issue_class sl in
+          let sq = queue_of_class cls cfg.queue_split in
+          let sc =
+            { c_seq = g.g_seq; c_cluster = sl.Distribution.s_cluster; c_role = Slave_copy;
+              c_op = instr.Instr.op; c_issue_class = cls;
+              c_srcs = local_src_phys scl.rf sl.Distribution.s_forward_srcs;
+              c_dst = slave_dst;
+              c_forwards = sl.Distribution.s_forward_srcs <> [];
+              c_receives_result = sl.Distribution.s_receives_result;
+              c_result_forward = false; c_has_slave_operand = false;
+              c_num_operand_entries = List.length sl.Distribution.s_forward_srcs;
+              c_state = C_waiting; c_issue = -1; c_finish = max_int; c_operand_entries = [];
+              c_result_entry = -1; c_master_cluster = master; c_group = g }
+          in
+          Deque.push_back scl.dqs.(sq) sc;
+          scl.dq_waiting.(sq) <- scl.dq_waiting.(sq) + 1;
+          st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq;
+                                 cluster = sl.Distribution.s_cluster; role = Slave_copy;
+                                 scenario });
+          sc
+        in
+        g.g_slaves <- List.map make_slave slaves;
+        Stats.incr st.ctrs "dual_distributed";
+        Stats.incr st.ctrs (Printf.sprintf "scenario_%d" scenario);
+        true
+      end
+
+let dispatch_phase st =
+  let n = ref 0 in
+  let blocked = ref false in
+  while (not !blocked) && !n < st.cfg.dispatch_width do
+    match Fixed_queue.peek st.fetch_buffer with
+    | None -> blocked := true
+    | Some f ->
+      if try_dispatch_one st f then begin
+        ignore (Fixed_queue.pop st.fetch_buffer);
+        incr n
+      end
+      else blocked := true
+  done;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Issue                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let srcs_ready st (c : copy) =
+  let cl = st.clusters.(c.c_cluster) in
+  let ok = ref true in
+  Array.iter
+    (fun (b, p) -> if Regfile.ready_at cl.rf b p > st.cycle then ok := false)
+    c.c_srcs;
+  !ok
+
+(* Readiness beyond source operands and issue slots. *)
+let structurally_ready st (c : copy) =
+  match c.c_role with
+  | Single_copy -> true
+  | Master_copy ->
+    let slaves_ok =
+      (not c.c_has_slave_operand)
+      || List.for_all
+           (fun s ->
+             (not s.c_forwards) || (s.c_state <> C_waiting && st.cycle >= s.c_issue + 1))
+           c.c_group.g_slaves
+    in
+    let result_ok =
+      (not c.c_result_forward)
+      || List.for_all
+           (fun s ->
+             (not s.c_receives_result)
+             || Transfer_buffer.can_alloc st.clusters.(s.c_cluster).result_buf ~cycle:st.cycle)
+           c.c_group.g_slaves
+    in
+    slaves_ok && result_ok
+  | Slave_copy ->
+    if c.c_forwards then
+      let master_cl = st.clusters.(c.c_master_cluster) in
+      Transfer_buffer.available master_cl.operand_buf ~cycle:st.cycle
+      >= c.c_num_operand_entries
+    else begin
+      (* Pure result-receiving slave: wait for the master's result. *)
+      match c.c_group.g_master with
+      | Some m ->
+        m.c_state = C_issued
+        && st.cycle >= max (m.c_issue + 1) (m.c_finish - 1)
+      | None -> assert false
+    end
+
+let finish_of_issue st (c : copy) =
+  let issue = st.cycle in
+  match c.c_op with
+  | Op_class.Load ->
+    let addr = Option.get c.c_group.g_dyn.Instr.mem_addr in
+    let ready = Cache.access st.dcache ~cycle:(issue + 1) ~addr ~write:false in
+    max (issue + 2) (ready + 1)
+  | Op_class.Store ->
+    let addr = Option.get c.c_group.g_dyn.Instr.mem_addr in
+    ignore (Cache.access st.dcache ~cycle:(issue + 1) ~addr ~write:true);
+    issue + 1
+  | Op_class.Int_multiply | Op_class.Int_other | Op_class.Fp_divide _ | Op_class.Fp_other
+  | Op_class.Control -> issue + Op_class.latency c.c_op
+
+let set_dst_ready st (c : copy) cycle =
+  match c.c_dst with
+  | Some d -> Regfile.set_ready st.clusters.(c.c_cluster).rf d.d_bank d.d_new cycle
+  | None -> ()
+
+let note_finish st f = if f < max_int && f > st.max_finish then st.max_finish <- f
+
+let issue_executing_copy st (c : copy) =
+  (* Single copy or master copy: runs the real operation. *)
+  let cl = st.clusters.(c.c_cluster) in
+  Fu.issue cl.fu ~cycle:st.cycle c.c_issue_class;
+  c.c_state <- C_issued;
+  c.c_issue <- st.cycle;
+  c.c_finish <- finish_of_issue st c;
+  note_finish st c.c_finish;
+  set_dst_ready st c c.c_finish;
+  st.emit (Ev_issue { cycle = st.cycle; seq = c.c_seq; cluster = c.c_cluster; role = c.c_role });
+  st.emit
+    (Ev_writeback { cycle = c.c_finish; seq = c.c_seq; cluster = c.c_cluster; role = c.c_role });
+  (* Consume the forwarded operands: free every slave's operand entries
+     (they live in this, the master's, cluster's buffer). *)
+  (if c.c_has_slave_operand then
+     List.iter
+       (fun s ->
+         List.iter (Transfer_buffer.free cl.operand_buf ~cycle:st.cycle) s.c_operand_entries;
+         s.c_operand_entries <- [])
+       c.c_group.g_slaves);
+  (* Reserve a result-transfer entry in every receiving slave's cluster. *)
+  (if c.c_result_forward then
+     List.iter
+       (fun s ->
+         if s.c_receives_result then begin
+           let other = st.clusters.(s.c_cluster) in
+           s.c_result_entry <- Transfer_buffer.alloc other.result_buf ~cycle:st.cycle;
+           st.emit
+             (Ev_result_forward
+                { cycle = c.c_finish; seq = c.c_seq; from_cluster = c.c_cluster;
+                  to_cluster = s.c_cluster })
+         end)
+       c.c_group.g_slaves);
+  (* Branch bookkeeping: redirect and deferred predictor training. *)
+  match c.c_op with
+  | Op_class.Control ->
+    let g = c.c_group in
+    (match g.g_token with
+    | Some tok ->
+      let taken =
+        match g.g_dyn.Instr.branch with Some b -> b.Instr.taken | None -> assert false
+      in
+      st.pending_train <- (c.c_finish, c.c_seq, tok, taken) :: st.pending_train
+    | None -> ());
+    if g.g_mispred then begin
+      st.redirect_pending <- false;
+      st.fetch_resume <- max st.fetch_resume (c.c_finish + st.cfg.redirect_penalty);
+      Stats.incr st.ctrs "redirects"
+    end
+  | Op_class.Int_multiply | Op_class.Int_other | Op_class.Fp_divide _ | Op_class.Fp_other
+  | Op_class.Load | Op_class.Store -> ()
+
+let issue_slave_copy st (c : copy) =
+  let cl = st.clusters.(c.c_cluster) in
+  Fu.issue cl.fu ~cycle:st.cycle c.c_issue_class;
+  c.c_issue <- st.cycle;
+  st.emit (Ev_issue { cycle = st.cycle; seq = c.c_seq; cluster = c.c_cluster; role = Slave_copy });
+  Stats.incr st.ctrs "slave_issues";
+  if c.c_forwards then begin
+    (* Write the operand(s) into the master cluster's operand buffer. *)
+    let master_cl = st.clusters.(c.c_master_cluster) in
+    let entries = ref [] in
+    for _ = 1 to c.c_num_operand_entries do
+      entries := Transfer_buffer.alloc master_cl.operand_buf ~cycle:st.cycle :: !entries
+    done;
+    c.c_operand_entries <- !entries;
+    st.emit
+      (Ev_operand_forward
+         { cycle = st.cycle + 1; seq = c.c_seq; from_cluster = c.c_cluster;
+           to_cluster = c.c_master_cluster });
+    if c.c_receives_result then begin
+      (* Scenario 5: wait (without re-issuing) for the master's result. *)
+      c.c_state <- C_suspended;
+      st.emit (Ev_suspend { cycle = st.cycle + 1; seq = c.c_seq; cluster = c.c_cluster })
+    end
+    else begin
+      c.c_state <- C_issued;
+      c.c_finish <- st.cycle + 1;
+      note_finish st c.c_finish
+    end
+  end
+  else begin
+    (* Scenarios 3/4: read the forwarded result, write the register. *)
+    assert (c.c_result_entry >= 0);
+    Transfer_buffer.free cl.result_buf ~cycle:st.cycle c.c_result_entry;
+    c.c_result_entry <- -1;
+    c.c_state <- C_issued;
+    c.c_finish <- st.cycle + 1;
+    note_finish st c.c_finish;
+    set_dst_ready st c c.c_finish;
+    st.emit
+      (Ev_writeback { cycle = c.c_finish; seq = c.c_seq; cluster = c.c_cluster;
+                      role = Slave_copy })
+  end
+
+let issue_phase st =
+  let issued = ref 0 in
+  let clusters_active = ref 0 in
+  Array.iter
+    (fun cl ->
+      let before = Fu.total_issued cl.fu in
+      Fu.new_cycle cl.fu;
+      Array.iteri
+        (fun qi dq ->
+          (* Compact: drop copies that left the queue. *)
+          let n = Deque.length dq in
+          for _ = 1 to n do
+            match Deque.pop_front dq with
+            | Some c ->
+              if c.c_state = C_waiting then Deque.push_back dq c
+            | None -> assert false
+          done;
+          (* Greedy oldest-first scan under the shared per-cycle budget. *)
+          let scan = Deque.length dq in
+          try
+            for i = 0 to scan - 1 do
+              if Fu.issued_this_cycle cl.fu >= st.cfg.issue_limits.Issue_rules.total then
+                raise Exit;
+              let c = Deque.get dq i in
+              if
+                c.c_state = C_waiting
+                && Fu.can_issue cl.fu ~cycle:st.cycle c.c_issue_class
+                && srcs_ready st c
+                && structurally_ready st c
+              then begin
+                (match c.c_role with
+                | Single_copy | Master_copy -> issue_executing_copy st c
+                | Slave_copy -> issue_slave_copy st c);
+                (* The paper's issue-disorder metric: issues younger than
+                   an already-issued instruction. *)
+                if c.c_seq < st.max_issued_seq then begin
+                  Stats.incr st.ctrs "ooo_issues";
+                  Stats.add st.ctrs "ooo_issue_distance" (st.max_issued_seq - c.c_seq)
+                end
+                else st.max_issued_seq <- c.c_seq;
+                cl.dq_waiting.(qi) <- cl.dq_waiting.(qi) - 1;
+                incr issued
+              end
+            done
+          with Exit -> ())
+        cl.dqs;
+      if Fu.total_issued cl.fu > before then incr clusters_active)
+    st.clusters;
+  if !issued > 0 then Stats.incr st.ctrs "issue_active_cycles";
+  if !clusters_active >= 2 then Stats.incr st.ctrs "both_clusters_active_cycles";
+  !issued
+
+(* Scenario-5 slaves wake when the master's result reaches their cluster. *)
+let wake_phase st =
+  let woke = ref 0 in
+  Deque.iter
+    (fun g ->
+      List.iter
+        (fun s ->
+          if s.c_state = C_suspended then
+            match g.g_master with
+            | Some m when m.c_state = C_issued ->
+              let wake_at = max (m.c_issue + 1) (m.c_finish - 1) in
+              if st.cycle >= wake_at && s.c_result_entry >= 0 then begin
+                let cl = st.clusters.(s.c_cluster) in
+                Transfer_buffer.free cl.result_buf ~cycle:st.cycle s.c_result_entry;
+                s.c_result_entry <- -1;
+                s.c_state <- C_issued;
+                s.c_finish <- st.cycle + 1;
+                note_finish st s.c_finish;
+                set_dst_ready st s s.c_finish;
+                st.emit (Ev_wakeup { cycle = st.cycle; seq = s.c_seq; cluster = s.c_cluster });
+                st.emit
+                  (Ev_writeback { cycle = s.c_finish; seq = s.c_seq; cluster = s.c_cluster;
+                                  role = Slave_copy });
+                incr woke
+              end
+            | Some _ | None -> ())
+        g.g_slaves)
+    st.rob;
+  !woke
+
+(* ------------------------------------------------------------------ *)
+(* Retire                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let copy_done st c = c.c_state = C_issued && c.c_finish <= st.cycle
+
+let group_done st g =
+  (match g.g_master with Some m -> copy_done st m | None -> false)
+  && List.for_all (copy_done st) g.g_slaves
+
+let retire_copy st (c : copy) =
+  match c.c_dst with
+  | Some d -> Regfile.release st.clusters.(c.c_cluster).rf d.d_bank d.d_prev
+  | None -> ()
+
+let retire_phase st =
+  let n = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !n < st.cfg.retire_width do
+    match Deque.peek_front st.rob with
+    | Some g when group_done st g ->
+      ignore (Deque.pop_front st.rob);
+      Option.iter (retire_copy st) g.g_master;
+      List.iter (retire_copy st) g.g_slaves;
+      g.g_retired <- true;
+      Stats.incr st.ctrs "retired";
+      st.emit (Ev_retire { cycle = st.cycle; seq = g.g_seq });
+      incr n
+    | Some _ | None -> continue_ := false
+  done;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Fetch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fetch_phase st =
+  if st.redirect_pending || st.cycle < st.fetch_resume then begin
+    if Deque.length st.rob > 0 || st.trace_idx < Array.length st.trace then
+      Stats.incr st.ctrs "fetch_stall_cycles";
+    0
+  end
+  else begin
+    let fetched = ref 0 in
+    let blocked = ref false in
+    while
+      (not !blocked)
+      && !fetched < st.cfg.fetch_width
+      && (not (Fixed_queue.is_full st.fetch_buffer))
+      && st.trace_idx < Array.length st.trace
+    do
+      let dyn = st.trace.(st.trace_idx) in
+      let addr = dyn.Instr.pc * 4 in
+      let line = addr / st.cfg.icache.Cache.line_bytes in
+      let icache_ok =
+        if line = st.last_fetch_line then true
+        else begin
+          let ready = Cache.access st.icache ~cycle:st.cycle ~addr ~write:false in
+          st.last_fetch_line <- line;
+          if ready > st.cycle then begin
+            st.fetch_resume <- ready;
+            Stats.incr st.ctrs "icache_fetch_misses";
+            false
+          end
+          else true
+        end
+      in
+      if not icache_ok then blocked := true
+      else begin
+        let token, mispred =
+          match dyn.Instr.branch with
+          | Some b when b.Instr.conditional ->
+            let pred, tok = Mcfarling.predict st.predictor ~pc:dyn.Instr.pc in
+            Mcfarling.note_outcome st.predictor ~taken:b.Instr.taken;
+            (Some tok, pred <> b.Instr.taken)
+          | Some _ | None -> (None, false)
+        in
+        Fixed_queue.push st.fetch_buffer { f_dyn = dyn; f_token = token; f_mispred = mispred };
+        st.emit (Ev_fetch { cycle = st.cycle; seq = dyn.Instr.seq });
+        st.trace_idx <- st.trace_idx + 1;
+        incr fetched;
+        if mispred then begin
+          st.redirect_pending <- true;
+          Stats.incr st.ctrs "mispredicted_fetches";
+          blocked := true
+        end
+      end
+    done;
+    !fetched
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Replay (squash)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Is this waiting copy blocked purely by transfer-buffer unavailability? *)
+let blocked_on_buffer st (c : copy) =
+  c.c_state = C_waiting
+  && srcs_ready st c
+  &&
+  match c.c_role with
+  | Single_copy -> false
+  | Master_copy ->
+    let slaves_ok =
+      (not c.c_has_slave_operand)
+      || List.for_all
+           (fun s ->
+             (not s.c_forwards) || (s.c_state <> C_waiting && st.cycle >= s.c_issue + 1))
+           c.c_group.g_slaves
+    in
+    slaves_ok && c.c_result_forward
+    && not
+         (List.for_all
+            (fun s ->
+              (not s.c_receives_result)
+              || Transfer_buffer.can_alloc st.clusters.(s.c_cluster).result_buf
+                   ~cycle:st.cycle)
+            c.c_group.g_slaves)
+  | Slave_copy ->
+    c.c_forwards
+    && Transfer_buffer.available st.clusters.(c.c_master_cluster).operand_buf ~cycle:st.cycle
+       < c.c_num_operand_entries
+
+let find_replay_victim st =
+  let victim = ref None in
+  (try
+     Deque.iter
+       (fun g ->
+         let check c = if blocked_on_buffer st c then begin victim := Some g; raise Exit end in
+         Option.iter check g.g_master;
+         List.iter check g.g_slaves)
+       st.rob
+   with Exit -> ());
+  match !victim with
+  | Some g -> Some g
+  | None -> (
+    (* Fall back to the oldest group that is not finished. *)
+    match Deque.peek_front st.rob with Some g when not (group_done st g) -> Some g | _ -> None)
+
+let squash_copy st (c : copy) =
+  (* Return transfer-buffer entries: forwarded operands live in the master
+     cluster's operand buffer; a reserved result entry lives in this
+     (receiving slave's) cluster's result buffer. *)
+  (if c.c_operand_entries <> [] then
+     let master_cl = st.clusters.(c.c_master_cluster) in
+     List.iter (Transfer_buffer.free master_cl.operand_buf ~cycle:st.cycle) c.c_operand_entries;
+     c.c_operand_entries <- []);
+  if c.c_result_entry >= 0 then begin
+    Transfer_buffer.free st.clusters.(c.c_cluster).result_buf ~cycle:st.cycle c.c_result_entry;
+    c.c_result_entry <- -1
+  end;
+  (* Undo renaming (reverse dispatch order is guaranteed by the caller). *)
+  (match c.c_dst with
+  | Some d ->
+    Regfile.undo_rename st.clusters.(c.c_cluster).rf d.d_reg ~new_phys:d.d_new
+      ~prev_phys:d.d_prev
+  | None -> ());
+  (match c.c_op with
+  | Op_class.Fp_divide _ when c.c_state = C_issued && c.c_finish > st.cycle ->
+    Fu.clear_divider st.clusters.(c.c_cluster).fu
+  | _ -> ());
+  if c.c_state = C_waiting then begin
+    let cl = st.clusters.(c.c_cluster) in
+    let q = queue_of_class c.c_issue_class st.cfg.queue_split in
+    cl.dq_waiting.(q) <- cl.dq_waiting.(q) - 1
+  end;
+  c.c_state <- C_squashed;
+  Stats.incr st.ctrs "squashed_copies"
+
+let replay st =
+  match find_replay_victim st with
+  | None -> ()
+  | Some victim ->
+    let vseq = victim.g_seq in
+    st.emit (Ev_replay { cycle = st.cycle; seq = vseq });
+    Stats.incr st.ctrs "replays";
+    (* Squash from youngest down to the victim, inclusive. *)
+    let continue_ = ref true in
+    while !continue_ do
+      match Deque.peek_back st.rob with
+      | Some g when g.g_seq >= vseq ->
+        ignore (Deque.pop_back st.rob);
+        (* Slaves were dispatched after the master within the group. *)
+        List.iter (squash_copy st) (List.rev g.g_slaves);
+        Option.iter (squash_copy st) g.g_master;
+        Stats.incr st.ctrs "squashed_groups"
+      | Some _ | None -> continue_ := false
+    done;
+    (* The dispatch queues still hold squashed copies; compaction in the
+       next issue phase removes them. Refetch from the victim. *)
+    Fixed_queue.clear st.fetch_buffer;
+    st.trace_idx <- vseq;
+    st.redirect_pending <- false;
+    st.fetch_resume <- st.cycle + st.cfg.replay_penalty;
+    st.last_fetch_line <- -1;
+    st.pending_train <- List.filter (fun (_, seq, _, _) -> seq < vseq) st.pending_train;
+    st.max_issued_seq <- min st.max_issued_seq (vseq - 1);
+    st.stall_cycles <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let train_phase st =
+  let due, rest = List.partition (fun (c, _, _, _) -> c <= st.cycle) st.pending_train in
+  List.iter (fun (_, _, tok, taken) -> Mcfarling.train st.predictor tok ~taken) due;
+  st.pending_train <- rest
+
+(* Cluster state for a given architectural-register assignment: a cluster
+   holds physical copies only of the registers assigned to it; the rest of
+   the initial mappings go back to the freelist. *)
+let build_clusters cfg assignment =
+  let n_clusters = Assignment.num_clusters assignment in
+  let make_regfile cl_id =
+    let rf = Regfile.create ~num_phys:cfg.phys_per_bank in
+    List.iter
+      (fun r ->
+        if (not (Reg.is_zero r)) && not (Assignment.readable_in assignment r cl_id) then
+          Regfile.release rf (Regfile.bank_of_reg r) (Regfile.lookup rf r))
+      Reg.all;
+    rf
+  in
+  Array.init n_clusters (fun cl_id ->
+      { cl_id;
+        rf = make_regfile cl_id;
+        fu = Fu.create cfg.issue_limits;
+        dqs = Array.init (num_queues cfg.queue_split) (fun _ -> Deque.create ());
+        dq_waiting = Array.make (num_queues cfg.queue_split) 0;
+        operand_buf = Transfer_buffer.create ~entries:cfg.operand_buffer_entries;
+        result_buf = Transfer_buffer.create ~entries:cfg.result_buffer_entries })
+
+let init_state ~on_event cfg =
+  validate_config cfg;
+  { cfg;
+    assignment = cfg.assignment;
+    trace = [||];
+    clusters = build_clusters cfg cfg.assignment;
+    icache = Cache.create cfg.icache;
+    dcache = Cache.create cfg.dcache;
+    predictor = Mcfarling.create ~config:cfg.predictor ();
+    rob = Deque.create ();
+    fetch_buffer = Fixed_queue.create ~capacity:(2 * cfg.fetch_width);
+    ctrs = Stats.counters_create ();
+    emit = on_event;
+    cycle = 0; trace_idx = 0; fetch_resume = 0; redirect_pending = false;
+    last_fetch_line = -1; max_finish = 0; stall_cycles = 0; pending_train = [];
+    max_issued_seq = -1; head_blocked = (-1, 0) }
+
+(* Registers whose cluster placement changes between two assignments: the
+   values the reassignment hardware must copy between register files. *)
+let moved_registers old_asg new_asg =
+  List.filter
+    (fun r ->
+      (not (Reg.is_zero r))
+      && Assignment.clusters_of old_asg r <> Assignment.clusters_of new_asg r)
+    Reg.all
+
+(* Switch to a new phase. The pipeline must be drained (rob empty). The
+   reassignment overhead models draining the write buffers and copying
+   the moved architectural values across clusters at two registers per
+   cycle, plus a fixed resynchronization cost. *)
+let load_phase st assignment trace =
+  assert (Deque.is_empty st.rob);
+  if Assignment.num_clusters assignment <> Assignment.num_clusters st.assignment then
+    invalid_arg "Machine.load_phase: cluster count cannot change";
+  let overhead =
+    if assignment == st.assignment then 0
+    else begin
+      let moved = List.length (moved_registers st.assignment assignment) in
+      Stats.add st.ctrs "reassigned_registers" moved;
+      Stats.incr st.ctrs "reassignments";
+      4 + ((moved + 1) / 2)
+    end
+  in
+  if not (assignment == st.assignment) then begin
+    st.assignment <- assignment;
+    st.clusters <- build_clusters st.cfg assignment
+  end;
+  st.trace <- trace;
+  st.trace_idx <- 0;
+  Fixed_queue.clear st.fetch_buffer;
+  st.redirect_pending <- false;
+  st.fetch_resume <- st.cycle + overhead;
+  st.last_fetch_line <- -1;
+  st.pending_train <- [];
+  st.max_issued_seq <- -1;
+  st.stall_cycles <- 0
+
+(* The thesis's starvation rule: young slaves can keep recycling the
+   transfer-buffer entries while the oldest instruction starves behind a
+   full buffer. When the head of the window has been buffer-blocked for
+   long enough - even though the machine as a whole is making progress -
+   an instruction-replay exception frees the entries. *)
+let head_starvation_check st =
+  let blocked_head =
+    match Deque.peek_front st.rob with
+    | Some g ->
+      let blocked c = blocked_on_buffer st c in
+      if
+        (match g.g_master with Some m -> blocked m | None -> false)
+        || List.exists blocked g.g_slaves
+      then Some g.g_seq
+      else None
+    | None -> None
+  in
+  (match (blocked_head, st.head_blocked) with
+  | Some seq, (prev, n) when seq = prev -> st.head_blocked <- (seq, n + 1)
+  | Some seq, _ -> st.head_blocked <- (seq, 1)
+  | None, _ -> st.head_blocked <- (-1, 0));
+  let _, age = st.head_blocked in
+  if age >= 8 * st.cfg.replay_threshold then begin
+    Stats.incr st.ctrs "head_starvation_replays";
+    replay st;
+    st.head_blocked <- (-1, 0)
+  end
+
+let run_loop st ~max_cycles =
+  let finished () =
+    st.trace_idx >= Array.length st.trace
+    && Fixed_queue.is_empty st.fetch_buffer
+    && Deque.is_empty st.rob
+  in
+  while not (finished ()) do
+    if st.cycle > max_cycles then failwith "Machine.run: cycle limit exceeded (model bug)";
+    let woke = wake_phase st in
+    let retired = retire_phase st in
+    train_phase st;
+    let issued = issue_phase st in
+    let dispatched = dispatch_phase st in
+    let fetched = fetch_phase st in
+    let in_flight_exec = st.max_finish > st.cycle in
+    let progress =
+      retired > 0 || issued > 0 || dispatched > 0 || woke > 0 || fetched > 0 || in_flight_exec
+    in
+    if (not progress) && not (Deque.is_empty st.rob) then begin
+      st.stall_cycles <- st.stall_cycles + 1;
+      if st.stall_cycles >= st.cfg.replay_threshold then replay st
+    end
+    else st.stall_cycles <- 0;
+    head_starvation_check st;
+    st.cycle <- st.cycle + 1
+  done
+
+let finish_result st =
+  let cycles = st.cycle in
+  let retired = Stats.get st.ctrs "retired" in
+  Array.iteri
+    (fun i cl ->
+      Stats.add st.ctrs (Printf.sprintf "issued_c%d" i) (Fu.total_issued cl.fu);
+      Stats.add st.ctrs
+        (Printf.sprintf "operand_buf_hw_c%d" i)
+        (Transfer_buffer.high_water cl.operand_buf);
+      Stats.add st.ctrs
+        (Printf.sprintf "result_buf_hw_c%d" i)
+        (Transfer_buffer.high_water cl.result_buf))
+    st.clusters;
+  Stats.add st.ctrs "branch_predictions" (Mcfarling.predictions st.predictor);
+  Stats.add st.ctrs "branch_mispredictions" (Mcfarling.mispredictions st.predictor);
+  Stats.add st.ctrs "dcache_accesses" (Cache.accesses st.dcache);
+  Stats.add st.ctrs "dcache_misses"
+    (Cache.primary_misses st.dcache + Cache.secondary_misses st.dcache);
+  Stats.add st.ctrs "icache_accesses" (Cache.accesses st.icache);
+  Stats.add st.ctrs "icache_misses"
+    (Cache.primary_misses st.icache + Cache.secondary_misses st.icache);
+  Stats.add st.ctrs "cycles" cycles;
+  { cycles;
+    retired;
+    ipc = Stats.ratio retired cycles;
+    single_distributed = Stats.get st.ctrs "single_distributed";
+    dual_distributed = Stats.get st.ctrs "dual_distributed";
+    replays = Stats.get st.ctrs "replays";
+    branch_accuracy = Mcfarling.accuracy st.predictor;
+    icache_miss_rate = Cache.miss_rate st.icache;
+    dcache_miss_rate = Cache.miss_rate st.dcache;
+    counters = Stats.to_alist st.ctrs }
+
+let run_phased ?(on_event = fun (_ : event) -> ()) ?(max_cycles = 200_000_000) cfg phases =
+  let st = init_state ~on_event cfg in
+  List.iter
+    (fun (assignment, trace) ->
+      load_phase st assignment trace;
+      run_loop st ~max_cycles)
+    phases;
+  finish_result st
+
+let run ?on_event ?max_cycles cfg trace =
+  run_phased ?on_event ?max_cycles cfg [ (cfg.assignment, trace) ]

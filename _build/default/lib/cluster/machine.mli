@@ -1,0 +1,165 @@
+(** The multicluster processor model (paper §2 and §4.1).
+
+    One implementation covers both machines of the evaluation: the
+    single-cluster 8-issue processor is the configuration whose
+    {!Assignment.t} maps every register to cluster 0, and the dual-cluster
+    machine is the 2-cluster even/odd assignment with per-cluster Table-1
+    row-2 issue limits.
+
+    The machine is trace-driven: it consumes an array of committed dynamic
+    instructions ({!Mcsim_isa.Instr.dynamic}). Speculation is modelled by
+    its timing effects — a mispredicted conditional branch stalls fetch
+    from the moment it is fetched until it executes, plus a redirect
+    penalty (the trace then resumes down the correct path, as in the
+    paper's ATOM-based methodology).
+
+    Pipeline per cycle: retire (up to [retire_width] instructions, in
+    order, when all copies are complete) — issue (per cluster: greedy
+    oldest-first over the dispatch queue under the Table-1 budget) —
+    dispatch (in order, up to [dispatch_width]; stalls when a dispatch
+    queue entry or physical register is unavailable) — fetch (up to
+    [fetch_width] from the i-cache).
+
+    Dual-distributed instructions follow §2.1's five scenarios: the slave
+    forwards operands through the master cluster's operand transfer buffer
+    and/or receives the result through its own cluster's result transfer
+    buffer, with the paper's timing rules (master issuable the cycle after
+    an operand-forwarding slave issues; a result-receiving slave issuable
+    at [master_finish - 1], i.e. one cycle after the master for one-cycle
+    operations; freed buffer entries reusable the next cycle). An
+    issue deadlock on transfer-buffer entries is broken by an
+    instruction-replay exception: the blocked instruction and everything
+    younger is squashed and refetched after [replay_penalty] cycles. *)
+
+type queue_split =
+  | Unified  (** one dispatch queue per cluster — the paper's design *)
+  | Per_class
+      (** separate integer / floating-point / memory queues per cluster,
+          as in the R10000 and 21264 the paper contrasts itself with; the
+          integer queue gets half the entries, fp and memory a quarter
+          each *)
+
+type config = {
+  assignment : Assignment.t;
+  dq_entries : int;  (** dispatch-queue entries per cluster (all queues) *)
+  phys_per_bank : int;  (** physical registers per bank per cluster *)
+  fetch_width : int;
+  dispatch_width : int;
+  retire_width : int;
+  issue_limits : Mcsim_isa.Issue_rules.limits;  (** per cluster *)
+  queue_split : queue_split;
+  operand_buffer_entries : int;  (** per cluster *)
+  result_buffer_entries : int;  (** per cluster *)
+  icache : Mcsim_cache.Cache.config;
+  dcache : Mcsim_cache.Cache.config;
+  predictor : Mcsim_branch.Mcfarling.config;
+  redirect_penalty : int;
+      (** cycles between a mispredicted branch's execution and the first
+          fetch down the right path *)
+  replay_threshold : int;  (** stalled cycles before a replay exception *)
+  replay_penalty : int;  (** cycles before fetch resumes after a replay *)
+}
+
+val single_cluster : unit -> config
+(** The paper's baseline: one cluster, 128-entry dispatch queue, 128+128
+    physical registers, 8-issue (Table 1 row 1), fetch 12, retire 8,
+    64 KB 2-way caches, 16-cycle memory. *)
+
+val dual_cluster : unit -> config
+(** The paper's dual-cluster machine: even/odd assignment with sp/gp
+    global, two 64-entry dispatch queues, 64+64 physical registers per
+    cluster, 4-issue per cluster (Table 1 row 2), eight operand- and eight
+    result-buffer entries per cluster. *)
+
+val quad_cluster : unit -> config
+(** A four-cluster multicluster machine with the same total resources as
+    the 8-issue baseline: four 2-issue clusters, 32-entry dispatch queues
+    and 32+32 physical registers each, registers assigned by index modulo
+    four (sp/gp global), four operand- and four result-buffer entries per
+    cluster. The paper develops two clusters "without loss of
+    generality"; this is the generalization it implies. *)
+
+val single_cluster_4 : unit -> config
+(** The four-way-issue baseline the paper also evaluated (§4): one
+    cluster, 64-entry dispatch queue, 64+64 physical registers,
+    4-issue, fetch 6, retire 4. *)
+
+val dual_cluster_2x2 : unit -> config
+(** The four-way dual machine: two 2-issue clusters with 32-entry
+    dispatch queues and 32+32 physical registers each, four operand- and
+    four result-buffer entries per cluster. *)
+
+val validate_config : config -> unit
+(** @raise Invalid_argument on out-of-range fields. *)
+
+type role = Single_copy | Master_copy | Slave_copy
+
+val role_to_string : role -> string
+
+(** Observable pipeline events, for the Figures 2–5 walkthroughs and for
+    tests. [seq] is the dynamic instruction's trace position. *)
+type event =
+  | Ev_fetch of { cycle : int; seq : int }
+  | Ev_dispatch of { cycle : int; seq : int; cluster : int; role : role; scenario : int }
+  | Ev_issue of { cycle : int; seq : int; cluster : int; role : role }
+  | Ev_operand_forward of { cycle : int; seq : int; from_cluster : int; to_cluster : int }
+      (** an operand-forwarding slave wrote into the master cluster's
+          operand transfer buffer (at slave issue) *)
+  | Ev_result_forward of { cycle : int; seq : int; from_cluster : int; to_cluster : int }
+      (** the master wrote into the slave cluster's result transfer buffer
+          (at master completion) *)
+  | Ev_suspend of { cycle : int; seq : int; cluster : int }
+  | Ev_wakeup of { cycle : int; seq : int; cluster : int }
+  | Ev_writeback of { cycle : int; seq : int; cluster : int; role : role }
+  | Ev_retire of { cycle : int; seq : int }
+  | Ev_replay of { cycle : int; seq : int }
+
+val pp_event : Format.formatter -> event -> unit
+
+type result = {
+  cycles : int;
+  retired : int;
+  ipc : float;
+  single_distributed : int;
+  dual_distributed : int;
+  replays : int;
+  branch_accuracy : float;
+  icache_miss_rate : float;
+  dcache_miss_rate : float;
+  counters : (string * int) list;
+      (** detailed named counters (stall reasons, per-scenario counts,
+          per-class issues, buffer high-water marks, ...) *)
+}
+
+val counter : result -> string -> int
+(** 0 when absent. *)
+
+val run :
+  ?on_event:(event -> unit) ->
+  ?max_cycles:int ->
+  config ->
+  Mcsim_isa.Instr.dynamic array ->
+  result
+(** Simulate the full trace. @raise Failure if [max_cycles] (default
+    200_000_000) elapses first — a model bug, not a user error. *)
+
+val run_phased :
+  ?on_event:(event -> unit) ->
+  ?max_cycles:int ->
+  config ->
+  (Assignment.t * Mcsim_isa.Instr.dynamic array) list ->
+  result
+(** Dynamic reassignment of the architectural registers (paper §2.1's
+    "simple hardware mechanism" and §6): run the phases back to back on
+    one machine (caches and predictor stay warm). Between phases the
+    pipeline drains and, if the assignment changed, the machine pays a
+    resynchronization overhead of 4 cycles plus one cycle per two
+    architectural registers whose cluster placement moved (their values
+    must be copied between the register files). Counters
+    ["reassignments"] and ["reassigned_registers"] record the activity.
+    All phases must keep the cluster count of [config].
+    @raise Invalid_argument if a phase changes the cluster count. *)
+
+val moved_registers : Assignment.t -> Assignment.t -> Mcsim_isa.Reg.t list
+(** The registers whose cluster placement differs — what the reassignment
+    hardware must copy. *)

@@ -1,0 +1,1 @@
+lib/compiler/list_scheduler.ml: Array List Mcsim_ir Mcsim_isa Option

@@ -1,0 +1,1 @@
+lib/compiler/list_scheduler.mli: Mcsim_ir

@@ -1,0 +1,1 @@
+lib/compiler/liveness.ml: Array List Mcsim_ir

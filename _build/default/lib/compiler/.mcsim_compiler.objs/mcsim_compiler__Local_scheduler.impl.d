@@ -1,0 +1,1 @@
+lib/compiler/local_scheduler.ml: Array Fun Hashtbl List Liveness Mcsim_ir Partition

@@ -1,0 +1,1 @@
+lib/compiler/local_scheduler.mli: Mcsim_ir Partition

@@ -1,0 +1,1 @@
+lib/compiler/lowering.ml: Array List Mach_prog Mcsim_ir Mcsim_isa Option Printf Regalloc

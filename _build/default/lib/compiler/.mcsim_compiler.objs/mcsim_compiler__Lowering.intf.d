@@ -1,0 +1,1 @@
+lib/compiler/lowering.mli: Mach_prog Regalloc

@@ -1,0 +1,1 @@
+lib/compiler/mach_prog.ml: Array Format List Mcsim_ir Mcsim_isa

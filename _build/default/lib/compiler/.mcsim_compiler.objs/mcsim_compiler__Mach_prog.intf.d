@@ -1,0 +1,1 @@
+lib/compiler/mach_prog.mli: Format Mcsim_ir Mcsim_isa

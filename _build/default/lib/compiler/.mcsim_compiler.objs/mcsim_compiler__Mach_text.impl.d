@@ -1,0 +1,1 @@
+lib/compiler/mach_text.ml: Array Buffer Fun List Mach_prog Mcsim_ir Mcsim_isa Printf Scanf Str String

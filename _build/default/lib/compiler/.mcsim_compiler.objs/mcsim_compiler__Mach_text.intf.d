@@ -1,0 +1,1 @@
+lib/compiler/mach_text.mli: Mach_prog

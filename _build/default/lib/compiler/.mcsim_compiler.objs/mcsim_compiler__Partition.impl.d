@@ -1,0 +1,1 @@
+lib/compiler/partition.ml: Array Format Mcsim_ir Mcsim_util Printf

@@ -1,0 +1,1 @@
+lib/compiler/partition.mli: Format Mcsim_ir

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Array List_scheduler Local_scheduler Lowering Mach_prog Mcsim_cluster Mcsim_isa Option Partition Regalloc

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Mach_prog Mcsim_cluster Mcsim_ir Regalloc

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Fun Hashtbl List Liveness Mcsim_ir Mcsim_isa Partition Printf

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.mli: Mcsim_ir Mcsim_isa Partition

@@ -1,0 +1,1 @@
+lib/compiler/unroll.ml: Array Fun Hashtbl List Mcsim_ir Option Printf

@@ -1,0 +1,101 @@
+module Il = Mcsim_ir.Il
+module Op_class = Mcsim_isa.Op_class
+
+(* Dependence edges i -> j (i must precede j) for a block. *)
+let dependence_edges instrs =
+  let n = Array.length instrs in
+  let edges = ref [] in
+  for j = 0 to n - 1 do
+    let rj = Il.lrs_read instrs.(j) and wj = Il.lrs_written instrs.(j) in
+    let mem_j = Op_class.is_memory instrs.(j).Il.op in
+    for i = 0 to j - 1 do
+      let ri = Il.lrs_read instrs.(i) and wi = Il.lrs_written instrs.(i) in
+      let mem_i = Op_class.is_memory instrs.(i).Il.op in
+      let overlap a b = List.exists (fun x -> List.mem x b) a in
+      let raw = overlap wi rj in
+      let war = overlap ri wj in
+      let waw = overlap wi wj in
+      let mem = mem_i && mem_j in
+      if raw || war || waw || mem then edges := (i, j) :: !edges
+    done
+  done;
+  !edges
+
+let schedule_block instrs =
+  let n = Array.length instrs in
+  if n <= 1 then Array.copy instrs
+  else begin
+    let edges = dependence_edges instrs in
+    let succs = Array.make n [] in
+    let pred_count = Array.make n 0 in
+    List.iter
+      (fun (i, j) ->
+        succs.(i) <- j :: succs.(i);
+        pred_count.(j) <- pred_count.(j) + 1)
+      edges;
+    (* Critical-path height: latency-weighted longest path to the exit. *)
+    let height = Array.make n 0 in
+    for i = n - 1 downto 0 do
+      let lat = Op_class.latency instrs.(i).Il.op in
+      height.(i) <-
+        List.fold_left (fun acc j -> max acc (lat + height.(j))) lat succs.(i)
+    done;
+    let remaining = Array.copy pred_count in
+    let scheduled = ref [] in
+    let ready = ref (List.filter (fun i -> remaining.(i) = 0) (List.init n (fun i -> i))) in
+    for _ = 1 to n do
+      (* Pick the ready instruction with the greatest height; break ties
+         by original position (stability). *)
+      let best =
+        List.fold_left
+          (fun acc i ->
+            match acc with
+            | Some b when height.(b) > height.(i) || (height.(b) = height.(i) && b < i) ->
+              acc
+            | Some _ | None -> Some i)
+          None !ready
+      in
+      match best with
+      | None -> assert false
+      | Some i ->
+        ready := List.filter (fun x -> x <> i) !ready;
+        scheduled := i :: !scheduled;
+        List.iter
+          (fun j ->
+            remaining.(j) <- remaining.(j) - 1;
+            if remaining.(j) = 0 then ready := j :: !ready)
+          succs.(i)
+    done;
+    let order = Array.of_list (List.rev !scheduled) in
+    Array.map (fun i -> instrs.(i)) order
+  end
+
+let schedule prog =
+  let blocks =
+    Array.map
+      (fun (b : Mcsim_ir.Program.block) ->
+        { b with Mcsim_ir.Program.instrs = schedule_block b.Mcsim_ir.Program.instrs })
+      prog.Mcsim_ir.Program.blocks
+  in
+  let prog' = { prog with Mcsim_ir.Program.blocks } in
+  Mcsim_ir.Program.validate prog';
+  prog'
+
+let respects_dependences before after =
+  let n = Array.length before in
+  if Array.length after <> n then false
+  else begin
+    (* Identify each instruction by physical identity. *)
+    let pos_after i =
+      let rec find j = if j = n then None else if after.(j) == before.(i) then Some j else find (j + 1) in
+      find 0
+    in
+    let positions = Array.init n pos_after in
+    Array.for_all Option.is_some positions
+    && List.for_all
+         (fun (i, j) ->
+           match (positions.(i), positions.(j)) with
+           | Some pi, Some pj -> pi < pj
+           | _ -> false)
+         (dependence_edges before)
+  end

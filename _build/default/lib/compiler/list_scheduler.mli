@@ -1,0 +1,21 @@
+(** Prepass code scheduling (paper §3.1 step 2, §3.3).
+
+    A classic per-basic-block list scheduler: instructions are reordered
+    by critical-path height (functional-unit latencies from Table 1) under
+    the block's dependence DAG — read-after-write, write-after-read and
+    write-after-write dependences on live ranges, plus conservative
+    ordering edges among memory operations (no alias analysis, as suits
+    the paper's binary-level methodology). The balance-estimating
+    partitioner then runs over the scheduled order, which is why the paper
+    mandates prepass scheduling. *)
+
+val schedule_block : Mcsim_ir.Il.instr array -> Mcsim_ir.Il.instr array
+(** Pure reordering; the result is a permutation of the input that
+    respects every dependence. *)
+
+val schedule : Mcsim_ir.Program.t -> Mcsim_ir.Program.t
+(** [schedule_block] applied to every block; terminators unchanged. *)
+
+val respects_dependences : Mcsim_ir.Il.instr array -> Mcsim_ir.Il.instr array -> bool
+(** [respects_dependences before after]: [after] is a permutation of
+    [before] preserving RAW/WAR/WAW and memory order (test oracle). *)

@@ -1,0 +1,137 @@
+module Il = Mcsim_ir.Il
+module Program = Mcsim_ir.Program
+
+type t = {
+  prog : Program.t;
+  live_in : bool array array;  (* block -> lr -> live *)
+  live_out : bool array array;
+  adj : bool array;  (* n_lrs * n_lrs interference matrix *)
+  n_lrs : int;
+  defs : (int * int) list array;  (* lr -> (block, index) *)
+  uses : (int * int) list array;
+}
+
+let block_term_uses (b : Program.block) =
+  match b.Program.term with
+  | Il.Cond { src = Some lr; _ } -> [ lr ]
+  | Il.Cond { src = None; _ } | Il.Fallthrough _ | Il.Jump _ | Il.Halt -> []
+
+let analyse prog =
+  let n_blocks = Program.num_blocks prog in
+  let n_lrs = Program.num_lrs prog in
+  let live_in = Array.init n_blocks (fun _ -> Array.make n_lrs false) in
+  let live_out = Array.init n_blocks (fun _ -> Array.make n_lrs false) in
+  let use = Array.init n_blocks (fun _ -> Array.make n_lrs false) in
+  let def = Array.init n_blocks (fun _ -> Array.make n_lrs false) in
+  let defs = Array.make n_lrs [] in
+  let uses = Array.make n_lrs [] in
+  (* Per-block upward-exposed uses and defs, plus def/use site lists. *)
+  Array.iter
+    (fun (b : Program.block) ->
+      let i = b.Program.id in
+       Array.iteri
+         (fun k (instr : Il.instr) ->
+           List.iter
+             (fun lr ->
+               uses.(lr) <- (i, k) :: uses.(lr);
+               if not def.(i).(lr) then use.(i).(lr) <- true)
+             (Il.lrs_read instr);
+           List.iter
+             (fun lr ->
+               defs.(lr) <- (i, k) :: defs.(lr);
+               def.(i).(lr) <- true)
+             (Il.lrs_written instr))
+         b.Program.instrs;
+       List.iter
+         (fun lr ->
+           uses.(lr) <- (i, Array.length b.Program.instrs) :: uses.(lr);
+           if not def.(i).(lr) then use.(i).(lr) <- true)
+         (block_term_uses b))
+    prog.Program.blocks;
+  (* Backward dataflow to fixpoint. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n_blocks - 1 downto 0 do
+      let out = live_out.(i) in
+      List.iter
+        (fun s ->
+          let sin = live_in.(s) in
+          for lr = 0 to n_lrs - 1 do
+            if sin.(lr) && not out.(lr) then begin
+              out.(lr) <- true;
+              changed := true
+            end
+          done)
+        (Program.successors prog i);
+      for lr = 0 to n_lrs - 1 do
+        let v = use.(i).(lr) || (out.(lr) && not def.(i).(lr)) in
+        if v && not live_in.(i).(lr) then begin
+          live_in.(i).(lr) <- true;
+          changed := true
+        end
+      done
+    done
+  done;
+  (* Interference: walk each block backwards. sp/gp are excluded (they get
+     dedicated global registers), as are cross-bank pairs. *)
+  let adj = Array.make (n_lrs * n_lrs) false in
+  let excluded lr = lr = prog.Program.sp || lr = prog.Program.gp in
+  let add_edge a b =
+    if
+      a <> b
+      && (not (excluded a))
+      && (not (excluded b))
+      && Program.lr_bank prog a = Program.lr_bank prog b
+    then begin
+      adj.((a * n_lrs) + b) <- true;
+      adj.((b * n_lrs) + a) <- true
+    end
+  in
+  Array.iter
+    (fun (b : Program.block) ->
+      let i = b.Program.id in
+      let live = Array.copy live_out.(i) in
+      List.iter (fun lr -> live.(lr) <- true) (block_term_uses b);
+      for k = Array.length b.Program.instrs - 1 downto 0 do
+        let instr = b.Program.instrs.(k) in
+        List.iter
+          (fun d ->
+            for o = 0 to n_lrs - 1 do
+              if live.(o) then add_edge d o
+            done;
+            live.(d) <- false)
+          (Il.lrs_written instr);
+        List.iter (fun s -> live.(s) <- true) (Il.lrs_read instr)
+      done)
+    prog.Program.blocks;
+  { prog; live_in; live_out; adj; n_lrs;
+    defs = Array.map List.rev defs; uses = Array.map List.rev uses }
+
+let set_to_list a =
+  let acc = ref [] in
+  Array.iteri (fun lr v -> if v then acc := lr :: !acc) a;
+  List.rev !acc
+
+let live_in t b = set_to_list t.live_in.(b)
+let live_out t b = set_to_list t.live_out.(b)
+
+let interferes t a b = t.adj.((a * t.n_lrs) + b)
+
+let neighbours t lr =
+  let acc = ref [] in
+  for o = t.n_lrs - 1 downto 0 do
+    if t.adj.((lr * t.n_lrs) + o) then acc := o :: !acc
+  done;
+  !acc
+
+let degree t lr =
+  let d = ref 0 in
+  for o = 0 to t.n_lrs - 1 do
+    if t.adj.((lr * t.n_lrs) + o) then incr d
+  done;
+  !d
+
+let def_sites t lr = t.defs.(lr)
+let use_sites t lr = t.uses.(lr)
+let use_count t lr = List.length t.defs.(lr) + List.length t.uses.(lr)

@@ -1,0 +1,38 @@
+(** Live-range dataflow analysis and interference graph construction.
+
+    Standard backward liveness over the CFG, at live-range (virtual
+    register) granularity — the abstraction the paper's partitioner and
+    register allocator work on (§3, citing Aho et al.). Two live ranges
+    interfere when one is defined at a point where the other is live (and
+    they are not the same). The stack- and global-pointer live ranges are
+    treated as live everywhere, but are excluded from the interference
+    graph: they are allocated dedicated global registers, never colored.
+
+    Conditional-branch condition live ranges count as block-level uses. *)
+
+type t
+
+val analyse : Mcsim_ir.Program.t -> t
+
+val live_in : t -> int -> Mcsim_ir.Il.lr list
+(** Live ranges live at entry to a block. *)
+
+val live_out : t -> int -> Mcsim_ir.Il.lr list
+
+val interferes : t -> Mcsim_ir.Il.lr -> Mcsim_ir.Il.lr -> bool
+
+val neighbours : t -> Mcsim_ir.Il.lr -> Mcsim_ir.Il.lr list
+(** Interference-graph neighbours (same bank only — integer and fp live
+    ranges are colored from disjoint register banks and never interfere). *)
+
+val degree : t -> Mcsim_ir.Il.lr -> int
+
+val def_sites : t -> Mcsim_ir.Il.lr -> (int * int) list
+(** [(block, instr_index)] pairs where the live range is written. *)
+
+val use_sites : t -> Mcsim_ir.Il.lr -> (int * int) list
+(** [(block, instr_index)] pairs where it is read; a use by a block's
+    conditional terminator is reported with index [Array.length instrs]. *)
+
+val use_count : t -> Mcsim_ir.Il.lr -> int
+(** Static defs + uses (spill-cost numerator). *)

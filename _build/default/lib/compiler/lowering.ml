@@ -1,0 +1,33 @@
+module Il = Mcsim_ir.Il
+module Program = Mcsim_ir.Program
+module Instr = Mcsim_isa.Instr
+
+let lower (r : Regalloc.result) =
+  let prog = r.Regalloc.prog in
+  let reg_of lr =
+    match r.Regalloc.reg_of.(lr) with
+    | Some reg -> reg
+    | None ->
+      failwith
+        (Printf.sprintf "Lowering.lower: live range %s has no register"
+           (Program.lr_name prog lr))
+  in
+  let lower_instr (i : Il.instr) =
+    { Mach_prog.mi =
+        Instr.make ~op:i.Il.op ~srcs:(List.map reg_of i.Il.srcs)
+          ~dst:(Option.map reg_of i.Il.dst);
+      mi_mem = i.Il.mem }
+  in
+  let lower_block (b : Program.block) =
+    let term =
+      match b.Program.term with
+      | Il.Fallthrough s -> Mach_prog.Mt_fallthrough s
+      | Il.Jump s -> Mach_prog.Mt_jump s
+      | Il.Cond { src; model; taken; not_taken } ->
+        Mach_prog.Mt_cond { src = Option.map reg_of src; model; taken; not_taken }
+      | Il.Halt -> Mach_prog.Mt_halt
+    in
+    { Mach_prog.instrs = Array.map lower_instr b.Program.instrs; term }
+  in
+  Mach_prog.make ~name:prog.Program.name ~entry:prog.Program.entry
+    (Array.map lower_block prog.Program.blocks)

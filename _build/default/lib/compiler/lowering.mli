@@ -1,0 +1,10 @@
+(** Lowering: IL program + register assignment → machine program
+    (paper §3.1 step 6 — after spilling and allocation the machine-level
+    instructions are final).
+
+    Every live range must have a register ({!Regalloc.result.reg_of});
+    memory-spilled ranges were already rewritten away by the allocator. *)
+
+val lower : Regalloc.result -> Mach_prog.t
+(** @raise Failure if a live range appearing in the code has no
+    register. *)

@@ -1,0 +1,89 @@
+type minstr = {
+  mi : Mcsim_isa.Instr.t;
+  mi_mem : Mcsim_ir.Mem_stream.t option;
+}
+
+type mterm =
+  | Mt_fallthrough of int
+  | Mt_jump of int
+  | Mt_cond of {
+      src : Mcsim_isa.Reg.t option;
+      model : Mcsim_ir.Branch_model.t;
+      taken : int;
+      not_taken : int;
+    }
+  | Mt_halt
+
+type block = {
+  instrs : minstr array;
+  term : mterm;
+}
+
+type t = {
+  name : string;
+  blocks : block array;
+  entry : int;
+  block_pc : int array;
+  term_pc : int array;
+}
+
+let term_slots = function
+  | Mt_jump _ | Mt_cond _ -> 1
+  | Mt_fallthrough _ | Mt_halt -> 0
+
+let term_targets = function
+  | Mt_fallthrough b | Mt_jump b -> [ b ]
+  | Mt_cond { taken; not_taken; _ } -> [ taken; not_taken ]
+  | Mt_halt -> []
+
+let make ~name ~entry blocks =
+  let n = Array.length blocks in
+  if n = 0 then invalid_arg "Mach_prog.make: no blocks";
+  if entry < 0 || entry >= n then invalid_arg "Mach_prog.make: bad entry";
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun t -> if t < 0 || t >= n then invalid_arg "Mach_prog.make: bad target")
+        (term_targets b.term))
+    blocks;
+  let block_pc = Array.make n 0 in
+  let term_pc = Array.make n (-1) in
+  let pc = ref 0 in
+  Array.iteri
+    (fun i b ->
+      block_pc.(i) <- !pc;
+      if term_slots b.term = 1 then term_pc.(i) <- !pc + Array.length b.instrs;
+      pc := !pc + Array.length b.instrs + term_slots b.term)
+    blocks;
+  { name; blocks; entry; block_pc; term_pc }
+
+let num_blocks t = Array.length t.blocks
+
+let static_instrs t =
+  Array.fold_left (fun acc b -> acc + Array.length b.instrs + term_slots b.term) 0 t.blocks
+
+let pc_of_slot t ~block ~index = t.block_pc.(block) + index
+
+let pp fmt t =
+  Format.fprintf fmt "machine program %s (entry=%d)@." t.name t.entry;
+  Array.iteri
+    (fun i b ->
+      Format.fprintf fmt "block %d (pc=%d):@." i t.block_pc.(i);
+      Array.iter
+        (fun m ->
+          Format.fprintf fmt "  %s" (Mcsim_isa.Instr.to_string m.mi);
+          (match m.mi_mem with
+          | Some s -> Format.fprintf fmt " [%s]" (Mcsim_ir.Mem_stream.describe s)
+          | None -> ());
+          Format.fprintf fmt "@.")
+        b.instrs;
+      match b.term with
+      | Mt_fallthrough s -> Format.fprintf fmt "  fallthrough -> %d@." s
+      | Mt_jump s -> Format.fprintf fmt "  jump -> %d@." s
+      | Mt_cond { src; model; taken; not_taken } ->
+        Format.fprintf fmt "  branch%s %s ? -> %d : %d@."
+          (match src with Some r -> " " ^ Mcsim_isa.Reg.to_string r | None -> "")
+          (Mcsim_ir.Branch_model.describe model)
+          taken not_taken
+      | Mt_halt -> Format.fprintf fmt "  halt@.")
+    t.blocks

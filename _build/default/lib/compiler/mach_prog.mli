@@ -1,0 +1,49 @@
+(** Register-allocated machine programs — the output of the compilation
+    pipeline and the input of the trace walker.
+
+    A machine program mirrors the IL program's CFG but its instructions
+    name architectural registers. Program counters are assigned by a
+    straight-line layout of the blocks (one word per instruction slot;
+    [Jump]/[Cond] terminators occupy a slot, [Fallthrough]/[Halt] do
+    not). *)
+
+type minstr = {
+  mi : Mcsim_isa.Instr.t;
+  mi_mem : Mcsim_ir.Mem_stream.t option;  (** present iff memory class *)
+}
+
+type mterm =
+  | Mt_fallthrough of int
+  | Mt_jump of int
+  | Mt_cond of {
+      src : Mcsim_isa.Reg.t option;
+      model : Mcsim_ir.Branch_model.t;
+      taken : int;
+      not_taken : int;
+    }
+  | Mt_halt
+
+type block = {
+  instrs : minstr array;
+  term : mterm;
+}
+
+type t = {
+  name : string;
+  blocks : block array;
+  entry : int;
+  block_pc : int array;  (** pc of each block's first slot *)
+  term_pc : int array;  (** pc of the terminator's slot, or -1 *)
+}
+
+val make : name:string -> entry:int -> block array -> t
+(** Computes the layout. @raise Invalid_argument on bad targets. *)
+
+val num_blocks : t -> int
+val static_instrs : t -> int
+(** Total instruction slots (terminators included). *)
+
+val pc_of_slot : t -> block:int -> index:int -> int
+(** pc of the [index]-th body instruction of [block]. *)
+
+val pp : Format.formatter -> t -> unit

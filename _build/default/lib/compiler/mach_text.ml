@@ -1,0 +1,290 @@
+module Instr = Mcsim_isa.Instr
+module Op = Mcsim_isa.Op_class
+module Reg = Mcsim_isa.Reg
+module Branch_model = Mcsim_ir.Branch_model
+module Mem_stream = Mcsim_ir.Mem_stream
+
+(* ------------------------------ printing --------------------------- *)
+
+(* Shortest decimal representation that parses back to the same float. *)
+let float_str x =
+  let try_fmt fmt = let s = Printf.sprintf fmt x in if float_of_string s = x then Some s else None in
+  match try_fmt "%g" with
+  | Some s -> s
+  | None -> (
+    match try_fmt "%.12g" with
+    | Some s -> s
+    | None -> Printf.sprintf "%.17g" x)
+
+let print_model = function
+  | Branch_model.Taken_prob p -> Printf.sprintf "bernoulli(%s)" (float_str p)
+  | Branch_model.Loop { trip } -> Printf.sprintf "loop(%d)" trip
+  | Branch_model.Pattern a ->
+    Printf.sprintf "pattern(%s)"
+      (String.concat "" (List.map (fun b -> if b then "T" else "N") (Array.to_list a)))
+  | Branch_model.Correlated { p_repeat; p_taken_init } ->
+    Printf.sprintf "correlated(%s,%s)" (float_str p_repeat) (float_str p_taken_init)
+
+let print_stream = function
+  | Mem_stream.Fixed { addr } -> Printf.sprintf "[fixed 0x%x]" addr
+  | Mem_stream.Stride { base; stride; count } ->
+    Printf.sprintf "[stride 0x%x +%d x%d]" base stride count
+  | Mem_stream.Uniform { base; size } -> Printf.sprintf "[uniform 0x%x %d]" base size
+  | Mem_stream.Mixed { hot_base; hot_size; cold_base; cold_size; p_hot } ->
+    Printf.sprintf "[mixed 0x%x %d 0x%x %d %s]" hot_base hot_size cold_base cold_size (float_str p_hot)
+
+let print_minstr (m : Mach_prog.minstr) =
+  let i = m.Mach_prog.mi in
+  let srcs = String.concat ", " (List.map Reg.to_string i.Instr.srcs) in
+  let core =
+    match i.Instr.dst with
+    | Some d ->
+      Printf.sprintf "%s <- %s%s" (Reg.to_string d) (Op.to_string i.Instr.op)
+        (if srcs = "" then "" else " " ^ srcs)
+    | None ->
+      Printf.sprintf "%s%s" (Op.to_string i.Instr.op) (if srcs = "" then "" else " " ^ srcs)
+  in
+  match m.Mach_prog.mi_mem with
+  | Some s -> core ^ " " ^ print_stream s
+  | None -> core
+
+let print_term = function
+  | Mach_prog.Mt_fallthrough n -> Printf.sprintf "fallthrough -> %d" n
+  | Mach_prog.Mt_jump n -> Printf.sprintf "jump -> %d" n
+  | Mach_prog.Mt_cond { src; model; taken; not_taken } ->
+    Printf.sprintf "cond%s %s -> %d, %d"
+      (match src with Some r -> " " ^ Reg.to_string r | None -> "")
+      (print_model model) taken not_taken
+  | Mach_prog.Mt_halt -> "halt"
+
+let print (m : Mach_prog.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "program %S entry %d\n" m.Mach_prog.name m.Mach_prog.entry);
+  Array.iteri
+    (fun i (b : Mach_prog.block) ->
+      Buffer.add_string buf (Printf.sprintf "\nblock %d:\n" i);
+      Array.iter
+        (fun mi -> Buffer.add_string buf ("  " ^ print_minstr mi ^ "\n"))
+        b.Mach_prog.instrs;
+      Buffer.add_string buf ("  " ^ print_term b.Mach_prog.term ^ "\n"))
+    m.Mach_prog.blocks;
+  Buffer.contents buf
+
+(* ------------------------------ parsing ---------------------------- *)
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let parse_reg line s =
+  let bad () = fail line "bad register %S" s in
+  if String.length s < 2 then bad ();
+  let n = try int_of_string (String.sub s 1 (String.length s - 1)) with _ -> bad () in
+  match s.[0] with
+  | 'r' -> (try Reg.int_reg n with Invalid_argument _ -> bad ())
+  | 'f' -> (try Reg.fp_reg n with Invalid_argument _ -> bad ())
+  | _ -> bad ()
+
+let parse_op line s =
+  match s with
+  | "int_multiply" -> Op.Int_multiply
+  | "int_other" -> Op.Int_other
+  | "fp_divide32" -> Op.Fp_divide { bits64 = false }
+  | "fp_divide64" -> Op.Fp_divide { bits64 = true }
+  | "fp_other" -> Op.Fp_other
+  | "load" -> Op.Load
+  | "store" -> Op.Store
+  | "control" -> Op.Control
+  | _ -> fail line "unknown opcode %S" s
+
+(* "bernoulli(0.5)" / "loop(8)" / "pattern(TN)" / "correlated(0.7,0.5)" *)
+let parse_model line s =
+  match String.index_opt s '(' with
+  | None -> fail line "bad branch model %S" s
+  | Some i ->
+    if s.[String.length s - 1] <> ')' then fail line "bad branch model %S" s;
+    let head = String.sub s 0 i in
+    let args = String.sub s (i + 1) (String.length s - i - 2) in
+    let num x = try float_of_string x with _ -> fail line "bad number %S in model" x in
+    (match head with
+    | "bernoulli" -> Branch_model.Taken_prob (num args)
+    | "loop" -> (
+      match int_of_string_opt args with
+      | Some trip -> Branch_model.Loop { trip }
+      | None -> fail line "bad trip %S" args)
+    | "pattern" ->
+      if args = "" then fail line "empty pattern";
+      Branch_model.Pattern
+        (Array.init (String.length args) (fun k ->
+             match args.[k] with
+             | 'T' -> true
+             | 'N' -> false
+             | c -> fail line "bad pattern char %C" c))
+    | "correlated" -> (
+      match String.split_on_char ',' args with
+      | [ a; b ] -> Branch_model.Correlated { p_repeat = num a; p_taken_init = num b }
+      | _ -> fail line "correlated wants two arguments")
+    | _ -> fail line "unknown model %S" head)
+
+(* tokens after "[": e.g. "fixed 0x10" / "stride 0x10 +8 x64" ... *)
+let parse_stream line s =
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '[' || s.[String.length s - 1] <> ']' then
+    fail line "bad memory stream %S" s;
+  let body = String.sub s 1 (String.length s - 2) in
+  let toks = String.split_on_char ' ' body |> List.filter (fun t -> t <> "") in
+  let int_tok t = try int_of_string t with _ -> fail line "bad integer %S" t in
+  let num t = try float_of_string t with _ -> fail line "bad number %S" t in
+  match toks with
+  | [ "fixed"; a ] -> Mem_stream.Fixed { addr = int_tok a }
+  | [ "stride"; base; step; count ] ->
+    if String.length step < 2 || step.[0] <> '+' then fail line "bad stride step %S" step;
+    if String.length count < 2 || count.[0] <> 'x' then fail line "bad stride count %S" count;
+    Mem_stream.Stride
+      { base = int_tok base;
+        stride = int_tok (String.sub step 1 (String.length step - 1));
+        count = int_tok (String.sub count 1 (String.length count - 1)) }
+  | [ "uniform"; base; size ] -> Mem_stream.Uniform { base = int_tok base; size = int_tok size }
+  | [ "mixed"; hb; hs; cb; cs; p ] ->
+    Mem_stream.Mixed
+      { hot_base = int_tok hb; hot_size = int_tok hs; cold_base = int_tok cb;
+        cold_size = int_tok cs; p_hot = num p }
+  | _ -> fail line "unknown memory stream %S" s
+
+let split_stream_suffix line l =
+  match String.index_opt l '[' with
+  | None -> (l, None)
+  | Some i ->
+    (String.trim (String.sub l 0 i), Some (parse_stream line (String.sub l i (String.length l - i))))
+
+let parse_srcs line s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun t -> t <> "")
+  |> List.map (parse_reg line)
+
+let parse_instr lineno l =
+  let core, mem = split_stream_suffix lineno l in
+  let dst, rest =
+    match Str.bounded_split (Str.regexp_string "<-") core 2 with
+    | [ d; rest ] -> (Some (parse_reg lineno (String.trim d)), String.trim rest)
+    | [ rest ] -> (None, String.trim rest)
+    | _ -> fail lineno "bad instruction %S" l
+  in
+  let op, srcs =
+    match String.index_opt rest ' ' with
+    | None -> (parse_op lineno rest, [])
+    | Some i ->
+      ( parse_op lineno (String.sub rest 0 i),
+        parse_srcs lineno (String.sub rest (i + 1) (String.length rest - i - 1)) )
+  in
+  { Mach_prog.mi = Instr.make ~op ~srcs ~dst; mi_mem = mem }
+
+let parse_term lineno l =
+  let toks = String.split_on_char ' ' l |> List.filter (fun t -> t <> "") in
+  let target t = match int_of_string_opt t with Some n -> n | None -> fail lineno "bad target %S" t in
+  match toks with
+  | [ "halt" ] -> Mach_prog.Mt_halt
+  | [ "fallthrough"; "->"; n ] -> Mach_prog.Mt_fallthrough (target n)
+  | [ "jump"; "->"; n ] -> Mach_prog.Mt_jump (target n)
+  | "cond" :: rest -> (
+    (* cond [reg] model -> taken, not_taken *)
+    let src, rest =
+      match rest with
+      | r :: more when String.length r > 0 && (r.[0] = 'r' || r.[0] = 'f') ->
+        (Some (parse_reg lineno r), more)
+      | _ -> (None, rest)
+    in
+    match rest with
+    | [ model; "->"; t; nt ] ->
+      let t = String.trim t in
+      let t = if String.length t > 0 && t.[String.length t - 1] = ',' then String.sub t 0 (String.length t - 1) else t in
+      Mach_prog.Mt_cond
+        { src; model = parse_model lineno model; taken = target t; not_taken = target nt }
+    | _ -> fail lineno "bad cond terminator %S" l)
+  | _ -> fail lineno "bad terminator %S" l
+
+let is_term_line l =
+  List.exists
+    (fun p -> String.length l >= String.length p && String.sub l 0 (String.length p) = p)
+    [ "halt"; "fallthrough"; "jump"; "cond" ]
+
+let parse text =
+  try
+    let lines = String.split_on_char '\n' text in
+    let name = ref "" and entry = ref 0 in
+    let blocks = ref [] in
+    (* (id, rev instrs, term option) *)
+    let current : (int * Mach_prog.minstr list * Mach_prog.mterm option) option ref =
+      ref None
+    in
+    let close lineno =
+      match !current with
+      | None -> ()
+      | Some (id, instrs, Some term) ->
+        blocks := (id, { Mach_prog.instrs = Array.of_list (List.rev instrs); term }) :: !blocks;
+        current := None
+      | Some (id, _, None) -> fail lineno "block %d has no terminator" id
+    in
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        let l = String.trim raw in
+        if l = "" then ()
+        else if String.length l >= 8 && String.sub l 0 8 = "program " then begin
+          match Str.bounded_split (Str.regexp " +") l 4 with
+          | [ "program"; quoted; "entry"; e ] ->
+            name := Scanf.sscanf quoted "%S" Fun.id;
+            entry := (match int_of_string_opt e with Some n -> n | None -> fail lineno "bad entry")
+          | _ -> fail lineno "bad program header %S" l
+        end
+        else if String.length l >= 6 && String.sub l 0 6 = "block " then begin
+          close lineno;
+          match Str.bounded_split (Str.regexp "[ :]+") l 3 with
+          | [ "block"; n ] | [ "block"; n; _ ] -> (
+            match int_of_string_opt n with
+            | Some id -> current := Some (id, [], None)
+            | None -> fail lineno "bad block id %S" n)
+          | _ -> fail lineno "bad block header %S" l
+        end
+        else begin
+          match !current with
+          | None -> fail lineno "instruction outside a block: %S" l
+          | Some (id, instrs, None) ->
+            if is_term_line l then current := Some (id, instrs, Some (parse_term lineno l))
+            else current := Some (id, parse_instr lineno l :: instrs, None)
+          | Some (id, _, Some _) -> fail lineno "content after the terminator of block %d" id
+        end)
+      lines;
+    close (List.length lines);
+    let listed = List.rev !blocks in
+    let n = List.length listed in
+    let arr = Array.make n { Mach_prog.instrs = [||]; term = Mach_prog.Mt_halt } in
+    List.iteri
+      (fun expect (id, b) ->
+        if id <> expect then fail 0 "blocks must be consecutive from 0 (got %d)" id;
+        arr.(id) <- b)
+      listed;
+    Ok (Mach_prog.make ~name:!name ~entry:!entry arr)
+  with
+  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Invalid_argument msg -> Error msg
+  | Scanf.Scan_failure msg -> Error msg
+
+(* ------------------------------ equality --------------------------- *)
+
+let equal_minstr (a : Mach_prog.minstr) (b : Mach_prog.minstr) =
+  a.Mach_prog.mi = b.Mach_prog.mi && a.Mach_prog.mi_mem = b.Mach_prog.mi_mem
+
+let equal (a : Mach_prog.t) (b : Mach_prog.t) =
+  a.Mach_prog.name = b.Mach_prog.name
+  && a.Mach_prog.entry = b.Mach_prog.entry
+  && Array.length a.Mach_prog.blocks = Array.length b.Mach_prog.blocks
+  && Array.for_all2
+       (fun (x : Mach_prog.block) (y : Mach_prog.block) ->
+         x.Mach_prog.term = y.Mach_prog.term
+         && Array.length x.Mach_prog.instrs = Array.length y.Mach_prog.instrs
+         && Array.for_all2 equal_minstr x.Mach_prog.instrs y.Mach_prog.instrs)
+       a.Mach_prog.blocks b.Mach_prog.blocks
+  && a.Mach_prog.block_pc = b.Mach_prog.block_pc
+  && a.Mach_prog.term_pc = b.Mach_prog.term_pc

@@ -1,0 +1,33 @@
+(** A plain-text assembly-like format for machine programs, with a parser
+    — so compiled benchmarks can be saved, inspected, diffed, and reloaded
+    without re-running the compilation pipeline.
+
+    Example:
+
+    {v
+    program "kernel" entry 1
+
+    block 0:
+      halt
+    block 1:
+      r2 <- int_other r2, r4
+      f0 <- load r30 [stride 0x10000 +8 x4096]
+      store f0, r30 [fixed 0x2000]
+      cond r2 loop(100) -> 1, 0
+    v}
+
+    Terminators: [fallthrough -> n], [jump -> n],
+    [cond <reg?> <model> -> taken, not_taken], [halt].
+    Branch models: [loop(T)], [bernoulli(P)], [pattern(TNTN)],
+    [correlated(P_REPEAT, P_INIT)].
+    Memory streams: [[fixed 0xA]], [[stride 0xBASE +S xCOUNT]],
+    [[uniform 0xBASE SIZE]], [[mixed 0xHOT HSIZE 0xCOLD CSIZE P]]. *)
+
+val print : Mach_prog.t -> string
+
+val parse : string -> (Mach_prog.t, string) result
+(** Parse the format produced by {!print}. The error string carries a
+    line number and description. *)
+
+val equal : Mach_prog.t -> Mach_prog.t -> bool
+(** Structural equality (layout included) — the round-trip oracle. *)

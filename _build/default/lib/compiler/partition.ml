@@ -1,0 +1,70 @@
+module Program = Mcsim_ir.Program
+
+type cluster_choice = Unconstrained | Cluster of int
+
+type t = {
+  clusters : int;
+  choice : cluster_choice array;
+  global_candidate : bool array;
+}
+
+let num_lrs t = Array.length t.choice
+
+let base ?(clusters = 2) prog =
+  if clusters < 1 then invalid_arg "Partition: clusters < 1";
+  let n = Program.num_lrs prog in
+  let global_candidate = Array.make n false in
+  global_candidate.(prog.Program.sp) <- true;
+  global_candidate.(prog.Program.gp) <- true;
+  { clusters; choice = Array.make n Unconstrained; global_candidate }
+
+let none ?clusters prog = base ?clusters prog
+
+let round_robin ?clusters prog =
+  let t = base ?clusters prog in
+  let next = [| 0; 0 |] in
+  for lr = 0 to num_lrs t - 1 do
+    if not t.global_candidate.(lr) then begin
+      let bank_ix = match Program.lr_bank prog lr with Mcsim_ir.Il.Bank_int -> 0 | Mcsim_ir.Il.Bank_fp -> 1 in
+      t.choice.(lr) <- Cluster (next.(bank_ix) mod t.clusters);
+      next.(bank_ix) <- next.(bank_ix) + 1
+    end
+  done;
+  t
+
+let random ?clusters ~seed prog =
+  let t = base ?clusters prog in
+  let rng = Mcsim_util.Rng.create seed in
+  for lr = 0 to num_lrs t - 1 do
+    if not t.global_candidate.(lr) then
+      t.choice.(lr) <- Cluster (Mcsim_util.Rng.int rng t.clusters)
+  done;
+  t
+
+let cluster_of t lr = t.choice.(lr)
+
+let counts t =
+  let c0 = ref 0 and c1 = ref 0 and u = ref 0 and g = ref 0 in
+  Array.iteri
+    (fun lr choice ->
+      if t.global_candidate.(lr) then incr g
+      else
+        match choice with
+        | Cluster 0 -> incr c0
+        | Cluster _ -> incr c1
+        | Unconstrained -> incr u)
+    t.choice;
+  (!c0, !c1, !u, !g)
+
+let pp ~names fmt t =
+  Array.iteri
+    (fun lr choice ->
+      let what =
+        if t.global_candidate.(lr) then "global"
+        else
+          match choice with
+          | Unconstrained -> "unconstrained"
+          | Cluster c -> Printf.sprintf "C%d" c
+      in
+      Format.fprintf fmt "%s: %s@." (names lr) what)
+    t.choice

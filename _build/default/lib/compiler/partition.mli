@@ -1,0 +1,36 @@
+(** Live-range partitions: the result of step 3 and 4 of the paper's code
+    generation methodology (§3.1) — which live ranges are global-register
+    candidates, and to which cluster each local-register candidate is
+    assigned.
+
+    The [Unconstrained] assignment reproduces the {e native} binary: the
+    register allocator picks registers with no knowledge of clusters (the
+    "none" column of Table 2). *)
+
+type cluster_choice = Unconstrained | Cluster of int
+
+type t = {
+  clusters : int;  (** number of clusters being partitioned across *)
+  choice : cluster_choice array;  (** per live range *)
+  global_candidate : bool array;  (** per live range *)
+}
+
+val num_lrs : t -> int
+
+val none : ?clusters:int -> Mcsim_ir.Program.t -> t
+(** Everything unconstrained; sp/gp global candidates. The native
+    binary's partition. [clusters] defaults to 2. *)
+
+val round_robin : ?clusters:int -> Mcsim_ir.Program.t -> t
+(** Cycle live ranges (in id order) through the clusters, per bank;
+    sp/gp global. A naive balance-only baseline. *)
+
+val random : ?clusters:int -> seed:int -> Mcsim_ir.Program.t -> t
+(** Independent uniform cluster per live range; sp/gp global. *)
+
+val cluster_of : t -> Mcsim_ir.Il.lr -> cluster_choice
+
+val counts : t -> int * int * int * int
+(** (cluster-0, cluster-1, unconstrained, global-candidate) live ranges. *)
+
+val pp : names:(Mcsim_ir.Il.lr -> string) -> Format.formatter -> t -> unit

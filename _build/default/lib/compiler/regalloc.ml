@@ -1,0 +1,328 @@
+module Il = Mcsim_ir.Il
+module Program = Mcsim_ir.Program
+module Profile = Mcsim_ir.Profile
+module Mem_stream = Mcsim_ir.Mem_stream
+module Reg = Mcsim_isa.Reg
+
+type result = {
+  prog : Program.t;
+  partition : Partition.t;
+  reg_of : Reg.t option array;
+  spilled_lrs : Il.lr list;
+  cross_cluster : Il.lr list;
+  rounds : int;
+}
+
+let reserved r = Reg.is_zero r || Reg.equal r Reg.sp || Reg.equal r Reg.gp
+
+let filter_cluster ?(clusters = 2) cluster regs =
+  match cluster with
+  | Partition.Unconstrained -> regs
+  | Partition.Cluster c -> List.filter (fun r -> Reg.index r mod clusters = c) regs
+
+let int_colors ?clusters ~cluster () =
+  List.init 32 Reg.int_reg
+  |> List.filter (fun r -> not (reserved r))
+  |> filter_cluster ?clusters cluster
+
+let fp_colors ?clusters ~cluster () =
+  List.init 32 Reg.fp_reg
+  |> List.filter (fun r -> not (reserved r))
+  |> filter_cluster ?clusters cluster
+
+let colors_for prog ~clusters cluster lr =
+  match Program.lr_bank prog lr with
+  | Il.Bank_int -> int_colors ~clusters ~cluster ()
+  | Il.Bank_fp -> fp_colors ~clusters ~cluster ()
+
+(* ------------------------------------------------------------------ *)
+(* One round of optimistic coloring. Returns either a complete coloring
+   or the list of live ranges that must be spilled to memory.           *)
+(* ------------------------------------------------------------------ *)
+
+type round_outcome = {
+  ro_reg_of : Reg.t option array;
+  ro_memory_spills : Il.lr list;
+  ro_cross_cluster : Il.lr list;
+}
+
+let spill_cost prog live profile lr =
+  let sites = Liveness.def_sites live lr @ Liveness.use_sites live lr in
+  let weight (b, _) =
+    match profile with Some p -> 1.0 +. Profile.count p b | None -> 1.0
+  in
+  let total = List.fold_left (fun acc s -> acc +. weight s) 0.0 sites in
+  ignore prog;
+  total
+
+let color_round prog partition profile =
+  let live = Liveness.analyse prog in
+  let n = Program.num_lrs prog in
+  let colorable lr =
+    not partition.Partition.global_candidate.(lr)
+  in
+  (* Simplify: repeatedly remove a node with degree < available colors;
+     when stuck, optimistically remove the cheapest spill candidate. *)
+  let removed = Array.make n false in
+  let cur_degree = Array.make n 0 in
+  for lr = 0 to n - 1 do
+    cur_degree.(lr) <- Liveness.degree live lr
+  done;
+  let clusters = partition.Partition.clusters in
+  let avail lr =
+    List.length (colors_for prog ~clusters (Partition.cluster_of partition lr) lr)
+  in
+  let stack = ref [] in
+  let remaining = ref (List.filter colorable (List.init n (fun i -> i))) in
+  let remove lr =
+    removed.(lr) <- true;
+    List.iter
+      (fun o -> if not removed.(o) then cur_degree.(o) <- cur_degree.(o) - 1)
+      (Liveness.neighbours live lr);
+    stack := lr :: !stack;
+    remaining := List.filter (fun o -> o <> lr) !remaining
+  in
+  while !remaining <> [] do
+    match List.find_opt (fun lr -> cur_degree.(lr) < avail lr) !remaining with
+    | Some lr -> remove lr
+    | None ->
+      (* Optimistic spill candidate: minimal cost/degree ratio. *)
+      let best =
+        List.fold_left
+          (fun acc lr ->
+            let ratio =
+              spill_cost prog live profile lr /. float_of_int (max 1 cur_degree.(lr))
+            in
+            match acc with
+            | Some (_, r) when r <= ratio -> acc
+            | Some _ | None -> Some (lr, ratio))
+          None !remaining
+      in
+      (match best with Some (lr, _) -> remove lr | None -> assert false)
+  done;
+  (* Select. *)
+  let reg_of = Array.make n None in
+  reg_of.(prog.Program.sp) <- Some Reg.sp;
+  reg_of.(prog.Program.gp) <- Some Reg.gp;
+  let memory_spills = ref [] in
+  let cross_cluster = ref [] in
+  List.iter
+    (fun lr ->
+      let neighbour_regs =
+        List.filter_map (fun o -> reg_of.(o)) (Liveness.neighbours live lr)
+      in
+      let pick colors =
+        List.find_opt (fun c -> not (List.exists (Reg.equal c) neighbour_regs)) colors
+      in
+      match pick (colors_for prog ~clusters (Partition.cluster_of partition lr) lr) with
+      | Some c -> reg_of.(lr) <- Some c
+      | None -> (
+        (* Paper §3.4: spill first to a register of another cluster,
+           then to memory. *)
+        match Partition.cluster_of partition lr with
+        | Partition.Cluster c -> (
+          let others =
+            List.filter (fun c' -> c' <> c) (List.init clusters Fun.id)
+          in
+          let found =
+            List.find_map
+              (fun c' ->
+                match pick (colors_for prog ~clusters (Partition.Cluster c') lr) with
+                | Some reg -> Some (c', reg)
+                | None -> None)
+              others
+          in
+          match found with
+          | Some (c', reg) ->
+            partition.Partition.choice.(lr) <- Partition.Cluster c';
+            reg_of.(lr) <- Some reg;
+            cross_cluster := lr :: !cross_cluster
+          | None -> memory_spills := lr :: !memory_spills)
+        | Partition.Unconstrained -> memory_spills := lr :: !memory_spills))
+    !stack;
+  { ro_reg_of = reg_of; ro_memory_spills = List.rev !memory_spills;
+    ro_cross_cluster = List.rev !cross_cluster }
+
+(* ------------------------------------------------------------------ *)
+(* Spill-code rewriting                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Rewrites [prog], replacing each access to a spilled live range by a
+   fresh temporary loaded from / stored to the live range's stack slot.
+   Returns the new program plus the partition extended to the temps. *)
+let insert_spill_code ~spill_base ~slot_of prog partition spills =
+  let is_spilled lr = List.mem lr spills in
+  let new_infos = ref [] in
+  let new_choices = ref [] in
+  let n = ref (Program.num_lrs prog) in
+  let fresh_temp lr =
+    let id = !n in
+    incr n;
+    let bank = Program.lr_bank prog lr in
+    new_infos :=
+      { Il.bank; lr_name = Printf.sprintf "spill%d_of_%s" id (Program.lr_name prog lr) }
+      :: !new_infos;
+    (* The temp lives where the original was headed; short ranges color
+       easily. Unconstrained originals yield unconstrained temps. *)
+    new_choices := partition.Partition.choice.(lr) :: !new_choices;
+    id
+  in
+  let slot_stream lr = Mem_stream.Fixed { addr = spill_base + (8 * slot_of lr) } in
+  let rewrite_instr (i : Il.instr) =
+    let loads = ref [] in
+    let loaded = Hashtbl.create 4 in
+    let src_of lr =
+      if not (is_spilled lr) then lr
+      else
+        match Hashtbl.find_opt loaded lr with
+        | Some t -> t
+        | None ->
+          let t = fresh_temp lr in
+          Hashtbl.add loaded lr t;
+          loads :=
+            Il.instr ~op:Mcsim_isa.Op_class.Load ~srcs:[ prog.Program.sp ] ~dst:t
+              ~mem:(slot_stream lr) ()
+            :: !loads;
+          t
+    in
+    let srcs = List.map src_of i.Il.srcs in
+    let stores = ref [] in
+    let dst =
+      match i.Il.dst with
+      | Some d when is_spilled d ->
+        let t = fresh_temp d in
+        stores :=
+          [ Il.instr ~op:Mcsim_isa.Op_class.Store ~srcs:[ t; prog.Program.sp ]
+              ~mem:(slot_stream d) () ];
+        Some t
+      | (Some _ | None) as d -> d
+    in
+    let core = { i with Il.srcs; dst } in
+    (List.rev !loads, core, !stores)
+  in
+  let blocks =
+    Array.map
+      (fun (b : Program.block) ->
+        let out = ref [] in
+        Array.iter
+          (fun i ->
+            let loads, core, stores = rewrite_instr i in
+            out := List.rev_append stores (core :: List.rev_append loads !out))
+          b.Program.instrs;
+        (* A spilled live range used by the conditional terminator needs a
+           load at the end of the block. *)
+        let term =
+          match b.Program.term with
+          | Il.Cond ({ src = Some lr; _ } as c) when is_spilled lr ->
+            let t = fresh_temp lr in
+            out :=
+              Il.instr ~op:Mcsim_isa.Op_class.Load ~srcs:[ prog.Program.sp ] ~dst:t
+                ~mem:(slot_stream lr) ()
+              :: !out;
+            Il.Cond { c with src = Some t }
+          | (Il.Cond _ | Il.Fallthrough _ | Il.Jump _ | Il.Halt) as t -> t
+        in
+        { b with Program.instrs = Array.of_list (List.rev !out); term })
+      prog.Program.blocks
+  in
+  let prog' =
+    { prog with
+      Program.blocks;
+      lrs = Array.append prog.Program.lrs (Array.of_list (List.rev !new_infos)) }
+  in
+  Program.validate prog';
+  let partition' =
+    { Partition.clusters = partition.Partition.clusters;
+      choice =
+        Array.append partition.Partition.choice (Array.of_list (List.rev !new_choices));
+      global_candidate =
+        Array.append partition.Partition.global_candidate
+          (Array.make (List.length !new_choices) false) }
+  in
+  (prog', partition')
+
+(* ------------------------------------------------------------------ *)
+
+let allocate ?(spill_base = 0x0F00_0000) ?profile prog partition =
+  if Array.length partition.Partition.choice <> Program.num_lrs prog then
+    invalid_arg "Regalloc.allocate: partition size mismatch";
+  let partition =
+    { Partition.clusters = partition.Partition.clusters;
+      choice = Array.copy partition.Partition.choice;
+      global_candidate = Array.copy partition.Partition.global_candidate }
+  in
+  let slot_table : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let next_slot = ref 0 in
+  let slot_of_name name =
+    match Hashtbl.find_opt slot_table name with
+    | Some s -> s
+    | None ->
+      let s = !next_slot in
+      incr next_slot;
+      Hashtbl.add slot_table name s;
+      s
+  in
+  let rec go prog partition all_spilled all_cross round =
+    if round > 10 then failwith "Regalloc.allocate: did not converge";
+    let outcome = color_round prog partition profile in
+    let all_cross = all_cross @ outcome.ro_cross_cluster in
+    match outcome.ro_memory_spills with
+    | [] ->
+      { prog; partition; reg_of = outcome.ro_reg_of; spilled_lrs = all_spilled;
+        cross_cluster = all_cross; rounds = round }
+    | spills ->
+      (* Slot identity keyed by live-range name so re-spills of renumbered
+         temps stay distinct. *)
+      let slot_of lr = slot_of_name (Program.lr_name prog lr) in
+      let prog', partition' =
+        insert_spill_code ~spill_base ~slot_of prog partition spills
+      in
+      go prog' partition' (all_spilled @ spills) all_cross (round + 1)
+  in
+  go prog partition [] [] 1
+
+(* ------------------------------------------------------------------ *)
+
+let check result =
+  let prog = result.prog in
+  let live = Liveness.analyse prog in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let name = Program.lr_name prog in
+  (* Every live range mentioned in code has a register of its bank. *)
+  let check_lr lr =
+    match result.reg_of.(lr) with
+    | None -> fail "Regalloc.check: %s has no register but appears in code" (name lr)
+    | Some r ->
+      let bank_ok =
+        match Program.lr_bank prog lr with
+        | Il.Bank_int -> Reg.is_int r
+        | Il.Bank_fp -> Reg.is_fp r
+      in
+      if not bank_ok then fail "Regalloc.check: %s got wrong-bank register" (name lr);
+      if (not result.partition.Partition.global_candidate.(lr)) && reserved r then
+        fail "Regalloc.check: %s got reserved register %s" (name lr) (Reg.to_string r);
+      (match Partition.cluster_of result.partition lr with
+      | Partition.Cluster c ->
+        if Reg.index r mod result.partition.Partition.clusters <> c then
+          fail "Regalloc.check: %s constrained to C%d got %s" (name lr) c (Reg.to_string r)
+      | Partition.Unconstrained -> ())
+  in
+  Array.iter
+    (fun (b : Program.block) ->
+      Array.iter (fun i -> List.iter check_lr (Il.lrs_of_instr i)) b.Program.instrs;
+      match b.Program.term with
+      | Il.Cond { src = Some lr; _ } -> check_lr lr
+      | Il.Cond { src = None; _ } | Il.Fallthrough _ | Il.Jump _ | Il.Halt -> ())
+    prog.Program.blocks;
+  (* Interfering same-bank live ranges never share a register. *)
+  let n = Program.num_lrs prog in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Liveness.interferes live a b then
+        match (result.reg_of.(a), result.reg_of.(b)) with
+        | Some ra, Some rb when Reg.equal ra rb ->
+          fail "Regalloc.check: interfering %s and %s share %s" (name a) (name b)
+            (Reg.to_string ra)
+        | (Some _ | None), (Some _ | None) -> ()
+    done
+  done

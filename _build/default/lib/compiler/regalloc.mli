@@ -1,0 +1,62 @@
+(** Graph-coloring register allocation (paper §3.4, after Briggs et al.).
+
+    Optimistic (Briggs-style) coloring over the live-range interference
+    graph, with the multicluster twist: a live range partitioned to
+    cluster [c] may only take architectural registers assigned to [c]
+    (the even/odd convention of §4), and when no such register is free
+    the allocator first tries a register of the {e other} cluster
+    (updating the partition — a "cross-cluster spill") and only then
+    spills the live range to memory, exactly the order the paper
+    describes. Unconstrained live ranges (the native binary) color from
+    the full register set.
+
+    Global-register candidates are not colored: the stack-pointer live
+    range gets [r30] and the global-pointer live range gets [r29].
+
+    Memory spills rewrite the program: every use is preceded by a load
+    from the live range's stack slot and every definition is followed by
+    a store, through fresh short live ranges; the allocator then reruns
+    on the rewritten program until no spills remain. *)
+
+type result = {
+  prog : Mcsim_ir.Program.t;  (** rewritten program (spill code included) *)
+  partition : Partition.t;
+      (** final partition, covering spill temporaries, with cross-cluster
+          spills applied *)
+  reg_of : Mcsim_isa.Reg.t option array;
+      (** per live range of [prog]; [None] exactly for memory-spilled live
+          ranges (which no longer appear in [prog]'s code) *)
+  spilled_lrs : Mcsim_ir.Il.lr list;  (** spilled to memory, any round *)
+  cross_cluster : Mcsim_ir.Il.lr list;  (** recolored into the other cluster *)
+  rounds : int;  (** coloring rounds (1 = no spilling needed) *)
+}
+
+val allocate :
+  ?spill_base:int ->
+  ?profile:Mcsim_ir.Profile.t ->
+  Mcsim_ir.Program.t ->
+  Partition.t ->
+  result
+(** [spill_base] (default [0x0F00_0000]) is where spill slots live; each
+    slot is 8 bytes, addressed sp-relative in the generated code.
+    [profile] weights spill costs by block execution estimates (static
+    use counts otherwise).
+    @raise Failure if coloring does not converge (more spill slots than
+    live ranges — cannot happen for well-formed inputs). *)
+
+val int_colors :
+  ?clusters:int -> cluster:Partition.cluster_choice -> unit -> Mcsim_isa.Reg.t list
+(** The integer registers available to a live range with the given
+    constraint: r0–r28 (r29/r30 are the dedicated gp/sp, r31 is zero),
+    filtered to the cluster's residue class modulo [clusters] (default 2 —
+    the paper's even/odd convention) when constrained. *)
+
+val fp_colors :
+  ?clusters:int -> cluster:Partition.cluster_choice -> unit -> Mcsim_isa.Reg.t list
+(** f0–f30, filtered likewise. *)
+
+val check : result -> unit
+(** Internal consistency: every live range appearing in [prog] has a
+    register of its own bank; interfering live ranges (same bank) never
+    share a register; constrained live ranges hold registers of their
+    cluster's parity. @raise Failure on violation (used by tests). *)

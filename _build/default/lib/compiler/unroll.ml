@@ -1,0 +1,118 @@
+module Il = Mcsim_ir.Il
+module Program = Mcsim_ir.Program
+module Branch_model = Mcsim_ir.Branch_model
+module Mem_stream = Mcsim_ir.Mem_stream
+
+(* Iteration-local live ranges of a self-loop body: defined in the body
+   and not read before their first definition (not loop-carried). *)
+let iteration_local prog (instrs : Il.instr array) cond_src =
+  let n_lrs = Program.num_lrs prog in
+  let defined = Array.make n_lrs false in
+  let carried = Array.make n_lrs false in
+  let defined_anywhere = Array.make n_lrs false in
+  Array.iter
+    (fun i -> List.iter (fun lr -> defined_anywhere.(lr) <- true) (Il.lrs_written i))
+    instrs;
+  Array.iter
+    (fun i ->
+      List.iter
+        (fun lr -> if defined_anywhere.(lr) && not defined.(lr) then carried.(lr) <- true)
+        (Il.lrs_read i);
+      List.iter (fun lr -> defined.(lr) <- true) (Il.lrs_written i))
+    instrs;
+  (* The back-edge condition is read after the body: if it is defined in
+     the body it is a normal def-before-use value (renameable); reading
+     it in the terminator does not make it loop-carried. *)
+  ignore cond_src;
+  fun lr ->
+    defined_anywhere.(lr)
+    && (not carried.(lr))
+    && lr <> prog.Program.sp
+    && lr <> prog.Program.gp
+
+let split_stream ~factor ~k = function
+  | Mem_stream.Stride { base; stride; count } when count >= factor ->
+    Mem_stream.Stride
+      { base = base + (k * stride); stride = stride * factor; count = max 1 (count / factor) }
+  | (Mem_stream.Stride _ | Mem_stream.Fixed _ | Mem_stream.Uniform _ | Mem_stream.Mixed _) as s
+    -> s
+
+let unroll ?(factor = 2) ?(max_body = 32) prog =
+  if factor < 1 then invalid_arg "Unroll.unroll: factor < 1";
+  if factor = 1 then prog
+  else begin
+    let new_infos = ref [] in
+    let n = ref (Program.num_lrs prog) in
+    let fresh lr k =
+      let id = !n in
+      incr n;
+      new_infos :=
+        { Il.bank = Program.lr_bank prog lr;
+          lr_name = Printf.sprintf "%s.u%d" (Program.lr_name prog lr) k }
+        :: !new_infos;
+      id
+    in
+    let rewrite_block (b : Program.block) =
+      match b.Program.term with
+      | Il.Cond ({ model = Branch_model.Loop { trip }; taken; src; _ } as cond)
+        when taken = b.Program.id
+             && Array.length b.Program.instrs > 0
+             && Array.length b.Program.instrs <= max_body
+             && trip >= 2 * factor ->
+        let local = iteration_local prog b.Program.instrs src in
+        (* Fresh names per replica, lazily so only locals are duplicated.
+           The LAST replica keeps the original names: blocks downstream of
+           the loop then read the final iteration's values, preserving the
+           original dataflow. *)
+        let renamings =
+          Array.init factor (fun k ->
+              let tbl = Hashtbl.create 8 in
+              fun lr ->
+                if k = factor - 1 || not (local lr) then lr
+                else
+                  match Hashtbl.find_opt tbl lr with
+                  | Some x -> x
+                  | None ->
+                    let x = fresh lr k in
+                    Hashtbl.add tbl lr x;
+                    x)
+        in
+        let copy k (i : Il.instr) =
+          let s = renamings.(k) in
+          { Il.op = i.Il.op;
+            srcs = List.map s i.Il.srcs;
+            dst = Option.map s i.Il.dst;
+            mem = Option.map (split_stream ~factor ~k) i.Il.mem }
+        in
+        let body =
+          List.concat_map
+            (fun k -> Array.to_list (Array.map (copy k) b.Program.instrs))
+            (List.init factor Fun.id)
+        in
+        let src' = src in
+        let trip' = (trip + factor - 1) / factor in
+        { b with
+          Program.instrs = Array.of_list body;
+          term = Il.Cond { cond with src = src'; model = Branch_model.Loop { trip = trip' } }
+        }
+      | Il.Cond _ | Il.Fallthrough _ | Il.Jump _ | Il.Halt -> b
+    in
+    let blocks = Array.map rewrite_block prog.Program.blocks in
+    let prog' =
+      { prog with
+        Program.blocks;
+        lrs = Array.append prog.Program.lrs (Array.of_list (List.rev !new_infos)) }
+    in
+    Program.validate prog';
+    prog'
+  end
+
+let unrolled_blocks before after =
+  let ids = ref [] in
+  Array.iteri
+    (fun i (b : Program.block) ->
+      if
+        Array.length after.Program.blocks.(i).Program.instrs > Array.length b.Program.instrs
+      then ids := i :: !ids)
+    before.Program.blocks;
+  List.rev !ids

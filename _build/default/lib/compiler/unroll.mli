@@ -1,0 +1,34 @@
+(** Loop unrolling for multicluster scheduling — the paper's §6 proposal:
+
+    "Loop unrolling ... could also be used to generate a code schedule in
+    which multiple iterations of a loop were interleaved, with each
+    iteration scheduled to use a separate cluster. To further increase
+    the performance ... schemes could be devised to decrease the amount
+    of interaction between the iterations ... One such scheme is to
+    duplicate the code that calculates addresses."
+
+    The transformation targets self-loop blocks driven by a
+    {!Mcsim_ir.Branch_model.Loop} back-edge. The body is replicated
+    [factor] times inside the block and the trip count divided
+    accordingly. Live ranges that are {e iteration-local} (defined in the
+    body before any use) get fresh copies per replica, so the replicas
+    form independent strands the live-range partitioner can put on
+    different clusters; {e loop-carried} live ranges (read before they
+    are written) are left shared, preserving the real recurrences.
+    Strided address streams are split per replica ([base + k·stride],
+    stride multiplied by the factor) — the "duplicated address
+    calculation" of the paper, so replicas sweep interleaved elements
+    rather than re-walking the same ones. *)
+
+val unroll : ?factor:int -> ?max_body:int -> Mcsim_ir.Program.t -> Mcsim_ir.Program.t
+(** [unroll ~factor p] (default factor 2) rewrites every self-loop block
+    whose body has at most [max_body] (default 32) instructions and whose
+    trip count is at least [2 * factor]. Residual iterations are folded
+    into the rounded-up trip count (a timing-level approximation: the
+    simulated instruction mix is preserved, trip counts shift by at most
+    one). The result passes {!Mcsim_ir.Program.validate}.
+    @raise Invalid_argument if [factor < 1]. *)
+
+val unrolled_blocks : Mcsim_ir.Program.t -> Mcsim_ir.Program.t -> int list
+(** Blocks whose body grew between the original and unrolled program
+    (diagnostic for tests/reports). *)

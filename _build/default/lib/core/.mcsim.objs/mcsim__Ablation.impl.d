@@ -1,0 +1,1 @@
+lib/core/ablation.ml: List Mcsim_cache Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_isa Mcsim_timing Mcsim_trace Mcsim_util Mcsim_workload Printf

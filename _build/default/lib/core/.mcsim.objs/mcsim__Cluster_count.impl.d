@@ -1,0 +1,1 @@
+lib/core/cluster_count.ml: Array List Mcsim_cluster Mcsim_compiler Mcsim_timing Mcsim_trace Mcsim_util Mcsim_workload Printf

@@ -1,0 +1,1 @@
+lib/core/cluster_count.mli: Mcsim_workload

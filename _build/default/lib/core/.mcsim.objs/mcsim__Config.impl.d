@@ -1,0 +1,1 @@
+lib/core/config.ml: Mcsim_cache Mcsim_cluster Mcsim_isa Mcsim_util Printf

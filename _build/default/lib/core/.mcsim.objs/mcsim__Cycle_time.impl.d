@@ -1,0 +1,1 @@
+lib/core/cycle_time.ml: List Mcsim_timing Mcsim_util Printf Table2

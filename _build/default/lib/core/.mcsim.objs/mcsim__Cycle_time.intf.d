@@ -1,0 +1,1 @@
+lib/core/cycle_time.mli: Table2

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array List Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_timing Mcsim_trace

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Mcsim_cluster Mcsim_compiler Mcsim_ir

@@ -1,0 +1,1 @@
+lib/core/figure6.ml: Buffer List Mcsim_compiler Mcsim_ir Mcsim_isa Printf String

@@ -1,0 +1,1 @@
+lib/core/figure6.mli: Mcsim_compiler Mcsim_ir

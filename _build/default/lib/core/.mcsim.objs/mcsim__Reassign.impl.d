@@ -1,0 +1,1 @@
+lib/core/reassign.ml: Array Buffer List Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_isa Mcsim_trace Option Printf

@@ -1,0 +1,1 @@
+lib/core/reassign.mli: Mcsim_cluster Mcsim_isa

@@ -1,0 +1,1 @@
+lib/core/report.ml: Ablation Cycle_time List Mcsim_cluster Printf String Table2

@@ -1,0 +1,1 @@
+lib/core/report.mli: Ablation Cycle_time Mcsim_cluster Table2

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Buffer Format List Mcsim_cluster Mcsim_isa Printf

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Mcsim_cluster Mcsim_isa

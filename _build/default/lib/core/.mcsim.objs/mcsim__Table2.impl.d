@@ -1,0 +1,1 @@
+lib/core/table2.ml: Experiment List Mcsim_cluster Mcsim_util Mcsim_workload Printf

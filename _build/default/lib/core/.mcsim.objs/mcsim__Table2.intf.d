@@ -1,0 +1,1 @@
+lib/core/table2.mli: Mcsim_cluster Mcsim_workload

@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Buffer Bytes Hashtbl List Mcsim_cluster Printf

@@ -1,0 +1,1 @@
+lib/core/timeline.mli: Mcsim_cluster Mcsim_isa

@@ -1,0 +1,290 @@
+module Machine = Mcsim_cluster.Machine
+module Assignment = Mcsim_cluster.Assignment
+module Pipeline = Mcsim_compiler.Pipeline
+module Walker = Mcsim_trace.Walker
+module Spec92 = Mcsim_workload.Spec92
+
+type point = {
+  label : string;
+  dual_cycles : int;
+  speedup_pct : float;
+  replays : int;
+  dual_distributed : int;
+}
+
+type sweep = {
+  sweep_name : string;
+  benchmark : string;
+  points : point list;
+}
+
+type ctx = {
+  prog : Mcsim_ir.Program.t;
+  profile : Mcsim_ir.Profile.t;
+  native : Pipeline.compiled;
+  native_trace : Mcsim_isa.Instr.dynamic array;
+  single_cycles : int;
+  max_instrs : int;
+}
+
+let make_ctx ?(max_instrs = 60_000) bench =
+  let prog = Spec92.program bench in
+  let profile = Walker.profile prog in
+  let native = Pipeline.compile ~profile ~scheduler:Pipeline.Sched_none prog in
+  let native_trace = Walker.trace ~max_instrs native.Pipeline.mach in
+  let single = Machine.run (Machine.single_cluster ()) native_trace in
+  { prog; profile; native; native_trace; single_cycles = single.Machine.cycles; max_instrs }
+
+let point_of ctx label (r : Machine.result) =
+  { label;
+    dual_cycles = r.Machine.cycles;
+    speedup_pct =
+      Mcsim_timing.Net_performance.speedup_pct ~single_cycles:ctx.single_cycles
+        ~dual_cycles:r.Machine.cycles;
+    replays = r.Machine.replays;
+    dual_distributed = r.Machine.dual_distributed }
+
+let local_trace ctx =
+  let c = Pipeline.compile ~profile:ctx.profile ~scheduler:Pipeline.default_local ctx.prog in
+  Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach
+
+let transfer_buffers ?max_instrs ?(sizes = [ 2; 4; 8; 16; 32 ]) bench =
+  let ctx = make_ctx ?max_instrs bench in
+  let trace = local_trace ctx in
+  let points =
+    List.map
+      (fun n ->
+        let cfg =
+          { (Machine.dual_cluster ()) with
+            Machine.operand_buffer_entries = n;
+            result_buffer_entries = n }
+        in
+        point_of ctx (Printf.sprintf "%d entries" n) (Machine.run cfg trace))
+      sizes
+  in
+  { sweep_name = "transfer-buffer entries per cluster (local scheduler)";
+    benchmark = Spec92.name bench; points }
+
+let imbalance_threshold ?max_instrs ?(thresholds = [ 1; 2; 4; 8; 16; 32 ]) bench =
+  let ctx = make_ctx ?max_instrs bench in
+  let points =
+    List.map
+      (fun t ->
+        let c =
+          Pipeline.compile ~profile:ctx.profile
+            ~scheduler:(Pipeline.Sched_local { imbalance_threshold = t; window = 0 })
+            ctx.prog
+        in
+        let trace = Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach in
+        point_of ctx (Printf.sprintf "threshold %d" t)
+          (Machine.run (Machine.dual_cluster ()) trace))
+      thresholds
+  in
+  { sweep_name = "local-scheduler imbalance threshold"; benchmark = Spec92.name bench; points }
+
+let partitioners ?max_instrs bench =
+  let ctx = make_ctx ?max_instrs bench in
+  let run_sched (name, scheduler) =
+    let trace =
+      match scheduler with
+      | Pipeline.Sched_none -> ctx.native_trace
+      | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
+        let c = Pipeline.compile ~profile:ctx.profile ~scheduler ctx.prog in
+        Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach
+    in
+    point_of ctx name (Machine.run (Machine.dual_cluster ()) trace)
+  in
+  { sweep_name = "live-range partitioner";
+    benchmark = Spec92.name bench;
+    points =
+      List.map run_sched
+        [ ("none", Pipeline.Sched_none); ("random", Pipeline.Sched_random 7);
+          ("round-robin", Pipeline.Sched_round_robin); ("local", Pipeline.default_local) ] }
+
+let global_registers ?max_instrs bench =
+  let ctx = make_ctx ?max_instrs bench in
+  let run_assignment (name, globals) =
+    let cfg =
+      { (Machine.dual_cluster ()) with
+        Machine.assignment = Assignment.create ~num_clusters:2 ~globals () }
+    in
+    point_of ctx name (Machine.run cfg ctx.native_trace)
+  in
+  { sweep_name = "global-register designation (native binary)";
+    benchmark = Spec92.name bench;
+    points =
+      List.map run_assignment
+        [ ("no globals", []); ("sp only", [ Mcsim_isa.Reg.sp ]);
+          ("sp+gp (paper)", [ Mcsim_isa.Reg.sp; Mcsim_isa.Reg.gp ]) ] }
+
+let dispatch_queue_split ?max_instrs bench =
+  let ctx = make_ctx ?max_instrs bench in
+  let points =
+    List.map
+      (fun n ->
+        let cfg = { (Machine.single_cluster ()) with Machine.dq_entries = n } in
+        let r = Machine.run cfg ctx.native_trace in
+        { label = Printf.sprintf "%d entries" n;
+          dual_cycles = r.Machine.cycles;
+          speedup_pct =
+            Mcsim_timing.Net_performance.speedup_pct ~single_cycles:ctx.single_cycles
+              ~dual_cycles:r.Machine.cycles;
+          replays = r.Machine.replays;
+          dual_distributed = r.Machine.dual_distributed })
+      [ 32; 64; 128; 256 ]
+  in
+  { sweep_name = "single-cluster dispatch-queue size (cycles vs the 128-entry baseline)";
+    benchmark = Spec92.name bench; points }
+
+let unrolling ?max_instrs ?(factors = [ 1; 2; 4 ]) bench =
+  let ctx = make_ctx ?max_instrs bench in
+  let points =
+    List.map
+      (fun factor ->
+        let prog = Mcsim_compiler.Unroll.unroll ~factor ctx.prog in
+        let profile = Walker.profile prog in
+        let c = Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog in
+        let trace = Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach in
+        point_of ctx
+          (if factor = 1 then "no unrolling" else Printf.sprintf "unroll x%d" factor)
+          (Machine.run (Machine.dual_cluster ()) trace))
+      factors
+  in
+  { sweep_name = "loop unrolling before the local scheduler (paper section 6)";
+    benchmark = Spec92.name bench; points }
+
+let memory_latency ?max_instrs ?(latencies = [ 4; 8; 16; 32; 64 ]) bench =
+  let ctx = make_ctx ?max_instrs bench in
+  let trace = local_trace ctx in
+  let points =
+    List.map
+      (fun lat ->
+        let cache = { Mcsim_cache.Cache.default_config with Mcsim_cache.Cache.miss_latency = lat } in
+        let cfg = { (Machine.dual_cluster ()) with Machine.icache = cache; dcache = cache } in
+        (* Rebase the comparison on a single-cluster machine with the same
+           memory so the sweep isolates the latency, not the baseline. *)
+        let scfg = { (Machine.single_cluster ()) with Machine.icache = cache; dcache = cache } in
+        let single = Machine.run scfg ctx.native_trace in
+        let r = Machine.run cfg trace in
+        { label = Printf.sprintf "%d-cycle memory%s" lat (if lat = 16 then " (paper)" else "");
+          dual_cycles = r.Machine.cycles;
+          speedup_pct =
+            Mcsim_timing.Net_performance.speedup_pct
+              ~single_cycles:single.Machine.cycles ~dual_cycles:r.Machine.cycles;
+          replays = r.Machine.replays;
+          dual_distributed = r.Machine.dual_distributed })
+      latencies
+  in
+  { sweep_name = "memory fetch latency (local scheduler, matched baselines)";
+    benchmark = Spec92.name bench; points }
+
+let mshr_entries ?max_instrs bench =
+  let ctx = make_ctx ?max_instrs bench in
+  let trace = local_trace ctx in
+  let points =
+    List.map
+      (fun (label, mshrs) ->
+        let dcache = { Mcsim_cache.Cache.default_config with Mcsim_cache.Cache.mshrs } in
+        let cfg = { (Machine.dual_cluster ()) with Machine.dcache } in
+        point_of ctx label (Machine.run cfg trace))
+      [ ("1 MSHR (blocking-ish)", Some 1); ("2 MSHRs", Some 2); ("4 MSHRs", Some 4);
+        ("8 MSHRs", Some 8); ("inverted MSHR (paper)", None) ]
+  in
+  { sweep_name = "data-cache miss-handling entries (Farkas & Jouppi, ISCA'94)";
+    benchmark = Spec92.name bench; points }
+
+let queue_organization ?max_instrs bench =
+  let ctx = make_ctx ?max_instrs bench in
+  let trace = local_trace ctx in
+  let points =
+    List.map
+      (fun (label, split, entries) ->
+        let cfg =
+          { (Machine.dual_cluster ()) with Machine.queue_split = split; dq_entries = entries }
+        in
+        point_of ctx label (Machine.run cfg trace))
+      [ ("unified 64 (paper)", Machine.Unified, 64);
+        ("split 32/16/16 (R10000-style)", Machine.Per_class, 64);
+        ("unified 32", Machine.Unified, 32);
+        ("split 16/8/8", Machine.Per_class, 32) ]
+  in
+  { sweep_name = "dispatch-queue organization (single queue vs per-class queues)";
+    benchmark = Spec92.name bench; points }
+
+(* A hand-written streaming kernel whose iterations are fully independent
+   (only the trivial induction variable is loop-carried): the code shape
+   the paper's unrolling proposal assumes - each unrolled iteration can be
+   scheduled onto its own cluster, and the split strided streams model the
+   duplicated address calculations. *)
+let stream_kernel ~trip =
+  let module Il = Mcsim_ir.Il in
+  let module Builder = Mcsim_ir.Program.Builder in
+  let module Op = Mcsim_isa.Op_class in
+  let b = Builder.create ~name:"stream" in
+  let sp = Builder.sp b in
+  let fp n = Builder.fresh_lr b ~name:n Il.Bank_fp in
+  let t1 = fp "t1" and t2 = fp "t2" and t3 = fp "t3" and t4 = fp "t4" in
+  let t5 = fp "t5" and t6 = fp "t6" and t7 = fp "t7" in
+  let i = Builder.fresh_lr b ~name:"i" Il.Bank_int in
+  let stride base = Mcsim_ir.Mem_stream.Stride { base; stride = 8; count = 4096 } in
+  let exit_blk = Builder.add_block b [] Il.Halt in
+  let body = Builder.reserve_block b in
+  Builder.define_block b body
+    [ Il.instr ~op:Op.Load ~srcs:[ sp ] ~dst:t1 ~mem:(stride 0x10000) ();
+      Il.instr ~op:Op.Load ~srcs:[ sp ] ~dst:t2 ~mem:(stride 0x40000) ();
+      Il.instr ~op:Op.Fp_other ~srcs:[ t1; t2 ] ~dst:t3 ();
+      Il.instr ~op:Op.Fp_other ~srcs:[ t1; t1 ] ~dst:t4 ();
+      Il.instr ~op:Op.Fp_other ~srcs:[ t3; t4 ] ~dst:t5 ();
+      Il.instr ~op:Op.Fp_other ~srcs:[ t2; t3 ] ~dst:t6 ();
+      Il.instr ~op:Op.Fp_other ~srcs:[ t5; t6 ] ~dst:t7 ();
+      Il.instr ~op:Op.Store ~srcs:[ t7; sp ] ~mem:(stride 0x70000) ();
+      Il.instr ~op:Op.Int_other ~srcs:[ i; i ] ~dst:i () ]
+    (Il.Cond { src = Some i; model = Mcsim_ir.Branch_model.Loop { trip };
+               taken = body; not_taken = exit_blk });
+  let entry =
+    Builder.add_block b
+      [ Il.instr ~op:Op.Int_other ~srcs:[] ~dst:i () ]
+      (Il.Jump body)
+  in
+  Builder.finish b ~entry
+
+let unrolling_kernel ?(max_instrs = 40_000) ?(factors = [ 1; 2; 4 ]) () =
+  let prog = stream_kernel ~trip:20_000 in
+  let profile0 = Walker.profile prog in
+  let native = Pipeline.compile ~profile:profile0 ~scheduler:Pipeline.Sched_none prog in
+  let native_trace = Walker.trace ~max_instrs native.Pipeline.mach in
+  let single = Machine.run (Machine.single_cluster ()) native_trace in
+  let ctx_single = single.Machine.cycles in
+  let points =
+    List.map
+      (fun factor ->
+        let prog' = Mcsim_compiler.Unroll.unroll ~factor prog in
+        let profile = Walker.profile prog' in
+        let c = Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog' in
+        let trace = Walker.trace ~max_instrs c.Pipeline.mach in
+        let r = Machine.run (Machine.dual_cluster ()) trace in
+        { label = (if factor = 1 then "no unrolling" else Printf.sprintf "unroll x%d" factor);
+          dual_cycles = r.Machine.cycles;
+          speedup_pct =
+            Mcsim_timing.Net_performance.speedup_pct ~single_cycles:ctx_single
+              ~dual_cycles:r.Machine.cycles;
+          replays = r.Machine.replays;
+          dual_distributed = r.Machine.dual_distributed })
+      factors
+  in
+  { sweep_name = "loop unrolling on an unroll-friendly streaming kernel";
+    benchmark = "stream"; points }
+
+let render s =
+  let header = [ "point"; "cycles"; "vs single"; "replays"; "dual-dist" ] in
+  let body =
+    List.map
+      (fun p ->
+        [ p.label; string_of_int p.dual_cycles; Printf.sprintf "%+.1f%%" p.speedup_pct;
+          string_of_int p.replays; string_of_int p.dual_distributed ])
+      s.points
+  in
+  Printf.sprintf "%s - %s\n%s" s.benchmark s.sweep_name
+    (Mcsim_util.Text_table.render
+       ~aligns:[| Mcsim_util.Text_table.Left; Right; Right; Right; Right |]
+       (header :: body))

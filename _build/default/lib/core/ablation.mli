@@ -1,0 +1,73 @@
+(** Ablation studies for the design choices DESIGN.md calls out. Each
+    sweep runs one benchmark across a one-dimensional design-space slice
+    and reports dual-cluster cycles (and the Table-2 metric against the
+    shared single-cluster baseline). *)
+
+type point = {
+  label : string;
+  dual_cycles : int;
+  speedup_pct : float;
+  replays : int;
+  dual_distributed : int;
+}
+
+type sweep = {
+  sweep_name : string;
+  benchmark : string;
+  points : point list;
+}
+
+val transfer_buffers :
+  ?max_instrs:int -> ?sizes:int list -> Mcsim_workload.Spec92.benchmark -> sweep
+(** Operand/result transfer-buffer entries per cluster (paper: 8).
+    Default sizes 2, 4, 8, 16, 32. *)
+
+val imbalance_threshold :
+  ?max_instrs:int -> ?thresholds:int list -> Mcsim_workload.Spec92.benchmark -> sweep
+(** The local scheduler's compile-time balance constant. *)
+
+val partitioners : ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+(** none / random / round-robin / local on the dual-cluster machine. *)
+
+val global_registers :
+  ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+(** Global-register designation: none / sp only / sp+gp (paper) — the
+    assignment the hardware uses for the same native binary. *)
+
+val dispatch_queue_split :
+  ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+(** Single-cluster machine with dispatch queues of 32–256 entries — the
+    compress effect's other half (paper §4.2 discussion). *)
+
+val memory_latency :
+  ?max_instrs:int -> ?latencies:int list -> Mcsim_workload.Spec92.benchmark -> sweep
+(** Sensitivity of the dual-vs-single comparison to the memory interface's
+    fetch latency (the paper fixes it at 16 cycles); each point re-runs
+    both machines with the same memory. *)
+
+val mshr_entries :
+  ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+(** Conventional n-entry MSHR files vs the paper's inverted MSHR (its
+    reference [12]): how much the unlimited-outstanding-miss assumption is
+    worth on a miss-heavy benchmark. *)
+
+val queue_organization :
+  ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+(** The paper's single dispatch queue per cluster vs the R10000-style
+    per-class split it contrasts itself with (§1), at equal total
+    entries. *)
+
+val unrolling :
+  ?max_instrs:int -> ?factors:int list -> Mcsim_workload.Spec92.benchmark -> sweep
+(** The §6 loop-unrolling extension: unroll the benchmark's inner loops
+    (factors default 1/2/4), reschedule with the local scheduler, and run
+    the dual-cluster machine. The single-cluster baseline stays the
+    non-unrolled native binary. *)
+
+val unrolling_kernel :
+  ?max_instrs:int -> ?factors:int list -> unit -> sweep
+(** The same sweep on a hand-written reduction kernel whose iterations
+    are genuinely independent apart from one accumulator — the code shape
+    the paper's unrolling proposal assumes. *)
+
+val render : sweep -> string

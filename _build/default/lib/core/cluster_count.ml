@@ -1,0 +1,93 @@
+module Machine = Mcsim_cluster.Machine
+module Pipeline = Mcsim_compiler.Pipeline
+module Walker = Mcsim_trace.Walker
+module Spec92 = Mcsim_workload.Spec92
+module Palacharla = Mcsim_timing.Palacharla
+
+type row = {
+  benchmark : string;
+  cycles : int array;
+  cycles_pct : float array;
+  multi_fraction : float array;
+  net_018_pct : float array;
+}
+
+let cluster_counts = [ 1; 2; 4 ]
+
+let config_for = function
+  | 1 -> Machine.single_cluster ()
+  | 2 -> Machine.dual_cluster ()
+  | 4 -> Machine.quad_cluster ()
+  | n -> invalid_arg (Printf.sprintf "Cluster_count: %d clusters" n)
+
+let run ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) () =
+  List.map
+    (fun b ->
+      let prog = Spec92.program b in
+      let profile = Walker.profile ~seed prog in
+      let results =
+        List.map
+          (fun clusters ->
+            let scheduler =
+              if clusters = 1 then Pipeline.Sched_none else Pipeline.default_local
+            in
+            let c = Pipeline.compile ~clusters ~profile ~scheduler prog in
+            let trace = Walker.trace ~seed ~max_instrs c.Pipeline.mach in
+            Machine.run (config_for clusters) trace)
+          cluster_counts
+      in
+      let cycles = Array.of_list (List.map (fun r -> r.Machine.cycles) results) in
+      let single = cycles.(0) in
+      let t_single =
+        Palacharla.cycle_time (Palacharla.per_cluster_config ~clusters:1 Palacharla.F0_18)
+      in
+      { benchmark = Spec92.name b;
+        cycles;
+        cycles_pct =
+          Array.map
+            (fun c -> 100.0 -. (100.0 *. float_of_int c /. float_of_int single))
+            cycles;
+        multi_fraction =
+          Array.of_list
+            (List.map
+               (fun r ->
+                 Mcsim_util.Stats.ratio r.Machine.dual_distributed r.Machine.retired)
+               results);
+        net_018_pct =
+          Array.of_list
+            (List.mapi
+               (fun i r ->
+                 let clusters = List.nth cluster_counts i in
+                 let t =
+                   Palacharla.cycle_time
+                     (Palacharla.per_cluster_config ~clusters Palacharla.F0_18)
+                 in
+                 100.0
+                 -. (100.0 *. float_of_int r.Machine.cycles *. t
+                     /. (float_of_int single *. t_single)))
+               results) })
+    benchmarks
+
+let render rows =
+  let header =
+    [ "benchmark"; "1-cluster cyc"; "2-cluster %"; "4-cluster %"; "multi frac 2/4";
+      "net@0.18um 2/4" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [ r.benchmark;
+          string_of_int r.cycles.(0);
+          Printf.sprintf "%+.1f" r.cycles_pct.(1);
+          Printf.sprintf "%+.1f" r.cycles_pct.(2);
+          Printf.sprintf "%.2f/%.2f" r.multi_fraction.(1) r.multi_fraction.(2);
+          Printf.sprintf "%+.1f/%+.1f" r.net_018_pct.(1) r.net_018_pct.(2) ])
+      rows
+  in
+  Mcsim_util.Text_table.render
+    ~aligns:
+      [| Mcsim_util.Text_table.Left; Right; Right; Right; Right; Right |]
+    (header :: body)
+  ^ "cycle %% vs the 8-issue monolith (negative = more cycles); net folds in the\n\
+     Palacharla 0.18um clock of each cluster's window (2-issue/32-entry clusters\n\
+     clock fastest)\n"

@@ -1,0 +1,28 @@
+(** Cluster-count scaling: the generalization the paper's "without loss of
+    generality, two clusters" implies.
+
+    For each benchmark, the same total resources (8 issue slots, 128
+    dispatch-queue entries, 128+128 physical registers) are split across
+    1, 2 or 4 clusters; each partitioned machine runs a binary rescheduled
+    by the local scheduler targeting that cluster count. Cycle counts are
+    then combined with the Palacharla model, where more clusters mean
+    narrower issue and smaller windows — hence a faster clock:
+    at 0.18 µm a 2-issue/32-window cluster clocks much faster than the
+    8-issue/128-window monolith. *)
+
+type row = {
+  benchmark : string;
+  cycles : int array;  (** indexed by configuration: 1, 2, 4 clusters *)
+  cycles_pct : float array;  (** Table-2 metric vs the 1-cluster machine *)
+  multi_fraction : float array;  (** dynamic multi-distributed fraction *)
+  net_018_pct : float array;  (** net speedup at 0.18 µm, clock included *)
+}
+
+val cluster_counts : int list
+(** [1; 2; 4]. *)
+
+val run :
+  ?max_instrs:int -> ?seed:int -> ?benchmarks:Mcsim_workload.Spec92.benchmark list ->
+  unit -> row list
+
+val render : row list -> string

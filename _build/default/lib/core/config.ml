@@ -1,0 +1,58 @@
+module Machine = Mcsim_cluster.Machine
+module Issue_rules = Mcsim_isa.Issue_rules
+module Op = Mcsim_isa.Op_class
+
+let single_cluster = Machine.single_cluster
+let dual_cluster = Machine.dual_cluster
+
+let latency_row =
+  [ "latency in cycles";
+    string_of_int (Op.latency Op.Int_multiply);
+    string_of_int (Op.latency Op.Int_other);
+    "-";
+    Printf.sprintf "%d/%d"
+      (Op.latency (Op.Fp_divide { bits64 = false }))
+      (Op.latency (Op.Fp_divide { bits64 = true }));
+    string_of_int (Op.latency Op.Fp_other);
+    Printf.sprintf "%d*" (Op.latency Op.Load);
+    string_of_int (Op.latency Op.Control) ]
+
+let rule_row name (l : Issue_rules.limits) =
+  [ name;
+    string_of_int l.Issue_rules.int_multiply;
+    string_of_int l.Issue_rules.int_other;
+    string_of_int l.Issue_rules.fp_all;
+    string_of_int l.Issue_rules.fp_divide;
+    string_of_int l.Issue_rules.fp_other;
+    string_of_int l.Issue_rules.memory;
+    string_of_int l.Issue_rules.control;
+    Printf.sprintf "(total %d)" l.Issue_rules.total ]
+
+let table1 () =
+  let header =
+    [ "#"; "int mul"; "int other"; "fp all"; "fp div"; "fp other"; "ld/st"; "control"; "" ]
+  in
+  let rows =
+    [ header;
+      rule_row "1 single, per cycle" Issue_rules.single_cluster;
+      rule_row "2 dual, per cluster" Issue_rules.dual_per_cluster;
+      latency_row ]
+  in
+  Mcsim_util.Text_table.render rows
+  ^ "* one load-delay slot: load-to-use latency is 2 cycles on a hit.\n\
+     The fp divider is unpipelined (8-cycle 32-bit, 16-cycle 64-bit divides).\n"
+
+let describe (c : Machine.config) =
+  let n = Mcsim_cluster.Assignment.num_clusters c.Machine.assignment in
+  Printf.sprintf
+    "%d cluster(s); %d-entry dispatch queue and %d+%d physical registers per cluster; \
+     fetch %d, dispatch %d, retire %d per cycle; %d operand- and %d result-buffer entries \
+     per cluster; %d KB %d-way I/D caches, %d-cycle memory; redirect penalty %d, replay \
+     threshold %d, replay penalty %d."
+    n c.Machine.dq_entries c.Machine.phys_per_bank c.Machine.phys_per_bank
+    c.Machine.fetch_width c.Machine.dispatch_width c.Machine.retire_width
+    c.Machine.operand_buffer_entries c.Machine.result_buffer_entries
+    (c.Machine.icache.Mcsim_cache.Cache.size_bytes / 1024)
+    c.Machine.icache.Mcsim_cache.Cache.assoc
+    c.Machine.dcache.Mcsim_cache.Cache.miss_latency c.Machine.redirect_penalty
+    c.Machine.replay_threshold c.Machine.replay_penalty

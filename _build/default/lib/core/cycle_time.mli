@@ -1,0 +1,29 @@
+(** The §4.2 / §5 cycle-time argument, mechanized.
+
+    Combines measured cycle counts with the Palacharla delay model: at
+    0.35 µm the dual-cluster machine's ~18% clock advantage is outweighed
+    by its cycle-count slowdowns, while at 0.18 µm the ~82% advantage
+    turns the same slowdowns into large net wins. Also reproduces the
+    worked example: a 25% cycle slowdown needs a 20% shorter clock to
+    break even. *)
+
+type net_row = {
+  benchmark : string;
+  cycles_pct : float;  (** Table-2 local-scheduler metric *)
+  net_035_pct : float;  (** net speedup at 0.35 µm (clock included) *)
+  net_018_pct : float;  (** net speedup at 0.18 µm *)
+}
+
+val analyse : Table2.row list -> net_row list
+(** Net performance of the dual-cluster machine with local-scheduler
+    binaries, per feature size. *)
+
+val render : net_row list -> string
+
+val break_even_example : unit -> string
+(** The paper's arithmetic: 25% slowdown ⇒ 20% clock reduction; plus the
+    model's 8-vs-4-issue clock ratios at both feature sizes. *)
+
+val conclusion_holds : net_row list -> (bool * string) list
+(** At 0.35 µm partitioning should not pay off on (most) benchmarks; at
+    0.18 µm it should pay off on all of them. *)

@@ -1,0 +1,66 @@
+module Machine = Mcsim_cluster.Machine
+module Pipeline = Mcsim_compiler.Pipeline
+module Walker = Mcsim_trace.Walker
+
+type run = {
+  scheduler : string;
+  dual : Machine.result;
+  speedup_pct : float;
+  static_single : int;
+  static_dual : int;
+  spills : int;
+}
+
+type comparison = {
+  benchmark : string;
+  trace_instrs : int;
+  single : Machine.result;
+  runs : run list;
+}
+
+let default_schedulers =
+  [ ("none", Pipeline.Sched_none); ("local", Pipeline.default_local) ]
+
+let run_benchmark ?(max_instrs = 120_000) ?(seed = 1)
+    ?(schedulers = default_schedulers) ?single_config ?dual_config prog =
+  let single_config =
+    match single_config with Some c -> c | None -> Machine.single_cluster ()
+  in
+  let dual_config = match dual_config with Some c -> c | None -> Machine.dual_cluster () in
+  let profile = Walker.profile ~seed prog in
+  let native = Pipeline.compile ~profile ~scheduler:Pipeline.Sched_none prog in
+  let native_trace = Walker.trace ~seed ~max_instrs native.Pipeline.mach in
+  let single = Machine.run single_config native_trace in
+  let run_one (name, scheduler) =
+    let compiled =
+      match scheduler with
+      | Pipeline.Sched_none -> native
+      | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
+        Pipeline.compile ~profile ~scheduler prog
+    in
+    let trace =
+      match scheduler with
+      | Pipeline.Sched_none -> native_trace
+      | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
+        Walker.trace ~seed ~max_instrs compiled.Pipeline.mach
+    in
+    let dual = Machine.run dual_config trace in
+    let static_single, static_dual =
+      Pipeline.dual_distribution_count dual_config.Machine.assignment compiled.Pipeline.mach
+    in
+    { scheduler = name;
+      dual;
+      speedup_pct =
+        Mcsim_timing.Net_performance.speedup_pct ~single_cycles:single.Machine.cycles
+          ~dual_cycles:dual.Machine.cycles;
+      static_single;
+      static_dual;
+      spills = List.length compiled.Pipeline.alloc.Mcsim_compiler.Regalloc.spilled_lrs }
+  in
+  { benchmark = prog.Mcsim_ir.Program.name;
+    trace_instrs = Array.length native_trace;
+    single;
+    runs = List.map run_one schedulers }
+
+let speedup_of c name =
+  List.find_map (fun r -> if r.scheduler = name then Some r.speedup_pct else None) c.runs

@@ -1,0 +1,46 @@
+(** The paper's experimental flow (§4), end to end.
+
+    For one benchmark program: profile it, produce the {e native} binary
+    (cluster-oblivious allocation) and one {e rescheduled} binary per
+    requested scheduler, generate the committed traces, and run
+
+    - the native binary on the single-cluster machine (the baseline),
+    - each binary on the dual-cluster machine,
+
+    reporting the paper's percentage speedup/slowdown metric
+    [100 - 100 * (C_dual / C_single)] per scheduler. *)
+
+type run = {
+  scheduler : string;  (** "none", "local", ... *)
+  dual : Mcsim_cluster.Machine.result;
+  speedup_pct : float;
+  static_single : int;  (** static single-distributed machine instructions *)
+  static_dual : int;
+  spills : int;  (** live ranges spilled to memory *)
+}
+
+type comparison = {
+  benchmark : string;
+  trace_instrs : int;
+  single : Mcsim_cluster.Machine.result;  (** native on the single-cluster machine *)
+  runs : run list;  (** one per scheduler, in request order *)
+}
+
+val default_schedulers : (string * Mcsim_compiler.Pipeline.scheduler) list
+(** [("none", Sched_none); ("local", default_local)] — the two columns of
+    Table 2. *)
+
+val run_benchmark :
+  ?max_instrs:int ->
+  ?seed:int ->
+  ?schedulers:(string * Mcsim_compiler.Pipeline.scheduler) list ->
+  ?single_config:Mcsim_cluster.Machine.config ->
+  ?dual_config:Mcsim_cluster.Machine.config ->
+  Mcsim_ir.Program.t ->
+  comparison
+(** [max_instrs] (default 120_000) bounds the committed trace length;
+    [seed] (default 1) drives the workload's branch outcomes and address
+    streams identically across binaries. *)
+
+val speedup_of : comparison -> string -> float option
+(** Speedup percentage of a named scheduler's run. *)

@@ -1,0 +1,101 @@
+module Il = Mcsim_ir.Il
+module Program = Mcsim_ir.Program
+module Profile = Mcsim_ir.Profile
+module Op = Mcsim_isa.Op_class
+module Builder = Mcsim_ir.Program.Builder
+
+type outcome = {
+  program : Program.t;
+  block_visit_order : int list;
+  assignment_order : string list;
+  partition : Mcsim_compiler.Partition.t;
+}
+
+(* Block ids 0..4 are the paper's blocks 1..5; block 5 is the exit. *)
+let program () =
+  let b = Builder.create ~name:"figure6" in
+  let s = Builder.sp b in
+  let lr n = Builder.fresh_lr b ~name:n Il.Bank_int in
+  let a = lr "A" and bb = lr "B" and c = lr "C" and d = lr "D" in
+  let e = lr "E" and g = lr "G" and h = lr "H" in
+  let const dst = Il.instr ~op:Op.Int_other ~srcs:[] ~dst () in
+  let add dst srcs = Il.instr ~op:Op.Int_other ~srcs ~dst () in
+  let mul dst srcs = Il.instr ~op:Op.Int_multiply ~srcs ~dst () in
+  let load dst srcs addr = Il.instr ~op:Op.Load ~srcs ~dst ~mem:(Mcsim_ir.Mem_stream.Fixed { addr }) () in
+  let b1 = Builder.reserve_block b in
+  let b2 = Builder.reserve_block b in
+  let b3 = Builder.reserve_block b in
+  let b4 = Builder.reserve_block b in
+  let b5 = Builder.reserve_block b in
+  let exit_blk = Builder.add_block b [] Il.Halt in
+  (* 1: C = 0    2: E = 16 *)
+  Builder.define_block b b1
+    [ const c; const e ]
+    (Il.Cond { src = None; model = Mcsim_ir.Branch_model.Taken_prob 0.5; taken = b2;
+               not_taken = b3 });
+  (* 3: G = [S] + 8    4: H = [S] + 4 *)
+  Builder.define_block b b2 [ load g [ s ] 8; load h [ s ] 4 ] (Il.Jump b4);
+  (* 5: G = [S] + E    6: H = [S] + 12    7: S = H + E *)
+  Builder.define_block b b3
+    [ load g [ s; e ] 16; load h [ s ] 12; add s [ h; e ] ]
+    (Il.Fallthrough b4);
+  (* 8: A = G + 10   9: B = A x A   10: G = B / H   11: C = G + C *)
+  Builder.define_block b b4
+    [ add a [ g ]; mul bb [ a; a ]; mul g [ bb; h ]; add c [ g; c ] ]
+    (Il.Cond { src = None; model = Mcsim_ir.Branch_model.Loop { trip = 5 }; taken = b4;
+               not_taken = b5 });
+  (* 12: D = C + G *)
+  Builder.define_block b b5
+    [ add d [ c; g ] ]
+    (Il.Cond { src = None; model = Mcsim_ir.Branch_model.Loop { trip = 20 }; taken = b1;
+               not_taken = exit_blk });
+  Builder.finish b ~entry:b1
+
+let profile () = Profile.of_counts [| 20.0; 10.0; 10.0; 100.0; 20.0; 1.0 |]
+
+let run () =
+  let prog = program () in
+  let prof = profile () in
+  let order = Mcsim_compiler.Local_scheduler.block_order prog prof in
+  let partition, lr_order = Mcsim_compiler.Local_scheduler.partition_with_order prog prof in
+  let named =
+    List.filter_map
+      (fun lr ->
+        let n = Program.lr_name prog lr in
+        if String.length n = 1 then Some n else None)
+      lr_order
+  in
+  { program = prog;
+    (* Paper block numbering is 1-based; drop the synthetic exit block. *)
+    block_visit_order =
+      List.filter_map (fun id -> if id <= 4 then Some (id + 1) else None) order;
+    assignment_order = named;
+    partition }
+
+let render o =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Figure 6: local-scheduler walkthrough\n";
+  Buffer.add_string buf
+    (Printf.sprintf "block visit order:      %s   (paper: 4 1 5 3 2)\n"
+       (String.concat " " (List.map string_of_int o.block_visit_order)));
+  Buffer.add_string buf
+    (Printf.sprintf "assignment order:       %s   (paper: A B G H C D E)\n"
+       (String.concat " " o.assignment_order));
+  let cluster_of name =
+    let prog = o.program in
+    let rec find lr =
+      if lr >= Program.num_lrs prog then "?"
+      else if Program.lr_name prog lr = name then
+        match Mcsim_compiler.Partition.cluster_of o.partition lr with
+        | Mcsim_compiler.Partition.Cluster c -> Printf.sprintf "C%d" c
+        | Mcsim_compiler.Partition.Unconstrained -> "-"
+      else find (lr + 1)
+    in
+    find 0
+  in
+  Buffer.add_string buf "clusters:               ";
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "%s=%s " n (cluster_of n)))
+    [ "A"; "B"; "C"; "D"; "E"; "G"; "H" ];
+  Buffer.add_string buf "(S is a global-register candidate)\n";
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** The worked example of the paper's Figure 6: a five-block control-flow
+    graph with live ranges A–H and the stack pointer S, annotated with
+    dynamic-execution estimates (20, 10, 10, 100, 20).
+
+    The paper states that the local scheduler visits the blocks in the
+    order 4, 1, 5, 3, 2 and decides the live ranges' clusters in the
+    order A, B, G, H, C, D, E (S is a global-register candidate and is
+    never partitioned). {!run} reproduces both orders from the real
+    implementation. *)
+
+type outcome = {
+  program : Mcsim_ir.Program.t;
+  block_visit_order : int list;  (** paper block numbers, 1-based *)
+  assignment_order : string list;  (** live-range names, e.g. ["A"; "B"; ...] *)
+  partition : Mcsim_compiler.Partition.t;
+}
+
+val program : unit -> Mcsim_ir.Program.t
+(** The Figure-6 CFG, block ids 0–4 = paper blocks 1–5. *)
+
+val profile : unit -> Mcsim_ir.Profile.t
+(** The parenthesized execution estimates: 20, 10, 10, 100, 20. *)
+
+val run : unit -> outcome
+
+val render : outcome -> string
+(** Text report of both orders and the final partition. *)

@@ -1,0 +1,81 @@
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let line cells = String.concat "," (List.map csv_escape cells) ^ "\n"
+
+let paper_of benchmark =
+  match List.find_opt (fun (n, _, _) -> n = benchmark) Table2.paper with
+  | Some (_, a, b) -> (Printf.sprintf "%.1f" a, Printf.sprintf "%.1f" b)
+  | None -> ("", "")
+
+let table2_csv rows =
+  let header =
+    line
+      [ "benchmark"; "none_pct"; "none_pct_paper"; "local_pct"; "local_pct_paper";
+        "single_cycles"; "none_cycles"; "local_cycles"; "none_replays"; "local_replays" ]
+  in
+  header
+  ^ String.concat ""
+      (List.map
+         (fun (r : Table2.row) ->
+           let p_none, p_local = paper_of r.Table2.benchmark in
+           line
+             [ r.Table2.benchmark;
+               Printf.sprintf "%.2f" r.Table2.none_pct;
+               p_none;
+               Printf.sprintf "%.2f" r.Table2.local_pct;
+               p_local;
+               string_of_int r.Table2.single_cycles;
+               string_of_int r.Table2.none_cycles;
+               string_of_int r.Table2.local_cycles;
+               string_of_int r.Table2.none_replays;
+               string_of_int r.Table2.local_replays ])
+         rows)
+
+let table2_markdown rows =
+  let header =
+    "| benchmark | none (measured) | none (paper) | local (measured) | local (paper) |\n\
+     |---|---|---|---|---|\n"
+  in
+  header
+  ^ String.concat ""
+      (List.map
+         (fun (r : Table2.row) ->
+           let p_none, p_local = paper_of r.Table2.benchmark in
+           Printf.sprintf "| %s | %+.1f | %s | %+.1f | %s |\n" r.Table2.benchmark
+             r.Table2.none_pct p_none r.Table2.local_pct p_local)
+         rows)
+
+let ablation_csv (s : Ablation.sweep) =
+  line [ "benchmark"; "sweep"; "point"; "cycles"; "speedup_pct"; "replays"; "dual_distributed" ]
+  ^ String.concat ""
+      (List.map
+         (fun (p : Ablation.point) ->
+           line
+             [ s.Ablation.benchmark; s.Ablation.sweep_name; p.Ablation.label;
+               string_of_int p.Ablation.dual_cycles;
+               Printf.sprintf "%.2f" p.Ablation.speedup_pct;
+               string_of_int p.Ablation.replays;
+               string_of_int p.Ablation.dual_distributed ])
+         s.Ablation.points)
+
+let counters_csv (r : Mcsim_cluster.Machine.result) =
+  line [ "counter"; "value" ]
+  ^ String.concat ""
+      (List.map
+         (fun (k, v) -> line [ k; string_of_int v ])
+         r.Mcsim_cluster.Machine.counters)
+
+let net_csv rows =
+  line [ "benchmark"; "cycles_pct"; "net_035_pct"; "net_018_pct" ]
+  ^ String.concat ""
+      (List.map
+         (fun (r : Cycle_time.net_row) ->
+           line
+             [ r.Cycle_time.benchmark;
+               Printf.sprintf "%.2f" r.Cycle_time.cycles_pct;
+               Printf.sprintf "%.2f" r.Cycle_time.net_035_pct;
+               Printf.sprintf "%.2f" r.Cycle_time.net_018_pct ])
+         rows)

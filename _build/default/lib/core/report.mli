@@ -1,0 +1,18 @@
+(** Result export: CSV and Markdown renderings of the experiment
+    artifacts, for spreadsheets and notebooks. *)
+
+val csv_escape : string -> string
+(** RFC-4180 quoting (only when needed). *)
+
+val table2_csv : Table2.row list -> string
+(** Header + one row per benchmark: measured and paper numbers, cycle
+    counts, replay counts. *)
+
+val table2_markdown : Table2.row list -> string
+
+val ablation_csv : Ablation.sweep -> string
+
+val counters_csv : Mcsim_cluster.Machine.result -> string
+(** All named counters of one run, one per line. *)
+
+val net_csv : Cycle_time.net_row list -> string

@@ -1,0 +1,34 @@
+(** The five execution scenarios of §2.1 (Figures 2–5), replayed through
+    the real dual-cluster machine.
+
+    Each scenario builds a three-instruction trace whose final instruction
+    exercises one scenario of the paper's integer-add example
+    [r2 <- r1 + r0], mapped onto the even/odd register assignment
+    (cluster 0 owns the even registers, sp/gp are global), runs it on the
+    dual-cluster machine, and reports the pipeline events of that
+    instruction — the machine-readable version of the paper's timing
+    diagrams. *)
+
+type outcome = {
+  scenario : int;  (** 1–5 *)
+  title : string;
+  instr : Mcsim_isa.Instr.t;  (** the instruction of interest *)
+  plan : Mcsim_cluster.Distribution.plan;
+  events : Mcsim_cluster.Machine.event list;
+      (** events of the instruction of interest, sorted by cycle *)
+  total_cycles : int;
+}
+
+val run : int -> outcome
+(** @raise Invalid_argument outside 1–5. *)
+
+val all : unit -> outcome list
+
+val render : outcome -> string
+(** Multi-line timeline, one event per line. *)
+
+val issue_cycle : outcome -> Mcsim_cluster.Machine.role -> int option
+(** Issue cycle of a given copy of the instruction of interest (test
+    hook). *)
+
+val writeback_cycles : outcome -> (Mcsim_cluster.Machine.role * int) list

@@ -1,0 +1,86 @@
+module Spec92 = Mcsim_workload.Spec92
+module Machine = Mcsim_cluster.Machine
+
+type row = {
+  benchmark : string;
+  none_pct : float;
+  local_pct : float;
+  single_cycles : int;
+  none_cycles : int;
+  local_cycles : int;
+  none_replays : int;
+  local_replays : int;
+}
+
+let paper =
+  [ ("compress", -14.0, 6.0); ("doduc", -21.0, -15.0); ("gcc1", -15.0, -10.0);
+    ("ora", -5.0, -22.0); ("su2cor", -36.0, -25.0); ("tomcatv", -41.0, -19.0) ]
+
+let run ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?single_config
+    ?dual_config () =
+  List.map
+    (fun b ->
+      let prog = Spec92.program b in
+      let c = Experiment.run_benchmark ~max_instrs ~seed ?single_config ?dual_config prog in
+      let find name =
+        match List.find_opt (fun r -> r.Experiment.scheduler = name) c.Experiment.runs with
+        | Some r -> r
+        | None -> failwith "Table2.run: missing scheduler run"
+      in
+      let none = find "none" and local = find "local" in
+      { benchmark = Spec92.name b;
+        none_pct = none.Experiment.speedup_pct;
+        local_pct = local.Experiment.speedup_pct;
+        single_cycles = c.Experiment.single.Machine.cycles;
+        none_cycles = none.Experiment.dual.Machine.cycles;
+        local_cycles = local.Experiment.dual.Machine.cycles;
+        none_replays = none.Experiment.dual.Machine.replays;
+        local_replays = local.Experiment.dual.Machine.replays })
+    benchmarks
+
+let pct v = Printf.sprintf "%+.1f" v
+
+let render rows =
+  let header =
+    [ "benchmark"; "none (measured)"; "none (paper)"; "local (measured)"; "local (paper)" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        let p_none, p_local =
+          match List.find_opt (fun (n, _, _) -> n = r.benchmark) paper with
+          | Some (_, a, b) -> (pct a, pct b)
+          | None -> ("-", "-")
+        in
+        [ r.benchmark; pct r.none_pct; p_none; pct r.local_pct; p_local ])
+      rows
+  in
+  Mcsim_util.Text_table.render
+    ~aligns:[| Mcsim_util.Text_table.Left; Right; Right; Right; Right |]
+    (header :: body)
+  ^ "positive = dual-cluster machine needs fewer cycles than the single-cluster machine\n"
+
+let shape_holds rows =
+  let get name = List.find_opt (fun r -> r.benchmark = name) rows in
+  let non_ora = List.filter (fun r -> r.benchmark <> "ora") rows in
+  let claims = ref [] in
+  let claim ok desc = claims := (ok, desc) :: !claims in
+  claim
+    (List.for_all (fun r -> r.local_pct > r.none_pct) non_ora)
+    "the local scheduler improves every benchmark except ora";
+  (match get "ora" with
+  | Some ora -> claim (ora.local_pct < ora.none_pct) "the local scheduler degrades ora"
+  | None -> ());
+  claim
+    (List.for_all (fun r -> r.none_pct < 0.0) rows)
+    "every native binary is slower on the dual-cluster machine";
+  claim
+    (List.for_all (fun r -> r.local_pct > -50.0) rows)
+    "worst-case local-scheduler slowdown is within 2x of the paper's 25%";
+  (match (get "su2cor", get "tomcatv", get "ora") with
+  | Some su, Some tv, Some ora ->
+    claim
+      (min su.none_pct tv.none_pct < ora.none_pct)
+      "the vector codes (su2cor, tomcatv) suffer more than ora under 'none'"
+  | _, _, _ -> ());
+  List.rev !claims

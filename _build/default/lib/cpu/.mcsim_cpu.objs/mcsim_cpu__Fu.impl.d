@@ -1,0 +1,1 @@
+lib/cpu/fu.ml: Array Hashtbl Mcsim_isa

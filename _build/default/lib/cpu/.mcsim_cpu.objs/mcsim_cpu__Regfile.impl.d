@@ -1,0 +1,1 @@
+lib/cpu/regfile.ml: Array Mcsim_isa Mcsim_util

@@ -1,0 +1,1 @@
+lib/cpu/regfile.mli: Mcsim_isa

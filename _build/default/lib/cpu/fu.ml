@@ -1,0 +1,55 @@
+type t = {
+  budget : Mcsim_isa.Issue_rules.budget;
+  dividers : int array;  (* per-divider first free cycle *)
+  mutable n_total : int;
+  counts : (string, int ref) Hashtbl.t;
+}
+
+(* One unpipelined divider per fp-divide issue slot, so the single-cluster
+   machine and the whole dual-cluster machine hold the same number of
+   dividers (the paper's resource-parity rule, §4). *)
+let create limits =
+  { budget = Mcsim_isa.Issue_rules.budget limits;
+    dividers = Array.make (max 1 limits.Mcsim_isa.Issue_rules.fp_divide) 0;
+    n_total = 0;
+    counts = Hashtbl.create 8 }
+
+let new_cycle t = Mcsim_isa.Issue_rules.reset t.budget
+
+let class_key (op : Mcsim_isa.Op_class.t) =
+  match op with
+  | Fp_divide _ -> "fp_divide"
+  | Int_multiply | Int_other | Fp_other | Load | Store | Control ->
+    Mcsim_isa.Op_class.to_string op
+
+let free_divider t ~cycle =
+  let n = Array.length t.dividers in
+  let rec find i = if i = n then None else if t.dividers.(i) <= cycle then Some i else find (i + 1) in
+  find 0
+
+let can_issue t ~cycle (op : Mcsim_isa.Op_class.t) =
+  Mcsim_isa.Issue_rules.can_issue t.budget op
+  && match op with Fp_divide _ -> free_divider t ~cycle <> None | _ -> true
+
+let issue t ~cycle op =
+  if not (can_issue t ~cycle op) then invalid_arg "Fu.issue: cannot issue";
+  Mcsim_isa.Issue_rules.consume t.budget op;
+  (match op with
+  | Fp_divide _ -> (
+    match free_divider t ~cycle with
+    | Some i -> t.dividers.(i) <- cycle + Mcsim_isa.Op_class.latency op
+    | None -> assert false)
+  | Int_multiply | Int_other | Fp_other | Load | Store | Control -> ());
+  t.n_total <- t.n_total + 1;
+  let key = class_key op in
+  match Hashtbl.find_opt t.counts key with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counts key (ref 1)
+
+let issued_this_cycle t = Mcsim_isa.Issue_rules.issued t.budget
+let total_issued t = t.n_total
+
+let issued_of_class t op =
+  match Hashtbl.find_opt t.counts (class_key op) with Some r -> !r | None -> 0
+
+let clear_divider t = Array.fill t.dividers 0 (Array.length t.dividers) 0

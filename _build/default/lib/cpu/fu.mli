@@ -1,0 +1,27 @@
+(** One cluster's functional-unit and issue-slot state for a cycle-driven
+    simulator: the Table-1 per-class issue budget plus occupancy of the
+    unpipelined floating-point divider. *)
+
+type t
+
+val create : Mcsim_isa.Issue_rules.limits -> t
+
+val new_cycle : t -> unit
+(** Reset the per-cycle issue budget. *)
+
+val can_issue : t -> cycle:int -> Mcsim_isa.Op_class.t -> bool
+(** Budget allows the class this cycle, and (for fp divides) the divider
+    is idle at [cycle]. *)
+
+val issue : t -> cycle:int -> Mcsim_isa.Op_class.t -> unit
+(** Consume a slot; occupies the divider for the divide latency.
+    @raise Invalid_argument if [can_issue] is false. *)
+
+val issued_this_cycle : t -> int
+
+val total_issued : t -> int
+val issued_of_class : t -> Mcsim_isa.Op_class.t -> int
+(** Cumulative per-class issue counts ([Fp_divide] widths are pooled). *)
+
+val clear_divider : t -> unit
+(** Squash support: forget all divider occupancy. *)

@@ -1,0 +1,1 @@
+lib/ir/branch_model.ml: Array List Mcsim_util Printf String

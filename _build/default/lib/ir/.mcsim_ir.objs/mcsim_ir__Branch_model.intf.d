@@ -1,0 +1,1 @@
+lib/ir/branch_model.mli: Mcsim_util

@@ -1,0 +1,1 @@
+lib/ir/il.ml: Branch_model Format List Mcsim_isa Mem_stream Option String

@@ -1,0 +1,1 @@
+lib/ir/il.mli: Branch_model Format Mcsim_isa Mem_stream

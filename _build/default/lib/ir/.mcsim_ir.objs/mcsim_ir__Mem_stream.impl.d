@@ -1,0 +1,1 @@
+lib/ir/mem_stream.ml: Mcsim_util Printf

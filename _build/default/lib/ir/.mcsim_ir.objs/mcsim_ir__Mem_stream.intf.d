@@ -1,0 +1,1 @@
+lib/ir/mem_stream.mli: Mcsim_util

@@ -1,0 +1,1 @@
+lib/ir/profile.ml: Array Format

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Branch_model Format Il List Option Printf

@@ -1,0 +1,59 @@
+type t =
+  | Taken_prob of float
+  | Loop of { trip : int }
+  | Pattern of bool array
+  | Correlated of { p_repeat : float; p_taken_init : float }
+
+let validate = function
+  | Taken_prob p ->
+    if p < 0.0 || p > 1.0 then invalid_arg "Branch_model: Taken_prob out of [0,1]"
+  | Loop { trip } -> if trip < 1 then invalid_arg "Branch_model: Loop trip < 1"
+  | Pattern a -> if Array.length a = 0 then invalid_arg "Branch_model: empty Pattern"
+  | Correlated { p_repeat; p_taken_init } ->
+    if p_repeat < 0.0 || p_repeat > 1.0 || p_taken_init < 0.0 || p_taken_init > 1.0 then
+      invalid_arg "Branch_model: Correlated out of [0,1]"
+
+type state = {
+  model : t;
+  mutable counter : int;  (* Loop/Pattern position *)
+  mutable last : bool;  (* Correlated previous outcome *)
+  mutable started : bool;
+}
+
+let init model =
+  validate model;
+  { model; counter = 0; last = false; started = false }
+
+let next st rng =
+  match st.model with
+  | Taken_prob p -> Mcsim_util.Rng.bernoulli rng p
+  | Loop { trip } ->
+    let taken = st.counter < trip - 1 in
+    st.counter <- (st.counter + 1) mod trip;
+    taken
+  | Pattern a ->
+    let v = a.(st.counter) in
+    st.counter <- (st.counter + 1) mod Array.length a;
+    v
+  | Correlated { p_repeat; p_taken_init } ->
+    let outcome =
+      if not st.started then Mcsim_util.Rng.bernoulli rng p_taken_init
+      else if Mcsim_util.Rng.bernoulli rng p_repeat then st.last
+      else not st.last
+    in
+    st.started <- true;
+    st.last <- outcome;
+    outcome
+
+let reset st =
+  st.counter <- 0;
+  st.last <- false;
+  st.started <- false
+
+let describe = function
+  | Taken_prob p -> Printf.sprintf "bernoulli(%.2f)" p
+  | Loop { trip } -> Printf.sprintf "loop(trip=%d)" trip
+  | Pattern a ->
+    let s = String.concat "" (List.map (fun b -> if b then "T" else "N") (Array.to_list a)) in
+    Printf.sprintf "pattern(%s)" s
+  | Correlated { p_repeat; _ } -> Printf.sprintf "correlated(repeat=%.2f)" p_repeat

@@ -1,0 +1,34 @@
+(** Behavioural models for conditional-branch outcomes.
+
+    The paper drives its simulator from traces of real binaries; our trace
+    walker instead draws each conditional branch's outcome from one of
+    these models (seeded, hence reproducible). The models span the space
+    the McFarling predictor cares about: strongly biased branches (bimodal
+    wins), periodic patterns (global history wins), and weakly correlated
+    data-dependent branches (hard for both). *)
+
+type t =
+  | Taken_prob of float  (** independent Bernoulli; [1.0] = always taken *)
+  | Loop of { trip : int }
+      (** loop back-edge: taken [trip - 1] consecutive times, then
+          not-taken once, repeating; [trip >= 1] *)
+  | Pattern of bool array  (** periodic outcome sequence; non-empty *)
+  | Correlated of { p_repeat : float; p_taken_init : float }
+      (** repeats the previous outcome with probability [p_repeat] *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on out-of-range parameters. *)
+
+(** Per-branch mutable state used by the trace walker. *)
+type state
+
+val init : t -> state
+val next : state -> Mcsim_util.Rng.t -> bool
+(** Draw the next outcome. *)
+
+val reset : state -> unit
+(** Back to the initial state (used between profiling and measured runs —
+    both runs then see the same deterministic patterns, as the paper's
+    profile-then-measure flow does). *)
+
+val describe : t -> string

@@ -1,0 +1,57 @@
+type lr = int
+
+type bank = Bank_int | Bank_fp
+
+type lr_info = {
+  bank : bank;
+  lr_name : string;
+}
+
+type instr = {
+  op : Mcsim_isa.Op_class.t;
+  srcs : lr list;
+  dst : lr option;
+  mem : Mem_stream.t option;
+}
+
+let instr ~op ~srcs ?dst ?mem () =
+  if List.length srcs > 2 then invalid_arg "Il.instr: more than two sources";
+  (match (op, dst) with
+  | (Mcsim_isa.Op_class.Store | Mcsim_isa.Op_class.Control), Some _ ->
+    invalid_arg "Il.instr: store/control with destination"
+  | Mcsim_isa.Op_class.Load, None -> invalid_arg "Il.instr: load without destination"
+  | _, (Some _ | None) -> ());
+  (match (Mcsim_isa.Op_class.is_memory op, mem) with
+  | true, None -> invalid_arg "Il.instr: memory op without stream"
+  | false, Some _ -> invalid_arg "Il.instr: stream on non-memory op"
+  | true, Some _ | false, None -> ());
+  Option.iter Mem_stream.validate mem;
+  { op; srcs; dst; mem }
+
+type terminator =
+  | Fallthrough of int
+  | Jump of int
+  | Cond of {
+      src : lr option;
+      model : Branch_model.t;
+      taken : int;
+      not_taken : int;
+    }
+  | Halt
+
+let terminator_targets = function
+  | Fallthrough b | Jump b -> [ b ]
+  | Cond { taken; not_taken; _ } -> [ taken; not_taken ]
+  | Halt -> []
+
+let lrs_of_instr i = i.srcs @ Option.to_list i.dst
+let lrs_read i = i.srcs
+let lrs_written i = Option.to_list i.dst
+
+let pp_instr ~names fmt i =
+  let dst = match i.dst with Some d -> names d ^ " <- " | None -> "" in
+  let srcs = String.concat ", " (List.map names i.srcs) in
+  Format.fprintf fmt "%s%s %s" dst (Mcsim_isa.Op_class.to_string i.op) srcs;
+  match i.mem with
+  | Some m -> Format.fprintf fmt " [%s]" (Mem_stream.describe m)
+  | None -> ()

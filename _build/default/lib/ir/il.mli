@@ -1,0 +1,55 @@
+(** The intermediate language.
+
+    IL instructions correspond one-to-one to machine instructions but name
+    {e live ranges} rather than architectural registers (paper §3.1,
+    step 2). A live range is an integer identifier into the program's
+    live-range table; each has a bank (integer or floating point) and an
+    optional debug name.
+
+    Terminators are kept separate from the in-block instruction list, as
+    in a conventional CFG IR. A [Cond] terminator lowers to one control
+    instruction; [Jump] lowers to one; [Fallthrough] and [Halt] lower to
+    none. *)
+
+type lr = int
+(** Live-range identifier (index into {!Program.t}'s table). *)
+
+type bank = Bank_int | Bank_fp
+
+type lr_info = {
+  bank : bank;
+  lr_name : string;  (** for diagnostics; not necessarily unique *)
+}
+
+type instr = {
+  op : Mcsim_isa.Op_class.t;
+  srcs : lr list;  (** length <= 2 *)
+  dst : lr option;
+  mem : Mem_stream.t option;  (** present iff [op] is a memory class *)
+}
+
+val instr :
+  op:Mcsim_isa.Op_class.t -> srcs:lr list -> ?dst:lr -> ?mem:Mem_stream.t -> unit -> instr
+(** @raise Invalid_argument on shape violations (same rules as
+    {!Mcsim_isa.Instr.make}, plus the memory-descriptor presence rule). *)
+
+type terminator =
+  | Fallthrough of int  (** static successor, no control instruction *)
+  | Jump of int  (** unconditional control instruction *)
+  | Cond of {
+      src : lr option;  (** condition live range, if any *)
+      model : Branch_model.t;
+      taken : int;  (** target block when taken *)
+      not_taken : int;
+    }
+  | Halt  (** end of (this iteration of) the program *)
+
+val terminator_targets : terminator -> int list
+
+val lrs_of_instr : instr -> lr list
+(** Sources then destination. *)
+
+val lrs_read : instr -> lr list
+val lrs_written : instr -> lr list
+
+val pp_instr : names:(lr -> string) -> Format.formatter -> instr -> unit

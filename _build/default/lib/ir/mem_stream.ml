@@ -1,0 +1,47 @@
+type t =
+  | Fixed of { addr : int }
+  | Stride of { base : int; stride : int; count : int }
+  | Uniform of { base : int; size : int }
+  | Mixed of { hot_base : int; hot_size : int; cold_base : int; cold_size : int; p_hot : float }
+
+let validate = function
+  | Fixed { addr } -> if addr < 0 then invalid_arg "Mem_stream: negative address"
+  | Stride { base; count; _ } ->
+    if base < 0 || count < 1 then invalid_arg "Mem_stream: bad Stride"
+  | Uniform { base; size } ->
+    if base < 0 || size < 8 then invalid_arg "Mem_stream: bad Uniform"
+  | Mixed { hot_base; hot_size; cold_base; cold_size; p_hot } ->
+    if hot_base < 0 || cold_base < 0 || hot_size < 8 || cold_size < 8
+       || p_hot < 0.0 || p_hot > 1.0
+    then invalid_arg "Mem_stream: bad Mixed"
+
+type state = { model : t; mutable i : int }
+
+let init model =
+  validate model;
+  { model; i = 0 }
+
+let aligned_uniform rng base size =
+  let slots = max 1 (size / 8) in
+  base + (Mcsim_util.Rng.int rng slots * 8)
+
+let next st rng =
+  match st.model with
+  | Fixed { addr } -> addr
+  | Stride { base; stride; count } ->
+    let a = base + (st.i mod count * stride) in
+    st.i <- st.i + 1;
+    a
+  | Uniform { base; size } -> aligned_uniform rng base size
+  | Mixed { hot_base; hot_size; cold_base; cold_size; p_hot } ->
+    if Mcsim_util.Rng.bernoulli rng p_hot then aligned_uniform rng hot_base hot_size
+    else aligned_uniform rng cold_base cold_size
+
+let reset st = st.i <- 0
+
+let describe = function
+  | Fixed { addr } -> Printf.sprintf "fixed(0x%x)" addr
+  | Stride { base; stride; count } -> Printf.sprintf "stride(0x%x,+%d,%d)" base stride count
+  | Uniform { base; size } -> Printf.sprintf "uniform(0x%x,%d)" base size
+  | Mixed { hot_size; cold_size; p_hot; _ } ->
+    Printf.sprintf "mixed(hot=%d,cold=%d,p=%.2f)" hot_size cold_size p_hot

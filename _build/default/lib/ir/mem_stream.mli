@@ -1,0 +1,32 @@
+(** Behavioural models for the address stream of a static load or store.
+
+    Each memory instruction in the IL carries one of these descriptors;
+    during a trace walk the instruction's successive dynamic instances draw
+    addresses from it. The models capture the locality classes the data
+    cache distinguishes: a fixed slot (spills, scalars), unit/constant
+    stride (array sweeps — mostly hits after the first touch per line),
+    uniform random over a region (hash tables — misses when the region
+    exceeds the cache), and a hot/cold mixture. *)
+
+type t =
+  | Fixed of { addr : int }
+  | Stride of { base : int; stride : int; count : int }
+      (** address [base + (i mod count) * stride] on the i-th access;
+          [count >= 1] *)
+  | Uniform of { base : int; size : int }
+      (** 8-byte-aligned uniform over [\[base, base + size)] *)
+  | Mixed of { hot_base : int; hot_size : int; cold_base : int; cold_size : int; p_hot : float }
+      (** uniform over a small hot region with probability [p_hot], else
+          uniform over a large cold region *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on nonsensical parameters. *)
+
+type state
+
+val init : t -> state
+val next : state -> Mcsim_util.Rng.t -> int
+(** Next byte address. *)
+
+val reset : state -> unit
+val describe : t -> string

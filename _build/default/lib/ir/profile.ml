@@ -1,0 +1,11 @@
+type t = { counts : float array }
+
+let of_counts counts = { counts = Array.copy counts }
+let create ~num_blocks = { counts = Array.make num_blocks 0.0 }
+let bump t b = t.counts.(b) <- t.counts.(b) +. 1.0
+let count t b = t.counts.(b)
+let num_blocks t = Array.length t.counts
+let total t = Array.fold_left ( +. ) 0.0 t.counts
+
+let pp fmt t =
+  Array.iteri (fun b c -> Format.fprintf fmt "block %d: %.0f@." b c) t.counts

@@ -1,0 +1,22 @@
+(** Basic-block execution estimates.
+
+    The paper's local scheduler sorts blocks by how often each block's
+    first instruction is estimated to execute, derived from a profiling
+    run (§3.5, footnote 1). A [t] is produced by the trace walker's
+    profiling pass or supplied directly (as in the Figure-6 example). *)
+
+type t
+
+val of_counts : float array -> t
+(** One estimate per block id. *)
+
+val create : num_blocks:int -> t
+(** All-zero, mutable via [bump]. *)
+
+val bump : t -> int -> unit
+(** Record one execution of a block (profiling pass). *)
+
+val count : t -> int -> float
+val num_blocks : t -> int
+val total : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,225 @@
+type block = {
+  id : int;
+  instrs : Il.instr array;
+  term : Il.terminator;
+}
+
+type t = {
+  name : string;
+  blocks : block array;
+  entry : int;
+  lrs : Il.lr_info array;
+  sp : Il.lr;
+  gp : Il.lr;
+}
+
+let num_blocks t = Array.length t.blocks
+let num_lrs t = Array.length t.lrs
+
+let term_slots = function
+  | Il.Jump _ | Il.Cond _ -> 1
+  | Il.Fallthrough _ | Il.Halt -> 0
+
+let block_slots b = Array.length b.instrs + term_slots b.term
+
+let num_static_instrs t = Array.fold_left (fun acc b -> acc + block_slots b) 0 t.blocks
+
+let lr_name t lr = t.lrs.(lr).Il.lr_name
+let lr_bank t lr = t.lrs.(lr).Il.bank
+
+let successors t b = Il.terminator_targets t.blocks.(b).term
+
+let preds t =
+  let p = Array.make (num_blocks t) [] in
+  Array.iter
+    (fun b -> List.iter (fun s -> p.(s) <- b.id :: p.(s)) (Il.terminator_targets b.term))
+    t.blocks;
+  Array.map List.rev p
+
+let reachable t =
+  let seen = Array.make (num_blocks t) false in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (successors t b)
+    end
+  in
+  go t.entry;
+  seen
+
+let reverse_postorder t =
+  let seen = Array.make (num_blocks t) false in
+  let order = ref [] in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (successors t b);
+      order := b :: !order
+    end
+  in
+  go t.entry;
+  !order
+
+type layout = {
+  block_pc : int array;
+  block_slots : int array;
+  term_pc : int array;
+}
+
+let layout t =
+  let n = num_blocks t in
+  let block_pc = Array.make n 0 in
+  let slots = Array.make n 0 in
+  let term_pc = Array.make n (-1) in
+  let pc = ref 0 in
+  for i = 0 to n - 1 do
+    let b = t.blocks.(i) in
+    block_pc.(i) <- !pc;
+    slots.(i) <- block_slots b;
+    if term_slots b.term = 1 then term_pc.(i) <- !pc + Array.length b.instrs;
+    pc := !pc + slots.(i)
+  done;
+  { block_pc; block_slots = slots; term_pc }
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let check_block_ref t ~ctx b =
+  if b < 0 || b >= num_blocks t then fail "Program.validate: %s: bad block %d" ctx b
+
+let check_lr t ~ctx lr =
+  if lr < 0 || lr >= num_lrs t then fail "Program.validate: %s: bad live range %d" ctx lr
+
+(* Bank discipline: integer ALU classes touch only integer live ranges; fp
+   ALU classes touch only fp live ranges; loads/stores have integer address
+   sources but may move either bank as data/destination; control conditions
+   may be of either bank (Alpha has fp branches). *)
+let check_banks t ~ctx (i : Il.instr) =
+  let bank lr = lr_bank t lr in
+  let require b lr what =
+    if bank lr <> b then
+      fail "Program.validate: %s: %s %s has wrong bank" ctx what (lr_name t lr)
+  in
+  match i.op with
+  | Int_multiply | Int_other ->
+    List.iter (fun lr -> require Il.Bank_int lr "source") i.srcs;
+    Option.iter (fun lr -> require Il.Bank_int lr "destination") i.dst
+  | Fp_divide _ | Fp_other ->
+    List.iter (fun lr -> require Il.Bank_fp lr "source") i.srcs;
+    Option.iter (fun lr -> require Il.Bank_fp lr "destination") i.dst
+  | Load -> List.iter (fun lr -> require Il.Bank_int lr "address source") i.srcs
+  | Store -> (
+    (* First source is data (either bank); the rest are addresses. *)
+    match i.srcs with
+    | [] -> ()
+    | _data :: addrs -> List.iter (fun lr -> require Il.Bank_int lr "address source") addrs)
+  | Control -> ()
+
+let validate t =
+  if num_blocks t = 0 then fail "Program.validate: no blocks";
+  check_block_ref t ~ctx:"entry" t.entry;
+  check_lr t ~ctx:"sp" t.sp;
+  check_lr t ~ctx:"gp" t.gp;
+  if lr_bank t t.sp <> Il.Bank_int then fail "Program.validate: sp not integer bank";
+  if lr_bank t t.gp <> Il.Bank_int then fail "Program.validate: gp not integer bank";
+  Array.iteri
+    (fun i b ->
+      if b.id <> i then fail "Program.validate: block %d has id %d" i b.id;
+      let ctx = Printf.sprintf "block %d" i in
+      Array.iter
+        (fun instr ->
+          List.iter (check_lr t ~ctx) (Il.lrs_of_instr instr);
+          check_banks t ~ctx instr)
+        b.instrs;
+      (match b.term with
+      | Il.Cond { src; model; _ } ->
+        Option.iter (check_lr t ~ctx) src;
+        Branch_model.validate model
+      | Il.Fallthrough _ | Il.Jump _ | Il.Halt -> ());
+      List.iter (check_block_ref t ~ctx) (Il.terminator_targets b.term))
+    t.blocks
+
+let pp fmt t =
+  let names lr = lr_name t lr in
+  Format.fprintf fmt "program %s (entry=%d)@." t.name t.entry;
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "block %d:@." b.id;
+      Array.iter (fun i -> Format.fprintf fmt "  %a@." (Il.pp_instr ~names) i) b.instrs;
+      (match b.term with
+      | Il.Fallthrough s -> Format.fprintf fmt "  fallthrough -> %d@." s
+      | Il.Jump s -> Format.fprintf fmt "  jump -> %d@." s
+      | Il.Cond { src; model; taken; not_taken } ->
+        Format.fprintf fmt "  branch%s %s ? -> %d : %d@."
+          (match src with Some lr -> " " ^ names lr | None -> "")
+          (Branch_model.describe model) taken not_taken
+      | Il.Halt -> Format.fprintf fmt "  halt@."))
+    t.blocks
+
+module Builder = struct
+  type p = t
+
+  type slot = Undefined | Defined of Il.instr array * Il.terminator
+
+  type t = {
+    b_name : string;
+    mutable lr_infos : Il.lr_info list;  (* reversed *)
+    mutable n_lrs : int;
+    mutable slots : slot list;  (* reversed *)
+    mutable n_blocks : int;
+    b_sp : Il.lr;
+    b_gp : Il.lr;
+  }
+
+  let create ~name =
+    let sp_info = { Il.bank = Il.Bank_int; lr_name = "sp" } in
+    let gp_info = { Il.bank = Il.Bank_int; lr_name = "gp" } in
+    { b_name = name; lr_infos = [ gp_info; sp_info ]; n_lrs = 2; slots = []; n_blocks = 0;
+      b_sp = 0; b_gp = 1 }
+
+  let sp b = b.b_sp
+  let gp b = b.b_gp
+
+  let fresh_lr b ?name bank =
+    let id = b.n_lrs in
+    let lr_name = match name with Some n -> n | None -> Printf.sprintf "v%d" id in
+    b.lr_infos <- { Il.bank; lr_name } :: b.lr_infos;
+    b.n_lrs <- id + 1;
+    id
+
+  let reserve_block b =
+    let id = b.n_blocks in
+    b.slots <- Undefined :: b.slots;
+    b.n_blocks <- id + 1;
+    id
+
+  let define_block b id instrs term =
+    if id < 0 || id >= b.n_blocks then invalid_arg "Builder.define_block: unknown id";
+    let arr = Array.of_list (List.rev b.slots) in
+    (match arr.(id) with
+    | Defined _ -> invalid_arg "Builder.define_block: already defined"
+    | Undefined -> ());
+    arr.(id) <- Defined (Array.of_list instrs, term);
+    b.slots <- Array.to_list arr |> List.rev
+
+  let add_block b instrs term =
+    let id = reserve_block b in
+    define_block b id instrs term;
+    id
+
+  let finish b ~entry =
+    let slots = Array.of_list (List.rev b.slots) in
+    let blocks =
+      Array.mapi
+        (fun id slot ->
+          match slot with
+          | Undefined -> invalid_arg (Printf.sprintf "Builder.finish: block %d undefined" id)
+          | Defined (instrs, term) -> { id; instrs; term })
+        slots
+    in
+    let p =
+      { name = b.b_name; blocks; entry; lrs = Array.of_list (List.rev b.lr_infos);
+        sp = b.b_sp; gp = b.b_gp }
+    in
+    validate p;
+    p
+end

@@ -1,0 +1,86 @@
+(** Whole IL programs: the control-flow graph and the live-range table.
+
+    Blocks are identified by their index in [blocks]. A program has a
+    distinguished stack-pointer and global-pointer live range (the paper's
+    global-register candidates); both are integer-bank and written once at
+    entry conceptually (the builder creates them implicitly). *)
+
+type block = {
+  id : int;
+  instrs : Il.instr array;
+  term : Il.terminator;
+}
+
+type t = {
+  name : string;
+  blocks : block array;
+  entry : int;
+  lrs : Il.lr_info array;
+  sp : Il.lr;
+  gp : Il.lr;
+}
+
+val validate : t -> unit
+(** Structural checks: entry and terminator targets in range, live-range
+    identifiers in range, operand banks consistent with opcode classes
+    (integer ops read/write integer live ranges, fp ops fp live ranges;
+    loads/stores use integer address sources and a destination/data
+    operand of either bank; control sources of either bank).
+    @raise Invalid_argument with a description of the first violation. *)
+
+val num_blocks : t -> int
+val num_lrs : t -> int
+val num_static_instrs : t -> int
+(** IL instructions plus lowered control instructions ([Jump]/[Cond]). *)
+
+val lr_name : t -> Il.lr -> string
+val lr_bank : t -> Il.lr -> Il.bank
+
+val successors : t -> int -> int list
+
+val preds : t -> int list array
+(** [preds p].(b) are the blocks with an edge into [b]. *)
+
+val reverse_postorder : t -> int list
+(** Blocks reachable from entry, in reverse postorder. *)
+
+val reachable : t -> bool array
+
+(** Static code layout: word-granular program counters for every
+    instruction slot, as the i-cache and branch predictor see them. *)
+type layout = {
+  block_pc : int array;  (** pc of the first slot of each block *)
+  block_slots : int array;  (** slots in each block, terminator included *)
+  term_pc : int array;  (** pc of the lowered control instruction, or -1 *)
+}
+
+val layout : t -> layout
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line listing for debugging. *)
+
+(** Imperative construction with forward references. *)
+module Builder : sig
+  type p = t
+  type t
+
+  val create : name:string -> t
+
+  val sp : t -> Il.lr
+  val gp : t -> Il.lr
+
+  val fresh_lr : t -> ?name:string -> Il.bank -> Il.lr
+
+  val reserve_block : t -> int
+  (** Allocate a block id to be defined later. *)
+
+  val define_block : t -> int -> Il.instr list -> Il.terminator -> unit
+  (** @raise Invalid_argument if already defined or never reserved. *)
+
+  val add_block : t -> Il.instr list -> Il.terminator -> int
+  (** [reserve_block] + [define_block]. *)
+
+  val finish : t -> entry:int -> p
+  (** Validates (see {!validate}).
+      @raise Invalid_argument if any reserved block is undefined. *)
+end

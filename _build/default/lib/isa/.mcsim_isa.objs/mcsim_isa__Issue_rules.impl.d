@@ -1,0 +1,1 @@
+lib/isa/issue_rules.ml: Format List Op_class

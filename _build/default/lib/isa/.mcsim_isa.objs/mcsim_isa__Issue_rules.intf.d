@@ -1,0 +1,1 @@
+lib/isa/issue_rules.mli: Format Op_class

@@ -1,0 +1,1 @@
+lib/isa/op_class.mli: Format

@@ -1,0 +1,59 @@
+(** Per-cycle instruction-issue limits (paper, Table 1).
+
+    Each machine (or each cluster of the dual-cluster machine) may issue at
+    most [total] instructions per cycle, further capped per class. The
+    floating-point caps share a combined [fp_all] budget in addition to the
+    per-class ones, mirroring the table's "floating point: all" column. *)
+
+type limits = {
+  total : int;
+  int_multiply : int;
+  int_other : int;
+  fp_all : int;
+  fp_divide : int;
+  fp_other : int;
+  memory : int;  (** loads and stores combined *)
+  control : int;
+}
+
+val single_cluster : limits
+(** Row 1 of Table 1: 8-issue; 8/8 integer, 4 fp (4 divide, 4 other),
+    4 memory, 4 control. *)
+
+val dual_per_cluster : limits
+(** Row 2 of Table 1, per cluster: 4-issue; 4/4 integer, 2 fp (2/2),
+    2 memory, 2 control. *)
+
+val four_way_single : limits
+(** The paper's four-way-issue single-cluster machine (§4 evaluated both
+    widths): identical to {!dual_per_cluster}. *)
+
+val four_way_dual_per_cluster : limits
+(** One cluster of the four-way dual machine: 2-issue; 2/2 integer,
+    1 fp, 1 memory, 1 control. *)
+
+val scale : limits -> int -> limits
+(** [scale l k] multiplies every cap by [k] (for what-if configurations);
+    caps never drop below 1. Requires [k >= 1]. *)
+
+val pp : Format.formatter -> limits -> unit
+
+val to_rows : limits -> string list
+(** Cells in Table-1 column order, for table rendering. *)
+
+(** Mutable per-cycle issue budget. *)
+type budget
+
+val budget : limits -> budget
+val reset : budget -> unit
+(** Call at the start of every cycle. *)
+
+val can_issue : budget -> Op_class.t -> bool
+(** True when issuing one instruction of this class now would not exceed
+    any applicable cap. *)
+
+val consume : budget -> Op_class.t -> unit
+(** Record an issue. @raise Invalid_argument if [can_issue] is false. *)
+
+val issued : budget -> int
+(** Instructions issued so far this cycle. *)

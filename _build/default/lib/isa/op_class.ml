@@ -1,0 +1,56 @@
+type t =
+  | Int_multiply
+  | Int_other
+  | Fp_divide of { bits64 : bool }
+  | Fp_other
+  | Load
+  | Store
+  | Control
+
+let latency = function
+  | Int_multiply -> 6
+  | Int_other -> 1
+  | Fp_divide { bits64 } -> if bits64 then 16 else 8
+  | Fp_other -> 3
+  | Load -> 2
+  | Store -> 1
+  | Control -> 1
+
+let is_pipelined = function
+  | Fp_divide _ -> false
+  | Int_multiply | Int_other | Fp_other | Load | Store | Control -> true
+
+let is_fp = function
+  | Fp_divide _ | Fp_other -> true
+  | Int_multiply | Int_other | Load | Store | Control -> false
+
+let is_memory = function
+  | Load | Store -> true
+  | Int_multiply | Int_other | Fp_divide _ | Fp_other | Control -> false
+
+let equal a b =
+  match (a, b) with
+  | Fp_divide { bits64 = x }, Fp_divide { bits64 = y } -> x = y
+  | Int_multiply, Int_multiply
+  | Int_other, Int_other
+  | Fp_other, Fp_other
+  | Load, Load
+  | Store, Store
+  | Control, Control -> true
+  | ( (Int_multiply | Int_other | Fp_divide _ | Fp_other | Load | Store | Control),
+      (Int_multiply | Int_other | Fp_divide _ | Fp_other | Load | Store | Control) ) -> false
+
+let to_string = function
+  | Int_multiply -> "int_multiply"
+  | Int_other -> "int_other"
+  | Fp_divide { bits64 } -> if bits64 then "fp_divide64" else "fp_divide32"
+  | Fp_other -> "fp_other"
+  | Load -> "load"
+  | Store -> "store"
+  | Control -> "control"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let all =
+  [ Int_multiply; Int_other; Fp_divide { bits64 = false }; Fp_divide { bits64 = true };
+    Fp_other; Load; Store; Control ]

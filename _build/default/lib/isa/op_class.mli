@@ -1,0 +1,38 @@
+(** Instruction classes and functional-unit latencies (paper, Table 1).
+
+    The simulator schedules by class, not by concrete opcode: the paper's
+    issue rules and latencies are given per class. All units are fully
+    pipelined except the floating-point divider, which is unpipelined with
+    an 8-cycle (32-bit) or 16-cycle (64-bit) latency. Loads have a single
+    load-delay slot, so the load-to-use latency on a cache hit is 2
+    cycles. *)
+
+type t =
+  | Int_multiply
+  | Int_other
+  | Fp_divide of { bits64 : bool }
+  | Fp_other
+  | Load
+  | Store
+  | Control  (** conditional and unconditional control flow *)
+
+val latency : t -> int
+(** Execution latency in cycles, excluding cache misses: [Int_multiply] 6,
+    [Int_other] 1, [Fp_divide] 8 or 16, [Fp_other] 3, [Load] 2 on a hit
+    (1 plus the load-delay slot), [Store] 1, [Control] 1. *)
+
+val is_pipelined : t -> bool
+(** All classes except [Fp_divide]. *)
+
+val is_fp : t -> bool
+(** True for [Fp_divide] and [Fp_other]. *)
+
+val is_memory : t -> bool
+(** True for [Load] and [Store]. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** One representative per class (both divide widths included). *)

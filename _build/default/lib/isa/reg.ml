@@ -1,0 +1,49 @@
+type t = Int_reg of int | Fp_reg of int
+
+let num_int = 32
+let num_fp = 32
+
+let check_range bank n =
+  if n < 0 || n > 31 then invalid_arg (Printf.sprintf "Reg.%s_reg: %d" bank n)
+
+let int_reg n =
+  check_range "int" n;
+  Int_reg n
+
+let fp_reg n =
+  check_range "fp" n;
+  Fp_reg n
+
+let sp = Int_reg 30
+let gp = Int_reg 29
+let zero_int = Int_reg 31
+let zero_fp = Fp_reg 31
+
+let is_zero = function Int_reg 31 | Fp_reg 31 -> true | Int_reg _ | Fp_reg _ -> false
+let is_int = function Int_reg _ -> true | Fp_reg _ -> false
+let is_fp = function Fp_reg _ -> true | Int_reg _ -> false
+let index = function Int_reg n | Fp_reg n -> n
+
+let flat_index = function Int_reg n -> n | Fp_reg n -> num_int + n
+
+let of_flat_index i =
+  if i < 0 || i >= num_int + num_fp then invalid_arg "Reg.of_flat_index";
+  if i < num_int then Int_reg i else Fp_reg (i - num_int)
+
+let parity t = index t mod 2
+
+let all =
+  List.init num_int (fun i -> Int_reg i) @ List.init num_fp (fun i -> Fp_reg i)
+
+let equal a b =
+  match (a, b) with
+  | Int_reg x, Int_reg y | Fp_reg x, Fp_reg y -> x = y
+  | Int_reg _, Fp_reg _ | Fp_reg _, Int_reg _ -> false
+
+let compare a b = Stdlib.compare (flat_index a) (flat_index b)
+
+let to_string = function
+  | Int_reg n -> "r" ^ string_of_int n
+  | Fp_reg n -> "f" ^ string_of_int n
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,61 @@
+(** Architectural registers of the Alpha-like target ISA.
+
+    There are 32 integer registers [r0..r31] and 32 floating-point
+    registers [f0..f31]. As on the real Alpha, [r31] and [f31] are
+    hardwired to zero: reads carry no dependence and writes are discarded.
+    By convention (and as in the paper's evaluation) [r30] is the stack
+    pointer and [r29] the global pointer — the two live ranges the paper
+    designates as global-register candidates. *)
+
+type t = Int_reg of int | Fp_reg of int
+
+val num_int : int
+(** 32. *)
+
+val num_fp : int
+(** 32. *)
+
+val int_reg : int -> t
+(** @raise Invalid_argument outside [\[0,31\]]. *)
+
+val fp_reg : int -> t
+(** @raise Invalid_argument outside [\[0,31\]]. *)
+
+val sp : t
+(** Stack pointer, [r30]. *)
+
+val gp : t
+(** Global pointer, [r29]. *)
+
+val zero_int : t
+(** [r31]. *)
+
+val zero_fp : t
+(** [f31]. *)
+
+val is_zero : t -> bool
+(** True for the hardwired-zero registers. *)
+
+val is_int : t -> bool
+val is_fp : t -> bool
+
+val index : t -> int
+(** Register number within its bank, [0..31]. *)
+
+val flat_index : t -> int
+(** Unique index in [\[0, 64)]: integer bank first, then fp bank. *)
+
+val of_flat_index : int -> t
+
+val parity : t -> int
+(** [index t mod 2] — the paper's even/odd register-to-cluster mapping. *)
+
+val all : t list
+(** All 64 registers, integer bank first. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+(** ["r7"], ["f12"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/timing/net_performance.mli: Palacharla

@@ -1,0 +1,1 @@
+lib/timing/palacharla.ml: List

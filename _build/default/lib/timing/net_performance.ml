@@ -1,0 +1,14 @@
+let speedup_pct ~single_cycles ~dual_cycles =
+  100.0 -. (100.0 *. float_of_int dual_cycles /. float_of_int (max 1 single_cycles))
+
+let required_clock_reduction_pct slowdown_pct =
+  if slowdown_pct <= -100.0 then invalid_arg "required_clock_reduction_pct";
+  100.0 -. (100.0 /. (1.0 +. (slowdown_pct /. 100.0)))
+
+let net_runtime_ratio ~single_cycles ~dual_cycles ~feature =
+  let t_single = Palacharla.cycle_time (Palacharla.single_cluster_config feature) in
+  let t_dual = Palacharla.cycle_time (Palacharla.dual_cluster_config feature) in
+  float_of_int dual_cycles *. t_dual /. (float_of_int (max 1 single_cycles) *. t_single)
+
+let net_speedup_pct ~single_cycles ~dual_cycles ~feature =
+  100.0 -. (100.0 *. net_runtime_ratio ~single_cycles ~dual_cycles ~feature)

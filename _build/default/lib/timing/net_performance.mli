@@ -1,0 +1,26 @@
+(** Net-performance arithmetic of §4.2 and §5.
+
+    The paper's break-even argument: run time = clock cycles × clock
+    period, so a dual-cluster machine that takes [slowdown_pct] percent
+    more cycles wins iff its clock period is at least
+    [required_clock_reduction_pct slowdown_pct] percent shorter. The
+    worked example in §4.2: a 25% cycle slowdown needs a clock 20%
+    faster. *)
+
+val speedup_pct : single_cycles:int -> dual_cycles:int -> float
+(** The Table-2 metric: [100 - 100 * dual/single]; negative = slowdown. *)
+
+val required_clock_reduction_pct : float -> float
+(** [required_clock_reduction_pct slowdown_pct] — the paper's
+    [100 - 100 * 1/(1 + s/100)] (from [100 - 100 * C_single/C_dual]).
+    Requires [slowdown_pct > -100]. *)
+
+val net_runtime_ratio :
+  single_cycles:int -> dual_cycles:int -> feature:Palacharla.feature -> float
+(** dual run time / single run time when both machines clock at their
+    Palacharla cycle times: [(dual_cycles * T_4issue) / (single_cycles *
+    T_8issue)]. Below 1.0 the dual-cluster machine is net faster. *)
+
+val net_speedup_pct :
+  single_cycles:int -> dual_cycles:int -> feature:Palacharla.feature -> float
+(** [100 - 100 * net_runtime_ratio]; positive = dual-cluster wins. *)

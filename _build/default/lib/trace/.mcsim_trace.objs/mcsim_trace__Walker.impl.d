@@ -1,0 +1,1 @@
+lib/trace/walker.ml: Array Mcsim_compiler Mcsim_ir Mcsim_isa Mcsim_util Option

@@ -1,0 +1,1 @@
+lib/trace/walker.mli: Mcsim_compiler Mcsim_ir Mcsim_isa

@@ -1,0 +1,37 @@
+(** Trace generation: the stand-in for the paper's ATOM instrumentation.
+
+    The walker executes a program's control-flow graph with a seeded
+    deterministic generator driving conditional-branch outcomes and memory
+    addresses, and produces the committed dynamic instruction stream the
+    trace-driven machines consume.
+
+    Two independent random streams are derived from the seed: one for
+    branch outcomes, one for memory addresses. Because spill code never
+    draws from the branch stream, the {e native} and {e rescheduled}
+    binaries of the same program follow the identical dynamic path — the
+    property the paper gets for free by running the same benchmark input
+    through both binaries.
+
+    {!profile} performs the paper's profiling run (footnote 1 of §3.5): a
+    walk of the {e IL} program counting basic-block executions. With equal
+    seeds, [profile] and [trace] see the same branch outcome sequence. *)
+
+val profile :
+  ?seed:int -> ?max_blocks:int -> Mcsim_ir.Program.t -> Mcsim_ir.Profile.t
+(** Walk until [Halt] or [max_blocks] (default 1_000_000) block
+    executions. *)
+
+val trace :
+  ?seed:int ->
+  ?max_instrs:int ->
+  Mcsim_compiler.Mach_prog.t ->
+  Mcsim_isa.Instr.dynamic array
+(** Emit the dynamic instruction stream: one element per executed body
+    instruction, [jump] or conditional branch ([Fallthrough]/[Halt] emit
+    nothing). Stops at [Halt] or once [max_instrs] (default 300_000)
+    instructions have been emitted. *)
+
+val il_trace_length :
+  ?seed:int -> ?max_blocks:int -> Mcsim_ir.Program.t -> int
+(** Dynamic IL instruction count of the profiling walk (terminator slots
+    included) — handy for sizing experiments. *)

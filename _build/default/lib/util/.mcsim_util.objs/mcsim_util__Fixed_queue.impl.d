@@ -1,0 +1,1 @@
+lib/util/fixed_queue.ml: Array List

@@ -1,0 +1,1 @@
+lib/util/stats.ml: Hashtbl List Stdlib String

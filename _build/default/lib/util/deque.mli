@@ -1,0 +1,26 @@
+(** Growable double-ended queue over a circular buffer.
+
+    Used for the reorder view of in-flight instructions: dispatch pushes at
+    the back, retire pops from the front, and a squash walks and pops from
+    the back. Random access is by age index (0 = front/oldest). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+val pop_front : 'a t -> 'a option
+val pop_back : 'a t -> 'a option
+val peek_front : 'a t -> 'a option
+val peek_back : 'a t -> 'a option
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the i-th oldest element. @raise Invalid_argument when out
+    of range. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest to newest. *)
+
+val clear : 'a t -> unit

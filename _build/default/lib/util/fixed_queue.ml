@@ -1,0 +1,63 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  { buf = Array.make capacity None; head = 0; len = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = capacity t
+let room t = capacity t - t.len
+
+let push t x =
+  if is_full t then failwith "Fixed_queue.push: full";
+  let i = (t.head + t.len) mod capacity t in
+  t.buf.(i) <- Some x;
+  t.len <- t.len + 1
+
+let push_opt t x = if is_full t then false else (push t x; true)
+
+let peek t = if t.len = 0 then None else t.buf.(t.head)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod capacity t;
+    t.len <- t.len - 1;
+    x
+  end
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let cap = capacity t in
+  for k = 0 to t.len - 1 do
+    match t.buf.((t.head + k) mod cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let exists p t =
+  let found = ref false in
+  iter (fun x -> if (not !found) && p x then found := true) t;
+  !found
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let filter_in_place p t =
+  let kept = List.filter p (to_list t) in
+  clear t;
+  List.iter (push t) kept

@@ -1,0 +1,42 @@
+(** Bounded FIFO queue over a circular buffer.
+
+    Used for hardware structures with a fixed number of entries (fetch
+    buffers, retire windows). All operations are O(1) except [iter],
+    [filter_in_place] and [to_list]. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Requires [capacity > 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+val room : 'a t -> int
+(** Free entries remaining. *)
+
+val push : 'a t -> 'a -> unit
+(** Append at the tail. @raise Failure if full. *)
+
+val push_opt : 'a t -> 'a -> bool
+(** Append at the tail; [false] if full (queue unchanged). *)
+
+val peek : 'a t -> 'a option
+(** Oldest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the oldest element. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest to newest. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep only elements satisfying the predicate, preserving order. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)

@@ -1,0 +1,36 @@
+type t = {
+  free_ids : int array; (* stack of free identifiers; first [top] valid *)
+  in_use : bool array;
+  mutable top : int;
+}
+
+let create ~size =
+  assert (size >= 0);
+  { free_ids = Array.init size (fun i -> i); in_use = Array.make size false; top = size }
+
+let size t = Array.length t.in_use
+let available t = t.top
+let is_free t id = not t.in_use.(id)
+
+let alloc t =
+  if t.top = 0 then None
+  else begin
+    t.top <- t.top - 1;
+    let id = t.free_ids.(t.top) in
+    t.in_use.(id) <- true;
+    Some id
+  end
+
+let free t id =
+  if id < 0 || id >= size t then invalid_arg "Freelist.free: out of range";
+  if not t.in_use.(id) then invalid_arg "Freelist.free: double free";
+  t.in_use.(id) <- false;
+  t.free_ids.(t.top) <- id;
+  t.top <- t.top + 1
+
+let reset t =
+  t.top <- size t;
+  for i = 0 to size t - 1 do
+    t.free_ids.(i) <- i;
+    t.in_use.(i) <- false
+  done

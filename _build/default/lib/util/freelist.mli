@@ -1,0 +1,24 @@
+(** Free list of integer resource identifiers in [\[0, size)].
+
+    Models hardware allocators: physical register freelists and transfer
+    buffer entry allocators. Allocation order is LIFO (does not matter to
+    the model; identifiers are opaque tags). *)
+
+type t
+
+val create : size:int -> t
+(** All identifiers initially free. Requires [size >= 0]. *)
+
+val size : t -> int
+val available : t -> int
+val is_free : t -> int -> bool
+
+val alloc : t -> int option
+(** Take a free identifier, or [None] if exhausted. *)
+
+val free : t -> int -> unit
+(** Return an identifier. @raise Invalid_argument on double free or out of
+    range. *)
+
+val reset : t -> unit
+(** Free everything. *)

@@ -1,0 +1,44 @@
+(** Streaming statistics accumulators and simple counters.
+
+    The simulator keeps one [counter_set] per machine; benches and tests
+    read individual counters by name. Distributions (e.g., issued
+    instructions per cycle) use [dist]. *)
+
+type dist
+
+val dist_create : unit -> dist
+val dist_add : dist -> float -> unit
+val dist_n : dist -> int
+val dist_mean : dist -> float
+(** 0 when empty. *)
+
+val dist_var : dist -> float
+(** Population variance; 0 when fewer than 2 samples. *)
+
+val dist_stddev : dist -> float
+val dist_min : dist -> float
+(** [infinity] when empty. *)
+
+val dist_max : dist -> float
+(** [neg_infinity] when empty. *)
+
+val dist_total : dist -> float
+
+type counter_set
+
+val counters_create : unit -> counter_set
+val incr : counter_set -> string -> unit
+val add : counter_set -> string -> int -> unit
+val get : counter_set -> string -> int
+(** 0 for never-touched counters. *)
+
+val to_alist : counter_set -> (string * int) list
+(** Sorted by name. *)
+
+val ratio : int -> int -> float
+(** [ratio num den] is [num/den] as float, 0 when [den = 0]. *)
+
+val percent_speedup : single:int -> dual:int -> float
+(** The paper's Table-2 metric: [100 - 100 * (dual /. single)] — positive
+    numbers are speedups of the dual-cluster machine, negative numbers are
+    slowdowns. (The paper prints the negation of the slowdown.) *)

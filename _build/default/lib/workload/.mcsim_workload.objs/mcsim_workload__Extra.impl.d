@@ -1,0 +1,1 @@
+lib/workload/extra.ml: Synth

@@ -1,0 +1,1 @@
+lib/workload/extra.mli: Mcsim_ir Synth

@@ -1,0 +1,1 @@
+lib/workload/spec92.mli: Mcsim_ir Synth

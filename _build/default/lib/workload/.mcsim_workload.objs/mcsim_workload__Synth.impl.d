@@ -1,0 +1,1 @@
+lib/workload/synth.ml: Array List Mcsim_ir Mcsim_isa Mcsim_util Printf

@@ -1,0 +1,94 @@
+type benchmark = Espresso | Eqntott | Alvinn | Ear
+
+let all = [ Espresso; Eqntott; Alvinn; Ear ]
+
+let name = function
+  | Espresso -> "espresso"
+  | Eqntott -> "eqntott"
+  | Alvinn -> "alvinn"
+  | Ear -> "ear"
+
+let of_name = function
+  | "espresso" -> Some Espresso
+  | "eqntott" -> Some Eqntott
+  | "alvinn" -> Some Alvinn
+  | "ear" -> Some Ear
+  | _ -> None
+
+let description = function
+  | Espresso ->
+    "Boolean-function minimization (int): bit-set sweeps over cube lists, \
+     mixed-predictability branches, small hot working set"
+  | Eqntott ->
+    "Truth-table generation (int): dominated by a comparison sort - short \
+     blocks, highly data-dependent branches, hot comparator code"
+  | Alvinn ->
+    "Neural-net training (fp, vectorizable): dense matrix-vector sweeps, \
+     very predictable loops, long blocks of multiply-adds"
+  | Ear ->
+    "Human-ear model (fp): FFT-flavoured butterflies - strided fp loads with \
+     moderate blocks and predictable control"
+
+let mix ~int_other ~int_multiply ~fp_other ~fp_divide ~load ~store =
+  { Synth.w_int_other = int_other; w_int_multiply = int_multiply; w_fp_other = fp_other;
+    w_fp_divide = fp_divide; w_load = load; w_store = store }
+
+let params = function
+  | Espresso ->
+    { Synth.name = "espresso"; seed = 0xE5;
+      n_segments = 16; p_diamond = 0.5; p_inner_loop = 0.25;
+      inner_trip_min = 4; inner_trip_max = 16; outer_trip = 100_000;
+      block_min = 4; block_max = 9;
+      int_pool = 24; fp_pool = 0;
+      n_communities = 2; p_cross_community = 0.1;
+      mix = mix ~int_other:0.58 ~int_multiply:0.01 ~fp_other:0.0 ~fp_divide:0.0
+              ~load:0.27 ~store:0.14;
+      chain_bias = 0.55; fp64_div_frac = 0.0; mem_fp_frac = 0.0; sp_base_frac = 0.3;
+      mem_kinds =
+        [ (0.7, Synth.Hot_cold { hot_bytes = 24 * 1024; cold_bytes = 128 * 1024; p_hot = 0.85 });
+          (0.3, Synth.Stack_slots { slots = 24 }) ];
+      branch_style = Synth.Patterned }
+  | Eqntott ->
+    { Synth.name = "eqntott"; seed = 0xE9;
+      n_segments = 12; p_diamond = 0.7; p_inner_loop = 0.1;
+      inner_trip_min = 2; inner_trip_max = 8; outer_trip = 100_000;
+      block_min = 3; block_max = 6;
+      int_pool = 20; fp_pool = 0;
+      n_communities = 2; p_cross_community = 0.12;
+      mix = mix ~int_other:0.6 ~int_multiply:0.0 ~fp_other:0.0 ~fp_divide:0.0
+              ~load:0.3 ~store:0.1;
+      chain_bias = 0.6; fp64_div_frac = 0.0; mem_fp_frac = 0.0; sp_base_frac = 0.25;
+      mem_kinds =
+        [ (0.8, Synth.Hot_cold { hot_bytes = 16 * 1024; cold_bytes = 256 * 1024; p_hot = 0.7 });
+          (0.2, Synth.Stack_slots { slots = 16 }) ];
+      branch_style = Synth.Data_dependent 0.55 }
+  | Alvinn ->
+    { Synth.name = "alvinn"; seed = 0xA1;
+      n_segments = 6; p_diamond = 0.05; p_inner_loop = 0.6;
+      inner_trip_min = 30; inner_trip_max = 120; outer_trip = 100_000;
+      block_min = 12; block_max = 24;
+      int_pool = 12; fp_pool = 30;
+      n_communities = 2; p_cross_community = 0.06;
+      mix = mix ~int_other:0.1 ~int_multiply:0.02 ~fp_other:0.5 ~fp_divide:0.0
+              ~load:0.28 ~store:0.1;
+      chain_bias = 0.45; fp64_div_frac = 0.0; mem_fp_frac = 0.95; sp_base_frac = 0.1;
+      mem_kinds =
+        [ (0.9, Synth.Array_sweep { arrays = 4; stride = 8; array_bytes = 384 * 1024 });
+          (0.1, Synth.Stack_slots { slots = 8 }) ];
+      branch_style = Synth.Biased 0.96 }
+  | Ear ->
+    { Synth.name = "ear"; seed = 0xEA;
+      n_segments = 10; p_diamond = 0.15; p_inner_loop = 0.45;
+      inner_trip_min = 8; inner_trip_max = 64; outer_trip = 100_000;
+      block_min = 8; block_max = 16;
+      int_pool = 14; fp_pool = 26;
+      n_communities = 2; p_cross_community = 0.1;
+      mix = mix ~int_other:0.16 ~int_multiply:0.02 ~fp_other:0.45 ~fp_divide:0.02
+              ~load:0.25 ~store:0.1;
+      chain_bias = 0.55; fp64_div_frac = 0.5; mem_fp_frac = 0.9; sp_base_frac = 0.2;
+      mem_kinds =
+        [ (0.8, Synth.Array_sweep { arrays = 6; stride = 16; array_bytes = 128 * 1024 });
+          (0.2, Synth.Stack_slots { slots = 12 }) ];
+      branch_style = Synth.Biased 0.9 }
+
+let program b = Synth.generate (params b)

@@ -1,0 +1,13 @@
+(** Additional SPEC92-flavoured synthetic workloads, beyond the six the
+    paper's Table 2 uses. These are not part of the reproduction — they
+    widen the library's workload coverage for new experiments (and match
+    the characters of four more SPEC92 members). *)
+
+type benchmark = Espresso | Eqntott | Alvinn | Ear
+
+val all : benchmark list
+val name : benchmark -> string
+val of_name : string -> benchmark option
+val description : benchmark -> string
+val params : benchmark -> Synth.params
+val program : benchmark -> Mcsim_ir.Program.t

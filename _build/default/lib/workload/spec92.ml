@@ -1,0 +1,131 @@
+type benchmark = Compress | Doduc | Gcc1 | Ora | Su2cor | Tomcatv
+
+let all = [ Compress; Doduc; Gcc1; Ora; Su2cor; Tomcatv ]
+
+let name = function
+  | Compress -> "compress"
+  | Doduc -> "doduc"
+  | Gcc1 -> "gcc1"
+  | Ora -> "ora"
+  | Su2cor -> "su2cor"
+  | Tomcatv -> "tomcatv"
+
+let of_name = function
+  | "compress" -> Some Compress
+  | "doduc" -> Some Doduc
+  | "gcc1" -> Some Gcc1
+  | "ora" -> Some Ora
+  | "su2cor" -> Some Su2cor
+  | "tomcatv" -> Some Tomcatv
+  | _ -> None
+
+let description = function
+  | Compress ->
+    "LZW data compression (int): hash-table loads/stores over a large table, \
+     weakly-predictable data-dependent branches, tight dependence chains"
+  | Doduc ->
+    "Monte-Carlo reactor simulation (fp): mixed fp arithmetic with frequent \
+     mostly-biased branches and a modest working set"
+  | Gcc1 ->
+    "GNU C compiler (int): large static code footprint, short blocks, very \
+     branchy, mixed-locality memory traffic"
+  | Ora ->
+    "Ray tracing through optical systems (fp): long serial fp chains with \
+     frequent divides/square-roots, highly predictable control"
+  | Su2cor ->
+    "Quantum-physics Monte Carlo (fp, vectorizable): long blocks streaming \
+     over large arrays inside deep loop nests"
+  | Tomcatv ->
+    "Vectorized mesh generation (fp): stencil sweeps over several large \
+     arrays, very long blocks, near-perfectly-predictable loops"
+
+let mix ~int_other ~int_multiply ~fp_other ~fp_divide ~load ~store =
+  { Synth.w_int_other = int_other; w_int_multiply = int_multiply; w_fp_other = fp_other;
+    w_fp_divide = fp_divide; w_load = load; w_store = store }
+
+let params = function
+  | Compress ->
+    { Synth.name = "compress"; seed = 0xC0;
+      n_segments = 10; p_diamond = 0.55; p_inner_loop = 0.15;
+      inner_trip_min = 4; inner_trip_max = 12; outer_trip = 100_000;
+      block_min = 4; block_max = 10;
+      int_pool = 24; fp_pool = 0;
+      n_communities = 2; p_cross_community = 0.12;
+      mix = mix ~int_other:0.52 ~int_multiply:0.03 ~fp_other:0.0 ~fp_divide:0.0
+              ~load:0.27 ~store:0.18;
+      chain_bias = 0.6; fp64_div_frac = 0.0; mem_fp_frac = 0.0; sp_base_frac = 0.3;
+      mem_kinds =
+        [ (0.50, Synth.Hot_cold { hot_bytes = 16 * 1024; cold_bytes = 256 * 1024; p_hot = 0.75 });
+          (0.20, Synth.Table_random { table_bytes = 96 * 1024 });
+          (0.30, Synth.Stack_slots { slots = 16 }) ];
+      branch_style = Synth.Data_dependent 0.72 }
+  | Doduc ->
+    { Synth.name = "doduc"; seed = 0xD0;
+      n_segments = 14; p_diamond = 0.5; p_inner_loop = 0.2;
+      inner_trip_min = 3; inner_trip_max = 10; outer_trip = 100_000;
+      block_min = 5; block_max = 14;
+      int_pool = 14; fp_pool = 26;
+      n_communities = 2; p_cross_community = 0.10;
+      mix = mix ~int_other:0.20 ~int_multiply:0.01 ~fp_other:0.42 ~fp_divide:0.02
+              ~load:0.23 ~store:0.12;
+      chain_bias = 0.55; fp64_div_frac = 0.5; mem_fp_frac = 0.8; sp_base_frac = 0.4;
+      mem_kinds =
+        [ (0.7, Synth.Hot_cold { hot_bytes = 24 * 1024; cold_bytes = 96 * 1024; p_hot = 0.85 });
+          (0.3, Synth.Stack_slots { slots = 24 }) ];
+      branch_style = Synth.Biased 0.82 }
+  | Gcc1 ->
+    { Synth.name = "gcc1"; seed = 0x6C;
+      n_segments = 26; p_diamond = 0.65; p_inner_loop = 0.1;
+      inner_trip_min = 2; inner_trip_max = 6; outer_trip = 100_000;
+      block_min = 3; block_max = 8;
+      int_pool = 26; fp_pool = 0;
+      n_communities = 3; p_cross_community = 0.12;
+      mix = mix ~int_other:0.55 ~int_multiply:0.02 ~fp_other:0.0 ~fp_divide:0.0
+              ~load:0.28 ~store:0.15;
+      chain_bias = 0.5; fp64_div_frac = 0.0; mem_fp_frac = 0.0; sp_base_frac = 0.35;
+      mem_kinds =
+        [ (0.55, Synth.Hot_cold { hot_bytes = 16 * 1024; cold_bytes = 384 * 1024; p_hot = 0.8 });
+          (0.45, Synth.Stack_slots { slots = 32 }) ];
+      branch_style = Synth.Data_dependent 0.6 }
+  | Ora ->
+    { Synth.name = "ora"; seed = 0x0A;
+      n_segments = 8; p_diamond = 0.2; p_inner_loop = 0.15;
+      inner_trip_min = 5; inner_trip_max = 20; outer_trip = 100_000;
+      block_min = 6; block_max = 14;
+      int_pool = 10; fp_pool = 18;
+      n_communities = 2; p_cross_community = 0.2;
+      mix = mix ~int_other:0.22 ~int_multiply:0.0 ~fp_other:0.52 ~fp_divide:0.18
+              ~load:0.10 ~store:0.06;
+      chain_bias = 0.7; fp64_div_frac = 0.8; mem_fp_frac = 0.85; sp_base_frac = 0.6;
+      mem_kinds = [ (1.0, Synth.Stack_slots { slots = 24 }) ];
+      branch_style = Synth.Biased 0.93 }
+  | Su2cor ->
+    { Synth.name = "su2cor"; seed = 0x52;
+      n_segments = 10; p_diamond = 0.12; p_inner_loop = 0.45;
+      inner_trip_min = 20; inner_trip_max = 80; outer_trip = 100_000;
+      block_min = 10; block_max = 22;
+      int_pool = 16; fp_pool = 32;
+      n_communities = 2; p_cross_community = 0.08;
+      mix = mix ~int_other:0.14 ~int_multiply:0.02 ~fp_other:0.42 ~fp_divide:0.01
+              ~load:0.28 ~store:0.13;
+      chain_bias = 0.45; fp64_div_frac = 0.7; mem_fp_frac = 0.9; sp_base_frac = 0.2;
+      mem_kinds =
+        [ (0.85, Synth.Array_sweep { arrays = 6; stride = 8; array_bytes = 512 * 1024 });
+          (0.15, Synth.Stack_slots { slots = 16 }) ];
+      branch_style = Synth.Biased 0.9 }
+  | Tomcatv ->
+    { Synth.name = "tomcatv"; seed = 0x71;
+      n_segments = 8; p_diamond = 0.08; p_inner_loop = 0.55;
+      inner_trip_min = 30; inner_trip_max = 120; outer_trip = 100_000;
+      block_min = 14; block_max = 26;
+      int_pool = 12; fp_pool = 28;
+      n_communities = 2; p_cross_community = 0.13;
+      mix = mix ~int_other:0.12 ~int_multiply:0.01 ~fp_other:0.46 ~fp_divide:0.01
+              ~load:0.29 ~store:0.11;
+      chain_bias = 0.5; fp64_div_frac = 0.7; mem_fp_frac = 0.92; sp_base_frac = 0.15;
+      mem_kinds =
+        [ (0.9, Synth.Array_sweep { arrays = 8; stride = 8; array_bytes = 256 * 1024 });
+          (0.1, Synth.Stack_slots { slots = 12 }) ];
+      branch_style = Synth.Biased 0.95 }
+
+let program b = Synth.generate (params b)

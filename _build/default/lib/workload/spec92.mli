@@ -1,0 +1,27 @@
+(** The six SPEC92 benchmarks of the paper's evaluation (Table 2), as
+    synthetic stand-ins.
+
+    Each preset parameterizes {!Synth.generate} with the published
+    character of the benchmark — instruction mix, branch behaviour,
+    working-set size and dependence structure — so that the {e relative}
+    effects the paper reports (dual-cluster slowdowns, the benefit of the
+    local scheduler, the compress and ora anomalies) can emerge from the
+    model. Absolute cycle counts are not comparable to 1992 binaries and
+    are not meant to be. *)
+
+type benchmark = Compress | Doduc | Gcc1 | Ora | Su2cor | Tomcatv
+
+val all : benchmark list
+(** In the paper's Table-2 row order. *)
+
+val name : benchmark -> string
+val of_name : string -> benchmark option
+
+val description : benchmark -> string
+(** One line on what the real benchmark does and which traits the preset
+    models. *)
+
+val params : benchmark -> Synth.params
+
+val program : benchmark -> Mcsim_ir.Program.t
+(** [Synth.generate (params b)]. *)

@@ -1,0 +1,354 @@
+module Il = Mcsim_ir.Il
+module Program = Mcsim_ir.Program
+module Branch_model = Mcsim_ir.Branch_model
+module Mem_stream = Mcsim_ir.Mem_stream
+module Op_class = Mcsim_isa.Op_class
+module Rng = Mcsim_util.Rng
+module Builder = Mcsim_ir.Program.Builder
+
+type op_mix = {
+  w_int_other : float;
+  w_int_multiply : float;
+  w_fp_other : float;
+  w_fp_divide : float;
+  w_load : float;
+  w_store : float;
+}
+
+let validate_mix m =
+  let ws = [ m.w_int_other; m.w_int_multiply; m.w_fp_other; m.w_fp_divide; m.w_load; m.w_store ] in
+  if List.exists (fun w -> w < 0.0) ws then invalid_arg "Synth: negative mix weight";
+  if List.fold_left ( +. ) 0.0 ws <= 0.0 then invalid_arg "Synth: all-zero mix"
+
+type mem_kind =
+  | Stack_slots of { slots : int }
+  | Array_sweep of { arrays : int; stride : int; array_bytes : int }
+  | Table_random of { table_bytes : int }
+  | Hot_cold of { hot_bytes : int; cold_bytes : int; p_hot : float }
+
+type branch_style =
+  | Biased of float
+  | Patterned
+  | Data_dependent of float
+
+type params = {
+  name : string;
+  seed : int;
+  n_segments : int;
+  p_diamond : float;
+  p_inner_loop : float;
+  inner_trip_min : int;
+  inner_trip_max : int;
+  outer_trip : int;
+  block_min : int;
+  block_max : int;
+  int_pool : int;
+  fp_pool : int;
+  n_communities : int;
+  p_cross_community : float;
+  mix : op_mix;
+  chain_bias : float;
+  fp64_div_frac : float;
+  mem_fp_frac : float;
+  sp_base_frac : float;
+  mem_kinds : (float * mem_kind) list;
+  branch_style : branch_style;
+}
+
+let validate p =
+  validate_mix p.mix;
+  if p.n_segments < 1 then invalid_arg "Synth: n_segments < 1";
+  if p.outer_trip < 1 then invalid_arg "Synth: outer_trip < 1";
+  if p.block_min < 1 || p.block_max < p.block_min then invalid_arg "Synth: bad block sizes";
+  if p.int_pool < 2 then invalid_arg "Synth: int_pool < 2";
+  if p.fp_pool < 0 then invalid_arg "Synth: fp_pool < 0";
+  if p.inner_trip_min < 1 || p.inner_trip_max < p.inner_trip_min then
+    invalid_arg "Synth: bad inner trips";
+  let frac f = f < 0.0 || f > 1.0 in
+  if frac p.p_diamond || frac p.p_inner_loop || frac p.chain_bias || frac p.fp64_div_frac
+     || frac p.mem_fp_frac || frac p.sp_base_frac || frac p.p_cross_community
+  then invalid_arg "Synth: fraction out of [0,1]";
+  if p.n_communities < 1 then invalid_arg "Synth: n_communities < 1";
+  if p.int_pool < 2 * p.n_communities then
+    invalid_arg "Synth: int_pool too small for the community count";
+  if p.mem_kinds = [] then invalid_arg "Synth: no mem kinds";
+  if List.exists (fun (w, _) -> w < 0.0) p.mem_kinds then invalid_arg "Synth: negative mem weight"
+
+(* ------------------------------------------------------------------ *)
+
+type gen = {
+  p : params;
+  rng : Rng.t;
+  b : Builder.t;
+  int_lrs : Il.lr array;
+  fp_lrs : Il.lr array;
+  mutable community : int;  (* data-flow community of the current segment *)
+  mutable recent_int : Il.lr;
+  mutable recent_fp : Il.lr option;
+  next_int_dst : int array;  (* per-community round-robin cursors *)
+  next_fp_dst : int array;
+  mutable region_base : int;  (* bump allocator for memory regions *)
+  mutable stack_next : int;
+  mutable sweep_round_robin : int;
+  (* Instantiated region models are shared by the instructions that pick
+     the same kind, as benchmark code shares its data structures. *)
+  mutable regions : (mem_kind * Mem_stream.t list) list;
+}
+
+let region_align = 1 lsl 16
+
+let alloc_region g bytes =
+  let base = g.region_base in
+  let size = (bytes + region_align - 1) / region_align * region_align in
+  g.region_base <- base + size;
+  base
+
+let streams_of_kind g kind =
+  match List.assoc_opt kind g.regions with
+  | Some s -> s
+  | None ->
+    let streams =
+      match kind with
+      | Stack_slots { slots } ->
+        List.init slots (fun i -> Mem_stream.Fixed { addr = 0x1000 + (8 * (g.stack_next + i)) })
+        |> fun l ->
+        g.stack_next <- g.stack_next + slots;
+        l
+      | Array_sweep { arrays; stride; array_bytes } ->
+        List.init arrays (fun _ ->
+            let base = alloc_region g array_bytes in
+            Mem_stream.Stride { base; stride; count = max 1 (array_bytes / max 1 stride) })
+      | Table_random { table_bytes } ->
+        let base = alloc_region g table_bytes in
+        [ Mem_stream.Uniform { base; size = table_bytes } ]
+      | Hot_cold { hot_bytes; cold_bytes; p_hot } ->
+        let hot_base = alloc_region g hot_bytes in
+        let cold_base = alloc_region g cold_bytes in
+        [ Mem_stream.Mixed { hot_base; hot_size = hot_bytes; cold_base; cold_size = cold_bytes;
+                             p_hot } ]
+    in
+    g.regions <- (kind, streams) :: g.regions;
+    streams
+
+let pick_stream g =
+  let weights = Array.of_list (List.map fst g.p.mem_kinds) in
+  let kinds = Array.of_list (List.map snd g.p.mem_kinds) in
+  let kind = kinds.(Rng.weighted_index g.rng weights) in
+  let streams = streams_of_kind g kind in
+  match kind with
+  | Array_sweep _ ->
+    (* Sweeps visit their arrays round-robin so each static load tends to
+       stream one array, as compiled loops do. *)
+    let n = List.length streams in
+    let i = g.sweep_round_robin mod n in
+    g.sweep_round_robin <- g.sweep_round_robin + 1;
+    List.nth streams i
+  | Stack_slots _ | Table_random _ | Hot_cold _ ->
+    List.nth streams (Rng.int g.rng (List.length streams))
+
+(* ------------------------------------------------------------------ *)
+(* Operand selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Community slice of a pool: segment data-flow locality. Pools too small
+   to split act as a single community. *)
+let slice g a =
+  let n = g.p.n_communities in
+  let len = Array.length a in
+  if len < 2 * n then (0, len)
+  else begin
+    let k = g.community mod n in
+    (k * len / n, (((k + 1) * len / n) - (k * len / n)))
+  end
+
+let pick_in_community g a =
+  if Array.length a >= 2 * g.p.n_communities && Rng.bernoulli g.rng g.p.p_cross_community
+  then Rng.pick g.rng a
+  else begin
+    let base, len = slice g a in
+    a.(base + Rng.int g.rng len)
+  end
+
+let src_int g =
+  if Rng.bernoulli g.rng g.p.chain_bias then g.recent_int
+  else pick_in_community g g.int_lrs
+
+let src_fp g =
+  match g.recent_fp with
+  | Some r when Rng.bernoulli g.rng g.p.chain_bias -> r
+  | Some _ | None -> pick_in_community g g.fp_lrs
+
+let dst_in_community g a cursors =
+  let base, len = slice g a in
+  let k = g.community mod Array.length cursors in
+  let lr = a.(base + (cursors.(k) mod len)) in
+  cursors.(k) <- cursors.(k) + 1;
+  lr
+
+let dst_int g =
+  let lr = dst_in_community g g.int_lrs g.next_int_dst in
+  g.recent_int <- lr;
+  lr
+
+let dst_fp g =
+  let lr = dst_in_community g g.fp_lrs g.next_fp_dst in
+  g.recent_fp <- Some lr;
+  lr
+
+let addr_base g =
+  if Rng.bernoulli g.rng g.p.sp_base_frac then
+    if Rng.bool g.rng then Builder.sp g.b else Builder.gp g.b
+  else src_int g
+
+(* ------------------------------------------------------------------ *)
+(* Instruction generation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_instr g =
+  let m = g.p.mix in
+  let has_fp = Array.length g.fp_lrs > 0 in
+  let weights =
+    [| m.w_int_other; m.w_int_multiply;
+       (if has_fp then m.w_fp_other else 0.0);
+       (if has_fp then m.w_fp_divide else 0.0);
+       m.w_load; m.w_store |]
+  in
+  match Rng.weighted_index g.rng weights with
+  | 0 ->
+    let s1 = src_int g and s2 = src_int g in
+    Il.instr ~op:Op_class.Int_other ~srcs:[ s1; s2 ] ~dst:(dst_int g) ()
+  | 1 ->
+    let s1 = src_int g and s2 = src_int g in
+    Il.instr ~op:Op_class.Int_multiply ~srcs:[ s1; s2 ] ~dst:(dst_int g) ()
+  | 2 ->
+    let s1 = src_fp g and s2 = src_fp g in
+    Il.instr ~op:Op_class.Fp_other ~srcs:[ s1; s2 ] ~dst:(dst_fp g) ()
+  | 3 ->
+    let s1 = src_fp g and s2 = src_fp g in
+    let bits64 = Rng.bernoulli g.rng g.p.fp64_div_frac in
+    Il.instr ~op:(Op_class.Fp_divide { bits64 }) ~srcs:[ s1; s2 ] ~dst:(dst_fp g) ()
+  | 4 ->
+    let base = addr_base g in
+    let fp = has_fp && Rng.bernoulli g.rng g.p.mem_fp_frac in
+    let dst = if fp then dst_fp g else dst_int g in
+    Il.instr ~op:Op_class.Load ~srcs:[ base ] ~dst ~mem:(pick_stream g) ()
+  | 5 ->
+    let fp = has_fp && Rng.bernoulli g.rng g.p.mem_fp_frac in
+    let data = if fp then src_fp g else src_int g in
+    let base = addr_base g in
+    Il.instr ~op:Op_class.Store ~srcs:[ data; base ] ~mem:(pick_stream g) ()
+  | _ -> assert false
+
+let gen_body g =
+  (* Blocks start from their community's values, not from whatever the
+     previously generated (= different-community) block left in the chain
+     state; cross-community flow is controlled by [p_cross_community]
+     alone. *)
+  g.recent_int <- pick_in_community g g.int_lrs;
+  if Array.length g.fp_lrs > 0 then g.recent_fp <- Some (pick_in_community g g.fp_lrs);
+  let n = g.p.block_min + Rng.int g.rng (g.p.block_max - g.p.block_min + 1) in
+  List.init n (fun _ -> gen_instr g)
+
+let diamond_model g =
+  match g.p.branch_style with
+  | Biased p ->
+    let jitter = Rng.float g.rng 0.1 -. 0.05 in
+    Branch_model.Taken_prob (min 0.98 (max 0.02 (p +. jitter)))
+  | Patterned ->
+    let len = 2 + Rng.int g.rng 6 in
+    Branch_model.Pattern (Array.init len (fun _ -> Rng.bool g.rng))
+  | Data_dependent p_repeat ->
+    Branch_model.Correlated { p_repeat; p_taken_init = 0.5 }
+
+(* ------------------------------------------------------------------ *)
+(* Program assembly                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Each segment generator receives the block id it must branch to when
+   finished and returns the id of its first block. Blocks are built in
+   reverse segment order so "next" ids already exist. *)
+
+let gen_straight g ~next =
+  Builder.add_block g.b (gen_body g) (Il.Fallthrough next)
+
+let gen_diamond g ~next =
+  let then_blk = Builder.add_block g.b (gen_body g) (Il.Jump next) in
+  let else_blk = Builder.add_block g.b (gen_body g) (Il.Fallthrough next) in
+  let cond = src_int g in
+  Builder.add_block g.b (gen_body g)
+    (Il.Cond { src = Some cond; model = diamond_model g; taken = then_blk; not_taken = else_blk })
+
+let gen_inner_loop g ~next =
+  let trip =
+    g.p.inner_trip_min + Rng.int g.rng (g.p.inner_trip_max - g.p.inner_trip_min + 1)
+  in
+  let body = Builder.reserve_block g.b in
+  let cond = src_int g in
+  Builder.define_block g.b body (gen_body g)
+    (Il.Cond { src = Some cond; model = Branch_model.Loop { trip }; taken = body;
+               not_taken = next });
+  body
+
+let gen_segment g ~next =
+  let x = Rng.float g.rng 1.0 in
+  if x < g.p.p_diamond then gen_diamond g ~next
+  else if x < g.p.p_diamond +. g.p.p_inner_loop then gen_inner_loop g ~next
+  else gen_straight g ~next
+
+let generate p =
+  validate p;
+  let b = Builder.create ~name:p.name in
+  let rng = Rng.create p.seed in
+  let int_lrs =
+    Array.init p.int_pool (fun i -> Builder.fresh_lr b ~name:(Printf.sprintf "i%d" i) Il.Bank_int)
+  in
+  let fp_lrs =
+    Array.init p.fp_pool (fun i -> Builder.fresh_lr b ~name:(Printf.sprintf "f%d" i) Il.Bank_fp)
+  in
+  let g =
+    { p; rng; b; int_lrs; fp_lrs; community = 0; recent_int = int_lrs.(0); recent_fp = None;
+      next_int_dst = Array.make p.n_communities 0; next_fp_dst = Array.make p.n_communities 0;
+      region_base = 0x0010_0000; stack_next = 0; sweep_round_robin = 0; regions = [] }
+  in
+  (* Exit, then segments back to front, then loop tail wiring. *)
+  let exit_blk = Builder.add_block b [] Il.Halt in
+  let header = Builder.reserve_block b in
+  let tail =
+    let cond = src_int g in
+    Builder.add_block b (gen_body g)
+      (Il.Cond { src = Some cond; model = Branch_model.Loop { trip = p.outer_trip };
+                 taken = header; not_taken = exit_blk })
+  in
+  let first_inner =
+    let rec build i next =
+      if i = 0 then next
+      else begin
+        g.community <- i;
+        build (i - 1) (gen_segment g ~next)
+      end
+    in
+    build (p.n_segments - 1) tail
+  in
+  g.community <- 0;
+  (* The header is the first segment. *)
+  (let x = Rng.float g.rng 1.0 in
+   let next = first_inner in
+   if x < p.p_diamond then begin
+     let then_blk = Builder.add_block b (gen_body g) (Il.Jump next) in
+     let else_blk = Builder.add_block b (gen_body g) (Il.Fallthrough next) in
+     let cond = src_int g in
+     Builder.define_block b header (gen_body g)
+       (Il.Cond { src = Some cond; model = diamond_model g; taken = then_blk;
+                  not_taken = else_blk })
+   end
+   else Builder.define_block b header (gen_body g) (Il.Fallthrough next));
+  (* Entry block: define every pool live range once (integer constants and
+     fp loads), then enter the outer loop. *)
+  let init_instrs =
+    List.map (fun lr -> Il.instr ~op:Op_class.Int_other ~srcs:[] ~dst:lr ())
+      (Array.to_list int_lrs)
+    @ List.map (fun lr -> Il.instr ~op:Op_class.Fp_other ~srcs:[] ~dst:lr ())
+        (Array.to_list fp_lrs)
+  in
+  let entry = Builder.add_block b init_instrs (Il.Jump header) in
+  Builder.finish b ~entry

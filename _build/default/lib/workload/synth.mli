@@ -1,0 +1,76 @@
+(** Parametric synthetic-program generator.
+
+    Stands in for the paper's SPEC92 binaries: each benchmark is a
+    deterministic (seeded) IL program whose instruction mix, dependence
+    structure, control behaviour and memory locality are set by
+    {!params}. The generated program is one big outer loop over a
+    sequence of {e segments} — straight-line blocks, if-diamonds, and
+    inner loops — operating on fixed pools of integer and floating-point
+    live ranges, with loads and stores drawing addresses from region
+    models that mimic the benchmark's working set. *)
+
+type op_mix = {
+  w_int_other : float;
+  w_int_multiply : float;
+  w_fp_other : float;
+  w_fp_divide : float;
+  w_load : float;
+  w_store : float;
+}
+(** Relative weights of body-instruction classes (control flow comes from
+    the block structure, not the mix). *)
+
+val validate_mix : op_mix -> unit
+(** @raise Invalid_argument on negative weights or all-zero mix. *)
+
+type mem_kind =
+  | Stack_slots of { slots : int }
+      (** sp-relative scalar slots; hits after first touch *)
+  | Array_sweep of { arrays : int; stride : int; array_bytes : int }
+      (** streaming sweeps over large arrays (vector codes) *)
+  | Table_random of { table_bytes : int }
+      (** uniform random over a table (hashing) *)
+  | Hot_cold of { hot_bytes : int; cold_bytes : int; p_hot : float }
+      (** skewed accesses: small hot set, big cold set *)
+
+type branch_style =
+  | Biased of float  (** Bernoulli(p)-taken diamonds, p jittered per site *)
+  | Patterned  (** short periodic patterns (global history predictable) *)
+  | Data_dependent of float  (** correlated outcomes, repeat-prob given *)
+
+type params = {
+  name : string;
+  seed : int;
+  n_segments : int;
+  p_diamond : float;  (** segment is an if-diamond *)
+  p_inner_loop : float;  (** else: inner loop; remainder: straight block *)
+  inner_trip_min : int;
+  inner_trip_max : int;
+  outer_trip : int;
+  block_min : int;  (** body instructions per block *)
+  block_max : int;
+  int_pool : int;  (** integer live ranges (register-pressure knob) *)
+  fp_pool : int;
+  n_communities : int;
+      (** data-flow communities: each segment's instructions draw their
+          operands mostly from one slice of the pools, giving the program
+          the clusterable dataflow structure real code has (independent
+          strands); requires [int_pool >= 2 * n_communities] *)
+  p_cross_community : float;
+      (** probability an operand crosses community boundaries *)
+  mix : op_mix;
+  chain_bias : float;  (** P(source = most recent same-bank definition) *)
+  fp64_div_frac : float;  (** fraction of fp divides that are 64-bit *)
+  mem_fp_frac : float;  (** fraction of loads/stores moving fp data *)
+  sp_base_frac : float;  (** fraction of memory ops based off sp/gp *)
+  mem_kinds : (float * mem_kind) list;  (** weighted region models *)
+  branch_style : branch_style;
+}
+
+val validate : params -> unit
+(** @raise Invalid_argument on out-of-range fields. *)
+
+val generate : params -> Mcsim_ir.Program.t
+(** Deterministic in [params] (including [seed]). The result passes
+    {!Mcsim_ir.Program.validate}; every pool live range is defined in the
+    entry block before the outer loop. *)

@@ -1,0 +1,1 @@
+test/event_audit.ml: Array Hashtbl List Mcsim_cluster Mcsim_isa Option Printf

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Event_audit List Mcsim_cluster Mcsim_compiler Mcsim_trace Mcsim_workload QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_branch_cache.ml: Alcotest List Mcsim_branch Mcsim_cache Mcsim_util Printf QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Hashtbl List Mcsim_cluster Mcsim_compiler Mcsim_isa Mcsim_trace Mcsim_workload Option Printf QCheck QCheck_alcotest

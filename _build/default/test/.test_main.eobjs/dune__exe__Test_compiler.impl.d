@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array List Mcsim Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_isa Mcsim_trace Mcsim_util Mcsim_workload Printf QCheck QCheck_alcotest

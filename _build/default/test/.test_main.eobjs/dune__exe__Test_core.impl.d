@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Mcsim Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_workload Option Printf Str String

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Mcsim_cpu Mcsim_isa Option

@@ -1,0 +1,1 @@
+test/test_crossval.ml: Alcotest Array Hashtbl Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_isa Mcsim_trace Mcsim_workload Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Event_audit List Mcsim Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_isa Mcsim_trace Str String

@@ -1,0 +1,1 @@
+test/test_format.ml: Alcotest Array List Mcsim_cluster Mcsim_compiler Mcsim_isa Mcsim_trace Mcsim_workload Printf Str

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Format List Mcsim Mcsim_cluster Mcsim_timing Printf String

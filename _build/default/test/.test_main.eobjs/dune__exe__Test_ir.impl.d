@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Fun List Mcsim_ir Mcsim_isa Mcsim_util Mcsim_workload QCheck QCheck_alcotest String

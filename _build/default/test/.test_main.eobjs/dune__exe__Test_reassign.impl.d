@@ -1,0 +1,1 @@
+test/test_reassign.ml: Alcotest Array List Mcsim Mcsim_cluster Mcsim_isa Str

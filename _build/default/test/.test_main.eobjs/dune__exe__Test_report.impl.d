@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array List Mcsim Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_isa Mcsim_trace Mcsim_workload Str String

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array List Mcsim_compiler Mcsim_ir Mcsim_isa Mcsim_trace Mcsim_workload Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun List Mcsim_util Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl List Mcsim_cluster Mcsim_compiler Mcsim_ir Mcsim_isa Mcsim_trace Mcsim_workload Printf String

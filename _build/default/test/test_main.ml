@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "mcsim"
+    [ Test_util.suite;
+      Test_isa.suite;
+      Test_ir.suite;
+      Test_branch_cache.suite;
+      Test_cpu.suite;
+      Test_cluster.suite;
+      Test_compiler.suite;
+      Test_trace.suite;
+      Test_workload.suite;
+      Test_timing.suite;
+      Test_core.suite;
+      Test_audit.suite;
+      Test_extensions.suite;
+      Test_reassign.suite;
+      Test_format.suite;
+      Test_report.suite;
+      Test_golden.suite;
+      Test_crossval.suite ]

@@ -1,0 +1,165 @@
+(* Tests for the CSV/Markdown exporters and the extra workload presets. *)
+
+module Report = Mcsim.Report
+module Table2 = Mcsim.Table2
+module Extra = Mcsim_workload.Extra
+module Program = Mcsim_ir.Program
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let sample_rows =
+  [ { Table2.benchmark = "gcc1"; none_pct = -15.25; local_pct = -10.5; single_cycles = 1000;
+      none_cycles = 1152; local_cycles = 1105; none_replays = 0; local_replays = 2 } ]
+
+let csv_escape () =
+  check Alcotest.string "plain" "abc" (Report.csv_escape "abc");
+  check Alcotest.string "comma" "\"a,b\"" (Report.csv_escape "a,b");
+  check Alcotest.string "quote" "\"a\"\"b\"" (Report.csv_escape "a\"b")
+
+let table2_csv () =
+  let csv = Report.table2_csv sample_rows in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  check Alcotest.int "header + 1 row" 2 (List.length lines);
+  check Alcotest.bool "header names" true
+    (String.length (List.hd lines) > 0
+    && String.sub (List.hd lines) 0 9 = "benchmark");
+  let row = List.nth lines 1 in
+  check Alcotest.bool "benchmark and paper value present" true
+    (let has s =
+       try ignore (Str.search_forward (Str.regexp_string s) row 0); true
+       with Not_found -> false
+     in
+     has "gcc1" && has "-15.0" (* paper value for gcc1 *) && has "1152")
+
+let table2_markdown () =
+  let md = Report.table2_markdown sample_rows in
+  check Alcotest.bool "markdown table shape" true
+    (String.length md > 0 && md.[0] = '|'
+    && String.split_on_char '\n' md |> List.length >= 3)
+
+let ablation_csv () =
+  let sweep =
+    { Mcsim.Ablation.sweep_name = "test sweep"; benchmark = "x";
+      points =
+        [ { Mcsim.Ablation.label = "a, b"; dual_cycles = 10; speedup_pct = 1.5; replays = 0;
+            dual_distributed = 3 } ] }
+  in
+  let csv = Report.ablation_csv sweep in
+  check Alcotest.bool "quoted label" true
+    (try ignore (Str.search_forward (Str.regexp_string "\"a, b\"") csv 0); true
+     with Not_found -> false)
+
+let counters_csv () =
+  let r =
+    Mcsim_cluster.Machine.run
+      (Mcsim_cluster.Machine.single_cluster ())
+      [| Mcsim_isa.Instr.dynamic ~seq:0 ~pc:0
+           (Mcsim_isa.Instr.make ~op:Mcsim_isa.Op_class.Int_other ~srcs:[]
+              ~dst:(Some (Mcsim_isa.Reg.int_reg 2))) |]
+  in
+  let csv = Report.counters_csv r in
+  check Alcotest.bool "has retired counter" true
+    (try ignore (Str.search_forward (Str.regexp_string "retired,1") csv 0); true
+     with Not_found -> false)
+
+let net_csv () =
+  let rows =
+    [ { Mcsim.Cycle_time.benchmark = "x"; cycles_pct = -10.0; net_035_pct = 5.0;
+        net_018_pct = 40.0 } ]
+  in
+  let csv = Report.net_csv rows in
+  check Alcotest.int "two lines" 2
+    (String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") |> List.length)
+
+(* ------------------------- extra workloads ------------------------- *)
+
+let extra_presets_generate () =
+  List.iter
+    (fun b ->
+      let p = Extra.program b in
+      Program.validate p;
+      check Alcotest.bool (Extra.name b ^ " nontrivial") true (Program.num_blocks p > 2);
+      check Alcotest.bool "roundtrip name" true (Extra.of_name (Extra.name b) = Some b))
+    Extra.all
+
+let extra_presets_run () =
+  (* Each extra preset compiles and runs on both machines. *)
+  List.iter
+    (fun b ->
+      let prog = Extra.program b in
+      let profile = Mcsim_trace.Walker.profile prog in
+      let c =
+        Mcsim_compiler.Pipeline.compile ~profile
+          ~scheduler:Mcsim_compiler.Pipeline.default_local prog
+      in
+      let trace = Mcsim_trace.Walker.trace ~max_instrs:3_000 c.Mcsim_compiler.Pipeline.mach in
+      let r = Mcsim_cluster.Machine.run (Mcsim_cluster.Machine.dual_cluster ()) trace in
+      check Alcotest.int (Extra.name b ^ " retires") (Array.length trace)
+        r.Mcsim_cluster.Machine.retired)
+    Extra.all
+
+let four_way_configs_valid () =
+  Mcsim_cluster.Machine.validate_config (Mcsim_cluster.Machine.single_cluster_4 ());
+  Mcsim_cluster.Machine.validate_config (Mcsim_cluster.Machine.dual_cluster_2x2 ());
+  let l = Mcsim_isa.Issue_rules.four_way_dual_per_cluster in
+  check Alcotest.int "2-issue per cluster" 2 l.Mcsim_isa.Issue_rules.total
+
+let four_way_machines_run () =
+  let prog = Mcsim_workload.Spec92.program Mcsim_workload.Spec92.Gcc1 in
+  let profile = Mcsim_trace.Walker.profile prog in
+  let c =
+    Mcsim_compiler.Pipeline.compile ~profile ~scheduler:Mcsim_compiler.Pipeline.Sched_none prog
+  in
+  let trace = Mcsim_trace.Walker.trace ~max_instrs:5_000 c.Mcsim_compiler.Pipeline.mach in
+  let s4 = Mcsim_cluster.Machine.run (Mcsim_cluster.Machine.single_cluster_4 ()) trace in
+  let d22 = Mcsim_cluster.Machine.run (Mcsim_cluster.Machine.dual_cluster_2x2 ()) trace in
+  let s8 = Mcsim_cluster.Machine.run (Mcsim_cluster.Machine.single_cluster ()) trace in
+  check Alcotest.int "4-way retires" 5_000 s4.Mcsim_cluster.Machine.retired;
+  check Alcotest.int "2x2 retires" 5_000 d22.Mcsim_cluster.Machine.retired;
+  check Alcotest.bool "narrower machine is slower" true
+    (s4.Mcsim_cluster.Machine.cycles > s8.Mcsim_cluster.Machine.cycles)
+
+let cluster_count_runs () =
+  let rows =
+    Mcsim.Cluster_count.run ~max_instrs:6_000 ~benchmarks:[ Mcsim_workload.Spec92.Gcc1 ] ()
+  in
+  match rows with
+  | [ r ] ->
+    check Alcotest.int "three configurations" 3 (Array.length r.Mcsim.Cluster_count.cycles);
+    check (Alcotest.float 1e-9) "baseline is 0%" 0.0 r.Mcsim.Cluster_count.cycles_pct.(0);
+    check Alcotest.bool "partitioning costs cycles" true
+      (r.Mcsim.Cluster_count.cycles_pct.(1) < 0.0 && r.Mcsim.Cluster_count.cycles_pct.(2) < 0.0);
+    check Alcotest.bool "more clusters, more multi-distribution" true
+      (r.Mcsim.Cluster_count.multi_fraction.(2) > r.Mcsim.Cluster_count.multi_fraction.(1));
+    check Alcotest.bool "render works" true
+      (String.length (Mcsim.Cluster_count.render rows) > 50)
+  | _ -> Alcotest.fail "one row expected"
+
+let quad_compile_checks () =
+  (* The allocator respects modulo-4 residue classes. *)
+  let prog = Mcsim_workload.Spec92.program Mcsim_workload.Spec92.Compress in
+  let profile = Mcsim_trace.Walker.profile prog in
+  let c =
+    Mcsim_compiler.Pipeline.compile ~clusters:4 ~profile
+      ~scheduler:Mcsim_compiler.Pipeline.default_local prog
+  in
+  Mcsim_compiler.Regalloc.check c.Mcsim_compiler.Pipeline.alloc;
+  check Alcotest.int "partition targets four clusters" 4
+    c.Mcsim_compiler.Pipeline.alloc.Mcsim_compiler.Regalloc.partition
+      .Mcsim_compiler.Partition.clusters
+
+let suite =
+  ( "report+extra",
+    [ case "csv escaping" csv_escape;
+      case "table2 csv" table2_csv;
+      case "table2 markdown" table2_markdown;
+      case "ablation csv" ablation_csv;
+      case "counters csv" counters_csv;
+      case "net csv" net_csv;
+      case "extra presets generate" extra_presets_generate;
+      case "extra presets run" extra_presets_run;
+      case "four-way configs valid" four_way_configs_valid;
+      case "four-way machines run" four_way_machines_run;
+      case "cluster-count experiment" cluster_count_runs;
+      case "quad-cluster compilation checks" quad_compile_checks ] )

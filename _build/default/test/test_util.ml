@@ -1,0 +1,371 @@
+(* Tests for Mcsim_util: rng, fixed_queue, freelist, deque, stats,
+   text_table. *)
+
+module Rng = Mcsim_util.Rng
+module Fixed_queue = Mcsim_util.Fixed_queue
+module Freelist = Mcsim_util.Freelist
+module Deque = Mcsim_util.Deque
+module Stats = Mcsim_util.Stats
+module Text_table = Mcsim_util.Text_table
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+(* ---------------------------- rng ---------------------------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  check Alcotest.bool "different seeds differ" true !differs
+
+let rng_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let rng_float_range () =
+  let r = Rng.create 4 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let rng_split_independent () =
+  let root = Rng.create 5 in
+  let a = Rng.split root in
+  let b = Rng.split root in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check Alcotest.bool "split streams do not coincide" true (!same < 4)
+
+let rng_copy_continues () =
+  let a = Rng.create 6 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues in lockstep" (Rng.bits64 a) (Rng.bits64 b)
+
+let rng_bernoulli_frequency () =
+  let r = Rng.create 8 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  check Alcotest.bool "bernoulli(0.3) frequency" true (f > 0.27 && f < 0.33)
+
+let rng_geometric_mean () =
+  let r = Rng.create 9 in
+  let total = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    total := !total + Rng.geometric r 0.5
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  check Alcotest.bool "geometric(0.5) mean about 1" true (mean > 0.9 && mean < 1.1)
+
+let rng_weighted_index () =
+  let r = Rng.create 10 in
+  let counts = [| 0; 0; 0 |] in
+  for _ = 1 to 30_000 do
+    let i = Rng.weighted_index r [| 1.0; 0.0; 3.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check Alcotest.int "zero-weight bucket never drawn" 0 counts.(1);
+  check Alcotest.bool "3:1 ratio roughly holds" true
+    (float_of_int counts.(2) /. float_of_int counts.(0) > 2.5)
+
+let rng_pick_covers () =
+  let r = Rng.create 11 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.pick r [| 0; 1; 2; 3 |]) <- true
+  done;
+  check Alcotest.bool "all elements picked eventually" true (Array.for_all Fun.id seen)
+
+let rng_shuffle_permutation () =
+  let r = Rng.create 12 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "shuffle is a permutation" (Array.init 20 Fun.id) sorted
+
+(* ------------------------- fixed_queue ----------------------------- *)
+
+let fq_fifo_order () =
+  let q = Fixed_queue.create ~capacity:4 in
+  List.iter (Fixed_queue.push q) [ 1; 2; 3 ];
+  check Alcotest.(option int) "peek oldest" (Some 1) (Fixed_queue.peek q);
+  check Alcotest.(option int) "pop 1" (Some 1) (Fixed_queue.pop q);
+  check Alcotest.(option int) "pop 2" (Some 2) (Fixed_queue.pop q);
+  Fixed_queue.push q 4;
+  check Alcotest.(list int) "remaining order" [ 3; 4 ] (Fixed_queue.to_list q)
+
+let fq_capacity () =
+  let q = Fixed_queue.create ~capacity:2 in
+  check Alcotest.bool "push_opt ok" true (Fixed_queue.push_opt q 1);
+  check Alcotest.bool "push_opt ok" true (Fixed_queue.push_opt q 2);
+  check Alcotest.bool "push_opt full" false (Fixed_queue.push_opt q 3);
+  check Alcotest.bool "is_full" true (Fixed_queue.is_full q);
+  check Alcotest.int "room" 0 (Fixed_queue.room q);
+  Alcotest.check_raises "push on full" (Failure "Fixed_queue.push: full") (fun () ->
+      Fixed_queue.push q 3)
+
+let fq_wraparound () =
+  let q = Fixed_queue.create ~capacity:3 in
+  for i = 1 to 3 do Fixed_queue.push q i done;
+  ignore (Fixed_queue.pop q);
+  ignore (Fixed_queue.pop q);
+  Fixed_queue.push q 4;
+  Fixed_queue.push q 5;
+  check Alcotest.(list int) "wrapped order" [ 3; 4; 5 ] (Fixed_queue.to_list q)
+
+let fq_clear_and_filter () =
+  let q = Fixed_queue.create ~capacity:8 in
+  for i = 1 to 6 do Fixed_queue.push q i done;
+  Fixed_queue.filter_in_place (fun x -> x mod 2 = 0) q;
+  check Alcotest.(list int) "filtered, order kept" [ 2; 4; 6 ] (Fixed_queue.to_list q);
+  check Alcotest.bool "exists 4" true (Fixed_queue.exists (fun x -> x = 4) q);
+  check Alcotest.bool "exists 5" false (Fixed_queue.exists (fun x -> x = 5) q);
+  Fixed_queue.clear q;
+  check Alcotest.bool "cleared" true (Fixed_queue.is_empty q);
+  check Alcotest.(option int) "pop empty" None (Fixed_queue.pop q)
+
+let fq_model =
+  QCheck.Test.make ~name:"fixed_queue behaves like a bounded FIFO" ~count:300
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let q = Fixed_queue.create ~capacity:5 in
+      let model = ref [] in
+      List.iter
+        (fun (is_push, v) ->
+          if is_push then begin
+            let ok = Fixed_queue.push_opt q v in
+            if List.length !model < 5 then begin
+              assert ok;
+              model := !model @ [ v ]
+            end
+            else assert (not ok)
+          end
+          else
+            match (Fixed_queue.pop q, !model) with
+            | Some x, y :: rest ->
+              assert (x = y);
+              model := rest
+            | None, [] -> ()
+            | Some _, [] | None, _ :: _ -> assert false)
+        ops;
+      Fixed_queue.to_list q = !model)
+
+(* --------------------------- freelist ------------------------------ *)
+
+let fl_alloc_free () =
+  let f = Freelist.create ~size:3 in
+  check Alcotest.int "all free" 3 (Freelist.available f);
+  let a = Option.get (Freelist.alloc f) in
+  let b = Option.get (Freelist.alloc f) in
+  let c = Option.get (Freelist.alloc f) in
+  check Alcotest.(option int) "exhausted" None (Freelist.alloc f);
+  check Alcotest.bool "distinct ids" true (a <> b && b <> c && a <> c);
+  Freelist.free f b;
+  check Alcotest.int "one free" 1 (Freelist.available f);
+  check Alcotest.(option int) "reuse freed id" (Some b) (Freelist.alloc f)
+
+let fl_errors () =
+  let f = Freelist.create ~size:2 in
+  let a = Option.get (Freelist.alloc f) in
+  Freelist.free f a;
+  Alcotest.check_raises "double free" (Invalid_argument "Freelist.free: double free")
+    (fun () -> Freelist.free f a);
+  Alcotest.check_raises "out of range" (Invalid_argument "Freelist.free: out of range")
+    (fun () -> Freelist.free f 99)
+
+let fl_reset () =
+  let f = Freelist.create ~size:4 in
+  ignore (Freelist.alloc f);
+  ignore (Freelist.alloc f);
+  Freelist.reset f;
+  check Alcotest.int "reset frees all" 4 (Freelist.available f)
+
+let fl_invariant =
+  QCheck.Test.make ~name:"freelist never double-allocates" ~count:200
+    QCheck.(list bool)
+    (fun ops ->
+      let f = Freelist.create ~size:4 in
+      let held = ref [] in
+      List.iter
+        (fun is_alloc ->
+          if is_alloc then
+            match Freelist.alloc f with
+            | Some id ->
+              assert (not (List.mem id !held));
+              held := id :: !held
+            | None -> assert (List.length !held = 4)
+          else
+            match !held with
+            | id :: rest ->
+              Freelist.free f id;
+              held := rest
+            | [] -> ())
+        ops;
+      Freelist.available f = 4 - List.length !held)
+
+(* ---------------------------- deque -------------------------------- *)
+
+let dq_both_ends () =
+  let d = Deque.create () in
+  Deque.push_back d 1;
+  Deque.push_back d 2;
+  Deque.push_back d 3;
+  check Alcotest.(option int) "front" (Some 1) (Deque.peek_front d);
+  check Alcotest.(option int) "back" (Some 3) (Deque.peek_back d);
+  check Alcotest.(option int) "pop back" (Some 3) (Deque.pop_back d);
+  check Alcotest.(option int) "pop front" (Some 1) (Deque.pop_front d);
+  check Alcotest.int "length" 1 (Deque.length d)
+
+let dq_grow () =
+  let d = Deque.create () in
+  for i = 0 to 99 do Deque.push_back d i done;
+  check Alcotest.int "length 100" 100 (Deque.length d);
+  for i = 0 to 99 do
+    check Alcotest.int "get in order" i (Deque.get d i)
+  done;
+  Alcotest.check_raises "get out of range" (Invalid_argument "Deque.get") (fun () ->
+      ignore (Deque.get d 100))
+
+let dq_iter_order () =
+  let d = Deque.create () in
+  List.iter (Deque.push_back d) [ 5; 6; 7 ];
+  ignore (Deque.pop_front d);
+  Deque.push_back d 8;
+  let acc = ref [] in
+  Deque.iter (fun x -> acc := x :: !acc) d;
+  check Alcotest.(list int) "iter oldest-to-newest" [ 6; 7; 8 ] (List.rev !acc)
+
+let dq_model =
+  QCheck.Test.make ~name:"deque behaves like a list" ~count:300
+    QCheck.(list (pair (int_bound 2) small_int))
+    (fun ops ->
+      let d = Deque.create () in
+      let model = ref [] in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+            Deque.push_back d v;
+            model := !model @ [ v ]
+          | 1 -> (
+            match (Deque.pop_front d, !model) with
+            | Some x, y :: rest -> assert (x = y); model := rest
+            | None, [] -> ()
+            | Some _, [] | None, _ :: _ -> assert false)
+          | _ -> (
+            match (Deque.pop_back d, List.rev !model) with
+            | Some x, y :: rest -> assert (x = y); model := List.rev rest
+            | None, [] -> ()
+            | Some _, [] | None, _ :: _ -> assert false))
+        ops;
+      Deque.length d = List.length !model)
+
+(* ---------------------------- stats -------------------------------- *)
+
+let stats_dist () =
+  let d = Stats.dist_create () in
+  List.iter (Stats.dist_add d) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.dist_mean d);
+  check (Alcotest.float 1e-9) "stddev" 2.0 (Stats.dist_stddev d);
+  check (Alcotest.float 1e-9) "min" 2.0 (Stats.dist_min d);
+  check (Alcotest.float 1e-9) "max" 9.0 (Stats.dist_max d);
+  check (Alcotest.float 1e-9) "total" 40.0 (Stats.dist_total d);
+  check Alcotest.int "n" 8 (Stats.dist_n d)
+
+let stats_dist_empty () =
+  let d = Stats.dist_create () in
+  check (Alcotest.float 1e-9) "empty mean" 0.0 (Stats.dist_mean d);
+  check (Alcotest.float 1e-9) "empty var" 0.0 (Stats.dist_var d)
+
+let stats_counters () =
+  let c = Stats.counters_create () in
+  Stats.incr c "a";
+  Stats.incr c "a";
+  Stats.add c "b" 5;
+  check Alcotest.int "a" 2 (Stats.get c "a");
+  check Alcotest.int "b" 5 (Stats.get c "b");
+  check Alcotest.int "missing" 0 (Stats.get c "zzz");
+  check Alcotest.(list (pair string int)) "alist sorted" [ ("a", 2); ("b", 5) ]
+    (Stats.to_alist c)
+
+let stats_speedup () =
+  check (Alcotest.float 1e-9) "equal" 0.0 (Stats.percent_speedup ~single:100 ~dual:100);
+  check (Alcotest.float 1e-9) "25% slowdown" (-25.0)
+    (Stats.percent_speedup ~single:100 ~dual:125);
+  check (Alcotest.float 1e-9) "10% speedup" 10.0 (Stats.percent_speedup ~single:100 ~dual:90)
+
+(* -------------------------- text_table ----------------------------- *)
+
+let tt_render () =
+  let s = Text_table.render [ [ "h1"; "h2" ]; [ "a"; "bbbb" ]; [ "cc" ] ] in
+  let lines = String.split_on_char '\n' s in
+  check Alcotest.int "4 lines + trailing" 5 (List.length lines);
+  check Alcotest.string "header" "h1  h2" (List.nth lines 0);
+  check Alcotest.string "rule" "--  ----" (List.nth lines 1);
+  check Alcotest.string "padded row" "a   bbbb" (List.nth lines 2);
+  check Alcotest.string "short row" "cc" (List.nth lines 3)
+
+let tt_align_right () =
+  let s =
+    Text_table.render ~aligns:[| Text_table.Left; Text_table.Right |]
+      [ [ "x"; "num" ]; [ "a"; "7" ] ]
+  in
+  check Alcotest.bool "right-aligned number" true
+    (String.split_on_char '\n' s |> fun l -> List.nth l 2 = "a    7")
+
+let tt_empty () = check Alcotest.string "empty table" "" (Text_table.render [])
+
+let suite =
+  ( "util",
+    [ case "rng: deterministic from seed" rng_deterministic;
+      case "rng: seed sensitivity" rng_seed_sensitivity;
+      case "rng: int in range" rng_int_range;
+      case "rng: float in range" rng_float_range;
+      case "rng: split independence" rng_split_independent;
+      case "rng: copy continues stream" rng_copy_continues;
+      case "rng: bernoulli frequency" rng_bernoulli_frequency;
+      case "rng: geometric mean" rng_geometric_mean;
+      case "rng: weighted index" rng_weighted_index;
+      case "rng: pick covers all" rng_pick_covers;
+      case "rng: shuffle is a permutation" rng_shuffle_permutation;
+      case "fixed_queue: fifo order" fq_fifo_order;
+      case "fixed_queue: capacity limits" fq_capacity;
+      case "fixed_queue: wraparound" fq_wraparound;
+      case "fixed_queue: clear and filter" fq_clear_and_filter;
+      QCheck_alcotest.to_alcotest fq_model;
+      case "freelist: alloc and free" fl_alloc_free;
+      case "freelist: error cases" fl_errors;
+      case "freelist: reset" fl_reset;
+      QCheck_alcotest.to_alcotest fl_invariant;
+      case "deque: both ends" dq_both_ends;
+      case "deque: growth and indexing" dq_grow;
+      case "deque: iteration order" dq_iter_order;
+      QCheck_alcotest.to_alcotest dq_model;
+      case "stats: dist moments" stats_dist;
+      case "stats: empty dist" stats_dist_empty;
+      case "stats: counters" stats_counters;
+      case "stats: percent speedup" stats_speedup;
+      case "text_table: render" tt_render;
+      case "text_table: right align" tt_align_right;
+      case "text_table: empty" tt_empty ] )
