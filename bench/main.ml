@@ -38,11 +38,51 @@ let figure6 () =
   section "Figure 6 - the local scheduler's worked example (section 3.5)";
   print_string (Mcsim.Figure6.render (Mcsim.Figure6.run ()))
 
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Machine-readable record of the serial-vs-parallel Table-2 run, for
+   tracking the fan-out's wall-clock win across machines. *)
+let write_table2_json ~jobs ~serial_s ~parallel_s ~rows_identical rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"max_instrs\": %d,\n" table2_instrs);
+  Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" (Mcsim_util.Pool.default_jobs ()));
+  Buffer.add_string buf (Printf.sprintf "  \"jobs_parallel\": %d,\n" jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"serial_seconds\": %.3f,\n" serial_s);
+  Buffer.add_string buf (Printf.sprintf "  \"parallel_seconds\": %.3f,\n" parallel_s);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup\": %.3f,\n" (serial_s /. Float.max 1e-9 parallel_s));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"rows_identical\": %b,\n" rows_identical);
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"benchmark\": %S, \"single_cycles\": %d, \"none_cycles\": %d, \
+            \"local_cycles\": %d, \"none_pct\": %.2f, \"local_pct\": %.2f}%s\n"
+           r.Mcsim.Table2.benchmark r.Mcsim.Table2.single_cycles r.Mcsim.Table2.none_cycles
+           r.Mcsim.Table2.local_cycles r.Mcsim.Table2.none_pct r.Mcsim.Table2.local_pct
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Out_channel.with_open_text "BENCH_table2.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  print_endline "  (wrote BENCH_table2.json)"
+
 let table2 () =
   section
     (Printf.sprintf "Table 2 - dual-cluster speedup/slowdown (%d-instruction traces)"
        table2_instrs);
-  let rows = Mcsim.Table2.run ~max_instrs:table2_instrs () in
+  let rows, serial_s = wall (fun () -> Mcsim.Table2.run ~jobs:1 ~max_instrs:table2_instrs ()) in
+  let jobs = max 4 (Mcsim_util.Pool.default_jobs ()) in
+  let rows_par, parallel_s =
+    wall (fun () -> Mcsim.Table2.run ~jobs ~max_instrs:table2_instrs ())
+  in
+  let rows_identical = rows = rows_par in
   print_string (Mcsim.Table2.render rows);
   print_newline ();
   print_endline "Qualitative claims (measured against the paper):";
@@ -56,6 +96,13 @@ let table2 () =
       Printf.printf "  %-9s none=%d local=%d\n" r.Mcsim.Table2.benchmark
         r.Mcsim.Table2.none_replays r.Mcsim.Table2.local_replays)
     rows;
+  print_newline ();
+  Printf.printf
+    "Wall clock: jobs=1 %.2fs, jobs=%d %.2fs, speedup %.2fx; parallel rows %s\n" serial_s
+    jobs parallel_s
+    (serial_s /. Float.max 1e-9 parallel_s)
+    (if rows_identical then "identical to serial" else "DIFFER from serial (BUG)");
+  write_table2_json ~jobs ~serial_s ~parallel_s ~rows_identical rows;
   rows
 
 let cycle_time rows =
@@ -103,16 +150,24 @@ let reassignment () =
 let ablations () =
   section "Ablations - design choices called out in DESIGN.md";
   let show s = print_string (Mcsim.Ablation.render s); print_newline () in
-  show (Mcsim.Ablation.transfer_buffers ~max_instrs:ablation_instrs Spec92.Gcc1);
-  show (Mcsim.Ablation.imbalance_threshold ~max_instrs:ablation_instrs Spec92.Compress);
-  show (Mcsim.Ablation.partitioners ~max_instrs:ablation_instrs Spec92.Compress);
-  show (Mcsim.Ablation.partitioners ~max_instrs:ablation_instrs Spec92.Tomcatv);
-  show (Mcsim.Ablation.global_registers ~max_instrs:ablation_instrs Spec92.Gcc1);
-  show (Mcsim.Ablation.dispatch_queue_split ~max_instrs:ablation_instrs Spec92.Compress);
+  (* One context per benchmark: the profile, native binary/trace,
+     single-cluster baseline and local-scheduler binary are computed once
+     and shared by every sweep on that benchmark. *)
+  let ctx b = Mcsim.Ablation.make_ctx ~max_instrs:ablation_instrs b in
+  let gcc1 = ctx Spec92.Gcc1 in
+  let compress = ctx Spec92.Compress in
+  let tomcatv = ctx Spec92.Tomcatv in
+  show (Mcsim.Ablation.transfer_buffers ~ctx:gcc1 Spec92.Gcc1);
+  show (Mcsim.Ablation.imbalance_threshold ~ctx:compress Spec92.Compress);
+  show (Mcsim.Ablation.partitioners ~ctx:compress Spec92.Compress);
+  show (Mcsim.Ablation.partitioners ~ctx:tomcatv Spec92.Tomcatv);
+  show (Mcsim.Ablation.global_registers ~ctx:gcc1 Spec92.Gcc1);
+  show (Mcsim.Ablation.dispatch_queue_split ~ctx:compress Spec92.Compress);
   show (Mcsim.Ablation.queue_organization ~max_instrs:ablation_instrs Spec92.Doduc);
-  show (Mcsim.Ablation.memory_latency ~max_instrs:ablation_instrs Spec92.Su2cor);
-  show (Mcsim.Ablation.mshr_entries ~max_instrs:ablation_instrs Spec92.Su2cor);
-  show (Mcsim.Ablation.unrolling ~max_instrs:ablation_instrs Spec92.Tomcatv);
+  let su2cor = ctx Spec92.Su2cor in
+  show (Mcsim.Ablation.memory_latency ~ctx:su2cor Spec92.Su2cor);
+  show (Mcsim.Ablation.mshr_entries ~ctx:su2cor Spec92.Su2cor);
+  show (Mcsim.Ablation.unrolling ~ctx:tomcatv Spec92.Tomcatv);
   show (Mcsim.Ablation.unrolling_kernel ~max_instrs:ablation_instrs ())
 
 (* ------------------------------------------------------------------ *)

@@ -10,6 +10,23 @@ let seed_arg =
   let doc = "Random seed for branch outcomes and address streams." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains to fan independent simulations out over (default: the \
+     number of cores). Results are identical for every value."
+  in
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg (Printf.sprintf "JOBS must be a positive integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value
+       & opt pos_int (Mcsim_util.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 let bench_conv =
   let parse s =
     match Mcsim_workload.Spec92.of_name s with
@@ -40,7 +57,7 @@ let four_way_arg =
        & info [ "four-way" ] ~doc:"Use the four-way-issue machine pair instead of eight-way.")
 
 let table2_cmd =
-  let run max_instrs seed benchmarks csv four_way =
+  let run max_instrs seed benchmarks csv four_way jobs =
     let single_config, dual_config =
       if four_way then
         (Some (Mcsim_cluster.Machine.single_cluster_4 ()),
@@ -48,7 +65,7 @@ let table2_cmd =
       else (None, None)
     in
     let rows =
-      Mcsim.Table2.run ~max_instrs ~seed ~benchmarks ?single_config ?dual_config ()
+      Mcsim.Table2.run ~jobs ~max_instrs ~seed ~benchmarks ?single_config ?dual_config ()
     in
     if csv then print_string (Mcsim.Report.table2_csv rows)
     else begin
@@ -61,7 +78,8 @@ let table2_cmd =
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Run the Table-2 experiment (none/local vs single-cluster).")
-    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg)
+    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg
+          $ jobs_arg)
 
 let scenarios_cmd =
   let run () =
@@ -78,10 +96,10 @@ let figure6_cmd =
     Term.(const run $ const ())
 
 let cycle_time_cmd =
-  let run max_instrs seed benchmarks =
+  let run max_instrs seed benchmarks jobs =
     print_string (Mcsim.Cycle_time.break_even_example ());
     print_newline ();
-    let rows = Mcsim.Table2.run ~max_instrs ~seed ~benchmarks () in
+    let rows = Mcsim.Table2.run ~jobs ~max_instrs ~seed ~benchmarks () in
     let net = Mcsim.Cycle_time.analyse rows in
     print_string (Mcsim.Cycle_time.render net);
     List.iter
@@ -89,7 +107,7 @@ let cycle_time_cmd =
       (Mcsim.Cycle_time.conclusion_holds net)
   in
   Cmd.v (Cmd.info "cycle-time" ~doc:"The net-performance analysis of paper sections 4.2 and 5.")
-    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg)
+    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ jobs_arg)
 
 let workloads_cmd =
   let run () =
@@ -160,19 +178,21 @@ let run_cmd =
     Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg)
 
 let clusters_cmd =
-  let run max_instrs seed benchmarks =
-    print_string (Mcsim.Cluster_count.render (Mcsim.Cluster_count.run ~max_instrs ~seed ~benchmarks ()))
+  let run max_instrs seed benchmarks jobs =
+    print_string
+      (Mcsim.Cluster_count.render
+         (Mcsim.Cluster_count.run ~jobs ~max_instrs ~seed ~benchmarks ()))
   in
   Cmd.v
     (Cmd.info "clusters" ~doc:"Cluster-count scaling: 1 vs 2 vs 4 clusters.")
-    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg)
+    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ jobs_arg)
 
 let reassign_cmd =
-  let run () = print_string (Mcsim.Reassign.render (Mcsim.Reassign.run ())) in
+  let run jobs = print_string (Mcsim.Reassign.render (Mcsim.Reassign.run ~jobs ())) in
   Cmd.v
     (Cmd.info "reassign"
        ~doc:"Demonstrate dynamic register reassignment (paper section 6).")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let ablate_cmd =
   let sweep_arg =
@@ -189,25 +209,25 @@ let ablate_cmd =
   let bench_pos1 =
     Arg.(required & pos 1 (some bench_conv) None & info [] ~docv:"BENCHMARK")
   in
-  let run sweep bench max_instrs =
+  let run sweep bench max_instrs jobs =
     let s =
       match sweep with
-      | `Buffers -> Mcsim.Ablation.transfer_buffers ~max_instrs bench
-      | `Threshold -> Mcsim.Ablation.imbalance_threshold ~max_instrs bench
-      | `Partitioners -> Mcsim.Ablation.partitioners ~max_instrs bench
-      | `Globals -> Mcsim.Ablation.global_registers ~max_instrs bench
-      | `Dq -> Mcsim.Ablation.dispatch_queue_split ~max_instrs bench
-      | `Unroll -> Mcsim.Ablation.unrolling ~max_instrs bench
-      | `Queues -> Mcsim.Ablation.queue_organization ~max_instrs bench
-      | `Memory -> Mcsim.Ablation.memory_latency ~max_instrs bench
-      | `Mshrs -> Mcsim.Ablation.mshr_entries ~max_instrs bench
+      | `Buffers -> Mcsim.Ablation.transfer_buffers ~jobs ~max_instrs bench
+      | `Threshold -> Mcsim.Ablation.imbalance_threshold ~jobs ~max_instrs bench
+      | `Partitioners -> Mcsim.Ablation.partitioners ~jobs ~max_instrs bench
+      | `Globals -> Mcsim.Ablation.global_registers ~jobs ~max_instrs bench
+      | `Dq -> Mcsim.Ablation.dispatch_queue_split ~jobs ~max_instrs bench
+      | `Unroll -> Mcsim.Ablation.unrolling ~jobs ~max_instrs bench
+      | `Queues -> Mcsim.Ablation.queue_organization ~jobs ~max_instrs bench
+      | `Memory -> Mcsim.Ablation.memory_latency ~jobs ~max_instrs bench
+      | `Mshrs -> Mcsim.Ablation.mshr_entries ~jobs ~max_instrs bench
     in
     print_string (Mcsim.Ablation.render s)
   in
   Cmd.v
     (Cmd.info "ablate"
        ~doc:"Design-space sweeps: buffers, threshold, partitioners, globals, dq, unroll.")
-    Term.(const run $ sweep_arg $ bench_pos1 $ max_instrs_arg)
+    Term.(const run $ sweep_arg $ bench_pos1 $ max_instrs_arg $ jobs_arg)
 
 let compile_cmd =
   let scheduler_arg =

@@ -222,9 +222,10 @@ type result = {
   icache_miss_rate : float;
   dcache_miss_rate : float;
   counters : (string * int) list;
+  counter_lookup : Stats.lookup;
 }
 
-let counter r name = match List.assoc_opt name r.counters with Some v -> v | None -> 0
+let counter r name = Stats.lookup_get r.counter_lookup name
 
 type fetched = {
   f_dyn : Instr.dynamic;
@@ -251,8 +252,11 @@ type state = {
   mutable last_fetch_line : int;
   mutable max_finish : int;  (** latest known completion among issued copies *)
   mutable stall_cycles : int;  (** consecutive no-progress cycles *)
-  mutable pending_train : (int * int * Mcfarling.token * bool) list;
-      (** (train_cycle, seq, token, taken) *)
+  pending_train : (int * int * Mcfarling.token * bool) Deque.t;
+      (** (train_cycle, seq, token, taken), pushed at the back in
+          nondecreasing train-cycle order (branches issue at
+          nondecreasing cycles and [Control] latency is constant), so
+          everything due sits at the front *)
   mutable max_issued_seq : int;
       (** youngest instruction issued so far (issue-disorder metric) *)
   mutable head_blocked : int * int;
@@ -576,7 +580,7 @@ let issue_executing_copy st (c : copy) =
       let taken =
         match g.g_dyn.Instr.branch with Some b -> b.Instr.taken | None -> assert false
       in
-      st.pending_train <- (c.c_finish, c.c_seq, tok, taken) :: st.pending_train
+      Deque.push_back st.pending_train (c.c_finish, c.c_seq, tok, taken)
     | None -> ());
     if g.g_mispred then begin
       st.redirect_pending <- false;
@@ -906,7 +910,13 @@ let replay st =
     st.redirect_pending <- false;
     st.fetch_resume <- st.cycle + st.cfg.replay_penalty;
     st.last_fetch_line <- -1;
-    st.pending_train <- List.filter (fun (_, seq, _, _) -> seq < vseq) st.pending_train;
+    (* Drop squashed branches from the training queue, keeping order. *)
+    let entries = ref [] in
+    Deque.iter (fun e -> entries := e :: !entries) st.pending_train;
+    Deque.clear st.pending_train;
+    List.iter
+      (fun ((_, seq, _, _) as e) -> if seq < vseq then Deque.push_back st.pending_train e)
+      (List.rev !entries);
     st.max_issued_seq <- min st.max_issued_seq (vseq - 1);
     st.stall_cycles <- 0
 
@@ -914,10 +924,21 @@ let replay st =
 (* Main loop                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Due entries are popped from the front (oldest first) and trained
+   newest-first, matching the order the old prepend-and-partition list
+   walked them in. *)
 let train_phase st =
-  let due, rest = List.partition (fun (c, _, _, _) -> c <= st.cycle) st.pending_train in
-  List.iter (fun (_, _, tok, taken) -> Mcfarling.train st.predictor tok ~taken) due;
-  st.pending_train <- rest
+  let due = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match Deque.peek_front st.pending_train with
+    | Some (c, _, _, _) when c <= st.cycle ->
+      (match Deque.pop_front st.pending_train with
+      | Some e -> due := e :: !due
+      | None -> assert false)
+    | Some _ | None -> continue_ := false
+  done;
+  List.iter (fun (_, _, tok, taken) -> Mcfarling.train st.predictor tok ~taken) !due
 
 (* Cluster state for a given architectural-register assignment: a cluster
    holds physical copies only of the registers assigned to it; the rest of
@@ -956,7 +977,7 @@ let init_state ~on_event cfg =
     ctrs = Stats.counters_create ();
     emit = on_event;
     cycle = 0; trace_idx = 0; fetch_resume = 0; redirect_pending = false;
-    last_fetch_line = -1; max_finish = 0; stall_cycles = 0; pending_train = [];
+    last_fetch_line = -1; max_finish = 0; stall_cycles = 0; pending_train = Deque.create ();
     max_issued_seq = -1; head_blocked = (-1, 0) }
 
 (* Registers whose cluster placement changes between two assignments: the
@@ -995,7 +1016,7 @@ let load_phase st assignment trace =
   st.redirect_pending <- false;
   st.fetch_resume <- st.cycle + overhead;
   st.last_fetch_line <- -1;
-  st.pending_train <- [];
+  Deque.clear st.pending_train;
   st.max_issued_seq <- -1;
   st.stall_cycles <- 0
 
@@ -1076,6 +1097,7 @@ let finish_result st =
   Stats.add st.ctrs "icache_misses"
     (Cache.primary_misses st.icache + Cache.secondary_misses st.icache);
   Stats.add st.ctrs "cycles" cycles;
+  let counter_lookup = Stats.lookup_of_counters st.ctrs in
   { cycles;
     retired;
     ipc = Stats.ratio retired cycles;
@@ -1085,7 +1107,8 @@ let finish_result st =
     branch_accuracy = Mcfarling.accuracy st.predictor;
     icache_miss_rate = Cache.miss_rate st.icache;
     dcache_miss_rate = Cache.miss_rate st.dcache;
-    counters = Stats.to_alist st.ctrs }
+    counters = Stats.lookup_to_alist counter_lookup;
+    counter_lookup }
 
 let run_phased ?(on_event = fun (_ : event) -> ()) ?(max_cycles = 200_000_000) cfg phases =
   let st = init_state ~on_event cfg in

@@ -128,11 +128,15 @@ type result = {
   dcache_miss_rate : float;
   counters : (string * int) list;
       (** detailed named counters (stall reasons, per-scenario counts,
-          per-class issues, buffer high-water marks, ...) *)
+          per-class issues, buffer high-water marks, ...), sorted by
+          name *)
+  counter_lookup : Mcsim_util.Stats.lookup;
+      (** the same counters as a binary-searchable snapshot — what
+          {!counter} queries *)
 }
 
 val counter : result -> string -> int
-(** 0 when absent. *)
+(** 0 when absent; O(log n) over the counter snapshot. *)
 
 val run :
   ?on_event:(event -> unit) ->

@@ -3,6 +3,7 @@ module Assignment = Mcsim_cluster.Assignment
 module Pipeline = Mcsim_compiler.Pipeline
 module Walker = Mcsim_trace.Walker
 module Spec92 = Mcsim_workload.Spec92
+module Pool = Mcsim_util.Pool
 
 type point = {
   label : string;
@@ -25,6 +26,10 @@ type ctx = {
   native_trace : Mcsim_isa.Instr.dynamic array;
   single_cycles : int;
   max_instrs : int;
+  bench_name : string;
+  mutable local : (Pipeline.compiled * Mcsim_isa.Instr.dynamic array) option;
+      (* memoized local-scheduler binary and trace, compiled on first
+         use and shared by every sweep running on this context *)
 }
 
 let make_ctx ?(max_instrs = 60_000) bench =
@@ -33,7 +38,11 @@ let make_ctx ?(max_instrs = 60_000) bench =
   let native = Pipeline.compile ~profile ~scheduler:Pipeline.Sched_none prog in
   let native_trace = Walker.trace ~max_instrs native.Pipeline.mach in
   let single = Machine.run (Machine.single_cluster ()) native_trace in
-  { prog; profile; native; native_trace; single_cycles = single.Machine.cycles; max_instrs }
+  { prog; profile; native; native_trace; single_cycles = single.Machine.cycles;
+    max_instrs; bench_name = Spec92.name bench; local = None }
+
+let get_ctx ?ctx ?max_instrs bench =
+  match ctx with Some c -> c | None -> make_ctx ?max_instrs bench
 
 let point_of ctx label (r : Machine.result) =
   { label;
@@ -44,15 +53,26 @@ let point_of ctx label (r : Machine.result) =
     replays = r.Machine.replays;
     dual_distributed = r.Machine.dual_distributed }
 
-let local_trace ctx =
-  let c = Pipeline.compile ~profile:ctx.profile ~scheduler:Pipeline.default_local ctx.prog in
-  Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach
+(* The local-scheduler binary is compiled and traced at most once per
+   context. Callers force it before fanning points out over domains, so
+   the memo write never races. *)
+let local_compiled ctx =
+  match ctx.local with
+  | Some c -> c
+  | None ->
+    let c = Pipeline.compile ~profile:ctx.profile ~scheduler:Pipeline.default_local ctx.prog in
+    let trace = Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach in
+    ctx.local <- Some (c, trace);
+    (c, trace)
 
-let transfer_buffers ?max_instrs ?(sizes = [ 2; 4; 8; 16; 32 ]) bench =
-  let ctx = make_ctx ?max_instrs bench in
+let local_trace ctx = snd (local_compiled ctx)
+
+let transfer_buffers ?jobs ?ctx ?max_instrs ?(sizes = [ 2; 4; 8; 16; 32 ]) bench =
+  let ctx = get_ctx ?ctx ?max_instrs bench in
   let trace = local_trace ctx in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let points =
-    List.map
+    Pool.parallel_map ~jobs
       (fun n ->
         let cfg =
           { (Machine.dual_cluster ()) with
@@ -63,12 +83,13 @@ let transfer_buffers ?max_instrs ?(sizes = [ 2; 4; 8; 16; 32 ]) bench =
       sizes
   in
   { sweep_name = "transfer-buffer entries per cluster (local scheduler)";
-    benchmark = Spec92.name bench; points }
+    benchmark = ctx.bench_name; points }
 
-let imbalance_threshold ?max_instrs ?(thresholds = [ 1; 2; 4; 8; 16; 32 ]) bench =
-  let ctx = make_ctx ?max_instrs bench in
+let imbalance_threshold ?jobs ?ctx ?max_instrs ?(thresholds = [ 1; 2; 4; 8; 16; 32 ]) bench =
+  let ctx = get_ctx ?ctx ?max_instrs bench in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let points =
-    List.map
+    Pool.parallel_map ~jobs
       (fun t ->
         let c =
           Pipeline.compile ~profile:ctx.profile
@@ -80,14 +101,17 @@ let imbalance_threshold ?max_instrs ?(thresholds = [ 1; 2; 4; 8; 16; 32 ]) bench
           (Machine.run (Machine.dual_cluster ()) trace))
       thresholds
   in
-  { sweep_name = "local-scheduler imbalance threshold"; benchmark = Spec92.name bench; points }
+  { sweep_name = "local-scheduler imbalance threshold"; benchmark = ctx.bench_name; points }
 
-let partitioners ?max_instrs bench =
-  let ctx = make_ctx ?max_instrs bench in
+let partitioners ?jobs ?ctx ?max_instrs bench =
+  let ctx = get_ctx ?ctx ?max_instrs bench in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  ignore (local_compiled ctx);
   let run_sched (name, scheduler) =
     let trace =
       match scheduler with
       | Pipeline.Sched_none -> ctx.native_trace
+      | Pipeline.Sched_local { imbalance_threshold = 2; window = 0 } -> local_trace ctx
       | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
         let c = Pipeline.compile ~profile:ctx.profile ~scheduler ctx.prog in
         Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach
@@ -95,14 +119,15 @@ let partitioners ?max_instrs bench =
     point_of ctx name (Machine.run (Machine.dual_cluster ()) trace)
   in
   { sweep_name = "live-range partitioner";
-    benchmark = Spec92.name bench;
+    benchmark = ctx.bench_name;
     points =
-      List.map run_sched
+      Pool.parallel_map ~jobs run_sched
         [ ("none", Pipeline.Sched_none); ("random", Pipeline.Sched_random 7);
           ("round-robin", Pipeline.Sched_round_robin); ("local", Pipeline.default_local) ] }
 
-let global_registers ?max_instrs bench =
-  let ctx = make_ctx ?max_instrs bench in
+let global_registers ?jobs ?ctx ?max_instrs bench =
+  let ctx = get_ctx ?ctx ?max_instrs bench in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let run_assignment (name, globals) =
     let cfg =
       { (Machine.dual_cluster ()) with
@@ -111,16 +136,17 @@ let global_registers ?max_instrs bench =
     point_of ctx name (Machine.run cfg ctx.native_trace)
   in
   { sweep_name = "global-register designation (native binary)";
-    benchmark = Spec92.name bench;
+    benchmark = ctx.bench_name;
     points =
-      List.map run_assignment
+      Pool.parallel_map ~jobs run_assignment
         [ ("no globals", []); ("sp only", [ Mcsim_isa.Reg.sp ]);
           ("sp+gp (paper)", [ Mcsim_isa.Reg.sp; Mcsim_isa.Reg.gp ]) ] }
 
-let dispatch_queue_split ?max_instrs bench =
-  let ctx = make_ctx ?max_instrs bench in
+let dispatch_queue_split ?jobs ?ctx ?max_instrs bench =
+  let ctx = get_ctx ?ctx ?max_instrs bench in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let points =
-    List.map
+    Pool.parallel_map ~jobs
       (fun n ->
         let cfg = { (Machine.single_cluster ()) with Machine.dq_entries = n } in
         let r = Machine.run cfg ctx.native_trace in
@@ -134,30 +160,40 @@ let dispatch_queue_split ?max_instrs bench =
       [ 32; 64; 128; 256 ]
   in
   { sweep_name = "single-cluster dispatch-queue size (cycles vs the 128-entry baseline)";
-    benchmark = Spec92.name bench; points }
+    benchmark = ctx.bench_name; points }
 
-let unrolling ?max_instrs ?(factors = [ 1; 2; 4 ]) bench =
-  let ctx = make_ctx ?max_instrs bench in
+let unrolling ?jobs ?ctx ?max_instrs ?(factors = [ 1; 2; 4 ]) bench =
+  let ctx = get_ctx ?ctx ?max_instrs bench in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  if List.mem 1 factors then ignore (local_compiled ctx);
   let points =
-    List.map
+    Pool.parallel_map ~jobs
       (fun factor ->
-        let prog = Mcsim_compiler.Unroll.unroll ~factor ctx.prog in
-        let profile = Walker.profile prog in
-        let c = Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog in
-        let trace = Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach in
+        let trace =
+          if factor = 1 then local_trace ctx
+            (* unroll x1 is the identity: this is exactly the
+               local-scheduler binary the context already holds *)
+          else begin
+            let prog = Mcsim_compiler.Unroll.unroll ~factor ctx.prog in
+            let profile = Walker.profile prog in
+            let c = Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog in
+            Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach
+          end
+        in
         point_of ctx
           (if factor = 1 then "no unrolling" else Printf.sprintf "unroll x%d" factor)
           (Machine.run (Machine.dual_cluster ()) trace))
       factors
   in
   { sweep_name = "loop unrolling before the local scheduler (paper section 6)";
-    benchmark = Spec92.name bench; points }
+    benchmark = ctx.bench_name; points }
 
-let memory_latency ?max_instrs ?(latencies = [ 4; 8; 16; 32; 64 ]) bench =
-  let ctx = make_ctx ?max_instrs bench in
+let memory_latency ?jobs ?ctx ?max_instrs ?(latencies = [ 4; 8; 16; 32; 64 ]) bench =
+  let ctx = get_ctx ?ctx ?max_instrs bench in
   let trace = local_trace ctx in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let points =
-    List.map
+    Pool.parallel_map ~jobs
       (fun lat ->
         let cache = { Mcsim_cache.Cache.default_config with Mcsim_cache.Cache.miss_latency = lat } in
         let cfg = { (Machine.dual_cluster ()) with Machine.icache = cache; dcache = cache } in
@@ -176,13 +212,14 @@ let memory_latency ?max_instrs ?(latencies = [ 4; 8; 16; 32; 64 ]) bench =
       latencies
   in
   { sweep_name = "memory fetch latency (local scheduler, matched baselines)";
-    benchmark = Spec92.name bench; points }
+    benchmark = ctx.bench_name; points }
 
-let mshr_entries ?max_instrs bench =
-  let ctx = make_ctx ?max_instrs bench in
+let mshr_entries ?jobs ?ctx ?max_instrs bench =
+  let ctx = get_ctx ?ctx ?max_instrs bench in
   let trace = local_trace ctx in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let points =
-    List.map
+    Pool.parallel_map ~jobs
       (fun (label, mshrs) ->
         let dcache = { Mcsim_cache.Cache.default_config with Mcsim_cache.Cache.mshrs } in
         let cfg = { (Machine.dual_cluster ()) with Machine.dcache } in
@@ -191,13 +228,14 @@ let mshr_entries ?max_instrs bench =
         ("8 MSHRs", Some 8); ("inverted MSHR (paper)", None) ]
   in
   { sweep_name = "data-cache miss-handling entries (Farkas & Jouppi, ISCA'94)";
-    benchmark = Spec92.name bench; points }
+    benchmark = ctx.bench_name; points }
 
-let queue_organization ?max_instrs bench =
-  let ctx = make_ctx ?max_instrs bench in
+let queue_organization ?jobs ?ctx ?max_instrs bench =
+  let ctx = get_ctx ?ctx ?max_instrs bench in
   let trace = local_trace ctx in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let points =
-    List.map
+    Pool.parallel_map ~jobs
       (fun (label, split, entries) ->
         let cfg =
           { (Machine.dual_cluster ()) with Machine.queue_split = split; dq_entries = entries }
@@ -209,7 +247,7 @@ let queue_organization ?max_instrs bench =
         ("split 16/8/8", Machine.Per_class, 32) ]
   in
   { sweep_name = "dispatch-queue organization (single queue vs per-class queues)";
-    benchmark = Spec92.name bench; points }
+    benchmark = ctx.bench_name; points }
 
 (* A hand-written streaming kernel whose iterations are fully independent
    (only the trivial induction variable is loop-carried): the code shape
@@ -248,7 +286,8 @@ let stream_kernel ~trip =
   in
   Builder.finish b ~entry
 
-let unrolling_kernel ?(max_instrs = 40_000) ?(factors = [ 1; 2; 4 ]) () =
+let unrolling_kernel ?jobs ?(max_instrs = 40_000) ?(factors = [ 1; 2; 4 ]) () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let prog = stream_kernel ~trip:20_000 in
   let profile0 = Walker.profile prog in
   let native = Pipeline.compile ~profile:profile0 ~scheduler:Pipeline.Sched_none prog in
@@ -256,7 +295,7 @@ let unrolling_kernel ?(max_instrs = 40_000) ?(factors = [ 1; 2; 4 ]) () =
   let single = Machine.run (Machine.single_cluster ()) native_trace in
   let ctx_single = single.Machine.cycles in
   let points =
-    List.map
+    Pool.parallel_map ~jobs
       (fun factor ->
         let prog' = Mcsim_compiler.Unroll.unroll ~factor prog in
         let profile = Walker.profile prog' in

@@ -1,7 +1,16 @@
 (** Ablation studies for the design choices DESIGN.md calls out. Each
     sweep runs one benchmark across a one-dimensional design-space slice
     and reports dual-cluster cycles (and the Table-2 metric against the
-    shared single-cluster baseline). *)
+    shared single-cluster baseline).
+
+    Every sweep takes [?jobs] (default {!Mcsim_util.Pool.default_jobs})
+    and fans its points out over that many domains with
+    {!Mcsim_util.Pool.parallel_map}; results are bit-for-bit identical
+    for every [jobs] value. A sweep also takes [?ctx]: pass the same
+    {!ctx} to several sweeps over one benchmark to reuse its profile,
+    native binary/trace, single-cluster baseline and (memoized)
+    local-scheduler binary instead of recomputing them per sweep. When
+    [ctx] is given, [max_instrs] is ignored. *)
 
 type point = {
   label : string;
@@ -17,55 +26,72 @@ type sweep = {
   points : point list;
 }
 
+type ctx
+(** Per-benchmark work shared across sweeps: program, profile, native
+    binary and trace, single-cluster baseline cycles, and a lazily
+    memoized local-scheduler binary/trace. Safe to share with parallel
+    sweeps only after the sweep's own setup has forced the memo (every
+    sweep in this module does so before fanning out). *)
+
+val make_ctx : ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> ctx
+(** Profile + native compile + trace + single-cluster baseline run for
+    one benchmark ([max_instrs] defaults to 60_000). *)
+
 val transfer_buffers :
-  ?max_instrs:int -> ?sizes:int list -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> ?sizes:int list ->
+  Mcsim_workload.Spec92.benchmark -> sweep
 (** Operand/result transfer-buffer entries per cluster (paper: 8).
     Default sizes 2, 4, 8, 16, 32. *)
 
 val imbalance_threshold :
-  ?max_instrs:int -> ?thresholds:int list -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> ?thresholds:int list ->
+  Mcsim_workload.Spec92.benchmark -> sweep
 (** The local scheduler's compile-time balance constant. *)
 
-val partitioners : ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+val partitioners :
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
 (** none / random / round-robin / local on the dual-cluster machine. *)
 
 val global_registers :
-  ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
 (** Global-register designation: none / sp only / sp+gp (paper) — the
     assignment the hardware uses for the same native binary. *)
 
 val dispatch_queue_split :
-  ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
 (** Single-cluster machine with dispatch queues of 32–256 entries — the
     compress effect's other half (paper §4.2 discussion). *)
 
 val memory_latency :
-  ?max_instrs:int -> ?latencies:int list -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> ?latencies:int list ->
+  Mcsim_workload.Spec92.benchmark -> sweep
 (** Sensitivity of the dual-vs-single comparison to the memory interface's
     fetch latency (the paper fixes it at 16 cycles); each point re-runs
     both machines with the same memory. *)
 
 val mshr_entries :
-  ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
 (** Conventional n-entry MSHR files vs the paper's inverted MSHR (its
     reference [12]): how much the unlimited-outstanding-miss assumption is
     worth on a miss-heavy benchmark. *)
 
 val queue_organization :
-  ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
 (** The paper's single dispatch queue per cluster vs the R10000-style
     per-class split it contrasts itself with (§1), at equal total
     entries. *)
 
 val unrolling :
-  ?max_instrs:int -> ?factors:int list -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> ?factors:int list ->
+  Mcsim_workload.Spec92.benchmark -> sweep
 (** The §6 loop-unrolling extension: unroll the benchmark's inner loops
     (factors default 1/2/4), reschedule with the local scheduler, and run
     the dual-cluster machine. The single-cluster baseline stays the
-    non-unrolled native binary. *)
+    non-unrolled native binary. Factor 1 reuses the context's memoized
+    local-scheduler binary (unrolling by 1 is the identity). *)
 
 val unrolling_kernel :
-  ?max_instrs:int -> ?factors:int list -> unit -> sweep
+  ?jobs:int -> ?max_instrs:int -> ?factors:int list -> unit -> sweep
 (** The same sweep on a hand-written reduction kernel whose iterations
     are genuinely independent apart from one accumulator — the code shape
     the paper's unrolling proposal assumes. *)

@@ -3,6 +3,7 @@ module Pipeline = Mcsim_compiler.Pipeline
 module Walker = Mcsim_trace.Walker
 module Spec92 = Mcsim_workload.Spec92
 module Palacharla = Mcsim_timing.Palacharla
+module Pool = Mcsim_util.Pool
 
 type row = {
   benchmark : string;
@@ -20,22 +21,40 @@ let config_for = function
   | 4 -> Machine.quad_cluster ()
   | n -> invalid_arg (Printf.sprintf "Cluster_count: %d clusters" n)
 
-let run ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) () =
-  List.map
-    (fun b ->
-      let prog = Spec92.program b in
-      let profile = Walker.profile ~seed prog in
-      let results =
-        List.map
-          (fun clusters ->
-            let scheduler =
-              if clusters = 1 then Pipeline.Sched_none else Pipeline.default_local
-            in
-            let c = Pipeline.compile ~clusters ~profile ~scheduler prog in
-            let trace = Walker.trace ~seed ~max_instrs c.Pipeline.mach in
-            Machine.run (config_for clusters) trace)
-          cluster_counts
-      in
+let run ?jobs ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  (* Stage 1: one job per benchmark (program + profile). Stage 2: one job
+     per (benchmark x cluster count); each compiles, traces and simulates
+     independently from the shared immutable profile, so the rows are the
+     same for every [jobs]. *)
+  let preps =
+    Array.of_list
+      (Pool.parallel_map ~jobs
+         (fun b ->
+           let prog = Spec92.program b in
+           (b, prog, Walker.profile ~seed prog))
+         benchmarks)
+  in
+  let sims =
+    List.concat
+      (List.mapi (fun i _ -> List.map (fun c -> (i, c)) cluster_counts) benchmarks)
+  in
+  let outs =
+    Pool.parallel_map ~jobs
+      (fun (i, clusters) ->
+        let _, prog, profile = preps.(i) in
+        let scheduler =
+          if clusters = 1 then Pipeline.Sched_none else Pipeline.default_local
+        in
+        let c = Pipeline.compile ~clusters ~profile ~scheduler prog in
+        let trace = Walker.trace ~seed ~max_instrs c.Pipeline.mach in
+        Machine.run (config_for clusters) trace)
+      sims
+  in
+  let per_bench = List.length cluster_counts in
+  List.mapi
+    (fun i (b, _, _) ->
+      let results = List.filteri (fun j _ -> j / per_bench = i) outs in
       let cycles = Array.of_list (List.map (fun r -> r.Machine.cycles) results) in
       let single = cycles.(0) in
       let t_single =
@@ -66,7 +85,7 @@ let run ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) () =
                  -. (100.0 *. float_of_int r.Machine.cycles *. t
                      /. (float_of_int single *. t_single)))
                results) })
-    benchmarks
+    (Array.to_list preps)
 
 let render rows =
   let header =

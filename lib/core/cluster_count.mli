@@ -22,7 +22,11 @@ val cluster_counts : int list
 (** [1; 2; 4]. *)
 
 val run :
-  ?max_instrs:int -> ?seed:int -> ?benchmarks:Mcsim_workload.Spec92.benchmark list ->
-  unit -> row list
+  ?jobs:int -> ?max_instrs:int -> ?seed:int ->
+  ?benchmarks:Mcsim_workload.Spec92.benchmark list -> unit -> row list
+(** [jobs] (default {!Mcsim_util.Pool.default_jobs}) fans the
+    independent (benchmark × cluster-count) compilations and simulations
+    out over that many domains; the rows are identical for every [jobs]
+    value. *)
 
 val render : row list -> string

@@ -1,6 +1,7 @@
 module Machine = Mcsim_cluster.Machine
 module Pipeline = Mcsim_compiler.Pipeline
 module Walker = Mcsim_trace.Walker
+module Pool = Mcsim_util.Pool
 
 type run = {
   scheduler : string;
@@ -21,26 +22,51 @@ type comparison = {
 let default_schedulers =
   [ ("none", Pipeline.Sched_none); ("local", Pipeline.default_local) ]
 
-let run_benchmark ?(max_instrs = 120_000) ?(seed = 1)
-    ?(schedulers = default_schedulers) ?single_config ?dual_config prog =
-  let single_config =
-    match single_config with Some c -> c | None -> Machine.single_cluster ()
-  in
-  let dual_config = match dual_config with Some c -> c | None -> Machine.dual_cluster () in
+(* Per-benchmark preparation shared by all of that benchmark's
+   simulations: the profile, the native (cluster-oblivious) binary and
+   its committed trace. Everything here is a pure function of
+   (program, seed), so recomputing it would be value-identical — it is
+   shared only to avoid repeating the work. *)
+type prep = {
+  p_prog : Mcsim_ir.Program.t;
+  p_profile : Mcsim_ir.Profile.t;
+  p_native : Pipeline.compiled;
+  p_native_trace : Mcsim_isa.Instr.dynamic array;
+}
+
+let make_prep ~seed ~max_instrs prog =
   let profile = Walker.profile ~seed prog in
   let native = Pipeline.compile ~profile ~scheduler:Pipeline.Sched_none prog in
   let native_trace = Walker.trace ~seed ~max_instrs native.Pipeline.mach in
-  let single = Machine.run single_config native_trace in
-  let run_one (name, scheduler) =
+  { p_prog = prog; p_profile = profile; p_native = native; p_native_trace = native_trace }
+
+(* One independent simulation: a benchmark's native binary on the
+   single-cluster machine, or one (scheduler, dual-config) run. *)
+type sim = Sim_single of int | Sim_sched of int * (string * Pipeline.scheduler)
+
+type sim_out =
+  | Out_single of Machine.result
+  | Out_sched of {
+      name : string;
+      dual : Machine.result;
+      static_single : int;
+      static_dual : int;
+      spills : int;
+    }
+
+let run_sim ~seed ~max_instrs ~single_config ~dual_config preps = function
+  | Sim_single i -> Out_single (Machine.run single_config preps.(i).p_native_trace)
+  | Sim_sched (i, (name, scheduler)) ->
+    let prep = preps.(i) in
     let compiled =
       match scheduler with
-      | Pipeline.Sched_none -> native
+      | Pipeline.Sched_none -> prep.p_native
       | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
-        Pipeline.compile ~profile ~scheduler prog
+        Pipeline.compile ~profile:prep.p_profile ~scheduler prep.p_prog
     in
     let trace =
       match scheduler with
-      | Pipeline.Sched_none -> native_trace
+      | Pipeline.Sched_none -> prep.p_native_trace
       | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
         Walker.trace ~seed ~max_instrs compiled.Pipeline.mach
     in
@@ -48,19 +74,70 @@ let run_benchmark ?(max_instrs = 120_000) ?(seed = 1)
     let static_single, static_dual =
       Pipeline.dual_distribution_count dual_config.Machine.assignment compiled.Pipeline.mach
     in
-    { scheduler = name;
-      dual;
-      speedup_pct =
-        Mcsim_timing.Net_performance.speedup_pct ~single_cycles:single.Machine.cycles
-          ~dual_cycles:dual.Machine.cycles;
-      static_single;
-      static_dual;
-      spills = List.length compiled.Pipeline.alloc.Mcsim_compiler.Regalloc.spilled_lrs }
+    Out_sched
+      { name;
+        dual;
+        static_single;
+        static_dual;
+        spills = List.length compiled.Pipeline.alloc.Mcsim_compiler.Regalloc.spilled_lrs }
+
+let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
+    ?(schedulers = default_schedulers) ?single_config ?dual_config progs =
+  let single_config =
+    match single_config with Some c -> c | None -> Machine.single_cluster ()
   in
-  { benchmark = prog.Mcsim_ir.Program.name;
-    trace_instrs = Array.length native_trace;
-    single;
-    runs = List.map run_one schedulers }
+  let dual_config = match dual_config with Some c -> c | None -> Machine.dual_cluster () in
+  (* Stage 1: per-benchmark preparation, one job per benchmark. *)
+  let preps = Array.of_list (Pool.parallel_map ~jobs (make_prep ~seed ~max_instrs) progs) in
+  (* Stage 2: every (benchmark x scheduler x machine-config) simulation is
+     its own job. Job order fixes result order; which domain runs which
+     job is irrelevant because jobs share nothing mutable. *)
+  let sims =
+    List.concat
+      (List.mapi
+         (fun i _ -> Sim_single i :: List.map (fun s -> Sim_sched (i, s)) schedulers)
+         progs)
+  in
+  let outs =
+    Pool.parallel_map ~jobs (run_sim ~seed ~max_instrs ~single_config ~dual_config preps) sims
+  in
+  (* Reassemble: stage-2 results arrive grouped per benchmark, single
+     first, then the schedulers in request order. *)
+  let per_bench = 1 + List.length schedulers in
+  List.mapi
+    (fun i prep ->
+      let outs = List.filteri (fun j _ -> j / per_bench = i) outs in
+      match outs with
+      | Out_single single :: sched_outs ->
+        let runs =
+          List.map
+            (function
+              | Out_sched { name; dual; static_single; static_dual; spills } ->
+                { scheduler = name;
+                  dual;
+                  speedup_pct =
+                    Mcsim_timing.Net_performance.speedup_pct
+                      ~single_cycles:single.Machine.cycles ~dual_cycles:dual.Machine.cycles;
+                  static_single;
+                  static_dual;
+                  spills }
+              | Out_single _ -> assert false)
+            sched_outs
+        in
+        { benchmark = prep.p_prog.Mcsim_ir.Program.name;
+          trace_instrs = Array.length prep.p_native_trace;
+          single;
+          runs }
+      | Out_sched _ :: _ | [] -> assert false)
+    (Array.to_list preps)
+
+let run_benchmark ?(max_instrs = 120_000) ?(seed = 1)
+    ?(schedulers = default_schedulers) ?single_config ?dual_config prog =
+  match
+    run_many ~jobs:1 ~max_instrs ~seed ~schedulers ?single_config ?dual_config [ prog ]
+  with
+  | [ c ] -> c
+  | _ -> assert false
 
 let speedup_of c name =
   List.find_map (fun r -> if r.scheduler = name then Some r.speedup_pct else None) c.runs

@@ -30,6 +30,25 @@ val default_schedulers : (string * Mcsim_compiler.Pipeline.scheduler) list
 (** [("none", Sched_none); ("local", default_local)] — the two columns of
     Table 2. *)
 
+val run_many :
+  ?jobs:int ->
+  ?max_instrs:int ->
+  ?seed:int ->
+  ?schedulers:(string * Mcsim_compiler.Pipeline.scheduler) list ->
+  ?single_config:Mcsim_cluster.Machine.config ->
+  ?dual_config:Mcsim_cluster.Machine.config ->
+  Mcsim_ir.Program.t list ->
+  comparison list
+(** Run the flow for many benchmarks, fanning the independent
+    (benchmark × scheduler × machine-config) simulations out over
+    [jobs] domains (default {!Mcsim_util.Pool.default_jobs}; [~jobs:1]
+    runs serially). Results are in benchmark order regardless of [jobs].
+
+    Determinism: every simulation derives all randomness from [seed]
+    and its own task description, and tasks share only immutable data
+    (the per-benchmark profile, native binary and trace), so the output
+    is bit-for-bit identical for every [jobs] value. *)
+
 val run_benchmark :
   ?max_instrs:int ->
   ?seed:int ->
@@ -38,9 +57,10 @@ val run_benchmark :
   ?dual_config:Mcsim_cluster.Machine.config ->
   Mcsim_ir.Program.t ->
   comparison
-(** [max_instrs] (default 120_000) bounds the committed trace length;
-    [seed] (default 1) drives the workload's branch outcomes and address
-    streams identically across binaries. *)
+(** [run_many] for a single benchmark, serially. [max_instrs] (default
+    120_000) bounds the committed trace length; [seed] (default 1)
+    drives the workload's branch outcomes and address streams
+    identically across binaries. *)
 
 val speedup_of : comparison -> string -> float option
 (** Speedup percentage of a named scheduler's run. *)

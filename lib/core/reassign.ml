@@ -53,7 +53,7 @@ let build ~trip =
   in
   (Builder.finish b ~entry, shared_a, shared_b, loop_b)
 
-let run ?(phase_iterations = 4000) () =
+let run ?jobs ?(phase_iterations = 4000) () =
   let prog, sa, sb, loop_b_id = build ~trip:phase_iterations in
   let profile = Mcsim_trace.Walker.profile prog in
   let c = Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog in
@@ -64,7 +64,6 @@ let run ?(phase_iterations = 4000) () =
   let max_instrs = 30 * phase_iterations in
   let trace = Mcsim_trace.Walker.trace ~max_instrs c.Pipeline.mach in
   let cfg = Machine.dual_cluster () in
-  let static_result = Machine.run cfg trace in
   (* Split the committed trace at the first instruction of loop B. *)
   let boundary_pc = c.Pipeline.mach.Mcsim_compiler.Mach_prog.block_pc.(loop_b_id) in
   let split =
@@ -91,7 +90,19 @@ let run ?(phase_iterations = 4000) () =
   let asg_b =
     Assignment.create ~num_clusters:2 ~globals:[ Reg.sp; Reg.gp; shared_b ] ()
   in
-  let phased_result = Machine.run_phased cfg [ (asg_a, phase_a); (asg_b, phase_b) ] in
+  (* The static and phased simulations are independent; fan them out. *)
+  let jobs = match jobs with Some j -> j | None -> Mcsim_util.Pool.default_jobs () in
+  let static_result, phased_result =
+    match
+      Mcsim_util.Pool.parallel_map ~jobs
+        (function
+          | `Static -> Machine.run cfg trace
+          | `Phased -> Machine.run_phased cfg [ (asg_a, phase_a); (asg_b, phase_b) ])
+        [ `Static; `Phased ]
+    with
+    | [ s; p ] -> (s, p)
+    | _ -> assert false
+  in
   { shared_a; shared_b; static_result; phased_result;
     moved = List.length (Machine.moved_registers asg_a asg_b) }
 

@@ -22,8 +22,11 @@ type outcome = {
   moved : int;  (** registers copied at the phase boundary *)
 }
 
-val run : ?phase_iterations:int -> unit -> outcome
-(** [phase_iterations] (default 4000) controls each phase's loop trip. *)
+val run : ?jobs:int -> ?phase_iterations:int -> unit -> outcome
+(** [phase_iterations] (default 4000) controls each phase's loop trip.
+    [jobs] (default {!Mcsim_util.Pool.default_jobs}) runs the static and
+    phased simulations on separate domains when > 1; the outcome is
+    identical for every [jobs] value. *)
 
 val improvement_pct : outcome -> float
 (** Cycle reduction of the phased run relative to the static run

@@ -16,12 +16,14 @@ let paper =
   [ ("compress", -14.0, 6.0); ("doduc", -21.0, -15.0); ("gcc1", -15.0, -10.0);
     ("ora", -5.0, -22.0); ("su2cor", -36.0, -25.0); ("tomcatv", -41.0, -19.0) ]
 
-let run ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?single_config
+let run ?jobs ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?single_config
     ?dual_config () =
-  List.map
-    (fun b ->
-      let prog = Spec92.program b in
-      let c = Experiment.run_benchmark ~max_instrs ~seed ?single_config ?dual_config prog in
+  let comparisons =
+    Experiment.run_many ?jobs ~max_instrs ~seed ?single_config ?dual_config
+      (List.map Spec92.program benchmarks)
+  in
+  List.map2
+    (fun b c ->
       let find name =
         match List.find_opt (fun r -> r.Experiment.scheduler = name) c.Experiment.runs with
         | Some r -> r
@@ -36,7 +38,7 @@ let run ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?single_c
         local_cycles = local.Experiment.dual.Machine.cycles;
         none_replays = none.Experiment.dual.Machine.replays;
         local_replays = local.Experiment.dual.Machine.replays })
-    benchmarks
+    benchmarks comparisons
 
 let pct v = Printf.sprintf "%+.1f" v
 

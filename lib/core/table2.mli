@@ -18,6 +18,7 @@ val paper : (string * float * float) list
 (** The published Table-2 numbers: (benchmark, none %, local %). *)
 
 val run :
+  ?jobs:int ->
   ?max_instrs:int ->
   ?seed:int ->
   ?benchmarks:Mcsim_workload.Spec92.benchmark list ->
@@ -28,7 +29,12 @@ val run :
 (** Default [max_instrs] 120_000, seed 1, all six benchmarks, the paper's
     8-way machine pair. Pass [Machine.single_cluster_4 ()] /
     [Machine.dual_cluster_2x2 ()] for the four-way evaluation the paper
-    also ran. Runs take a few seconds per benchmark. *)
+    also ran. Runs take a few seconds per benchmark.
+
+    [jobs] (default {!Mcsim_util.Pool.default_jobs}) fans the
+    independent simulations out over that many domains via
+    {!Experiment.run_many}; the rows are bit-for-bit identical for
+    every [jobs] value. *)
 
 val render : row list -> string
 (** Side-by-side measured-vs-paper table. *)

@@ -1,0 +1,63 @@
+(* Work-stealing-free domain pool: jobs are claimed from a shared index
+   behind one mutex. That is deliberately simple — the experiment layer's
+   jobs are whole simulations (milliseconds to seconds each), so claim
+   contention is irrelevant, and a deterministic job -> result mapping is
+   the property that matters. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* OCaml caps the number of live domains (128 on 64-bit); stay far below
+   it so nested parallel_map calls cannot hit the runtime limit. *)
+let max_spawn = 32
+
+let parallel_map (type a b) ~jobs (f : a -> b) (xs : a list) : b list =
+  if jobs < 1 then invalid_arg "Pool.parallel_map: jobs < 1";
+  let n = List.length xs in
+  let jobs = min (min jobs n) max_spawn in
+  if jobs <= 1 || n < 2 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results : b option array = Array.make n None in
+    let mutex = Mutex.create () in
+    let next = ref 0 in
+    let failure : (int * exn * Printexc.raw_backtrace) option ref = ref None in
+    let claim () =
+      Mutex.lock mutex;
+      let job =
+        if Option.is_some !failure || !next >= n then None
+        else begin
+          let i = !next in
+          next := i + 1;
+          Some i
+        end
+      in
+      Mutex.unlock mutex;
+      job
+    in
+    let fail i exn bt =
+      Mutex.lock mutex;
+      (match !failure with
+      | Some (j, _, _) when j <= i -> ()
+      | Some _ | None -> failure := Some (i, exn, bt));
+      Mutex.unlock mutex
+    in
+    let rec worker () =
+      match claim () with
+      | None -> ()
+      | Some i ->
+        (match f input.(i) with
+        | y ->
+          results.(i) <- Some y
+        | exception exn ->
+          fail i exn (Printexc.get_raw_backtrace ()));
+        worker ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    match !failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+      List.init n (fun i ->
+          match results.(i) with Some y -> y | None -> assert false)
+  end

@@ -1,0 +1,31 @@
+(** A fixed-size domain pool for deterministic fan-out of independent
+    jobs (OCaml 5 [Domain] + [Mutex]; no dependencies beyond the stdlib).
+
+    The experiment layer uses {!parallel_map} to run independent
+    (workload, scheduler, machine-config) simulations on separate
+    domains. Every job must be a pure function of its input — in
+    particular any randomness must come from a generator seeded by the
+    job description, never from state shared between jobs — so a
+    parallel run is bit-for-bit identical to a serial one. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the worker count the
+    experiment entry points default to. 1 on machines without usable
+    parallelism, in which case everything runs on the serial path. *)
+
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ~jobs f xs] is [List.map f xs], computed by up to
+    [jobs] domains (the calling domain participates, so [jobs - 1] are
+    spawned). Results preserve input order regardless of completion
+    order.
+
+    Degrades to plain [List.map] — no domains, no locks — when
+    [jobs = 1] or the list has fewer than two elements; never spawns
+    more domains than there are jobs to run.
+
+    If a job raises, the exception (with its backtrace) is re-raised in
+    the caller after all workers have stopped; when several jobs fail,
+    the one with the smallest input index that was observed to fail
+    wins, and no new jobs are started after the first failure.
+
+    @raise Invalid_argument when [jobs < 1]. *)

@@ -49,6 +49,32 @@ let to_alist t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Immutable snapshot of a counter set with O(log n) lookup: names and
+   values in two parallel arrays sorted by name. *)
+type lookup = { names : string array; values : int array }
+
+let lookup_of_alist alist =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) alist in
+  { names = Array.of_list (List.map fst sorted);
+    values = Array.of_list (List.map snd sorted) }
+
+let lookup_of_counters t = lookup_of_alist (to_alist t)
+
+let lookup_get { names; values } name =
+  let rec search lo hi =
+    if lo >= hi then 0
+    else
+      let mid = (lo + hi) / 2 in
+      match String.compare name names.(mid) with
+      | 0 -> values.(mid)
+      | c when c < 0 -> search lo mid
+      | _ -> search (mid + 1) hi
+  in
+  search 0 (Array.length names)
+
+let lookup_to_alist { names; values } =
+  Array.to_list (Array.map2 (fun k v -> (k, v)) names values)
+
 let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 
 let percent_speedup ~single ~dual =

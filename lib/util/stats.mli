@@ -35,6 +35,22 @@ val get : counter_set -> string -> int
 val to_alist : counter_set -> (string * int) list
 (** Sorted by name. *)
 
+type lookup
+(** An immutable snapshot of counters supporting O(log n) queries by
+    name — what finished simulations hand out instead of an association
+    list walked per query. Structural equality on [lookup] values is
+    meaningful (two snapshots are equal iff they hold the same
+    counters). *)
+
+val lookup_of_alist : (string * int) list -> lookup
+val lookup_of_counters : counter_set -> lookup
+
+val lookup_get : lookup -> string -> int
+(** 0 for absent names. *)
+
+val lookup_to_alist : lookup -> (string * int) list
+(** Sorted by name. *)
+
 val ratio : int -> int -> float
 (** [ratio num den] is [num/den] as float, 0 when [den = 0]. *)
 

@@ -17,4 +17,5 @@ let () =
       Test_format.suite;
       Test_report.suite;
       Test_golden.suite;
-      Test_crossval.suite ]
+      Test_crossval.suite;
+      Test_parallel.suite ]
