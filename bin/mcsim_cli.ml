@@ -2,9 +2,21 @@
 
 open Cmdliner
 
+(* One positive-int parser for every count-like flag (-n, -j, ...): a
+   malformed or non-positive value is a one-line usage error naming the
+   flag, never an exception backtrace. *)
+let pos_int ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "%s must be a positive integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let max_instrs_arg =
   let doc = "Committed-trace length per run." in
-  Arg.(value & opt int 60_000 & info [ "n"; "max-instrs" ] ~docv:"N" ~doc)
+  Arg.(value & opt (pos_int ~what:"N") 60_000 & info [ "n"; "max-instrs" ] ~docv:"N" ~doc)
 
 let seed_arg =
   let doc = "Random seed for branch outcomes and address streams." in
@@ -15,17 +27,45 @@ let jobs_arg =
     "Number of domains to fan independent simulations out over (default: the \
      number of cores). Results are identical for every value."
   in
-  let pos_int =
-    let parse s =
-      match int_of_string_opt s with
-      | Some n when n >= 1 -> Ok n
-      | Some _ | None -> Error (`Msg (Printf.sprintf "JOBS must be a positive integer, got %S" s))
-    in
-    Arg.conv (parse, Format.pp_print_int)
-  in
   Arg.(value
-       & opt pos_int (Mcsim_util.Pool.default_jobs ())
+       & opt (pos_int ~what:"JOBS") (Mcsim_util.Pool.default_jobs ())
        & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+(* A sampling policy as INTERVAL:WARMUP:DETAIL; the policy's offset seed
+   is taken from --seed at the point of use. *)
+let sample_conv =
+  let parse s =
+    match Mcsim_sampling.Sampling.policy_of_string s with
+    | Ok p -> Ok p
+    | Error m ->
+      (* cmdliner already names the option; drop the library's prefix. *)
+      let m =
+        match String.index_opt m ':' with
+        | Some i when String.length m > i + 2 && String.sub m 0 i = "Sampling" ->
+          String.sub m (i + 2) (String.length m - i - 2)
+        | _ -> m
+      in
+      Error (`Msg m)
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.pp_print_string fmt (Mcsim_sampling.Sampling.policy_to_string p))
+
+let sample_arg =
+  let doc =
+    "Sampled simulation: replace every detailed machine run with SMARTS-style \
+     systematic interval sampling under policy $(docv) (instructions per sampling \
+     unit : functionally-warmed detailed-warmup prefix : measured suffix, e.g. \
+     25000:2000:2000). Cycle counts become extrapolations from the sampled mean CPI."
+  in
+  Arg.(value & opt (some sample_conv) None & info [ "sample" ] ~docv:"I:W:D" ~doc)
+
+(* A trace too short for the sampling policy is a user error (bad
+   -n/--sample combination), not an internal crash. *)
+let or_sampling_error f =
+  try f ()
+  with Invalid_argument m when String.length m >= 8 && String.sub m 0 8 = "Sampling" ->
+    prerr_endline ("mcsim: " ^ m);
+    exit 1
 
 let bench_conv =
   let parse s =
@@ -57,18 +97,28 @@ let four_way_arg =
        & info [ "four-way" ] ~doc:"Use the four-way-issue machine pair instead of eight-way.")
 
 let table2_cmd =
-  let run max_instrs seed benchmarks csv four_way jobs =
+  let run max_instrs seed benchmarks csv four_way jobs sample =
     let single_config, dual_config =
       if four_way then
         (Some (Mcsim_cluster.Machine.single_cluster_4 ()),
          Some (Mcsim_cluster.Machine.dual_cluster_2x2 ()))
       else (None, None)
     in
+    let sampling =
+      Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample
+    in
     let rows =
-      Mcsim.Table2.run ~jobs ~max_instrs ~seed ~benchmarks ?single_config ?dual_config ()
+      or_sampling_error (fun () ->
+          Mcsim.Table2.run ~jobs ~max_instrs ~seed ~benchmarks ?sampling ?single_config
+            ?dual_config ())
     in
     if csv then print_string (Mcsim.Report.table2_csv rows)
     else begin
+      (match sampling with
+      | Some p ->
+        Printf.printf "(sampled: policy %s, cycle columns are extrapolations)\n"
+          (Mcsim_sampling.Sampling.policy_to_string p)
+      | None -> ());
       print_string (Mcsim.Table2.render rows);
       print_newline ();
       List.iter
@@ -79,7 +129,7 @@ let table2_cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Run the Table-2 experiment (none/local vs single-cluster).")
     Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg
-          $ jobs_arg)
+          $ jobs_arg $ sample_arg)
 
 let scenarios_cmd =
   let run () =
@@ -176,6 +226,61 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark and dump all counters.")
     Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg)
+
+let sample_cmd =
+  let machine_arg =
+    Arg.(value & opt (enum [ ("single", `Single); ("dual", `Dual) ]) `Dual
+         & info [ "machine" ] ~doc:"Machine to run on: single or dual.")
+  in
+  let scheduler_arg =
+    Arg.(value & opt scheduler_conv Mcsim_compiler.Pipeline.default_local
+         & info [ "scheduler" ] ~doc:"none, local, round-robin, or random.")
+  in
+  let full_arg =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Also run the full detailed simulation and report the sampling error.")
+  in
+  let run bench machine scheduler max_instrs seed sample full csv =
+    let policy =
+      match sample with
+      | Some p -> { p with Mcsim_sampling.Sampling.seed }
+      | None -> { Mcsim_sampling.Sampling.default_policy with seed }
+    in
+    let prog = Mcsim_workload.Spec92.program bench in
+    let profile = Mcsim_trace.Walker.profile ~seed prog in
+    let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
+    let trace = Mcsim_trace.Walker.trace ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach in
+    let cfg =
+      match machine with
+      | `Single -> Mcsim_cluster.Machine.single_cluster ()
+      | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
+    in
+    let s = or_sampling_error (fun () -> Mcsim_sampling.Sampling.run ~policy cfg trace) in
+    if csv then print_string (Mcsim.Report.sampling_csv s)
+    else begin
+      Printf.printf "%s on the %s machine, %s scheduler:\n"
+        (Mcsim_workload.Spec92.name bench)
+        (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
+        (Mcsim_compiler.Pipeline.scheduler_name scheduler);
+      print_string (Mcsim_sampling.Sampling.render s);
+      if full then begin
+        let r = Mcsim_cluster.Machine.run cfg trace in
+        let err =
+          Float.abs (s.Mcsim_sampling.Sampling.mean_ipc -. r.Mcsim_cluster.Machine.ipc)
+          /. r.Mcsim_cluster.Machine.ipc
+        in
+        Printf.printf "  full run: IPC %.4f in %d cycles; sampling error %.2f%%%s\n"
+          r.Mcsim_cluster.Machine.ipc r.Mcsim_cluster.Machine.cycles (100.0 *. err)
+          (if err <= Mcsim_sampling.Sampling.ci_rel s then " (within the CI)" else "")
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:"Sampled simulation of one benchmark (optionally vs the full detailed run).")
+    Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg
+          $ sample_arg $ full_arg $ csv_arg)
 
 let clusters_cmd =
   let run max_instrs seed benchmarks jobs =
@@ -287,4 +392,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table1_cmd; table2_cmd; scenarios_cmd; figure6_cmd; cycle_time_cmd; workloads_cmd;
-            run_cmd; ablate_cmd; reassign_cmd; clusters_cmd; compile_cmd; simulate_cmd ]))
+            run_cmd; sample_cmd; ablate_cmd; reassign_cmd; clusters_cmd; compile_cmd;
+            simulate_cmd ]))

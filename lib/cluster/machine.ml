@@ -963,7 +963,7 @@ let build_clusters cfg assignment =
         operand_buf = Transfer_buffer.create ~entries:cfg.operand_buffer_entries;
         result_buf = Transfer_buffer.create ~entries:cfg.result_buffer_entries })
 
-let init_state ~on_event cfg =
+let init_state ?(on_event = fun (_ : event) -> ()) cfg =
   validate_config cfg;
   { cfg;
     assignment = cfg.assignment;
@@ -997,19 +997,20 @@ let load_phase st assignment trace =
   assert (Deque.is_empty st.rob);
   if Assignment.num_clusters assignment <> Assignment.num_clusters st.assignment then
     invalid_arg "Machine.load_phase: cluster count cannot change";
+  (* A switch that moves no registers (the same value, or a structurally
+     equal one) costs nothing and keeps the clusters' state untouched. *)
   let overhead =
     if assignment == st.assignment then 0
-    else begin
-      let moved = List.length (moved_registers st.assignment assignment) in
-      Stats.add st.ctrs "reassigned_registers" moved;
-      Stats.incr st.ctrs "reassignments";
-      4 + ((moved + 1) / 2)
-    end
+    else
+      match List.length (moved_registers st.assignment assignment) with
+      | 0 -> 0
+      | moved ->
+        Stats.add st.ctrs "reassigned_registers" moved;
+        Stats.incr st.ctrs "reassignments";
+        st.assignment <- assignment;
+        st.clusters <- build_clusters st.cfg assignment;
+        4 + ((moved + 1) / 2)
   in
-  if not (assignment == st.assignment) then begin
-    st.assignment <- assignment;
-    st.clusters <- build_clusters st.cfg assignment
-  end;
   st.trace <- trace;
   st.trace_idx <- 0;
   Fixed_queue.clear st.fetch_buffer;
@@ -1048,14 +1049,20 @@ let head_starvation_check st =
     st.head_blocked <- (-1, 0)
   end
 
-let run_loop st ~max_cycles =
+let run_loop ?(on_cycle = fun () -> ()) st ~max_cycles =
   let finished () =
     st.trace_idx >= Array.length st.trace
     && Fixed_queue.is_empty st.fetch_buffer
     && Deque.is_empty st.rob
   in
   while not (finished ()) do
-    if st.cycle > max_cycles then failwith "Machine.run: cycle limit exceeded (model bug)";
+    if st.cycle > max_cycles then
+      failwith
+        (Printf.sprintf
+           "Machine.run: cycle limit exceeded (model bug): %d cycles elapsed (max_cycles \
+            %d), %d instructions retired, trace position %d of %d, %d groups in flight"
+           st.cycle max_cycles (Stats.get st.ctrs "retired") st.trace_idx
+           (Array.length st.trace) (Deque.length st.rob));
     let woke = wake_phase st in
     let retired = retire_phase st in
     train_phase st;
@@ -1072,6 +1079,7 @@ let run_loop st ~max_cycles =
     end
     else st.stall_cycles <- 0;
     head_starvation_check st;
+    on_cycle ();
     st.cycle <- st.cycle + 1
   done
 
@@ -1121,3 +1129,77 @@ let run_phased ?(on_event = fun (_ : event) -> ()) ?(max_cycles = 200_000_000) c
 
 let run ?on_event ?max_cycles cfg trace =
   run_phased ?on_event ?max_cycles cfg [ (cfg.assignment, trace) ]
+
+(* ------------------------------------------------------------------ *)
+(* Resumable-state API: functional warming and detailed intervals      *)
+(* ------------------------------------------------------------------ *)
+
+(* Functional warming (SMARTS-style): advance the long-history
+   microarchitectural state - i-cache, d-cache, branch predictor - over
+   skipped instructions at one cycle per instruction, without modeling
+   the pipeline. The i-cache is touched at line granularity exactly as
+   fetch would, and conditional branches run the full
+   predict/note/train sequence (training is immediate; the detailed
+   model's dispatch-to-execute training lag only matters over the
+   handful of in-flight branches, which the detailed warmup prefix of
+   the next interval re-establishes). *)
+let warm st trace ~lo ~hi =
+  if lo < 0 || hi > Array.length trace || lo > hi then
+    invalid_arg "Machine.warm: bad interval";
+  for i = lo to hi - 1 do
+    let dyn = trace.(i) in
+    st.cycle <- st.cycle + 1;
+    let addr = dyn.Instr.pc * 4 in
+    let line = addr / st.cfg.icache.Cache.line_bytes in
+    if line <> st.last_fetch_line then begin
+      ignore (Cache.access st.icache ~cycle:st.cycle ~addr ~write:false);
+      st.last_fetch_line <- line
+    end;
+    (match dyn.Instr.instr.Instr.op with
+    | Op_class.Load ->
+      ignore
+        (Cache.access st.dcache ~cycle:st.cycle ~addr:(Option.get dyn.Instr.mem_addr)
+           ~write:false)
+    | Op_class.Store ->
+      ignore
+        (Cache.access st.dcache ~cycle:st.cycle ~addr:(Option.get dyn.Instr.mem_addr)
+           ~write:true)
+    | Op_class.Int_multiply | Op_class.Int_other | Op_class.Fp_divide _ | Op_class.Fp_other
+    | Op_class.Control -> ());
+    match dyn.Instr.branch with
+    | Some b when b.Instr.conditional ->
+      let _, tok = Mcfarling.predict st.predictor ~pc:dyn.Instr.pc in
+      Mcfarling.note_outcome st.predictor ~taken:b.Instr.taken;
+      Mcfarling.train st.predictor tok ~taken:b.Instr.taken
+    | Some _ | None -> ()
+  done;
+  Stats.add st.ctrs "warmed_instructions" (hi - lo)
+
+type interval = { iv_warmup_cycles : int; iv_cycles : int; iv_retired : int }
+
+let run_interval ?(max_cycles = 200_000_000) st trace ~lo ~hi ~measure_from =
+  if lo < 0 || hi > Array.length trace || lo >= hi then
+    invalid_arg "Machine.run_interval: bad interval";
+  if measure_from < lo || measure_from >= hi then
+    invalid_arg "Machine.run_interval: measure_from outside [lo, hi)";
+  (* The detailed model requires trace.(i).seq = i (replay refetches by
+     trace position), so the sub-trace is renumbered from 0. *)
+  let sub = Array.init (hi - lo) (fun i -> { trace.(lo + i) with Instr.seq = i }) in
+  load_phase st st.assignment sub;
+  let start = st.cycle in
+  let retired0 = Stats.get st.ctrs "retired" in
+  let threshold = measure_from - lo in
+  let boundary = ref start in
+  let seen = ref (threshold <= 0) in
+  run_loop st ~max_cycles
+    ~on_cycle:(fun () ->
+      if (not !seen) && Stats.get st.ctrs "retired" - retired0 >= threshold then begin
+        seen := true;
+        boundary := st.cycle + 1
+      end);
+  Stats.incr st.ctrs "detailed_intervals";
+  { iv_warmup_cycles = !boundary - start;
+    iv_cycles = st.cycle - !boundary;
+    iv_retired = hi - measure_from }
+
+let state_result st = finish_result st

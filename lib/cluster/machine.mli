@@ -156,10 +156,11 @@ val run_phased :
 (** Dynamic reassignment of the architectural registers (paper §2.1's
     "simple hardware mechanism" and §6): run the phases back to back on
     one machine (caches and predictor stay warm). Between phases the
-    pipeline drains and, if the assignment changed, the machine pays a
-    resynchronization overhead of 4 cycles plus one cycle per two
-    architectural registers whose cluster placement moved (their values
-    must be copied between the register files). Counters
+    pipeline drains and, if the assignment change moved any register
+    (see {!moved_registers}), the machine pays a resynchronization
+    overhead of 4 cycles plus one cycle per two architectural registers
+    whose cluster placement moved (their values must be copied between
+    the register files); a switch that moves nothing is free. Counters
     ["reassignments"] and ["reassigned_registers"] record the activity.
     All phases must keep the cluster count of [config].
     @raise Invalid_argument if a phase changes the cluster count. *)
@@ -167,3 +168,64 @@ val run_phased :
 val moved_registers : Assignment.t -> Assignment.t -> Mcsim_isa.Reg.t list
 (** The registers whose cluster placement differs — what the reassignment
     hardware must copy. *)
+
+(** {2 Resumable-state API}
+
+    The building blocks of sampled simulation ({!Mcsim_sampling}): one
+    machine state is driven through an alternation of {e functional
+    warming} (caches and branch predictor advance over skipped
+    instructions, no pipeline model) and {e detailed intervals} (the full
+    model on a trace slice, with a warmup prefix whose cycles are
+    measured separately). [run] and [run_phased] are themselves thin
+    wrappers over this state. *)
+
+type state
+(** A machine mid-simulation: configuration, caches, predictor,
+    pipeline, and counters. *)
+
+val init_state : ?on_event:(event -> unit) -> config -> state
+(** A fresh machine at cycle 0.
+    @raise Invalid_argument as {!validate_config}. *)
+
+val warm : state -> Mcsim_isa.Instr.dynamic array -> lo:int -> hi:int -> unit
+(** Functional warming over [trace.(lo) .. trace.(hi - 1)]: the i-cache
+    is accessed at line granularity exactly as fetch would, loads and
+    stores access the d-cache, and conditional branches run the full
+    predict/train sequence — one cycle per instruction, no pipeline.
+    The pipeline must be drained (as it is after [init_state] and after
+    every completed interval). Counter ["warmed_instructions"]
+    accumulates [hi - lo].
+    @raise Invalid_argument unless [0 <= lo <= hi <= length trace]. *)
+
+(** Timing of one detailed interval: the warmup prefix's cycles are
+    reported separately so the caller can discard them. *)
+type interval = {
+  iv_warmup_cycles : int;  (** cycles until the warmup prefix retired *)
+  iv_cycles : int;  (** cycles of the measured region *)
+  iv_retired : int;  (** instructions retired in the measured region *)
+}
+
+val run_interval :
+  ?max_cycles:int ->
+  state ->
+  Mcsim_isa.Instr.dynamic array ->
+  lo:int ->
+  hi:int ->
+  measure_from:int ->
+  interval
+(** Detailed simulation of [trace.(lo) .. trace.(hi - 1)] on a drained
+    pipeline (caches and predictor stay warm), running until the
+    pipeline drains again. Cycles up to and including the one in which
+    the instruction count [measure_from - lo] retired are warmup; the
+    rest are the measured region. Counter ["detailed_intervals"] counts
+    calls.
+    @raise Invalid_argument unless [0 <= lo < hi <= length trace] and
+    [lo <= measure_from < hi].
+    @raise Failure as {!run} when [max_cycles] elapses. *)
+
+val state_result : state -> result
+(** Harvest the aggregate counters of everything the state has run.
+    [cycles] (and hence [ipc]) counts warming at one cycle per
+    instruction — for a sampled {e estimate} of full-run IPC see
+    {!Mcsim_sampling}. Call at most once: harvesting folds per-component
+    totals into the counter set. *)

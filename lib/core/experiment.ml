@@ -2,6 +2,7 @@ module Machine = Mcsim_cluster.Machine
 module Pipeline = Mcsim_compiler.Pipeline
 module Walker = Mcsim_trace.Walker
 module Pool = Mcsim_util.Pool
+module Sampling = Mcsim_sampling.Sampling
 
 type run = {
   scheduler : string;
@@ -54,8 +55,15 @@ type sim_out =
       spills : int;
     }
 
-let run_sim ~seed ~max_instrs ~single_config ~dual_config preps = function
-  | Sim_single i -> Out_single (Machine.run single_config preps.(i).p_native_trace)
+(* One machine simulation: the full detailed model, or — when a sampling
+   policy is given — the sampled estimate standing in for it. *)
+let simulate ~sampling cfg trace =
+  match sampling with
+  | None -> Machine.run cfg trace
+  | Some policy -> Sampling.estimate (Sampling.run ~policy cfg trace)
+
+let run_sim ~seed ~max_instrs ~sampling ~single_config ~dual_config preps = function
+  | Sim_single i -> Out_single (simulate ~sampling single_config preps.(i).p_native_trace)
   | Sim_sched (i, (name, scheduler)) ->
     let prep = preps.(i) in
     let compiled =
@@ -70,7 +78,7 @@ let run_sim ~seed ~max_instrs ~single_config ~dual_config preps = function
       | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
         Walker.trace ~seed ~max_instrs compiled.Pipeline.mach
     in
-    let dual = Machine.run dual_config trace in
+    let dual = simulate ~sampling dual_config trace in
     let static_single, static_dual =
       Pipeline.dual_distribution_count dual_config.Machine.assignment compiled.Pipeline.mach
     in
@@ -82,7 +90,7 @@ let run_sim ~seed ~max_instrs ~single_config ~dual_config preps = function
         spills = List.length compiled.Pipeline.alloc.Mcsim_compiler.Regalloc.spilled_lrs }
 
 let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
-    ?(schedulers = default_schedulers) ?single_config ?dual_config progs =
+    ?(schedulers = default_schedulers) ?sampling ?single_config ?dual_config progs =
   let single_config =
     match single_config with Some c -> c | None -> Machine.single_cluster ()
   in
@@ -99,7 +107,9 @@ let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
          progs)
   in
   let outs =
-    Pool.parallel_map ~jobs (run_sim ~seed ~max_instrs ~single_config ~dual_config preps) sims
+    Pool.parallel_map ~jobs
+      (run_sim ~seed ~max_instrs ~sampling ~single_config ~dual_config preps)
+      sims
   in
   (* Reassemble: stage-2 results arrive grouped per benchmark, single
      first, then the schedulers in request order. *)
@@ -132,9 +142,10 @@ let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
     (Array.to_list preps)
 
 let run_benchmark ?(max_instrs = 120_000) ?(seed = 1)
-    ?(schedulers = default_schedulers) ?single_config ?dual_config prog =
+    ?(schedulers = default_schedulers) ?sampling ?single_config ?dual_config prog =
   match
-    run_many ~jobs:1 ~max_instrs ~seed ~schedulers ?single_config ?dual_config [ prog ]
+    run_many ~jobs:1 ~max_instrs ~seed ~schedulers ?sampling ?single_config ?dual_config
+      [ prog ]
   with
   | [ c ] -> c
   | _ -> assert false

@@ -35,6 +35,7 @@ val run_many :
   ?max_instrs:int ->
   ?seed:int ->
   ?schedulers:(string * Mcsim_compiler.Pipeline.scheduler) list ->
+  ?sampling:Mcsim_sampling.Sampling.policy ->
   ?single_config:Mcsim_cluster.Machine.config ->
   ?dual_config:Mcsim_cluster.Machine.config ->
   Mcsim_ir.Program.t list ->
@@ -44,15 +45,24 @@ val run_many :
     [jobs] domains (default {!Mcsim_util.Pool.default_jobs}; [~jobs:1]
     runs serially). Results are in benchmark order regardless of [jobs].
 
+    With [sampling], every machine simulation (single-cluster baseline
+    and each dual run) is the sampled estimate
+    ({!Mcsim_sampling.Sampling.estimate}) instead of a full detailed
+    run: same [comparison] shape, cycles and IPC are the sampled
+    extrapolations. Traces must be long enough for two complete sampling
+    units (@raise Invalid_argument otherwise).
+
     Determinism: every simulation derives all randomness from [seed]
-    and its own task description, and tasks share only immutable data
-    (the per-benchmark profile, native binary and trace), so the output
-    is bit-for-bit identical for every [jobs] value. *)
+    (and, under [sampling], the policy's own seed) plus its task
+    description, and tasks share only immutable data (the per-benchmark
+    profile, native binary and trace), so the output is bit-for-bit
+    identical for every [jobs] value. *)
 
 val run_benchmark :
   ?max_instrs:int ->
   ?seed:int ->
   ?schedulers:(string * Mcsim_compiler.Pipeline.scheduler) list ->
+  ?sampling:Mcsim_sampling.Sampling.policy ->
   ?single_config:Mcsim_cluster.Machine.config ->
   ?dual_config:Mcsim_cluster.Machine.config ->
   Mcsim_ir.Program.t ->

@@ -68,6 +68,40 @@ let counters_csv (r : Mcsim_cluster.Machine.result) =
          (fun (k, v) -> line [ k; string_of_int v ])
          r.Mcsim_cluster.Machine.counters)
 
+let sampling_csv (r : Mcsim_sampling.Sampling.t) =
+  line [ "interval"; "start"; "warmup_cycles"; "detail_cycles"; "detail_instrs"; "ipc" ]
+  ^ String.concat ""
+      (List.map
+         (fun (s : Mcsim_sampling.Sampling.interval_stat) ->
+           line
+             [ string_of_int s.Mcsim_sampling.Sampling.index;
+               string_of_int s.Mcsim_sampling.Sampling.start;
+               string_of_int s.Mcsim_sampling.Sampling.warmup_cycles;
+               string_of_int s.Mcsim_sampling.Sampling.detail_cycles;
+               string_of_int s.Mcsim_sampling.Sampling.detail_instrs;
+               Printf.sprintf "%.4f" s.Mcsim_sampling.Sampling.ipc ])
+         r.Mcsim_sampling.Sampling.intervals)
+
+let sampling_summary_csv results =
+  line
+    [ "benchmark"; "policy"; "trace_instrs"; "intervals"; "detailed_instrs"; "warmed_instrs";
+      "mean_ipc"; "ci_halfwidth"; "ci_rel_pct"; "est_cycles" ]
+  ^ String.concat ""
+      (List.map
+         (fun (name, (r : Mcsim_sampling.Sampling.t)) ->
+           line
+             [ name;
+               Mcsim_sampling.Sampling.policy_to_string r.Mcsim_sampling.Sampling.policy;
+               string_of_int r.Mcsim_sampling.Sampling.trace_instrs;
+               string_of_int (List.length r.Mcsim_sampling.Sampling.intervals);
+               string_of_int r.Mcsim_sampling.Sampling.detailed_instrs;
+               string_of_int r.Mcsim_sampling.Sampling.warmed_instrs;
+               Printf.sprintf "%.4f" r.Mcsim_sampling.Sampling.mean_ipc;
+               Printf.sprintf "%.4f" r.Mcsim_sampling.Sampling.ci_halfwidth;
+               Printf.sprintf "%.2f" (100.0 *. Mcsim_sampling.Sampling.ci_rel r);
+               string_of_int r.Mcsim_sampling.Sampling.est_cycles ])
+         results)
+
 let net_csv rows =
   line [ "benchmark"; "cycles_pct"; "net_035_pct"; "net_018_pct" ]
   ^ String.concat ""

@@ -15,4 +15,12 @@ val ablation_csv : Ablation.sweep -> string
 val counters_csv : Mcsim_cluster.Machine.result -> string
 (** All named counters of one run, one per line. *)
 
+val sampling_csv : Mcsim_sampling.Sampling.t -> string
+(** One sampled run, one row per detailed interval: start position,
+    warmup/measured cycles, measured instructions, per-interval IPC. *)
+
+val sampling_summary_csv : (string * Mcsim_sampling.Sampling.t) list -> string
+(** One row per (benchmark, sampled run): coverage, mean IPC, CI, and
+    the extrapolated cycle count. *)
+
 val net_csv : Cycle_time.net_row list -> string

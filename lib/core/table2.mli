@@ -22,6 +22,7 @@ val run :
   ?max_instrs:int ->
   ?seed:int ->
   ?benchmarks:Mcsim_workload.Spec92.benchmark list ->
+  ?sampling:Mcsim_sampling.Sampling.policy ->
   ?single_config:Mcsim_cluster.Machine.config ->
   ?dual_config:Mcsim_cluster.Machine.config ->
   unit ->
@@ -34,7 +35,9 @@ val run :
     [jobs] (default {!Mcsim_util.Pool.default_jobs}) fans the
     independent simulations out over that many domains via
     {!Experiment.run_many}; the rows are bit-for-bit identical for
-    every [jobs] value. *)
+    every [jobs] value. [sampling] replaces every detailed machine run
+    with its sampled estimate — cycle columns become extrapolations
+    (see {!Mcsim_sampling.Sampling}). *)
 
 val render : row list -> string
 (** Side-by-side measured-vs-paper table. *)

@@ -51,6 +51,27 @@ val lookup_get : lookup -> string -> int
 val lookup_to_alist : lookup -> (string * int) list
 (** Sorted by name. *)
 
+val mean : float array -> float
+(** Arithmetic mean; 0 when empty. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 when fewer than 2
+    samples. (Contrast {!dist_var}, which is the population variance of a
+    streaming accumulator.) *)
+
+val t_critical : ?confidence:float -> df:int -> unit -> float
+(** Two-sided Student-t critical value at [confidence] (0.90, 0.95 —
+    the default — or 0.99) with [df] degrees of freedom. Between
+    tabulated rows the next smaller df is used, which errs conservative;
+    above 120 df the normal limit applies.
+    @raise Invalid_argument on [df < 1] or an untabulated confidence. *)
+
+val confidence_interval : ?confidence:float -> float array -> float * float
+(** [(mean, halfwidth)] of the Student-t confidence interval on the mean
+    (default 95%): the true mean lies in [mean ± halfwidth] with the
+    requested confidence, under the usual independence assumptions.
+    @raise Invalid_argument with fewer than 2 samples. *)
+
 val ratio : int -> int -> float
 (** [ratio num den] is [num/den] as float, 0 when [den = 0]. *)
 

@@ -14,6 +14,7 @@ let () =
       Test_audit.suite;
       Test_extensions.suite;
       Test_reassign.suite;
+      Test_sampling.suite;
       Test_format.suite;
       Test_report.suite;
       Test_golden.suite;

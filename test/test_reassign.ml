@@ -54,6 +54,50 @@ let phased_pays_overhead () =
     (switched.Machine.cycles >= same.Machine.cycles);
   check Alcotest.int "all instructions still retire" 400 switched.Machine.retired
 
+let moved_registers_symmetric () =
+  let a = Assignment.create ~num_clusters:2 () in
+  let b = Assignment.create ~num_clusters:2 ~globals:[ Reg.sp; Reg.gp; Reg.int_reg 4 ] () in
+  let names asg asg' = List.sort compare (List.map Reg.to_string (Machine.moved_registers asg asg')) in
+  check Alcotest.(list string) "a->b and b->a move the same registers" (names a b) (names b a)
+
+(* Two structurally equal assignment values are as free to switch
+   between as reusing the same value: nothing moves, nothing stalls. *)
+let phased_equal_assignments_free () =
+  let cfg = Machine.dual_cluster () in
+  let twin = Assignment.create ~num_clusters:2 () in
+  check Alcotest.int "twin assignment moves nothing" 0
+    (List.length (Machine.moved_registers cfg.Machine.assignment twin));
+  let t1 = simple_trace 200 and t2 = simple_trace 150 in
+  let same =
+    Machine.run_phased cfg [ (cfg.Machine.assignment, t1); (cfg.Machine.assignment, t2) ]
+  in
+  let twinned = Machine.run_phased cfg [ (cfg.Machine.assignment, t1); (twin, t2) ] in
+  check Alcotest.int "no resync cost" same.Machine.cycles twinned.Machine.cycles;
+  check Alcotest.int "no registers copied" 0 (Machine.counter twinned "reassigned_registers")
+
+(* The worst-case reassignment: the second phase inverts the parity
+   mapping, so every local register changes clusters. *)
+let phased_all_registers_moved () =
+  let cfg = Machine.dual_cluster () in
+  let base = cfg.Machine.assignment in
+  let inverted =
+    Assignment.custom ~num_clusters:2 (fun r ->
+        match Assignment.placement base r with
+        | Assignment.Local c -> Assignment.Local (1 - c)
+        | Assignment.Global -> Assignment.Global)
+  in
+  let moved = List.length (Machine.moved_registers base inverted) in
+  check Alcotest.bool "every local register moves" true
+    (moved > (Reg.num_int + Reg.num_fp) / 2);
+  let t1 = simple_trace 200 and t2 = simple_trace 200 in
+  let same = Machine.run_phased cfg [ (base, t1); (base, t2) ] in
+  let flipped = Machine.run_phased cfg [ (base, t1); (inverted, t2) ] in
+  check Alcotest.int "all moved registers copied" moved
+    (Machine.counter flipped "reassigned_registers");
+  check Alcotest.bool "worst case costs more than no switch" true
+    (flipped.Machine.cycles > same.Machine.cycles);
+  check Alcotest.int "all instructions still retire" 400 flipped.Machine.retired
+
 let phased_cluster_count_fixed () =
   let cfg = Machine.dual_cluster () in
   Alcotest.check_raises "cannot change cluster count"
@@ -80,8 +124,11 @@ let demo_render () =
 let suite =
   ( "reassign",
     [ case "moved registers" moved_registers;
+      case "moved registers are symmetric" moved_registers_symmetric;
       case "single phase equals plain run" phased_single_phase_equals_run;
       case "phases accumulate" phased_counts_all_phases;
+      case "equal assignments switch for free" phased_equal_assignments_free;
+      case "all registers moved (inverted parity)" phased_all_registers_moved;
       case "reassignment pays its overhead" phased_pays_overhead;
       case "cluster count is fixed" phased_cluster_count_fixed;
       case "demo: duals collapse and cycles improve" demo_reduces_duals;

@@ -315,6 +315,65 @@ let stats_speedup () =
     (Stats.percent_speedup ~single:100 ~dual:125);
   check (Alcotest.float 1e-9) "10% speedup" 10.0 (Stats.percent_speedup ~single:100 ~dual:90)
 
+(* Sample statistics vs independent straight-line references. *)
+
+let samples = QCheck.(list_of_size Gen.(int_range 0 40) (float_bound_inclusive 1000.0))
+
+let close a b =
+  Float.abs (a -. b) <= 1e-9 +. (1e-9 *. Float.max (Float.abs a) (Float.abs b))
+
+let naive_mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let naive_variance xs =
+  let m = naive_mean xs in
+  List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+  /. float_of_int (List.length xs - 1)
+
+let stats_mean_matches_naive =
+  QCheck.Test.make ~name:"stats: mean matches the naive sum" ~count:300 samples (fun xs ->
+      let got = Stats.mean (Array.of_list xs) in
+      if xs = [] then got = 0.0 else close got (naive_mean xs))
+
+let stats_variance_matches_naive =
+  QCheck.Test.make ~name:"stats: variance matches the two-pass formula" ~count:300 samples
+    (fun xs ->
+      let got = Stats.variance (Array.of_list xs) in
+      if List.length xs < 2 then got = 0.0 else close got (naive_variance xs))
+
+let stats_ci_matches_naive =
+  QCheck.Test.make ~name:"stats: confidence interval = t * stderr around the mean" ~count:300
+    samples (fun xs ->
+      QCheck.assume (List.length xs >= 2);
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let m, h = Stats.confidence_interval arr in
+      let expect =
+        Stats.t_critical ~df:(n - 1) () *. sqrt (naive_variance xs /. float_of_int n)
+      in
+      close m (naive_mean xs) && close h expect && h >= 0.0)
+
+let stats_t_critical () =
+  (* Wider for smaller samples, wider for higher confidence, and the
+     normal quantiles in the large-df limit. *)
+  check Alcotest.bool "df=1 wider than df=5" true
+    (Stats.t_critical ~df:1 () > Stats.t_critical ~df:5 ());
+  check Alcotest.bool "df=5 wider than df=1000" true
+    (Stats.t_critical ~df:5 () > Stats.t_critical ~df:1000 ());
+  check Alcotest.bool "99% wider than 95%" true
+    (Stats.t_critical ~confidence:0.99 ~df:10 () > Stats.t_critical ~confidence:0.95 ~df:10 ());
+  check Alcotest.bool "95% wider than 90%" true
+    (Stats.t_critical ~confidence:0.95 ~df:10 () > Stats.t_critical ~confidence:0.90 ~df:10 ());
+  check (Alcotest.float 1e-6) "normal limit at 95%" 1.960 (Stats.t_critical ~df:100_000 ());
+  check (Alcotest.float 1e-3) "classic t(0.975, 10)" 2.228 (Stats.t_critical ~df:10 ());
+  Alcotest.check_raises "df must be positive" (Invalid_argument "Stats.t_critical: df < 1")
+    (fun () -> ignore (Stats.t_critical ~df:0 ()));
+  (match Stats.t_critical ~confidence:0.42 ~df:10 () with
+  | _ -> Alcotest.fail "untabulated confidence should raise"
+  | exception Invalid_argument _ -> ());
+  match Stats.confidence_interval [| 1.0 |] with
+  | _ -> Alcotest.fail "singleton has no confidence interval"
+  | exception Invalid_argument _ -> ()
+
 (* -------------------------- text_table ----------------------------- *)
 
 let tt_render () =
@@ -366,6 +425,10 @@ let suite =
       case "stats: empty dist" stats_dist_empty;
       case "stats: counters" stats_counters;
       case "stats: percent speedup" stats_speedup;
+      QCheck_alcotest.to_alcotest stats_mean_matches_naive;
+      QCheck_alcotest.to_alcotest stats_variance_matches_naive;
+      QCheck_alcotest.to_alcotest stats_ci_matches_naive;
+      case "stats: t critical values" stats_t_critical;
       case "text_table: render" tt_render;
       case "text_table: right align" tt_align_right;
       case "text_table: empty" tt_empty ] )
