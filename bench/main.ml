@@ -240,6 +240,106 @@ let sampled_simulation () =
   print_newline ();
   write_sampling_json entries
 
+(* ------------------------------------------------------------------ *)
+(* Engine comparison: the dependence-driven wakeup engine against the
+   reference per-cycle scan on long traces. The two must agree
+   bit-for-bit on every counter; wakeup being slower than scan is a
+   regression that fails the harness. *)
+
+let machine_instrs = if fast then 200_000 else 1_200_000
+
+(* Violations (result divergence, performance regression) are collected
+   here and turned into a nonzero exit at the end of the run, so CI can
+   gate on them. *)
+let violations : string list ref = ref []
+
+let violation fmt =
+  Printf.ksprintf (fun m -> violations := m :: !violations; Printf.printf "  VIOLATION: %s\n" m) fmt
+
+let write_machine_json entries ~identical ~overall_speedup =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"trace_instrs\": %d,\n" machine_instrs);
+  Buffer.add_string buf (Printf.sprintf "  \"ipc_identical\": %b,\n" identical);
+  Buffer.add_string buf (Printf.sprintf "  \"overall_speedup\": %.3f,\n" overall_speedup);
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, (r : Machine.result), scan_s, wake_s, scan_wpi, wake_wpi) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"benchmark\": %S, \"ipc\": %.4f, \"scan_seconds\": %.3f, \
+            \"wakeup_seconds\": %.3f, \"speedup\": %.2f, \
+            \"scan_words_per_instr\": %.1f, \"wakeup_words_per_instr\": %.1f}%s\n"
+           name r.Machine.ipc scan_s wake_s
+           (scan_s /. Float.max 1e-9 wake_s)
+           scan_wpi wake_wpi
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
+  Out_channel.with_open_text "BENCH_machine.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  print_endline "  (wrote BENCH_machine.json)"
+
+let engine_comparison () =
+  section
+    (Printf.sprintf
+       "Machine engines - scan vs wakeup issue logic, %d-instruction traces, \
+        dual-cluster machine"
+       machine_instrs);
+  let cfg = Machine.dual_cluster () in
+  let entries =
+    List.map
+      (fun b ->
+        let name = Spec92.name b in
+        let prog = Spec92.program b in
+        let profile = Mcsim_trace.Walker.profile prog in
+        let compiled =
+          Mcsim_compiler.Pipeline.compile ~profile
+            ~scheduler:Mcsim_compiler.Pipeline.default_local prog
+        in
+        let trace =
+          Mcsim_trace.Walker.trace ~max_instrs:machine_instrs
+            compiled.Mcsim_compiler.Pipeline.mach
+        in
+        (* Each engine: one pass measuring minor-heap allocation, then a
+           second timed pass; keep the faster time (the runs are
+           deterministic, so the only difference is GC/first-touch noise). *)
+        let run_engine engine =
+          Gc.major ();
+          let w0 = Gc.minor_words () in
+          let r, s1 = wall (fun () -> Machine.run ~engine cfg trace) in
+          let words = Gc.minor_words () -. w0 in
+          Gc.major ();
+          let _, s2 = wall (fun () -> Machine.run ~engine cfg trace) in
+          (r, Float.min s1 s2, words /. float_of_int machine_instrs)
+        in
+        let scan_r, scan_s, scan_wpi = run_engine `Scan in
+        let wake_r, wake_s, wake_wpi = run_engine `Wakeup in
+        if scan_r <> wake_r then
+          violation "%s: scan and wakeup results differ (scan %d cycles IPC %.4f, wakeup %d cycles IPC %.4f)"
+            name scan_r.Machine.cycles scan_r.Machine.ipc wake_r.Machine.cycles
+            wake_r.Machine.ipc;
+        Printf.printf
+          "  %-9s IPC %.4f  scan %.2fs (%.0f w/i)  wakeup %.2fs (%.0f w/i)  speedup %.2fx%s\n"
+          name wake_r.Machine.ipc scan_s scan_wpi wake_s wake_wpi
+          (scan_s /. Float.max 1e-9 wake_s)
+          (if scan_r = wake_r then "" else "  [DIVERGED]");
+        (name, wake_r, scan_s, wake_s, scan_wpi, wake_wpi))
+      Spec92.all
+  in
+  let total proj = List.fold_left (fun acc e -> acc +. proj e) 0.0 entries in
+  let overall_speedup =
+    total (fun (_, _, s, _, _, _) -> s) /. Float.max 1e-9 (total (fun (_, _, _, w, _, _) -> w))
+  in
+  let identical = !violations = [] in
+  if overall_speedup < 1.0 then
+    violation "wakeup engine is slower than the scan reference overall (%.2fx)"
+      overall_speedup;
+  print_newline ();
+  Printf.printf "  overall speedup %.2fx (target: >= 2x on full-length traces)\n"
+    overall_speedup;
+  write_machine_json entries ~identical ~overall_speedup
+
 let ablations () =
   section "Ablations - design choices called out in DESIGN.md";
   let show s = print_string (Mcsim.Ablation.render s); print_newline () in
@@ -350,20 +450,39 @@ let microbenchmarks () =
     (fun (name, ns) -> Printf.printf "  %-40s %s/run\n" name (fmt ns))
     (List.sort compare !rows)
 
+let finish () =
+  print_newline ();
+  match !violations with
+  | [] -> print_endline "done."
+  | vs ->
+    Printf.printf "done, with %d violation(s):\n" (List.length vs);
+    List.iter (fun m -> Printf.printf "  - %s\n" m) (List.rev vs);
+    exit 1
+
 let () =
   print_endline "mcsim benchmark harness - reproducing the evaluation of";
   print_endline "\"The Multicluster Architecture: Reducing Cycle Time Through Partitioning\"";
   print_endline "(Farkas, Chow, Jouppi, Vranesic; MICRO-30, 1997)";
-  table1 ();
-  figures_2_to_5 ();
-  figure6 ();
-  let rows = table2 () in
-  cycle_time rows;
-  four_way ();
-  cluster_scaling ();
-  reassignment ();
-  sampled_simulation ();
-  ablations ();
-  microbenchmarks ();
-  print_newline ();
-  print_endline "done."
+  (* MCSIM_BENCH_ONLY=machine runs just the engine-comparison section —
+     the CI smoke that gates on scan/wakeup equality and speed. *)
+  match Sys.getenv_opt "MCSIM_BENCH_ONLY" with
+  | Some "machine" ->
+    engine_comparison ();
+    finish ()
+  | Some other ->
+    Printf.eprintf "unknown MCSIM_BENCH_ONLY=%s (known: machine)\n" other;
+    exit 2
+  | None ->
+    table1 ();
+    figures_2_to_5 ();
+    figure6 ();
+    let rows = table2 () in
+    cycle_time rows;
+    four_way ();
+    cluster_scaling ();
+    reassignment ();
+    sampled_simulation ();
+    engine_comparison ();
+    ablations ();
+    microbenchmarks ();
+    finish ()

@@ -67,6 +67,16 @@ let or_sampling_error f =
     prerr_endline ("mcsim: " ^ m);
     exit 1
 
+let engine_arg =
+  let doc =
+    "Detailed-model issue logic: $(b,wakeup) (dependence-driven, the default) or \
+     $(b,scan) (the reference per-cycle queue scan). Results are identical either \
+     way; the flag exists so a divergence can be bisected from the command line."
+  in
+  Arg.(value
+       & opt (enum [ ("scan", `Scan); ("wakeup", `Wakeup) ]) `Wakeup
+       & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let bench_conv =
   let parse s =
     match Mcsim_workload.Spec92.of_name s with
@@ -97,7 +107,7 @@ let four_way_arg =
        & info [ "four-way" ] ~doc:"Use the four-way-issue machine pair instead of eight-way.")
 
 let table2_cmd =
-  let run max_instrs seed benchmarks csv four_way jobs sample =
+  let run max_instrs seed benchmarks csv four_way jobs sample engine =
     let single_config, dual_config =
       if four_way then
         (Some (Mcsim_cluster.Machine.single_cluster_4 ()),
@@ -109,8 +119,8 @@ let table2_cmd =
     in
     let rows =
       or_sampling_error (fun () ->
-          Mcsim.Table2.run ~jobs ~max_instrs ~seed ~benchmarks ?sampling ?single_config
-            ?dual_config ())
+          Mcsim.Table2.run ~jobs ~max_instrs ~seed ~benchmarks ~engine ?sampling
+            ?single_config ?dual_config ())
     in
     if csv then print_string (Mcsim.Report.table2_csv rows)
     else begin
@@ -129,7 +139,7 @@ let table2_cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Run the Table-2 experiment (none/local vs single-cluster).")
     Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg
-          $ jobs_arg $ sample_arg)
+          $ jobs_arg $ sample_arg $ engine_arg)
 
 let scenarios_cmd =
   let run () =
@@ -196,7 +206,13 @@ let run_cmd =
     Arg.(value & opt scheduler_conv Mcsim_compiler.Pipeline.default_local
          & info [ "scheduler" ] ~doc:"none, local, round-robin, or random.")
   in
-  let run bench machine scheduler max_instrs seed =
+  let profile_arg =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Report per-stage visit/work counters and minor-heap allocation \
+                   for the simulation.")
+  in
+  let run bench machine scheduler max_instrs seed engine prof =
     let prog = Mcsim_workload.Spec92.program bench in
     let profile = Mcsim_trace.Walker.profile ~seed prog in
     let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
@@ -206,7 +222,14 @@ let run_cmd =
       | `Single -> Mcsim_cluster.Machine.single_cluster ()
       | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
     in
-    let r = Mcsim_cluster.Machine.run cfg trace in
+    let counters = if prof then Some (Mcsim_cluster.Machine.profile_counters ()) else None in
+    (match counters with
+    | Some p -> Mcsim_util.Profile_counters.alloc_start p
+    | None -> ());
+    let r = Mcsim_cluster.Machine.run ~engine ?profile:counters cfg trace in
+    (match counters with
+    | Some p -> Mcsim_util.Profile_counters.alloc_stop p
+    | None -> ());
     Printf.printf "%s on the %s machine, %s scheduler:\n"
       (Mcsim_workload.Spec92.name bench)
       (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
@@ -222,10 +245,17 @@ let run_cmd =
     print_endline "  counters:";
     List.iter
       (fun (k, v) -> Printf.printf "    %-28s %d\n" k v)
-      r.Mcsim_cluster.Machine.counters
+      r.Mcsim_cluster.Machine.counters;
+    match counters with
+    | Some p ->
+      Printf.printf "  profile (%s engine):\n"
+        (match engine with `Scan -> "scan" | `Wakeup -> "wakeup");
+      print_string (Mcsim_util.Profile_counters.render p)
+    | None -> ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark and dump all counters.")
-    Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg)
+    Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg
+          $ engine_arg $ profile_arg)
 
 let sample_cmd =
   let machine_arg =
@@ -241,7 +271,7 @@ let sample_cmd =
          & info [ "full" ]
              ~doc:"Also run the full detailed simulation and report the sampling error.")
   in
-  let run bench machine scheduler max_instrs seed sample full csv =
+  let run bench machine scheduler max_instrs seed sample full csv engine =
     let policy =
       match sample with
       | Some p -> { p with Mcsim_sampling.Sampling.seed }
@@ -256,7 +286,9 @@ let sample_cmd =
       | `Single -> Mcsim_cluster.Machine.single_cluster ()
       | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
     in
-    let s = or_sampling_error (fun () -> Mcsim_sampling.Sampling.run ~policy cfg trace) in
+    let s =
+      or_sampling_error (fun () -> Mcsim_sampling.Sampling.run ~engine ~policy cfg trace)
+    in
     if csv then print_string (Mcsim.Report.sampling_csv s)
     else begin
       Printf.printf "%s on the %s machine, %s scheduler:\n"
@@ -265,7 +297,7 @@ let sample_cmd =
         (Mcsim_compiler.Pipeline.scheduler_name scheduler);
       print_string (Mcsim_sampling.Sampling.render s);
       if full then begin
-        let r = Mcsim_cluster.Machine.run cfg trace in
+        let r = Mcsim_cluster.Machine.run ~engine cfg trace in
         let err =
           Float.abs (s.Mcsim_sampling.Sampling.mean_ipc -. r.Mcsim_cluster.Machine.ipc)
           /. r.Mcsim_cluster.Machine.ipc
@@ -280,7 +312,7 @@ let sample_cmd =
     (Cmd.info "sample"
        ~doc:"Sampled simulation of one benchmark (optionally vs the full detailed run).")
     Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg
-          $ sample_arg $ full_arg $ csv_arg)
+          $ sample_arg $ full_arg $ csv_arg $ engine_arg)
 
 let clusters_cmd =
   let run max_instrs seed benchmarks jobs =

@@ -18,58 +18,102 @@ let dedupe regs =
     [] regs
   |> List.rev
 
+(* Closure-free helpers for the dispatch hot path: top-level recursions
+   so no per-instruction closure blocks are allocated. *)
+let rec count_locals asg counts = function
+  | [] -> ()
+  | r :: rest ->
+    (match Assignment.placement asg r with
+    | Assignment.Local c -> counts.(c) <- counts.(c) + 1
+    | Assignment.Global -> ());
+    count_locals asg counts rest
+
+let rec all_readable_in asg c = function
+  | [] -> true
+  | r :: rest -> Assignment.readable_in asg r c && all_readable_in asg c rest
+
 let plan asg ?(prefer = 0) (instr : Mcsim_isa.Instr.t) =
   let n = Assignment.num_clusters asg in
   if n = 1 then Single { cluster = 0 }
   else begin
     let not_zero r = not (Mcsim_isa.Reg.is_zero r) in
-    let srcs = dedupe (List.filter not_zero instr.srcs) in
+    (* Deduped non-zero sources in first-occurrence order; the common
+       arities are unrolled so the dispatch hot path builds at most the
+       final two-element list. *)
+    let srcs =
+      match instr.srcs with
+      | [] -> []
+      | [ a ] -> if not_zero a then instr.srcs else []
+      | [ a; b ] ->
+        if not_zero a then
+          if not_zero b && not (Mcsim_isa.Reg.equal a b) then instr.srcs else [ a ]
+        else if not_zero b then [ b ]
+        else []
+      | _ -> dedupe (List.filter not_zero instr.srcs)
+    in
     let dst = match instr.dst with Some d when not_zero d -> Some d | Some _ | None -> None in
-    let named = srcs @ Option.to_list dst in
     (* Count the local registers named per cluster (the master-selection
        majority of §2.1; globals do not vote). *)
     let counts = Array.make n 0 in
-    List.iter
-      (fun r ->
-        match Assignment.placement asg r with
-        | Assignment.Local c -> counts.(c) <- counts.(c) + 1
-        | Assignment.Global -> ())
-      named;
-    let srcs_readable_in c = List.for_all (fun r -> Assignment.readable_in asg r c) srcs in
-    let dst_allows_single c =
+    count_locals asg counts srcs;
+    (match dst with
+    | Some d -> (
+      match Assignment.placement asg d with
+      | Assignment.Local c -> counts.(c) <- counts.(c) + 1
+      | Assignment.Global -> ())
+    | None -> ());
+    (* Cluster sets are bitmasks over the (at most a handful of) cluster
+       ids, so candidate selection allocates nothing. A single-copy home
+       must read every source and hold the destination locally. *)
+    let dst_home_mask =
       match dst with
-      | None -> true
+      | None -> -1 (* all clusters allowed *)
       | Some d -> (
         match Assignment.placement asg d with
-        | Assignment.Local c' -> c = c'
-        | Assignment.Global -> false)
+        | Assignment.Local c' -> 1 lsl c'
+        | Assignment.Global -> 0)
     in
-    let clusters = List.init n Fun.id in
-    let candidates = List.filter (fun c -> srcs_readable_in c && dst_allows_single c) clusters in
-    let best_of cands =
+    let candidates = ref 0 in
+    for c = 0 to n - 1 do
+      if dst_home_mask land (1 lsl c) <> 0 && all_readable_in asg c srcs then
+        candidates := !candidates lor (1 lsl c)
+    done;
+    let best_of mask =
       (* Highest local-register count; ties prefer the destination's home,
          then [prefer], then the lowest id. *)
-      let max_count = List.fold_left (fun acc c -> max acc counts.(c)) 0 cands in
-      let tied = List.filter (fun c -> counts.(c) = max_count) cands in
-      match tied with
-      | [ c ] -> c
-      | _ -> (
+      let max_count = ref 0 in
+      for c = 0 to n - 1 do
+        if mask land (1 lsl c) <> 0 && counts.(c) > !max_count then max_count := counts.(c)
+      done;
+      let tied = ref 0 in
+      let ntied = ref 0 in
+      let lowest = ref (-1) in
+      for c = n - 1 downto 0 do
+        if mask land (1 lsl c) <> 0 && counts.(c) = !max_count then begin
+          tied := !tied lor (1 lsl c);
+          incr ntied;
+          lowest := c
+        end
+      done;
+      if !ntied = 1 then !lowest
+      else begin
         let dst_home =
           match dst with
           | Some d -> (
             match Assignment.placement asg d with
-            | Assignment.Local c when List.mem c tied -> Some c
-            | Assignment.Local _ | Assignment.Global -> None)
-          | None -> None
+            | Assignment.Local c when !tied land (1 lsl c) <> 0 -> c
+            | Assignment.Local _ | Assignment.Global -> -1)
+          | None -> -1
         in
-        match dst_home with
-        | Some c -> c
-        | None -> if List.mem prefer tied then prefer else List.hd tied)
+        if dst_home >= 0 then dst_home
+        else if !tied land (1 lsl prefer) <> 0 then prefer
+        else !lowest
+      end
     in
-    match candidates with
-    | _ :: _ -> Single { cluster = best_of candidates }
-    | [] ->
-      let master = best_of clusters in
+    if !candidates <> 0 then Single { cluster = best_of !candidates }
+    else begin
+      let clusters = List.init n Fun.id in
+      let master = best_of ((1 lsl n) - 1) in
       let forward_srcs_of c =
         List.filter
           (fun r ->
@@ -109,6 +153,7 @@ let plan asg ?(prefer = 0) (instr : Mcsim_isa.Instr.t) =
          have been found. *)
       assert (slaves <> []);
       Multi { master; slaves; master_writes_reg }
+    end
   end
 
 let copies = function Single _ -> 1 | Multi { slaves; _ } -> 1 + List.length slaves

@@ -9,6 +9,9 @@ module Mcfarling = Mcsim_branch.Mcfarling
 module Deque = Mcsim_util.Deque
 module Fixed_queue = Mcsim_util.Fixed_queue
 module Stats = Mcsim_util.Stats
+module Vec = Mcsim_util.Vec
+module Bucket_queue = Mcsim_util.Bucket_queue
+module Profile_counters = Mcsim_util.Profile_counters
 
 type queue_split = Unified | Per_class
 
@@ -32,6 +35,8 @@ let queue_capacity split dq_entries q =
   match split with
   | Unified -> dq_entries
   | Per_class -> if q = 0 then (dq_entries + 1) / 2 else (dq_entries + 3) / 4
+
+type engine = [ `Scan | `Wakeup ]
 
 type config = {
   assignment : Assignment.t;
@@ -164,13 +169,23 @@ type cstate = C_waiting | C_issued | C_suspended | C_squashed
 
 type dst_alloc = { d_reg : Reg.t; d_bank : Regfile.bank; d_new : int; d_prev : int }
 
+(* Local physical sources are packed into an int, [(phys lsl 1) lor bank]
+   with bank 0 = integer and 1 = floating point, so a copy's source array
+   carries no per-element tuple boxes. *)
+let src_code (b : Regfile.bank) phys =
+  (phys lsl 1) lor (match b with Regfile.B_int -> 0 | Regfile.B_fp -> 1)
+
+let src_bank code : Regfile.bank = if code land 1 = 0 then Regfile.B_int else Regfile.B_fp
+let src_phys code = code lsr 1
+let bank_bit (b : Regfile.bank) = match b with Regfile.B_int -> 0 | Regfile.B_fp -> 1
+
 type copy = {
   c_seq : int;
   c_cluster : int;
   c_role : role;
   c_op : Op_class.t;  (** architectural operation (master/single) *)
   c_issue_class : Op_class.t;  (** issue-slot class this copy consumes *)
-  c_srcs : (Regfile.bank * int) array;  (** local physical sources *)
+  c_srcs : int array;  (** local physical sources, see {!src_code} *)
   c_dst : dst_alloc option;
   c_forwards : bool;
   c_receives_result : bool;
@@ -180,6 +195,9 @@ type copy = {
   mutable c_state : cstate;
   mutable c_issue : int;
   mutable c_finish : int;
+  mutable c_wait_srcs : int;
+      (** wakeup engine: source events still outstanding before every
+          operand of this copy is ready *)
   mutable c_operand_entries : int list;
   mutable c_result_entry : int;
       (** on a receiving slave: the entry (in its own cluster's result
@@ -203,8 +221,16 @@ type cluster_state = {
   cl_id : int;
   rf : Regfile.t;
   fu : Fu.t;
-  dqs : copy Deque.t array;  (** one queue ([Unified]) or int/fp/mem ([Per_class]) *)
+  dqs : copy Deque.t array;
+      (** scan engine: one queue ([Unified]) or int/fp/mem ([Per_class]) *)
   dq_waiting : int array;  (** per queue: entries occupied by waiting copies *)
+  wait_regs : copy Vec.t array array;
+      (** wakeup engine: per bank bit, per physical register, the waiting
+          copies indexed under that not-yet-written source *)
+  ready_qs : copy Vec.t array;
+      (** wakeup engine: per-queue list of copies whose sources are all
+          ready (possibly still structurally blocked) *)
+  ready_dirty : bool array;  (** ready list needs re-sorting by seq *)
   operand_buf : Transfer_buffer.t;  (** written by slaves in the other cluster *)
   result_buf : Transfer_buffer.t;  (** written by masters in the other cluster *)
 }
@@ -233,8 +259,32 @@ type fetched = {
   f_mispred : bool;
 }
 
+(* The counters bumped once (or more) per instruction, interned as live
+   cells at [init_state] so the hot path pays a plain [incr] instead of a
+   string hash per event. They remain ordinary members of [ctrs]. *)
+type hot_counters = {
+  k_retired : int ref;
+  k_single_distributed : int ref;
+  k_dual_distributed : int ref;
+  k_slave_issues : int ref;
+  k_scenarios : int ref array;  (* scenario_0 .. scenario_5 *)
+  k_stall_rob_full : int ref;
+  k_stall_dq_full : int ref;
+  k_stall_phys : int ref;
+  k_ooo_issues : int ref;
+  k_ooo_issue_distance : int ref;
+  k_issue_active : int ref;
+  k_both_active : int ref;
+  k_fetch_stall : int ref;
+  k_icache_fetch_misses : int ref;
+  k_mispredicted_fetches : int ref;
+  k_redirects : int ref;
+  k_squashed_copies : int ref;
+}
+
 type state = {
   cfg : config;
+  engine : engine;
   mutable assignment : Assignment.t;  (* current phase's register assignment *)
   mutable trace : Instr.dynamic array;
   mutable clusters : cluster_state array;
@@ -244,7 +294,20 @@ type state = {
   rob : group Deque.t;
   fetch_buffer : fetched Fixed_queue.t;
   ctrs : Stats.counter_set;
+  hot : hot_counters;
   emit : event -> unit;
+  observed : bool;
+      (** an event sink is attached; [Ev_*] records are only constructed
+          when this is set, so unobserved runs allocate no events *)
+  prof : Profile_counters.t option;
+  src_wheel : copy Bucket_queue.t;
+      (** wakeup engine: copies scheduled at the cycle one of their
+          pending sources becomes ready (drained at issue) *)
+  wake_wheel : copy Bucket_queue.t;
+      (** wakeup engine: suspended scenario-5 slaves, keyed by the cycle
+          the master's result reaches their cluster *)
+  wake_scratch : copy Vec.t;  (** wake-phase staging, sorted by seq *)
+  scratch_srcs : int array;  (** dispatch-time source staging *)
   mutable cycle : int;
   mutable trace_idx : int;
   mutable fetch_resume : int;  (** first cycle fetch may proceed *)
@@ -271,21 +334,111 @@ let bank_of_op_for_slot (b : Regfile.bank) : Op_class.t =
   match b with Regfile.B_int -> Op_class.Int_other | Regfile.B_fp -> Op_class.Fp_other
 
 (* ------------------------------------------------------------------ *)
-(* Dispatch                                                            *)
+(* Profiling                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let nonzero_srcs (i : Instr.t) = List.filter (fun r -> not (Reg.is_zero r)) i.srcs
+let stage_fetch = 0
+let stage_dispatch = 1
+let stage_issue = 2
+let stage_wake = 3
+let stage_retire = 4
+let stage_train = 5
+let profile_stages = [ "fetch"; "dispatch"; "issue"; "wake"; "retire"; "train" ]
+let profile_counters () = Profile_counters.create ~stages:profile_stages
+
+let prof_add st stage work =
+  match st.prof with Some p -> Profile_counters.add p stage ~work | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let effective_dst (i : Instr.t) =
   match i.dst with Some d when not (Reg.is_zero d) -> Some d | Some _ | None -> None
 
-(* Physical sources a copy reads from its own cluster's register file. *)
-let local_src_phys rf regs = Array.of_list (List.map (fun r -> (Regfile.bank_of_reg r, Regfile.lookup rf r)) regs)
+let empty_srcs : int array = [||]
+let keep_all (_ : Reg.t) = true
+
+(* Collect the local physical sources of [regs] (at most two) into a
+   fresh packed array via the per-state scratch buffer: hardwired zeros
+   and [keep]-rejected registers are dropped without building the
+   intermediate lists the old [nonzero_srcs]/[local_src_phys] pair did. *)
+let rec collect_srcs_loop st rf keep regs n =
+  match regs with
+  | [] -> n
+  | r :: rest ->
+    let n =
+      if (not (Reg.is_zero r)) && keep r then begin
+        st.scratch_srcs.(n) <- src_code (Regfile.bank_of_reg r) (Regfile.lookup rf r);
+        n + 1
+      end
+      else n
+    in
+    collect_srcs_loop st rf keep rest n
+
+let collect_srcs st rf ?(keep = keep_all) regs =
+  let n = collect_srcs_loop st rf keep regs 0 in
+  if n = 0 then empty_srcs else Array.sub st.scratch_srcs 0 n
+
+(* Scenario counter names, preallocated (indexed by Distribution.scenario,
+   1-5; 0 is never produced). *)
+let scenario_counters =
+  [| "scenario_0"; "scenario_1"; "scenario_2"; "scenario_3"; "scenario_4"; "scenario_5" |]
+
+let by_seq (a : copy) (b : copy) = compare a.c_seq b.c_seq
+
+(* Append to the copy's per-queue ready list. The list is kept in seq
+   order (the scan engine issues oldest-first within a queue); an
+   out-of-order append just marks it for re-sorting at the next issue. *)
+let ready_push st (c : copy) =
+  let cl = st.clusters.(c.c_cluster) in
+  let q = queue_of_class c.c_issue_class st.cfg.queue_split in
+  let rq = cl.ready_qs.(q) in
+  let n = Vec.length rq in
+  if n > 0 && (Vec.get rq (n - 1)).c_seq > c.c_seq then cl.ready_dirty.(q) <- true;
+  Vec.push rq c
+
+(* Wakeup-engine dispatch: index the copy under each not-yet-ready
+   source. A source already written goes unrecorded; one with a known
+   future ready cycle schedules the copy on the source wheel; a truly
+   pending one parks the copy in the producer register's wait list (moved
+   to the wheel when the producer issues and calls [set_dst_ready]). A
+   copy with no outstanding sources goes straight to the ready list. *)
+let rec register_srcs st cl (c : copy) i pending =
+  if i >= Array.length c.c_srcs then pending
+  else begin
+    let code = c.c_srcs.(i) in
+    let ready = Regfile.ready_at cl.rf (src_bank code) (src_phys code) in
+    let pending =
+      if ready = max_int then begin
+        Vec.push cl.wait_regs.(code land 1).(code lsr 1) c;
+        pending + 1
+      end
+      else if ready > st.cycle then begin
+        Bucket_queue.add st.src_wheel ~key:ready c;
+        pending + 1
+      end
+      else pending
+    in
+    register_srcs st cl c (i + 1) pending
+  end
+
+let register_copy st (c : copy) =
+  let cl = st.clusters.(c.c_cluster) in
+  let pending = register_srcs st cl c 0 0 in
+  c.c_wait_srcs <- pending;
+  if pending = 0 then ready_push st c
+
+let enqueue_copy st cl q (c : copy) =
+  match st.engine with
+  | `Scan -> Deque.push_back cl.dqs.(q) c
+  | `Wakeup -> register_copy st c
 
 let make_group st (f : fetched) scenario =
-  { g_seq = f.f_dyn.Instr.seq; g_dyn = f.f_dyn; g_scenario = scenario; g_master = None;
-    g_slaves = []; g_token = f.f_token; g_mispred = f.f_mispred; g_retired = false }
-  |> fun g ->
+  let g =
+    { g_seq = f.f_dyn.Instr.seq; g_dyn = f.f_dyn; g_scenario = scenario; g_master = None;
+      g_slaves = []; g_token = f.f_token; g_mispred = f.f_mispred; g_retired = false }
+  in
   Deque.push_back st.rob g;
   g
 
@@ -301,7 +454,7 @@ let try_dispatch_one st (f : fetched) =
   let plan = Distribution.plan st.assignment ~prefer instr in
   let scenario = Distribution.scenario plan in
   if Deque.length st.rob >= rob_capacity then begin
-    Stats.incr st.ctrs "stall_rob_full";
+    incr st.hot.k_stall_rob_full;
     false
   end
   else
@@ -312,19 +465,19 @@ let try_dispatch_one st (f : fetched) =
       let need_phys = Option.is_some dst in
       let q = queue_of_class instr.Instr.op cfg.queue_split in
       if cl.dq_waiting.(q) >= queue_capacity cfg.queue_split cfg.dq_entries q then begin
-        Stats.incr st.ctrs "stall_dq_full";
+        incr st.hot.k_stall_dq_full;
         false
       end
       else if
         need_phys
         && Regfile.free_count cl.rf (Regfile.bank_of_reg (Option.get dst)) = 0
       then begin
-        Stats.incr st.ctrs "stall_phys";
+        incr st.hot.k_stall_phys;
         false
       end
       else begin
         let g = make_group st f scenario in
-        let srcs = local_src_phys cl.rf (nonzero_srcs instr) in
+        let srcs = collect_srcs st cl.rf instr.Instr.srcs in
         let dst_alloc =
           match dst with
           | None -> None
@@ -339,16 +492,17 @@ let try_dispatch_one st (f : fetched) =
             c_issue_class = instr.Instr.op; c_srcs = srcs; c_dst = dst_alloc;
             c_forwards = false; c_receives_result = false; c_result_forward = false;
             c_has_slave_operand = false; c_num_operand_entries = 0; c_state = C_waiting;
-            c_issue = -1; c_finish = max_int; c_operand_entries = []; c_result_entry = -1;
-            c_master_cluster = cluster; c_group = g }
+            c_issue = -1; c_finish = max_int; c_wait_srcs = 0; c_operand_entries = [];
+            c_result_entry = -1; c_master_cluster = cluster; c_group = g }
         in
         g.g_master <- Some c;
-        Deque.push_back cl.dqs.(q) c;
+        enqueue_copy st cl q c;
         cl.dq_waiting.(q) <- cl.dq_waiting.(q) + 1;
-        Stats.incr st.ctrs "single_distributed";
-        Stats.incr st.ctrs (Printf.sprintf "scenario_%d" scenario);
-        st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq; cluster; role = Single_copy;
-                               scenario });
+        incr st.hot.k_single_distributed;
+        incr st.hot.k_scenarios.(scenario);
+        if st.observed then
+          st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq; cluster; role = Single_copy;
+                                 scenario });
         true
       end
     | Distribution.Multi { master; slaves; master_writes_reg } ->
@@ -383,11 +537,11 @@ let try_dispatch_one st (f : fetched) =
                slaves)
       in
       if not room_ok then begin
-        Stats.incr st.ctrs "stall_dq_full";
+        incr st.hot.k_stall_dq_full;
         false
       end
       else if not phys_ok then begin
-        Stats.incr st.ctrs "stall_phys";
+        incr st.hot.k_stall_phys;
         false
       end
       else begin
@@ -407,7 +561,7 @@ let try_dispatch_one st (f : fetched) =
             slaves
         in
         let master_srcs =
-          local_src_phys mcl.rf (List.filter (fun r -> not (is_forwarded r)) (nonzero_srcs instr))
+          collect_srcs st mcl.rf ~keep:(fun r -> not (is_forwarded r)) instr.Instr.srcs
         in
         let has_forward = List.exists (fun sl -> sl.Distribution.s_forward_srcs <> []) slaves in
         let result_forward = List.exists (fun sl -> sl.Distribution.s_receives_result) slaves in
@@ -417,14 +571,15 @@ let try_dispatch_one st (f : fetched) =
             c_issue_class = instr.Instr.op; c_srcs = master_srcs; c_dst = master_dst;
             c_forwards = false; c_receives_result = false; c_result_forward = result_forward;
             c_has_slave_operand = has_forward; c_num_operand_entries = 0; c_state = C_waiting;
-            c_issue = -1; c_finish = max_int; c_operand_entries = []; c_result_entry = -1;
-            c_master_cluster = master; c_group = g }
+            c_issue = -1; c_finish = max_int; c_wait_srcs = 0; c_operand_entries = [];
+            c_result_entry = -1; c_master_cluster = master; c_group = g }
         in
         g.g_master <- Some mc;
-        Deque.push_back mcl.dqs.(mq) mc;
+        enqueue_copy st mcl mq mc;
         mcl.dq_waiting.(mq) <- mcl.dq_waiting.(mq) + 1;
-        st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq; cluster = master;
-                               role = Master_copy; scenario });
+        if st.observed then
+          st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq; cluster = master;
+                                 role = Master_copy; scenario });
         let make_slave (sl : Distribution.slave) =
           let scl = st.clusters.(sl.Distribution.s_cluster) in
           let slave_dst = alloc scl sl.Distribution.s_receives_result in
@@ -433,25 +588,27 @@ let try_dispatch_one st (f : fetched) =
           let sc =
             { c_seq = g.g_seq; c_cluster = sl.Distribution.s_cluster; c_role = Slave_copy;
               c_op = instr.Instr.op; c_issue_class = cls;
-              c_srcs = local_src_phys scl.rf sl.Distribution.s_forward_srcs;
+              c_srcs = collect_srcs st scl.rf sl.Distribution.s_forward_srcs;
               c_dst = slave_dst;
               c_forwards = sl.Distribution.s_forward_srcs <> [];
               c_receives_result = sl.Distribution.s_receives_result;
               c_result_forward = false; c_has_slave_operand = false;
               c_num_operand_entries = List.length sl.Distribution.s_forward_srcs;
-              c_state = C_waiting; c_issue = -1; c_finish = max_int; c_operand_entries = [];
-              c_result_entry = -1; c_master_cluster = master; c_group = g }
+              c_state = C_waiting; c_issue = -1; c_finish = max_int; c_wait_srcs = 0;
+              c_operand_entries = []; c_result_entry = -1; c_master_cluster = master;
+              c_group = g }
           in
-          Deque.push_back scl.dqs.(sq) sc;
+          enqueue_copy st scl sq sc;
           scl.dq_waiting.(sq) <- scl.dq_waiting.(sq) + 1;
-          st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq;
-                                 cluster = sl.Distribution.s_cluster; role = Slave_copy;
-                                 scenario });
+          if st.observed then
+            st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq;
+                                   cluster = sl.Distribution.s_cluster; role = Slave_copy;
+                                   scenario });
           sc
         in
         g.g_slaves <- List.map make_slave slaves;
-        Stats.incr st.ctrs "dual_distributed";
-        Stats.incr st.ctrs (Printf.sprintf "scenario_%d" scenario);
+        incr st.hot.k_dual_distributed;
+        incr st.hot.k_scenarios.(scenario);
         true
       end
 
@@ -474,35 +631,42 @@ let dispatch_phase st =
 (* Issue                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Checked once per issue candidate per cycle: plain recursion instead of
+   [Array.iter]/[List.for_all] closures keeps the scan allocation-free. *)
+(* The per-candidate readiness predicates below are written as top-level
+   recursions rather than [Array.iter]/[List.for_all] closures: without
+   flambda each closure capturing locals costs a minor-heap block per
+   candidate examined, which dominated the issue-phase allocation. *)
+let rec srcs_ready_from st cl (c : copy) i n =
+  i >= n
+  ||
+  let code = c.c_srcs.(i) in
+  Regfile.ready_at cl.rf (src_bank code) (src_phys code) <= st.cycle
+  && srcs_ready_from st cl c (i + 1) n
+
 let srcs_ready st (c : copy) =
-  let cl = st.clusters.(c.c_cluster) in
-  let ok = ref true in
-  Array.iter
-    (fun (b, p) -> if Regfile.ready_at cl.rf b p > st.cycle then ok := false)
-    c.c_srcs;
-  !ok
+  srcs_ready_from st st.clusters.(c.c_cluster) c 0 (Array.length c.c_srcs)
+
+let rec slaves_can_feed st = function
+  | [] -> true
+  | s :: rest ->
+    ((not s.c_forwards) || (s.c_state <> C_waiting && st.cycle >= s.c_issue + 1))
+    && slaves_can_feed st rest
+
+let rec result_slots_free st = function
+  | [] -> true
+  | s :: rest ->
+    ((not s.c_receives_result)
+    || Transfer_buffer.can_alloc st.clusters.(s.c_cluster).result_buf ~cycle:st.cycle)
+    && result_slots_free st rest
 
 (* Readiness beyond source operands and issue slots. *)
 let structurally_ready st (c : copy) =
   match c.c_role with
   | Single_copy -> true
   | Master_copy ->
-    let slaves_ok =
-      (not c.c_has_slave_operand)
-      || List.for_all
-           (fun s ->
-             (not s.c_forwards) || (s.c_state <> C_waiting && st.cycle >= s.c_issue + 1))
-           c.c_group.g_slaves
-    in
-    let result_ok =
-      (not c.c_result_forward)
-      || List.for_all
-           (fun s ->
-             (not s.c_receives_result)
-             || Transfer_buffer.can_alloc st.clusters.(s.c_cluster).result_buf ~cycle:st.cycle)
-           c.c_group.g_slaves
-    in
-    slaves_ok && result_ok
+    ((not c.c_has_slave_operand) || slaves_can_feed st c.c_group.g_slaves)
+    && ((not c.c_result_forward) || result_slots_free st c.c_group.g_slaves)
   | Slave_copy ->
     if c.c_forwards then
       let master_cl = st.clusters.(c.c_master_cluster) in
@@ -533,8 +697,26 @@ let finish_of_issue st (c : copy) =
 
 let set_dst_ready st (c : copy) cycle =
   match c.c_dst with
-  | Some d -> Regfile.set_ready st.clusters.(c.c_cluster).rf d.d_bank d.d_new cycle
   | None -> ()
+  | Some d ->
+    let cl = st.clusters.(c.c_cluster) in
+    Regfile.set_ready cl.rf d.d_bank d.d_new cycle;
+    match st.engine with
+    | `Scan -> ()
+    | `Wakeup ->
+      (* Move every copy waiting on this register onto the source wheel
+         at its ready cycle. Stale (squashed) waiters are dropped here;
+         live waiters of a squashed producer cannot exist, because a
+         squash always covers all younger instructions. *)
+      let wv = cl.wait_regs.(bank_bit d.d_bank).(d.d_new) in
+      let nw = Vec.length wv in
+      if nw > 0 then begin
+        for i = 0 to nw - 1 do
+          let w = Vec.get wv i in
+          if w.c_state = C_waiting then Bucket_queue.add st.src_wheel ~key:cycle w
+        done;
+        Vec.clear wv
+      end
 
 let note_finish st f = if f < max_int && f > st.max_finish then st.max_finish <- f
 
@@ -547,9 +729,12 @@ let issue_executing_copy st (c : copy) =
   c.c_finish <- finish_of_issue st c;
   note_finish st c.c_finish;
   set_dst_ready st c c.c_finish;
-  st.emit (Ev_issue { cycle = st.cycle; seq = c.c_seq; cluster = c.c_cluster; role = c.c_role });
-  st.emit
-    (Ev_writeback { cycle = c.c_finish; seq = c.c_seq; cluster = c.c_cluster; role = c.c_role });
+  if st.observed then begin
+    st.emit
+      (Ev_issue { cycle = st.cycle; seq = c.c_seq; cluster = c.c_cluster; role = c.c_role });
+    st.emit
+      (Ev_writeback { cycle = c.c_finish; seq = c.c_seq; cluster = c.c_cluster; role = c.c_role })
+  end;
   (* Consume the forwarded operands: free every slave's operand entries
      (they live in this, the master's, cluster's buffer). *)
   (if c.c_has_slave_operand then
@@ -565,10 +750,18 @@ let issue_executing_copy st (c : copy) =
          if s.c_receives_result then begin
            let other = st.clusters.(s.c_cluster) in
            s.c_result_entry <- Transfer_buffer.alloc other.result_buf ~cycle:st.cycle;
-           st.emit
-             (Ev_result_forward
-                { cycle = c.c_finish; seq = c.c_seq; from_cluster = c.c_cluster;
-                  to_cluster = s.c_cluster })
+           if st.observed then
+             st.emit
+               (Ev_result_forward
+                  { cycle = c.c_finish; seq = c.c_seq; from_cluster = c.c_cluster;
+                    to_cluster = s.c_cluster });
+           (* A suspended scenario-5 slave wakes when the result reaches
+              its cluster: schedule it on the wake wheel now that the
+              wake cycle is known. *)
+           match st.engine with
+           | `Wakeup when s.c_state = C_suspended ->
+             Bucket_queue.add st.wake_wheel ~key:(max (st.cycle + 1) (c.c_finish - 1)) s
+           | `Wakeup | `Scan -> ()
          end)
        c.c_group.g_slaves);
   (* Branch bookkeeping: redirect and deferred predictor training. *)
@@ -585,7 +778,7 @@ let issue_executing_copy st (c : copy) =
     if g.g_mispred then begin
       st.redirect_pending <- false;
       st.fetch_resume <- max st.fetch_resume (c.c_finish + st.cfg.redirect_penalty);
-      Stats.incr st.ctrs "redirects"
+      incr st.hot.k_redirects
     end
   | Op_class.Int_multiply | Op_class.Int_other | Op_class.Fp_divide _ | Op_class.Fp_other
   | Op_class.Load | Op_class.Store -> ()
@@ -594,8 +787,10 @@ let issue_slave_copy st (c : copy) =
   let cl = st.clusters.(c.c_cluster) in
   Fu.issue cl.fu ~cycle:st.cycle c.c_issue_class;
   c.c_issue <- st.cycle;
-  st.emit (Ev_issue { cycle = st.cycle; seq = c.c_seq; cluster = c.c_cluster; role = Slave_copy });
-  Stats.incr st.ctrs "slave_issues";
+  if st.observed then
+    st.emit
+      (Ev_issue { cycle = st.cycle; seq = c.c_seq; cluster = c.c_cluster; role = Slave_copy });
+  incr st.hot.k_slave_issues;
   if c.c_forwards then begin
     (* Write the operand(s) into the master cluster's operand buffer. *)
     let master_cl = st.clusters.(c.c_master_cluster) in
@@ -604,14 +799,16 @@ let issue_slave_copy st (c : copy) =
       entries := Transfer_buffer.alloc master_cl.operand_buf ~cycle:st.cycle :: !entries
     done;
     c.c_operand_entries <- !entries;
-    st.emit
-      (Ev_operand_forward
-         { cycle = st.cycle + 1; seq = c.c_seq; from_cluster = c.c_cluster;
-           to_cluster = c.c_master_cluster });
+    if st.observed then
+      st.emit
+        (Ev_operand_forward
+           { cycle = st.cycle + 1; seq = c.c_seq; from_cluster = c.c_cluster;
+             to_cluster = c.c_master_cluster });
     if c.c_receives_result then begin
       (* Scenario 5: wait (without re-issuing) for the master's result. *)
       c.c_state <- C_suspended;
-      st.emit (Ev_suspend { cycle = st.cycle + 1; seq = c.c_seq; cluster = c.c_cluster })
+      if st.observed then
+        st.emit (Ev_suspend { cycle = st.cycle + 1; seq = c.c_seq; cluster = c.c_cluster })
     end
     else begin
       c.c_state <- C_issued;
@@ -628,14 +825,40 @@ let issue_slave_copy st (c : copy) =
     c.c_finish <- st.cycle + 1;
     note_finish st c.c_finish;
     set_dst_ready st c c.c_finish;
-    st.emit
-      (Ev_writeback { cycle = c.c_finish; seq = c.c_seq; cluster = c.c_cluster;
-                      role = Slave_copy })
+    if st.observed then
+      st.emit
+        (Ev_writeback { cycle = c.c_finish; seq = c.c_seq; cluster = c.c_cluster;
+                        role = Slave_copy })
   end
 
-let issue_phase st =
+(* Shared per-candidate issue step: returns true if the copy issued. *)
+let try_issue st cl qi (c : copy) =
+  if
+    c.c_state = C_waiting
+    && Fu.can_issue cl.fu ~cycle:st.cycle c.c_issue_class
+    && srcs_ready st c
+    && structurally_ready st c
+  then begin
+    (match c.c_role with
+    | Single_copy | Master_copy -> issue_executing_copy st c
+    | Slave_copy -> issue_slave_copy st c);
+    (* The paper's issue-disorder metric: issues younger than an
+       already-issued instruction. *)
+    if c.c_seq < st.max_issued_seq then begin
+      incr st.hot.k_ooo_issues;
+      st.hot.k_ooo_issue_distance := !(st.hot.k_ooo_issue_distance) + (st.max_issued_seq - c.c_seq)
+    end
+    else st.max_issued_seq <- c.c_seq;
+    cl.dq_waiting.(qi) <- cl.dq_waiting.(qi) - 1;
+    true
+  end
+  else false
+
+(* Reference engine: rescan every dispatch-queue entry every cycle. *)
+let issue_phase_scan st =
   let issued = ref 0 in
   let clusters_active = ref 0 in
+  let examined = ref 0 in
   Array.iter
     (fun cl ->
       let before = Fu.total_issued cl.fu in
@@ -644,6 +867,7 @@ let issue_phase st =
         (fun qi dq ->
           (* Compact: drop copies that left the queue. *)
           let n = Deque.length dq in
+          examined := !examined + n;
           for _ = 1 to n do
             match Deque.pop_front dq with
             | Some c ->
@@ -656,64 +880,130 @@ let issue_phase st =
             for i = 0 to scan - 1 do
               if Fu.issued_this_cycle cl.fu >= st.cfg.issue_limits.Issue_rules.total then
                 raise Exit;
-              let c = Deque.get dq i in
-              if
-                c.c_state = C_waiting
-                && Fu.can_issue cl.fu ~cycle:st.cycle c.c_issue_class
-                && srcs_ready st c
-                && structurally_ready st c
-              then begin
-                (match c.c_role with
-                | Single_copy | Master_copy -> issue_executing_copy st c
-                | Slave_copy -> issue_slave_copy st c);
-                (* The paper's issue-disorder metric: issues younger than
-                   an already-issued instruction. *)
-                if c.c_seq < st.max_issued_seq then begin
-                  Stats.incr st.ctrs "ooo_issues";
-                  Stats.add st.ctrs "ooo_issue_distance" (st.max_issued_seq - c.c_seq)
-                end
-                else st.max_issued_seq <- c.c_seq;
-                cl.dq_waiting.(qi) <- cl.dq_waiting.(qi) - 1;
-                incr issued
-              end
+              incr examined;
+              if try_issue st cl qi (Deque.get dq i) then incr issued
             done
           with Exit -> ())
         cl.dqs;
       if Fu.total_issued cl.fu > before then incr clusters_active)
     st.clusters;
-  if !issued > 0 then Stats.incr st.ctrs "issue_active_cycles";
-  if !clusters_active >= 2 then Stats.incr st.ctrs "both_clusters_active_cycles";
+  prof_add st stage_issue !examined;
+  if !issued > 0 then incr st.hot.k_issue_active;
+  if !clusters_active >= 2 then incr st.hot.k_both_active;
   !issued
 
+(* Dependence-driven engine: only copies whose sources are all ready sit
+   on the per-queue ready lists; the scan below touches just those (the
+   structurally-blocked residue plus this cycle's newly-ready copies),
+   not the whole queue. Issue order — and therefore every downstream
+   statistic — is identical to the scan engine because the lists are kept
+   in seq order and the same budget and readiness checks apply. *)
+let issue_phase_wakeup st =
+  (* Source events due this cycle make their copies ready. *)
+  Bucket_queue.drain_upto st.src_wheel ~key:st.cycle (fun c ->
+      if c.c_state = C_waiting then begin
+        c.c_wait_srcs <- c.c_wait_srcs - 1;
+        if c.c_wait_srcs = 0 then ready_push st c
+      end);
+  let issued = ref 0 in
+  let clusters_active = ref 0 in
+  let examined = ref 0 in
+  Array.iter
+    (fun cl ->
+      let before = Fu.total_issued cl.fu in
+      Fu.new_cycle cl.fu;
+      Array.iteri
+        (fun qi rq ->
+          (* Drop copies that issued or were squashed, then restore seq
+             order if out-of-order wakeups appended behind younger
+             copies. *)
+          examined := !examined + Vec.length rq;
+          Vec.filter_in_place (fun c -> c.c_state = C_waiting) rq;
+          if cl.ready_dirty.(qi) then begin
+            Vec.sort ~cmp:by_seq rq;
+            cl.ready_dirty.(qi) <- false
+          end;
+          try
+            for i = 0 to Vec.length rq - 1 do
+              if Fu.issued_this_cycle cl.fu >= st.cfg.issue_limits.Issue_rules.total then
+                raise Exit;
+              incr examined;
+              if try_issue st cl qi (Vec.get rq i) then incr issued
+            done
+          with Exit -> ())
+        cl.ready_qs;
+      if Fu.total_issued cl.fu > before then incr clusters_active)
+    st.clusters;
+  prof_add st stage_issue !examined;
+  if !issued > 0 then incr st.hot.k_issue_active;
+  if !clusters_active >= 2 then incr st.hot.k_both_active;
+  !issued
+
+let issue_phase st =
+  match st.engine with `Scan -> issue_phase_scan st | `Wakeup -> issue_phase_wakeup st
+
 (* Scenario-5 slaves wake when the master's result reaches their cluster. *)
-let wake_phase st =
+let wake_slave st (s : copy) =
+  let cl = st.clusters.(s.c_cluster) in
+  Transfer_buffer.free cl.result_buf ~cycle:st.cycle s.c_result_entry;
+  s.c_result_entry <- -1;
+  s.c_state <- C_issued;
+  s.c_finish <- st.cycle + 1;
+  note_finish st s.c_finish;
+  set_dst_ready st s s.c_finish;
+  if st.observed then begin
+    st.emit (Ev_wakeup { cycle = st.cycle; seq = s.c_seq; cluster = s.c_cluster });
+    st.emit
+      (Ev_writeback { cycle = s.c_finish; seq = s.c_seq; cluster = s.c_cluster;
+                      role = Slave_copy })
+  end
+
+(* Reference engine: rescan the whole ROB for suspended slaves. *)
+let wake_phase_scan st =
   let woke = ref 0 in
+  let seen = ref 0 in
   Deque.iter
     (fun g ->
+      incr seen;
       List.iter
         (fun s ->
+          incr seen;
           if s.c_state = C_suspended then
             match g.g_master with
             | Some m when m.c_state = C_issued ->
               let wake_at = max (m.c_issue + 1) (m.c_finish - 1) in
               if st.cycle >= wake_at && s.c_result_entry >= 0 then begin
-                let cl = st.clusters.(s.c_cluster) in
-                Transfer_buffer.free cl.result_buf ~cycle:st.cycle s.c_result_entry;
-                s.c_result_entry <- -1;
-                s.c_state <- C_issued;
-                s.c_finish <- st.cycle + 1;
-                note_finish st s.c_finish;
-                set_dst_ready st s s.c_finish;
-                st.emit (Ev_wakeup { cycle = st.cycle; seq = s.c_seq; cluster = s.c_cluster });
-                st.emit
-                  (Ev_writeback { cycle = s.c_finish; seq = s.c_seq; cluster = s.c_cluster;
-                                  role = Slave_copy });
+                wake_slave st s;
                 incr woke
               end
             | Some _ | None -> ())
         g.g_slaves)
     st.rob;
+  prof_add st stage_wake !seen;
   !woke
+
+(* Event-driven engine: slaves were scheduled on the wake wheel at master
+   issue (the wake cycle is known then); drain the due bucket and wake in
+   seq order, matching the scan engine's ROB-order walk. Squashed slaves
+   are filtered by state. *)
+let wake_phase_wakeup st =
+  let woke = ref 0 in
+  let seen = ref 0 in
+  Vec.clear st.wake_scratch;
+  Bucket_queue.drain_upto st.wake_wheel ~key:st.cycle (fun s ->
+      incr seen;
+      if s.c_state = C_suspended && s.c_result_entry >= 0 then Vec.push st.wake_scratch s);
+  if Vec.length st.wake_scratch > 1 then Vec.sort ~cmp:by_seq st.wake_scratch;
+  Vec.iter
+    (fun s ->
+      wake_slave st s;
+      incr woke)
+    st.wake_scratch;
+  prof_add st stage_wake !seen;
+  !woke
+
+let wake_phase st =
+  match st.engine with `Scan -> wake_phase_scan st | `Wakeup -> wake_phase_wakeup st
 
 (* ------------------------------------------------------------------ *)
 (* Retire                                                              *)
@@ -740,8 +1030,8 @@ let retire_phase st =
       Option.iter (retire_copy st) g.g_master;
       List.iter (retire_copy st) g.g_slaves;
       g.g_retired <- true;
-      Stats.incr st.ctrs "retired";
-      st.emit (Ev_retire { cycle = st.cycle; seq = g.g_seq });
+      incr st.hot.k_retired;
+      if st.observed then st.emit (Ev_retire { cycle = st.cycle; seq = g.g_seq });
       incr n
     | Some _ | None -> continue_ := false
   done;
@@ -754,7 +1044,7 @@ let retire_phase st =
 let fetch_phase st =
   if st.redirect_pending || st.cycle < st.fetch_resume then begin
     if Deque.length st.rob > 0 || st.trace_idx < Array.length st.trace then
-      Stats.incr st.ctrs "fetch_stall_cycles";
+      incr st.hot.k_fetch_stall;
     0
   end
   else begin
@@ -776,7 +1066,7 @@ let fetch_phase st =
           st.last_fetch_line <- line;
           if ready > st.cycle then begin
             st.fetch_resume <- ready;
-            Stats.incr st.ctrs "icache_fetch_misses";
+            incr st.hot.k_icache_fetch_misses;
             false
           end
           else true
@@ -793,12 +1083,12 @@ let fetch_phase st =
           | Some _ | None -> (None, false)
         in
         Fixed_queue.push st.fetch_buffer { f_dyn = dyn; f_token = token; f_mispred = mispred };
-        st.emit (Ev_fetch { cycle = st.cycle; seq = dyn.Instr.seq });
+        if st.observed then st.emit (Ev_fetch { cycle = st.cycle; seq = dyn.Instr.seq });
         st.trace_idx <- st.trace_idx + 1;
         incr fetched;
         if mispred then begin
           st.redirect_pending <- true;
-          Stats.incr st.ctrs "mispredicted_fetches";
+          incr st.hot.k_mispredicted_fetches;
           blocked := true
         end
       end
@@ -881,15 +1171,18 @@ let squash_copy st (c : copy) =
     let q = queue_of_class c.c_issue_class st.cfg.queue_split in
     cl.dq_waiting.(q) <- cl.dq_waiting.(q) - 1
   end;
+  (* Wakeup engine: squashed copies may linger in wait lists, ready
+     lists, and wheels; every consumer of those structures filters on
+     [c_state], so flipping the state is the whole cleanup. *)
   c.c_state <- C_squashed;
-  Stats.incr st.ctrs "squashed_copies"
+  incr st.hot.k_squashed_copies
 
 let replay st =
   match find_replay_victim st with
   | None -> ()
   | Some victim ->
     let vseq = victim.g_seq in
-    st.emit (Ev_replay { cycle = st.cycle; seq = vseq });
+    if st.observed then st.emit (Ev_replay { cycle = st.cycle; seq = vseq });
     Stats.incr st.ctrs "replays";
     (* Squash from youngest down to the victim, inclusive. *)
     let continue_ = ref true in
@@ -929,22 +1222,27 @@ let replay st =
    walked them in. *)
 let train_phase st =
   let due = ref [] in
+  let n = ref 0 in
   let continue_ = ref true in
   while !continue_ do
     match Deque.peek_front st.pending_train with
     | Some (c, _, _, _) when c <= st.cycle ->
       (match Deque.pop_front st.pending_train with
-      | Some e -> due := e :: !due
+      | Some e ->
+        due := e :: !due;
+        incr n
       | None -> assert false)
     | Some _ | None -> continue_ := false
   done;
-  List.iter (fun (_, _, tok, taken) -> Mcfarling.train st.predictor tok ~taken) !due
+  List.iter (fun (_, _, tok, taken) -> Mcfarling.train st.predictor tok ~taken) !due;
+  !n
 
 (* Cluster state for a given architectural-register assignment: a cluster
    holds physical copies only of the registers assigned to it; the rest of
    the initial mappings go back to the freelist. *)
 let build_clusters cfg assignment =
   let n_clusters = Assignment.num_clusters assignment in
+  let nq = num_queues cfg.queue_split in
   let make_regfile cl_id =
     let rf = Regfile.create ~num_phys:cfg.phys_per_bank in
     List.iter
@@ -958,14 +1256,43 @@ let build_clusters cfg assignment =
       { cl_id;
         rf = make_regfile cl_id;
         fu = Fu.create cfg.issue_limits;
-        dqs = Array.init (num_queues cfg.queue_split) (fun _ -> Deque.create ());
-        dq_waiting = Array.make (num_queues cfg.queue_split) 0;
+        dqs = Array.init nq (fun _ -> Deque.create ());
+        dq_waiting = Array.make nq 0;
+        wait_regs =
+          Array.init 2 (fun _ -> Array.init cfg.phys_per_bank (fun _ -> Vec.create ()));
+        ready_qs = Array.init nq (fun _ -> Vec.create ());
+        ready_dirty = Array.make nq false;
         operand_buf = Transfer_buffer.create ~entries:cfg.operand_buffer_entries;
         result_buf = Transfer_buffer.create ~entries:cfg.result_buffer_entries })
 
-let init_state ?(on_event = fun (_ : event) -> ()) cfg =
+let init_state ?(engine = `Wakeup) ?profile ?on_event cfg =
   validate_config cfg;
+  let observed, emit =
+    match on_event with Some f -> (true, f) | None -> (false, fun (_ : event) -> ())
+  in
+  let ctrs = Stats.counters_create () in
+  let k = Stats.counter ctrs in
+  let hot =
+    { k_retired = k "retired";
+      k_single_distributed = k "single_distributed";
+      k_dual_distributed = k "dual_distributed";
+      k_slave_issues = k "slave_issues";
+      k_scenarios = Array.map k scenario_counters;
+      k_stall_rob_full = k "stall_rob_full";
+      k_stall_dq_full = k "stall_dq_full";
+      k_stall_phys = k "stall_phys";
+      k_ooo_issues = k "ooo_issues";
+      k_ooo_issue_distance = k "ooo_issue_distance";
+      k_issue_active = k "issue_active_cycles";
+      k_both_active = k "both_clusters_active_cycles";
+      k_fetch_stall = k "fetch_stall_cycles";
+      k_icache_fetch_misses = k "icache_fetch_misses";
+      k_mispredicted_fetches = k "mispredicted_fetches";
+      k_redirects = k "redirects";
+      k_squashed_copies = k "squashed_copies" }
+  in
   { cfg;
+    engine;
     assignment = cfg.assignment;
     trace = [||];
     clusters = build_clusters cfg cfg.assignment;
@@ -974,8 +1301,15 @@ let init_state ?(on_event = fun (_ : event) -> ()) cfg =
     predictor = Mcfarling.create ~config:cfg.predictor ();
     rob = Deque.create ();
     fetch_buffer = Fixed_queue.create ~capacity:(2 * cfg.fetch_width);
-    ctrs = Stats.counters_create ();
-    emit = on_event;
+    ctrs;
+    hot;
+    emit;
+    observed;
+    prof = profile;
+    src_wheel = Bucket_queue.create ~capacity:256 ();
+    wake_wheel = Bucket_queue.create ~capacity:64 ();
+    wake_scratch = Vec.create ();
+    scratch_srcs = Array.make 8 0;
     cycle = 0; trace_idx = 0; fetch_resume = 0; redirect_pending = false;
     last_fetch_line = -1; max_finish = 0; stall_cycles = 0; pending_train = Deque.create ();
     max_issued_seq = -1; head_blocked = (-1, 0) }
@@ -988,6 +1322,18 @@ let moved_registers old_asg new_asg =
       (not (Reg.is_zero r))
       && Assignment.clusters_of old_asg r <> Assignment.clusters_of new_asg r)
     Reg.all
+
+(* The count alone, for the emptiness test in [load_phase]: no list is
+   materialised. *)
+let moved_register_count old_asg new_asg =
+  List.fold_left
+    (fun n r ->
+      if
+        (not (Reg.is_zero r))
+        && Assignment.clusters_of old_asg r <> Assignment.clusters_of new_asg r
+      then n + 1
+      else n)
+    0 Reg.all
 
 (* Switch to a new phase. The pipeline must be drained (rob empty). The
    reassignment overhead models draining the write buffers and copying
@@ -1002,7 +1348,7 @@ let load_phase st assignment trace =
   let overhead =
     if assignment == st.assignment then 0
     else
-      match List.length (moved_registers st.assignment assignment) with
+      match moved_register_count st.assignment assignment with
       | 0 -> 0
       | moved ->
         Stats.add st.ctrs "reassigned_registers" moved;
@@ -1055,6 +1401,21 @@ let run_loop ?(on_cycle = fun () -> ()) st ~max_cycles =
     && Fixed_queue.is_empty st.fetch_buffer
     && Deque.is_empty st.rob
   in
+  (* When profiling, bracket each phase with [Gc.minor_words] so the
+     allocation summary names the allocating stage. [phase_alloc] takes
+     top-level functions only, so the profiled loop itself stays
+     allocation-free apart from the boxed floats [Gc.minor_words]
+     returns. (Hoisted out of the cycle loop: a per-iteration closure
+     would itself show up in every stage's numbers.) *)
+  let phase_alloc stage f =
+    match st.prof with
+    | None -> f st
+    | Some p ->
+      let m0 = Gc.minor_words () in
+      let r = f st in
+      Profile_counters.add_alloc p stage ~words:(Gc.minor_words () -. m0);
+      r
+  in
   while not (finished ()) do
     if st.cycle > max_cycles then
       failwith
@@ -1063,12 +1424,20 @@ let run_loop ?(on_cycle = fun () -> ()) st ~max_cycles =
             %d), %d instructions retired, trace position %d of %d, %d groups in flight"
            st.cycle max_cycles (Stats.get st.ctrs "retired") st.trace_idx
            (Array.length st.trace) (Deque.length st.rob));
-    let woke = wake_phase st in
-    let retired = retire_phase st in
-    train_phase st;
-    let issued = issue_phase st in
-    let dispatched = dispatch_phase st in
-    let fetched = fetch_phase st in
+    let woke = phase_alloc stage_wake wake_phase in
+    let retired = phase_alloc stage_retire retire_phase in
+    let trained = phase_alloc stage_train train_phase in
+    let issued = phase_alloc stage_issue issue_phase in
+    let dispatched = phase_alloc stage_dispatch dispatch_phase in
+    let fetched = phase_alloc stage_fetch fetch_phase in
+    (match st.prof with
+    | Some p ->
+      Profile_counters.note_cycle p;
+      Profile_counters.add p stage_retire ~work:retired;
+      Profile_counters.add p stage_train ~work:trained;
+      Profile_counters.add p stage_dispatch ~work:dispatched;
+      Profile_counters.add p stage_fetch ~work:fetched
+    | None -> ());
     let in_flight_exec = st.max_finish > st.cycle in
     let progress =
       retired > 0 || issued > 0 || dispatched > 0 || woke > 0 || fetched > 0 || in_flight_exec
@@ -1118,8 +1487,8 @@ let finish_result st =
     counters = Stats.lookup_to_alist counter_lookup;
     counter_lookup }
 
-let run_phased ?(on_event = fun (_ : event) -> ()) ?(max_cycles = 200_000_000) cfg phases =
-  let st = init_state ~on_event cfg in
+let run_phased ?engine ?profile ?on_event ?(max_cycles = 200_000_000) cfg phases =
+  let st = init_state ?engine ?profile ?on_event cfg in
   List.iter
     (fun (assignment, trace) ->
       load_phase st assignment trace;
@@ -1127,8 +1496,8 @@ let run_phased ?(on_event = fun (_ : event) -> ()) ?(max_cycles = 200_000_000) c
     phases;
   finish_result st
 
-let run ?on_event ?max_cycles cfg trace =
-  run_phased ?on_event ?max_cycles cfg [ (cfg.assignment, trace) ]
+let run ?engine ?profile ?on_event ?max_cycles cfg trace =
+  run_phased ?engine ?profile ?on_event ?max_cycles cfg [ (cfg.assignment, trace) ]
 
 (* ------------------------------------------------------------------ *)
 (* Resumable-state API: functional warming and detailed intervals      *)

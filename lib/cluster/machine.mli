@@ -31,6 +31,29 @@
     instruction-replay exception: the blocked instruction and everything
     younger is squashed and refetched after [replay_penalty] cycles. *)
 
+(** Issue-logic implementation. Both engines are cycle-exact models of
+    the {e same} machine and produce bit-identical results and counters;
+    they differ only in simulator data structures and speed.
+
+    - [`Wakeup] (the default): dependence-driven. Each cluster keeps a
+      wakeup index from physical register to the copies waiting on it;
+      when a producer issues, exactly the newly-ready consumers move
+      (via a cycle-indexed event wheel) onto a per-queue ready list kept
+      in age order, and the per-cycle issue scan touches only that list.
+      Suspended scenario-5 slaves wake from a second event wheel keyed
+      by the master's result-arrival cycle instead of a ROB walk.
+    - [`Scan]: the reference implementation — every dispatch-queue entry
+      and every ROB entry is rescanned every cycle. Kept for
+      differential testing and bisection. *)
+type engine = [ `Scan | `Wakeup ]
+
+val profile_counters : unit -> Mcsim_util.Profile_counters.t
+(** A counter set with the machine's pipeline stages (fetch, dispatch,
+    issue, wake, retire, train), to pass as [?profile]. Per cycle each
+    stage records one visit plus the items it examined — for the issue
+    and wake stages that is queue/ROB entries scanned, the quantity the
+    wakeup engine exists to shrink. *)
+
 type queue_split =
   | Unified  (** one dispatch queue per cluster — the paper's design *)
   | Per_class
@@ -139,15 +162,23 @@ val counter : result -> string -> int
 (** 0 when absent; O(log n) over the counter snapshot. *)
 
 val run :
+  ?engine:engine ->
+  ?profile:Mcsim_util.Profile_counters.t ->
   ?on_event:(event -> unit) ->
   ?max_cycles:int ->
   config ->
   Mcsim_isa.Instr.dynamic array ->
   result
-(** Simulate the full trace. @raise Failure if [max_cycles] (default
-    200_000_000) elapses first — a model bug, not a user error. *)
+(** Simulate the full trace. [engine] defaults to [`Wakeup]; results are
+    identical either way. [profile] accumulates per-stage counters (see
+    {!profile_counters}). When no [on_event] sink is attached, event
+    records are never constructed. @raise Failure if [max_cycles]
+    (default 200_000_000) elapses first — a model bug, not a user
+    error. *)
 
 val run_phased :
+  ?engine:engine ->
+  ?profile:Mcsim_util.Profile_counters.t ->
   ?on_event:(event -> unit) ->
   ?max_cycles:int ->
   config ->
@@ -183,8 +214,13 @@ type state
 (** A machine mid-simulation: configuration, caches, predictor,
     pipeline, and counters. *)
 
-val init_state : ?on_event:(event -> unit) -> config -> state
-(** A fresh machine at cycle 0.
+val init_state :
+  ?engine:engine ->
+  ?profile:Mcsim_util.Profile_counters.t ->
+  ?on_event:(event -> unit) ->
+  config ->
+  state
+(** A fresh machine at cycle 0. [engine] defaults to [`Wakeup].
     @raise Invalid_argument as {!validate_config}. *)
 
 val warm : state -> Mcsim_isa.Instr.dynamic array -> lo:int -> hi:int -> unit

@@ -57,13 +57,14 @@ type sim_out =
 
 (* One machine simulation: the full detailed model, or — when a sampling
    policy is given — the sampled estimate standing in for it. *)
-let simulate ~sampling cfg trace =
+let simulate ~engine ~sampling cfg trace =
   match sampling with
-  | None -> Machine.run cfg trace
-  | Some policy -> Sampling.estimate (Sampling.run ~policy cfg trace)
+  | None -> Machine.run ?engine cfg trace
+  | Some policy -> Sampling.estimate (Sampling.run ?engine ~policy cfg trace)
 
-let run_sim ~seed ~max_instrs ~sampling ~single_config ~dual_config preps = function
-  | Sim_single i -> Out_single (simulate ~sampling single_config preps.(i).p_native_trace)
+let run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config preps = function
+  | Sim_single i ->
+    Out_single (simulate ~engine ~sampling single_config preps.(i).p_native_trace)
   | Sim_sched (i, (name, scheduler)) ->
     let prep = preps.(i) in
     let compiled =
@@ -78,7 +79,7 @@ let run_sim ~seed ~max_instrs ~sampling ~single_config ~dual_config preps = func
       | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
         Walker.trace ~seed ~max_instrs compiled.Pipeline.mach
     in
-    let dual = simulate ~sampling dual_config trace in
+    let dual = simulate ~engine ~sampling dual_config trace in
     let static_single, static_dual =
       Pipeline.dual_distribution_count dual_config.Machine.assignment compiled.Pipeline.mach
     in
@@ -90,7 +91,7 @@ let run_sim ~seed ~max_instrs ~sampling ~single_config ~dual_config preps = func
         spills = List.length compiled.Pipeline.alloc.Mcsim_compiler.Regalloc.spilled_lrs }
 
 let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
-    ?(schedulers = default_schedulers) ?sampling ?single_config ?dual_config progs =
+    ?(schedulers = default_schedulers) ?engine ?sampling ?single_config ?dual_config progs =
   let single_config =
     match single_config with Some c -> c | None -> Machine.single_cluster ()
   in
@@ -108,7 +109,7 @@ let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
   in
   let outs =
     Pool.parallel_map ~jobs
-      (run_sim ~seed ~max_instrs ~sampling ~single_config ~dual_config preps)
+      (run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config preps)
       sims
   in
   (* Reassemble: stage-2 results arrive grouped per benchmark, single
@@ -142,10 +143,10 @@ let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
     (Array.to_list preps)
 
 let run_benchmark ?(max_instrs = 120_000) ?(seed = 1)
-    ?(schedulers = default_schedulers) ?sampling ?single_config ?dual_config prog =
+    ?(schedulers = default_schedulers) ?engine ?sampling ?single_config ?dual_config prog =
   match
-    run_many ~jobs:1 ~max_instrs ~seed ~schedulers ?sampling ?single_config ?dual_config
-      [ prog ]
+    run_many ~jobs:1 ~max_instrs ~seed ~schedulers ?engine ?sampling ?single_config
+      ?dual_config [ prog ]
   with
   | [ c ] -> c
   | _ -> assert false

@@ -35,6 +35,7 @@ val run_many :
   ?max_instrs:int ->
   ?seed:int ->
   ?schedulers:(string * Mcsim_compiler.Pipeline.scheduler) list ->
+  ?engine:Mcsim_cluster.Machine.engine ->
   ?sampling:Mcsim_sampling.Sampling.policy ->
   ?single_config:Mcsim_cluster.Machine.config ->
   ?dual_config:Mcsim_cluster.Machine.config ->
@@ -62,6 +63,7 @@ val run_benchmark :
   ?max_instrs:int ->
   ?seed:int ->
   ?schedulers:(string * Mcsim_compiler.Pipeline.scheduler) list ->
+  ?engine:Mcsim_cluster.Machine.engine ->
   ?sampling:Mcsim_sampling.Sampling.policy ->
   ?single_config:Mcsim_cluster.Machine.config ->
   ?dual_config:Mcsim_cluster.Machine.config ->

@@ -16,10 +16,11 @@ let paper =
   [ ("compress", -14.0, 6.0); ("doduc", -21.0, -15.0); ("gcc1", -15.0, -10.0);
     ("ora", -5.0, -22.0); ("su2cor", -36.0, -25.0); ("tomcatv", -41.0, -19.0) ]
 
-let run ?jobs ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?sampling
-    ?single_config ?dual_config () =
+let run ?jobs ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?engine
+    ?sampling ?single_config ?dual_config () =
   let comparisons =
-    Experiment.run_many ?jobs ~max_instrs ~seed ?sampling ?single_config ?dual_config
+    Experiment.run_many ?jobs ~max_instrs ~seed ?engine ?sampling ?single_config
+      ?dual_config
       (List.map Spec92.program benchmarks)
   in
   List.map2

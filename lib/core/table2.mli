@@ -22,6 +22,7 @@ val run :
   ?max_instrs:int ->
   ?seed:int ->
   ?benchmarks:Mcsim_workload.Spec92.benchmark list ->
+  ?engine:Mcsim_cluster.Machine.engine ->
   ?sampling:Mcsim_sampling.Sampling.policy ->
   ?single_config:Mcsim_cluster.Machine.config ->
   ?dual_config:Mcsim_cluster.Machine.config ->
@@ -35,7 +36,10 @@ val run :
     [jobs] (default {!Mcsim_util.Pool.default_jobs}) fans the
     independent simulations out over that many domains via
     {!Experiment.run_many}; the rows are bit-for-bit identical for
-    every [jobs] value. [sampling] replaces every detailed machine run
+    every [jobs] value. [engine] selects the detailed-model issue logic
+    (default [`Wakeup]); rows are identical either way, so a mismatch
+    between [~engine:`Scan] and the default is a simulator bug worth
+    bisecting. [sampling] replaces every detailed machine run
     with its sampled estimate — cycle columns become extrapolations
     (see {!Mcsim_sampling.Sampling}). *)
 

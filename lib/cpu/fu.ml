@@ -2,7 +2,7 @@ type t = {
   budget : Mcsim_isa.Issue_rules.budget;
   dividers : int array;  (* per-divider first free cycle *)
   mutable n_total : int;
-  counts : (string, int ref) Hashtbl.t;
+  counts : int array;  (* cumulative issues per class slot, divide widths pooled *)
 }
 
 (* One unpipelined divider per fp-divide issue slot, so the single-cluster
@@ -12,15 +12,21 @@ let create limits =
   { budget = Mcsim_isa.Issue_rules.budget limits;
     dividers = Array.make (max 1 limits.Mcsim_isa.Issue_rules.fp_divide) 0;
     n_total = 0;
-    counts = Hashtbl.create 8 }
+    counts = Array.make 7 0 }
 
 let new_cycle t = Mcsim_isa.Issue_rules.reset t.budget
 
-let class_key (op : Mcsim_isa.Op_class.t) =
+(* Dense per-class slot; both [Fp_divide] widths share one (they share
+   the divider and the Table-1 budget row). *)
+let class_slot (op : Mcsim_isa.Op_class.t) =
   match op with
-  | Fp_divide _ -> "fp_divide"
-  | Int_multiply | Int_other | Fp_other | Load | Store | Control ->
-    Mcsim_isa.Op_class.to_string op
+  | Int_multiply -> 0
+  | Int_other -> 1
+  | Fp_divide _ -> 2
+  | Fp_other -> 3
+  | Load -> 4
+  | Store -> 5
+  | Control -> 6
 
 let free_divider t ~cycle =
   let n = Array.length t.dividers in
@@ -41,15 +47,12 @@ let issue t ~cycle op =
     | None -> assert false)
   | Int_multiply | Int_other | Fp_other | Load | Store | Control -> ());
   t.n_total <- t.n_total + 1;
-  let key = class_key op in
-  match Hashtbl.find_opt t.counts key with
-  | Some r -> incr r
-  | None -> Hashtbl.add t.counts key (ref 1)
+  let slot = class_slot op in
+  t.counts.(slot) <- t.counts.(slot) + 1
 
 let issued_this_cycle t = Mcsim_isa.Issue_rules.issued t.budget
 let total_issued t = t.n_total
 
-let issued_of_class t op =
-  match Hashtbl.find_opt t.counts (class_key op) with Some r -> !r | None -> 0
+let issued_of_class t op = t.counts.(class_slot op)
 
 let clear_divider t = Array.fill t.dividers 0 (Array.length t.dividers) 0

@@ -61,7 +61,7 @@ type t = {
 let ci_rel r = if r.mean_ipc = 0.0 then 0.0 else r.ci_halfwidth /. r.mean_ipc
 let detailed_fraction r = Stats.ratio r.detailed_instrs r.trace_instrs
 
-let run ?max_cycles ?(policy = default_policy) cfg trace =
+let run ?max_cycles ?engine ?(policy = default_policy) cfg trace =
   validate_policy policy;
   let n = Array.length trace in
   let unit = policy.warmup + policy.detail in
@@ -80,7 +80,7 @@ let run ?max_cycles ?(policy = default_policy) cfg trace =
          "Sampling.run: trace of %d instructions yields %d complete sampling unit(s) \
           under policy %s (offset %d); need at least 2 for a confidence interval"
          n num_units (policy_to_string policy) offset);
-  let st = Machine.init_state cfg in
+  let st = Machine.init_state ?engine cfg in
   let stats = ref [] in
   let pos = ref 0 in
   for k = 0 to num_units - 1 do

@@ -81,6 +81,7 @@ val detailed_fraction : t -> float
 
 val run :
   ?max_cycles:int ->
+  ?engine:Mcsim_cluster.Machine.engine ->
   ?policy:policy ->
   Mcsim_cluster.Machine.config ->
   Mcsim_isa.Instr.dynamic array ->
@@ -88,7 +89,8 @@ val run :
 (** Sample-simulate the trace. The first detailed unit starts at a
     seeded offset in [[0, interval - warmup - detail]]; subsequent units
     start every [interval] instructions; instructions between and after
-    units are functionally warmed.
+    units are functionally warmed. [engine] selects the detailed-model
+    issue logic (default [`Wakeup]); results are identical either way.
     @raise Invalid_argument if the policy is invalid or the trace is too
     short for two complete units (no meaningful confidence interval).
     @raise Failure as {!Mcsim_cluster.Machine.run} on [max_cycles]. *)

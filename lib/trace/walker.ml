@@ -71,11 +71,21 @@ let trace ?(seed = 1) ?(max_instrs = 300_000) (m : Mach_prog.t) =
           b.Mach_prog.instrs)
       m.Mach_prog.blocks
   in
-  let out = Array.make max_instrs None in
+  (* The output buffer is allocated on the first instruction (using it as
+     the fill element) and grown on demand: no [Instr.t option] boxes and
+     no [Option.get] round-trip per emitted instruction. *)
+  let out = ref [||] in
   let n = ref 0 in
   let emit ?mem_addr ?branch pc instr =
     if !n < max_instrs then begin
-      out.(!n) <- Some (Instr.dynamic ~seq:!n ~pc ?mem_addr ?branch instr);
+      let d = Instr.dynamic ~seq:!n ~pc ?mem_addr ?branch instr in
+      let cap = Array.length !out in
+      if !n >= cap then begin
+        let grown = Array.make (min max_instrs (max 1024 (2 * cap))) d in
+        Array.blit !out 0 grown 0 cap;
+        out := grown
+      end;
+      !out.(!n) <- d;
       incr n
     end
   in
@@ -120,4 +130,4 @@ let trace ?(seed = 1) ?(max_instrs = 300_000) (m : Mach_prog.t) =
         current := Some next
     end
   done;
-  Array.init !n (fun i -> match out.(i) with Some d -> d | None -> assert false)
+  if !n = Array.length !out then !out else Array.sub !out 0 !n

@@ -1,0 +1,88 @@
+type t = {
+  names : string array;
+  visits : int array;
+  work : int array;
+  alloc : float array;
+  mutable cycles : int;
+  mutable minor_mark : float;
+  mutable minor_words : float;
+  mutable sampling : bool;
+}
+
+let create ~stages =
+  {
+    names = Array.of_list stages;
+    visits = Array.make (List.length stages) 0;
+    work = Array.make (List.length stages) 0;
+    alloc = Array.make (List.length stages) 0.0;
+    cycles = 0;
+    minor_mark = 0.0;
+    minor_words = 0.0;
+    sampling = false;
+  }
+
+let n_stages t = Array.length t.names
+let stage_name t i = t.names.(i)
+
+let add t i ~work =
+  t.visits.(i) <- t.visits.(i) + 1;
+  t.work.(i) <- t.work.(i) + work
+
+let add_alloc t i ~words = t.alloc.(i) <- t.alloc.(i) +. words
+
+let note_cycle t = t.cycles <- t.cycles + 1
+
+let alloc_start t =
+  if not t.sampling then begin
+    t.sampling <- true;
+    t.minor_mark <- Gc.minor_words ()
+  end
+
+let alloc_stop t =
+  if t.sampling then begin
+    t.sampling <- false;
+    t.minor_words <- t.minor_words +. (Gc.minor_words () -. t.minor_mark)
+  end
+
+let visits t i = t.visits.(i)
+let work t i = t.work.(i)
+let alloc t i = t.alloc.(i)
+let cycles t = t.cycles
+let minor_words t = t.minor_words
+
+let reset t =
+  Array.fill t.visits 0 (Array.length t.visits) 0;
+  Array.fill t.work 0 (Array.length t.work) 0;
+  Array.fill t.alloc 0 (Array.length t.alloc) 0.0;
+  t.cycles <- 0;
+  t.minor_words <- 0.0;
+  t.sampling <- false
+
+let render t =
+  let buf = Buffer.create 512 in
+  let cyc = float_of_int (max 1 t.cycles) in
+  Buffer.add_string buf
+    (Printf.sprintf "cycles %d, minor words %.0f (%.2f words/cycle)\n"
+       t.cycles t.minor_words (t.minor_words /. cyc));
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           [
+             name;
+             string_of_int t.visits.(i);
+             string_of_int t.work.(i);
+             (if t.visits.(i) = 0 then "-"
+              else
+                Printf.sprintf "%.2f"
+                  (float_of_int t.work.(i) /. float_of_int t.visits.(i)));
+             Printf.sprintf "%.2f" (float_of_int t.work.(i) /. cyc);
+             Printf.sprintf "%.1f" (t.alloc.(i) /. cyc);
+           ])
+         t.names)
+  in
+  Buffer.add_string buf
+    (Text_table.render
+       ~aligns:[| Text_table.Left; Right; Right; Right; Right; Right |]
+       ([ "stage"; "visits"; "work"; "work/visit"; "work/cycle"; "alloc/cycle" ] :: rows));
+  Buffer.contents buf

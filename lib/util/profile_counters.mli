@@ -1,0 +1,52 @@
+(** Per-stage profiling counters for the detailed machine model.
+
+    A counter set is created with a fixed list of stage names; each stage
+    accumulates [visits] (times the stage ran) and [work] (items it
+    examined — queue entries scanned, instructions dispatched, ...), both
+    plain [int] increments so the profiled run allocates nothing.
+    [alloc_start]/[alloc_stop] bracket a region and accumulate minor-heap
+    words allocated inside it (via [Gc.minor_words]). *)
+
+type t
+
+val create : stages:string list -> t
+(** Fresh counter set; stage indices follow the list order. *)
+
+val n_stages : t -> int
+val stage_name : t -> int -> string
+
+val add : t -> int -> work:int -> unit
+(** Record one visit of stage [i] that examined [work] items. *)
+
+val add_alloc : t -> int -> words:float -> unit
+(** Attribute [words] minor-heap words to stage [i] (the caller measures
+    them, typically as a [Gc.minor_words] delta around the stage). *)
+
+val note_cycle : t -> unit
+(** Record one simulated cycle. *)
+
+val alloc_start : t -> unit
+(** Mark the start of an allocation-measured region. Nested calls are
+    ignored until the matching [alloc_stop]. *)
+
+val alloc_stop : t -> unit
+(** Close the region opened by [alloc_start], accumulating the minor
+    words allocated since. *)
+
+val visits : t -> int -> int
+val work : t -> int -> int
+
+val alloc : t -> int -> float
+(** Minor words attributed to stage [i] via {!add_alloc}. *)
+
+val cycles : t -> int
+
+val minor_words : t -> float
+(** Total minor-heap words allocated inside measured regions. *)
+
+val reset : t -> unit
+
+val render : t -> string
+(** Human-readable table: a summary line (cycles, minor words, words per
+    cycle) then one row per stage with visits, work, work/visit,
+    work/cycle and alloc/cycle. *)

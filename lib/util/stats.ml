@@ -41,6 +41,7 @@ let find_ref t name =
     Hashtbl.add t name r;
     r
 
+let counter = find_ref
 let incr t name = Stdlib.incr (find_ref t name)
 let add t name k = find_ref t name := !(find_ref t name) + k
 let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0

@@ -32,6 +32,12 @@ val add : counter_set -> string -> int -> unit
 val get : counter_set -> string -> int
 (** 0 for never-touched counters. *)
 
+val counter : counter_set -> string -> int ref
+(** The live cell behind a named counter, creating it at 0 if absent.
+    Callers on hot paths intern the cell once and bump it with
+    [Stdlib.incr], skipping the per-event string hash of {!incr}; the
+    cell stays visible to {!get}/{!to_alist}. *)
+
 val to_alist : counter_set -> (string * int) list
 (** Sorted by name. *)
 

@@ -1,0 +1,42 @@
+(** Growable vector with an allocation-free steady state.
+
+    Backing storage doubles on demand and is never shrunk, so once a
+    vector has reached its high-water mark, [push]/[clear]/[iter] and the
+    in-place [filter_in_place]/[sort] perform no heap allocation. Used on
+    the simulator hot path (ready lists, event-wheel buckets) where the
+    per-cycle element churn is high but the population is bounded.
+
+    [clear] only resets the length; it does not drop references to the
+    stored elements. Fine for short-lived simulation objects, but do not
+    use this to hold onto large structures past their useful life. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Empty vector with no backing storage (first [push] allocates). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** Append, growing the backing array (amortised O(1)). *)
+
+val clear : 'a t -> unit
+(** Reset length to zero without releasing storage. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Apply to each live element in index order. *)
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep only elements satisfying the predicate, preserving order.
+    In place: no allocation. *)
+
+val sort : cmp:('a -> 'a -> int) -> 'a t -> unit
+(** In-place insertion sort of the live prefix. O(n + inversions): cheap
+    for the nearly-sorted inputs produced by append-mostly-in-order use. *)
+
+val to_list : 'a t -> 'a list
+(** Live elements in index order (allocates; for tests/reporting). *)

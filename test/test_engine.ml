@@ -1,0 +1,273 @@
+(* Differential tests for the two issue engines: the dependence-driven
+   wakeup engine must produce results bit-identical to the reference
+   per-cycle scan engine — same cycles, same IPC, same counters, same
+   event stream — on every configuration and workload. Also unit tests
+   for the event-wheel and vector primitives the wakeup engine is built
+   on. *)
+
+module Machine = Mcsim_cluster.Machine
+module Sampling = Mcsim_sampling.Sampling
+module Spec92 = Mcsim_workload.Spec92
+module Walker = Mcsim_trace.Walker
+module Pipeline = Mcsim_compiler.Pipeline
+module Vec = Mcsim_util.Vec
+module Bucket_queue = Mcsim_util.Bucket_queue
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+(* ----------------- engine equivalence: helpers --------------------- *)
+
+(* Human-readable first divergence, for failure messages. *)
+let explain_diff (a : Machine.result) (b : Machine.result) =
+  if a.Machine.cycles <> b.Machine.cycles then
+    Printf.sprintf "cycles: scan %d, wakeup %d" a.Machine.cycles b.Machine.cycles
+  else if a.Machine.ipc <> b.Machine.ipc then
+    Printf.sprintf "ipc: scan %f, wakeup %f" a.Machine.ipc b.Machine.ipc
+  else begin
+    let rec first_counter_diff xs ys =
+      match (xs, ys) with
+      | [], [] -> "results differ outside cycles/ipc/counters"
+      | (k, v) :: xs', (k', v') :: ys' ->
+        if k <> k' then Printf.sprintf "counter sets differ: %s vs %s" k k'
+        else if v <> v' then Printf.sprintf "counter %s: scan %d, wakeup %d" k v v'
+        else first_counter_diff xs' ys'
+      | (k, _) :: _, [] | [], (k, _) :: _ ->
+        Printf.sprintf "counter %s present in one engine only" k
+    in
+    first_counter_diff a.Machine.counters b.Machine.counters
+  end
+
+let assert_engines_agree ?(msg = "engines agree") cfg trace =
+  let scan = Machine.run ~engine:`Scan cfg trace in
+  let wake = Machine.run ~engine:`Wakeup cfg trace in
+  if scan <> wake then
+    Alcotest.failf "%s: %s" msg (explain_diff scan wake);
+  check Alcotest.bool msg true true
+
+(* ----------------- engine equivalence: property -------------------- *)
+
+let qcheck_engines_agree cfg_of seed =
+  let trace = Test_audit.trace_of seed Pipeline.default_local in
+  let cfg = cfg_of () in
+  let scan = Machine.run ~engine:`Scan cfg trace in
+  let wake = Machine.run ~engine:`Wakeup cfg trace in
+  if scan <> wake then
+    QCheck.Test.fail_reportf "engines diverge (seed %d): %s" seed (explain_diff scan wake);
+  true
+
+let equiv_dual_unified =
+  QCheck.Test.make ~name:"scan = wakeup on random workloads (dual, unified queue)" ~count:8
+    QCheck.(int_bound 10_000)
+    (qcheck_engines_agree Machine.dual_cluster)
+
+let equiv_dual_split =
+  QCheck.Test.make ~name:"scan = wakeup on random workloads (dual, per-class queues)"
+    ~count:8
+    QCheck.(int_bound 10_000)
+    (qcheck_engines_agree (fun () ->
+         { (Machine.dual_cluster ()) with Machine.queue_split = Machine.Per_class }))
+
+let equiv_starved_buffers =
+  QCheck.Test.make ~name:"scan = wakeup under starved transfer buffers (replays)" ~count:6
+    QCheck.(int_bound 10_000)
+    (qcheck_engines_agree (fun () ->
+         { (Machine.dual_cluster ()) with
+           Machine.operand_buffer_entries = 1;
+           result_buffer_entries = 1;
+           replay_threshold = 4 }))
+
+let equiv_tiny_queues =
+  QCheck.Test.make ~name:"scan = wakeup with tiny dispatch queues" ~count:6
+    QCheck.(int_bound 10_000)
+    (qcheck_engines_agree (fun () ->
+         { (Machine.dual_cluster ()) with Machine.dq_entries = 4 }))
+
+(* ----------------- engine equivalence: stock configs ---------------- *)
+
+(* Every stock configuration, both queue-split modes, on a fixed
+   workload: the five machines of the paper's evaluation. *)
+let stock_configs () =
+  let both name cfg_of =
+    [ (name ^ "/unified", (fun () -> { (cfg_of ()) with Machine.queue_split = Machine.Unified }));
+      (name ^ "/per-class",
+       fun () -> { (cfg_of ()) with Machine.queue_split = Machine.Per_class }) ]
+  in
+  both "single_cluster" Machine.single_cluster
+  @ both "dual_cluster" Machine.dual_cluster
+  @ both "quad_cluster" Machine.quad_cluster
+  @ both "single_cluster_4" Machine.single_cluster_4
+  @ both "dual_cluster_2x2" Machine.dual_cluster_2x2
+
+let equiv_stock_configs () =
+  let dual_trace = Test_audit.trace_of 42 Pipeline.default_local in
+  let quad_trace = Test_audit.quad_trace 42 in
+  List.iter
+    (fun (name, cfg_of) ->
+      let cfg = cfg_of () in
+      let trace =
+        if Mcsim_cluster.Assignment.num_clusters cfg.Machine.assignment > 2 then quad_trace
+        else dual_trace
+      in
+      assert_engines_agree ~msg:name cfg trace)
+    (stock_configs ())
+
+let equiv_benchmarks () =
+  (* One real-benchmark preset per run on the dual machine. *)
+  List.iter
+    (fun b ->
+      let prog = Spec92.program b in
+      let profile = Walker.profile prog in
+      let c = Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog in
+      let trace = Walker.trace ~max_instrs:6_000 c.Pipeline.mach in
+      assert_engines_agree ~msg:(Spec92.name b) (Machine.dual_cluster ()) trace)
+    Spec92.all
+
+(* ----------------- engine equivalence: event streams ---------------- *)
+
+let event_t = Alcotest.testable Machine.pp_event ( = )
+
+let events_of engine cfg trace =
+  let evs = ref [] in
+  let (_ : Machine.result) = Machine.run ~engine ~on_event:(fun e -> evs := e :: !evs) cfg trace in
+  List.rev !evs
+
+let equiv_event_stream () =
+  let trace = Test_audit.trace_of 7 Pipeline.default_local in
+  let cfg = Machine.dual_cluster () in
+  let scan_evs = events_of `Scan cfg trace in
+  let wake_evs = events_of `Wakeup cfg trace in
+  check Alcotest.bool "some events" true (List.length scan_evs > 0);
+  check (Alcotest.list event_t) "identical event streams" scan_evs wake_evs
+
+(* ----------------- engine equivalence: sampled runs ----------------- *)
+
+let equiv_sampled () =
+  let prog = Spec92.program Spec92.Compress in
+  let profile = Walker.profile prog in
+  let c = Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog in
+  let trace = Walker.trace ~max_instrs:60_000 c.Pipeline.mach in
+  let policy = { Sampling.interval = 10_000; warmup = 1_000; detail = 1_000; seed = 3 } in
+  let scan = Sampling.run ~engine:`Scan ~policy (Machine.dual_cluster ()) trace in
+  let wake = Sampling.run ~engine:`Wakeup ~policy (Machine.dual_cluster ()) trace in
+  check (Alcotest.float 0.0) "mean ipc" scan.Sampling.mean_ipc wake.Sampling.mean_ipc;
+  check Alcotest.int "est cycles" scan.Sampling.est_cycles wake.Sampling.est_cycles;
+  if scan.Sampling.machine <> wake.Sampling.machine then
+    Alcotest.failf "sampled machine results diverge: %s"
+      (explain_diff scan.Sampling.machine wake.Sampling.machine)
+
+(* ------------------------- Vec unit tests --------------------------- *)
+
+let vec_basics () =
+  let v = Vec.create () in
+  check Alcotest.bool "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * 3)
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  check Alcotest.int "get 0" 0 (Vec.get v 0);
+  check Alcotest.int "get 99" 297 (Vec.get v 99);
+  Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  check Alcotest.int "filtered length" 50 (Vec.length v);
+  (* Order preserved: 0, 6, 12, ... *)
+  check (Alcotest.list Alcotest.int) "filtered prefix" [ 0; 6; 12 ]
+    (List.filteri (fun i _ -> i < 3) (Vec.to_list v));
+  Vec.clear v;
+  check Alcotest.bool "cleared" true (Vec.is_empty v)
+
+let vec_sort () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Vec.sort ~cmp:compare v;
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (Vec.to_list v)
+
+(* --------------------- Bucket_queue unit tests ---------------------- *)
+
+let wheel_ordering () =
+  let q = Bucket_queue.create ~capacity:8 () in
+  List.iter (fun (k, x) -> Bucket_queue.add q ~key:k x) [ (5, "e"); (1, "a"); (3, "c") ];
+  check Alcotest.int "length" 3 (Bucket_queue.length q);
+  let out = ref [] in
+  Bucket_queue.drain_upto q ~key:10 (fun x -> out := x :: !out);
+  check (Alcotest.list Alcotest.string) "key order" [ "a"; "c"; "e" ] (List.rev !out);
+  check Alcotest.bool "drained" true (Bucket_queue.is_empty q);
+  check Alcotest.int "floor advanced" 11 (Bucket_queue.floor q)
+
+let wheel_same_cycle_batch () =
+  let q = Bucket_queue.create ~capacity:4 () in
+  List.iter (fun x -> Bucket_queue.add q ~key:2 x) [ 10; 11; 12 ];
+  Bucket_queue.add q ~key:1 0;
+  let out = ref [] in
+  Bucket_queue.drain_upto q ~key:2 (fun x -> out := x :: !out);
+  (* Same-key entries come out in insertion order. *)
+  check (Alcotest.list Alcotest.int) "batch order" [ 0; 10; 11; 12 ] (List.rev !out)
+
+let wheel_wraparound () =
+  let q = Bucket_queue.create ~capacity:4 () in
+  (* Fill one revolution, drain it, then schedule past the ring seam:
+     slot reuse must not resurface drained entries or misorder keys. *)
+  List.iter (fun k -> Bucket_queue.add q ~key:k k) [ 0; 1; 2; 3 ];
+  let out = ref [] in
+  Bucket_queue.drain_upto q ~key:3 (fun x -> out := x :: !out);
+  check (Alcotest.list Alcotest.int) "first revolution" [ 0; 1; 2; 3 ] (List.rev !out);
+  List.iter (fun k -> Bucket_queue.add q ~key:k k) [ 7; 5; 6; 4 ];
+  let out = ref [] in
+  Bucket_queue.drain_upto q ~key:7 (fun x -> out := x :: !out);
+  check (Alcotest.list Alcotest.int) "second revolution" [ 4; 5; 6; 7 ] (List.rev !out)
+
+let wheel_grow () =
+  let q = Bucket_queue.create ~capacity:4 () in
+  Bucket_queue.add q ~key:2 "near";
+  (* A key more than one revolution ahead forces the ring to grow while
+     entries are pending. *)
+  Bucket_queue.add q ~key:100 "far";
+  check Alcotest.int "both pending" 2 (Bucket_queue.length q);
+  let out = ref [] in
+  Bucket_queue.drain_upto q ~key:200 (fun x -> out := x :: !out);
+  check (Alcotest.list Alcotest.string) "grow preserves order" [ "near"; "far" ] (List.rev !out)
+
+let wheel_add_during_drain () =
+  let q = Bucket_queue.create ~capacity:8 () in
+  Bucket_queue.add q ~key:1 1;
+  let out = ref [] in
+  Bucket_queue.drain_upto q ~key:3 (fun x ->
+      out := x :: !out;
+      (* Scheduling follow-up events above the drain bound is legal and
+         they surface on the next drain. *)
+      if x = 1 then Bucket_queue.add q ~key:5 50);
+  check (Alcotest.list Alcotest.int) "first drain" [ 1 ] (List.rev !out);
+  check Alcotest.int "follow-up pending" 1 (Bucket_queue.length q);
+  let out = ref [] in
+  Bucket_queue.drain_upto q ~key:5 (fun x -> out := x :: !out);
+  check (Alcotest.list Alcotest.int) "second drain" [ 50 ] (List.rev !out)
+
+let wheel_floor_discipline () =
+  let q = Bucket_queue.create ~capacity:4 () in
+  (* Empty drain jumps the floor without touching buckets. *)
+  Bucket_queue.drain_upto q ~key:41 (fun _ -> assert false);
+  check Alcotest.int "floor after empty drain" 42 (Bucket_queue.floor q);
+  (* Adding below the floor is a scheduling bug and must be loud. *)
+  check Alcotest.bool "below-floor add rejected" true
+    (try
+       Bucket_queue.add q ~key:7 ();
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "engine",
+    [ QCheck_alcotest.to_alcotest equiv_dual_unified;
+      QCheck_alcotest.to_alcotest equiv_dual_split;
+      QCheck_alcotest.to_alcotest equiv_starved_buffers;
+      QCheck_alcotest.to_alcotest equiv_tiny_queues;
+      case "scan = wakeup on all stock configs, both queue splits" equiv_stock_configs;
+      case "scan = wakeup on all six benchmarks" equiv_benchmarks;
+      case "scan = wakeup event streams" equiv_event_stream;
+      case "scan = wakeup under sampled simulation" equiv_sampled;
+      case "Vec: push/get/filter/clear" vec_basics;
+      case "Vec: insertion sort" vec_sort;
+      case "Bucket_queue: key ordering" wheel_ordering;
+      case "Bucket_queue: same-cycle batching" wheel_same_cycle_batch;
+      case "Bucket_queue: ring wraparound" wheel_wraparound;
+      case "Bucket_queue: grow with pending entries" wheel_grow;
+      case "Bucket_queue: add during drain" wheel_add_during_drain;
+      case "Bucket_queue: floor discipline" wheel_floor_discipline ] )

@@ -12,6 +12,7 @@ let () =
       Test_timing.suite;
       Test_core.suite;
       Test_audit.suite;
+      Test_engine.suite;
       Test_extensions.suite;
       Test_reassign.suite;
       Test_sampling.suite;
