@@ -43,35 +43,32 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* All BENCH_*.json files are Mcsim_obs.Metrics snapshots: the same
+   schema_version/kind/manifest/data top level as --metrics-out, with the
+   section-specific fields inside "data". *)
+module J = Mcsim_obs.Json
+
+let write_bench_json path ~kind ?sampling ~trace_instrs extra =
+  let manifest =
+    Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~trace_instrs ?sampling
+      (Machine.dual_cluster ())
+  in
+  Mcsim_obs.Metrics.write_file path
+    (Mcsim_obs.Metrics.snapshot ~manifest ~kind ~extra ());
+  Printf.printf "  (wrote %s)\n" path
+
 (* Machine-readable record of the serial-vs-parallel Table-2 run, for
    tracking the fan-out's wall-clock win across machines. *)
 let write_table2_json ~jobs ~serial_s ~parallel_s ~rows_identical rows =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf (Printf.sprintf "  \"max_instrs\": %d,\n" table2_instrs);
-  Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" (Mcsim_util.Pool.default_jobs ()));
-  Buffer.add_string buf (Printf.sprintf "  \"jobs_parallel\": %d,\n" jobs);
-  Buffer.add_string buf (Printf.sprintf "  \"serial_seconds\": %.3f,\n" serial_s);
-  Buffer.add_string buf (Printf.sprintf "  \"parallel_seconds\": %.3f,\n" parallel_s);
-  Buffer.add_string buf
-    (Printf.sprintf "  \"speedup\": %.3f,\n" (serial_s /. Float.max 1e-9 parallel_s));
-  Buffer.add_string buf
-    (Printf.sprintf "  \"rows_identical\": %b,\n" rows_identical);
-  Buffer.add_string buf "  \"benchmarks\": [\n";
-  List.iteri
-    (fun i r ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"benchmark\": %S, \"single_cycles\": %d, \"none_cycles\": %d, \
-            \"local_cycles\": %d, \"none_pct\": %.2f, \"local_pct\": %.2f}%s\n"
-           r.Mcsim.Table2.benchmark r.Mcsim.Table2.single_cycles r.Mcsim.Table2.none_cycles
-           r.Mcsim.Table2.local_cycles r.Mcsim.Table2.none_pct r.Mcsim.Table2.local_pct
-           (if i = List.length rows - 1 then "" else ",")))
-    rows;
-  Buffer.add_string buf "  ]\n}\n";
-  Out_channel.with_open_text "BENCH_table2.json" (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf));
-  print_endline "  (wrote BENCH_table2.json)"
+  write_bench_json "BENCH_table2.json" ~kind:"bench-table2" ~trace_instrs:table2_instrs
+    [ ("max_instrs", J.Int table2_instrs);
+      ("cores", J.Int (Mcsim_util.Pool.default_jobs ()));
+      ("jobs_parallel", J.Int jobs);
+      ("serial_seconds", J.Float serial_s);
+      ("parallel_seconds", J.Float parallel_s);
+      ("speedup", J.Float (serial_s /. Float.max 1e-9 parallel_s));
+      ("rows_identical", J.Bool rows_identical);
+      ("benchmarks", Mcsim.Report.table2_json rows) ]
 
 let table2 () =
   section
@@ -156,42 +153,32 @@ module Sampling = Mcsim_sampling.Sampling
 let sampling_instrs = if fast then 200_000 else 1_200_000
 
 let write_sampling_json entries =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf (Printf.sprintf "  \"trace_instrs\": %d,\n" sampling_instrs);
-  Buffer.add_string buf
-    (Printf.sprintf "  \"policy\": %S,\n" (Sampling.policy_to_string Sampling.default_policy));
   let errs = List.map (fun (_, _, _, _, _, e) -> e) entries in
   let speedups = List.map (fun (_, _, _, f, s, _) -> f /. Float.max 1e-9 s) entries in
   let total proj = List.fold_left (fun acc e -> acc +. proj e) 0.0 entries in
-  Buffer.add_string buf
-    (Printf.sprintf "  \"max_abs_ipc_error_pct\": %.3f,\n"
-       (List.fold_left Float.max 0.0 errs));
-  Buffer.add_string buf
-    (Printf.sprintf "  \"min_speedup\": %.2f,\n"
-       (List.fold_left Float.min infinity speedups));
-  Buffer.add_string buf
-    (Printf.sprintf "  \"overall_speedup\": %.2f,\n"
-       (total (fun (_, _, _, f, _, _) -> f)
-       /. Float.max 1e-9 (total (fun (_, _, _, _, s, _) -> s))));
-  Buffer.add_string buf "  \"benchmarks\": [\n";
-  List.iteri
-    (fun i (name, full_ipc, (r : Sampling.t), full_s, sampled_s, err) ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"benchmark\": %S, \"full_ipc\": %.4f, \"sampled_ipc\": %.4f, \
-            \"ci_rel_pct\": %.3f, \"abs_ipc_error_pct\": %.3f, \"full_seconds\": %.3f, \
-            \"sampled_seconds\": %.3f, \"speedup\": %.2f}%s\n"
-           name full_ipc r.Sampling.mean_ipc
-           (100.0 *. Sampling.ci_rel r)
-           err full_s sampled_s
-           (full_s /. Float.max 1e-9 sampled_s)
-           (if i = List.length entries - 1 then "" else ",")))
-    entries;
-  Buffer.add_string buf "  ]\n}\n";
-  Out_channel.with_open_text "BENCH_sampling.json" (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf));
-  print_endline "  (wrote BENCH_sampling.json)"
+  let bench (name, full_ipc, (r : Sampling.t), full_s, sampled_s, err) =
+    J.Obj
+      [ ("benchmark", J.String name);
+        ("full_ipc", J.Float full_ipc);
+        ("sampled_ipc", J.Float r.Sampling.mean_ipc);
+        ("ci_rel_pct", J.Float (100.0 *. Sampling.ci_rel r));
+        ("abs_ipc_error_pct", J.Float err);
+        ("full_seconds", J.Float full_s);
+        ("sampled_seconds", J.Float sampled_s);
+        ("speedup", J.Float (full_s /. Float.max 1e-9 sampled_s));
+        ("sampling", Mcsim_obs.Metrics.sampling_json r) ]
+  in
+  write_bench_json "BENCH_sampling.json" ~kind:"bench-sampling"
+    ~sampling:Sampling.default_policy ~trace_instrs:sampling_instrs
+    [ ("trace_instrs", J.Int sampling_instrs);
+      ("policy", J.String (Sampling.policy_to_string Sampling.default_policy));
+      ("max_abs_ipc_error_pct", J.Float (List.fold_left Float.max 0.0 errs));
+      ("min_speedup", J.Float (List.fold_left Float.min infinity speedups));
+      ( "overall_speedup",
+        J.Float
+          (total (fun (_, _, _, f, _, _) -> f)
+          /. Float.max 1e-9 (total (fun (_, _, _, _, s, _) -> s))) );
+      ("benchmarks", J.List (List.map bench entries)) ]
 
 let sampled_simulation () =
   section
@@ -257,28 +244,22 @@ let violation fmt =
   Printf.ksprintf (fun m -> violations := m :: !violations; Printf.printf "  VIOLATION: %s\n" m) fmt
 
 let write_machine_json entries ~identical ~overall_speedup =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf (Printf.sprintf "  \"trace_instrs\": %d,\n" machine_instrs);
-  Buffer.add_string buf (Printf.sprintf "  \"ipc_identical\": %b,\n" identical);
-  Buffer.add_string buf (Printf.sprintf "  \"overall_speedup\": %.3f,\n" overall_speedup);
-  Buffer.add_string buf "  \"benchmarks\": [\n";
-  List.iteri
-    (fun i (name, (r : Machine.result), scan_s, wake_s, scan_wpi, wake_wpi) ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"benchmark\": %S, \"ipc\": %.4f, \"scan_seconds\": %.3f, \
-            \"wakeup_seconds\": %.3f, \"speedup\": %.2f, \
-            \"scan_words_per_instr\": %.1f, \"wakeup_words_per_instr\": %.1f}%s\n"
-           name r.Machine.ipc scan_s wake_s
-           (scan_s /. Float.max 1e-9 wake_s)
-           scan_wpi wake_wpi
-           (if i = List.length entries - 1 then "" else ",")))
-    entries;
-  Buffer.add_string buf "  ]\n}\n";
-  Out_channel.with_open_text "BENCH_machine.json" (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf));
-  print_endline "  (wrote BENCH_machine.json)"
+  let bench (name, (r : Machine.result), scan_s, wake_s, scan_wpi, wake_wpi) =
+    J.Obj
+      [ ("benchmark", J.String name);
+        ("ipc", J.Float r.Machine.ipc);
+        ("scan_seconds", J.Float scan_s);
+        ("wakeup_seconds", J.Float wake_s);
+        ("speedup", J.Float (scan_s /. Float.max 1e-9 wake_s));
+        ("scan_words_per_instr", J.Float scan_wpi);
+        ("wakeup_words_per_instr", J.Float wake_wpi);
+        ("result", Mcsim_obs.Metrics.result_json r) ]
+  in
+  write_bench_json "BENCH_machine.json" ~kind:"bench-machine" ~trace_instrs:machine_instrs
+    [ ("trace_instrs", J.Int machine_instrs);
+      ("ipc_identical", J.Bool identical);
+      ("overall_speedup", J.Float overall_speedup);
+      ("benchmarks", J.List (List.map bench entries)) ]
 
 let engine_comparison () =
   section

@@ -59,13 +59,17 @@ let sample_arg =
   in
   Arg.(value & opt (some sample_conv) None & info [ "sample" ] ~docv:"I:W:D" ~doc)
 
-(* A trace too short for the sampling policy is a user error (bad
-   -n/--sample combination), not an internal crash. *)
-let or_sampling_error f =
-  try f ()
-  with Invalid_argument m when String.length m >= 8 && String.sub m 0 8 = "Sampling" ->
-    prerr_endline ("mcsim: " ^ m);
-    exit 1
+(* Expected library failures (cycle-limit guard, config and sampling
+   validation, unreadable files) are user errors: one line on stderr and
+   exit 1, never a backtrace. *)
+let wrap = Mcsim.Cli_errors.wrap
+
+let metrics_out_arg =
+  let doc =
+    "Also write a JSON metrics snapshot (schema_version/kind/manifest/data, see the \
+     Observability section of the README) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
 let engine_arg =
   let doc =
@@ -107,7 +111,9 @@ let four_way_arg =
        & info [ "four-way" ] ~doc:"Use the four-way-issue machine pair instead of eight-way.")
 
 let table2_cmd =
-  let run max_instrs seed benchmarks csv four_way jobs sample engine =
+  let run max_instrs seed benchmarks csv four_way jobs sample engine metrics_out =
+    wrap @@ fun () ->
+    let t_start = Unix.gettimeofday () in
     let single_config, dual_config =
       if four_way then
         (Some (Mcsim_cluster.Machine.single_cluster_4 ()),
@@ -118,9 +124,8 @@ let table2_cmd =
       Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample
     in
     let rows =
-      or_sampling_error (fun () ->
-          Mcsim.Table2.run ~jobs ~max_instrs ~seed ~benchmarks ~engine ?sampling
-            ?single_config ?dual_config ())
+      Mcsim.Table2.run ~jobs ~max_instrs ~seed ~benchmarks ~engine ?sampling
+        ?single_config ?dual_config ()
     in
     if csv then print_string (Mcsim.Report.table2_csv rows)
     else begin
@@ -134,12 +139,30 @@ let table2_cmd =
       List.iter
         (fun (ok, what) -> Printf.printf "[%s] %s\n" (if ok then "ok" else "FAIL") what)
         (Mcsim.Table2.shape_holds rows)
-    end
+    end;
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      let cfg =
+        match dual_config with
+        | Some c -> c
+        | None -> Mcsim_cluster.Machine.dual_cluster ()
+      in
+      let manifest =
+        Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
+          ~benchmark:(String.concat "," (List.map Mcsim_workload.Spec92.name benchmarks))
+          ~trace_instrs:max_instrs ?sampling cfg
+      in
+      Mcsim_obs.Metrics.write_file path
+        (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"table2"
+           ~wall_seconds:(Unix.gettimeofday () -. t_start)
+           ~extra:[ ("table2", Mcsim.Report.table2_json rows) ]
+           ())
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Run the Table-2 experiment (none/local vs single-cluster).")
     Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg
-          $ jobs_arg $ sample_arg $ engine_arg)
+          $ jobs_arg $ sample_arg $ engine_arg $ metrics_out_arg)
 
 let scenarios_cmd =
   let run () =
@@ -157,6 +180,7 @@ let figure6_cmd =
 
 let cycle_time_cmd =
   let run max_instrs seed benchmarks jobs =
+    wrap @@ fun () ->
     print_string (Mcsim.Cycle_time.break_even_example ());
     print_newline ();
     let rows = Mcsim.Table2.run ~jobs ~max_instrs ~seed ~benchmarks () in
@@ -212,7 +236,9 @@ let run_cmd =
              ~doc:"Report per-stage visit/work counters and minor-heap allocation \
                    for the simulation.")
   in
-  let run bench machine scheduler max_instrs seed engine prof =
+  let run bench machine scheduler max_instrs seed engine prof metrics_out =
+    wrap @@ fun () ->
+    let t_start = Unix.gettimeofday () in
     let prog = Mcsim_workload.Spec92.program bench in
     let profile = Mcsim_trace.Walker.profile ~seed prog in
     let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
@@ -246,16 +272,29 @@ let run_cmd =
     List.iter
       (fun (k, v) -> Printf.printf "    %-28s %d\n" k v)
       r.Mcsim_cluster.Machine.counters;
-    match counters with
+    (match counters with
     | Some p ->
       Printf.printf "  profile (%s engine):\n"
         (match engine with `Scan -> "scan" | `Wakeup -> "wakeup");
       print_string (Mcsim_util.Profile_counters.render p)
+    | None -> ());
+    match metrics_out with
     | None -> ()
+    | Some path ->
+      let manifest =
+        Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
+          ~benchmark:(Mcsim_workload.Spec92.name bench)
+          ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
+          ~trace_instrs:(Array.length trace) cfg
+      in
+      Mcsim_obs.Metrics.write_file path
+        (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"run" ~result:r ?profile:counters
+           ~wall_seconds:(Unix.gettimeofday () -. t_start)
+           ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark and dump all counters.")
     Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg
-          $ engine_arg $ profile_arg)
+          $ engine_arg $ profile_arg $ metrics_out_arg)
 
 let sample_cmd =
   let machine_arg =
@@ -271,7 +310,9 @@ let sample_cmd =
          & info [ "full" ]
              ~doc:"Also run the full detailed simulation and report the sampling error.")
   in
-  let run bench machine scheduler max_instrs seed sample full csv engine =
+  let run bench machine scheduler max_instrs seed sample full csv engine metrics_out =
+    wrap @@ fun () ->
+    let t_start = Unix.gettimeofday () in
     let policy =
       match sample with
       | Some p -> { p with Mcsim_sampling.Sampling.seed }
@@ -286,9 +327,20 @@ let sample_cmd =
       | `Single -> Mcsim_cluster.Machine.single_cluster ()
       | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
     in
-    let s =
-      or_sampling_error (fun () -> Mcsim_sampling.Sampling.run ~engine ~policy cfg trace)
-    in
+    let s = Mcsim_sampling.Sampling.run ~engine ~policy cfg trace in
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      let manifest =
+        Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
+          ~benchmark:(Mcsim_workload.Spec92.name bench)
+          ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
+          ~trace_instrs:(Array.length trace) ~sampling:policy cfg
+      in
+      Mcsim_obs.Metrics.write_file path
+        (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"sample" ~sampling:s
+           ~wall_seconds:(Unix.gettimeofday () -. t_start)
+           ()));
     if csv then print_string (Mcsim.Report.sampling_csv s)
     else begin
       Printf.printf "%s on the %s machine, %s scheduler:\n"
@@ -312,10 +364,84 @@ let sample_cmd =
     (Cmd.info "sample"
        ~doc:"Sampled simulation of one benchmark (optionally vs the full detailed run).")
     Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg
-          $ sample_arg $ full_arg $ csv_arg $ engine_arg)
+          $ sample_arg $ full_arg $ csv_arg $ engine_arg $ metrics_out_arg)
+
+let trace_cmd =
+  let machine_arg =
+    Arg.(value & opt (enum [ ("single", `Single); ("dual", `Dual) ]) `Dual
+         & info [ "machine" ] ~doc:"Machine to run on: single or dual.")
+  in
+  let scheduler_arg =
+    Arg.(value & opt scheduler_conv Mcsim_compiler.Pipeline.default_local
+         & info [ "scheduler" ] ~doc:"none, local, round-robin, or random.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Output file (default: $(b,BENCHMARK.trace.json)).")
+  in
+  let timeline_arg =
+    Arg.(value & flag
+         & info [ "timeline" ]
+             ~doc:"Also print the ASCII pipeline timeline of the same run.")
+  in
+  let counter_period_arg =
+    Arg.(value & opt (pos_int ~what:"PERIOD") 8
+         & info [ "counter-period" ] ~docv:"PERIOD"
+             ~doc:"Cycle stride between occupancy counter samples.")
+  in
+  let run bench machine scheduler max_instrs seed engine out timeline counter_period =
+    wrap @@ fun () ->
+    let prog = Mcsim_workload.Spec92.program bench in
+    let profile = Mcsim_trace.Walker.profile ~seed prog in
+    let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
+    let trace = Mcsim_trace.Walker.trace ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach in
+    let cfg =
+      match machine with
+      | `Single -> Mcsim_cluster.Machine.single_cluster ()
+      | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
+    in
+    let tx = Mcsim_obs.Trace_export.create ~counter_period cfg in
+    let tl = Mcsim.Timeline.create () in
+    let on_event e =
+      Mcsim_obs.Trace_export.observer tx e;
+      if timeline then Mcsim.Timeline.observer tl e
+    in
+    let r =
+      Mcsim_cluster.Machine.run ~engine ~on_event
+        ~on_occupancy:(Mcsim_obs.Trace_export.occupancy_observer tx)
+        ~occupancy_period:counter_period cfg trace
+    in
+    let manifest =
+      Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
+        ~benchmark:(Mcsim_workload.Spec92.name bench)
+        ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
+        ~trace_instrs:(Array.length trace) cfg
+    in
+    let path =
+      match out with
+      | Some p -> p
+      | None -> Mcsim_workload.Spec92.name bench ^ ".trace.json"
+    in
+    Mcsim_obs.Trace_export.write_file ~manifest path tx;
+    Printf.printf "wrote %s: %d instructions in %d cycles (IPC %.2f)\n" path
+      r.Mcsim_cluster.Machine.retired r.Mcsim_cluster.Machine.cycles
+      r.Mcsim_cluster.Machine.ipc;
+    print_endline "open it at https://ui.perfetto.dev or chrome://tracing";
+    if timeline then begin
+      print_newline ();
+      print_string (Mcsim.Timeline.render tl)
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one benchmark and write a Chrome-trace (Perfetto) JSON of the pipeline.")
+    Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg
+          $ engine_arg $ out_arg $ timeline_arg $ counter_period_arg)
 
 let clusters_cmd =
   let run max_instrs seed benchmarks jobs =
+    wrap @@ fun () ->
     print_string
       (Mcsim.Cluster_count.render
          (Mcsim.Cluster_count.run ~jobs ~max_instrs ~seed ~benchmarks ()))
@@ -325,7 +451,9 @@ let clusters_cmd =
     Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ jobs_arg)
 
 let reassign_cmd =
-  let run jobs = print_string (Mcsim.Reassign.render (Mcsim.Reassign.run ~jobs ())) in
+  let run jobs =
+    wrap @@ fun () -> print_string (Mcsim.Reassign.render (Mcsim.Reassign.run ~jobs ()))
+  in
   Cmd.v
     (Cmd.info "reassign"
        ~doc:"Demonstrate dynamic register reassignment (paper section 6).")
@@ -347,6 +475,7 @@ let ablate_cmd =
     Arg.(required & pos 1 (some bench_conv) None & info [] ~docv:"BENCHMARK")
   in
   let run sweep bench max_instrs jobs =
+    wrap @@ fun () ->
     let s =
       match sweep with
       | `Buffers -> Mcsim.Ablation.transfer_buffers ~jobs ~max_instrs bench
@@ -372,6 +501,7 @@ let compile_cmd =
          & info [ "scheduler" ] ~doc:"none, local, round-robin, or random.")
   in
   let run bench scheduler seed =
+    wrap @@ fun () ->
     let prog = Mcsim_workload.Spec92.program bench in
     let profile = Mcsim_trace.Walker.profile ~seed prog in
     let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
@@ -395,6 +525,7 @@ let simulate_cmd =
          & info [ "machine" ] ~doc:"Machine to run on.")
   in
   let run file machine max_instrs seed =
+    wrap @@ fun () ->
     let text = In_channel.with_open_text file In_channel.input_all in
     match Mcsim_compiler.Mach_text.parse text with
     | Error e ->
@@ -419,10 +550,10 @@ let simulate_cmd =
 
 let () =
   let doc = "Multicluster architecture simulator (Farkas, Chow, Jouppi & Vranesic, MICRO-30)." in
-  let info = Cmd.info "mcsim" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "mcsim" ~version:Mcsim_obs.Manifest.mcsim_version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [ table1_cmd; table2_cmd; scenarios_cmd; figure6_cmd; cycle_time_cmd; workloads_cmd;
-            run_cmd; sample_cmd; ablate_cmd; reassign_cmd; clusters_cmd; compile_cmd;
-            simulate_cmd ]))
+            run_cmd; sample_cmd; trace_cmd; ablate_cmd; reassign_cmd; clusters_cmd;
+            compile_cmd; simulate_cmd ]))

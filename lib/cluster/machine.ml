@@ -259,6 +259,14 @@ type fetched = {
   f_mispred : bool;
 }
 
+type occupancy = {
+  oc_cycle : int;
+  oc_rob : int;
+  oc_dispatch_queues : int array;
+  oc_operand_buffers : int array;
+  oc_result_buffers : int array;
+}
+
 (* The counters bumped once (or more) per instruction, interned as live
    cells at [init_state] so the hot path pays a plain [incr] instead of a
    string hash per event. They remain ordinary members of [ctrs]. *)
@@ -299,6 +307,8 @@ type state = {
   observed : bool;
       (** an event sink is attached; [Ev_*] records are only constructed
           when this is set, so unobserved runs allocate no events *)
+  on_occupancy : (occupancy -> unit) option;
+  occupancy_period : int;  (** cycles between occupancy samples *)
   prof : Profile_counters.t option;
   src_wheel : copy Bucket_queue.t;
       (** wakeup engine: copies scheduled at the cycle one of their
@@ -1265,8 +1275,10 @@ let build_clusters cfg assignment =
         operand_buf = Transfer_buffer.create ~entries:cfg.operand_buffer_entries;
         result_buf = Transfer_buffer.create ~entries:cfg.result_buffer_entries })
 
-let init_state ?(engine = `Wakeup) ?profile ?on_event cfg =
+let init_state ?(engine = `Wakeup) ?profile ?on_event ?on_occupancy ?(occupancy_period = 16)
+    cfg =
   validate_config cfg;
+  if occupancy_period < 1 then invalid_arg "Machine: occupancy_period < 1";
   let observed, emit =
     match on_event with Some f -> (true, f) | None -> (false, fun (_ : event) -> ())
   in
@@ -1305,6 +1317,8 @@ let init_state ?(engine = `Wakeup) ?profile ?on_event cfg =
     hot;
     emit;
     observed;
+    on_occupancy;
+    occupancy_period;
     prof = profile;
     src_wheel = Bucket_queue.create ~capacity:256 ();
     wake_wheel = Bucket_queue.create ~capacity:64 ();
@@ -1395,6 +1409,18 @@ let head_starvation_check st =
     st.head_blocked <- (-1, 0)
   end
 
+(* Occupancy snapshot for the sampling sink: ROB entries, waiting
+   dispatch-queue entries and in-use transfer-buffer entries per cluster.
+   Only built when a sink is attached, so unobserved runs allocate
+   nothing here. *)
+let occupancy_snapshot st =
+  let in_use buf = Transfer_buffer.entries buf - Transfer_buffer.available buf ~cycle:st.cycle in
+  { oc_cycle = st.cycle;
+    oc_rob = Deque.length st.rob;
+    oc_dispatch_queues = Array.map total_waiting st.clusters;
+    oc_operand_buffers = Array.map (fun cl -> in_use cl.operand_buf) st.clusters;
+    oc_result_buffers = Array.map (fun cl -> in_use cl.result_buf) st.clusters }
+
 let run_loop ?(on_cycle = fun () -> ()) st ~max_cycles =
   let finished () =
     st.trace_idx >= Array.length st.trace
@@ -1448,6 +1474,9 @@ let run_loop ?(on_cycle = fun () -> ()) st ~max_cycles =
     end
     else st.stall_cycles <- 0;
     head_starvation_check st;
+    (match st.on_occupancy with
+    | Some f when st.cycle mod st.occupancy_period = 0 -> f (occupancy_snapshot st)
+    | Some _ | None -> ());
     on_cycle ();
     st.cycle <- st.cycle + 1
   done
@@ -1487,8 +1516,9 @@ let finish_result st =
     counters = Stats.lookup_to_alist counter_lookup;
     counter_lookup }
 
-let run_phased ?engine ?profile ?on_event ?(max_cycles = 200_000_000) cfg phases =
-  let st = init_state ?engine ?profile ?on_event cfg in
+let run_phased ?engine ?profile ?on_event ?on_occupancy ?occupancy_period
+    ?(max_cycles = 200_000_000) cfg phases =
+  let st = init_state ?engine ?profile ?on_event ?on_occupancy ?occupancy_period cfg in
   List.iter
     (fun (assignment, trace) ->
       load_phase st assignment trace;
@@ -1496,8 +1526,9 @@ let run_phased ?engine ?profile ?on_event ?(max_cycles = 200_000_000) cfg phases
     phases;
   finish_result st
 
-let run ?engine ?profile ?on_event ?max_cycles cfg trace =
-  run_phased ?engine ?profile ?on_event ?max_cycles cfg [ (cfg.assignment, trace) ]
+let run ?engine ?profile ?on_event ?on_occupancy ?occupancy_period ?max_cycles cfg trace =
+  run_phased ?engine ?profile ?on_event ?on_occupancy ?occupancy_period ?max_cycles cfg
+    [ (cfg.assignment, trace) ]
 
 (* ------------------------------------------------------------------ *)
 (* Resumable-state API: functional warming and detailed intervals      *)

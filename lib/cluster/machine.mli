@@ -139,6 +139,17 @@ type event =
 
 val pp_event : Format.formatter -> event -> unit
 
+(** A periodic snapshot of the machine's queue state, for occupancy
+    tracking over time (counter tracks in {!Mcsim_obs.Trace_export}).
+    Arrays are indexed by cluster. *)
+type occupancy = {
+  oc_cycle : int;
+  oc_rob : int;  (** groups in flight (all clusters share one ROB) *)
+  oc_dispatch_queues : int array;  (** waiting entries, all queues of the cluster *)
+  oc_operand_buffers : int array;  (** in-use operand transfer-buffer entries *)
+  oc_result_buffers : int array;  (** in-use result transfer-buffer entries *)
+}
+
 type result = {
   cycles : int;
   retired : int;
@@ -165,6 +176,8 @@ val run :
   ?engine:engine ->
   ?profile:Mcsim_util.Profile_counters.t ->
   ?on_event:(event -> unit) ->
+  ?on_occupancy:(occupancy -> unit) ->
+  ?occupancy_period:int ->
   ?max_cycles:int ->
   config ->
   Mcsim_isa.Instr.dynamic array ->
@@ -172,14 +185,18 @@ val run :
 (** Simulate the full trace. [engine] defaults to [`Wakeup]; results are
     identical either way. [profile] accumulates per-stage counters (see
     {!profile_counters}). When no [on_event] sink is attached, event
-    records are never constructed. @raise Failure if [max_cycles]
-    (default 200_000_000) elapses first — a model bug, not a user
-    error. *)
+    records are never constructed. [on_occupancy] receives an
+    {!occupancy} snapshot every [occupancy_period] cycles (default 16;
+    must be >= 1); with no sink, snapshots are never built.
+    @raise Failure if [max_cycles] (default 200_000_000) elapses first —
+    a model bug, not a user error. *)
 
 val run_phased :
   ?engine:engine ->
   ?profile:Mcsim_util.Profile_counters.t ->
   ?on_event:(event -> unit) ->
+  ?on_occupancy:(occupancy -> unit) ->
+  ?occupancy_period:int ->
   ?max_cycles:int ->
   config ->
   (Assignment.t * Mcsim_isa.Instr.dynamic array) list ->
@@ -218,10 +235,13 @@ val init_state :
   ?engine:engine ->
   ?profile:Mcsim_util.Profile_counters.t ->
   ?on_event:(event -> unit) ->
+  ?on_occupancy:(occupancy -> unit) ->
+  ?occupancy_period:int ->
   config ->
   state
 (** A fresh machine at cycle 0. [engine] defaults to [`Wakeup].
-    @raise Invalid_argument as {!validate_config}. *)
+    @raise Invalid_argument as {!validate_config}, or if
+    [occupancy_period < 1]. *)
 
 val warm : state -> Mcsim_isa.Instr.dynamic array -> lo:int -> hi:int -> unit
 (** Functional warming over [trace.(lo) .. trace.(hi - 1)]: the i-cache

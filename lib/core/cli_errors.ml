@@ -1,0 +1,20 @@
+let message = function
+  | Failure msg -> Some msg
+  | Invalid_argument msg -> Some msg
+  | Sys_error msg -> Some msg
+  | _ -> None
+
+let handle f =
+  match f () with
+  | v -> Ok v
+  | exception e -> (
+    match message e with
+    | Some msg -> Error (Printf.sprintf "mcsim: error: %s" msg)
+    | None -> raise e)
+
+let wrap f =
+  match handle f with
+  | Ok v -> v
+  | Error line ->
+    prerr_endline line;
+    exit 1

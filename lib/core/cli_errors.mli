@@ -1,0 +1,21 @@
+(** One-line CLI error reporting.
+
+    Library code signals expected failures with [Failure] (e.g. the
+    machine's cycle-limit guard) and [Invalid_argument] (config
+    validation); [Sys_error] covers unreadable/unwritable files. A
+    command-line user should see one [mcsim: error: ...] line and exit
+    code 1 for these, not a raw exception with a backtrace. Genuinely
+    unexpected exceptions still escape unchanged — a backtrace is the
+    right output for a bug. *)
+
+val message : exn -> string option
+(** The user-facing message for an expected exception ([Failure],
+    [Invalid_argument], [Sys_error]); [None] for anything else. *)
+
+val handle : (unit -> 'a) -> ('a, string) result
+(** Run a thunk; expected exceptions become [Error "mcsim: error: ..."]
+    (one line, no trailing newline), others re-raise. *)
+
+val wrap : (unit -> 'a) -> 'a
+(** {!handle}, with [Error] printed to stderr followed by [exit 1].
+    Wrap every subcommand body in this. *)

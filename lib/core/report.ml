@@ -1,5 +1,5 @@
 let csv_escape s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
@@ -47,6 +47,30 @@ let table2_markdown rows =
            Printf.sprintf "| %s | %+.1f | %s | %+.1f | %s |\n" r.Table2.benchmark
              r.Table2.none_pct p_none r.Table2.local_pct p_local)
          rows)
+
+let table2_json rows =
+  let module J = Mcsim_obs.Json in
+  let paper_num v = J.Float v in
+  J.List
+    (List.map
+       (fun (r : Table2.row) ->
+         let p_none, p_local =
+           match List.find_opt (fun (n, _, _) -> n = r.Table2.benchmark) Table2.paper with
+           | Some (_, a, b) -> (paper_num a, paper_num b)
+           | None -> (J.Null, J.Null)
+         in
+         J.Obj
+           [ ("benchmark", J.String r.Table2.benchmark);
+             ("none_pct", J.Float r.Table2.none_pct);
+             ("none_pct_paper", p_none);
+             ("local_pct", J.Float r.Table2.local_pct);
+             ("local_pct_paper", p_local);
+             ("single_cycles", J.Int r.Table2.single_cycles);
+             ("none_cycles", J.Int r.Table2.none_cycles);
+             ("local_cycles", J.Int r.Table2.local_cycles);
+             ("none_replays", J.Int r.Table2.none_replays);
+             ("local_replays", J.Int r.Table2.local_replays) ])
+       rows)
 
 let ablation_csv (s : Ablation.sweep) =
   line [ "benchmark"; "sweep"; "point"; "cycles"; "speedup_pct"; "replays"; "dual_distributed" ]

@@ -54,6 +54,8 @@ let record ?max_cycles cfg trace =
   (t, result)
 
 let render ?(first_seq = min_int) ?(last_seq = max_int) ?(max_width = 100) t =
+  if max_width <= 0 then
+    invalid_arg (Printf.sprintf "Timeline.render: max_width = %d (must be > 0)" max_width);
   let keys =
     List.rev t.order
     |> List.filter (fun (seq, _) -> seq >= first_seq && seq <= last_seq)

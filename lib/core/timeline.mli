@@ -34,4 +34,6 @@ val render :
   ?first_seq:int -> ?last_seq:int -> ?max_width:int -> t -> string
 (** Rows for instructions in [\[first_seq, last_seq\]] (defaults:
     everything recorded); columns clipped to [max_width] (default 100)
-    cycles starting at the earliest event of the selected rows. *)
+    cycles starting at the earliest event of the selected rows. When the
+    selection contains no events the result is ["(no events)\n"].
+    @raise Invalid_argument if [max_width <= 0]. *)

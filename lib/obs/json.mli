@@ -1,0 +1,51 @@
+(** A minimal JSON tree: constructor, serializer and parser.
+
+    The observability layer writes Chrome-trace and metrics files and the
+    tests read them back; depending on an external JSON package for that
+    would be the only third-party runtime dependency of the whole
+    simulator, so this ~200-line subset is kept in-tree instead. It
+    covers exactly RFC 8259 with two deliberate restrictions: object keys
+    are kept in insertion order (serialization is deterministic), and
+    numbers parse as [Int] when they look integral ([-?[0-9]+]) and as
+    [Float] otherwise, so a serialize/parse round trip is the identity on
+    trees the serializer can produce. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Serialize. Two-space indentation unless [minify] (default false).
+    Floats print with the shortest precision that parses back to the
+    same value (NaN and infinities as [null] — JSON has no spelling for
+    them); strings escape double quotes, backslashes, control characters
+    and nothing else. *)
+
+val write_file : string -> t -> string -> unit
+(** [write_file path json trailer] writes [to_string json ^ trailer]
+    (pass ["\n"] for a trailing newline). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error.
+    Errors are one-line messages with a character offset. *)
+
+(** {2 Tree queries} — conveniences for tests and validators. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on absent fields and non-objects. *)
+
+val path : string list -> t -> t option
+(** Nested {!member}. *)
+
+val to_list : t -> t list
+(** The elements of a [List]; [] otherwise. *)
+
+val get_int : t -> int option
+(** [Int n] (or integral [Float]); [None] otherwise. *)
+
+val get_string : t -> string option

@@ -1,0 +1,89 @@
+module Machine = Mcsim_cluster.Machine
+module Assignment = Mcsim_cluster.Assignment
+module Cache = Mcsim_cache.Cache
+module Reg = Mcsim_isa.Reg
+
+type t = {
+  mcsim_version : string;
+  schema_version : int;
+  created_unix : float;
+  engine : string;
+  seed : int option;
+  benchmark : string option;
+  scheduler : string option;
+  trace_instrs : int option;
+  sampling : string option;
+  config_desc : string;
+  config_digest : string;
+}
+
+let mcsim_version = "1.0.0"
+let schema_version = 1
+
+let engine_name : Machine.engine -> string = function
+  | `Scan -> "scan"
+  | `Wakeup -> "wakeup"
+
+let cache_description (c : Cache.config) =
+  Printf.sprintf "%dB/%dway/%dB-line/%dcyc/%s" c.Cache.size_bytes c.Cache.assoc
+    c.Cache.line_bytes c.Cache.miss_latency
+    (match c.Cache.mshrs with None -> "inverted" | Some n -> string_of_int n ^ "mshr")
+
+let config_description (cfg : Machine.config) =
+  let asg = cfg.Machine.assignment in
+  let globals =
+    Assignment.globals asg |> List.map Reg.to_string |> String.concat ","
+  in
+  let p = cfg.Machine.predictor in
+  Printf.sprintf
+    "clusters=%d;globals=[%s];dq=%d;phys=%d;fetch=%d;dispatch=%d;retire=%d;limits=%s;\
+     queues=%s;operand_buf=%d;result_buf=%d;icache=%s;dcache=%s;predictor=%d/%d/%d/%d;\
+     redirect=%d;replay=%d:%d"
+    (Assignment.num_clusters asg)
+    globals cfg.Machine.dq_entries cfg.Machine.phys_per_bank cfg.Machine.fetch_width
+    cfg.Machine.dispatch_width cfg.Machine.retire_width
+    (Format.asprintf "%a" Mcsim_isa.Issue_rules.pp cfg.Machine.issue_limits)
+    (match cfg.Machine.queue_split with
+    | Machine.Unified -> "unified"
+    | Machine.Per_class -> "per-class")
+    cfg.Machine.operand_buffer_entries cfg.Machine.result_buffer_entries
+    (cache_description cfg.Machine.icache)
+    (cache_description cfg.Machine.dcache)
+    p.Mcsim_branch.Mcfarling.bimodal_bits p.Mcsim_branch.Mcfarling.global_bits
+    p.Mcsim_branch.Mcfarling.choice_bits p.Mcsim_branch.Mcfarling.history_bits
+    cfg.Machine.redirect_penalty cfg.Machine.replay_threshold cfg.Machine.replay_penalty
+
+let make ?(created_unix = 0.0) ?(engine = `Wakeup) ?seed ?benchmark ?scheduler ?trace_instrs
+    ?sampling cfg =
+  let config_desc = config_description cfg in
+  { mcsim_version;
+    schema_version;
+    created_unix;
+    engine = engine_name engine;
+    seed;
+    benchmark;
+    scheduler;
+    trace_instrs;
+    sampling = Option.map Mcsim_sampling.Sampling.policy_to_string sampling;
+    config_desc;
+    config_digest = Digest.to_hex (Digest.string config_desc) }
+
+let opt f = function None -> Json.Null | Some v -> f v
+
+let to_json t =
+  Json.Obj
+    [ ("mcsim_version", Json.String t.mcsim_version);
+      ("schema_version", Json.Int t.schema_version);
+      ("created_unix", Json.Float t.created_unix);
+      ("engine", Json.String t.engine);
+      ("seed", opt (fun n -> Json.Int n) t.seed);
+      ("benchmark", opt (fun s -> Json.String s) t.benchmark);
+      ("scheduler", opt (fun s -> Json.String s) t.scheduler);
+      ("trace_instrs", opt (fun n -> Json.Int n) t.trace_instrs);
+      ("sampling", opt (fun s -> Json.String s) t.sampling);
+      ("config_desc", Json.String t.config_desc);
+      ("config_digest", Json.String t.config_digest) ]
+
+let required_keys =
+  [ "mcsim_version"; "schema_version"; "created_unix"; "engine"; "seed"; "benchmark";
+    "scheduler"; "trace_instrs"; "sampling"; "config_desc"; "config_digest" ]

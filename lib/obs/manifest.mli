@@ -1,0 +1,52 @@
+(** Run provenance, embedded in every trace and metrics file.
+
+    A manifest pins down what produced an artifact: the mcsim version,
+    the machine configuration (as a human-readable description plus an
+    MD5 digest for cheap equality checks), the seed, the issue engine,
+    the sampling policy if any, and a hostname-free creation timestamp.
+    Two runs with equal [config_digest], [seed], [engine] and [sampling]
+    are reproductions of each other. *)
+
+type t = {
+  mcsim_version : string;
+  schema_version : int;
+  created_unix : float;
+      (** seconds since the epoch; 0 when the producer did not stamp the
+          run (library-internal runs stay deterministic) *)
+  engine : string;  (** ["scan"] or ["wakeup"] *)
+  seed : int option;
+  benchmark : string option;
+  scheduler : string option;
+  trace_instrs : int option;
+  sampling : string option;  (** policy as ["interval:warmup:detail"] *)
+  config_desc : string;  (** canonical one-line machine description *)
+  config_digest : string;  (** MD5 hex of [config_desc] *)
+}
+
+val mcsim_version : string
+val schema_version : int
+
+val engine_name : Mcsim_cluster.Machine.engine -> string
+
+val config_description : Mcsim_cluster.Machine.config -> string
+(** Canonical rendering of every timing-relevant config field; equal
+    configurations produce equal strings. *)
+
+val make :
+  ?created_unix:float ->
+  ?engine:Mcsim_cluster.Machine.engine ->
+  ?seed:int ->
+  ?benchmark:string ->
+  ?scheduler:string ->
+  ?trace_instrs:int ->
+  ?sampling:Mcsim_sampling.Sampling.policy ->
+  Mcsim_cluster.Machine.config ->
+  t
+(** [engine] defaults to [`Wakeup] (the machine's own default);
+    [created_unix] to 0 (pass [Unix.time ()] at the CLI). *)
+
+val to_json : t -> Json.t
+(** Every field, absent options as [null]. *)
+
+val required_keys : string list
+(** The keys {!to_json} always emits — what validators check. *)

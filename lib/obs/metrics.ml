@@ -1,0 +1,84 @@
+module Machine = Mcsim_cluster.Machine
+module Profile_counters = Mcsim_util.Profile_counters
+module Sampling = Mcsim_sampling.Sampling
+
+let result_json (r : Machine.result) =
+  Json.Obj
+    [ ("cycles", Json.Int r.Machine.cycles);
+      ("retired", Json.Int r.Machine.retired);
+      ("ipc", Json.Float r.Machine.ipc);
+      ("single_distributed", Json.Int r.Machine.single_distributed);
+      ("dual_distributed", Json.Int r.Machine.dual_distributed);
+      ("replays", Json.Int r.Machine.replays);
+      ("branch_accuracy", Json.Float r.Machine.branch_accuracy);
+      ("icache_miss_rate", Json.Float r.Machine.icache_miss_rate);
+      ("dcache_miss_rate", Json.Float r.Machine.dcache_miss_rate);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.Machine.counters)) ]
+
+let profile_json (p : Profile_counters.t) =
+  let stages =
+    List.init (Profile_counters.n_stages p) (fun i ->
+        Json.Obj
+          [ ("name", Json.String (Profile_counters.stage_name p i));
+            ("visits", Json.Int (Profile_counters.visits p i));
+            ("work", Json.Int (Profile_counters.work p i));
+            ("alloc_words", Json.Float (Profile_counters.alloc p i)) ])
+  in
+  Json.Obj
+    [ ("cycles", Json.Int (Profile_counters.cycles p));
+      ("minor_words", Json.Float (Profile_counters.minor_words p));
+      ("stages", Json.List stages) ]
+
+let sampling_json (s : Sampling.t) =
+  let interval (iv : Sampling.interval_stat) =
+    Json.Obj
+      [ ("index", Json.Int iv.Sampling.index);
+        ("start", Json.Int iv.Sampling.start);
+        ("warmup_cycles", Json.Int iv.Sampling.warmup_cycles);
+        ("detail_cycles", Json.Int iv.Sampling.detail_cycles);
+        ("detail_instrs", Json.Int iv.Sampling.detail_instrs);
+        ("ipc", Json.Float iv.Sampling.ipc) ]
+  in
+  Json.Obj
+    [ ("policy", Json.String (Sampling.policy_to_string s.Sampling.policy));
+      ("trace_instrs", Json.Int s.Sampling.trace_instrs);
+      ("mean_ipc", Json.Float s.Sampling.mean_ipc);
+      ("ci_halfwidth", Json.Float s.Sampling.ci_halfwidth);
+      ("ci_rel", Json.Float (Sampling.ci_rel s));
+      ("est_cycles", Json.Int s.Sampling.est_cycles);
+      ("detailed_instrs", Json.Int s.Sampling.detailed_instrs);
+      ("warmed_instrs", Json.Int s.Sampling.warmed_instrs);
+      ("detailed_fraction", Json.Float (Sampling.detailed_fraction s));
+      ("intervals", Json.List (List.map interval s.Sampling.intervals)) ]
+
+let gc_json () =
+  let s = Gc.quick_stat () in
+  Json.Obj
+    [ ("minor_words", Json.Float s.Gc.minor_words);
+      ("promoted_words", Json.Float s.Gc.promoted_words);
+      ("major_words", Json.Float s.Gc.major_words);
+      ("minor_collections", Json.Int s.Gc.minor_collections);
+      ("major_collections", Json.Int s.Gc.major_collections);
+      ("heap_words", Json.Int s.Gc.heap_words) ]
+
+let required_keys = [ "schema_version"; "kind"; "manifest"; "data" ]
+
+let opt f = function None -> Json.Null | Some v -> f v
+
+let snapshot ~manifest ~kind ?result ?profile ?sampling ?wall_seconds ?(gc = true)
+    ?(extra = []) () =
+  let data =
+    [ ("result", opt result_json result);
+      ("profile", opt profile_json profile);
+      ("sampling", opt sampling_json sampling);
+      ("wall_seconds", opt (fun s -> Json.Float s) wall_seconds);
+      ("gc", if gc then gc_json () else Json.Null) ]
+    @ extra
+  in
+  Json.Obj
+    [ ("schema_version", Json.Int Manifest.schema_version);
+      ("kind", Json.String kind);
+      ("manifest", Manifest.to_json manifest);
+      ("data", Json.Obj data) ]
+
+let write_file path v = Json.write_file path v "\n"

@@ -1,0 +1,52 @@
+(** The unified metrics snapshot: one JSON schema for every metrics
+    artifact the simulator emits — [--metrics-out] on the CLI, the
+    [BENCH_*.json] files of the bench harness, and test fixtures.
+
+    Every snapshot has the same top level:
+
+    {v
+    { "schema_version": 1,
+      "kind": "run" | "sample" | "table2" | ...,
+      "manifest": { ... run provenance, see Manifest ... },
+      "data": { "result": ..., "profile": ..., "sampling": ...,
+                "wall_seconds": ..., "gc": ..., <kind-specific extras> } }
+    v}
+
+    [data] members are [null] when the producing run did not collect
+    them; kind-specific extras (e.g. Table-2 rows) ride alongside the
+    common ones. *)
+
+val result_json : Mcsim_cluster.Machine.result -> Json.t
+(** Cycles, retired, IPC, distribution/replay counts, rates, and every
+    named counter (as one [counters] object, sorted by name). *)
+
+val profile_json : Mcsim_util.Profile_counters.t -> Json.t
+(** Cycles, total minor words, and per-stage visits/work/alloc. *)
+
+val sampling_json : Mcsim_sampling.Sampling.t -> Json.t
+(** Policy, coverage, mean IPC, CI, estimated cycles and per-interval
+    observations. *)
+
+val gc_json : unit -> Json.t
+(** A [Gc.quick_stat] snapshot of the current process. *)
+
+val snapshot :
+  manifest:Manifest.t ->
+  kind:string ->
+  ?result:Mcsim_cluster.Machine.result ->
+  ?profile:Mcsim_util.Profile_counters.t ->
+  ?sampling:Mcsim_sampling.Sampling.t ->
+  ?wall_seconds:float ->
+  ?gc:bool ->
+  ?extra:(string * Json.t) list ->
+  unit ->
+  Json.t
+(** Assemble one snapshot. [gc] (default true) includes {!gc_json};
+    [extra] fields are appended to [data] in order. *)
+
+val required_keys : string list
+(** Top-level keys every snapshot carries:
+    [["schema_version"; "kind"; "manifest"; "data"]]. *)
+
+val write_file : string -> Json.t -> unit
+(** Write with a trailing newline. *)

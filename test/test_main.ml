@@ -19,5 +19,6 @@ let () =
       Test_format.suite;
       Test_report.suite;
       Test_golden.suite;
+      Test_obs.suite;
       Test_crossval.suite;
       Test_parallel.suite ]

@@ -15,7 +15,11 @@ let sample_rows =
 let csv_escape () =
   check Alcotest.string "plain" "abc" (Report.csv_escape "abc");
   check Alcotest.string "comma" "\"a,b\"" (Report.csv_escape "a,b");
-  check Alcotest.string "quote" "\"a\"\"b\"" (Report.csv_escape "a\"b")
+  check Alcotest.string "quote" "\"a\"\"b\"" (Report.csv_escape "a\"b");
+  check Alcotest.string "newline" "\"a\nb\"" (Report.csv_escape "a\nb");
+  check Alcotest.string "carriage return" "\"a\rb\"" (Report.csv_escape "a\rb");
+  check Alcotest.string "crlf" "\"a\r\nb\"" (Report.csv_escape "a\r\nb");
+  check Alcotest.string "empty" "" (Report.csv_escape "")
 
 let table2_csv () =
   let csv = Report.table2_csv sample_rows in
