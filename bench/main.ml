@@ -345,6 +345,101 @@ let ablations () =
   show (Mcsim.Ablation.unrolling_kernel ~max_instrs:ablation_instrs ())
 
 (* ------------------------------------------------------------------ *)
+(* Durability: checkpoint/resume and retry under injected faults       *)
+(* ------------------------------------------------------------------ *)
+
+let durable_instrs = if fast then 10_000 else 30_000
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let durable () =
+  section
+    (Printf.sprintf
+       "Durability - checkpoint/resume and fault injection (%d-instruction traces)"
+       durable_instrs);
+  let benchmarks = [ Spec92.Compress; Spec92.Ora; Spec92.Doduc ] in
+  let names = String.concat "," (List.map Spec92.name benchmarks) in
+  let clean, clean_s =
+    wall (fun () -> Mcsim.Table2.run ~max_instrs:durable_instrs ~benchmarks ())
+  in
+  Printf.printf "clean sweep of %s: %.2fs\n" names clean_s;
+  (* 1. Transient faults: with a 40%% per-attempt injected fault rate and
+     three retries, the sweep must still complete with identical rows. *)
+  let dir_transient = Filename.temp_dir "mcsim-bench-durable" "-transient" in
+  let retried, retried_s =
+    wall (fun () ->
+        Mcsim.Table2.run ~max_instrs:durable_instrs ~benchmarks ~retries:3
+          ~backoff:Mcsim_util.Pool.no_backoff
+          ~inject_fault:(fun ~job ~attempt ->
+            Mcsim_util.Pool.seeded_faults ~seed:42 ~rate:0.4 ~job ~attempt)
+          ~checkpoint:dir_transient ())
+  in
+  let retried_identical = retried = clean in
+  Printf.printf "with 40%% transient faults and 3 retries: %.2fs, rows %s\n" retried_s
+    (if retried_identical then "identical" else "DIFFER");
+  if not retried_identical then
+    violation "durable: rows under transient faults differ from the clean sweep";
+  (* 2. A permanent fault kills some units; the sweep degrades to
+     per-benchmark failures instead of aborting, and a later resume of
+     the same checkpoint completes the missing work. *)
+  let dir_resume = Filename.temp_dir "mcsim-bench-durable" "-resume" in
+  let first =
+    Mcsim.Table2.run_report ~max_instrs:durable_instrs ~benchmarks
+      ~inject_fault:(fun ~job ~attempt:_ -> job = 0)
+      ~checkpoint:dir_resume ()
+  in
+  Printf.printf
+    "with a permanent fault on job 0: %d row(s) completed, %d benchmark(s) failed\n"
+    (List.length first.Mcsim.Table2.rows)
+    (List.length first.Mcsim.Table2.failed);
+  if first.Mcsim.Table2.failed = [] then
+    violation "durable: permanent fault did not surface as a failed benchmark";
+  let resumed, resume_s =
+    wall (fun () ->
+        Mcsim.Table2.run ~max_instrs:durable_instrs ~benchmarks ~checkpoint:dir_resume ())
+  in
+  let resume_identical = resumed = clean in
+  Printf.printf "resume of the partial checkpoint: %.2fs, rows %s\n" resume_s
+    (if resume_identical then "identical" else "DIFFER");
+  if not resume_identical then
+    violation "durable: resumed rows differ from the clean sweep";
+  (* 3. A complete checkpoint never recomputes: rerunning against it with
+     an always-failing injector must still return the clean rows. *)
+  let cached, cached_s =
+    wall (fun () ->
+        Mcsim.Table2.run ~max_instrs:durable_instrs ~benchmarks
+          ~inject_fault:(fun ~job:_ ~attempt:_ -> true)
+          ~checkpoint:dir_transient ())
+  in
+  let cached_identical = cached = clean in
+  Printf.printf "reload of the complete checkpoint: %.2fs, rows %s\n" cached_s
+    (if cached_identical then "identical (no unit recomputed)" else "DIFFER");
+  if not cached_identical then
+    violation "durable: reloading a complete checkpoint recomputed or diverged";
+  remove_tree dir_transient;
+  remove_tree dir_resume;
+  write_bench_json "BENCH_durable.json" ~kind:"bench-durable"
+    ~trace_instrs:durable_instrs
+    [ ("max_instrs", J.Int durable_instrs);
+      ("benchmarks", J.String names);
+      ("clean_seconds", J.Float clean_s);
+      ("transient_seconds", J.Float retried_s);
+      ("transient_identical", J.Bool retried_identical);
+      ("failed_first_pass",
+       J.List
+         (List.map (fun (b, _) -> J.String b) first.Mcsim.Table2.failed));
+      ("resume_seconds", J.Float resume_s);
+      ("resume_identical", J.Bool resume_identical);
+      ("cached_seconds", J.Float cached_s);
+      ("cached_identical", J.Bool cached_identical);
+      ("rows", Mcsim.Report.table2_json clean) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -450,8 +545,11 @@ let () =
   | Some "machine" ->
     engine_comparison ();
     finish ()
+  | Some "durable" ->
+    durable ();
+    finish ()
   | Some other ->
-    Printf.eprintf "unknown MCSIM_BENCH_ONLY=%s (known: machine)\n" other;
+    Printf.eprintf "unknown MCSIM_BENCH_ONLY=%s (known: machine, durable)\n" other;
     exit 2
   | None ->
     table1 ();
@@ -465,5 +563,6 @@ let () =
     sampled_simulation ();
     engine_comparison ();
     ablations ();
+    durable ();
     microbenchmarks ();
     finish ()

@@ -60,9 +60,36 @@ let sample_arg =
   Arg.(value & opt (some sample_conv) None & info [ "sample" ] ~docv:"I:W:D" ~doc)
 
 (* Expected library failures (cycle-limit guard, config and sampling
-   validation, unreadable files) are user errors: one line on stderr and
-   exit 1, never a backtrace. *)
+   validation, unreadable files, stale checkpoints) are user errors: one
+   line on stderr and exit 1, never a backtrace. *)
 let wrap = Mcsim.Cli_errors.wrap
+
+module Json = Mcsim_obs.Json
+
+let nonneg_int ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "%s must be a non-negative integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let retries_arg =
+  let doc =
+    "Retry each failed simulation unit up to $(docv) more times (with a deterministic \
+     doubling backoff) before declaring it permanently failed."
+  in
+  Arg.(value & opt (nonneg_int ~what:"RETRIES") 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Durable checkpoint directory: record every completed simulation unit under \
+     $(docv) and skip units already recorded there, so an interrupted run can be \
+     finished by rerunning the same command or by $(b,mcsim resume) $(docv). The \
+     directory is refused if it was written by a different configuration."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
 
 let metrics_out_arg =
   let doc =
@@ -110,59 +137,118 @@ let four_way_arg =
   Arg.(value & flag
        & info [ "four-way" ] ~doc:"Use the four-way-issue machine pair instead of eight-way.")
 
+(* The body of the table2 command, shared with `mcsim resume`. *)
+let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engine
+    ~metrics_out ~retries ~checkpoint () =
+  let t_start = Unix.gettimeofday () in
+  let single_config, dual_config =
+    if four_way then
+      (Some (Mcsim_cluster.Machine.single_cluster_4 ()),
+       Some (Mcsim_cluster.Machine.dual_cluster_2x2 ()))
+    else (None, None)
+  in
+  let sampling = Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample in
+  let report =
+    Mcsim.Table2.run_report ~jobs ~max_instrs ~seed ~benchmarks ~engine ?sampling
+      ?single_config ?dual_config ~retries ?checkpoint ()
+  in
+  let rows = report.Mcsim.Table2.rows in
+  List.iter
+    (fun (b, msg) -> Printf.eprintf "[FAILED] %s: %s\n%!" b msg)
+    report.Mcsim.Table2.failed;
+  if csv then print_string (Mcsim.Report.table2_csv rows)
+  else begin
+    (match sampling with
+    | Some p ->
+      Printf.printf "(sampled: policy %s, cycle columns are extrapolations)\n"
+        (Mcsim_sampling.Sampling.policy_to_string p)
+    | None -> ());
+    print_string (Mcsim.Table2.render rows);
+    print_newline ();
+    List.iter
+      (fun (ok, what) -> Printf.printf "[%s] %s\n" (if ok then "ok" else "FAIL") what)
+      (Mcsim.Table2.shape_holds rows)
+  end;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    let cfg =
+      match dual_config with
+      | Some c -> c
+      | None -> Mcsim_cluster.Machine.dual_cluster ()
+    in
+    let manifest =
+      Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
+        ~benchmark:(String.concat "," (List.map Mcsim_workload.Spec92.name benchmarks))
+        ~trace_instrs:max_instrs ?sampling cfg
+    in
+    Mcsim_obs.Metrics.write_file path
+      (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"table2"
+         ~wall_seconds:(Unix.gettimeofday () -. t_start)
+         ~extra:[ ("table2", Mcsim.Report.table2_json rows) ]
+         ()));
+  if report.Mcsim.Table2.failed <> [] then
+    failwith
+      (Printf.sprintf "%d of %d benchmarks failed permanently%s"
+         (List.length report.Mcsim.Table2.failed)
+         (List.length benchmarks)
+         (match checkpoint with
+         | Some dir ->
+           Printf.sprintf
+             "; completed units are saved under %s — rerun or 'mcsim resume %s' to retry"
+             dir dir
+         | None -> "; rerun with --checkpoint DIR to make progress durable"))
+
+let table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~sample ~engine
+    ~metrics_out ~retries =
+  [ ("command", Json.String "table2");
+    ("benchmarks",
+     Json.List (List.map (fun b -> Json.String (Mcsim_workload.Spec92.name b)) benchmarks));
+    ("max_instrs", Json.Int max_instrs);
+    ("seed", Json.Int seed);
+    ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
+    ("sampling",
+     match sample with
+     | Some p -> Json.String (Mcsim_sampling.Sampling.policy_to_string p)
+     | None -> Json.Null);
+    ("csv", Json.Bool csv);
+    ("four_way", Json.Bool four_way);
+    ("metrics_out", match metrics_out with Some p -> Json.String p | None -> Json.Null);
+    ("retries", Json.Int retries) ]
+
+(* Record how to finish the sweep before starting it, so `mcsim resume
+   DIR` works even if this process is killed immediately. When the
+   directory already holds a command record, keep it until this
+   invocation succeeds: a stale invocation refused by the identity
+   check must not clobber the record the original sweep resumes from.
+   On success the record is refreshed, so compatible reruns that change
+   output flags (say, adding --metrics-out) resume with the new ones. *)
+let with_command checkpoint command_json run =
+  match checkpoint with
+  | None -> run ()
+  | Some dir ->
+    let existing = Sys.file_exists (Filename.concat dir "command.json") in
+    if not existing then Mcsim.Checkpoint.write_command ~dir (command_json ());
+    let result = run () in
+    if existing then Mcsim.Checkpoint.write_command ~dir (command_json ());
+    result
+
 let table2_cmd =
-  let run max_instrs seed benchmarks csv four_way jobs sample engine metrics_out =
+  let run max_instrs seed benchmarks csv four_way jobs sample engine metrics_out retries
+      checkpoint =
     wrap @@ fun () ->
-    let t_start = Unix.gettimeofday () in
-    let single_config, dual_config =
-      if four_way then
-        (Some (Mcsim_cluster.Machine.single_cluster_4 ()),
-         Some (Mcsim_cluster.Machine.dual_cluster_2x2 ()))
-      else (None, None)
-    in
-    let sampling =
-      Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample
-    in
-    let rows =
-      Mcsim.Table2.run ~jobs ~max_instrs ~seed ~benchmarks ~engine ?sampling
-        ?single_config ?dual_config ()
-    in
-    if csv then print_string (Mcsim.Report.table2_csv rows)
-    else begin
-      (match sampling with
-      | Some p ->
-        Printf.printf "(sampled: policy %s, cycle columns are extrapolations)\n"
-          (Mcsim_sampling.Sampling.policy_to_string p)
-      | None -> ());
-      print_string (Mcsim.Table2.render rows);
-      print_newline ();
-      List.iter
-        (fun (ok, what) -> Printf.printf "[%s] %s\n" (if ok then "ok" else "FAIL") what)
-        (Mcsim.Table2.shape_holds rows)
-    end;
-    match metrics_out with
-    | None -> ()
-    | Some path ->
-      let cfg =
-        match dual_config with
-        | Some c -> c
-        | None -> Mcsim_cluster.Machine.dual_cluster ()
-      in
-      let manifest =
-        Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
-          ~benchmark:(String.concat "," (List.map Mcsim_workload.Spec92.name benchmarks))
-          ~trace_instrs:max_instrs ?sampling cfg
-      in
-      Mcsim_obs.Metrics.write_file path
-        (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"table2"
-           ~wall_seconds:(Unix.gettimeofday () -. t_start)
-           ~extra:[ ("table2", Mcsim.Report.table2_json rows) ]
-           ())
+    with_command checkpoint (fun () ->
+        table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~sample ~engine
+          ~metrics_out ~retries)
+    @@ fun () ->
+    table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engine
+      ~metrics_out ~retries ~checkpoint ()
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Run the Table-2 experiment (none/local vs single-cluster).")
     Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg
-          $ jobs_arg $ sample_arg $ engine_arg $ metrics_out_arg)
+          $ jobs_arg $ sample_arg $ engine_arg $ metrics_out_arg $ retries_arg
+          $ checkpoint_arg)
 
 let scenarios_cmd =
   let run () =
@@ -209,17 +295,160 @@ let workloads_cmd =
   Cmd.v (Cmd.info "workloads" ~doc:"Describe the six SPEC92-like synthetic benchmarks.")
     Term.(const run $ const ())
 
+(* Shared by the --scheduler option and `mcsim resume`'s command.json
+   round-trip: the printed {!Mcsim_compiler.Pipeline.scheduler_name} of
+   every accepted scheduler parses back to the same scheduler. *)
+let scheduler_parse = function
+  | "none" -> Ok Mcsim_compiler.Pipeline.Sched_none
+  | "local" -> Ok Mcsim_compiler.Pipeline.default_local
+  | "round-robin" | "rr" -> Ok Mcsim_compiler.Pipeline.Sched_round_robin
+  | "random" -> Ok (Mcsim_compiler.Pipeline.Sched_random 7)
+  | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+
+let scheduler_of_string s =
+  match scheduler_parse s with Ok x -> x | Error (`Msg m) -> failwith m
+
 let scheduler_conv =
-  let parse = function
-    | "none" -> Ok Mcsim_compiler.Pipeline.Sched_none
-    | "local" -> Ok Mcsim_compiler.Pipeline.default_local
-    | "round-robin" | "rr" -> Ok Mcsim_compiler.Pipeline.Sched_round_robin
-    | "random" -> Ok (Mcsim_compiler.Pipeline.Sched_random 7)
-    | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
-  in
   Arg.conv
-    ( parse,
+    ( scheduler_parse,
       fun fmt s -> Format.pp_print_string fmt (Mcsim_compiler.Pipeline.scheduler_name s) )
+
+let machine_name = function `Single -> "single" | `Dual -> "dual"
+
+let machine_of_string = function
+  | "single" -> `Single
+  | "dual" -> `Dual
+  | s -> failwith (Printf.sprintf "unknown machine %S" s)
+
+(* The body of the run command, shared with `mcsim resume`. With a
+   checkpoint the single simulation is one durable unit; --profile
+   bypasses the cache (profiling counters cannot be reconstructed from a
+   stored result). *)
+let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics_out
+    ~retries ~checkpoint () =
+  let t_start = Unix.gettimeofday () in
+  let cfg =
+    match machine with
+    | `Single -> Mcsim_cluster.Machine.single_cluster ()
+    | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
+  in
+  let store =
+    match checkpoint with
+    | Some dir when not prof ->
+      let manifest =
+        Mcsim_obs.Manifest.make ~engine ~seed
+          ~benchmark:(Mcsim_workload.Spec92.name bench)
+          ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
+          ~trace_instrs:max_instrs cfg
+      in
+      Some
+        (Mcsim.Checkpoint.open_ ~dir ~kind:"run" ~manifest
+           ~extra:[ ("machine", Json.String (machine_name machine)) ]
+           ())
+    | Some _ | None -> None
+  in
+  let cached =
+    Option.bind store (fun st ->
+        Option.bind (Mcsim.Checkpoint.find st "run") (fun d ->
+            match
+              ( Option.bind (Json.member "result" d) Mcsim_obs.Metrics.result_of_json,
+                Option.bind (Json.member "trace_instrs" d) Json.get_int )
+            with
+            | Some r, Some n -> Some (r, n)
+            | _ -> None))
+  in
+  let r, trace_instrs, counters =
+    match cached with
+    | Some (r, n) -> (r, n, None)
+    | None ->
+      let run_once () =
+        let prog = Mcsim_workload.Spec92.program bench in
+        let profile = Mcsim_trace.Walker.profile ~seed prog in
+        let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
+        let trace =
+          Mcsim_trace.Walker.trace ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach
+        in
+        let counters =
+          if prof then Some (Mcsim_cluster.Machine.profile_counters ()) else None
+        in
+        (match counters with
+        | Some p -> Mcsim_util.Profile_counters.alloc_start p
+        | None -> ());
+        let r = Mcsim_cluster.Machine.run ~engine ?profile:counters cfg trace in
+        (match counters with
+        | Some p -> Mcsim_util.Profile_counters.alloc_stop p
+        | None -> ());
+        Option.iter
+          (fun st ->
+            Mcsim.Checkpoint.record st ~key:"run"
+              [ ("result", Mcsim_obs.Metrics.result_json r);
+                ("trace_instrs", Json.Int (Array.length trace)) ])
+          store;
+        (r, Array.length trace, counters)
+      in
+      (match Mcsim_util.Pool.parallel_map ~retries ~jobs:1 run_once [ () ] with
+      | [ out ] -> out
+      | _ -> assert false)
+  in
+  Printf.printf "%s on the %s machine, %s scheduler:%s\n"
+    (Mcsim_workload.Spec92.name bench)
+    (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
+    (Mcsim_compiler.Pipeline.scheduler_name scheduler)
+    (if Option.is_some cached then " (from checkpoint)" else "");
+  Printf.printf "  %d instructions in %d cycles (IPC %.2f)\n" r.Mcsim_cluster.Machine.retired
+    r.Mcsim_cluster.Machine.cycles r.Mcsim_cluster.Machine.ipc;
+  Printf.printf "  branch accuracy %.3f, d-cache miss rate %.3f, i-cache miss rate %.4f\n"
+    r.Mcsim_cluster.Machine.branch_accuracy r.Mcsim_cluster.Machine.dcache_miss_rate
+    r.Mcsim_cluster.Machine.icache_miss_rate;
+  Printf.printf "  %d single- and %d dual-distributed, %d replays\n"
+    r.Mcsim_cluster.Machine.single_distributed r.Mcsim_cluster.Machine.dual_distributed
+    r.Mcsim_cluster.Machine.replays;
+  print_endline "  counters:";
+  List.iter
+    (fun (k, v) -> Printf.printf "    %-28s %d\n" k v)
+    r.Mcsim_cluster.Machine.counters;
+  (match counters with
+  | Some p ->
+    Printf.printf "  profile (%s engine):\n"
+      (match engine with `Scan -> "scan" | `Wakeup -> "wakeup");
+    print_string (Mcsim_util.Profile_counters.render p)
+  | None -> ());
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+    let manifest =
+      Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
+        ~benchmark:(Mcsim_workload.Spec92.name bench)
+        ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
+        ~trace_instrs cfg
+    in
+    Mcsim_obs.Metrics.write_file path
+      (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"run" ~result:r ?profile:counters
+         ~wall_seconds:(Unix.gettimeofday () -. t_start)
+         ())
+
+let run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
+    ~metrics_out ~retries =
+  [ ("command", Json.String "run");
+    ("benchmark", Json.String (Mcsim_workload.Spec92.name bench));
+    ("machine", Json.String (machine_name machine));
+    ("scheduler", Json.String (Mcsim_compiler.Pipeline.scheduler_name scheduler));
+    ("max_instrs", Json.Int max_instrs);
+    ("seed", Json.Int seed);
+    ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
+    ("profile", Json.Bool prof);
+    ("metrics_out", match metrics_out with Some p -> Json.String p | None -> Json.Null);
+    ("retries", Json.Int retries) ]
+
+let run_entry bench machine scheduler max_instrs seed engine prof metrics_out retries
+    checkpoint =
+  wrap @@ fun () ->
+  with_command checkpoint (fun () ->
+      run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
+        ~metrics_out ~retries)
+  @@ fun () ->
+  run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics_out
+    ~retries ~checkpoint ()
 
 let run_cmd =
   let machine_arg =
@@ -236,65 +465,138 @@ let run_cmd =
              ~doc:"Report per-stage visit/work counters and minor-heap allocation \
                    for the simulation.")
   in
-  let run bench machine scheduler max_instrs seed engine prof metrics_out =
-    wrap @@ fun () ->
-    let t_start = Unix.gettimeofday () in
+  Cmd.v (Cmd.info "run" ~doc:"Run one benchmark and dump all counters.")
+    Term.(const run_entry $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg
+          $ seed_arg $ engine_arg $ profile_arg $ metrics_out_arg $ retries_arg
+          $ checkpoint_arg)
+
+(* The body of the sample command, shared with `mcsim resume`. The
+   sampled estimate is one durable unit; --full always recomputes the
+   trace and the detailed run (only the estimate is cached). *)
+let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv ~engine
+    ~metrics_out ~retries ~checkpoint () =
+  let t_start = Unix.gettimeofday () in
+  let policy =
+    match sample with
+    | Some p -> { p with Mcsim_sampling.Sampling.seed }
+    | None -> { Mcsim_sampling.Sampling.default_policy with seed }
+  in
+  let cfg =
+    match machine with
+    | `Single -> Mcsim_cluster.Machine.single_cluster ()
+    | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
+  in
+  let store =
+    Option.map
+      (fun dir ->
+        let manifest =
+          Mcsim_obs.Manifest.make ~engine ~seed
+            ~benchmark:(Mcsim_workload.Spec92.name bench)
+            ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
+            ~trace_instrs:max_instrs ~sampling:policy cfg
+        in
+        Mcsim.Checkpoint.open_ ~dir ~kind:"sample" ~manifest
+          ~extra:[ ("machine", Json.String (machine_name machine)) ]
+          ())
+      checkpoint
+  in
+  let cached =
+    Option.bind store (fun st ->
+        Option.bind (Mcsim.Checkpoint.find st "sample") (fun d ->
+            match
+              ( Option.bind (Json.member "result" d) Mcsim_obs.Metrics.result_of_json,
+                Json.member "sampling" d )
+            with
+            | Some machine, Some sj ->
+              Mcsim_obs.Metrics.sampling_of_json ~seed:policy.Mcsim_sampling.Sampling.seed
+                ~machine sj
+            | _ -> None))
+  in
+  let make_trace () =
     let prog = Mcsim_workload.Spec92.program bench in
     let profile = Mcsim_trace.Walker.profile ~seed prog in
     let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
-    let trace = Mcsim_trace.Walker.trace ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach in
-    let cfg =
-      match machine with
-      | `Single -> Mcsim_cluster.Machine.single_cluster ()
-      | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
+    Mcsim_trace.Walker.trace ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach
+  in
+  let s =
+    match cached with
+    | Some s -> s
+    | None -> (
+      let run_once () =
+        let s = Mcsim_sampling.Sampling.run ~engine ~policy cfg (make_trace ()) in
+        Option.iter
+          (fun st ->
+            Mcsim.Checkpoint.record st ~key:"sample"
+              [ ("sampling", Mcsim_obs.Metrics.sampling_json s);
+                ("result", Mcsim_obs.Metrics.result_json s.Mcsim_sampling.Sampling.machine)
+              ])
+          store;
+        s
+      in
+      match Mcsim_util.Pool.parallel_map ~retries ~jobs:1 run_once [ () ] with
+      | [ s ] -> s
+      | _ -> assert false)
+  in
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    let manifest =
+      Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
+        ~benchmark:(Mcsim_workload.Spec92.name bench)
+        ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
+        ~trace_instrs:s.Mcsim_sampling.Sampling.trace_instrs ~sampling:policy cfg
     in
-    let counters = if prof then Some (Mcsim_cluster.Machine.profile_counters ()) else None in
-    (match counters with
-    | Some p -> Mcsim_util.Profile_counters.alloc_start p
-    | None -> ());
-    let r = Mcsim_cluster.Machine.run ~engine ?profile:counters cfg trace in
-    (match counters with
-    | Some p -> Mcsim_util.Profile_counters.alloc_stop p
-    | None -> ());
-    Printf.printf "%s on the %s machine, %s scheduler:\n"
+    Mcsim_obs.Metrics.write_file path
+      (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"sample" ~sampling:s
+         ~wall_seconds:(Unix.gettimeofday () -. t_start)
+         ()));
+  if csv then print_string (Mcsim.Report.sampling_csv s)
+  else begin
+    Printf.printf "%s on the %s machine, %s scheduler:%s\n"
       (Mcsim_workload.Spec92.name bench)
       (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
-      (Mcsim_compiler.Pipeline.scheduler_name scheduler);
-    Printf.printf "  %d instructions in %d cycles (IPC %.2f)\n" r.Mcsim_cluster.Machine.retired
-      r.Mcsim_cluster.Machine.cycles r.Mcsim_cluster.Machine.ipc;
-    Printf.printf "  branch accuracy %.3f, d-cache miss rate %.3f, i-cache miss rate %.4f\n"
-      r.Mcsim_cluster.Machine.branch_accuracy r.Mcsim_cluster.Machine.dcache_miss_rate
-      r.Mcsim_cluster.Machine.icache_miss_rate;
-    Printf.printf "  %d single- and %d dual-distributed, %d replays\n"
-      r.Mcsim_cluster.Machine.single_distributed r.Mcsim_cluster.Machine.dual_distributed
-      r.Mcsim_cluster.Machine.replays;
-    print_endline "  counters:";
-    List.iter
-      (fun (k, v) -> Printf.printf "    %-28s %d\n" k v)
-      r.Mcsim_cluster.Machine.counters;
-    (match counters with
-    | Some p ->
-      Printf.printf "  profile (%s engine):\n"
-        (match engine with `Scan -> "scan" | `Wakeup -> "wakeup");
-      print_string (Mcsim_util.Profile_counters.render p)
-    | None -> ());
-    match metrics_out with
-    | None -> ()
-    | Some path ->
-      let manifest =
-        Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
-          ~benchmark:(Mcsim_workload.Spec92.name bench)
-          ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
-          ~trace_instrs:(Array.length trace) cfg
+      (Mcsim_compiler.Pipeline.scheduler_name scheduler)
+      (if Option.is_some cached then " (from checkpoint)" else "");
+    print_string (Mcsim_sampling.Sampling.render s);
+    if full then begin
+      let r = Mcsim_cluster.Machine.run ~engine cfg (make_trace ()) in
+      let err =
+        Float.abs (s.Mcsim_sampling.Sampling.mean_ipc -. r.Mcsim_cluster.Machine.ipc)
+        /. r.Mcsim_cluster.Machine.ipc
       in
-      Mcsim_obs.Metrics.write_file path
-        (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"run" ~result:r ?profile:counters
-           ~wall_seconds:(Unix.gettimeofday () -. t_start)
-           ())
-  in
-  Cmd.v (Cmd.info "run" ~doc:"Run one benchmark and dump all counters.")
-    Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg
-          $ engine_arg $ profile_arg $ metrics_out_arg)
+      Printf.printf "  full run: IPC %.4f in %d cycles; sampling error %.2f%%%s\n"
+        r.Mcsim_cluster.Machine.ipc r.Mcsim_cluster.Machine.cycles (100.0 *. err)
+        (if err <= Mcsim_sampling.Sampling.ci_rel s then " (within the CI)" else "")
+    end
+  end
+
+let sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv
+    ~engine ~metrics_out ~retries =
+  [ ("command", Json.String "sample");
+    ("benchmark", Json.String (Mcsim_workload.Spec92.name bench));
+    ("machine", Json.String (machine_name machine));
+    ("scheduler", Json.String (Mcsim_compiler.Pipeline.scheduler_name scheduler));
+    ("max_instrs", Json.Int max_instrs);
+    ("seed", Json.Int seed);
+    ("sampling",
+     match sample with
+     | Some p -> Json.String (Mcsim_sampling.Sampling.policy_to_string p)
+     | None -> Json.Null);
+    ("full", Json.Bool full);
+    ("csv", Json.Bool csv);
+    ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
+    ("metrics_out", match metrics_out with Some p -> Json.String p | None -> Json.Null);
+    ("retries", Json.Int retries) ]
+
+let sample_entry bench machine scheduler max_instrs seed sample full csv engine
+    metrics_out retries checkpoint =
+  wrap @@ fun () ->
+  with_command checkpoint (fun () ->
+      sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv
+        ~engine ~metrics_out ~retries)
+  @@ fun () ->
+  sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv ~engine
+    ~metrics_out ~retries ~checkpoint ()
 
 let sample_cmd =
   let machine_arg =
@@ -310,61 +612,112 @@ let sample_cmd =
          & info [ "full" ]
              ~doc:"Also run the full detailed simulation and report the sampling error.")
   in
-  let run bench machine scheduler max_instrs seed sample full csv engine metrics_out =
-    wrap @@ fun () ->
-    let t_start = Unix.gettimeofday () in
-    let policy =
-      match sample with
-      | Some p -> { p with Mcsim_sampling.Sampling.seed }
-      | None -> { Mcsim_sampling.Sampling.default_policy with seed }
-    in
-    let prog = Mcsim_workload.Spec92.program bench in
-    let profile = Mcsim_trace.Walker.profile ~seed prog in
-    let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
-    let trace = Mcsim_trace.Walker.trace ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach in
-    let cfg =
-      match machine with
-      | `Single -> Mcsim_cluster.Machine.single_cluster ()
-      | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
-    in
-    let s = Mcsim_sampling.Sampling.run ~engine ~policy cfg trace in
-    (match metrics_out with
-    | None -> ()
-    | Some path ->
-      let manifest =
-        Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
-          ~benchmark:(Mcsim_workload.Spec92.name bench)
-          ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
-          ~trace_instrs:(Array.length trace) ~sampling:policy cfg
-      in
-      Mcsim_obs.Metrics.write_file path
-        (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"sample" ~sampling:s
-           ~wall_seconds:(Unix.gettimeofday () -. t_start)
-           ()));
-    if csv then print_string (Mcsim.Report.sampling_csv s)
-    else begin
-      Printf.printf "%s on the %s machine, %s scheduler:\n"
-        (Mcsim_workload.Spec92.name bench)
-        (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
-        (Mcsim_compiler.Pipeline.scheduler_name scheduler);
-      print_string (Mcsim_sampling.Sampling.render s);
-      if full then begin
-        let r = Mcsim_cluster.Machine.run ~engine cfg trace in
-        let err =
-          Float.abs (s.Mcsim_sampling.Sampling.mean_ipc -. r.Mcsim_cluster.Machine.ipc)
-          /. r.Mcsim_cluster.Machine.ipc
-        in
-        Printf.printf "  full run: IPC %.4f in %d cycles; sampling error %.2f%%%s\n"
-          r.Mcsim_cluster.Machine.ipc r.Mcsim_cluster.Machine.cycles (100.0 *. err)
-          (if err <= Mcsim_sampling.Sampling.ci_rel s then " (within the CI)" else "")
-      end
-    end
-  in
   Cmd.v
     (Cmd.info "sample"
        ~doc:"Sampled simulation of one benchmark (optionally vs the full detailed run).")
-    Term.(const run $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg $ seed_arg
-          $ sample_arg $ full_arg $ csv_arg $ engine_arg $ metrics_out_arg)
+    Term.(const sample_entry $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg
+          $ seed_arg $ sample_arg $ full_arg $ csv_arg $ engine_arg $ metrics_out_arg
+          $ retries_arg $ checkpoint_arg)
+
+(* `mcsim resume DIR`: reread the command.json written by a previous
+   --checkpoint invocation and re-dispatch the same command against the
+   same directory. Completed units load from disk; only missing ones
+   recompute, so the output is byte-identical to an uninterrupted run. *)
+let resume_cmd =
+  let dir_pos =
+    Arg.(required & pos 0 (some dir) None
+         & info [] ~docv:"DIR" ~doc:"Checkpoint directory of an interrupted run.")
+  in
+  let resume_retries_arg =
+    Arg.(value & opt (some (nonneg_int ~what:"RETRIES")) None
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Override the recorded per-unit retry budget for this resume.")
+  in
+  let resume dir retries_override =
+    wrap @@ fun () ->
+    let fields = Mcsim.Checkpoint.read_command ~dir in
+    let str k =
+      match List.assoc_opt k fields with
+      | Some (Json.String s) -> s
+      | _ -> failwith (Printf.sprintf "checkpoint %s: command.json lacks %S" dir k)
+    in
+    let str_opt k =
+      match List.assoc_opt k fields with Some (Json.String s) -> Some s | _ -> None
+    in
+    let int k =
+      match List.assoc_opt k fields with
+      | Some (Json.Int n) -> n
+      | _ -> failwith (Printf.sprintf "checkpoint %s: command.json lacks %S" dir k)
+    in
+    let flag k =
+      match List.assoc_opt k fields with Some (Json.Bool b) -> b | _ -> false
+    in
+    let bench k =
+      let s = str k in
+      match Mcsim_workload.Spec92.of_name s with
+      | Some b -> b
+      | None -> failwith (Printf.sprintf "checkpoint %s: unknown benchmark %S" dir s)
+    in
+    let engine () =
+      match str "engine" with
+      | "scan" -> `Scan
+      | "wakeup" -> `Wakeup
+      | s -> failwith (Printf.sprintf "checkpoint %s: unknown engine %S" dir s)
+    in
+    let seed = lazy (int "seed") in
+    let sampling k =
+      match str_opt k with
+      | None -> None
+      | Some s -> (
+        match Mcsim_sampling.Sampling.policy_of_string ~seed:(Lazy.force seed) s with
+        | Ok p -> Some p
+        | Error e -> failwith (Printf.sprintf "checkpoint %s: bad sampling %S: %s" dir s e))
+    in
+    let retries =
+      match retries_override with Some n -> n | None -> int "retries"
+    in
+    let metrics_out = str_opt "metrics_out" in
+    let checkpoint = Some dir in
+    match str "command" with
+    | "table2" ->
+      let benchmarks =
+        match List.assoc_opt "benchmarks" fields with
+        | Some (Json.List l) ->
+          List.map
+            (function
+              | Json.String s -> (
+                match Mcsim_workload.Spec92.of_name s with
+                | Some b -> b
+                | None ->
+                  failwith (Printf.sprintf "checkpoint %s: unknown benchmark %S" dir s))
+              | _ -> failwith (Printf.sprintf "checkpoint %s: bad benchmarks list" dir))
+            l
+        | _ -> failwith (Printf.sprintf "checkpoint %s: command.json lacks %S" dir "benchmarks")
+      in
+      table2_impl ~max_instrs:(int "max_instrs") ~seed:(Lazy.force seed) ~benchmarks
+        ~csv:(flag "csv") ~four_way:(flag "four_way") ~jobs:(Mcsim_util.Pool.default_jobs ())
+        ~sample:(sampling "sampling") ~engine:(engine ()) ~metrics_out ~retries
+        ~checkpoint ()
+    | "run" ->
+      run_impl ~bench:(bench "benchmark") ~machine:(machine_of_string (str "machine"))
+        ~scheduler:(scheduler_of_string (str "scheduler")) ~max_instrs:(int "max_instrs")
+        ~seed:(Lazy.force seed) ~engine:(engine ()) ~prof:(flag "profile") ~metrics_out
+        ~retries ~checkpoint ()
+    | "sample" ->
+      sample_impl ~bench:(bench "benchmark") ~machine:(machine_of_string (str "machine"))
+        ~scheduler:(scheduler_of_string (str "scheduler")) ~max_instrs:(int "max_instrs")
+        ~seed:(Lazy.force seed) ~sample:(sampling "sampling") ~full:(flag "full")
+        ~csv:(flag "csv") ~engine:(engine ()) ~metrics_out ~retries ~checkpoint ()
+    | c ->
+      failwith
+        (Printf.sprintf "checkpoint %s: cannot resume command %S (only table2, run, sample)"
+           dir c)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"Finish an interrupted --checkpoint run (table2, run or sample): completed \
+             units are loaded from the directory, only missing ones recompute.")
+    Term.(const resume $ dir_pos $ resume_retries_arg)
 
 let trace_cmd =
   let machine_arg =
@@ -555,5 +908,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table1_cmd; table2_cmd; scenarios_cmd; figure6_cmd; cycle_time_cmd; workloads_cmd;
-            run_cmd; sample_cmd; trace_cmd; ablate_cmd; reassign_cmd; clusters_cmd;
-            compile_cmd; simulate_cmd ]))
+            run_cmd; sample_cmd; resume_cmd; trace_cmd; ablate_cmd; reassign_cmd;
+            clusters_cmd; compile_cmd; simulate_cmd ]))

@@ -53,6 +53,84 @@ let point_of ctx label (r : Machine.result) =
     replays = r.Machine.replays;
     dual_distributed = r.Machine.dual_distributed }
 
+(* ------------------------------------------------------------------ *)
+(* Durable point fan-out                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Mcsim_obs.Json
+
+let ( let* ) = Option.bind
+
+let point_json p =
+  [ ("label", Json.String p.label);
+    ("dual_cycles", Json.Int p.dual_cycles);
+    ("speedup_pct", Json.Float p.speedup_pct);
+    ("replays", Json.Int p.replays);
+    ("dual_distributed", Json.Int p.dual_distributed) ]
+
+let point_of_json d =
+  let int k = Option.bind (Json.member k d) Json.get_int in
+  let* label = Option.bind (Json.member "label" d) Json.get_string in
+  let* dual_cycles = int "dual_cycles" in
+  let* speedup_pct = Option.bind (Json.member "speedup_pct" d) Json.get_float in
+  let* replays = int "replays" in
+  let* dual_distributed = int "dual_distributed" in
+  Some { label; dual_cycles; speedup_pct; replays; dual_distributed }
+
+(* Every sweep fans its points out through here: one durable unit per
+   point, keyed by label. The checkpoint identity is the sweep name,
+   benchmark, trace budget and exact label set (the labels encode the
+   swept parameter values), plus the mcsim version via the manifest —
+   anything else that could change a point's value changes one of
+   those. Cached points are decoded serially before the fan-out, so
+   [retries]/[inject_fault] apply only to points that actually run. *)
+let run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name ~benchmark
+    ~max_instrs labelled =
+  let store =
+    Option.map
+      (fun dir ->
+        let manifest =
+          Mcsim_obs.Manifest.make ~benchmark ~trace_instrs:max_instrs
+            (Machine.dual_cluster ())
+        in
+        let extra =
+          [ ("sweep", Json.String sweep_name);
+            ("labels", Json.List (List.map (fun (l, _) -> Json.String l) labelled)) ]
+        in
+        Checkpoint.open_ ~dir ~kind:"ablation" ~manifest ~extra ())
+      checkpoint
+  in
+  let cached =
+    List.map
+      (fun (label, thunk) ->
+        let hit =
+          let* st = store in
+          let* d = Checkpoint.find st label in
+          point_of_json d
+        in
+        (label, thunk, hit))
+      labelled
+  in
+  let exec = List.filter_map (fun (l, t, hit) -> if hit = None then Some (l, t) else None) cached in
+  let outs =
+    Pool.parallel_map ?retries ?backoff ?inject_fault ~jobs
+      (fun (label, thunk) ->
+        let p = thunk () in
+        Option.iter (fun st -> Checkpoint.record st ~key:label (point_json p)) store;
+        p)
+      exec
+  in
+  let rec merge cached outs =
+    match cached with
+    | [] -> []
+    | (_, _, Some p) :: tl -> p :: merge tl outs
+    | (_, _, None) :: tl -> (
+      match outs with
+      | [] -> assert false
+      | p :: rest -> p :: merge tl rest)
+  in
+  merge cached outs
+
 (* The local-scheduler binary is compiled and traced at most once per
    context. Callers force it before fanning points out over domains, so
    the memo write never races. *)
@@ -67,47 +145,60 @@ let local_compiled ctx =
 
 let local_trace ctx = snd (local_compiled ctx)
 
-let transfer_buffers ?jobs ?ctx ?max_instrs ?(sizes = [ 2; 4; 8; 16; 32 ]) bench =
+let transfer_buffers ?jobs ?ctx ?max_instrs ?(sizes = [ 2; 4; 8; 16; 32 ]) ?retries
+    ?backoff ?inject_fault ?checkpoint bench =
   let ctx = get_ctx ?ctx ?max_instrs bench in
   let trace = local_trace ctx in
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let sweep_name = "transfer-buffer entries per cluster (local scheduler)" in
   let points =
-    Pool.parallel_map ~jobs
-      (fun n ->
-        let cfg =
-          { (Machine.dual_cluster ()) with
-            Machine.operand_buffer_entries = n;
-            result_buffer_entries = n }
-        in
-        point_of ctx (Printf.sprintf "%d entries" n) (Machine.run cfg trace))
-      sizes
+    run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name
+      ~benchmark:ctx.bench_name ~max_instrs:ctx.max_instrs
+      (List.map
+         (fun n ->
+           let label = Printf.sprintf "%d entries" n in
+           ( label,
+             fun () ->
+               let cfg =
+                 { (Machine.dual_cluster ()) with
+                   Machine.operand_buffer_entries = n;
+                   result_buffer_entries = n }
+               in
+               point_of ctx label (Machine.run cfg trace) ))
+         sizes)
   in
-  { sweep_name = "transfer-buffer entries per cluster (local scheduler)";
-    benchmark = ctx.bench_name; points }
+  { sweep_name; benchmark = ctx.bench_name; points }
 
-let imbalance_threshold ?jobs ?ctx ?max_instrs ?(thresholds = [ 1; 2; 4; 8; 16; 32 ]) bench =
+let imbalance_threshold ?jobs ?ctx ?max_instrs ?(thresholds = [ 1; 2; 4; 8; 16; 32 ])
+    ?retries ?backoff ?inject_fault ?checkpoint bench =
   let ctx = get_ctx ?ctx ?max_instrs bench in
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let sweep_name = "local-scheduler imbalance threshold" in
   let points =
-    Pool.parallel_map ~jobs
-      (fun t ->
-        let c =
-          Pipeline.compile ~profile:ctx.profile
-            ~scheduler:(Pipeline.Sched_local { imbalance_threshold = t; window = 0 })
-            ctx.prog
-        in
-        let trace = Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach in
-        point_of ctx (Printf.sprintf "threshold %d" t)
-          (Machine.run (Machine.dual_cluster ()) trace))
-      thresholds
+    run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name
+      ~benchmark:ctx.bench_name ~max_instrs:ctx.max_instrs
+      (List.map
+         (fun t ->
+           let label = Printf.sprintf "threshold %d" t in
+           ( label,
+             fun () ->
+               let c =
+                 Pipeline.compile ~profile:ctx.profile
+                   ~scheduler:(Pipeline.Sched_local { imbalance_threshold = t; window = 0 })
+                   ctx.prog
+               in
+               let trace = Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach in
+               point_of ctx label (Machine.run (Machine.dual_cluster ()) trace) ))
+         thresholds)
   in
-  { sweep_name = "local-scheduler imbalance threshold"; benchmark = ctx.bench_name; points }
+  { sweep_name; benchmark = ctx.bench_name; points }
 
-let partitioners ?jobs ?ctx ?max_instrs bench =
+let partitioners ?jobs ?ctx ?max_instrs ?retries ?backoff ?inject_fault ?checkpoint bench
+    =
   let ctx = get_ctx ?ctx ?max_instrs bench in
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   ignore (local_compiled ctx);
-  let run_sched (name, scheduler) =
+  let run_sched scheduler label () =
     let trace =
       match scheduler with
       | Pipeline.Sched_none -> ctx.native_trace
@@ -116,138 +207,190 @@ let partitioners ?jobs ?ctx ?max_instrs bench =
         let c = Pipeline.compile ~profile:ctx.profile ~scheduler ctx.prog in
         Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach
     in
-    point_of ctx name (Machine.run (Machine.dual_cluster ()) trace)
+    point_of ctx label (Machine.run (Machine.dual_cluster ()) trace)
   in
-  { sweep_name = "live-range partitioner";
+  let sweep_name = "live-range partitioner" in
+  { sweep_name;
     benchmark = ctx.bench_name;
     points =
-      Pool.parallel_map ~jobs run_sched
-        [ ("none", Pipeline.Sched_none); ("random", Pipeline.Sched_random 7);
-          ("round-robin", Pipeline.Sched_round_robin); ("local", Pipeline.default_local) ] }
+      run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name
+        ~benchmark:ctx.bench_name ~max_instrs:ctx.max_instrs
+        (List.map
+           (fun (name, scheduler) -> (name, run_sched scheduler name))
+           [ ("none", Pipeline.Sched_none); ("random", Pipeline.Sched_random 7);
+             ("round-robin", Pipeline.Sched_round_robin); ("local", Pipeline.default_local)
+           ]) }
 
-let global_registers ?jobs ?ctx ?max_instrs bench =
+let global_registers ?jobs ?ctx ?max_instrs ?retries ?backoff ?inject_fault ?checkpoint
+    bench =
   let ctx = get_ctx ?ctx ?max_instrs bench in
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  let run_assignment (name, globals) =
+  let run_assignment globals label () =
     let cfg =
       { (Machine.dual_cluster ()) with
         Machine.assignment = Assignment.create ~num_clusters:2 ~globals () }
     in
-    point_of ctx name (Machine.run cfg ctx.native_trace)
+    point_of ctx label (Machine.run cfg ctx.native_trace)
   in
-  { sweep_name = "global-register designation (native binary)";
+  let sweep_name = "global-register designation (native binary)" in
+  { sweep_name;
     benchmark = ctx.bench_name;
     points =
-      Pool.parallel_map ~jobs run_assignment
-        [ ("no globals", []); ("sp only", [ Mcsim_isa.Reg.sp ]);
-          ("sp+gp (paper)", [ Mcsim_isa.Reg.sp; Mcsim_isa.Reg.gp ]) ] }
+      run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name
+        ~benchmark:ctx.bench_name ~max_instrs:ctx.max_instrs
+        (List.map
+           (fun (name, globals) -> (name, run_assignment globals name))
+           [ ("no globals", []); ("sp only", [ Mcsim_isa.Reg.sp ]);
+             ("sp+gp (paper)", [ Mcsim_isa.Reg.sp; Mcsim_isa.Reg.gp ]) ]) }
 
-let dispatch_queue_split ?jobs ?ctx ?max_instrs bench =
+let dispatch_queue_split ?jobs ?ctx ?max_instrs ?retries ?backoff ?inject_fault
+    ?checkpoint bench =
   let ctx = get_ctx ?ctx ?max_instrs bench in
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  let points =
-    Pool.parallel_map ~jobs
-      (fun n ->
-        let cfg = { (Machine.single_cluster ()) with Machine.dq_entries = n } in
-        let r = Machine.run cfg ctx.native_trace in
-        { label = Printf.sprintf "%d entries" n;
-          dual_cycles = r.Machine.cycles;
-          speedup_pct =
-            Mcsim_timing.Net_performance.speedup_pct ~single_cycles:ctx.single_cycles
-              ~dual_cycles:r.Machine.cycles;
-          replays = r.Machine.replays;
-          dual_distributed = r.Machine.dual_distributed })
-      [ 32; 64; 128; 256 ]
+  let sweep_name =
+    "single-cluster dispatch-queue size (cycles vs the 128-entry baseline)"
   in
-  { sweep_name = "single-cluster dispatch-queue size (cycles vs the 128-entry baseline)";
-    benchmark = ctx.bench_name; points }
+  let points =
+    run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name
+      ~benchmark:ctx.bench_name ~max_instrs:ctx.max_instrs
+      (List.map
+         (fun n ->
+           let label = Printf.sprintf "%d entries" n in
+           ( label,
+             fun () ->
+               let cfg = { (Machine.single_cluster ()) with Machine.dq_entries = n } in
+               let r = Machine.run cfg ctx.native_trace in
+               { label;
+                 dual_cycles = r.Machine.cycles;
+                 speedup_pct =
+                   Mcsim_timing.Net_performance.speedup_pct
+                     ~single_cycles:ctx.single_cycles ~dual_cycles:r.Machine.cycles;
+                 replays = r.Machine.replays;
+                 dual_distributed = r.Machine.dual_distributed } ))
+         [ 32; 64; 128; 256 ])
+  in
+  { sweep_name; benchmark = ctx.bench_name; points }
 
-let unrolling ?jobs ?ctx ?max_instrs ?(factors = [ 1; 2; 4 ]) bench =
+let unrolling ?jobs ?ctx ?max_instrs ?(factors = [ 1; 2; 4 ]) ?retries ?backoff
+    ?inject_fault ?checkpoint bench =
   let ctx = get_ctx ?ctx ?max_instrs bench in
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   if List.mem 1 factors then ignore (local_compiled ctx);
+  let sweep_name = "loop unrolling before the local scheduler (paper section 6)" in
   let points =
-    Pool.parallel_map ~jobs
-      (fun factor ->
-        let trace =
-          if factor = 1 then local_trace ctx
-            (* unroll x1 is the identity: this is exactly the
-               local-scheduler binary the context already holds *)
-          else begin
-            let prog = Mcsim_compiler.Unroll.unroll ~factor ctx.prog in
-            let profile = Walker.profile prog in
-            let c = Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog in
-            Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach
-          end
-        in
-        point_of ctx
-          (if factor = 1 then "no unrolling" else Printf.sprintf "unroll x%d" factor)
-          (Machine.run (Machine.dual_cluster ()) trace))
-      factors
+    run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name
+      ~benchmark:ctx.bench_name ~max_instrs:ctx.max_instrs
+      (List.map
+         (fun factor ->
+           let label =
+             if factor = 1 then "no unrolling" else Printf.sprintf "unroll x%d" factor
+           in
+           ( label,
+             fun () ->
+               let trace =
+                 if factor = 1 then local_trace ctx
+                   (* unroll x1 is the identity: this is exactly the
+                      local-scheduler binary the context already holds *)
+                 else begin
+                   let prog = Mcsim_compiler.Unroll.unroll ~factor ctx.prog in
+                   let profile = Walker.profile prog in
+                   let c =
+                     Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog
+                   in
+                   Walker.trace ~max_instrs:ctx.max_instrs c.Pipeline.mach
+                 end
+               in
+               point_of ctx label (Machine.run (Machine.dual_cluster ()) trace) ))
+         factors)
   in
-  { sweep_name = "loop unrolling before the local scheduler (paper section 6)";
-    benchmark = ctx.bench_name; points }
+  { sweep_name; benchmark = ctx.bench_name; points }
 
-let memory_latency ?jobs ?ctx ?max_instrs ?(latencies = [ 4; 8; 16; 32; 64 ]) bench =
+let memory_latency ?jobs ?ctx ?max_instrs ?(latencies = [ 4; 8; 16; 32; 64 ]) ?retries
+    ?backoff ?inject_fault ?checkpoint bench =
   let ctx = get_ctx ?ctx ?max_instrs bench in
   let trace = local_trace ctx in
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let sweep_name = "memory fetch latency (local scheduler, matched baselines)" in
   let points =
-    Pool.parallel_map ~jobs
-      (fun lat ->
-        let cache = { Mcsim_cache.Cache.default_config with Mcsim_cache.Cache.miss_latency = lat } in
-        let cfg = { (Machine.dual_cluster ()) with Machine.icache = cache; dcache = cache } in
-        (* Rebase the comparison on a single-cluster machine with the same
-           memory so the sweep isolates the latency, not the baseline. *)
-        let scfg = { (Machine.single_cluster ()) with Machine.icache = cache; dcache = cache } in
-        let single = Machine.run scfg ctx.native_trace in
-        let r = Machine.run cfg trace in
-        { label = Printf.sprintf "%d-cycle memory%s" lat (if lat = 16 then " (paper)" else "");
-          dual_cycles = r.Machine.cycles;
-          speedup_pct =
-            Mcsim_timing.Net_performance.speedup_pct
-              ~single_cycles:single.Machine.cycles ~dual_cycles:r.Machine.cycles;
-          replays = r.Machine.replays;
-          dual_distributed = r.Machine.dual_distributed })
-      latencies
+    run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name
+      ~benchmark:ctx.bench_name ~max_instrs:ctx.max_instrs
+      (List.map
+         (fun lat ->
+           let label =
+             Printf.sprintf "%d-cycle memory%s" lat (if lat = 16 then " (paper)" else "")
+           in
+           ( label,
+             fun () ->
+               let cache =
+                 { Mcsim_cache.Cache.default_config with Mcsim_cache.Cache.miss_latency = lat }
+               in
+               let cfg =
+                 { (Machine.dual_cluster ()) with Machine.icache = cache; dcache = cache }
+               in
+               (* Rebase the comparison on a single-cluster machine with the same
+                  memory so the sweep isolates the latency, not the baseline. *)
+               let scfg =
+                 { (Machine.single_cluster ()) with Machine.icache = cache; dcache = cache }
+               in
+               let single = Machine.run scfg ctx.native_trace in
+               let r = Machine.run cfg trace in
+               { label;
+                 dual_cycles = r.Machine.cycles;
+                 speedup_pct =
+                   Mcsim_timing.Net_performance.speedup_pct
+                     ~single_cycles:single.Machine.cycles ~dual_cycles:r.Machine.cycles;
+                 replays = r.Machine.replays;
+                 dual_distributed = r.Machine.dual_distributed } ))
+         latencies)
   in
-  { sweep_name = "memory fetch latency (local scheduler, matched baselines)";
-    benchmark = ctx.bench_name; points }
+  { sweep_name; benchmark = ctx.bench_name; points }
 
-let mshr_entries ?jobs ?ctx ?max_instrs bench =
+let mshr_entries ?jobs ?ctx ?max_instrs ?retries ?backoff ?inject_fault ?checkpoint bench
+    =
   let ctx = get_ctx ?ctx ?max_instrs bench in
   let trace = local_trace ctx in
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let sweep_name = "data-cache miss-handling entries (Farkas & Jouppi, ISCA'94)" in
   let points =
-    Pool.parallel_map ~jobs
-      (fun (label, mshrs) ->
-        let dcache = { Mcsim_cache.Cache.default_config with Mcsim_cache.Cache.mshrs } in
-        let cfg = { (Machine.dual_cluster ()) with Machine.dcache } in
-        point_of ctx label (Machine.run cfg trace))
-      [ ("1 MSHR (blocking-ish)", Some 1); ("2 MSHRs", Some 2); ("4 MSHRs", Some 4);
-        ("8 MSHRs", Some 8); ("inverted MSHR (paper)", None) ]
+    run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name
+      ~benchmark:ctx.bench_name ~max_instrs:ctx.max_instrs
+      (List.map
+         (fun (label, mshrs) ->
+           ( label,
+             fun () ->
+               let dcache = { Mcsim_cache.Cache.default_config with Mcsim_cache.Cache.mshrs } in
+               let cfg = { (Machine.dual_cluster ()) with Machine.dcache } in
+               point_of ctx label (Machine.run cfg trace) ))
+         [ ("1 MSHR (blocking-ish)", Some 1); ("2 MSHRs", Some 2); ("4 MSHRs", Some 4);
+           ("8 MSHRs", Some 8); ("inverted MSHR (paper)", None) ])
   in
-  { sweep_name = "data-cache miss-handling entries (Farkas & Jouppi, ISCA'94)";
-    benchmark = ctx.bench_name; points }
+  { sweep_name; benchmark = ctx.bench_name; points }
 
-let queue_organization ?jobs ?ctx ?max_instrs bench =
+let queue_organization ?jobs ?ctx ?max_instrs ?retries ?backoff ?inject_fault ?checkpoint
+    bench =
   let ctx = get_ctx ?ctx ?max_instrs bench in
   let trace = local_trace ctx in
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let sweep_name = "dispatch-queue organization (single queue vs per-class queues)" in
   let points =
-    Pool.parallel_map ~jobs
-      (fun (label, split, entries) ->
-        let cfg =
-          { (Machine.dual_cluster ()) with Machine.queue_split = split; dq_entries = entries }
-        in
-        point_of ctx label (Machine.run cfg trace))
-      [ ("unified 64 (paper)", Machine.Unified, 64);
-        ("split 32/16/16 (R10000-style)", Machine.Per_class, 64);
-        ("unified 32", Machine.Unified, 32);
-        ("split 16/8/8", Machine.Per_class, 32) ]
+    run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name
+      ~benchmark:ctx.bench_name ~max_instrs:ctx.max_instrs
+      (List.map
+         (fun (label, split, entries) ->
+           ( label,
+             fun () ->
+               let cfg =
+                 { (Machine.dual_cluster ()) with
+                   Machine.queue_split = split;
+                   dq_entries = entries }
+               in
+               point_of ctx label (Machine.run cfg trace) ))
+         [ ("unified 64 (paper)", Machine.Unified, 64);
+           ("split 32/16/16 (R10000-style)", Machine.Per_class, 64);
+           ("unified 32", Machine.Unified, 32);
+           ("split 16/8/8", Machine.Per_class, 32) ])
   in
-  { sweep_name = "dispatch-queue organization (single queue vs per-class queues)";
-    benchmark = ctx.bench_name; points }
+  { sweep_name; benchmark = ctx.bench_name; points }
 
 (* A hand-written streaming kernel whose iterations are fully independent
    (only the trivial induction variable is loop-carried): the code shape
@@ -286,7 +429,8 @@ let stream_kernel ~trip =
   in
   Builder.finish b ~entry
 
-let unrolling_kernel ?jobs ?(max_instrs = 40_000) ?(factors = [ 1; 2; 4 ]) () =
+let unrolling_kernel ?jobs ?(max_instrs = 40_000) ?(factors = [ 1; 2; 4 ]) ?retries
+    ?backoff ?inject_fault ?checkpoint () =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let prog = stream_kernel ~trip:20_000 in
   let profile0 = Walker.profile prog in
@@ -294,25 +438,32 @@ let unrolling_kernel ?jobs ?(max_instrs = 40_000) ?(factors = [ 1; 2; 4 ]) () =
   let native_trace = Walker.trace ~max_instrs native.Pipeline.mach in
   let single = Machine.run (Machine.single_cluster ()) native_trace in
   let ctx_single = single.Machine.cycles in
+  let sweep_name = "loop unrolling on an unroll-friendly streaming kernel" in
   let points =
-    Pool.parallel_map ~jobs
-      (fun factor ->
-        let prog' = Mcsim_compiler.Unroll.unroll ~factor prog in
-        let profile = Walker.profile prog' in
-        let c = Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog' in
-        let trace = Walker.trace ~max_instrs c.Pipeline.mach in
-        let r = Machine.run (Machine.dual_cluster ()) trace in
-        { label = (if factor = 1 then "no unrolling" else Printf.sprintf "unroll x%d" factor);
-          dual_cycles = r.Machine.cycles;
-          speedup_pct =
-            Mcsim_timing.Net_performance.speedup_pct ~single_cycles:ctx_single
-              ~dual_cycles:r.Machine.cycles;
-          replays = r.Machine.replays;
-          dual_distributed = r.Machine.dual_distributed })
-      factors
+    run_points ?retries ?backoff ?inject_fault ?checkpoint ~jobs ~sweep_name
+      ~benchmark:"stream" ~max_instrs
+      (List.map
+         (fun factor ->
+           let label =
+             if factor = 1 then "no unrolling" else Printf.sprintf "unroll x%d" factor
+           in
+           ( label,
+             fun () ->
+               let prog' = Mcsim_compiler.Unroll.unroll ~factor prog in
+               let profile = Walker.profile prog' in
+               let c = Pipeline.compile ~profile ~scheduler:Pipeline.default_local prog' in
+               let trace = Walker.trace ~max_instrs c.Pipeline.mach in
+               let r = Machine.run (Machine.dual_cluster ()) trace in
+               { label;
+                 dual_cycles = r.Machine.cycles;
+                 speedup_pct =
+                   Mcsim_timing.Net_performance.speedup_pct ~single_cycles:ctx_single
+                     ~dual_cycles:r.Machine.cycles;
+                 replays = r.Machine.replays;
+                 dual_distributed = r.Machine.dual_distributed } ))
+         factors)
   in
-  { sweep_name = "loop unrolling on an unroll-friendly streaming kernel";
-    benchmark = "stream"; points }
+  { sweep_name; benchmark = "stream"; points }
 
 let render s =
   let header = [ "point"; "cycles"; "vs single"; "replays"; "dual-dist" ] in

@@ -10,7 +10,16 @@
     {!ctx} to several sweeps over one benchmark to reuse its profile,
     native binary/trace, single-cluster baseline and (memoized)
     local-scheduler binary instead of recomputing them per sweep. When
-    [ctx] is given, [max_instrs] is ignored. *)
+    [ctx] is given, [max_instrs] is ignored.
+
+    Every sweep also takes the durability knobs of
+    {!Mcsim_util.Pool.parallel_map} ([?retries], [?backoff],
+    [?inject_fault]) and [?checkpoint]: with a checkpoint directory,
+    each completed point is durably recorded (one {!Checkpoint} unit
+    per point, keyed by label) and skipped when the sweep reruns, so an
+    interrupted sweep finishes from where it died with identical
+    points. A directory holding a different sweep (name, benchmark,
+    trace budget or point set) is refused with [Failure]. *)
 
 type point = {
   label : string;
@@ -39,50 +48,73 @@ val make_ctx : ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> ctx
 
 val transfer_buffers :
   ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> ?sizes:int list ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
   Mcsim_workload.Spec92.benchmark -> sweep
 (** Operand/result transfer-buffer entries per cluster (paper: 8).
     Default sizes 2, 4, 8, 16, 32. *)
 
 val imbalance_threshold :
   ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> ?thresholds:int list ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
   Mcsim_workload.Spec92.benchmark -> sweep
 (** The local scheduler's compile-time balance constant. *)
 
 val partitioners :
-  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
+  Mcsim_workload.Spec92.benchmark -> sweep
 (** none / random / round-robin / local on the dual-cluster machine. *)
 
 val global_registers :
-  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
+  Mcsim_workload.Spec92.benchmark -> sweep
 (** Global-register designation: none / sp only / sp+gp (paper) — the
     assignment the hardware uses for the same native binary. *)
 
 val dispatch_queue_split :
-  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
+  Mcsim_workload.Spec92.benchmark -> sweep
 (** Single-cluster machine with dispatch queues of 32–256 entries — the
     compress effect's other half (paper §4.2 discussion). *)
 
 val memory_latency :
   ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> ?latencies:int list ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
   Mcsim_workload.Spec92.benchmark -> sweep
 (** Sensitivity of the dual-vs-single comparison to the memory interface's
     fetch latency (the paper fixes it at 16 cycles); each point re-runs
     both machines with the same memory. *)
 
 val mshr_entries :
-  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
+  Mcsim_workload.Spec92.benchmark -> sweep
 (** Conventional n-entry MSHR files vs the paper's inverted MSHR (its
     reference [12]): how much the unlimited-outstanding-miss assumption is
     worth on a miss-heavy benchmark. *)
 
 val queue_organization :
-  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> Mcsim_workload.Spec92.benchmark -> sweep
+  ?jobs:int -> ?ctx:ctx -> ?max_instrs:int ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
+  Mcsim_workload.Spec92.benchmark -> sweep
 (** The paper's single dispatch queue per cluster vs the R10000-style
     per-class split it contrasts itself with (§1), at equal total
     entries. *)
 
 val unrolling :
   ?jobs:int -> ?ctx:ctx -> ?max_instrs:int -> ?factors:int list ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
   Mcsim_workload.Spec92.benchmark -> sweep
 (** The §6 loop-unrolling extension: unroll the benchmark's inner loops
     (factors default 1/2/4), reschedule with the local scheduler, and run
@@ -91,7 +123,10 @@ val unrolling :
     local-scheduler binary (unrolling by 1 is the identity). *)
 
 val unrolling_kernel :
-  ?jobs:int -> ?max_instrs:int -> ?factors:int list -> unit -> sweep
+  ?jobs:int -> ?max_instrs:int -> ?factors:int list ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
+  unit -> sweep
 (** The same sweep on a hand-written reduction kernel whose iterations
     are genuinely independent apart from one accumulator — the code shape
     the paper's unrolling proposal assumes. *)

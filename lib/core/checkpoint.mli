@@ -1,0 +1,70 @@
+(** Durable per-unit result store for long sweeps.
+
+    A checkpoint is a directory holding one small JSON file per
+    completed sweep unit (a Table-2 benchmark stage, an ablation point,
+    a cluster-count cell, ...), each in the {!Mcsim_obs.Metrics}
+    snapshot schema, plus a [sweep.json] identity record. An
+    interrupted sweep re-opened on the same directory skips every
+    recorded unit and recomputes only the missing ones, so resuming
+    produces output identical to an uninterrupted run.
+
+    Safety comes from the identity record: it pins the sweep [kind],
+    the full {!Mcsim_obs.Manifest} (machine config digest, seed,
+    engine, sampling policy, trace length — everything except the
+    creation timestamp) and any sweep-specific parameters. Opening a
+    directory whose identity disagrees raises a one-line [Failure]
+    ("checkpoint ... was written by a different sweep"), which the CLI
+    surfaces as [mcsim: error: ...] — a stale checkpoint is refused,
+    never silently reused.
+
+    Unit writes are atomic (write to a temp file in the same directory,
+    then rename), so a unit file is either complete and valid or absent;
+    a torn write from a killed process decodes as corrupt and is
+    recomputed and overwritten on resume. A [t] is safe to share across
+    domains: lookups and writes are serialized by an internal mutex. *)
+
+type t
+
+val open_ :
+  dir:string ->
+  kind:string ->
+  manifest:Mcsim_obs.Manifest.t ->
+  ?extra:(string * Mcsim_obs.Json.t) list ->
+  unit ->
+  t
+(** Open (creating if needed, including parents) checkpoint directory
+    [dir] for a sweep identified by [kind], [manifest] and the
+    sweep-specific [extra] parameters. On first open the identity is
+    written to [dir/sweep.json]; on re-open it is compared field by
+    field ([manifest.created_unix] excepted).
+
+    @raise Failure (one line) when [dir] exists with a different
+    identity, or when [dir/sweep.json] is unreadable or corrupt. *)
+
+val find : t -> string -> Mcsim_obs.Json.t option
+(** [find t key] is the [data] object recorded for unit [key], or
+    [None] when the unit is unrecorded (or its file is corrupt — a
+    corrupt unit is treated as missing and will be overwritten by the
+    next {!record}). *)
+
+val record : t -> key:string -> (string * Mcsim_obs.Json.t) list -> unit
+(** [record t ~key fields] durably stores unit [key]'s results. The
+    unit file is a [Metrics]-schema snapshot ([kind = "unit"], the
+    sweep's manifest, and [data] holding ["unit_key"] plus [fields]).
+    Re-recording a key overwrites its file. *)
+
+val keys : t -> string list
+(** The keys of every decodable recorded unit, sorted. *)
+
+val dir : t -> string
+(** The directory this checkpoint lives in. *)
+
+val write_command : dir:string -> (string * Mcsim_obs.Json.t) list -> unit
+(** Write [dir/command.json] — the CLI invocation that started the
+    sweep, stored before any unit runs so [mcsim resume] can
+    reconstruct and finish it. Creates [dir] if needed. *)
+
+val read_command : dir:string -> (string * Mcsim_obs.Json.t) list
+(** Read back {!write_command}'s record.
+    @raise Failure (one line) when [dir/command.json] is missing or
+    corrupt — e.g. when [dir] is not a checkpoint directory. *)

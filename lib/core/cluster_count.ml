@@ -21,15 +21,32 @@ let config_for = function
   | 4 -> Machine.quad_cluster ()
   | n -> invalid_arg (Printf.sprintf "Cluster_count: %d clusters" n)
 
-let run ?jobs ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) () =
+module Json = Mcsim_obs.Json
+
+let run ?jobs ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?retries
+    ?backoff ?inject_fault ?checkpoint () =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let store =
+    Option.map
+      (fun dir ->
+        let manifest =
+          Mcsim_obs.Manifest.make ~seed
+            ~benchmark:(String.concat "," (List.map Spec92.name benchmarks))
+            ~trace_instrs:max_instrs (config_for 1)
+        in
+        let extra =
+          [ ("cluster_counts", Json.List (List.map (fun c -> Json.Int c) cluster_counts)) ]
+        in
+        Checkpoint.open_ ~dir ~kind:"clusters" ~manifest ~extra ())
+      checkpoint
+  in
   (* Stage 1: one job per benchmark (program + profile). Stage 2: one job
      per (benchmark x cluster count); each compiles, traces and simulates
      independently from the shared immutable profile, so the rows are the
      same for every [jobs]. *)
   let preps =
     Array.of_list
-      (Pool.parallel_map ~jobs
+      (Pool.parallel_map ?retries ?backoff ?inject_fault ~jobs
          (fun b ->
            let prog = Spec92.program b in
            (b, prog, Walker.profile ~seed prog))
@@ -39,18 +56,50 @@ let run ?jobs ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) () =
     List.concat
       (List.mapi (fun i _ -> List.map (fun c -> (i, c)) cluster_counts) benchmarks)
   in
-  let outs =
-    Pool.parallel_map ~jobs
-      (fun (i, clusters) ->
+  (* One durable unit per (benchmark, cluster count); cached cells are
+     decoded serially here, before the fan-out. *)
+  let key (i, clusters) =
+    let b, _, _ = preps.(i) in
+    Spec92.name b ^ "/" ^ string_of_int clusters
+  in
+  let cached =
+    List.map
+      (fun s ->
+        let hit =
+          Option.bind store (fun st ->
+              Option.bind (Checkpoint.find st (key s)) (fun d ->
+                  Option.bind (Json.member "result" d) Mcsim_obs.Metrics.result_of_json))
+        in
+        (s, hit))
+      sims
+  in
+  let exec = List.filter_map (fun (s, hit) -> if hit = None then Some s else None) cached in
+  let fresh =
+    Pool.parallel_map ?retries ?backoff ?inject_fault ~jobs
+      (fun ((i, clusters) as s) ->
         let _, prog, profile = preps.(i) in
         let scheduler =
           if clusters = 1 then Pipeline.Sched_none else Pipeline.default_local
         in
         let c = Pipeline.compile ~clusters ~profile ~scheduler prog in
         let trace = Walker.trace ~seed ~max_instrs c.Pipeline.mach in
-        Machine.run (config_for clusters) trace)
-      sims
+        let r = Machine.run (config_for clusters) trace in
+        Option.iter
+          (fun st ->
+            Checkpoint.record st ~key:(key s)
+              [ ("result", Mcsim_obs.Metrics.result_json r) ])
+          store;
+        r)
+      exec
   in
+  let rec merge cached fresh =
+    match cached with
+    | [] -> []
+    | (_, Some r) :: tl -> r :: merge tl fresh
+    | (_, None) :: tl -> (
+      match fresh with [] -> assert false | r :: rest -> r :: merge tl rest)
+  in
+  let outs = merge cached fresh in
   let per_bench = List.length cluster_counts in
   List.mapi
     (fun i (b, _, _) ->

@@ -23,10 +23,21 @@ val cluster_counts : int list
 
 val run :
   ?jobs:int -> ?max_instrs:int -> ?seed:int ->
-  ?benchmarks:Mcsim_workload.Spec92.benchmark list -> unit -> row list
+  ?benchmarks:Mcsim_workload.Spec92.benchmark list ->
+  ?retries:int -> ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) -> ?checkpoint:string ->
+  unit -> row list
 (** [jobs] (default {!Mcsim_util.Pool.default_jobs}) fans the
     independent (benchmark × cluster-count) compilations and simulations
     out over that many domains; the rows are identical for every [jobs]
-    value. *)
+    value.
+
+    [retries]/[backoff]/[inject_fault] are forwarded to
+    {!Mcsim_util.Pool.parallel_map}; with [checkpoint], every completed
+    (benchmark, cluster-count) cell is durably recorded in that
+    directory and skipped on rerun, so an interrupted sweep resumes
+    with identical rows. A directory from a different sweep (seed,
+    benchmarks, trace budget or machine config) is refused with
+    [Failure]. *)
 
 val render : row list -> string

@@ -62,11 +62,12 @@ let simulate ~engine ~sampling cfg trace =
   | None -> Machine.run ?engine cfg trace
   | Some policy -> Sampling.estimate (Sampling.run ?engine ~policy cfg trace)
 
-let run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config preps = function
+let run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config prep_of =
+  function
   | Sim_single i ->
-    Out_single (simulate ~engine ~sampling single_config preps.(i).p_native_trace)
+    Out_single (simulate ~engine ~sampling single_config (prep_of i).p_native_trace)
   | Sim_sched (i, (name, scheduler)) ->
-    let prep = preps.(i) in
+    let prep = prep_of i in
     let compiled =
       match scheduler with
       | Pipeline.Sched_none -> prep.p_native
@@ -90,57 +91,255 @@ let run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config prep
         static_dual;
         spills = List.length compiled.Pipeline.alloc.Mcsim_compiler.Regalloc.spilled_lrs }
 
-let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
-    ?(schedulers = default_schedulers) ?engine ?sampling ?single_config ?dual_config progs =
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Mcsim_obs.Json
+module Metrics = Mcsim_obs.Metrics
+
+let ( let* ) = Option.bind
+
+(* One durable unit per simulation, plus a per-benchmark meta record for
+   the value that stage-1 preparation contributes to the output (the
+   committed trace length). *)
+let key_meta name = name ^ "/meta"
+let key_single name = name ^ "/single"
+let key_sched name sname = name ^ "/sched/" ^ sname
+
+let open_store ~dir ~seed ~max_instrs ~engine ~sampling ~schedulers ~single_config
+    ~dual_config progs =
+  let manifest =
+    Mcsim_obs.Manifest.make ?engine ~seed ?sampling
+      ~benchmark:
+        (String.concat "," (List.map (fun p -> p.Mcsim_ir.Program.name) progs))
+      ~trace_instrs:max_instrs dual_config
+  in
+  (* The manifest pins the dual config, seed, engine, sampling policy and
+     trace budget; everything else that changes the rows goes in here. *)
+  let extra =
+    [ ("single_config", Json.String (Mcsim_obs.Manifest.config_description single_config));
+      ("schedulers", Json.List (List.map (fun (n, _) -> Json.String n) schedulers));
+      ("sampling_seed",
+       match sampling with
+       | Some p -> Json.Int p.Sampling.seed
+       | None -> Json.Null) ]
+  in
+  Checkpoint.open_ ~dir ~kind:"experiment" ~manifest ~extra ()
+
+let cached_out store name = function
+  | Sim_single _ ->
+    let* d = Checkpoint.find store (key_single name) in
+    let* r = Json.member "result" d in
+    let* r = Metrics.result_of_json r in
+    Some (Out_single r)
+  | Sim_sched (_, (sname, _)) ->
+    let* d = Checkpoint.find store (key_sched name sname) in
+    let* dual = Json.member "result" d in
+    let* dual = Metrics.result_of_json dual in
+    let int k = Option.bind (Json.member k d) Json.get_int in
+    let* static_single = int "static_single" in
+    let* static_dual = int "static_dual" in
+    let* spills = int "spills" in
+    Some (Out_sched { name = sname; dual; static_single; static_dual; spills })
+
+let record_out store bench out =
+  match out with
+  | Out_single r ->
+    Checkpoint.record store ~key:(key_single bench) [ ("result", Metrics.result_json r) ]
+  | Out_sched { name = sname; dual; static_single; static_dual; spills } ->
+    Checkpoint.record store ~key:(key_sched bench sname)
+      [ ("result", Metrics.result_json dual);
+        ("static_single", Json.Int static_single);
+        ("static_dual", Json.Int static_dual);
+        ("spills", Json.Int spills) ]
+
+(* ------------------------------------------------------------------ *)
+(* The fan-out core                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Like run_many, but durable: failure degrades to a per-benchmark
+   [Error] instead of aborting the sweep, and with [checkpoint] every
+   completed unit is stored and never recomputed. Cached units are
+   decoded serially before any fan-out, so [retries]/[inject_fault]
+   only ever apply to units that actually execute. *)
+let run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_config
+    ~dual_config ~retries ~backoff ~inject_fault ~checkpoint progs :
+    (comparison, Pool.failure) result list =
   let single_config =
     match single_config with Some c -> c | None -> Machine.single_cluster ()
   in
   let dual_config = match dual_config with Some c -> c | None -> Machine.dual_cluster () in
-  (* Stage 1: per-benchmark preparation, one job per benchmark. *)
-  let preps = Array.of_list (Pool.parallel_map ~jobs (make_prep ~seed ~max_instrs) progs) in
-  (* Stage 2: every (benchmark x scheduler x machine-config) simulation is
-     its own job. Job order fixes result order; which domain runs which
+  let store =
+    Option.map
+      (fun dir ->
+        open_store ~dir ~seed ~max_instrs ~engine ~sampling ~schedulers ~single_config
+          ~dual_config progs)
+      checkpoint
+  in
+  let names = Array.of_list (List.map (fun p -> p.Mcsim_ir.Program.name) progs) in
+  let n = Array.length names in
+  let unit_specs i = Sim_single i :: List.map (fun s -> Sim_sched (i, s)) schedulers in
+  (* Serial pre-pass: what the checkpoint already holds. *)
+  let cached =
+    Array.init n (fun i ->
+        List.map
+          (fun spec ->
+            let out = Option.bind store (fun st -> cached_out st names.(i) spec) in
+            (spec, out))
+          (unit_specs i))
+  in
+  let cached_meta =
+    Array.init n (fun i ->
+        let* st = store in
+        let* d = Checkpoint.find st (key_meta names.(i)) in
+        Option.bind (Json.member "trace_instrs" d) Json.get_int)
+  in
+  let needs_prep i =
+    Option.is_none cached_meta.(i)
+    || List.exists (fun (_, out) -> Option.is_none out) cached.(i)
+  in
+  (* Stage 1: per-benchmark preparation, one job per benchmark that
+     still has work to do. *)
+  let prep_jobs =
+    List.filteri (fun i _ -> needs_prep i) (List.mapi (fun i p -> (i, p)) progs)
+  in
+  let preps : prep option array = Array.make n None in
+  let prep_fail : Pool.failure option array = Array.make n None in
+  Pool.parallel_map_status ~retries ?backoff ?inject_fault ~jobs
+    (fun (i, prog) ->
+      let p = make_prep ~seed ~max_instrs prog in
+      Option.iter
+        (fun st ->
+          Checkpoint.record st ~key:(key_meta names.(i))
+            [ ("trace_instrs", Json.Int (Array.length p.p_native_trace)) ])
+        store;
+      (i, p))
+    prep_jobs
+  |> List.iter2
+       (fun (i, _) st ->
+         match st with
+         | Pool.Done (_, p) -> preps.(i) <- Some p
+         | Pool.Failed f -> prep_fail.(i) <- Some f)
+       prep_jobs;
+  (* Stage 2: every still-missing (benchmark x scheduler x machine-config)
+     simulation is its own job, for benchmarks whose preparation
+     succeeded. Job order fixes result order; which domain runs which
      job is irrelevant because jobs share nothing mutable. *)
-  let sims =
+  let exec =
     List.concat
-      (List.mapi
-         (fun i _ -> Sim_single i :: List.map (fun s -> Sim_sched (i, s)) schedulers)
-         progs)
+      (List.init n (fun i ->
+           if Option.is_none preps.(i) then []
+           else
+             List.filter_map
+               (fun (spec, out) -> if Option.is_none out then Some spec else None)
+               cached.(i)))
   in
-  let outs =
-    Pool.parallel_map ~jobs
-      (run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config preps)
-      sims
-  in
-  (* Reassemble: stage-2 results arrive grouped per benchmark, single
-     first, then the schedulers in request order. *)
-  let per_bench = 1 + List.length schedulers in
-  List.mapi
-    (fun i prep ->
-      let outs = List.filteri (fun j _ -> j / per_bench = i) outs in
-      match outs with
-      | Out_single single :: sched_outs ->
-        let runs =
-          List.map
-            (function
-              | Out_sched { name; dual; static_single; static_dual; spills } ->
-                { scheduler = name;
-                  dual;
-                  speedup_pct =
-                    Mcsim_timing.Net_performance.speedup_pct
-                      ~single_cycles:single.Machine.cycles ~dual_cycles:dual.Machine.cycles;
-                  static_single;
-                  static_dual;
-                  spills }
-              | Out_single _ -> assert false)
-            sched_outs
+  let get_prep i = Option.get preps.(i) in
+  let exec_statuses =
+    Pool.parallel_map_status ~retries ?backoff ?inject_fault ~jobs
+      (fun spec ->
+        let out =
+          run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config get_prep
+            spec
         in
-        { benchmark = prep.p_prog.Mcsim_ir.Program.name;
-          trace_instrs = Array.length prep.p_native_trace;
-          single;
-          runs }
-      | Out_sched _ :: _ | [] -> assert false)
-    (Array.to_list preps)
+        let bench = match spec with Sim_single i | Sim_sched (i, _) -> names.(i) in
+        Option.iter (fun st -> record_out st bench out) store;
+        out)
+      exec
+  in
+  (* Reassemble in benchmark order: cached units and freshly computed
+     ones interleave exactly as the exec list was built. next_fresh
+     consumes the exec statuses positionally, so every consumer below
+     sequences its recursion with explicit [let] bindings — OCaml
+     evaluates [::] and constructor arguments right-to-left, which
+     would otherwise visit the benchmarks backwards. *)
+  let fresh = ref exec_statuses in
+  let next_fresh () =
+    match !fresh with
+    | [] -> assert false
+    | st :: tl ->
+      fresh := tl;
+      st
+  in
+  let assemble i =
+    match prep_fail.(i) with
+    | Some f ->
+      (* A benchmark whose preparation exhausted its retries never ran
+         any simulations, so it consumed nothing from the exec list. *)
+      Error f
+    | None -> (
+      let statuses =
+        let rec take = function
+          | [] -> []
+          | (_, Some out) :: tl -> Pool.Done out :: take tl
+          | (_, None) :: tl ->
+            let st = next_fresh () in
+            st :: take tl
+        in
+        take cached.(i)
+      in
+      match
+        List.find_map (function Pool.Failed f -> Some f | Pool.Done _ -> None) statuses
+      with
+      | Some f -> Error f
+      | None -> (
+        let outs =
+          List.map (function Pool.Done o -> o | Pool.Failed _ -> assert false) statuses
+        in
+        match outs with
+        | Out_single single :: sched_outs ->
+          let runs =
+            List.map
+              (function
+                | Out_sched { name; dual; static_single; static_dual; spills } ->
+                  { scheduler = name;
+                    dual;
+                    speedup_pct =
+                      Mcsim_timing.Net_performance.speedup_pct
+                        ~single_cycles:single.Machine.cycles
+                        ~dual_cycles:dual.Machine.cycles;
+                    static_single;
+                    static_dual;
+                    spills }
+                | Out_single _ -> assert false)
+              sched_outs
+          in
+          let trace_instrs =
+            match preps.(i) with
+            | Some p -> Array.length p.p_native_trace
+            | None -> Option.get cached_meta.(i)
+          in
+          Ok { benchmark = names.(i); trace_instrs; single; runs }
+        | Out_sched _ :: _ | [] -> assert false))
+  in
+  let rec loop i =
+    if i >= n then []
+    else
+      let c = assemble i in
+      c :: loop (i + 1)
+  in
+  loop 0
+
+let run_many_status ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
+    ?(schedulers = default_schedulers) ?engine ?sampling ?single_config ?dual_config
+    ?(retries = 0) ?backoff ?inject_fault ?checkpoint progs =
+  run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_config
+    ~dual_config ~retries ~backoff ~inject_fault ~checkpoint progs
+  |> List.map (Result.map_error Pool.failure_message)
+
+let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
+    ?(schedulers = default_schedulers) ?engine ?sampling ?single_config ?dual_config
+    ?(retries = 0) ?backoff ?inject_fault ?checkpoint progs =
+  let results =
+    run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_config
+      ~dual_config ~retries ~backoff ~inject_fault ~checkpoint progs
+  in
+  (* As if the sweep had run serially: the first failing benchmark's
+     exception propagates with its original backtrace. *)
+  match List.find_map (function Error f -> Some f | Ok _ -> None) results with
+  | Some f -> Printexc.raise_with_backtrace f.Pool.exn f.Pool.backtrace
+  | None -> List.map (function Ok c -> c | Error _ -> assert false) results
 
 let run_benchmark ?(max_instrs = 120_000) ?(seed = 1)
     ?(schedulers = default_schedulers) ?engine ?sampling ?single_config ?dual_config prog =

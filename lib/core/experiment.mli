@@ -39,6 +39,10 @@ val run_many :
   ?sampling:Mcsim_sampling.Sampling.policy ->
   ?single_config:Mcsim_cluster.Machine.config ->
   ?dual_config:Mcsim_cluster.Machine.config ->
+  ?retries:int ->
+  ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) ->
+  ?checkpoint:string ->
   Mcsim_ir.Program.t list ->
   comparison list
 (** Run the flow for many benchmarks, fanning the independent
@@ -53,11 +57,48 @@ val run_many :
     extrapolations. Traces must be long enough for two complete sampling
     units (@raise Invalid_argument otherwise).
 
+    [retries], [backoff] and [inject_fault] are per-unit durability
+    knobs, forwarded to {!Mcsim_util.Pool.parallel_map_status}; a
+    benchmark whose retries are exhausted raises its last exception
+    after the rest of the sweep has finished (use {!run_many_status}
+    for graceful degradation instead).
+
+    [checkpoint] names a durable {!Checkpoint} directory: every
+    completed unit (per-benchmark preparation metadata, the
+    single-cluster baseline, each scheduler's dual run) is recorded
+    there as it finishes and skipped on the next call, so an
+    interrupted sweep resumes where it died and returns exactly what
+    the uninterrupted sweep would have. A directory written by a
+    different sweep (config, seed, engine, sampling, schedulers,
+    benchmark set or trace budget) is refused with [Failure].
+
     Determinism: every simulation derives all randomness from [seed]
     (and, under [sampling], the policy's own seed) plus its task
     description, and tasks share only immutable data (the per-benchmark
     profile, native binary and trace), so the output is bit-for-bit
-    identical for every [jobs] value. *)
+    identical for every [jobs] value — and, because cached units are
+    exact recordings, for every interruption point. *)
+
+val run_many_status :
+  ?jobs:int ->
+  ?max_instrs:int ->
+  ?seed:int ->
+  ?schedulers:(string * Mcsim_compiler.Pipeline.scheduler) list ->
+  ?engine:Mcsim_cluster.Machine.engine ->
+  ?sampling:Mcsim_sampling.Sampling.policy ->
+  ?single_config:Mcsim_cluster.Machine.config ->
+  ?dual_config:Mcsim_cluster.Machine.config ->
+  ?retries:int ->
+  ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) ->
+  ?checkpoint:string ->
+  Mcsim_ir.Program.t list ->
+  (comparison, string) result list
+(** {!run_many}, degrading failure to data: a benchmark with a unit
+    that exhausted its retries yields [Error message] (one line, from
+    {!Mcsim_util.Pool.failure_message}) instead of aborting the sweep,
+    and with [checkpoint] its completed units remain recorded so only
+    the failed ones rerun on resume. *)
 
 val run_benchmark :
   ?max_instrs:int ->

@@ -16,30 +16,51 @@ let paper =
   [ ("compress", -14.0, 6.0); ("doduc", -21.0, -15.0); ("gcc1", -15.0, -10.0);
     ("ora", -5.0, -22.0); ("su2cor", -36.0, -25.0); ("tomcatv", -41.0, -19.0) ]
 
+type report = {
+  rows : row list;  (** in benchmark order, failed benchmarks omitted *)
+  failed : (string * string) list;  (** (benchmark, one-line reason) *)
+}
+
+let row_of_comparison b (c : Experiment.comparison) =
+  let find name =
+    match List.find_opt (fun r -> r.Experiment.scheduler = name) c.Experiment.runs with
+    | Some r -> r
+    | None -> failwith "Table2.run: missing scheduler run"
+  in
+  let none = find "none" and local = find "local" in
+  { benchmark = Spec92.name b;
+    none_pct = none.Experiment.speedup_pct;
+    local_pct = local.Experiment.speedup_pct;
+    single_cycles = c.Experiment.single.Machine.cycles;
+    none_cycles = none.Experiment.dual.Machine.cycles;
+    local_cycles = local.Experiment.dual.Machine.cycles;
+    none_replays = none.Experiment.dual.Machine.replays;
+    local_replays = local.Experiment.dual.Machine.replays }
+
 let run ?jobs ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?engine
-    ?sampling ?single_config ?dual_config () =
+    ?sampling ?single_config ?dual_config ?retries ?backoff ?inject_fault ?checkpoint ()
+    =
   let comparisons =
     Experiment.run_many ?jobs ~max_instrs ~seed ?engine ?sampling ?single_config
-      ?dual_config
+      ?dual_config ?retries ?backoff ?inject_fault ?checkpoint
       (List.map Spec92.program benchmarks)
   in
-  List.map2
-    (fun b c ->
-      let find name =
-        match List.find_opt (fun r -> r.Experiment.scheduler = name) c.Experiment.runs with
-        | Some r -> r
-        | None -> failwith "Table2.run: missing scheduler run"
-      in
-      let none = find "none" and local = find "local" in
-      { benchmark = Spec92.name b;
-        none_pct = none.Experiment.speedup_pct;
-        local_pct = local.Experiment.speedup_pct;
-        single_cycles = c.Experiment.single.Machine.cycles;
-        none_cycles = none.Experiment.dual.Machine.cycles;
-        local_cycles = local.Experiment.dual.Machine.cycles;
-        none_replays = none.Experiment.dual.Machine.replays;
-        local_replays = local.Experiment.dual.Machine.replays })
-    benchmarks comparisons
+  List.map2 row_of_comparison benchmarks comparisons
+
+let run_report ?jobs ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all)
+    ?engine ?sampling ?single_config ?dual_config ?retries ?backoff ?inject_fault
+    ?checkpoint () =
+  let statuses =
+    Experiment.run_many_status ?jobs ~max_instrs ~seed ?engine ?sampling ?single_config
+      ?dual_config ?retries ?backoff ?inject_fault ?checkpoint
+      (List.map Spec92.program benchmarks)
+  in
+  List.fold_right2
+    (fun b status report ->
+      match status with
+      | Ok c -> { report with rows = row_of_comparison b c :: report.rows }
+      | Error msg -> { report with failed = (Spec92.name b, msg) :: report.failed })
+    benchmarks statuses { rows = []; failed = [] }
 
 let pct v = Printf.sprintf "%+.1f" v
 

@@ -26,6 +26,10 @@ val run :
   ?sampling:Mcsim_sampling.Sampling.policy ->
   ?single_config:Mcsim_cluster.Machine.config ->
   ?dual_config:Mcsim_cluster.Machine.config ->
+  ?retries:int ->
+  ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) ->
+  ?checkpoint:string ->
   unit ->
   row list
 (** Default [max_instrs] 120_000, seed 1, all six benchmarks, the paper's
@@ -41,7 +45,39 @@ val run :
     between [~engine:`Scan] and the default is a simulator bug worth
     bisecting. [sampling] replaces every detailed machine run
     with its sampled estimate — cycle columns become extrapolations
-    (see {!Mcsim_sampling.Sampling}). *)
+    (see {!Mcsim_sampling.Sampling}).
+
+    [retries]/[backoff]/[inject_fault]/[checkpoint] are the durability
+    knobs of {!Experiment.run_many}: with [checkpoint], completed
+    units are stored in that directory and an interrupted sweep, rerun
+    with the same arguments, resumes and produces identical rows. A
+    benchmark that fails all its attempts raises here — use
+    {!run_report} to degrade it to a report entry instead. *)
+
+type report = {
+  rows : row list;  (** in benchmark order, failed benchmarks omitted *)
+  failed : (string * string) list;  (** (benchmark, one-line reason) *)
+}
+
+val run_report :
+  ?jobs:int ->
+  ?max_instrs:int ->
+  ?seed:int ->
+  ?benchmarks:Mcsim_workload.Spec92.benchmark list ->
+  ?engine:Mcsim_cluster.Machine.engine ->
+  ?sampling:Mcsim_sampling.Sampling.policy ->
+  ?single_config:Mcsim_cluster.Machine.config ->
+  ?dual_config:Mcsim_cluster.Machine.config ->
+  ?retries:int ->
+  ?backoff:(int -> float) ->
+  ?inject_fault:(job:int -> attempt:int -> bool) ->
+  ?checkpoint:string ->
+  unit ->
+  report
+(** {!run}, degrading permanent per-benchmark failure to data: rows
+    hold every benchmark that completed, [failed] names the ones that
+    exhausted their retries (the sweep itself never aborts). With
+    [checkpoint], rerunning finishes only what is missing. *)
 
 val render : row list -> string
 (** Side-by-side measured-vs-paper table. *)

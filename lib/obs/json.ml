@@ -275,3 +275,5 @@ let get_int = function
   | _ -> None
 
 let get_string = function String s -> Some s | _ -> None
+
+let get_float = function Float f -> Some f | Int n -> Some (float_of_int n) | _ -> None

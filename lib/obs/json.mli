@@ -49,3 +49,7 @@ val get_int : t -> int option
 (** [Int n] (or integral [Float]); [None] otherwise. *)
 
 val get_string : t -> string option
+
+val get_float : t -> float option
+(** [Float f] or [Int n] (the serializer prints integral floats without
+    a decimal point, so they reparse as [Int]); [None] otherwise. *)

@@ -17,7 +17,7 @@ type t = {
   config_digest : string;
 }
 
-let mcsim_version = "1.0.0"
+let mcsim_version = Version.v
 let schema_version = 1
 
 let engine_name : Machine.engine -> string = function

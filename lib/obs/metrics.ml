@@ -82,3 +82,90 @@ let snapshot ~manifest ~kind ?result ?profile ?sampling ?wall_seconds ?(gc = tru
       ("data", Json.Obj data) ]
 
 let write_file path v = Json.write_file path v "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Decoders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Option.bind
+
+let int_field j k = Option.bind (Json.member k j) Json.get_int
+let float_field j k = Option.bind (Json.member k j) Json.get_float
+
+let result_of_json j =
+  let* cycles = int_field j "cycles" in
+  let* retired = int_field j "retired" in
+  let* ipc = float_field j "ipc" in
+  let* single_distributed = int_field j "single_distributed" in
+  let* dual_distributed = int_field j "dual_distributed" in
+  let* replays = int_field j "replays" in
+  let* branch_accuracy = float_field j "branch_accuracy" in
+  let* icache_miss_rate = float_field j "icache_miss_rate" in
+  let* dcache_miss_rate = float_field j "dcache_miss_rate" in
+  let* counters =
+    match Json.member "counters" j with
+    | Some (Json.Obj fields) ->
+      List.fold_right
+        (fun (k, v) acc ->
+          let* acc = acc in
+          let* v = Json.get_int v in
+          Some ((k, v) :: acc))
+        fields (Some [])
+    | Some _ | None -> None
+  in
+  Some
+    { Machine.cycles;
+      retired;
+      ipc;
+      single_distributed;
+      dual_distributed;
+      replays;
+      branch_accuracy;
+      icache_miss_rate;
+      dcache_miss_rate;
+      counters;
+      counter_lookup = Mcsim_util.Stats.lookup_of_alist counters }
+
+let interval_of_json j =
+  let* index = int_field j "index" in
+  let* start = int_field j "start" in
+  let* warmup_cycles = int_field j "warmup_cycles" in
+  let* detail_cycles = int_field j "detail_cycles" in
+  let* detail_instrs = int_field j "detail_instrs" in
+  let* ipc = float_field j "ipc" in
+  Some { Sampling.index; start; warmup_cycles; detail_cycles; detail_instrs; ipc }
+
+let sampling_of_json ?(seed = 1) ~machine j =
+  let* policy_str = Option.bind (Json.member "policy" j) Json.get_string in
+  let* policy =
+    match Sampling.policy_of_string ~seed policy_str with
+    | Ok p -> Some p
+    | Error _ -> None
+  in
+  let* trace_instrs = int_field j "trace_instrs" in
+  let* mean_ipc = float_field j "mean_ipc" in
+  let* ci_halfwidth = float_field j "ci_halfwidth" in
+  let* est_cycles = int_field j "est_cycles" in
+  let* detailed_instrs = int_field j "detailed_instrs" in
+  let* warmed_instrs = int_field j "warmed_instrs" in
+  let* intervals =
+    match Json.member "intervals" j with
+    | Some (Json.List items) ->
+      List.fold_right
+        (fun item acc ->
+          let* acc = acc in
+          let* iv = interval_of_json item in
+          Some (iv :: acc))
+        items (Some [])
+    | Some _ | None -> None
+  in
+  Some
+    { Sampling.policy;
+      trace_instrs;
+      intervals;
+      mean_ipc;
+      ci_halfwidth;
+      detailed_instrs;
+      warmed_instrs;
+      est_cycles;
+      machine }

@@ -50,3 +50,20 @@ val required_keys : string list
 
 val write_file : string -> Json.t -> unit
 (** Write with a trailing newline. *)
+
+(** {2 Decoders} — inverses of the encoders above, used by the durable
+    experiment runner to reload checkpointed units. Each returns [None]
+    on a tree the matching encoder cannot have produced. *)
+
+val result_of_json : Json.t -> Mcsim_cluster.Machine.result option
+(** Inverse of {!result_json}: rebuilds the full result record
+    (including the binary-searchable counter snapshot) such that
+    [result_of_json (result_json r) = Some r] — the float fields survive
+    because {!Json.to_string} prints lossless shortest representations. *)
+
+val sampling_of_json :
+  ?seed:int -> machine:Mcsim_cluster.Machine.result -> Json.t -> Mcsim_sampling.Sampling.t option
+(** Inverse of {!sampling_json}. The encoder stores the policy as
+    ["interval:warmup:detail"], which drops its seed, and does not store
+    the aggregate machine counters; pass the run's [seed] (default 1)
+    and the separately-stored [machine] result to complete the record. *)

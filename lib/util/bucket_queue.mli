@@ -22,6 +22,7 @@ val length : 'a t -> int
 (** Entries added but not yet drained. *)
 
 val is_empty : 'a t -> bool
+(** [length t = 0]. *)
 
 val floor : 'a t -> int
 (** Smallest key that may still be added or drained. *)

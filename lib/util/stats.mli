@@ -5,10 +5,18 @@
     instructions per cycle) use [dist]. *)
 
 type dist
+(** A streaming accumulator over float samples: constant space, one
+    update per {!dist_add}, no sample retention. *)
 
 val dist_create : unit -> dist
+(** Empty accumulator. *)
+
 val dist_add : dist -> float -> unit
+(** Fold one sample into the accumulator. *)
+
 val dist_n : dist -> int
+(** Samples seen so far. *)
+
 val dist_mean : dist -> float
 (** 0 when empty. *)
 
@@ -16,6 +24,8 @@ val dist_var : dist -> float
 (** Population variance; 0 when fewer than 2 samples. *)
 
 val dist_stddev : dist -> float
+(** Square root of {!dist_var}. *)
+
 val dist_min : dist -> float
 (** [infinity] when empty. *)
 
@@ -23,12 +33,20 @@ val dist_max : dist -> float
 (** [neg_infinity] when empty. *)
 
 val dist_total : dist -> float
+(** Sum of all samples; 0 when empty. *)
 
 type counter_set
+(** A mutable bag of named integer counters, created lazily at 0. *)
 
 val counters_create : unit -> counter_set
+(** Empty counter set. *)
+
 val incr : counter_set -> string -> unit
+(** Add 1 to a named counter, creating it if absent. *)
+
 val add : counter_set -> string -> int -> unit
+(** Add an arbitrary amount to a named counter, creating it if absent. *)
+
 val get : counter_set -> string -> int
 (** 0 for never-touched counters. *)
 
@@ -49,7 +67,11 @@ type lookup
     counters). *)
 
 val lookup_of_alist : (string * int) list -> lookup
+(** Snapshot an association list (need not be sorted; later bindings of
+    a duplicate name win). *)
+
 val lookup_of_counters : counter_set -> lookup
+(** Snapshot a {!counter_set} at its current values. *)
 
 val lookup_get : lookup -> string -> int
 (** 0 for absent names. *)

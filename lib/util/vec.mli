@@ -16,7 +16,10 @@ val create : unit -> 'a t
 (** Empty vector with no backing storage (first [push] allocates). *)
 
 val length : 'a t -> int
+(** Live elements (the pushed-minus-cleared count, not the capacity). *)
+
 val is_empty : 'a t -> bool
+(** [length t = 0]. *)
 
 val get : 'a t -> int -> 'a
 (** @raise Invalid_argument if the index is out of bounds. *)

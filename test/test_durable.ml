@@ -1,0 +1,417 @@
+(* Tests for the durability layer: Pool retry/backoff/fault injection,
+   the Checkpoint store, the Metrics decoders it relies on, and
+   checkpoint/resume equivalence for the experiment sweeps. *)
+
+module Pool = Mcsim_util.Pool
+module Spec92 = Mcsim_workload.Spec92
+module Machine = Mcsim_cluster.Machine
+module Json = Mcsim_obs.Json
+module Metrics = Mcsim_obs.Metrics
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let temp_dir () = Filename.temp_dir "mcsim-test-durable" ""
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let contains_sub ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  n = 0
+  ||
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+(* ---------------------------- backoff ------------------------------ *)
+
+let backoff_shape () =
+  check (Alcotest.float 1e-12) "first delay" 0.005 (Pool.default_backoff 1);
+  check (Alcotest.float 1e-12) "doubles" 0.01 (Pool.default_backoff 2);
+  check (Alcotest.float 1e-12) "doubles again" 0.02 (Pool.default_backoff 3);
+  check (Alcotest.float 1e-12) "caps at 0.25" 0.25 (Pool.default_backoff 9);
+  check (Alcotest.float 1e-12) "cap is stable" 0.25 (Pool.default_backoff 20);
+  check (Alcotest.float 0.0) "no_backoff is zero" 0.0 (Pool.no_backoff 5);
+  (* Pure: the same attempt always gets the same delay. *)
+  List.iter
+    (fun k ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "attempt %d deterministic" k)
+        (Pool.default_backoff k) (Pool.default_backoff k))
+    [ 1; 2; 3; 7 ]
+
+let seeded_faults_deterministic () =
+  for job = 0 to 20 do
+    for attempt = 0 to 3 do
+      check Alcotest.bool "replayable"
+        (Pool.seeded_faults ~seed:11 ~rate:0.5 ~job ~attempt)
+        (Pool.seeded_faults ~seed:11 ~rate:0.5 ~job ~attempt)
+    done
+  done;
+  check Alcotest.bool "rate 0 never fires" false
+    (List.exists
+       (fun job -> Pool.seeded_faults ~seed:3 ~rate:0.0 ~job ~attempt:0)
+       (List.init 50 Fun.id));
+  check Alcotest.bool "rate 1 always fires" true
+    (List.for_all
+       (fun job -> Pool.seeded_faults ~seed:3 ~rate:1.0 ~job ~attempt:0)
+       (List.init 50 Fun.id))
+
+let seeded_faults_rate () =
+  let n = 2000 in
+  let hits = ref 0 in
+  for job = 0 to n - 1 do
+    if Pool.seeded_faults ~seed:7 ~rate:0.4 ~job ~attempt:0 then incr hits
+  done;
+  let observed = float_of_int !hits /. float_of_int n in
+  if observed < 0.3 || observed > 0.5 then
+    Alcotest.failf "rate 0.4 produced %.3f over %d draws" observed n
+
+(* ----------------------------- retry ------------------------------- *)
+
+(* Fails the first [k] attempts of every job, then succeeds. *)
+let transient k ~job:_ ~attempt = attempt < k
+
+let retry_succeeds () =
+  let out =
+    Pool.parallel_map ~retries:2 ~backoff:Pool.no_backoff ~inject_fault:(transient 2)
+      ~jobs:2
+      (fun x -> x * 10)
+      [ 1; 2; 3 ]
+  in
+  check (Alcotest.list Alcotest.int) "all jobs recover" [ 10; 20; 30 ] out
+
+let retry_exhaustion () =
+  match
+    Pool.parallel_map_status ~retries:2 ~backoff:Pool.no_backoff
+      ~inject_fault:(fun ~job ~attempt:_ -> job = 1)
+      ~jobs:2 succ [ 5; 6; 7 ]
+  with
+  | [ Pool.Done 6; Pool.Failed f; Pool.Done 8 ] ->
+    check Alcotest.int "attempts = retries + 1" 3 f.Pool.attempts;
+    (match f.Pool.exn with
+    | Pool.Injected_fault { job = 1; attempt = 2 } -> ()
+    | e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e));
+    let msg = Pool.failure_message f in
+    check Alcotest.bool "message names the attempt count" true
+      (String.length msg > 0
+      && String.sub msg 0 (String.length "failed after 3 attempt(s)")
+         = "failed after 3 attempt(s)");
+    check Alcotest.bool "message is one line" false (String.contains msg '\n')
+  | _ -> Alcotest.fail "expected Done/Failed/Done"
+
+let retry_zero_raises () =
+  match
+    Pool.parallel_map ~jobs:1
+      ~inject_fault:(fun ~job ~attempt:_ -> job = 0)
+      succ [ 1; 2 ]
+  with
+  | _ -> Alcotest.fail "expected Injected_fault"
+  | exception Pool.Injected_fault { job = 0; attempt = 0 } -> ()
+
+let status_does_not_stop () =
+  (* parallel_map_status runs every job even after a failure. *)
+  match
+    Pool.parallel_map_status ~jobs:1
+      ~inject_fault:(fun ~job ~attempt:_ -> job = 0)
+      succ [ 1; 2; 3 ]
+  with
+  | [ Pool.Failed _; Pool.Done 3; Pool.Done 4 ] -> ()
+  | _ -> Alcotest.fail "expected Failed/Done/Done"
+
+(* --------------------------- decoders ------------------------------ *)
+
+let small_result () =
+  let prog = Spec92.program Spec92.Compress in
+  let profile = Mcsim_trace.Walker.profile prog in
+  let c =
+    Mcsim_compiler.Pipeline.compile ~profile
+      ~scheduler:Mcsim_compiler.Pipeline.Sched_none prog
+  in
+  let trace =
+    Mcsim_trace.Walker.trace ~max_instrs:3_000 c.Mcsim_compiler.Pipeline.mach
+  in
+  Machine.run (Machine.dual_cluster ()) trace
+
+let result_roundtrip () =
+  let r = small_result () in
+  match Metrics.result_of_json (Metrics.result_json r) with
+  | None -> Alcotest.fail "result_of_json failed on result_json output"
+  | Some d ->
+    check Alcotest.int "cycles" r.Machine.cycles d.Machine.cycles;
+    check Alcotest.int "retired" r.Machine.retired d.Machine.retired;
+    check (Alcotest.float 0.0) "ipc" r.Machine.ipc d.Machine.ipc;
+    check Alcotest.int "single_distributed" r.Machine.single_distributed
+      d.Machine.single_distributed;
+    check Alcotest.int "dual_distributed" r.Machine.dual_distributed
+      d.Machine.dual_distributed;
+    check Alcotest.int "replays" r.Machine.replays d.Machine.replays;
+    check (Alcotest.float 0.0) "branch_accuracy" r.Machine.branch_accuracy
+      d.Machine.branch_accuracy;
+    check (Alcotest.float 0.0) "icache" r.Machine.icache_miss_rate
+      d.Machine.icache_miss_rate;
+    check (Alcotest.float 0.0) "dcache" r.Machine.dcache_miss_rate
+      d.Machine.dcache_miss_rate;
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+      "counters" r.Machine.counters d.Machine.counters;
+    (* The decoded lookup snapshot answers exactly like the alist. *)
+    List.iter
+      (fun (k, v) -> check Alcotest.int k v (Machine.counter d k))
+      r.Machine.counters;
+    check Alcotest.int "unknown counter" 0 (Machine.counter d "no-such-counter")
+
+(* --------------------------- checkpoint ---------------------------- *)
+
+let manifest ?(seed = 1) () =
+  Mcsim_obs.Manifest.make ~seed ~benchmark:"compress" ~trace_instrs:1_000
+    (Machine.dual_cluster ())
+
+let checkpoint_roundtrip () =
+  with_dir @@ fun dir ->
+  let st = Mcsim.Checkpoint.open_ ~dir ~kind:"test" ~manifest:(manifest ()) () in
+  check (Alcotest.option Alcotest.unit) "missing unit" None
+    (Option.map ignore (Mcsim.Checkpoint.find st "a"));
+  Mcsim.Checkpoint.record st ~key:"a" [ ("x", Json.Int 42) ];
+  Mcsim.Checkpoint.record st ~key:"b/with/slashes" [ ("y", Json.String "z") ];
+  (match Mcsim.Checkpoint.find st "a" with
+  | Some d ->
+    check (Alcotest.option Alcotest.int) "field" (Some 42)
+      (Option.bind (Json.member "x" d) Json.get_int)
+  | None -> Alcotest.fail "recorded unit not found");
+  (match Mcsim.Checkpoint.find st "b/with/slashes" with
+  | Some d ->
+    check (Alcotest.option Alcotest.string) "field" (Some "z")
+      (Option.bind (Json.member "y" d) Json.get_string)
+  | None -> Alcotest.fail "slashed key not found");
+  check (Alcotest.list Alcotest.string) "keys" [ "a"; "b/with/slashes" ]
+    (Mcsim.Checkpoint.keys st);
+  (* Reopening the same sweep sees the same units. *)
+  let st2 = Mcsim.Checkpoint.open_ ~dir ~kind:"test" ~manifest:(manifest ()) () in
+  check Alcotest.bool "unit survives reopen" true
+    (Option.is_some (Mcsim.Checkpoint.find st2 "a"))
+
+let checkpoint_overwrite () =
+  with_dir @@ fun dir ->
+  let st = Mcsim.Checkpoint.open_ ~dir ~kind:"test" ~manifest:(manifest ()) () in
+  Mcsim.Checkpoint.record st ~key:"a" [ ("x", Json.Int 1) ];
+  Mcsim.Checkpoint.record st ~key:"a" [ ("x", Json.Int 2) ];
+  check (Alcotest.option Alcotest.int) "last write wins" (Some 2)
+    (Option.bind (Mcsim.Checkpoint.find st "a") (fun d ->
+         Option.bind (Json.member "x" d) Json.get_int))
+
+let checkpoint_corrupt_unit () =
+  with_dir @@ fun dir ->
+  let st = Mcsim.Checkpoint.open_ ~dir ~kind:"test" ~manifest:(manifest ()) () in
+  Mcsim.Checkpoint.record st ~key:"a" [ ("x", Json.Int 42) ];
+  (* Truncate every unit file: a torn or corrupt unit must read as
+     missing, not crash the sweep. *)
+  Array.iter
+    (fun f ->
+      if String.length f > 5 && String.sub f 0 5 = "unit-" then
+        Out_channel.with_open_text (Filename.concat dir f) (fun oc ->
+            Out_channel.output_string oc "{ not json"))
+    (Sys.readdir dir);
+  check (Alcotest.option Alcotest.unit) "corrupt unit is missing" None
+    (Option.map ignore (Mcsim.Checkpoint.find st "a"))
+
+let one_line msg = not (String.contains msg '\n')
+
+let checkpoint_stale_refused () =
+  with_dir @@ fun dir ->
+  let _ = Mcsim.Checkpoint.open_ ~dir ~kind:"test" ~manifest:(manifest ()) () in
+  (* Different manifest (seed) -> refused. *)
+  (match Mcsim.Checkpoint.open_ ~dir ~kind:"test" ~manifest:(manifest ~seed:2 ()) () with
+  | _ -> Alcotest.fail "stale manifest accepted"
+  | exception Failure msg ->
+    check Alcotest.bool "one-line error" true (one_line msg);
+    check Alcotest.bool "names the directory" true (contains_sub ~needle:dir msg));
+  (* Different kind -> refused. *)
+  (match Mcsim.Checkpoint.open_ ~dir ~kind:"other" ~manifest:(manifest ()) () with
+  | _ -> Alcotest.fail "stale kind accepted"
+  | exception Failure msg -> check Alcotest.bool "one-line error" true (one_line msg));
+  (* Different extra parameters -> refused. *)
+  match
+    Mcsim.Checkpoint.open_ ~dir ~kind:"test" ~manifest:(manifest ())
+      ~extra:[ ("knob", Json.Int 3) ] ()
+  with
+  | _ -> Alcotest.fail "stale sweep parameters accepted"
+  | exception Failure msg -> check Alcotest.bool "one-line error" true (one_line msg)
+
+(* ------------------------ sweep resume ----------------------------- *)
+
+let benches = [ Spec92.Compress; Spec92.Ora ]
+let t2_instrs = 2_000
+
+let rows_equal what a b =
+  check Alcotest.int (what ^ ": row count") (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Mcsim.Table2.row) (y : Mcsim.Table2.row) ->
+      if x <> y then Alcotest.failf "%s: row %s differs" what x.Mcsim.Table2.benchmark)
+    a b
+
+let table2_resume_identical () =
+  let straight = Mcsim.Table2.run ~max_instrs:t2_instrs ~benchmarks:benches () in
+  with_dir @@ fun dir ->
+  (* First pass: jobs >= 1 die permanently; the sweep degrades to
+     per-benchmark failures and keeps what completed. *)
+  let first =
+    Mcsim.Table2.run_report ~max_instrs:t2_instrs ~benchmarks:benches
+      ~inject_fault:(fun ~job ~attempt:_ -> job >= 1)
+      ~checkpoint:dir ()
+  in
+  check Alcotest.bool "first pass lost something" true
+    (first.Mcsim.Table2.failed <> []);
+  (* Resume without faults completes the sweep with identical rows and
+     byte-identical CSV. *)
+  let resumed = Mcsim.Table2.run ~max_instrs:t2_instrs ~benchmarks:benches ~checkpoint:dir () in
+  rows_equal "resume" straight resumed;
+  check Alcotest.string "csv is byte-identical"
+    (Mcsim.Report.table2_csv straight)
+    (Mcsim.Report.table2_csv resumed)
+
+let table2_complete_checkpoint_never_recomputes () =
+  with_dir @@ fun dir ->
+  let straight = Mcsim.Table2.run ~max_instrs:t2_instrs ~benchmarks:benches ~checkpoint:dir () in
+  (* Every unit is recorded, so even an always-failing injector cannot
+     touch the rows: nothing executes. *)
+  let cached =
+    Mcsim.Table2.run ~max_instrs:t2_instrs ~benchmarks:benches
+      ~inject_fault:(fun ~job:_ ~attempt:_ -> true)
+      ~checkpoint:dir ()
+  in
+  rows_equal "cached" straight cached
+
+let table2_failure_message () =
+  let report =
+    Mcsim.Table2.run_report ~max_instrs:t2_instrs ~benchmarks:[ Spec92.Compress ]
+      ~inject_fault:(fun ~job:_ ~attempt:_ -> true)
+      ()
+  in
+  match report.Mcsim.Table2.failed with
+  | [ (bench, msg) ] ->
+    check Alcotest.string "benchmark name" "compress" bench;
+    check Alcotest.bool "message is one line" true (one_line msg)
+  | _ -> Alcotest.fail "expected exactly one failed benchmark"
+
+(* QCheck: whatever prefix of the unit fan-out survives the first pass,
+   resume always reconstructs the straight run exactly. *)
+let resume_prefix_property =
+  let straight = lazy (Mcsim.Table2.run ~max_instrs:t2_instrs ~benchmarks:benches ()) in
+  QCheck.Test.make ~name:"resume after k surviving jobs equals the straight run" ~count:5
+    QCheck.(int_bound 7)
+    (fun k ->
+      with_dir @@ fun dir ->
+      let _ =
+        Mcsim.Table2.run_report ~max_instrs:t2_instrs ~benchmarks:benches
+          ~inject_fault:(fun ~job ~attempt:_ -> job >= k)
+          ~checkpoint:dir ()
+      in
+      let resumed =
+        Mcsim.Table2.run ~max_instrs:t2_instrs ~benchmarks:benches ~checkpoint:dir ()
+      in
+      let straight = Lazy.force straight in
+      List.length straight = List.length resumed
+      && List.for_all2 (fun (a : Mcsim.Table2.row) b -> a = b) straight resumed)
+
+let ablation_checkpoint () =
+  with_dir @@ fun dir ->
+  let fresh =
+    Mcsim.Ablation.transfer_buffers ~max_instrs:2_000 ~sizes:[ 2; 8 ] ~checkpoint:dir
+      Spec92.Compress
+  in
+  let cached =
+    Mcsim.Ablation.transfer_buffers ~max_instrs:2_000 ~sizes:[ 2; 8 ] ~checkpoint:dir
+      ~inject_fault:(fun ~job:_ ~attempt:_ -> true)
+      Spec92.Compress
+  in
+  check Alcotest.bool "cached sweep equals fresh sweep" true (fresh = cached);
+  (* A different point set is a different sweep. *)
+  match
+    Mcsim.Ablation.transfer_buffers ~max_instrs:2_000 ~sizes:[ 2; 4 ] ~checkpoint:dir
+      Spec92.Compress
+  with
+  | _ -> Alcotest.fail "stale ablation checkpoint accepted"
+  | exception Failure msg -> check Alcotest.bool "one-line error" true (one_line msg)
+
+let unit_files dir =
+  Array.fold_left
+    (fun n f -> if String.length f > 5 && String.sub f 0 5 = "unit-" then n + 1 else n)
+    0 (Sys.readdir dir)
+
+let cluster_count_checkpoint () =
+  let fresh =
+    Mcsim.Cluster_count.run ~max_instrs:2_000 ~benchmarks:[ Spec92.Compress ] ()
+  in
+  with_dir @@ fun dir ->
+  (* Interrupt the sweep: the single prep job (job 0 of stage 1) runs,
+     then cells 1 and 2 of the (benchmark x clusters) fan-out die. *)
+  (match
+     Mcsim.Cluster_count.run ~max_instrs:2_000 ~benchmarks:[ Spec92.Compress ]
+       ~checkpoint:dir
+       ~inject_fault:(fun ~job ~attempt:_ -> job >= 1)
+       ()
+   with
+  | _ -> Alcotest.fail "expected the injected fault to surface"
+  | exception Pool.Injected_fault _ -> ());
+  check Alcotest.bool "partial progress was recorded" true (unit_files dir >= 1);
+  (* Resume completes the remaining cells and matches a clean run. *)
+  let cached =
+    Mcsim.Cluster_count.run ~max_instrs:2_000 ~benchmarks:[ Spec92.Compress ]
+      ~checkpoint:dir ()
+  in
+  check Alcotest.int "all cells recorded after resume" 3 (unit_files dir);
+  List.iter2
+    (fun (a : Mcsim.Cluster_count.row) (b : Mcsim.Cluster_count.row) ->
+      check Alcotest.string "benchmark" a.Mcsim.Cluster_count.benchmark
+        b.Mcsim.Cluster_count.benchmark;
+      check (Alcotest.array Alcotest.int) "cycles" a.Mcsim.Cluster_count.cycles
+        b.Mcsim.Cluster_count.cycles)
+    fresh cached
+
+let reassign_checkpoint () =
+  with_dir @@ fun dir ->
+  let fresh = Mcsim.Reassign.run ~phase_iterations:500 ~checkpoint:dir () in
+  let cached =
+    Mcsim.Reassign.run ~phase_iterations:500 ~checkpoint:dir
+      ~inject_fault:(fun ~job:_ ~attempt:_ -> true)
+      ()
+  in
+  check Alcotest.int "static cycles"
+    fresh.Mcsim.Reassign.static_result.Machine.cycles
+    cached.Mcsim.Reassign.static_result.Machine.cycles;
+  check Alcotest.int "phased cycles"
+    fresh.Mcsim.Reassign.phased_result.Machine.cycles
+    cached.Mcsim.Reassign.phased_result.Machine.cycles
+
+let suite =
+  ( "durable",
+    [ case "backoff: deterministic doubling with a cap" backoff_shape;
+      case "seeded_faults: replayable, rate 0 and 1 exact" seeded_faults_deterministic;
+      case "seeded_faults: observed rate near nominal" seeded_faults_rate;
+      case "retry: transient faults recover" retry_succeeds;
+      case "retry: exhaustion reports attempts and one-line message" retry_exhaustion;
+      case "retry: zero retries raises the injected fault" retry_zero_raises;
+      case "status map runs every job despite failures" status_does_not_stop;
+      case "metrics: result JSON round-trips with counters" result_roundtrip;
+      case "checkpoint: record/find/keys round-trip" checkpoint_roundtrip;
+      case "checkpoint: rewrite wins" checkpoint_overwrite;
+      case "checkpoint: corrupt unit reads as missing" checkpoint_corrupt_unit;
+      case "checkpoint: stale kind/manifest/params refused" checkpoint_stale_refused;
+      case "table2: interrupted + resume equals straight run" table2_resume_identical;
+      case "table2: complete checkpoint never recomputes"
+        table2_complete_checkpoint_never_recomputes;
+      case "table2: permanent failure degrades to a row-level report"
+        table2_failure_message;
+      QCheck_alcotest.to_alcotest resume_prefix_property;
+      case "ablation: checkpoint reload and stale refusal" ablation_checkpoint;
+      case "cluster_count: checkpoint reload" cluster_count_checkpoint;
+      case "reassign: checkpoint reload" reassign_checkpoint ] )

@@ -21,4 +21,5 @@ let () =
       Test_golden.suite;
       Test_obs.suite;
       Test_crossval.suite;
-      Test_parallel.suite ]
+      Test_parallel.suite;
+      Test_durable.suite ]
