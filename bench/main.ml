@@ -243,13 +243,16 @@ let violations : string list ref = ref []
 let violation fmt =
   Printf.ksprintf (fun m -> violations := m :: !violations; Printf.printf "  VIOLATION: %s\n" m) fmt
 
-let write_machine_json entries ~identical ~overall_speedup =
+let write_machine_json entries ~identical ~overall_speedup ~wakeup_wpi_mean =
+  let ips s = float_of_int machine_instrs /. Float.max 1e-9 s in
   let bench (name, (r : Machine.result), scan_s, wake_s, scan_wpi, wake_wpi) =
     J.Obj
       [ ("benchmark", J.String name);
         ("ipc", J.Float r.Machine.ipc);
         ("scan_seconds", J.Float scan_s);
         ("wakeup_seconds", J.Float wake_s);
+        ("scan_instrs_per_sec", J.Float (ips scan_s));
+        ("wakeup_instrs_per_sec", J.Float (ips wake_s));
         ("speedup", J.Float (scan_s /. Float.max 1e-9 wake_s));
         ("scan_words_per_instr", J.Float scan_wpi);
         ("wakeup_words_per_instr", J.Float wake_wpi);
@@ -259,6 +262,7 @@ let write_machine_json entries ~identical ~overall_speedup =
     [ ("trace_instrs", J.Int machine_instrs);
       ("ipc_identical", J.Bool identical);
       ("overall_speedup", J.Float overall_speedup);
+      ("wakeup_words_per_instr_mean", J.Float wakeup_wpi_mean);
       ("benchmarks", J.List (List.map bench entries)) ]
 
 let engine_comparison () =
@@ -279,7 +283,7 @@ let engine_comparison () =
             ~scheduler:Mcsim_compiler.Pipeline.default_local prog
         in
         let trace =
-          Mcsim_trace.Walker.trace ~max_instrs:machine_instrs
+          Mcsim_trace.Walker.trace_flat ~max_instrs:machine_instrs
             compiled.Mcsim_compiler.Pipeline.mach
         in
         (* Each engine: one pass measuring minor-heap allocation, then a
@@ -288,10 +292,10 @@ let engine_comparison () =
         let run_engine engine =
           Gc.major ();
           let w0 = Gc.minor_words () in
-          let r, s1 = wall (fun () -> Machine.run ~engine cfg trace) in
+          let r, s1 = wall (fun () -> Machine.run_flat ~engine cfg trace) in
           let words = Gc.minor_words () -. w0 in
           Gc.major ();
-          let _, s2 = wall (fun () -> Machine.run ~engine cfg trace) in
+          let _, s2 = wall (fun () -> Machine.run_flat ~engine cfg trace) in
           (r, Float.min s1 s2, words /. float_of_int machine_instrs)
         in
         let scan_r, scan_s, scan_wpi = run_engine `Scan in
@@ -301,8 +305,9 @@ let engine_comparison () =
             name scan_r.Machine.cycles scan_r.Machine.ipc wake_r.Machine.cycles
             wake_r.Machine.ipc;
         Printf.printf
-          "  %-9s IPC %.4f  scan %.2fs (%.0f w/i)  wakeup %.2fs (%.0f w/i)  speedup %.2fx%s\n"
+          "  %-9s IPC %.4f  scan %.2fs (%.0f w/i)  wakeup %.2fs (%.0f w/i, %.2fM instr/s)  speedup %.2fx%s\n"
           name wake_r.Machine.ipc scan_s scan_wpi wake_s wake_wpi
+          (float_of_int machine_instrs /. Float.max 1e-9 wake_s /. 1e6)
           (scan_s /. Float.max 1e-9 wake_s)
           (if scan_r = wake_r then "" else "  [DIVERGED]");
         (name, wake_r, scan_s, wake_s, scan_wpi, wake_wpi))
@@ -316,10 +321,16 @@ let engine_comparison () =
   if overall_speedup < 1.0 then
     violation "wakeup engine is slower than the scan reference overall (%.2fx)"
       overall_speedup;
+  let wakeup_wpi_mean =
+    total (fun (_, _, _, _, _, w) -> w) /. float_of_int (List.length entries)
+  in
   print_newline ();
   Printf.printf "  overall speedup %.2fx (target: >= 2x on full-length traces)\n"
     overall_speedup;
-  write_machine_json entries ~identical ~overall_speedup
+  Printf.printf
+    "  canonical allocation figure: wakeup engine averages %.1f minor words/instr\n"
+    wakeup_wpi_mean;
+  write_machine_json entries ~identical ~overall_speedup ~wakeup_wpi_mean
 
 let ablations () =
   section "Ablations - design choices called out in DESIGN.md";
@@ -440,6 +451,114 @@ let durable () =
       ("rows", Mcsim.Report.table2_json clean) ]
 
 (* ------------------------------------------------------------------ *)
+(* Trace store: fresh trace acquisition (profile + compile + walk) vs a
+   memory-mapped reload of the cached binary trace — the repeat-run path
+   of `mcsim run --trace-cache`. The reload must be >= 3x faster and
+   must simulate to bit-identical results.                             *)
+(* ------------------------------------------------------------------ *)
+
+let trace_seed = 0
+
+let write_trace_json entries ~identical ~overall_speedup =
+  let bench (name, instrs, bytes, gen_s, load_s, (r : Machine.result), same) =
+    J.Obj
+      [ ("benchmark", J.String name);
+        ("instrs", J.Int instrs);
+        ("file_bytes", J.Int bytes);
+        ("gen_seconds", J.Float gen_s);
+        ("load_seconds", J.Float load_s);
+        ("speedup", J.Float (gen_s /. Float.max 1e-9 load_s));
+        ("gen_instrs_per_sec", J.Float (float_of_int instrs /. Float.max 1e-9 gen_s));
+        ("load_instrs_per_sec", J.Float (float_of_int instrs /. Float.max 1e-9 load_s));
+        ("ipc", J.Float r.Machine.ipc);
+        ("cycles", J.Int r.Machine.cycles);
+        ("ipc_identical", J.Bool same) ]
+  in
+  write_bench_json "BENCH_trace.json" ~kind:"bench-trace" ~trace_instrs:machine_instrs
+    [ ("trace_instrs", J.Int machine_instrs);
+      ("seed", J.Int trace_seed);
+      ("bytes_per_instr", J.Int 16);
+      ("ipc_identical", J.Bool identical);
+      ("overall_speedup", J.Float overall_speedup);
+      ("benchmarks", J.List (List.map bench entries)) ]
+
+let trace_store_bench () =
+  section
+    (Printf.sprintf
+       "Trace store - fresh generation vs mmap'd reload, %d-instruction traces"
+       machine_instrs);
+  let cfg = Machine.dual_cluster () in
+  let dir = Filename.temp_dir "mcsim-bench-trace" "" in
+  let store = Mcsim.Trace_store.open_ ~dir in
+  let entries =
+    List.map
+      (fun b ->
+        let name = Spec92.name b in
+        let prog = Spec92.program b in
+        let scheduler = Mcsim_compiler.Pipeline.default_local in
+        let gen () =
+          let profile = Mcsim_trace.Walker.profile prog in
+          let compiled = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
+          Mcsim_trace.Walker.trace_flat ~seed:trace_seed ~max_instrs:machine_instrs
+            compiled.Mcsim_compiler.Pipeline.mach
+        in
+        let key =
+          { Mcsim.Trace_store.benchmark = name;
+            scheduler = Mcsim.Experiment.scheduler_ident scheduler;
+            seed = trace_seed;
+            max_instrs = machine_instrs }
+        in
+        Gc.major ();
+        let fresh, gen_s = wall gen in
+        Mcsim.Trace_store.save store key fresh;
+        let bytes = (Unix.stat (Mcsim.Trace_store.path store key)).Unix.st_size in
+        (* The reload is deterministic: time it twice, keep the faster
+           pass (first-touch page faults land on the first one). *)
+        let cached1, l1 = wall (fun () -> Mcsim.Trace_store.find store key) in
+        let cached2, l2 = wall (fun () -> Mcsim.Trace_store.find store key) in
+        let load_s = Float.min l1 l2 in
+        let cached =
+          match (cached2, cached1) with
+          | Some t, _ | _, Some t -> t
+          | None, None ->
+            violation "%s: cached trace failed to load back" name;
+            fresh
+        in
+        let fresh_r = Machine.run_flat cfg fresh in
+        let cached_r = Machine.run_flat cfg cached in
+        let same = fresh_r = cached_r in
+        if not same then
+          violation "%s: simulating the cached trace diverges from the fresh walk" name;
+        let n = Mcsim_isa.Flat_trace.length fresh in
+        Printf.printf
+          "  %-9s gen %.3fs (%.1fM instr/s)  mmap load %.3fs (%.1fM instr/s)  \
+           speedup %.1fx  IPC %.4f%s\n"
+          name gen_s
+          (float_of_int n /. Float.max 1e-9 gen_s /. 1e6)
+          load_s
+          (float_of_int n /. Float.max 1e-9 load_s /. 1e6)
+          (gen_s /. Float.max 1e-9 load_s)
+          cached_r.Machine.ipc
+          (if same then "" else "  [DIVERGED]");
+        (name, n, bytes, gen_s, load_s, cached_r, same))
+      Spec92.all
+  in
+  remove_tree dir;
+  let total proj = List.fold_left (fun acc e -> acc +. proj e) 0.0 entries in
+  let overall_speedup =
+    total (fun (_, _, _, g, _, _, _) -> g)
+    /. Float.max 1e-9 (total (fun (_, _, _, _, l, _, _) -> l))
+  in
+  let identical = List.for_all (fun (_, _, _, _, _, _, same) -> same) entries in
+  if overall_speedup < 3.0 then
+    violation "trace-store reload is under the 3x bar (%.2fx overall)" overall_speedup;
+  print_newline ();
+  Printf.printf "  overall speedup %.2fx (target: >= 3x), cached results %s\n"
+    overall_speedup
+    (if identical then "identical" else "DIVERGED");
+  write_trace_json entries ~identical ~overall_speedup
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -545,11 +664,14 @@ let () =
   | Some "machine" ->
     engine_comparison ();
     finish ()
+  | Some "trace" ->
+    trace_store_bench ();
+    finish ()
   | Some "durable" ->
     durable ();
     finish ()
   | Some other ->
-    Printf.eprintf "unknown MCSIM_BENCH_ONLY=%s (known: machine, durable)\n" other;
+    Printf.eprintf "unknown MCSIM_BENCH_ONLY=%s (known: machine, trace, durable)\n" other;
     exit 2
   | None ->
     table1 ();
@@ -562,6 +684,7 @@ let () =
     reassignment ();
     sampled_simulation ();
     engine_comparison ();
+    trace_store_bench ();
     ablations ();
     durable ();
     microbenchmarks ();

@@ -91,6 +91,16 @@ let checkpoint_arg =
   in
   Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
 
+let trace_cache_arg =
+  let doc =
+    "Trace-store directory: cache the committed trace of every (benchmark, scheduler, \
+     seed, trace length) under $(docv) in the flat binary format and memory-map it \
+     back on later runs instead of regenerating it. Cached traces are byte-identical \
+     to freshly generated ones, so all results are unchanged. Inspect the store with \
+     $(b,mcsim trace-store) $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-cache" ] ~docv:"DIR" ~doc)
+
 let metrics_out_arg =
   let doc =
     "Also write a JSON metrics snapshot (schema_version/kind/manifest/data, see the \
@@ -139,7 +149,7 @@ let four_way_arg =
 
 (* The body of the table2 command, shared with `mcsim resume`. *)
 let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engine
-    ~metrics_out ~retries ~checkpoint () =
+    ~metrics_out ~retries ~checkpoint ~trace_cache () =
   let t_start = Unix.gettimeofday () in
   let single_config, dual_config =
     if four_way then
@@ -150,7 +160,7 @@ let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engi
   let sampling = Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample in
   let report =
     Mcsim.Table2.run_report ~jobs ~max_instrs ~seed ~benchmarks ~engine ?sampling
-      ?single_config ?dual_config ~retries ?checkpoint ()
+      ?single_config ?dual_config ~retries ?checkpoint ?trace_cache ()
   in
   let rows = report.Mcsim.Table2.rows in
   List.iter
@@ -200,7 +210,7 @@ let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engi
          | None -> "; rerun with --checkpoint DIR to make progress durable"))
 
 let table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~sample ~engine
-    ~metrics_out ~retries =
+    ~metrics_out ~retries ~trace_cache =
   [ ("command", Json.String "table2");
     ("benchmarks",
      Json.List (List.map (fun b -> Json.String (Mcsim_workload.Spec92.name b)) benchmarks));
@@ -214,7 +224,8 @@ let table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~sample ~en
     ("csv", Json.Bool csv);
     ("four_way", Json.Bool four_way);
     ("metrics_out", match metrics_out with Some p -> Json.String p | None -> Json.Null);
-    ("retries", Json.Int retries) ]
+    ("retries", Json.Int retries);
+    ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null) ]
 
 (* Record how to finish the sweep before starting it, so `mcsim resume
    DIR` works even if this process is killed immediately. When the
@@ -235,20 +246,20 @@ let with_command checkpoint command_json run =
 
 let table2_cmd =
   let run max_instrs seed benchmarks csv four_way jobs sample engine metrics_out retries
-      checkpoint =
+      checkpoint trace_cache =
     wrap @@ fun () ->
     with_command checkpoint (fun () ->
         table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~sample ~engine
-          ~metrics_out ~retries)
+          ~metrics_out ~retries ~trace_cache)
     @@ fun () ->
     table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engine
-      ~metrics_out ~retries ~checkpoint ()
+      ~metrics_out ~retries ~checkpoint ~trace_cache ()
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Run the Table-2 experiment (none/local vs single-cluster).")
     Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg
           $ jobs_arg $ sample_arg $ engine_arg $ metrics_out_arg $ retries_arg
-          $ checkpoint_arg)
+          $ checkpoint_arg $ trace_cache_arg)
 
 let scenarios_cmd =
   let run () =
@@ -320,12 +331,34 @@ let machine_of_string = function
   | "dual" -> `Dual
   | s -> failwith (Printf.sprintf "unknown machine %S" s)
 
+(* Generate the benchmark's committed trace in the flat binary form —
+   or, with --trace-cache, memory-map it from the store (generating and
+   saving it on the first run). Shared by run and sample. *)
+let flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () =
+  let walk () =
+    let prog = Mcsim_workload.Spec92.program bench in
+    let profile = Mcsim_trace.Walker.profile ~seed prog in
+    let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
+    Mcsim_trace.Walker.trace_flat ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach
+  in
+  match trace_cache with
+  | None -> walk ()
+  | Some dir ->
+    let store = Mcsim.Trace_store.open_ ~dir in
+    let key =
+      { Mcsim.Trace_store.benchmark = Mcsim_workload.Spec92.name bench;
+        scheduler = Mcsim.Experiment.scheduler_ident scheduler;
+        seed;
+        max_instrs }
+    in
+    fst (Mcsim.Trace_store.load_or_build store key walk)
+
 (* The body of the run command, shared with `mcsim resume`. With a
    checkpoint the single simulation is one durable unit; --profile
    bypasses the cache (profiling counters cannot be reconstructed from a
    stored result). *)
 let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics_out
-    ~retries ~checkpoint () =
+    ~retries ~checkpoint ~trace_cache () =
   let t_start = Unix.gettimeofday () in
   let cfg =
     match machine with
@@ -362,19 +395,15 @@ let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics
     | Some (r, n) -> (r, n, None)
     | None ->
       let run_once () =
-        let prog = Mcsim_workload.Spec92.program bench in
-        let profile = Mcsim_trace.Walker.profile ~seed prog in
-        let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
-        let trace =
-          Mcsim_trace.Walker.trace ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach
-        in
+        let trace = flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () in
+        let n = Mcsim_isa.Flat_trace.length trace in
         let counters =
           if prof then Some (Mcsim_cluster.Machine.profile_counters ()) else None
         in
         (match counters with
         | Some p -> Mcsim_util.Profile_counters.alloc_start p
         | None -> ());
-        let r = Mcsim_cluster.Machine.run ~engine ?profile:counters cfg trace in
+        let r = Mcsim_cluster.Machine.run_flat ~engine ?profile:counters cfg trace in
         (match counters with
         | Some p -> Mcsim_util.Profile_counters.alloc_stop p
         | None -> ());
@@ -382,9 +411,9 @@ let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics
           (fun st ->
             Mcsim.Checkpoint.record st ~key:"run"
               [ ("result", Mcsim_obs.Metrics.result_json r);
-                ("trace_instrs", Json.Int (Array.length trace)) ])
+                ("trace_instrs", Json.Int n) ])
           store;
-        (r, Array.length trace, counters)
+        (r, n, counters)
       in
       (match Mcsim_util.Pool.parallel_map ~retries ~jobs:1 run_once [ () ] with
       | [ out ] -> out
@@ -411,7 +440,7 @@ let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics
   | Some p ->
     Printf.printf "  profile (%s engine):\n"
       (match engine with `Scan -> "scan" | `Wakeup -> "wakeup");
-    print_string (Mcsim_util.Profile_counters.render p)
+    print_string (Mcsim_util.Profile_counters.render ~instrs:trace_instrs p)
   | None -> ());
   match metrics_out with
   | None -> ()
@@ -428,7 +457,7 @@ let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics
          ())
 
 let run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
-    ~metrics_out ~retries =
+    ~metrics_out ~retries ~trace_cache =
   [ ("command", Json.String "run");
     ("benchmark", Json.String (Mcsim_workload.Spec92.name bench));
     ("machine", Json.String (machine_name machine));
@@ -438,17 +467,18 @@ let run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
     ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
     ("profile", Json.Bool prof);
     ("metrics_out", match metrics_out with Some p -> Json.String p | None -> Json.Null);
-    ("retries", Json.Int retries) ]
+    ("retries", Json.Int retries);
+    ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null) ]
 
 let run_entry bench machine scheduler max_instrs seed engine prof metrics_out retries
-    checkpoint =
+    checkpoint trace_cache =
   wrap @@ fun () ->
   with_command checkpoint (fun () ->
       run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
-        ~metrics_out ~retries)
+        ~metrics_out ~retries ~trace_cache)
   @@ fun () ->
   run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics_out
-    ~retries ~checkpoint ()
+    ~retries ~checkpoint ~trace_cache ()
 
 let run_cmd =
   let machine_arg =
@@ -468,13 +498,13 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark and dump all counters.")
     Term.(const run_entry $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg
           $ seed_arg $ engine_arg $ profile_arg $ metrics_out_arg $ retries_arg
-          $ checkpoint_arg)
+          $ checkpoint_arg $ trace_cache_arg)
 
 (* The body of the sample command, shared with `mcsim resume`. The
    sampled estimate is one durable unit; --full always recomputes the
    trace and the detailed run (only the estimate is cached). *)
 let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv ~engine
-    ~metrics_out ~retries ~checkpoint () =
+    ~metrics_out ~retries ~checkpoint ~trace_cache () =
   let t_start = Unix.gettimeofday () in
   let policy =
     match sample with
@@ -512,18 +542,13 @@ let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv 
                 ~machine sj
             | _ -> None))
   in
-  let make_trace () =
-    let prog = Mcsim_workload.Spec92.program bench in
-    let profile = Mcsim_trace.Walker.profile ~seed prog in
-    let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
-    Mcsim_trace.Walker.trace ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach
-  in
+  let make_trace = flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs in
   let s =
     match cached with
     | Some s -> s
     | None -> (
       let run_once () =
-        let s = Mcsim_sampling.Sampling.run ~engine ~policy cfg (make_trace ()) in
+        let s = Mcsim_sampling.Sampling.run_flat ~engine ~policy cfg (make_trace ()) in
         Option.iter
           (fun st ->
             Mcsim.Checkpoint.record st ~key:"sample"
@@ -559,7 +584,7 @@ let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv 
       (if Option.is_some cached then " (from checkpoint)" else "");
     print_string (Mcsim_sampling.Sampling.render s);
     if full then begin
-      let r = Mcsim_cluster.Machine.run ~engine cfg (make_trace ()) in
+      let r = Mcsim_cluster.Machine.run_flat ~engine cfg (make_trace ()) in
       let err =
         Float.abs (s.Mcsim_sampling.Sampling.mean_ipc -. r.Mcsim_cluster.Machine.ipc)
         /. r.Mcsim_cluster.Machine.ipc
@@ -571,7 +596,7 @@ let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv 
   end
 
 let sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv
-    ~engine ~metrics_out ~retries =
+    ~engine ~metrics_out ~retries ~trace_cache =
   [ ("command", Json.String "sample");
     ("benchmark", Json.String (Mcsim_workload.Spec92.name bench));
     ("machine", Json.String (machine_name machine));
@@ -586,17 +611,18 @@ let sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~fu
     ("csv", Json.Bool csv);
     ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
     ("metrics_out", match metrics_out with Some p -> Json.String p | None -> Json.Null);
-    ("retries", Json.Int retries) ]
+    ("retries", Json.Int retries);
+    ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null) ]
 
 let sample_entry bench machine scheduler max_instrs seed sample full csv engine
-    metrics_out retries checkpoint =
+    metrics_out retries checkpoint trace_cache =
   wrap @@ fun () ->
   with_command checkpoint (fun () ->
       sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv
-        ~engine ~metrics_out ~retries)
+        ~engine ~metrics_out ~retries ~trace_cache)
   @@ fun () ->
   sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv ~engine
-    ~metrics_out ~retries ~checkpoint ()
+    ~metrics_out ~retries ~checkpoint ~trace_cache ()
 
 let sample_cmd =
   let machine_arg =
@@ -617,7 +643,7 @@ let sample_cmd =
        ~doc:"Sampled simulation of one benchmark (optionally vs the full detailed run).")
     Term.(const sample_entry $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg
           $ seed_arg $ sample_arg $ full_arg $ csv_arg $ engine_arg $ metrics_out_arg
-          $ retries_arg $ checkpoint_arg)
+          $ retries_arg $ checkpoint_arg $ trace_cache_arg)
 
 (* `mcsim resume DIR`: reread the command.json written by a previous
    --checkpoint invocation and re-dispatch the same command against the
@@ -677,6 +703,7 @@ let resume_cmd =
       match retries_override with Some n -> n | None -> int "retries"
     in
     let metrics_out = str_opt "metrics_out" in
+    let trace_cache = str_opt "trace_cache" in
     let checkpoint = Some dir in
     match str "command" with
     | "table2" ->
@@ -697,17 +724,18 @@ let resume_cmd =
       table2_impl ~max_instrs:(int "max_instrs") ~seed:(Lazy.force seed) ~benchmarks
         ~csv:(flag "csv") ~four_way:(flag "four_way") ~jobs:(Mcsim_util.Pool.default_jobs ())
         ~sample:(sampling "sampling") ~engine:(engine ()) ~metrics_out ~retries
-        ~checkpoint ()
+        ~checkpoint ~trace_cache ()
     | "run" ->
       run_impl ~bench:(bench "benchmark") ~machine:(machine_of_string (str "machine"))
         ~scheduler:(scheduler_of_string (str "scheduler")) ~max_instrs:(int "max_instrs")
         ~seed:(Lazy.force seed) ~engine:(engine ()) ~prof:(flag "profile") ~metrics_out
-        ~retries ~checkpoint ()
+        ~retries ~checkpoint ~trace_cache ()
     | "sample" ->
       sample_impl ~bench:(bench "benchmark") ~machine:(machine_of_string (str "machine"))
         ~scheduler:(scheduler_of_string (str "scheduler")) ~max_instrs:(int "max_instrs")
         ~seed:(Lazy.force seed) ~sample:(sampling "sampling") ~full:(flag "full")
-        ~csv:(flag "csv") ~engine:(engine ()) ~metrics_out ~retries ~checkpoint ()
+        ~csv:(flag "csv") ~engine:(engine ()) ~metrics_out ~retries ~checkpoint
+        ~trace_cache ()
     | c ->
       failwith
         (Printf.sprintf "checkpoint %s: cannot resume command %S (only table2, run, sample)"
@@ -718,6 +746,60 @@ let resume_cmd =
        ~doc:"Finish an interrupted --checkpoint run (table2, run or sample): completed \
              units are loaded from the directory, only missing ones recompute.")
     Term.(const resume $ dir_pos $ resume_retries_arg)
+
+(* `mcsim trace-store DIR`: inspect a --trace-cache directory. Each
+   entry is validated (header + payload digest), so a corrupt file shows
+   up here as invalid — the simulator itself would silently regenerate
+   it. *)
+let trace_store_cmd =
+  let dir_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR"
+             ~doc:"Trace-store directory (as passed to --trace-cache).")
+  in
+  let run dir =
+    wrap @@ fun () ->
+    if not (Sys.file_exists dir) then
+      failwith (Printf.sprintf "trace store %s: no such directory" dir);
+    let store = Mcsim.Trace_store.open_ ~dir in
+    let entries = Mcsim.Trace_store.entries store in
+    if entries = [] then Printf.printf "%s: no cached traces\n" dir
+    else begin
+      let rows =
+        List.map
+          (fun e ->
+            [ e.Mcsim.Trace_store.e_file;
+              (if e.Mcsim.Trace_store.e_valid then
+                 string_of_int e.Mcsim.Trace_store.e_instrs
+               else "-");
+              string_of_int e.Mcsim.Trace_store.e_bytes;
+              (if e.Mcsim.Trace_store.e_valid then "ok" else "INVALID") ])
+          entries
+      in
+      print_string
+        (Mcsim_util.Text_table.render
+           ~aligns:[| Mcsim_util.Text_table.Left; Right; Right; Left |]
+           ([ "file"; "instrs"; "bytes"; "status" ] :: rows));
+      let total_instrs =
+        List.fold_left (fun a e -> a + e.Mcsim.Trace_store.e_instrs) 0 entries
+      in
+      let total_bytes =
+        List.fold_left (fun a e -> a + e.Mcsim.Trace_store.e_bytes) 0 entries
+      in
+      let invalid =
+        List.length (List.filter (fun e -> not e.Mcsim.Trace_store.e_valid) entries)
+      in
+      Printf.printf "%d trace%s, %d instructions, %d bytes%s\n" (List.length entries)
+        (if List.length entries = 1 then "" else "s")
+        total_instrs total_bytes
+        (if invalid = 0 then ""
+         else Printf.sprintf " (%d invalid — will be regenerated on use)" invalid)
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace-store"
+       ~doc:"List and validate the cached binary traces in a --trace-cache directory.")
+    Term.(const run $ dir_pos)
 
 let trace_cmd =
   let machine_arg =
@@ -908,5 +990,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table1_cmd; table2_cmd; scenarios_cmd; figure6_cmd; cycle_time_cmd; workloads_cmd;
-            run_cmd; sample_cmd; resume_cmd; trace_cmd; ablate_cmd; reassign_cmd;
-            clusters_cmd; compile_cmd; simulate_cmd ]))
+            run_cmd; sample_cmd; resume_cmd; trace_cmd; trace_store_cmd; ablate_cmd;
+            reassign_cmd; clusters_cmd; compile_cmd; simulate_cmd ]))

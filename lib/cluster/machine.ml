@@ -1,6 +1,7 @@
 module Reg = Mcsim_isa.Reg
 module Op_class = Mcsim_isa.Op_class
 module Instr = Mcsim_isa.Instr
+module Flat_trace = Mcsim_isa.Flat_trace
 module Issue_rules = Mcsim_isa.Issue_rules
 module Regfile = Mcsim_cpu.Regfile
 module Fu = Mcsim_cpu.Fu
@@ -207,8 +208,9 @@ type copy = {
 }
 
 and group = {
-  g_seq : int;
-  g_dyn : Instr.dynamic;
+  g_seq : int;  (** position in the current trace — all dynamic payloads
+                    (memory address, branch outcome) are read back from
+                    the flat trace at this index *)
   g_scenario : int;
   mutable g_master : copy option;  (** the executing copy (single or master) *)
   mutable g_slaves : copy list;  (** one per participating other cluster *)
@@ -254,7 +256,7 @@ type result = {
 let counter r name = Stats.lookup_get r.counter_lookup name
 
 type fetched = {
-  f_dyn : Instr.dynamic;
+  f_idx : int;  (** trace position (= seq) *)
   f_token : Mcfarling.token option;
   f_mispred : bool;
 }
@@ -294,8 +296,18 @@ type state = {
   cfg : config;
   engine : engine;
   mutable assignment : Assignment.t;  (* current phase's register assignment *)
-  mutable trace : Instr.dynamic array;
+  mutable trace : Flat_trace.t;
   mutable clusters : cluster_state array;
+  mutable plan_memo : Distribution.plan option array;
+      (** distribution plans memoized per [(pc lsl 1) lor prefer]:
+          [Distribution.plan] is pure in (assignment, prefer, instr), so
+          each static instruction is planned at most twice (once per
+          preferred cluster) per assignment. Cleared on [load_phase]. *)
+  mutable plan_instrs : Instr.t array;
+      (** the interned instruction each memo slot was planned for
+          (physical identity is the validity check); [plan_dummy] marks
+          an empty slot *)
+  plan_dummy : Instr.t;
   icache : Cache.t;
   dcache : Cache.t;
   predictor : Mcfarling.t;
@@ -446,22 +458,46 @@ let enqueue_copy st cl q (c : copy) =
 
 let make_group st (f : fetched) scenario =
   let g =
-    { g_seq = f.f_dyn.Instr.seq; g_dyn = f.f_dyn; g_scenario = scenario; g_master = None;
+    { g_seq = f.f_idx; g_scenario = scenario; g_master = None;
       g_slaves = []; g_token = f.f_token; g_mispred = f.f_mispred; g_retired = false }
   in
   Deque.push_back st.rob g;
   g
 
+(* Memoized [Distribution.plan]: one slot per (pc, preferred cluster),
+   validated by physical identity of the interned static instruction the
+   slot was planned for. A fresh (non-interned) instruction — only
+   possible on hand-built traces that reuse a pc — recomputes without
+   caching. *)
+let plan_for st ~pc ~prefer instr =
+  let key = (pc lsl 1) lor prefer in
+  if key >= Array.length st.plan_memo then begin
+    let cap = max (key + 1) (max 128 (2 * Array.length st.plan_memo)) in
+    let memo = Array.make cap None in
+    let instrs = Array.make cap st.plan_dummy in
+    Array.blit st.plan_memo 0 memo 0 (Array.length st.plan_memo);
+    Array.blit st.plan_instrs 0 instrs 0 (Array.length st.plan_instrs);
+    st.plan_memo <- memo;
+    st.plan_instrs <- instrs
+  end;
+  if st.plan_instrs.(key) == instr then
+    match st.plan_memo.(key) with Some p -> p | None -> assert false
+  else begin
+    let p = Distribution.plan st.assignment ~prefer instr in
+    st.plan_instrs.(key) <- instr;
+    st.plan_memo.(key) <- Some p;
+    p
+  end
+
 let try_dispatch_one st (f : fetched) =
   let cfg = st.cfg in
-  let dyn = f.f_dyn in
-  let instr = dyn.Instr.instr in
+  let instr = Flat_trace.instr st.trace f.f_idx in
   let prefer =
     if Array.length st.clusters = 1 then 0
     else if total_waiting st.clusters.(0) <= total_waiting st.clusters.(1) then 0
     else 1
   in
-  let plan = Distribution.plan st.assignment ~prefer instr in
+  let plan = plan_for st ~pc:(Flat_trace.pc st.trace f.f_idx) ~prefer instr in
   let scenario = Distribution.scenario plan in
   if Deque.length st.rob >= rob_capacity then begin
     incr st.hot.k_stall_rob_full;
@@ -695,11 +731,11 @@ let finish_of_issue st (c : copy) =
   let issue = st.cycle in
   match c.c_op with
   | Op_class.Load ->
-    let addr = Option.get c.c_group.g_dyn.Instr.mem_addr in
+    let addr = Flat_trace.mem_addr st.trace c.c_group.g_seq in
     let ready = Cache.access st.dcache ~cycle:(issue + 1) ~addr ~write:false in
     max (issue + 2) (ready + 1)
   | Op_class.Store ->
-    let addr = Option.get c.c_group.g_dyn.Instr.mem_addr in
+    let addr = Flat_trace.mem_addr st.trace c.c_group.g_seq in
     ignore (Cache.access st.dcache ~cycle:(issue + 1) ~addr ~write:true);
     issue + 1
   | Op_class.Int_multiply | Op_class.Int_other | Op_class.Fp_divide _ | Op_class.Fp_other
@@ -780,9 +816,7 @@ let issue_executing_copy st (c : copy) =
     let g = c.c_group in
     (match g.g_token with
     | Some tok ->
-      let taken =
-        match g.g_dyn.Instr.branch with Some b -> b.Instr.taken | None -> assert false
-      in
+      let taken = Flat_trace.branch_taken st.trace g.g_seq in
       Deque.push_back st.pending_train (c.c_finish, c.c_seq, tok, taken)
     | None -> ());
     if g.g_mispred then begin
@@ -1053,7 +1087,7 @@ let retire_phase st =
 
 let fetch_phase st =
   if st.redirect_pending || st.cycle < st.fetch_resume then begin
-    if Deque.length st.rob > 0 || st.trace_idx < Array.length st.trace then
+    if Deque.length st.rob > 0 || st.trace_idx < Flat_trace.length st.trace then
       incr st.hot.k_fetch_stall;
     0
   end
@@ -1064,10 +1098,11 @@ let fetch_phase st =
       (not !blocked)
       && !fetched < st.cfg.fetch_width
       && (not (Fixed_queue.is_full st.fetch_buffer))
-      && st.trace_idx < Array.length st.trace
+      && st.trace_idx < Flat_trace.length st.trace
     do
-      let dyn = st.trace.(st.trace_idx) in
-      let addr = dyn.Instr.pc * 4 in
+      let idx = st.trace_idx in
+      let pc = Flat_trace.pc st.trace idx in
+      let addr = pc * 4 in
       let line = addr / st.cfg.icache.Cache.line_bytes in
       let icache_ok =
         if line = st.last_fetch_line then true
@@ -1085,15 +1120,16 @@ let fetch_phase st =
       if not icache_ok then blocked := true
       else begin
         let token, mispred =
-          match dyn.Instr.branch with
-          | Some b when b.Instr.conditional ->
-            let pred, tok = Mcfarling.predict st.predictor ~pc:dyn.Instr.pc in
-            Mcfarling.note_outcome st.predictor ~taken:b.Instr.taken;
-            (Some tok, pred <> b.Instr.taken)
-          | Some _ | None -> (None, false)
+          if Flat_trace.is_cond_branch st.trace idx then begin
+            let taken = Flat_trace.branch_taken st.trace idx in
+            let pred, tok = Mcfarling.predict st.predictor ~pc in
+            Mcfarling.note_outcome st.predictor ~taken;
+            (Some tok, pred <> taken)
+          end
+          else (None, false)
         in
-        Fixed_queue.push st.fetch_buffer { f_dyn = dyn; f_token = token; f_mispred = mispred };
-        if st.observed then st.emit (Ev_fetch { cycle = st.cycle; seq = dyn.Instr.seq });
+        Fixed_queue.push st.fetch_buffer { f_idx = idx; f_token = token; f_mispred = mispred };
+        if st.observed then st.emit (Ev_fetch { cycle = st.cycle; seq = idx });
         st.trace_idx <- st.trace_idx + 1;
         incr fetched;
         if mispred then begin
@@ -1306,8 +1342,11 @@ let init_state ?(engine = `Wakeup) ?profile ?on_event ?on_occupancy ?(occupancy_
   { cfg;
     engine;
     assignment = cfg.assignment;
-    trace = [||];
+    trace = Flat_trace.of_dynamic_array [||];
     clusters = build_clusters cfg cfg.assignment;
+    plan_memo = [||];
+    plan_instrs = [||];
+    plan_dummy = Instr.make ~op:Op_class.Int_other ~srcs:[] ~dst:None;
     icache = Cache.create cfg.icache;
     dcache = Cache.create cfg.dcache;
     predictor = Mcfarling.create ~config:cfg.predictor ();
@@ -1373,6 +1412,10 @@ let load_phase st assignment trace =
   in
   st.trace <- trace;
   st.trace_idx <- 0;
+  (* Plans may depend on the (possibly new) assignment, and interned
+     instructions belong to the incoming trace: drop every memo slot. *)
+  Array.fill st.plan_memo 0 (Array.length st.plan_memo) None;
+  Array.fill st.plan_instrs 0 (Array.length st.plan_instrs) st.plan_dummy;
   Fixed_queue.clear st.fetch_buffer;
   st.redirect_pending <- false;
   st.fetch_resume <- st.cycle + overhead;
@@ -1423,7 +1466,7 @@ let occupancy_snapshot st =
 
 let run_loop ?(on_cycle = fun () -> ()) st ~max_cycles =
   let finished () =
-    st.trace_idx >= Array.length st.trace
+    st.trace_idx >= Flat_trace.length st.trace
     && Fixed_queue.is_empty st.fetch_buffer
     && Deque.is_empty st.rob
   in
@@ -1449,7 +1492,7 @@ let run_loop ?(on_cycle = fun () -> ()) st ~max_cycles =
            "Machine.run: cycle limit exceeded (model bug): %d cycles elapsed (max_cycles \
             %d), %d instructions retired, trace position %d of %d, %d groups in flight"
            st.cycle max_cycles (Stats.get st.ctrs "retired") st.trace_idx
-           (Array.length st.trace) (Deque.length st.rob));
+           (Flat_trace.length st.trace) (Deque.length st.rob));
     let woke = phase_alloc stage_wake wake_phase in
     let retired = phase_alloc stage_retire retire_phase in
     let trained = phase_alloc stage_train train_phase in
@@ -1516,7 +1559,7 @@ let finish_result st =
     counters = Stats.lookup_to_alist counter_lookup;
     counter_lookup }
 
-let run_phased ?engine ?profile ?on_event ?on_occupancy ?occupancy_period
+let run_phased_flat ?engine ?profile ?on_event ?on_occupancy ?occupancy_period
     ?(max_cycles = 200_000_000) cfg phases =
   let st = init_state ?engine ?profile ?on_event ?on_occupancy ?occupancy_period cfg in
   List.iter
@@ -1525,6 +1568,15 @@ let run_phased ?engine ?profile ?on_event ?on_occupancy ?occupancy_period
       run_loop st ~max_cycles)
     phases;
   finish_result st
+
+let run_flat ?engine ?profile ?on_event ?on_occupancy ?occupancy_period ?max_cycles cfg trace =
+  run_phased_flat ?engine ?profile ?on_event ?on_occupancy ?occupancy_period ?max_cycles cfg
+    [ (cfg.assignment, trace) ]
+
+let run_phased ?engine ?profile ?on_event ?on_occupancy ?occupancy_period ?max_cycles cfg
+    phases =
+  run_phased_flat ?engine ?profile ?on_event ?on_occupancy ?occupancy_period ?max_cycles cfg
+    (List.map (fun (asg, tr) -> (asg, Flat_trace.of_dynamic_array tr)) phases)
 
 let run ?engine ?profile ?on_event ?on_occupancy ?occupancy_period ?max_cycles cfg trace =
   run_phased ?engine ?profile ?on_event ?on_occupancy ?occupancy_period ?max_cycles cfg
@@ -1543,48 +1595,45 @@ let run ?engine ?profile ?on_event ?on_occupancy ?occupancy_period ?max_cycles c
    model's dispatch-to-execute training lag only matters over the
    handful of in-flight branches, which the detailed warmup prefix of
    the next interval re-establishes). *)
-let warm st trace ~lo ~hi =
-  if lo < 0 || hi > Array.length trace || lo > hi then
+let warm_flat st trace ~lo ~hi =
+  if lo < 0 || hi > Flat_trace.length trace || lo > hi then
     invalid_arg "Machine.warm: bad interval";
   for i = lo to hi - 1 do
-    let dyn = trace.(i) in
     st.cycle <- st.cycle + 1;
-    let addr = dyn.Instr.pc * 4 in
+    let addr = Flat_trace.pc trace i * 4 in
     let line = addr / st.cfg.icache.Cache.line_bytes in
     if line <> st.last_fetch_line then begin
       ignore (Cache.access st.icache ~cycle:st.cycle ~addr ~write:false);
       st.last_fetch_line <- line
     end;
-    (match dyn.Instr.instr.Instr.op with
-    | Op_class.Load ->
+    if Flat_trace.is_memory trace i then
       ignore
-        (Cache.access st.dcache ~cycle:st.cycle ~addr:(Option.get dyn.Instr.mem_addr)
-           ~write:false)
-    | Op_class.Store ->
-      ignore
-        (Cache.access st.dcache ~cycle:st.cycle ~addr:(Option.get dyn.Instr.mem_addr)
-           ~write:true)
-    | Op_class.Int_multiply | Op_class.Int_other | Op_class.Fp_divide _ | Op_class.Fp_other
-    | Op_class.Control -> ());
-    match dyn.Instr.branch with
-    | Some b when b.Instr.conditional ->
-      let _, tok = Mcfarling.predict st.predictor ~pc:dyn.Instr.pc in
-      Mcfarling.note_outcome st.predictor ~taken:b.Instr.taken;
-      Mcfarling.train st.predictor tok ~taken:b.Instr.taken
-    | Some _ | None -> ()
+        (Cache.access st.dcache ~cycle:st.cycle ~addr:(Flat_trace.mem_addr trace i)
+           ~write:(Flat_trace.is_store trace i));
+    if Flat_trace.is_cond_branch trace i then begin
+      let taken = Flat_trace.branch_taken trace i in
+      let _, tok = Mcfarling.predict st.predictor ~pc:(Flat_trace.pc trace i) in
+      Mcfarling.note_outcome st.predictor ~taken;
+      Mcfarling.train st.predictor tok ~taken
+    end
   done;
   Stats.add st.ctrs "warmed_instructions" (hi - lo)
 
+let warm st trace ~lo ~hi =
+  if lo < 0 || hi > Array.length trace || lo > hi then
+    invalid_arg "Machine.warm: bad interval";
+  warm_flat st (Flat_trace.of_dynamic_array trace) ~lo ~hi
+
 type interval = { iv_warmup_cycles : int; iv_cycles : int; iv_retired : int }
 
-let run_interval ?(max_cycles = 200_000_000) st trace ~lo ~hi ~measure_from =
-  if lo < 0 || hi > Array.length trace || lo >= hi then
+let run_interval_flat ?(max_cycles = 200_000_000) st trace ~lo ~hi ~measure_from =
+  if lo < 0 || hi > Flat_trace.length trace || lo >= hi then
     invalid_arg "Machine.run_interval: bad interval";
   if measure_from < lo || measure_from >= hi then
     invalid_arg "Machine.run_interval: measure_from outside [lo, hi)";
-  (* The detailed model requires trace.(i).seq = i (replay refetches by
-     trace position), so the sub-trace is renumbered from 0. *)
-  let sub = Array.init (hi - lo) (fun i -> { trace.(lo + i) with Instr.seq = i }) in
+  (* The detailed model requires seq = trace position (replay refetches by
+     position); a flat sub-trace re-bases positions at 0 for free. *)
+  let sub = Flat_trace.sub trace ~pos:lo ~len:(hi - lo) in
   load_phase st st.assignment sub;
   let start = st.cycle in
   let retired0 = Stats.get st.ctrs "retired" in
@@ -1601,5 +1650,10 @@ let run_interval ?(max_cycles = 200_000_000) st trace ~lo ~hi ~measure_from =
   { iv_warmup_cycles = !boundary - start;
     iv_cycles = st.cycle - !boundary;
     iv_retired = hi - measure_from }
+
+let run_interval ?max_cycles st trace ~lo ~hi ~measure_from =
+  if lo < 0 || hi > Array.length trace || lo >= hi then
+    invalid_arg "Machine.run_interval: bad interval";
+  run_interval_flat ?max_cycles st (Flat_trace.of_dynamic_array trace) ~lo ~hi ~measure_from
 
 let state_result st = finish_result st

@@ -172,6 +172,28 @@ type result = {
 val counter : result -> string -> int
 (** 0 when absent; O(log n) over the counter snapshot. *)
 
+val run_flat :
+  ?engine:engine ->
+  ?profile:Mcsim_util.Profile_counters.t ->
+  ?on_event:(event -> unit) ->
+  ?on_occupancy:(occupancy -> unit) ->
+  ?occupancy_period:int ->
+  ?max_cycles:int ->
+  config ->
+  Mcsim_isa.Flat_trace.t ->
+  result
+(** Simulate the full trace — the native entry point: the machine reads
+    the packed arrays directly (see {!Mcsim_isa.Flat_trace}), interns one
+    static instruction per pc, and memoizes {!Distribution.plan} per
+    (pc, preferred cluster). [engine] defaults to [`Wakeup]; results are
+    identical either way. [profile] accumulates per-stage counters (see
+    {!profile_counters}). When no [on_event] sink is attached, event
+    records are never constructed. [on_occupancy] receives an
+    {!occupancy} snapshot every [occupancy_period] cycles (default 16;
+    must be >= 1); with no sink, snapshots are never built.
+    @raise Failure if [max_cycles] (default 200_000_000) elapses first —
+    a model bug, not a user error. *)
+
 val run :
   ?engine:engine ->
   ?profile:Mcsim_util.Profile_counters.t ->
@@ -182,14 +204,20 @@ val run :
   config ->
   Mcsim_isa.Instr.dynamic array ->
   result
-(** Simulate the full trace. [engine] defaults to [`Wakeup]; results are
-    identical either way. [profile] accumulates per-stage counters (see
-    {!profile_counters}). When no [on_event] sink is attached, event
-    records are never constructed. [on_occupancy] receives an
-    {!occupancy} snapshot every [occupancy_period] cycles (default 16;
-    must be >= 1); with no sink, snapshots are never built.
-    @raise Failure if [max_cycles] (default 200_000_000) elapses first —
-    a model bug, not a user error. *)
+(** {!run_flat} over [Flat_trace.of_dynamic_array trace]. The trace must
+    satisfy [trace.(i).seq = i]. *)
+
+val run_phased_flat :
+  ?engine:engine ->
+  ?profile:Mcsim_util.Profile_counters.t ->
+  ?on_event:(event -> unit) ->
+  ?on_occupancy:(occupancy -> unit) ->
+  ?occupancy_period:int ->
+  ?max_cycles:int ->
+  config ->
+  (Assignment.t * Mcsim_isa.Flat_trace.t) list ->
+  result
+(** {!run_phased} on packed traces (the native entry point). *)
 
 val run_phased :
   ?engine:engine ->
@@ -243,7 +271,7 @@ val init_state :
     @raise Invalid_argument as {!validate_config}, or if
     [occupancy_period < 1]. *)
 
-val warm : state -> Mcsim_isa.Instr.dynamic array -> lo:int -> hi:int -> unit
+val warm_flat : state -> Mcsim_isa.Flat_trace.t -> lo:int -> hi:int -> unit
 (** Functional warming over [trace.(lo) .. trace.(hi - 1)]: the i-cache
     is accessed at line granularity exactly as fetch would, loads and
     stores access the d-cache, and conditional branches run the full
@@ -253,6 +281,10 @@ val warm : state -> Mcsim_isa.Instr.dynamic array -> lo:int -> hi:int -> unit
     accumulates [hi - lo].
     @raise Invalid_argument unless [0 <= lo <= hi <= length trace]. *)
 
+val warm : state -> Mcsim_isa.Instr.dynamic array -> lo:int -> hi:int -> unit
+(** {!warm_flat} over a record trace (packs the array first — prefer
+    {!warm_flat} when warming repeatedly over the same trace). *)
+
 (** Timing of one detailed interval: the warmup prefix's cycles are
     reported separately so the caller can discard them. *)
 type interval = {
@@ -261,10 +293,10 @@ type interval = {
   iv_retired : int;  (** instructions retired in the measured region *)
 }
 
-val run_interval :
+val run_interval_flat :
   ?max_cycles:int ->
   state ->
-  Mcsim_isa.Instr.dynamic array ->
+  Mcsim_isa.Flat_trace.t ->
   lo:int ->
   hi:int ->
   measure_from:int ->
@@ -278,6 +310,16 @@ val run_interval :
     @raise Invalid_argument unless [0 <= lo < hi <= length trace] and
     [lo <= measure_from < hi].
     @raise Failure as {!run} when [max_cycles] elapses. *)
+
+val run_interval :
+  ?max_cycles:int ->
+  state ->
+  Mcsim_isa.Instr.dynamic array ->
+  lo:int ->
+  hi:int ->
+  measure_from:int ->
+  interval
+(** {!run_interval_flat} over a record trace (packs the array first). *)
 
 val state_result : state -> result
 (** Harvest the aggregate counters of everything the state has run.

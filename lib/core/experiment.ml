@@ -1,4 +1,5 @@
 module Machine = Mcsim_cluster.Machine
+module Flat_trace = Mcsim_isa.Flat_trace
 module Pipeline = Mcsim_compiler.Pipeline
 module Walker = Mcsim_trace.Walker
 module Pool = Mcsim_util.Pool
@@ -32,13 +33,38 @@ type prep = {
   p_prog : Mcsim_ir.Program.t;
   p_profile : Mcsim_ir.Profile.t;
   p_native : Pipeline.compiled;
-  p_native_trace : Mcsim_isa.Instr.dynamic array;
+  p_native_trace : Flat_trace.t;
 }
 
-let make_prep ~seed ~max_instrs prog =
+(* Cache identity of a scheduler, parameters included ([scheduler_name]
+   alone would alias differently-tuned local/random schedulers). *)
+let scheduler_ident = function
+  | Pipeline.Sched_none -> "none"
+  | Pipeline.Sched_local { imbalance_threshold; window } ->
+    Printf.sprintf "local:%d:%d" imbalance_threshold window
+  | Pipeline.Sched_round_robin -> "round_robin"
+  | Pipeline.Sched_random s -> Printf.sprintf "random:%d" s
+
+(* The committed trace of [prog]'s binary under [scheduler]: from the
+   trace store when present there, otherwise walked (and saved). Keyed by
+   benchmark name — the store assumes a name identifies one program. *)
+let trace_of ~trace_store ~seed ~max_instrs ~benchmark ~scheduler walk =
+  match trace_store with
+  | None -> walk ()
+  | Some store ->
+    let key =
+      { Trace_store.benchmark; scheduler = scheduler_ident scheduler; seed; max_instrs }
+    in
+    fst (Trace_store.load_or_build store key walk)
+
+let make_prep ?trace_store ~seed ~max_instrs prog =
   let profile = Walker.profile ~seed prog in
   let native = Pipeline.compile ~profile ~scheduler:Pipeline.Sched_none prog in
-  let native_trace = Walker.trace ~seed ~max_instrs native.Pipeline.mach in
+  let native_trace =
+    trace_of ~trace_store ~seed ~max_instrs ~benchmark:prog.Mcsim_ir.Program.name
+      ~scheduler:Pipeline.Sched_none (fun () ->
+        Walker.trace_flat ~seed ~max_instrs native.Pipeline.mach)
+  in
   { p_prog = prog; p_profile = profile; p_native = native; p_native_trace = native_trace }
 
 (* One independent simulation: a benchmark's native binary on the
@@ -59,11 +85,11 @@ type sim_out =
    policy is given — the sampled estimate standing in for it. *)
 let simulate ~engine ~sampling cfg trace =
   match sampling with
-  | None -> Machine.run ?engine cfg trace
-  | Some policy -> Sampling.estimate (Sampling.run ?engine ~policy cfg trace)
+  | None -> Machine.run_flat ?engine cfg trace
+  | Some policy -> Sampling.estimate (Sampling.run_flat ?engine ~policy cfg trace)
 
-let run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config prep_of =
-  function
+let run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config ~trace_store
+    prep_of = function
   | Sim_single i ->
     Out_single (simulate ~engine ~sampling single_config (prep_of i).p_native_trace)
   | Sim_sched (i, (name, scheduler)) ->
@@ -78,7 +104,9 @@ let run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config prep
       match scheduler with
       | Pipeline.Sched_none -> prep.p_native_trace
       | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
-        Walker.trace ~seed ~max_instrs compiled.Pipeline.mach
+        trace_of ~trace_store ~seed ~max_instrs
+          ~benchmark:prep.p_prog.Mcsim_ir.Program.name ~scheduler (fun () ->
+            Walker.trace_flat ~seed ~max_instrs compiled.Pipeline.mach)
     in
     let dual = simulate ~engine ~sampling dual_config trace in
     let static_single, static_dual =
@@ -164,12 +192,13 @@ let record_out store bench out =
    decoded serially before any fan-out, so [retries]/[inject_fault]
    only ever apply to units that actually execute. *)
 let run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_config
-    ~dual_config ~retries ~backoff ~inject_fault ~checkpoint progs :
+    ~dual_config ~retries ~backoff ~inject_fault ~checkpoint ~trace_cache progs :
     (comparison, Pool.failure) result list =
   let single_config =
     match single_config with Some c -> c | None -> Machine.single_cluster ()
   in
   let dual_config = match dual_config with Some c -> c | None -> Machine.dual_cluster () in
+  let trace_store = Option.map (fun dir -> Trace_store.open_ ~dir) trace_cache in
   let store =
     Option.map
       (fun dir ->
@@ -208,11 +237,11 @@ let run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_
   let prep_fail : Pool.failure option array = Array.make n None in
   Pool.parallel_map_status ~retries ?backoff ?inject_fault ~jobs
     (fun (i, prog) ->
-      let p = make_prep ~seed ~max_instrs prog in
+      let p = make_prep ?trace_store ~seed ~max_instrs prog in
       Option.iter
         (fun st ->
           Checkpoint.record st ~key:(key_meta names.(i))
-            [ ("trace_instrs", Json.Int (Array.length p.p_native_trace)) ])
+            [ ("trace_instrs", Json.Int (Flat_trace.length p.p_native_trace)) ])
         store;
       (i, p))
     prep_jobs
@@ -240,8 +269,8 @@ let run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_
     Pool.parallel_map_status ~retries ?backoff ?inject_fault ~jobs
       (fun spec ->
         let out =
-          run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config get_prep
-            spec
+          run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config
+            ~trace_store get_prep spec
         in
         let bench = match spec with Sim_single i | Sim_sched (i, _) -> names.(i) in
         Option.iter (fun st -> record_out st bench out) store;
@@ -307,7 +336,7 @@ let run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_
           in
           let trace_instrs =
             match preps.(i) with
-            | Some p -> Array.length p.p_native_trace
+            | Some p -> Flat_trace.length p.p_native_trace
             | None -> Option.get cached_meta.(i)
           in
           Ok { benchmark = names.(i); trace_instrs; single; runs }
@@ -323,17 +352,17 @@ let run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_
 
 let run_many_status ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
     ?(schedulers = default_schedulers) ?engine ?sampling ?single_config ?dual_config
-    ?(retries = 0) ?backoff ?inject_fault ?checkpoint progs =
+    ?(retries = 0) ?backoff ?inject_fault ?checkpoint ?trace_cache progs =
   run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_config
-    ~dual_config ~retries ~backoff ~inject_fault ~checkpoint progs
+    ~dual_config ~retries ~backoff ~inject_fault ~checkpoint ~trace_cache progs
   |> List.map (Result.map_error Pool.failure_message)
 
 let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
     ?(schedulers = default_schedulers) ?engine ?sampling ?single_config ?dual_config
-    ?(retries = 0) ?backoff ?inject_fault ?checkpoint progs =
+    ?(retries = 0) ?backoff ?inject_fault ?checkpoint ?trace_cache progs =
   let results =
     run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_config
-      ~dual_config ~retries ~backoff ~inject_fault ~checkpoint progs
+      ~dual_config ~retries ~backoff ~inject_fault ~checkpoint ~trace_cache progs
   in
   (* As if the sweep had run serially: the first failing benchmark's
      exception propagates with its original backtrace. *)
@@ -342,10 +371,11 @@ let run_many ?(jobs = Pool.default_jobs ()) ?(max_instrs = 120_000) ?(seed = 1)
   | None -> List.map (function Ok c -> c | Error _ -> assert false) results
 
 let run_benchmark ?(max_instrs = 120_000) ?(seed = 1)
-    ?(schedulers = default_schedulers) ?engine ?sampling ?single_config ?dual_config prog =
+    ?(schedulers = default_schedulers) ?engine ?sampling ?single_config ?dual_config
+    ?trace_cache prog =
   match
     run_many ~jobs:1 ~max_instrs ~seed ~schedulers ?engine ?sampling ?single_config
-      ?dual_config [ prog ]
+      ?dual_config ?trace_cache [ prog ]
   with
   | [ c ] -> c
   | _ -> assert false

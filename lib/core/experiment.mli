@@ -30,6 +30,13 @@ val default_schedulers : (string * Mcsim_compiler.Pipeline.scheduler) list
 (** [("none", Sched_none); ("local", default_local)] — the two columns of
     Table 2. *)
 
+val scheduler_ident : Mcsim_compiler.Pipeline.scheduler -> string
+(** The parameter-bearing identity string used as the [scheduler] field
+    of a {!Trace_store.key} (e.g. ["local:2:0"]) — unlike
+    {!Mcsim_compiler.Pipeline.scheduler_name}, distinct parameters give
+    distinct idents, so differently-tuned schedulers never share a
+    cached trace. *)
+
 val run_many :
   ?jobs:int ->
   ?max_instrs:int ->
@@ -43,6 +50,7 @@ val run_many :
   ?backoff:(int -> float) ->
   ?inject_fault:(job:int -> attempt:int -> bool) ->
   ?checkpoint:string ->
+  ?trace_cache:string ->
   Mcsim_ir.Program.t list ->
   comparison list
 (** Run the flow for many benchmarks, fanning the independent
@@ -77,7 +85,15 @@ val run_many :
     description, and tasks share only immutable data (the per-benchmark
     profile, native binary and trace), so the output is bit-for-bit
     identical for every [jobs] value — and, because cached units are
-    exact recordings, for every interruption point. *)
+    exact recordings, for every interruption point.
+
+    [trace_cache] names a {!Trace_store} directory: every trace the
+    sweep needs (the native binary's and each rescheduled binary's) is
+    looked up there by [(benchmark name, scheduler, seed, max_instrs)]
+    and memory-mapped on a hit instead of being re-walked; misses are
+    generated as usual and saved for the next run. Cached traces are
+    byte-identical to freshly walked ones, so results are unchanged —
+    the store assumes a benchmark name denotes one program. *)
 
 val run_many_status :
   ?jobs:int ->
@@ -92,6 +108,7 @@ val run_many_status :
   ?backoff:(int -> float) ->
   ?inject_fault:(job:int -> attempt:int -> bool) ->
   ?checkpoint:string ->
+  ?trace_cache:string ->
   Mcsim_ir.Program.t list ->
   (comparison, string) result list
 (** {!run_many}, degrading failure to data: a benchmark with a unit
@@ -108,6 +125,7 @@ val run_benchmark :
   ?sampling:Mcsim_sampling.Sampling.policy ->
   ?single_config:Mcsim_cluster.Machine.config ->
   ?dual_config:Mcsim_cluster.Machine.config ->
+  ?trace_cache:string ->
   Mcsim_ir.Program.t ->
   comparison
 (** [run_many] for a single benchmark, serially. [max_instrs] (default

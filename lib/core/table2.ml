@@ -38,21 +38,21 @@ let row_of_comparison b (c : Experiment.comparison) =
     local_replays = local.Experiment.dual.Machine.replays }
 
 let run ?jobs ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?engine
-    ?sampling ?single_config ?dual_config ?retries ?backoff ?inject_fault ?checkpoint ()
-    =
+    ?sampling ?single_config ?dual_config ?retries ?backoff ?inject_fault ?checkpoint
+    ?trace_cache () =
   let comparisons =
     Experiment.run_many ?jobs ~max_instrs ~seed ?engine ?sampling ?single_config
-      ?dual_config ?retries ?backoff ?inject_fault ?checkpoint
+      ?dual_config ?retries ?backoff ?inject_fault ?checkpoint ?trace_cache
       (List.map Spec92.program benchmarks)
   in
   List.map2 row_of_comparison benchmarks comparisons
 
 let run_report ?jobs ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all)
     ?engine ?sampling ?single_config ?dual_config ?retries ?backoff ?inject_fault
-    ?checkpoint () =
+    ?checkpoint ?trace_cache () =
   let statuses =
     Experiment.run_many_status ?jobs ~max_instrs ~seed ?engine ?sampling ?single_config
-      ?dual_config ?retries ?backoff ?inject_fault ?checkpoint
+      ?dual_config ?retries ?backoff ?inject_fault ?checkpoint ?trace_cache
       (List.map Spec92.program benchmarks)
   in
   List.fold_right2

@@ -30,6 +30,7 @@ val run :
   ?backoff:(int -> float) ->
   ?inject_fault:(job:int -> attempt:int -> bool) ->
   ?checkpoint:string ->
+  ?trace_cache:string ->
   unit ->
   row list
 (** Default [max_instrs] 120_000, seed 1, all six benchmarks, the paper's
@@ -52,7 +53,11 @@ val run :
     units are stored in that directory and an interrupted sweep, rerun
     with the same arguments, resumes and produces identical rows. A
     benchmark that fails all its attempts raises here — use
-    {!run_report} to degrade it to a report entry instead. *)
+    {!run_report} to degrade it to a report entry instead.
+
+    [trace_cache] names a {!Trace_store} directory (see
+    {!Experiment.run_many}): traces are memory-mapped from there on
+    repeat runs instead of being re-walked; rows are unchanged. *)
 
 type report = {
   rows : row list;  (** in benchmark order, failed benchmarks omitted *)
@@ -72,6 +77,7 @@ val run_report :
   ?backoff:(int -> float) ->
   ?inject_fault:(job:int -> attempt:int -> bool) ->
   ?checkpoint:string ->
+  ?trace_cache:string ->
   unit ->
   report
 (** {!run}, degrading permanent per-benchmark failure to data: rows

@@ -1,0 +1,213 @@
+module Flat_trace = Mcsim_isa.Flat_trace
+module BA1 = Bigarray.Array1
+
+type t = { dir : string }
+
+let dir t = t.dir
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ when Sys.is_directory path -> ()
+  end
+
+let open_ ~dir =
+  mkdir_p dir;
+  { dir }
+
+type key = {
+  benchmark : string;
+  scheduler : string;
+  seed : int;
+  max_instrs : int;
+}
+
+let magic = "MCTRACE1"
+let format_version = 2
+let header_bytes = 32
+
+let key_string k =
+  Printf.sprintf "%s|%s|seed=%d|max=%d|v%d" k.benchmark k.scheduler k.seed k.max_instrs
+    format_version
+
+let sanitize key =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' -> c | _ -> '_')
+      key
+  in
+  if String.length mapped <= 60 then mapped else String.sub mapped 0 60
+
+let path t k =
+  let key = key_string k in
+  let digest = String.sub (Digest.to_hex (Digest.string key)) 0 8 in
+  Filename.concat t.dir
+    (Printf.sprintf "trace-%s-%s.mctrace" (sanitize (k.benchmark ^ "-" ^ k.scheduler)) digest)
+
+let payload_bytes n = 16 * n
+
+(* FNV-1a over the payload viewed as 64-bit words, through an int-kind
+   Bigarray so every read is an unboxed native int — the loop neither
+   boxes nor allocates and runs at memory speed, where an MD5 pass over
+   the payload would cost more than the mmap'd load it protects.
+   Order-sensitive: swapped or flipped words change the sum. The int
+   view sees 63 of each word's 64 bits (OCaml ints are 63-bit), so a
+   corruption confined to the top bit of a word is the one blind spot —
+   truncation, version skew and everything else is caught. *)
+let checksum_basis = 0x1403_7907_0462_5a1d
+let checksum_prime = 0x100000001b3
+
+let checksum_words (words : (int, Bigarray.int_elt, Bigarray.c_layout) BA1.t) =
+  let h = ref checksum_basis in
+  for i = 0 to BA1.dim words - 1 do
+    h := (!h lxor BA1.unsafe_get words i) * checksum_prime land max_int
+  done;
+  !h
+
+(* ------------------------------------------------------------------ *)
+(* Save                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let map_i32 fd ~pos ~len shared =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int32 Bigarray.c_layout shared
+       [| len |])
+
+let map_i64 fd ~pos ~len shared =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int64 Bigarray.c_layout shared
+       [| len |])
+
+(* The whole 16·n-byte payload as 2·n 64-bit words, for checksumming. *)
+let map_words fd ~len shared =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int header_bytes) Bigarray.int Bigarray.c_layout
+       shared [| len |])
+
+let save t k trace =
+  let n = Flat_trace.length trace in
+  let pcs, codes, aux = Flat_trace.unsafe_arrays trace in
+  let final = path t k in
+  let tmp =
+    Printf.sprintf "%s.tmp-%d-%d" final (Unix.getpid ()) ((Domain.self () :> int))
+  in
+  let total = header_bytes + payload_bytes n in
+  let fd = Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd total;
+      let hdr = Bytes.make header_bytes '\000' in
+      Bytes.blit_string magic 0 hdr 0 8;
+      Bytes.set_int32_ne hdr 8 (Int32.of_int format_version);
+      Bytes.set_int32_ne hdr 12 (Int32.of_int n);
+      ignore (Unix.write fd hdr 0 header_bytes);
+      let sum =
+        if n = 0 then checksum_basis
+        else begin
+          (* The payload is blitted straight from the Bigarrays through a
+             shared mapping — no per-instruction work, no heap copies —
+             then checksummed from the same mapping, exactly as a loader
+             will see it. *)
+          BA1.blit pcs (map_i32 fd ~pos:header_bytes ~len:n true);
+          BA1.blit codes (map_i32 fd ~pos:(header_bytes + (4 * n)) ~len:n true);
+          BA1.blit aux (map_i64 fd ~pos:(header_bytes + (8 * n)) ~len:n true);
+          checksum_words (map_words fd ~len:(2 * n) true)
+        end
+      in
+      ignore (Unix.lseek fd 16 Unix.SEEK_SET);
+      let b = Bytes.create 8 in
+      Bytes.set_int64_ne b 0 (Int64.of_int sum);
+      ignore (Unix.write fd b 0 8));
+  Sys.rename tmp final
+
+(* ------------------------------------------------------------------ *)
+(* Load                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Open, header-check, map copy-on-write and checksum the payload;
+   [Some (f pcs codes aux n)] iff the file is a complete, uncorrupted
+   current-version trace.  The mappings outlive the fd (and, being
+   shared=false, never write back), so [f] may capture them. *)
+let with_valid file f =
+  match Unix.openfile file [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let hdr = Bytes.create header_bytes in
+        let rec read_hdr off =
+          if off >= header_bytes then true
+          else
+            match Unix.read fd hdr off (header_bytes - off) with
+            | 0 -> false
+            | r -> read_hdr (off + r)
+            | exception Unix.Unix_error _ -> false
+        in
+        if not (read_hdr 0) then None
+        else if Bytes.sub_string hdr 0 8 <> magic then None
+        else if Int32.to_int (Bytes.get_int32_ne hdr 8) <> format_version then None
+        else
+          let n = Int32.to_int (Bytes.get_int32_ne hdr 12) in
+          if
+            n < 0
+            || (Unix.fstat fd).Unix.st_size <> header_bytes + payload_bytes n
+          then None
+          else
+            let stored = Int64.to_int (Bytes.get_int64_ne hdr 16) in
+            let sum =
+              if n = 0 then checksum_basis
+              else checksum_words (map_words fd ~len:(2 * n) false)
+            in
+            if sum <> stored then None
+            else if n = 0 then
+              Some
+                (f
+                   (BA1.create Bigarray.int32 Bigarray.c_layout 0)
+                   (BA1.create Bigarray.int32 Bigarray.c_layout 0)
+                   (BA1.create Bigarray.int64 Bigarray.c_layout 0)
+                   0)
+            else
+              let pcs = map_i32 fd ~pos:header_bytes ~len:n false in
+              let codes = map_i32 fd ~pos:(header_bytes + (4 * n)) ~len:n false in
+              let aux = map_i64 fd ~pos:(header_bytes + (8 * n)) ~len:n false in
+              Some (f pcs codes aux n))
+
+let find t k =
+  let file = path t k in
+  if not (Sys.file_exists file) then None
+  else
+    (* Copy-on-write mappings: the pages come from (and stay in) the
+       page cache, shared across every process simulating from the same
+       store. *)
+    with_valid file (fun pcs codes aux _n -> Flat_trace.of_arrays pcs codes aux)
+
+let load_or_build t k build =
+  match find t k with
+  | Some trace -> (trace, `Hit)
+  | None ->
+    let trace = build () in
+    (try save t k trace with Sys_error _ | Unix.Unix_error _ -> ());
+    (trace, `Miss)
+
+(* ------------------------------------------------------------------ *)
+(* Listing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { e_file : string; e_instrs : int; e_bytes : int; e_valid : bool }
+
+let entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun name -> Filename.check_suffix name ".mctrace")
+    |> List.sort String.compare
+    |> List.map (fun name ->
+           let file = Filename.concat t.dir name in
+           let bytes = try (Unix.stat file).Unix.st_size with Unix.Unix_error _ -> 0 in
+           match with_valid file (fun _ _ _ n -> n) with
+           | Some n -> { e_file = name; e_instrs = n; e_bytes = bytes; e_valid = true }
+           | None -> { e_file = name; e_instrs = 0; e_bytes = bytes; e_valid = false })

@@ -1,4 +1,5 @@
 module Machine = Mcsim_cluster.Machine
+module Flat_trace = Mcsim_isa.Flat_trace
 module Stats = Mcsim_util.Stats
 module Rng = Mcsim_util.Rng
 
@@ -61,9 +62,9 @@ type t = {
 let ci_rel r = if r.mean_ipc = 0.0 then 0.0 else r.ci_halfwidth /. r.mean_ipc
 let detailed_fraction r = Stats.ratio r.detailed_instrs r.trace_instrs
 
-let run ?max_cycles ?engine ?(policy = default_policy) cfg trace =
+let run_flat ?max_cycles ?engine ?(policy = default_policy) cfg trace =
   validate_policy policy;
-  let n = Array.length trace in
+  let n = Flat_trace.length trace in
   let unit = policy.warmup + policy.detail in
   (* Systematic sampling: one seeded offset places the first unit; every
      later unit starts [interval] instructions after the previous one. *)
@@ -85,9 +86,9 @@ let run ?max_cycles ?engine ?(policy = default_policy) cfg trace =
   let pos = ref 0 in
   for k = 0 to num_units - 1 do
     let start = offset + (k * policy.interval) in
-    Machine.warm st trace ~lo:!pos ~hi:start;
+    Machine.warm_flat st trace ~lo:!pos ~hi:start;
     let iv =
-      Machine.run_interval ?max_cycles st trace ~lo:start ~hi:(start + unit)
+      Machine.run_interval_flat ?max_cycles st trace ~lo:start ~hi:(start + unit)
         ~measure_from:(start + policy.warmup)
     in
     let detail_cycles = max 1 iv.Machine.iv_cycles in
@@ -101,7 +102,7 @@ let run ?max_cycles ?engine ?(policy = default_policy) cfg trace =
       :: !stats;
     pos := start + unit
   done;
-  Machine.warm st trace ~lo:!pos ~hi:n;
+  Machine.warm_flat st trace ~lo:!pos ~hi:n;
   let intervals = List.rev !stats in
   (* Aggregate per-unit CPI, not IPC: every unit measures the same
      instruction count, so the full-run cycle total extrapolates
@@ -123,6 +124,9 @@ let run ?max_cycles ?engine ?(policy = default_policy) cfg trace =
     warmed_instrs = n - (num_units * unit);
     est_cycles = int_of_float (Float.round (float_of_int n *. mean_cpi));
     machine = Machine.state_result st }
+
+let run ?max_cycles ?engine ?policy cfg trace =
+  run_flat ?max_cycles ?engine ?policy cfg (Flat_trace.of_dynamic_array trace)
 
 let estimate r =
   { r.machine with

@@ -79,14 +79,16 @@ val ci_rel : t -> float
 val detailed_fraction : t -> float
 (** [detailed_instrs /. trace_instrs]. *)
 
-val run :
+val run_flat :
   ?max_cycles:int ->
   ?engine:Mcsim_cluster.Machine.engine ->
   ?policy:policy ->
   Mcsim_cluster.Machine.config ->
-  Mcsim_isa.Instr.dynamic array ->
+  Mcsim_isa.Flat_trace.t ->
   t
-(** Sample-simulate the trace. The first detailed unit starts at a
+(** Sample-simulate the trace (the native entry point — warming and the
+    detailed intervals read the packed arrays directly, and interval
+    sub-traces are O(1) views). The first detailed unit starts at a
     seeded offset in [[0, interval - warmup - detail]]; subsequent units
     start every [interval] instructions; instructions between and after
     units are functionally warmed. [engine] selects the detailed-model
@@ -94,6 +96,15 @@ val run :
     @raise Invalid_argument if the policy is invalid or the trace is too
     short for two complete units (no meaningful confidence interval).
     @raise Failure as {!Mcsim_cluster.Machine.run} on [max_cycles]. *)
+
+val run :
+  ?max_cycles:int ->
+  ?engine:Mcsim_cluster.Machine.engine ->
+  ?policy:policy ->
+  Mcsim_cluster.Machine.config ->
+  Mcsim_isa.Instr.dynamic array ->
+  t
+(** {!run_flat} over [Flat_trace.of_dynamic_array trace]. *)
 
 val estimate : t -> Mcsim_cluster.Machine.result
 (** The sampled stand-in for a full {!Mcsim_cluster.Machine.run} result:

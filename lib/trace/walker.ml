@@ -5,6 +5,7 @@ module Branch_model = Mcsim_ir.Branch_model
 module Mem_stream = Mcsim_ir.Mem_stream
 module Mach_prog = Mcsim_compiler.Mach_prog
 module Instr = Mcsim_isa.Instr
+module Flat_trace = Mcsim_isa.Flat_trace
 module Rng = Mcsim_util.Rng
 
 let split_streams seed =
@@ -53,7 +54,7 @@ let il_trace_length ?(seed = 1) ?(max_blocks = 1_000_000) prog =
     prog.Program.blocks;
   !total
 
-let trace ?(seed = 1) ?(max_instrs = 300_000) (m : Mach_prog.t) =
+let trace_flat ?(seed = 1) ?(max_instrs = 300_000) (m : Mach_prog.t) =
   let branch_rng, mem_rng = split_streams seed in
   let branch_states =
     Array.map
@@ -71,25 +72,15 @@ let trace ?(seed = 1) ?(max_instrs = 300_000) (m : Mach_prog.t) =
           b.Mach_prog.instrs)
       m.Mach_prog.blocks
   in
-  (* The output buffer is allocated on the first instruction (using it as
-     the fill element) and grown on demand: no [Instr.t option] boxes and
-     no [Option.get] round-trip per emitted instruction. *)
-  let out = ref [||] in
-  let n = ref 0 in
+  (* Emission goes straight into the packed struct-of-arrays encoding: no
+     per-instruction records, no option boxes — the walker's only
+     allocations are the branch/mem generator state set up above. *)
+  let out = Flat_trace.Builder.create ~capacity:(min max_instrs 65_536) () in
   let emit ?mem_addr ?branch pc instr =
-    if !n < max_instrs then begin
-      let d = Instr.dynamic ~seq:!n ~pc ?mem_addr ?branch instr in
-      let cap = Array.length !out in
-      if !n >= cap then begin
-        let grown = Array.make (min max_instrs (max 1024 (2 * cap))) d in
-        Array.blit !out 0 grown 0 cap;
-        out := grown
-      end;
-      !out.(!n) <- d;
-      incr n
-    end
+    if Flat_trace.Builder.length out < max_instrs then
+      Flat_trace.Builder.emit out ~pc ?mem_addr ?branch instr
   in
-  let full () = !n >= max_instrs in
+  let full () = Flat_trace.Builder.length out >= max_instrs in
   let current = ref (Some m.Mach_prog.entry) in
   while Option.is_some !current && not (full ()) do
     let block = Option.get !current in
@@ -130,4 +121,7 @@ let trace ?(seed = 1) ?(max_instrs = 300_000) (m : Mach_prog.t) =
         current := Some next
     end
   done;
-  if !n = Array.length !out then !out else Array.sub !out 0 !n
+  Flat_trace.Builder.finish out
+
+let trace ?seed ?max_instrs m =
+  Flat_trace.to_dynamic_array (trace_flat ?seed ?max_instrs m)

@@ -21,15 +21,24 @@ val profile :
 (** Walk until [Halt] or [max_blocks] (default 1_000_000) block
     executions. *)
 
+val trace_flat :
+  ?seed:int ->
+  ?max_instrs:int ->
+  Mcsim_compiler.Mach_prog.t ->
+  Mcsim_isa.Flat_trace.t
+(** Emit the dynamic instruction stream in the packed struct-of-arrays
+    encoding: one element per executed body instruction, [jump] or
+    conditional branch ([Fallthrough]/[Halt] emit nothing). Stops at
+    [Halt] or once [max_instrs] (default 300_000) instructions have been
+    emitted. Generation allocates no per-instruction records. *)
+
 val trace :
   ?seed:int ->
   ?max_instrs:int ->
   Mcsim_compiler.Mach_prog.t ->
   Mcsim_isa.Instr.dynamic array
-(** Emit the dynamic instruction stream: one element per executed body
-    instruction, [jump] or conditional branch ([Fallthrough]/[Halt] emit
-    nothing). Stops at [Halt] or once [max_instrs] (default 300_000)
-    instructions have been emitted. *)
+(** {!trace_flat} materialised as records — one {!Mcsim_isa.Instr.dynamic}
+    per instruction, [seq] equal to the index. *)
 
 val il_trace_length :
   ?seed:int -> ?max_blocks:int -> Mcsim_ir.Program.t -> int

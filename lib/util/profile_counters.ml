@@ -58,12 +58,16 @@ let reset t =
   t.minor_words <- 0.0;
   t.sampling <- false
 
-let render t =
+let render ?instrs t =
   let buf = Buffer.create 512 in
   let cyc = float_of_int (max 1 t.cycles) in
+  let ins = Option.map (fun n -> float_of_int (max 1 n)) instrs in
   Buffer.add_string buf
-    (Printf.sprintf "cycles %d, minor words %.0f (%.2f words/cycle)\n"
-       t.cycles t.minor_words (t.minor_words /. cyc));
+    (Printf.sprintf "cycles %d, minor words %.0f (%.2f words/cycle%s)\n"
+       t.cycles t.minor_words (t.minor_words /. cyc)
+       (match ins with
+       | Some f -> Printf.sprintf ", %.2f words/instr" (t.minor_words /. f)
+       | None -> ""));
   let rows =
     Array.to_list
       (Array.mapi
@@ -78,11 +82,19 @@ let render t =
                   (float_of_int t.work.(i) /. float_of_int t.visits.(i)));
              Printf.sprintf "%.2f" (float_of_int t.work.(i) /. cyc);
              Printf.sprintf "%.1f" (t.alloc.(i) /. cyc);
-           ])
+           ]
+           @ match ins with
+             | Some f -> [ Printf.sprintf "%.2f" (t.alloc.(i) /. f) ]
+             | None -> [])
          t.names)
+  in
+  let header =
+    [ "stage"; "visits"; "work"; "work/visit"; "work/cycle"; "alloc/cycle" ]
+    @ match ins with Some _ -> [ "alloc/instr" ] | None -> []
   in
   Buffer.add_string buf
     (Text_table.render
-       ~aligns:[| Text_table.Left; Right; Right; Right; Right; Right |]
-       ([ "stage"; "visits"; "work"; "work/visit"; "work/cycle"; "alloc/cycle" ] :: rows));
+       ~aligns:(Array.make (List.length header) Text_table.Right |> fun a ->
+                a.(0) <- Text_table.Left; a)
+       (header :: rows));
   Buffer.contents buf

@@ -46,7 +46,11 @@ val minor_words : t -> float
 
 val reset : t -> unit
 
-val render : t -> string
+val render : ?instrs:int -> t -> string
 (** Human-readable table: a summary line (cycles, minor words, words per
     cycle) then one row per stage with visits, work, work/visit,
-    work/cycle and alloc/cycle. *)
+    work/cycle and alloc/cycle. With [instrs] (the retired-instruction
+    count of the profiled run) the summary also reports words/instr and
+    every stage row gains an alloc/instr column — allocated words per
+    instruction is the figure the optimisation work tracks, since
+    cycles per instruction varies with the machine config. *)

@@ -22,4 +22,5 @@ let () =
       Test_obs.suite;
       Test_crossval.suite;
       Test_parallel.suite;
-      Test_durable.suite ]
+      Test_durable.suite;
+      Test_trace_store.suite ]

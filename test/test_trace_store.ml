@@ -1,0 +1,341 @@
+(* Tests for the flat binary trace representation and the on-disk trace
+   store: encode/decode round-trips, O(1) sub views, the store's
+   hit/miss/corruption behaviour, key invalidation, and the safety
+   invariant that simulating a cached (memory-mapped) trace is
+   indistinguishable from simulating the freshly walked one — on every
+   stock machine configuration. *)
+
+module Flat_trace = Mcsim_isa.Flat_trace
+module Instr = Mcsim_isa.Instr
+module Op = Mcsim_isa.Op_class
+module Reg = Mcsim_isa.Reg
+module Walker = Mcsim_trace.Walker
+module Pipeline = Mcsim_compiler.Pipeline
+module Spec92 = Mcsim_workload.Spec92
+module Machine = Mcsim_cluster.Machine
+module Trace_store = Mcsim.Trace_store
+module Experiment = Mcsim.Experiment
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let temp_dir () = Filename.temp_dir "mcsim-test-tracestore" ""
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+let bench_trace ?(bench = Spec92.Compress) ?(scheduler = Pipeline.default_local)
+    ?(seed = 1) ?(max_instrs = 5_000) () =
+  let prog = Spec92.program bench in
+  let profile = Walker.profile ~seed prog in
+  let c = Pipeline.compile ~profile ~scheduler prog in
+  Walker.trace_flat ~seed ~max_instrs c.Pipeline.mach
+
+let dyn_equal (a : Instr.dynamic) (b : Instr.dynamic) =
+  a.Instr.seq = b.Instr.seq && a.Instr.pc = b.Instr.pc
+  && a.Instr.instr = b.Instr.instr
+  && a.Instr.mem_addr = b.Instr.mem_addr
+  && a.Instr.branch = b.Instr.branch
+
+let check_traces_equal what (a : Instr.dynamic array) (b : Instr.dynamic array) =
+  check Alcotest.int (what ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i da ->
+      if not (dyn_equal da b.(i)) then
+        Alcotest.failf "%s: instruction %d differs" what i)
+    a
+
+(* --------------------------- flat trace ----------------------------- *)
+
+let flat_roundtrip () =
+  let flat = bench_trace () in
+  let dyn = Flat_trace.to_dynamic_array flat in
+  check Alcotest.int "non-trivial" 5_000 (Array.length dyn);
+  let back = Flat_trace.of_dynamic_array dyn in
+  check_traces_equal "roundtrip" dyn (Flat_trace.to_dynamic_array back)
+
+let flat_accessors_match_records () =
+  let flat = bench_trace () in
+  let dyn = Flat_trace.to_dynamic_array flat in
+  Array.iteri
+    (fun i d ->
+      check Alcotest.int "pc" d.Instr.pc (Flat_trace.pc flat i);
+      check Alcotest.bool "load" (d.Instr.instr.Instr.op = Op.Load)
+        (Flat_trace.is_load flat i);
+      check Alcotest.bool "store" (d.Instr.instr.Instr.op = Op.Store)
+        (Flat_trace.is_store flat i);
+      check Alcotest.bool "memory" (Option.is_some d.Instr.mem_addr)
+        (Flat_trace.is_memory flat i);
+      (match d.Instr.mem_addr with
+      | Some a -> check Alcotest.int "mem addr" a (Flat_trace.mem_addr flat i)
+      | None -> ());
+      check Alcotest.bool "branch" (Option.is_some d.Instr.branch)
+        (Flat_trace.has_branch flat i);
+      (match d.Instr.branch with
+      | Some b ->
+        check Alcotest.bool "cond" b.Instr.conditional (Flat_trace.is_cond_branch flat i);
+        check Alcotest.bool "taken" b.Instr.taken (Flat_trace.branch_taken flat i);
+        check Alcotest.int "target" b.Instr.target (Flat_trace.branch_target flat i)
+      | None -> ());
+      check Alcotest.bool "instr" true (d.Instr.instr = Flat_trace.instr flat i))
+    dyn
+
+let flat_instr_interned () =
+  let flat = bench_trace () in
+  let n = Flat_trace.length flat in
+  (* The same pc decodes to the physically same Instr.t every time — the
+     identity the machine's plan memo keys on. *)
+  let tbl = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let pc = Flat_trace.pc flat i in
+    let ins = Flat_trace.instr flat i in
+    match Hashtbl.find_opt tbl pc with
+    | None -> Hashtbl.add tbl pc ins
+    | Some prev ->
+      if not (prev == ins) then Alcotest.failf "pc %d decoded to a fresh instr" pc
+  done
+
+let flat_sub_view () =
+  let flat = bench_trace () in
+  let dyn = Flat_trace.to_dynamic_array flat in
+  let pos = 1_234 and len = 800 in
+  let sub = Flat_trace.sub flat ~pos ~len in
+  check Alcotest.int "sub length" len (Flat_trace.length sub);
+  let expected =
+    Array.mapi
+      (fun i d -> { d with Instr.seq = i })
+      (Array.sub dyn pos len)
+  in
+  check_traces_equal "sub re-based" expected (Flat_trace.to_dynamic_array sub);
+  (* Views share the intern table with the parent. *)
+  check Alcotest.bool "interned across views" true
+    (Flat_trace.instr sub 0 == Flat_trace.instr flat pos)
+
+let builder_validates () =
+  let b = Flat_trace.Builder.create () in
+  let add = Instr.make ~op:Op.Int_other ~srcs:[ Reg.int_reg 1 ] ~dst:(Some (Reg.int_reg 2)) in
+  Alcotest.check_raises "mem_addr on non-memory"
+    (Invalid_argument "Flat_trace: address on non-memory op") (fun () ->
+      Flat_trace.Builder.emit b ~pc:0 ~mem_addr:4 add);
+  Alcotest.check_raises "branch on non-control"
+    (Invalid_argument "Flat_trace: branch info on non-control op") (fun () ->
+      Flat_trace.Builder.emit b ~pc:0
+        ~branch:{ Instr.conditional = true; taken = true; target = 3 }
+        add);
+  let load = Instr.make ~op:Op.Load ~srcs:[ Reg.int_reg 1 ] ~dst:(Some (Reg.int_reg 2)) in
+  Alcotest.check_raises "load without mem_addr"
+    (Invalid_argument "Flat_trace: memory op without address") (fun () ->
+      Flat_trace.Builder.emit b ~pc:0 load);
+  check Alcotest.int "nothing emitted" 0 (Flat_trace.Builder.length b)
+
+(* ----------------------------- store -------------------------------- *)
+
+let key ?(benchmark = "compress") ?(scheduler = "local:2:0") ?(seed = 1)
+    ?(max_instrs = 5_000) () =
+  { Trace_store.benchmark; scheduler; seed; max_instrs }
+
+let store_miss_then_hit () =
+  with_dir @@ fun dir ->
+  let store = Trace_store.open_ ~dir in
+  let k = key () in
+  check Alcotest.bool "initially absent" true (Trace_store.find store k = None);
+  let builds = ref 0 in
+  let build () = incr builds; bench_trace () in
+  let t1, s1 = Trace_store.load_or_build store k build in
+  check Alcotest.bool "first is a miss" true (s1 = `Miss);
+  let t2, s2 = Trace_store.load_or_build store k build in
+  check Alcotest.bool "second is a hit" true (s2 = `Hit);
+  check Alcotest.int "built exactly once" 1 !builds;
+  check_traces_equal "cached equals built"
+    (Flat_trace.to_dynamic_array t1)
+    (Flat_trace.to_dynamic_array t2)
+
+let store_corrupt_recomputes () =
+  with_dir @@ fun dir ->
+  let store = Trace_store.open_ ~dir in
+  let k = key () in
+  let _ = Trace_store.load_or_build store k (fun () -> bench_trace ()) in
+  let file = Trace_store.path store k in
+  (* Flip one payload byte: the digest check must reject the file. *)
+  let fd = Unix.openfile file [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd 100 Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "\xff" 0 1);
+  Unix.close fd;
+  check Alcotest.bool "corrupt file reads as absent" true
+    (Trace_store.find store k = None);
+  let t, s = Trace_store.load_or_build store k (fun () -> bench_trace ()) in
+  check Alcotest.bool "corruption forces a rebuild" true (s = `Miss);
+  (* The rebuild overwrote the damaged file. *)
+  check Alcotest.bool "store repaired" true (Trace_store.find store k <> None);
+  check_traces_equal "rebuilt trace intact"
+    (Flat_trace.to_dynamic_array (bench_trace ()))
+    (Flat_trace.to_dynamic_array t)
+
+let store_truncated_recomputes () =
+  with_dir @@ fun dir ->
+  let store = Trace_store.open_ ~dir in
+  let k = key () in
+  let _ = Trace_store.load_or_build store k (fun () -> bench_trace ()) in
+  let file = Trace_store.path store k in
+  let size = (Unix.stat file).Unix.st_size in
+  let fd = Unix.openfile file [ Unix.O_RDWR ] 0 in
+  Unix.ftruncate fd (size - 1);
+  Unix.close fd;
+  check Alcotest.bool "truncated file reads as absent" true
+    (Trace_store.find store k = None)
+
+let store_key_invalidation () =
+  with_dir @@ fun dir ->
+  let store = Trace_store.open_ ~dir in
+  let k = key () in
+  let _ = Trace_store.load_or_build store k (fun () -> bench_trace ()) in
+  (* A different seed, budget, scheduler or benchmark is a different
+     file — never a false hit. *)
+  List.iter
+    (fun (what, k') ->
+      check Alcotest.bool (what ^ " changes the path") true
+        (Trace_store.path store k <> Trace_store.path store k');
+      check Alcotest.bool (what ^ " misses") true (Trace_store.find store k' = None))
+    [ ("seed", key ~seed:2 ());
+      ("max_instrs", key ~max_instrs:6_000 ());
+      ("scheduler", key ~scheduler:"none" ());
+      ("benchmark", key ~benchmark:"ora" ()) ];
+  check Alcotest.bool "original still hits" true (Trace_store.find store k <> None)
+
+let store_entries_listing () =
+  with_dir @@ fun dir ->
+  let store = Trace_store.open_ ~dir in
+  check Alcotest.int "empty store" 0 (List.length (Trace_store.entries store));
+  let k1 = key () and k2 = key ~seed:2 () in
+  let _ = Trace_store.load_or_build store k1 (fun () -> bench_trace ()) in
+  let _ = Trace_store.load_or_build store k2 (fun () -> bench_trace ~seed:2 ()) in
+  let entries = Trace_store.entries store in
+  check Alcotest.int "two entries" 2 (List.length entries);
+  List.iter
+    (fun e ->
+      check Alcotest.bool "valid" true e.Trace_store.e_valid;
+      check Alcotest.int "instrs" 5_000 e.Trace_store.e_instrs;
+      check Alcotest.int "bytes" (32 + (16 * 5_000)) e.Trace_store.e_bytes)
+    entries;
+  (* Damage one: it lists as invalid but stays listed. *)
+  let file = Filename.concat dir (List.hd entries).Trace_store.e_file in
+  let fd = Unix.openfile file [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd 40 Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "\x01" 0 1);
+  Unix.close fd;
+  let entries' = Trace_store.entries store in
+  check Alcotest.int "still two entries" 2 (List.length entries');
+  check Alcotest.int "one invalid" 1
+    (List.length (List.filter (fun e -> not e.Trace_store.e_valid) entries'))
+
+let scheduler_idents_distinct () =
+  let idents =
+    List.map Experiment.scheduler_ident
+      [ Pipeline.Sched_none; Pipeline.default_local;
+        Pipeline.Sched_local { imbalance_threshold = 3; window = 4 };
+        Pipeline.Sched_round_robin; Pipeline.Sched_random 7; Pipeline.Sched_random 8 ]
+  in
+  check Alcotest.int "all distinct" (List.length idents)
+    (List.length (List.sort_uniq String.compare idents))
+
+(* ------------------------ cached == fresh ---------------------------- *)
+
+let results_equal what (a : Machine.result) (b : Machine.result) =
+  check Alcotest.int (what ^ ": cycles") a.Machine.cycles b.Machine.cycles;
+  check Alcotest.int (what ^ ": retired") a.Machine.retired b.Machine.retired;
+  check Alcotest.int (what ^ ": replays") a.Machine.replays b.Machine.replays;
+  check
+    Alcotest.(list (pair string int))
+    (what ^ ": counters") a.Machine.counters b.Machine.counters
+
+(* QCheck: for random (seed, budget), reloading the trace through the
+   store is invisible — same instructions, and the machine takes the
+   same cycles over the mapped copy as over the fresh walk. *)
+let cached_replay_equals_fresh_walk =
+  QCheck.Test.make ~name:"cached replay equals fresh walk" ~count:8
+    QCheck.(pair (int_bound 1000) (int_bound 3_000))
+    (fun (seed_off, n_off) ->
+      let seed = 1 + seed_off and max_instrs = 1_000 + n_off in
+      with_dir @@ fun dir ->
+      let store = Trace_store.open_ ~dir in
+      let k = key ~seed ~max_instrs () in
+      let fresh = bench_trace ~seed ~max_instrs () in
+      let first, s1 = Trace_store.load_or_build store k (fun () -> fresh) in
+      let cached, s2 =
+        Trace_store.load_or_build store k (fun () -> Alcotest.fail "unexpected rebuild")
+      in
+      check Alcotest.bool "miss then hit" true (s1 = `Miss && s2 = `Hit);
+      check_traces_equal "instructions"
+        (Flat_trace.to_dynamic_array first)
+        (Flat_trace.to_dynamic_array cached);
+      let cfg = Machine.dual_cluster () in
+      results_equal "simulation" (Machine.run_flat cfg fresh) (Machine.run_flat cfg cached);
+      true)
+
+(* The plan memo and the flat fast path must be invisible on every stock
+   configuration: the record-array wrapper (which converts and re-interns)
+   and the native flat run of a store-reloaded trace all agree. *)
+let stock_configs_cached_equals_fresh () =
+  with_dir @@ fun dir ->
+  let store = Trace_store.open_ ~dir in
+  let k = key ~max_instrs:4_000 () in
+  let fresh = bench_trace ~max_instrs:4_000 () in
+  let _ = Trace_store.load_or_build store k (fun () -> fresh) in
+  let cached =
+    match Trace_store.find store k with Some t -> t | None -> Alcotest.fail "no hit"
+  in
+  let dyn = Flat_trace.to_dynamic_array fresh in
+  List.iter
+    (fun (name, cfg) ->
+      let r_fresh = Machine.run_flat cfg fresh in
+      results_equal (name ^ " cached") r_fresh (Machine.run_flat cfg cached);
+      results_equal (name ^ " records") r_fresh (Machine.run cfg dyn))
+    [ ("single_cluster", Machine.single_cluster ());
+      ("dual_cluster", Machine.dual_cluster ());
+      ("quad_cluster", Machine.quad_cluster ());
+      ("single_cluster_4", Machine.single_cluster_4 ());
+      ("dual_cluster_2x2", Machine.dual_cluster_2x2 ()) ]
+
+(* A pc reused by two different static instructions (possible in
+   hand-built traces, not in walker output) must not confuse the plan
+   memo, which keys on instruction identity, not pc alone. *)
+let plan_memo_survives_pc_collision () =
+  let mk op srcs dst = Instr.make ~op ~srcs ~dst in
+  let a = mk Op.Int_other [ Reg.int_reg 1 ] (Some (Reg.int_reg 2)) in
+  let b = mk Op.Int_multiply [ Reg.int_reg 3; Reg.int_reg 4 ] (Some (Reg.int_reg 5)) in
+  let dyn =
+    Array.init 40 (fun i ->
+        { Instr.seq = i; pc = 7; instr = (if i mod 2 = 0 then a else b);
+          mem_addr = None; branch = None })
+  in
+  let cfg = Machine.dual_cluster () in
+  let r = Machine.run cfg dyn in
+  check Alcotest.int "all retired" 40 r.Machine.retired;
+  results_equal "deterministic" r (Machine.run cfg dyn)
+
+let suite =
+  ( "trace_store",
+    [ case "flat trace round-trips through dynamic records" flat_roundtrip;
+      case "flat accessors match the record fields" flat_accessors_match_records;
+      case "instruction decode is interned per pc" flat_instr_interned;
+      case "sub is an O(1) re-based view" flat_sub_view;
+      case "builder validates like Instr.dynamic" builder_validates;
+      case "load_or_build: miss builds, hit maps" store_miss_then_hit;
+      case "corrupt payload is detected and rebuilt" store_corrupt_recomputes;
+      case "truncated file reads as absent" store_truncated_recomputes;
+      case "seed/budget/scheduler/benchmark changes never false-hit"
+        store_key_invalidation;
+      case "entries lists and validates the store" store_entries_listing;
+      case "scheduler idents separate tuned variants" scheduler_idents_distinct;
+      QCheck_alcotest.to_alcotest cached_replay_equals_fresh_walk;
+      case "stock configs: cached == fresh == records" stock_configs_cached_equals_fresh;
+      case "plan memo keys on instruction identity, not pc"
+        plan_memo_survives_pc_collision ] )
