@@ -23,7 +23,7 @@ type key = {
 }
 
 let magic = "MCTRACE1"
-let format_version = 2
+let format_version = 3
 let header_bytes = 32
 
 let key_string k =
@@ -88,75 +88,111 @@ let map_words fd ~len shared =
 let save t k trace =
   let n = Flat_trace.length trace in
   let pcs, codes, aux = Flat_trace.unsafe_arrays trace in
+  let key = key_string k in
+  let key_len = String.length key in
   let final = path t k in
   let tmp =
     Printf.sprintf "%s.tmp-%d-%d" final (Unix.getpid ()) ((Domain.self () :> int))
   in
-  let total = header_bytes + payload_bytes n in
+  let total = header_bytes + payload_bytes n + key_len in
   let fd = Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      Unix.ftruncate fd total;
-      let hdr = Bytes.make header_bytes '\000' in
-      Bytes.blit_string magic 0 hdr 0 8;
-      Bytes.set_int32_ne hdr 8 (Int32.of_int format_version);
-      Bytes.set_int32_ne hdr 12 (Int32.of_int n);
-      ignore (Unix.write fd hdr 0 header_bytes);
-      let sum =
-        if n = 0 then checksum_basis
-        else begin
-          (* The payload is blitted straight from the Bigarrays through a
-             shared mapping — no per-instruction work, no heap copies —
-             then checksummed from the same mapping, exactly as a loader
-             will see it. *)
-          BA1.blit pcs (map_i32 fd ~pos:header_bytes ~len:n true);
-          BA1.blit codes (map_i32 fd ~pos:(header_bytes + (4 * n)) ~len:n true);
-          BA1.blit aux (map_i64 fd ~pos:(header_bytes + (8 * n)) ~len:n true);
-          checksum_words (map_words fd ~len:(2 * n) true)
-        end
-      in
-      ignore (Unix.lseek fd 16 Unix.SEEK_SET);
-      let b = Bytes.create 8 in
-      Bytes.set_int64_ne b 0 (Int64.of_int sum);
-      ignore (Unix.write fd b 0 8));
-  Sys.rename tmp final
+  try
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.ftruncate fd total;
+        let hdr = Bytes.make header_bytes '\000' in
+        Bytes.blit_string magic 0 hdr 0 8;
+        Bytes.set_int32_ne hdr 8 (Int32.of_int format_version);
+        Bytes.set_int32_ne hdr 12 (Int32.of_int n);
+        Bytes.set_int32_ne hdr 24 (Int32.of_int key_len);
+        ignore (Unix.write fd hdr 0 header_bytes);
+        let sum =
+          if n = 0 then checksum_basis
+          else begin
+            (* The payload is blitted straight from the Bigarrays through a
+               shared mapping — no per-instruction work, no heap copies —
+               then checksummed from the same mapping, exactly as a loader
+               will see it. *)
+            BA1.blit pcs (map_i32 fd ~pos:header_bytes ~len:n true);
+            BA1.blit codes (map_i32 fd ~pos:(header_bytes + (4 * n)) ~len:n true);
+            BA1.blit aux (map_i64 fd ~pos:(header_bytes + (8 * n)) ~len:n true);
+            checksum_words (map_words fd ~len:(2 * n) true)
+          end
+        in
+        ignore (Unix.lseek fd 16 Unix.SEEK_SET);
+        let b = Bytes.create 8 in
+        Bytes.set_int64_ne b 0 (Int64.of_int sum);
+        ignore (Unix.write fd b 0 8);
+        (* Full key as a trailer: the file name only carries a 32-bit
+           digest prefix, so loads compare this string and treat a
+           digest-prefix collision between two keys as a miss. *)
+        ignore (Unix.lseek fd (header_bytes + payload_bytes n) Unix.SEEK_SET);
+        ignore (Unix.write_substring fd key 0 key_len));
+    Sys.rename tmp final
+  with e ->
+    (* Nothing made it to [final]; don't leave the temp file behind. *)
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* Load                                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* Open, header-check, map copy-on-write and checksum the payload;
+(* Read exactly [len] bytes at [pos] into a fresh string, or [None] on a
+   short or failed read. *)
+let read_at fd ~pos ~len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off >= len then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> None
+      | r -> go (off + r)
+      | exception Unix.Unix_error _ -> None
+  in
+  match Unix.lseek fd pos Unix.SEEK_SET with
+  | exception Unix.Unix_error _ -> None
+  | _ -> go 0
+
+(* Open, header-check, verify the trailer key against [expect] (when
+   given), map copy-on-write and checksum the payload;
    [Some (f pcs codes aux n)] iff the file is a complete, uncorrupted
-   current-version trace.  The mappings outlive the fd (and, being
-   shared=false, never write back), so [f] may capture them. *)
-let with_valid file f =
+   current-version trace for the expected key.  The mappings outlive the
+   fd (and, being shared=false, never write back), so [f] may capture
+   them. *)
+let with_valid ?expect file f =
   match Unix.openfile file [ Unix.O_RDONLY ] 0 with
   | exception Unix.Unix_error _ -> None
   | fd ->
     Fun.protect
       ~finally:(fun () -> Unix.close fd)
       (fun () ->
-        let hdr = Bytes.create header_bytes in
-        let rec read_hdr off =
-          if off >= header_bytes then true
-          else
-            match Unix.read fd hdr off (header_bytes - off) with
-            | 0 -> false
-            | r -> read_hdr (off + r)
-            | exception Unix.Unix_error _ -> false
-        in
-        if not (read_hdr 0) then None
-        else if Bytes.sub_string hdr 0 8 <> magic then None
-        else if Int32.to_int (Bytes.get_int32_ne hdr 8) <> format_version then None
-        else
-          let n = Int32.to_int (Bytes.get_int32_ne hdr 12) in
+        match read_at fd ~pos:0 ~len:header_bytes with
+        | None -> None
+        | Some hdr when String.sub hdr 0 8 <> magic -> None
+        | Some hdr
+          when Int32.to_int (String.get_int32_ne hdr 8) <> format_version -> None
+        | Some hdr ->
+          let n = Int32.to_int (String.get_int32_ne hdr 12) in
+          let key_len = Int32.to_int (String.get_int32_ne hdr 24) in
           if
-            n < 0
-            || (Unix.fstat fd).Unix.st_size <> header_bytes + payload_bytes n
+            n < 0 || key_len < 0
+            || (Unix.fstat fd).Unix.st_size
+               <> header_bytes + payload_bytes n + key_len
+          then None
+          else if
+            (* The full key stored after the payload must match the key we
+               are looking up — the file name's short digest alone could
+               collide. *)
+            match expect with
+            | None -> false
+            | Some e ->
+              read_at fd ~pos:(header_bytes + payload_bytes n) ~len:key_len
+              <> Some e
           then None
           else
-            let stored = Int64.to_int (Bytes.get_int64_ne hdr 16) in
+            let stored = Int64.to_int (String.get_int64_ne hdr 16) in
             let sum =
               if n = 0 then checksum_basis
               else checksum_words (map_words fd ~len:(2 * n) false)
@@ -182,7 +218,8 @@ let find t k =
     (* Copy-on-write mappings: the pages come from (and stay in) the
        page cache, shared across every process simulating from the same
        store. *)
-    with_valid file (fun pcs codes aux _n -> Flat_trace.of_arrays pcs codes aux)
+    with_valid ~expect:(key_string k) file (fun pcs codes aux _n ->
+        Flat_trace.of_arrays pcs codes aux)
 
 let load_or_build t k build =
   match find t k with

@@ -12,7 +12,8 @@
     {1 File format}
 
     One file per trace, [trace-<key>-<digest8>.mctrace], a 32-byte header
-    followed by the three {!Mcsim_isa.Flat_trace} arrays back to back:
+    followed by the three {!Mcsim_isa.Flat_trace} arrays back to back and
+    the full key string as a trailer:
 
     {v
     offset size  field
@@ -24,17 +25,23 @@
     16     8     FNV-1a checksum of the payload words (native-endian
                  int64; order-sensitive, computed over the three arrays
                  in file order)
-    24     8     reserved (zero)
+    24     4     key length L (native-endian int32)
+    28     4     reserved (zero)
     32     4·n   pcs   (int32)
     32+4n  4·n   codes (int32)
     32+8n  8·n   aux   (int64)
+    32+16n L     full key string ({!key_string})
     v}
 
     Loading maps the three regions copy-on-write and verifies the
     checksum over the mapped words: no per-instruction allocation, no
     streaming re-read (the checksum runs at memory speed, where an MD5
     pass would cost more than the load it protects), and the OS shares
-    the pages across concurrent simulator processes. *)
+    the pages across concurrent simulator processes. The file name only
+    carries a 32-bit digest prefix of the key, so {!find} also compares
+    the trailer against the key it is looking up — a digest-prefix
+    collision between two keys reads as a miss, never as the wrong
+    trace. *)
 
 type t
 (** A store rooted at a directory. *)
@@ -63,11 +70,13 @@ val path : t -> key -> string
 
 val find : t -> key -> Mcsim_isa.Flat_trace.t option
 (** Memory-map the cached trace, or [None] if absent, corrupt, truncated,
-    checksum-mismatched, or version-mismatched. *)
+    checksum-mismatched, version-mismatched, or stored under a different
+    full key (file-name digest collision). *)
 
 val save : t -> key -> Mcsim_isa.Flat_trace.t -> unit
 (** Write atomically (temp file + rename); concurrent writers of the same
-    key are safe, last rename wins.
+    key are safe, last rename wins. A failed write removes its temp file
+    before re-raising.
     @raise Sys_error / Unix.Unix_error on I/O failure. *)
 
 val load_or_build :

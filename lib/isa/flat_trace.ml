@@ -81,12 +81,16 @@ let decode_instr code =
     ~dst:(decode_reg ((code lsr dst_shift) land 0x7f))
 
 (* One interned static instruction per pc, shared between a trace and all
-   its {!sub} views. [tcodes.(pc)] holds the static-masked code the cached
-   record was decoded from, so a hand-built trace that reuses a pc for a
-   different instruction falls back to a fresh decode instead of lying. *)
+   its {!sub} views. Populated eagerly at construction — one pass over the
+   arrays, first occurrence of each pc wins — so readers never write and a
+   trace can be decoded from several domains at once (Experiment's sweeps
+   simulate one trace on many domains). [tcodes.(pc)] holds the
+   static-masked code the cached record was decoded from, so a hand-built
+   trace that reuses a pc for a different instruction falls back to a
+   fresh decode instead of lying. *)
 type intern = {
-  mutable tcodes : int array;
-  mutable tinstrs : Instr.t option array;
+  tcodes : int array;
+  tinstrs : Instr.t option array;
 }
 
 type t = {
@@ -109,28 +113,31 @@ let branch_taken t i = code t i land bit_taken <> 0
 let branch_target t i = Int64.to_int (BA1.unsafe_get t.aux i)
 let mem_addr t i = Int64.to_int (BA1.unsafe_get t.aux i)
 
-let grow_table tb want =
-  let cap = max want (max 64 (2 * Array.length tb.tcodes)) in
-  let tcodes = Array.make cap (-1) in
-  let tinstrs = Array.make cap None in
-  Array.blit tb.tcodes 0 tcodes 0 (Array.length tb.tcodes);
-  Array.blit tb.tinstrs 0 tinstrs 0 (Array.length tb.tinstrs);
-  tb.tcodes <- tcodes;
-  tb.tinstrs <- tinstrs
+let intern_of_arrays (pcs : int32_array) (codes : int32_array) =
+  let n = BA1.dim pcs in
+  let max_pc = ref (-1) in
+  for i = 0 to n - 1 do
+    let pc = Int32.to_int (BA1.unsafe_get pcs i) in
+    if pc > !max_pc then max_pc := pc
+  done;
+  let tcodes = Array.make (!max_pc + 1) (-1) in
+  let tinstrs = Array.make (!max_pc + 1) None in
+  for i = 0 to n - 1 do
+    let pc = Int32.to_int (BA1.unsafe_get pcs i) in
+    if tcodes.(pc) < 0 then begin
+      let static = Int32.to_int (BA1.unsafe_get codes i) land static_mask in
+      tcodes.(pc) <- static;
+      tinstrs.(pc) <- Some (decode_instr static)
+    end
+  done;
+  { tcodes; tinstrs }
 
 let instr t i =
   let pc = pc t i in
   let static = code t i land static_mask in
   let tb = t.table in
-  if pc >= Array.length tb.tcodes then grow_table tb (pc + 1);
-  if tb.tcodes.(pc) = static then
+  if pc < Array.length tb.tcodes && tb.tcodes.(pc) = static then
     match tb.tinstrs.(pc) with Some si -> si | None -> assert false
-  else if tb.tcodes.(pc) < 0 then begin
-    let si = decode_instr static in
-    tb.tcodes.(pc) <- static;
-    tb.tinstrs.(pc) <- Some si;
-    si
-  end
   else decode_instr static
 
 let dynamic t i =
@@ -230,12 +237,10 @@ module Builder = struct
     b.n <- b.n + 1
 
   let finish b : trace =
-    {
-      pcs = BA1.sub b.bpcs 0 b.n;
-      codes = BA1.sub b.bcodes 0 b.n;
-      aux = BA1.sub b.baux 0 b.n;
-      table = { tcodes = [||]; tinstrs = [||] };
-    }
+    let pcs = BA1.sub b.bpcs 0 b.n in
+    let codes = BA1.sub b.bcodes 0 b.n in
+    let aux = BA1.sub b.baux 0 b.n in
+    { pcs; codes; aux; table = intern_of_arrays pcs codes }
 end
 
 let of_dynamic_array arr =
@@ -253,4 +258,4 @@ let of_arrays pcs codes aux =
   let n = BA1.dim pcs in
   if BA1.dim codes <> n || BA1.dim aux <> n then
     invalid_arg "Flat_trace.of_arrays: length mismatch";
-  { pcs; codes; aux; table = { tcodes = [||]; tinstrs = [||] } }
+  { pcs; codes; aux; table = intern_of_arrays pcs codes }

@@ -23,10 +23,12 @@
     v}
 
     Because everything but bit 26 is a function of the static instruction,
-    decoding interns one {!Instr.t} per static pc: steady-state replay
-    reads plain integers and reuses the interned record, so walking a flat
-    trace performs no per-instruction decode after the first touch of each
-    static instruction. Positions are the [seq] numbers — index [i] always
+    construction interns one {!Instr.t} per static pc (a single eager pass
+    over the arrays): steady-state replay reads plain integers and reuses
+    the interned record, so walking a flat trace performs no
+    per-instruction decode at all — and because the table is never written
+    after construction, one trace can be decoded concurrently from many
+    domains. Positions are the [seq] numbers — index [i] always
     decodes with [seq = i], and {!sub} re-bases a window to start at 0,
     which is exactly the renumbering sampled simulation wants.
 
@@ -46,9 +48,10 @@ val length : t -> int
 
 (** {1 Per-index accessors}
 
-    All of these are allocation-free except {!instr} on the first touch of
-    a static pc and {!dynamic}, which materialises a record. Indices are
-    not bounds-checked beyond the underlying Bigarray check. *)
+    All of these are allocation-free except {!dynamic}, which materialises
+    a record. None of them mutate the trace, so concurrent use from
+    multiple domains is safe. Indices are not bounds-checked beyond the
+    underlying Bigarray check. *)
 
 val pc : t -> int -> int
 val is_load : t -> int -> bool
@@ -113,6 +116,7 @@ val unsafe_arrays : t -> int32_array * int32_array * int64_array
 
 val of_arrays : int32_array -> int32_array -> int64_array -> t
 (** Adopt [(pcs, codes, aux)] (equal lengths) as a trace, e.g. freshly
-    memory-mapped storage. Decoding an ill-formed code word raises when
-    that index is first touched.
-    @raise Invalid_argument if lengths differ. *)
+    memory-mapped storage. The intern table is built here, so an
+    ill-formed code word raises at adoption time.
+    @raise Invalid_argument if lengths differ or a code word is
+    ill-formed. *)

@@ -119,6 +119,19 @@ let flat_sub_view () =
   check Alcotest.bool "interned across views" true
     (Flat_trace.instr sub 0 == Flat_trace.instr flat pos)
 
+(* The intern table is built eagerly at construction and never written
+   afterwards, so several domains may decode the same trace at once —
+   Experiment's sweeps simulate one trace on many domains. This would be
+   an intermittent crash with a lazily-populated table. *)
+let flat_decode_parallel_safe () =
+  let flat = bench_trace () in
+  let expected = Flat_trace.to_dynamic_array (bench_trace ()) in
+  let worker () = Flat_trace.to_dynamic_array flat in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter
+    (fun d -> check_traces_equal "parallel decode" expected (Domain.join d))
+    domains
+
 let builder_validates () =
   let b = Flat_trace.Builder.create () in
   let add = Instr.make ~op:Op.Int_other ~srcs:[ Reg.int_reg 1 ] ~dst:(Some (Reg.int_reg 2)) in
@@ -192,6 +205,24 @@ let store_truncated_recomputes () =
   check Alcotest.bool "truncated file reads as absent" true
     (Trace_store.find store k = None)
 
+(* The file name only carries a 32-bit digest prefix of the key, but the
+   full key is stored in the file and compared on load: a digest-prefix
+   collision (simulated here by copying a valid file onto another key's
+   path) must read as a miss, never as the wrong trace. *)
+let store_wrong_key_is_a_miss () =
+  with_dir @@ fun dir ->
+  let store = Trace_store.open_ ~dir in
+  let k1 = key () and k2 = key ~seed:2 () in
+  let _ = Trace_store.load_or_build store k1 (fun () -> bench_trace ()) in
+  let read file =
+    In_channel.with_open_bin file In_channel.input_all
+  in
+  Out_channel.with_open_bin (Trace_store.path store k2) (fun oc ->
+      Out_channel.output_string oc (read (Trace_store.path store k1)));
+  check Alcotest.bool "other key's bytes read as a miss" true
+    (Trace_store.find store k2 = None);
+  check Alcotest.bool "own key still hits" true (Trace_store.find store k1 <> None)
+
 let store_key_invalidation () =
   with_dir @@ fun dir ->
   let store = Trace_store.open_ ~dir in
@@ -219,11 +250,14 @@ let store_entries_listing () =
   let _ = Trace_store.load_or_build store k2 (fun () -> bench_trace ~seed:2 ()) in
   let entries = Trace_store.entries store in
   check Alcotest.int "two entries" 2 (List.length entries);
+  (* Same header + payload size; the key trailer lengths happen to match
+     too (seed 1 vs seed 2 are both one digit). *)
+  let expect_bytes = 32 + (16 * 5_000) + String.length (Trace_store.key_string k1) in
   List.iter
     (fun e ->
       check Alcotest.bool "valid" true e.Trace_store.e_valid;
       check Alcotest.int "instrs" 5_000 e.Trace_store.e_instrs;
-      check Alcotest.int "bytes" (32 + (16 * 5_000)) e.Trace_store.e_bytes)
+      check Alcotest.int "bytes" expect_bytes e.Trace_store.e_bytes)
     entries;
   (* Damage one: it lists as invalid but stays listed. *)
   let file = Filename.concat dir (List.hd entries).Trace_store.e_file in
@@ -327,10 +361,12 @@ let suite =
       case "flat accessors match the record fields" flat_accessors_match_records;
       case "instruction decode is interned per pc" flat_instr_interned;
       case "sub is an O(1) re-based view" flat_sub_view;
+      case "decoding is safe across concurrent domains" flat_decode_parallel_safe;
       case "builder validates like Instr.dynamic" builder_validates;
       case "load_or_build: miss builds, hit maps" store_miss_then_hit;
       case "corrupt payload is detected and rebuilt" store_corrupt_recomputes;
       case "truncated file reads as absent" store_truncated_recomputes;
+      case "a colliding file under another key misses" store_wrong_key_is_a_miss;
       case "seed/budget/scheduler/benchmark changes never false-hit"
         store_key_invalidation;
       case "entries lists and validates the store" store_entries_listing;
