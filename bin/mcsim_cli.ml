@@ -108,6 +108,16 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let result_cache_arg =
+  let doc =
+    "Result-store directory: the content-addressed global result cache (shared with \
+     the $(b,mcsim serve) daemon). Completed units found under $(docv) are decoded \
+     instead of recomputed — output is byte-identical — and fresh units are recorded \
+     for every later sweep. Unlike --checkpoint the store is not tied to one sweep. \
+     Inspect it with $(b,mcsim result-store) $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "result-cache" ] ~docv:"DIR" ~doc)
+
 let engine_arg =
   let doc =
     "Detailed-model issue logic: $(b,wakeup) (dependence-driven, the default) or \
@@ -149,7 +159,7 @@ let four_way_arg =
 
 (* The body of the table2 command, shared with `mcsim resume`. *)
 let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engine
-    ~metrics_out ~retries ~checkpoint ~trace_cache () =
+    ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
   let t_start = Unix.gettimeofday () in
   let single_config, dual_config =
     if four_way then
@@ -160,7 +170,7 @@ let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engi
   let sampling = Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample in
   let report =
     Mcsim.Table2.run_report ~jobs ~max_instrs ~seed ~benchmarks ~engine ?sampling
-      ?single_config ?dual_config ~retries ?checkpoint ?trace_cache ()
+      ?single_config ?dual_config ~retries ?checkpoint ?trace_cache ?result_cache ()
   in
   let rows = report.Mcsim.Table2.rows in
   List.iter
@@ -210,7 +220,7 @@ let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engi
          | None -> "; rerun with --checkpoint DIR to make progress durable"))
 
 let table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~sample ~engine
-    ~metrics_out ~retries ~trace_cache =
+    ~metrics_out ~retries ~trace_cache ~result_cache =
   [ ("command", Json.String "table2");
     ("benchmarks",
      Json.List (List.map (fun b -> Json.String (Mcsim_workload.Spec92.name b)) benchmarks));
@@ -225,7 +235,8 @@ let table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~sample ~en
     ("four_way", Json.Bool four_way);
     ("metrics_out", match metrics_out with Some p -> Json.String p | None -> Json.Null);
     ("retries", Json.Int retries);
-    ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null) ]
+    ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null);
+    ("result_cache", match result_cache with Some p -> Json.String p | None -> Json.Null) ]
 
 (* Record how to finish the sweep before starting it, so `mcsim resume
    DIR` works even if this process is killed immediately. When the
@@ -246,20 +257,20 @@ let with_command checkpoint command_json run =
 
 let table2_cmd =
   let run max_instrs seed benchmarks csv four_way jobs sample engine metrics_out retries
-      checkpoint trace_cache =
+      checkpoint trace_cache result_cache =
     wrap @@ fun () ->
     with_command checkpoint (fun () ->
         table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~sample ~engine
-          ~metrics_out ~retries ~trace_cache)
+          ~metrics_out ~retries ~trace_cache ~result_cache)
     @@ fun () ->
     table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engine
-      ~metrics_out ~retries ~checkpoint ~trace_cache ()
+      ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Run the Table-2 experiment (none/local vs single-cluster).")
     Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg
           $ jobs_arg $ sample_arg $ engine_arg $ metrics_out_arg $ retries_arg
-          $ checkpoint_arg $ trace_cache_arg)
+          $ checkpoint_arg $ trace_cache_arg $ result_cache_arg)
 
 let scenarios_cmd =
   let run () =
@@ -358,37 +369,51 @@ let flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () =
    bypasses the cache (profiling counters cannot be reconstructed from a
    stored result). *)
 let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics_out
-    ~retries ~checkpoint ~trace_cache () =
+    ~retries ~checkpoint ~trace_cache ~result_cache () =
   let t_start = Unix.gettimeofday () in
   let cfg =
     match machine with
     | `Single -> Mcsim_cluster.Machine.single_cluster ()
     | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
   in
+  let manifest =
+    Mcsim_obs.Manifest.make ~engine ~seed
+      ~benchmark:(Mcsim_workload.Spec92.name bench)
+      ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
+      ~trace_instrs:max_instrs cfg
+  in
   let store =
     match checkpoint with
     | Some dir when not prof ->
-      let manifest =
-        Mcsim_obs.Manifest.make ~engine ~seed
-          ~benchmark:(Mcsim_workload.Spec92.name bench)
-          ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
-          ~trace_instrs:max_instrs cfg
-      in
       Some
         (Mcsim.Checkpoint.open_ ~dir ~kind:"run" ~manifest
            ~extra:[ ("machine", Json.String (machine_name machine)) ]
            ())
     | Some _ | None -> None
   in
+  (* The global result cache; --profile bypasses it like the checkpoint
+     (profiling counters cannot be reconstructed from a stored result). *)
+  let rstore =
+    match result_cache with
+    | Some dir when not prof -> Some (Mcsim.Result_store.open_ ~dir)
+    | Some _ | None -> None
+  in
+  let decode_unit d =
+    match
+      ( Option.bind (Json.member "result" d) Mcsim_obs.Metrics.result_of_json,
+        Option.bind (Json.member "trace_instrs" d) Json.get_int )
+    with
+    | Some r, Some n -> Some (r, n)
+    | _ -> None
+  in
   let cached =
-    Option.bind store (fun st ->
-        Option.bind (Mcsim.Checkpoint.find st "run") (fun d ->
-            match
-              ( Option.bind (Json.member "result" d) Mcsim_obs.Metrics.result_of_json,
-                Option.bind (Json.member "trace_instrs" d) Json.get_int )
-            with
-            | Some r, Some n -> Some (r, n)
-            | _ -> None))
+    match
+      Option.bind store (fun st -> Option.bind (Mcsim.Checkpoint.find st "run") decode_unit)
+    with
+    | Some _ as hit -> hit
+    | None ->
+      Option.bind rstore (fun st ->
+          Option.bind (Mcsim.Result_store.find st ~manifest ~key:"run") decode_unit)
   in
   let r, trace_instrs, counters =
     match cached with
@@ -407,12 +432,13 @@ let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics
         (match counters with
         | Some p -> Mcsim_util.Profile_counters.alloc_stop p
         | None -> ());
+        let fields =
+          [ ("result", Mcsim_obs.Metrics.result_json r); ("trace_instrs", Json.Int n) ]
+        in
+        Option.iter (fun st -> Mcsim.Checkpoint.record st ~key:"run" fields) store;
         Option.iter
-          (fun st ->
-            Mcsim.Checkpoint.record st ~key:"run"
-              [ ("result", Mcsim_obs.Metrics.result_json r);
-                ("trace_instrs", Json.Int n) ])
-          store;
+          (fun st -> Mcsim.Result_store.record st ~manifest ~key:"run" fields)
+          rstore;
         (r, n, counters)
       in
       (match Mcsim_util.Pool.parallel_map ~retries ~jobs:1 run_once [ () ] with
@@ -423,7 +449,7 @@ let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics
     (Mcsim_workload.Spec92.name bench)
     (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
     (Mcsim_compiler.Pipeline.scheduler_name scheduler)
-    (if Option.is_some cached then " (from checkpoint)" else "");
+    (if Option.is_some cached then " (from cache)" else "");
   Printf.printf "  %d instructions in %d cycles (IPC %.2f)\n" r.Mcsim_cluster.Machine.retired
     r.Mcsim_cluster.Machine.cycles r.Mcsim_cluster.Machine.ipc;
   Printf.printf "  branch accuracy %.3f, d-cache miss rate %.3f, i-cache miss rate %.4f\n"
@@ -457,7 +483,7 @@ let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics
          ())
 
 let run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
-    ~metrics_out ~retries ~trace_cache =
+    ~metrics_out ~retries ~trace_cache ~result_cache =
   [ ("command", Json.String "run");
     ("benchmark", Json.String (Mcsim_workload.Spec92.name bench));
     ("machine", Json.String (machine_name machine));
@@ -468,17 +494,18 @@ let run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
     ("profile", Json.Bool prof);
     ("metrics_out", match metrics_out with Some p -> Json.String p | None -> Json.Null);
     ("retries", Json.Int retries);
-    ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null) ]
+    ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null);
+    ("result_cache", match result_cache with Some p -> Json.String p | None -> Json.Null) ]
 
 let run_entry bench machine scheduler max_instrs seed engine prof metrics_out retries
-    checkpoint trace_cache =
+    checkpoint trace_cache result_cache =
   wrap @@ fun () ->
   with_command checkpoint (fun () ->
       run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
-        ~metrics_out ~retries ~trace_cache)
+        ~metrics_out ~retries ~trace_cache ~result_cache)
   @@ fun () ->
   run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics_out
-    ~retries ~checkpoint ~trace_cache ()
+    ~retries ~checkpoint ~trace_cache ~result_cache ()
 
 let run_cmd =
   let machine_arg =
@@ -498,13 +525,13 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark and dump all counters.")
     Term.(const run_entry $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg
           $ seed_arg $ engine_arg $ profile_arg $ metrics_out_arg $ retries_arg
-          $ checkpoint_arg $ trace_cache_arg)
+          $ checkpoint_arg $ trace_cache_arg $ result_cache_arg)
 
 (* The body of the sample command, shared with `mcsim resume`. The
    sampled estimate is one durable unit; --full always recomputes the
    trace and the detailed run (only the estimate is cached). *)
 let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv ~engine
-    ~metrics_out ~retries ~checkpoint ~trace_cache () =
+    ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
   let t_start = Unix.gettimeofday () in
   let policy =
     match sample with
@@ -516,31 +543,40 @@ let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv 
     | `Single -> Mcsim_cluster.Machine.single_cluster ()
     | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
   in
+  let manifest =
+    Mcsim_obs.Manifest.make ~engine ~seed
+      ~benchmark:(Mcsim_workload.Spec92.name bench)
+      ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
+      ~trace_instrs:max_instrs ~sampling:policy cfg
+  in
   let store =
     Option.map
       (fun dir ->
-        let manifest =
-          Mcsim_obs.Manifest.make ~engine ~seed
-            ~benchmark:(Mcsim_workload.Spec92.name bench)
-            ~scheduler:(Mcsim_compiler.Pipeline.scheduler_name scheduler)
-            ~trace_instrs:max_instrs ~sampling:policy cfg
-        in
         Mcsim.Checkpoint.open_ ~dir ~kind:"sample" ~manifest
           ~extra:[ ("machine", Json.String (machine_name machine)) ]
           ())
       checkpoint
   in
+  let rstore = Option.map (fun dir -> Mcsim.Result_store.open_ ~dir) result_cache in
+  let decode_unit d =
+    match
+      ( Option.bind (Json.member "result" d) Mcsim_obs.Metrics.result_of_json,
+        Json.member "sampling" d )
+    with
+    | Some machine, Some sj ->
+      Mcsim_obs.Metrics.sampling_of_json ~seed:policy.Mcsim_sampling.Sampling.seed
+        ~machine sj
+    | _ -> None
+  in
   let cached =
-    Option.bind store (fun st ->
-        Option.bind (Mcsim.Checkpoint.find st "sample") (fun d ->
-            match
-              ( Option.bind (Json.member "result" d) Mcsim_obs.Metrics.result_of_json,
-                Json.member "sampling" d )
-            with
-            | Some machine, Some sj ->
-              Mcsim_obs.Metrics.sampling_of_json ~seed:policy.Mcsim_sampling.Sampling.seed
-                ~machine sj
-            | _ -> None))
+    match
+      Option.bind store (fun st ->
+          Option.bind (Mcsim.Checkpoint.find st "sample") decode_unit)
+    with
+    | Some _ as hit -> hit
+    | None ->
+      Option.bind rstore (fun st ->
+          Option.bind (Mcsim.Result_store.find st ~manifest ~key:"sample") decode_unit)
   in
   let make_trace = flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs in
   let s =
@@ -549,13 +585,14 @@ let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv 
     | None -> (
       let run_once () =
         let s = Mcsim_sampling.Sampling.run_flat ~engine ~policy cfg (make_trace ()) in
+        let fields =
+          [ ("sampling", Mcsim_obs.Metrics.sampling_json s);
+            ("result", Mcsim_obs.Metrics.result_json s.Mcsim_sampling.Sampling.machine) ]
+        in
+        Option.iter (fun st -> Mcsim.Checkpoint.record st ~key:"sample" fields) store;
         Option.iter
-          (fun st ->
-            Mcsim.Checkpoint.record st ~key:"sample"
-              [ ("sampling", Mcsim_obs.Metrics.sampling_json s);
-                ("result", Mcsim_obs.Metrics.result_json s.Mcsim_sampling.Sampling.machine)
-              ])
-          store;
+          (fun st -> Mcsim.Result_store.record st ~manifest ~key:"sample" fields)
+          rstore;
         s
       in
       match Mcsim_util.Pool.parallel_map ~retries ~jobs:1 run_once [ () ] with
@@ -581,7 +618,7 @@ let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv 
       (Mcsim_workload.Spec92.name bench)
       (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
       (Mcsim_compiler.Pipeline.scheduler_name scheduler)
-      (if Option.is_some cached then " (from checkpoint)" else "");
+      (if Option.is_some cached then " (from cache)" else "");
     print_string (Mcsim_sampling.Sampling.render s);
     if full then begin
       let r = Mcsim_cluster.Machine.run_flat ~engine cfg (make_trace ()) in
@@ -596,7 +633,7 @@ let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv 
   end
 
 let sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv
-    ~engine ~metrics_out ~retries ~trace_cache =
+    ~engine ~metrics_out ~retries ~trace_cache ~result_cache =
   [ ("command", Json.String "sample");
     ("benchmark", Json.String (Mcsim_workload.Spec92.name bench));
     ("machine", Json.String (machine_name machine));
@@ -612,17 +649,18 @@ let sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~fu
     ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
     ("metrics_out", match metrics_out with Some p -> Json.String p | None -> Json.Null);
     ("retries", Json.Int retries);
-    ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null) ]
+    ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null);
+    ("result_cache", match result_cache with Some p -> Json.String p | None -> Json.Null) ]
 
 let sample_entry bench machine scheduler max_instrs seed sample full csv engine
-    metrics_out retries checkpoint trace_cache =
+    metrics_out retries checkpoint trace_cache result_cache =
   wrap @@ fun () ->
   with_command checkpoint (fun () ->
       sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv
-        ~engine ~metrics_out ~retries ~trace_cache)
+        ~engine ~metrics_out ~retries ~trace_cache ~result_cache)
   @@ fun () ->
   sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv ~engine
-    ~metrics_out ~retries ~checkpoint ~trace_cache ()
+    ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
 
 let sample_cmd =
   let machine_arg =
@@ -643,7 +681,7 @@ let sample_cmd =
        ~doc:"Sampled simulation of one benchmark (optionally vs the full detailed run).")
     Term.(const sample_entry $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg
           $ seed_arg $ sample_arg $ full_arg $ csv_arg $ engine_arg $ metrics_out_arg
-          $ retries_arg $ checkpoint_arg $ trace_cache_arg)
+          $ retries_arg $ checkpoint_arg $ trace_cache_arg $ result_cache_arg)
 
 (* `mcsim resume DIR`: reread the command.json written by a previous
    --checkpoint invocation and re-dispatch the same command against the
@@ -704,6 +742,8 @@ let resume_cmd =
     in
     let metrics_out = str_opt "metrics_out" in
     let trace_cache = str_opt "trace_cache" in
+    (* Absent in command.json written before the result store existed. *)
+    let result_cache = str_opt "result_cache" in
     let checkpoint = Some dir in
     match str "command" with
     | "table2" ->
@@ -724,18 +764,18 @@ let resume_cmd =
       table2_impl ~max_instrs:(int "max_instrs") ~seed:(Lazy.force seed) ~benchmarks
         ~csv:(flag "csv") ~four_way:(flag "four_way") ~jobs:(Mcsim_util.Pool.default_jobs ())
         ~sample:(sampling "sampling") ~engine:(engine ()) ~metrics_out ~retries
-        ~checkpoint ~trace_cache ()
+        ~checkpoint ~trace_cache ~result_cache ()
     | "run" ->
       run_impl ~bench:(bench "benchmark") ~machine:(machine_of_string (str "machine"))
         ~scheduler:(scheduler_of_string (str "scheduler")) ~max_instrs:(int "max_instrs")
         ~seed:(Lazy.force seed) ~engine:(engine ()) ~prof:(flag "profile") ~metrics_out
-        ~retries ~checkpoint ~trace_cache ()
+        ~retries ~checkpoint ~trace_cache ~result_cache ()
     | "sample" ->
       sample_impl ~bench:(bench "benchmark") ~machine:(machine_of_string (str "machine"))
         ~scheduler:(scheduler_of_string (str "scheduler")) ~max_instrs:(int "max_instrs")
         ~seed:(Lazy.force seed) ~sample:(sampling "sampling") ~full:(flag "full")
         ~csv:(flag "csv") ~engine:(engine ()) ~metrics_out ~retries ~checkpoint
-        ~trace_cache ()
+        ~trace_cache ~result_cache ()
     | c ->
       failwith
         (Printf.sprintf "checkpoint %s: cannot resume command %S (only table2, run, sample)"
@@ -751,17 +791,28 @@ let resume_cmd =
    entry is validated (header + payload digest), so a corrupt file shows
    up here as invalid — the simulator itself would silently regenerate
    it. *)
+let prune_keep_latest_arg =
+  Arg.(value & opt (some (nonneg_int ~what:"N")) None
+       & info [ "prune-keep-latest" ] ~docv:"N"
+           ~doc:"Before listing, delete all but the $(docv) most recently used entries \
+                 — the knob that bounds on-disk cache growth.")
+
 let trace_store_cmd =
   let dir_pos =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"DIR"
              ~doc:"Trace-store directory (as passed to --trace-cache).")
   in
-  let run dir =
+  let run dir prune =
     wrap @@ fun () ->
     if not (Sys.file_exists dir) then
       failwith (Printf.sprintf "trace store %s: no such directory" dir);
     let store = Mcsim.Trace_store.open_ ~dir in
+    (match prune with
+    | None -> ()
+    | Some n ->
+      let removed = Mcsim.Trace_store.prune_keep_latest store n in
+      List.iter (Printf.printf "pruned %s\n") removed);
     let entries = Mcsim.Trace_store.entries store in
     if entries = [] then Printf.printf "%s: no cached traces\n" dir
     else begin
@@ -799,7 +850,62 @@ let trace_store_cmd =
   Cmd.v
     (Cmd.info "trace-store"
        ~doc:"List and validate the cached binary traces in a --trace-cache directory.")
-    Term.(const run $ dir_pos)
+    Term.(const run $ dir_pos $ prune_keep_latest_arg)
+
+(* `mcsim result-store DIR`: inspect a --result-cache / serve-daemon
+   result-store directory. Entries that do not decode as unit snapshots
+   list as INVALID — the cache itself treats them as misses. *)
+let result_store_cmd =
+  let dir_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR"
+             ~doc:"Result-store directory (as passed to --result-cache or mcsim serve).")
+  in
+  let run dir prune =
+    wrap @@ fun () ->
+    if not (Sys.file_exists dir) then
+      failwith (Printf.sprintf "result store %s: no such directory" dir);
+    let store = Mcsim.Result_store.open_ ~dir in
+    (match prune with
+    | None -> ()
+    | Some n ->
+      let removed = Mcsim.Result_store.prune_keep_latest store n in
+      List.iter (Printf.printf "pruned %s\n") removed);
+    let entries = Mcsim.Result_store.entries store in
+    if entries = [] then Printf.printf "%s: no cached results\n" dir
+    else begin
+      let rows =
+        List.map
+          (fun e ->
+            [ e.Mcsim.Result_store.e_file;
+              e.Mcsim.Result_store.e_digest;
+              e.Mcsim.Result_store.e_kind;
+              e.Mcsim.Result_store.e_benchmark;
+              string_of_int e.Mcsim.Result_store.e_bytes;
+              (if e.Mcsim.Result_store.e_valid then "ok" else "INVALID") ])
+          entries
+      in
+      print_string
+        (Mcsim_util.Text_table.render
+           ~aligns:[| Mcsim_util.Text_table.Left; Left; Left; Left; Right; Left |]
+           ([ "file"; "digest"; "kind"; "benchmark"; "bytes"; "status" ] :: rows));
+      let total_bytes =
+        List.fold_left (fun a e -> a + e.Mcsim.Result_store.e_bytes) 0 entries
+      in
+      let invalid =
+        List.length (List.filter (fun e -> not e.Mcsim.Result_store.e_valid) entries)
+      in
+      Printf.printf "%d result%s, %d bytes%s\n" (List.length entries)
+        (if List.length entries = 1 then "" else "s")
+        total_bytes
+        (if invalid = 0 then ""
+         else Printf.sprintf " (%d invalid — treated as misses)" invalid)
+    end
+  in
+  Cmd.v
+    (Cmd.info "result-store"
+       ~doc:"List and validate the cached unit results in a --result-cache directory.")
+    Term.(const run $ dir_pos $ prune_keep_latest_arg)
 
 let trace_cmd =
   let machine_arg =
@@ -983,6 +1089,197 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Parse a textual machine program and run it.")
     Term.(const run $ file_arg $ machine_arg $ max_instrs_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* The sweep service: `mcsim serve` and `mcsim submit`.                 *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"SOCKET"
+           ~doc:"Unix-domain socket path of the sweep service (as passed to \
+                 $(b,mcsim serve)).")
+
+let serve_cmd =
+  let socket_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SOCKET" ~doc:"Unix-domain socket path to listen on.")
+  in
+  let stop_arg =
+    Arg.(value & flag
+         & info [ "stop" ]
+             ~doc:"Ask the server listening on $(i,SOCKET) to shut down, instead of \
+                   starting one.")
+  in
+  let run socket stop jobs retries result_cache trace_cache =
+    wrap @@ fun () ->
+    if stop then begin
+      let c = Mcsim_serve.Client.connect ~socket_path:socket in
+      Fun.protect
+        ~finally:(fun () -> Mcsim_serve.Client.close c)
+        (fun () -> Mcsim_serve.Client.stop_server c);
+      print_endline "server stopping"
+    end
+    else
+      Mcsim_serve.Server.run
+        { (Mcsim_serve.Server.default ~socket_path:socket) with
+          jobs;
+          retries;
+          result_cache;
+          trace_cache;
+          log = Some (fun s -> Printf.printf "[serve] %s\n%!" s) }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-lived sweep service on a Unix-domain socket: submitted sweeps are \
+             split into units, answered from the shared result cache when possible, \
+             and identical in-flight units from concurrent clients are computed once \
+             (see $(b,mcsim submit)).")
+    Term.(const run $ socket_pos $ stop_arg $ jobs_arg $ retries_arg $ result_cache_arg
+          $ trace_cache_arg)
+
+let progress_on_unit ~index ~total ~label ~source ~data:_ =
+  Printf.eprintf "  unit %d/%d %s: %s\n%!" (index + 1) total label source
+
+let served_line (s : Mcsim_serve.Protocol.served) =
+  Printf.sprintf "served %d unit(s): %d cached, %d computed, %d coalesced"
+    s.Mcsim_serve.Protocol.s_units s.Mcsim_serve.Protocol.s_cached
+    s.Mcsim_serve.Protocol.s_computed s.Mcsim_serve.Protocol.s_coalesced
+
+let with_client socket f =
+  let c = Mcsim_serve.Client.connect ~socket_path:socket in
+  Fun.protect ~finally:(fun () -> Mcsim_serve.Client.close c) (fun () -> f c)
+
+let submit_table2_cmd =
+  let run socket max_instrs seed benchmarks csv four_way sample engine metrics_out =
+    wrap @@ fun () ->
+    let t_start = Unix.gettimeofday () in
+    let sampling = Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample in
+    let sweep =
+      Mcsim_serve.Protocol.Table2
+        { benchmarks; max_instrs; seed; engine; sampling; four_way }
+    in
+    with_client socket @@ fun c ->
+    let result, served = Mcsim_serve.Client.submit ~on_unit:progress_on_unit c sweep in
+    let rows =
+      match Mcsim_serve.Client.rows_of_result result with
+      | Some rows -> rows
+      | None -> failwith "malformed table2 result from server"
+    in
+    if csv then print_string (Mcsim.Report.table2_csv rows)
+    else begin
+      print_string (Mcsim.Table2.render rows);
+      print_newline ()
+    end;
+    prerr_endline (served_line served);
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      let cfg =
+        if four_way then Mcsim_cluster.Machine.dual_cluster_2x2 ()
+        else Mcsim_cluster.Machine.dual_cluster ()
+      in
+      let manifest =
+        Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
+          ~benchmark:(String.concat "," (List.map Mcsim_workload.Spec92.name benchmarks))
+          ~trace_instrs:max_instrs ?sampling cfg
+      in
+      Mcsim_obs.Metrics.write_file path
+        (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"table2"
+           ~wall_seconds:(Unix.gettimeofday () -. t_start)
+           ~extra:[ ("table2", Mcsim.Report.table2_json rows) ]
+           ())
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Submit a Table-2 sweep to the service (one unit per row).")
+    Term.(const run $ socket_arg $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg
+          $ four_way_arg $ sample_arg $ engine_arg $ metrics_out_arg)
+
+let submit_machine_arg =
+  Arg.(value & opt (enum [ ("single", `Single); ("dual", `Dual) ]) `Dual
+       & info [ "machine" ] ~doc:"Machine to run on: single or dual.")
+
+let submit_scheduler_arg =
+  Arg.(value & opt scheduler_conv Mcsim_compiler.Pipeline.default_local
+       & info [ "scheduler" ] ~doc:"none, local, round-robin, or random.")
+
+let submit_run_cmd =
+  let run socket bench machine scheduler max_instrs seed engine =
+    wrap @@ fun () ->
+    let sweep =
+      Mcsim_serve.Protocol.Run { bench; machine; scheduler; max_instrs; seed; engine }
+    in
+    with_client socket @@ fun c ->
+    let result, served = Mcsim_serve.Client.submit ~on_unit:progress_on_unit c sweep in
+    (match
+       ( Option.bind (Json.member "result" result) Mcsim_obs.Metrics.result_of_json,
+         Option.bind (Json.member "trace_instrs" result) Json.get_int )
+     with
+    | Some r, Some n ->
+      Printf.printf "%s on the %s machine, %s scheduler (served):\n"
+        (Mcsim_workload.Spec92.name bench)
+        (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
+        (Mcsim_compiler.Pipeline.scheduler_name scheduler);
+      Printf.printf "  %d instructions in %d cycles (IPC %.2f), %d replays\n" n
+        r.Mcsim_cluster.Machine.cycles r.Mcsim_cluster.Machine.ipc
+        r.Mcsim_cluster.Machine.replays
+    | _ -> failwith "malformed run result from server");
+    prerr_endline (served_line served)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Submit one detailed run to the service.")
+    Term.(const run $ socket_arg $ bench_pos $ submit_machine_arg $ submit_scheduler_arg
+          $ max_instrs_arg $ seed_arg $ engine_arg)
+
+let submit_sample_cmd =
+  let run socket bench machine scheduler max_instrs seed sample engine =
+    wrap @@ fun () ->
+    let policy =
+      match sample with
+      | Some p -> { p with Mcsim_sampling.Sampling.seed }
+      | None -> { Mcsim_sampling.Sampling.default_policy with seed }
+    in
+    let sweep =
+      Mcsim_serve.Protocol.Sample
+        { bench; machine; scheduler; max_instrs; seed; engine; policy }
+    in
+    with_client socket @@ fun c ->
+    let result, served = Mcsim_serve.Client.submit ~on_unit:progress_on_unit c sweep in
+    (match
+       ( Option.bind (Json.member "result" result) Mcsim_obs.Metrics.result_of_json,
+         Json.member "sampling" result )
+     with
+    | Some machine_r, Some sj -> (
+      match
+        Mcsim_obs.Metrics.sampling_of_json ~seed:policy.Mcsim_sampling.Sampling.seed
+          ~machine:machine_r sj
+      with
+      | Some s -> print_string (Mcsim_sampling.Sampling.render s)
+      | None -> failwith "malformed sample result from server")
+    | _ -> failwith "malformed sample result from server");
+    prerr_endline (served_line served)
+  in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Submit one sampled estimate to the service.")
+    Term.(const run $ socket_arg $ bench_pos $ submit_machine_arg $ submit_scheduler_arg
+          $ max_instrs_arg $ seed_arg $ sample_arg $ engine_arg)
+
+let submit_stats_cmd =
+  let run socket =
+    wrap @@ fun () ->
+    with_client socket @@ fun c ->
+    print_endline (Json.to_string (Mcsim_serve.Client.stats c))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Print the server's counters (requests, cache hits, coalesced units, ...) \
+             as a metrics snapshot.")
+    Term.(const run $ socket_arg)
+
+let submit_cmd =
+  Cmd.group
+    (Cmd.info "submit" ~doc:"Submit sweeps to a running mcsim serve daemon.")
+    [ submit_table2_cmd; submit_run_cmd; submit_sample_cmd; submit_stats_cmd ]
+
 let () =
   let doc = "Multicluster architecture simulator (Farkas, Chow, Jouppi & Vranesic, MICRO-30)." in
   let info = Cmd.info "mcsim" ~version:Mcsim_obs.Manifest.mcsim_version ~doc in
@@ -990,5 +1287,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table1_cmd; table2_cmd; scenarios_cmd; figure6_cmd; cycle_time_cmd; workloads_cmd;
-            run_cmd; sample_cmd; resume_cmd; trace_cmd; trace_store_cmd; ablate_cmd;
-            reassign_cmd; clusters_cmd; compile_cmd; simulate_cmd ]))
+            run_cmd; sample_cmd; resume_cmd; trace_cmd; trace_store_cmd; result_store_cmd;
+            serve_cmd; submit_cmd; ablate_cmd; reassign_cmd; clusters_cmd; compile_cmd;
+            simulate_cmd ]))

@@ -43,10 +43,7 @@ let sweep_file dir = Filename.concat dir "sweep.json"
 
 (* The manifest minus its creation timestamp: two opens of the same
    sweep at different times must agree. *)
-let identity_manifest manifest =
-  match Manifest.to_json manifest with
-  | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "created_unix") fields)
-  | other -> other
+let identity_manifest = Manifest.identity_json
 
 let sweep_json ~kind ~manifest ~extra =
   Json.Obj
@@ -59,8 +56,7 @@ let identity_of_sweep_json j =
   let kind = Option.bind (Json.member "kind" j) Json.get_string in
   let manifest =
     match Json.member "manifest" j with
-    | Some (Json.Obj fields) ->
-      Some (Json.Obj (List.filter (fun (k, _) -> k <> "created_unix") fields))
+    | Some (Json.Obj _ as m) -> Some (Mcsim_obs.Manifest.strip_created m)
     | Some _ | None -> None
   in
   let sweep = Json.path [ "data"; "sweep" ] j in
@@ -104,10 +100,12 @@ let sanitize key =
   in
   if String.length mapped <= 60 then mapped else String.sub mapped 0 60
 
-let unit_file t key =
+let unit_basename key =
   (* The digest keeps sanitized-collision and truncated keys distinct. *)
   let digest = String.sub (Digest.to_hex (Digest.string key)) 0 8 in
-  Filename.concat t.dir (Printf.sprintf "unit-%s-%s.json" (sanitize key) digest)
+  Printf.sprintf "unit-%s-%s.json" (sanitize key) digest
+
+let unit_file t key = Filename.concat t.dir (unit_basename key)
 
 let unit_key_of_json j =
   Option.bind (Json.path [ "data"; "unit_key" ] j) Json.get_string

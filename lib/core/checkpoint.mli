@@ -59,6 +59,12 @@ val keys : t -> string list
 val dir : t -> string
 (** The directory this checkpoint lives in. *)
 
+val unit_basename : string -> string
+(** The file basename a unit [key] is stored under
+    ([unit-<sanitized>-<digest8>.json]) — exported so {!Result_store}
+    can read checkpoint-format entries and old checkpoint directories
+    double as result caches. *)
+
 val write_command : dir:string -> (string * Mcsim_obs.Json.t) list -> unit
 (** Write [dir/command.json] — the CLI invocation that started the
     sweep, stored before any unit runs so [mcsim resume] can

@@ -37,30 +37,151 @@ let row_of_comparison b (c : Experiment.comparison) =
     none_replays = none.Experiment.dual.Machine.replays;
     local_replays = local.Experiment.dual.Machine.replays }
 
+(* ------------------------------------------------------------------ *)
+(* Row (de)serialization and the global result cache                    *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Mcsim_obs.Json
+
+let row_json r =
+  Json.Obj
+    [ ("benchmark", Json.String r.benchmark);
+      ("none_pct", Json.Float r.none_pct);
+      ("local_pct", Json.Float r.local_pct);
+      ("single_cycles", Json.Int r.single_cycles);
+      ("none_cycles", Json.Int r.none_cycles);
+      ("local_cycles", Json.Int r.local_cycles);
+      ("none_replays", Json.Int r.none_replays);
+      ("local_replays", Json.Int r.local_replays) ]
+
+let ( let* ) = Option.bind
+
+let row_of_json j =
+  let int k = Option.bind (Json.member k j) Json.get_int in
+  let* benchmark = Option.bind (Json.member "benchmark" j) Json.get_string in
+  let* none_pct = Option.bind (Json.member "none_pct" j) Json.get_float in
+  let* local_pct = Option.bind (Json.member "local_pct" j) Json.get_float in
+  let* single_cycles = int "single_cycles" in
+  let* none_cycles = int "none_cycles" in
+  let* local_cycles = int "local_cycles" in
+  let* none_replays = int "none_replays" in
+  let* local_replays = int "local_replays" in
+  Some
+    { benchmark; none_pct; local_pct; single_cycles; none_cycles; local_cycles;
+      none_replays; local_replays }
+
+(* The global-store identity of one Table-2 row. The manifest pins the
+   dual config (digest), seed, engine, sampling policy, trace budget and
+   benchmark; the key carries what the manifest cannot: the single
+   config and the sampling policy's own seed. The serve daemon and the
+   batch [--result-cache] path both address rows through this, which is
+   what lets them share one cache. *)
+let row_store_unit ?engine ?sampling ?single_config ?dual_config ~max_instrs ~seed b =
+  let single_config =
+    match single_config with Some c -> c | None -> Machine.single_cluster ()
+  in
+  let dual_config =
+    match dual_config with Some c -> c | None -> Machine.dual_cluster ()
+  in
+  let manifest =
+    Mcsim_obs.Manifest.make ?engine ~seed ?sampling ~benchmark:(Spec92.name b)
+      ~trace_instrs:max_instrs dual_config
+  in
+  let key =
+    Printf.sprintf "table2/row:single=%s:sampling_seed=%s"
+      (Digest.to_hex (Digest.string (Mcsim_obs.Manifest.config_description single_config)))
+      (match sampling with
+      | Some p -> string_of_int p.Mcsim_sampling.Sampling.seed
+      | None -> "-")
+  in
+  (manifest, key)
+
+let find_cached_row store ~manifest ~key =
+  let* d = Result_store.find store ~manifest ~key in
+  let* rj = Json.member "row" d in
+  row_of_json rj
+
+let record_row store ~manifest ~key row =
+  Result_store.record store ~manifest ~key [ ("row", row_json row) ]
+
+(* Pre-filter the benchmark list through the global result store and
+   record what the inner run produces. With a [checkpoint] the filter is
+   skipped — the checkpoint identity pins the benchmark list, so a
+   resume whose cached set grew in the meantime would otherwise be
+   refused as a different sweep; the checkpoint already makes reruns
+   cheap, and fresh rows still land in the store. *)
+let with_result_cache ~result_cache ~checkpoint ~benchmarks
+    ~(unit_of : Spec92.benchmark -> Mcsim_obs.Manifest.t * string)
+    ~(run_missing : Spec92.benchmark list -> (Spec92.benchmark * (row, string) result) list)
+    () : (Spec92.benchmark * (row, string) result) list =
+  match result_cache with
+  | None -> run_missing benchmarks
+  | Some dir ->
+    let store = Result_store.open_ ~dir in
+    let looked =
+      List.map
+        (fun b ->
+          let manifest, key = unit_of b in
+          let cached =
+            if checkpoint = None then find_cached_row store ~manifest ~key else None
+          in
+          (b, manifest, key, cached))
+        benchmarks
+    in
+    let missing =
+      List.filter_map (fun (b, _, _, c) -> if c = None then Some b else None) looked
+    in
+    let fresh = if missing = [] then [] else run_missing missing in
+    List.map
+      (fun (b, manifest, key, cached) ->
+        match cached with
+        | Some row -> (b, Ok row)
+        | None -> (
+          match List.assoc b fresh with
+          | Ok row as ok ->
+            record_row store ~manifest ~key row;
+            (b, ok)
+          | Error _ as e -> (b, e)))
+      looked
+
 let run ?jobs ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?engine
     ?sampling ?single_config ?dual_config ?retries ?backoff ?inject_fault ?checkpoint
-    ?trace_cache () =
-  let comparisons =
-    Experiment.run_many ?jobs ~max_instrs ~seed ?engine ?sampling ?single_config
-      ?dual_config ?retries ?backoff ?inject_fault ?checkpoint ?trace_cache
-      (List.map Spec92.program benchmarks)
+    ?trace_cache ?result_cache () =
+  let run_missing bs =
+    let comparisons =
+      Experiment.run_many ?jobs ~max_instrs ~seed ?engine ?sampling ?single_config
+        ?dual_config ?retries ?backoff ?inject_fault ?checkpoint ?trace_cache
+        (List.map Spec92.program bs)
+    in
+    List.map2 (fun b c -> (b, Ok (row_of_comparison b c))) bs comparisons
   in
-  List.map2 row_of_comparison benchmarks comparisons
+  let unit_of =
+    row_store_unit ?engine ?sampling ?single_config ?dual_config ~max_instrs ~seed
+  in
+  with_result_cache ~result_cache ~checkpoint ~benchmarks ~unit_of ~run_missing ()
+  |> List.map (fun (_, r) -> match r with Ok row -> row | Error _ -> assert false)
 
 let run_report ?jobs ?(max_instrs = 120_000) ?(seed = 1) ?(benchmarks = Spec92.all)
     ?engine ?sampling ?single_config ?dual_config ?retries ?backoff ?inject_fault
-    ?checkpoint ?trace_cache () =
-  let statuses =
-    Experiment.run_many_status ?jobs ~max_instrs ~seed ?engine ?sampling ?single_config
-      ?dual_config ?retries ?backoff ?inject_fault ?checkpoint ?trace_cache
-      (List.map Spec92.program benchmarks)
+    ?checkpoint ?trace_cache ?result_cache () =
+  let run_missing bs =
+    let statuses =
+      Experiment.run_many_status ?jobs ~max_instrs ~seed ?engine ?sampling ?single_config
+        ?dual_config ?retries ?backoff ?inject_fault ?checkpoint ?trace_cache
+        (List.map Spec92.program bs)
+    in
+    List.map2 (fun b st -> (b, Result.map (row_of_comparison b) st)) bs statuses
   in
-  List.fold_right2
-    (fun b status report ->
-      match status with
-      | Ok c -> { report with rows = row_of_comparison b c :: report.rows }
-      | Error msg -> { report with failed = (Spec92.name b, msg) :: report.failed })
-    benchmarks statuses { rows = []; failed = [] }
+  let unit_of =
+    row_store_unit ?engine ?sampling ?single_config ?dual_config ~max_instrs ~seed
+  in
+  with_result_cache ~result_cache ~checkpoint ~benchmarks ~unit_of ~run_missing ()
+  |> List.fold_left
+       (fun report (b, st) ->
+         match st with
+         | Ok row -> { report with rows = report.rows @ [ row ] }
+         | Error msg -> { report with failed = report.failed @ [ (Spec92.name b, msg) ] })
+       { rows = []; failed = [] }
 
 let pct v = Printf.sprintf "%+.1f" v
 

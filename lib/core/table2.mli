@@ -31,6 +31,7 @@ val run :
   ?inject_fault:(job:int -> attempt:int -> bool) ->
   ?checkpoint:string ->
   ?trace_cache:string ->
+  ?result_cache:string ->
   unit ->
   row list
 (** Default [max_instrs] 120_000, seed 1, all six benchmarks, the paper's
@@ -57,7 +58,17 @@ val run :
 
     [trace_cache] names a {!Trace_store} directory (see
     {!Experiment.run_many}): traces are memory-mapped from there on
-    repeat runs instead of being re-walked; rows are unchanged. *)
+    repeat runs instead of being re-walked; rows are unchanged.
+
+    [result_cache] names a {!Result_store} directory — the {e global}
+    result cache the [mcsim serve] daemon also answers from. Each row
+    is addressed by {!row_store_unit}; cached rows are decoded instead
+    of recomputed (and reproduce byte-identical CSV), fresh rows are
+    recorded for every later sweep. Unlike [checkpoint], the store is
+    not pinned to one sweep identity, so any overlapping sweep anywhere
+    reuses the rows. When both are given, the checkpoint governs which
+    units run (see the note on {!run_report}) and fresh rows are still
+    recorded in the store. *)
 
 type report = {
   rows : row list;  (** in benchmark order, failed benchmarks omitted *)
@@ -78,12 +89,42 @@ val run_report :
   ?inject_fault:(job:int -> attempt:int -> bool) ->
   ?checkpoint:string ->
   ?trace_cache:string ->
+  ?result_cache:string ->
   unit ->
   report
 (** {!run}, degrading permanent per-benchmark failure to data: rows
     hold every benchmark that completed, [failed] names the ones that
     exhausted their retries (the sweep itself never aborts). With
-    [checkpoint], rerunning finishes only what is missing. *)
+    [checkpoint], rerunning finishes only what is missing; combined
+    with [result_cache] the store pre-filter is disabled (the
+    checkpoint identity pins the benchmark list, so a shrinking
+    benchmark set would read as a stale checkpoint) and the store is
+    write-through only. *)
+
+(** {2 Row (de)serialization and the global result cache} *)
+
+val row_json : row -> Mcsim_obs.Json.t
+(** A row as a JSON object; floats round-trip losslessly
+    ({!Mcsim_obs.Json.to_string} prints shortest representations), so
+    [row_of_json (row_json r) = Some r]. *)
+
+val row_of_json : Mcsim_obs.Json.t -> row option
+(** Inverse of {!row_json}; [None] on anything it cannot have
+    produced. *)
+
+val row_store_unit :
+  ?engine:Mcsim_cluster.Machine.engine ->
+  ?sampling:Mcsim_sampling.Sampling.policy ->
+  ?single_config:Mcsim_cluster.Machine.config ->
+  ?dual_config:Mcsim_cluster.Machine.config ->
+  max_instrs:int ->
+  seed:int ->
+  Mcsim_workload.Spec92.benchmark ->
+  Mcsim_obs.Manifest.t * string
+(** The {!Result_store} identity — [(manifest, unit key)] — of one
+    Table-2 row: everything the row is a pure function of. The serve
+    daemon and the batch [--result-cache] path both use this, which is
+    why they share one cache. *)
 
 val render : row list -> string
 (** Side-by-side measured-vs-paper table. *)

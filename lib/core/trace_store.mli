@@ -96,3 +96,9 @@ type entry = {
 val entries : t -> entry list
 (** All [*.mctrace] files in the store, sorted by name. Validation maps
     and checksums each file once. *)
+
+val prune_keep_latest : t -> int -> string list
+(** [prune_keep_latest t n] deletes all but the [n] most recently
+    modified [*.mctrace] files (ties broken by name) and returns the
+    removed basenames, sorted — bounds on-disk cache growth.
+    @raise Invalid_argument when [n < 0]. *)

@@ -92,6 +92,13 @@ let write_file path v trailer =
 
 exception Parse_error of string
 
+(* The parser recurses once per nesting level, so unbounded input depth
+   would become unbounded stack depth. Now that parse input can arrive
+   from a socket (the serve protocol), a hostile "[[[[..." must be a
+   one-line error, never a stack overflow. 512 levels is far beyond any
+   document the simulator emits. *)
+let max_depth = 512
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
@@ -188,7 +195,9 @@ let of_string s =
       | Some v -> Float v
       | None -> fail "invalid number"
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then
+      fail (Printf.sprintf "nesting deeper than %d levels" max_depth);
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -206,7 +215,7 @@ let of_string s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           fields := (k, v) :: !fields;
           skip_ws ();
           match peek () with
@@ -229,7 +238,7 @@ let of_string s =
       else begin
         let items = ref [] in
         let rec items_loop () =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           items := v :: !items;
           skip_ws ();
           match peek () with
@@ -250,7 +259,7 @@ let of_string s =
     | Some c -> fail (Printf.sprintf "unexpected character %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos < n then fail "trailing garbage";
     v

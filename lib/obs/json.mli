@@ -30,9 +30,16 @@ val write_file : string -> t -> string -> unit
 (** [write_file path json trailer] writes [to_string json ^ trailer]
     (pass ["\n"] for a trailing newline). *)
 
+val max_depth : int
+(** Maximum container nesting {!of_string} accepts (512). The parser
+    recurses once per level, so the bound turns hostile deeply-nested
+    input — the serve protocol parses untrusted socket bytes — into a
+    one-line error instead of a stack overflow. *)
+
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document; trailing non-whitespace is an error.
-    Errors are one-line messages with a character offset. *)
+    Errors are one-line messages with a character offset; input nested
+    deeper than {!max_depth} is an error, never a crash. *)
 
 (** {2 Tree queries} — conveniences for tests and validators. *)
 

@@ -84,6 +84,12 @@ let to_json t =
       ("config_desc", Json.String t.config_desc);
       ("config_digest", Json.String t.config_digest) ]
 
+let strip_created = function
+  | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "created_unix") fields)
+  | other -> other
+
+let identity_json t = strip_created (to_json t)
+
 let required_keys =
   [ "mcsim_version"; "schema_version"; "created_unix"; "engine"; "seed"; "benchmark";
     "scheduler"; "trace_instrs"; "sampling"; "config_desc"; "config_digest" ]

@@ -48,5 +48,16 @@ val make :
 val to_json : t -> Json.t
 (** Every field, absent options as [null]. *)
 
+val strip_created : Json.t -> Json.t
+(** Remove the [created_unix] field from a manifest JSON object —
+    non-objects pass through. Two runs of the same sweep at different
+    times agree on everything else, so this is the manifest's {e
+    identity}: it is what {!Mcsim.Checkpoint} compares when refusing a
+    stale directory and what {!Mcsim.Result_store} digests to address a
+    cached unit. *)
+
+val identity_json : t -> Json.t
+(** [strip_created (to_json t)]. *)
+
 val required_keys : string list
 (** The keys {!to_json} always emits — what validators check. *)

@@ -1,0 +1,93 @@
+module Json = Mcsim_obs.Json
+module P = Protocol
+
+type t = { fd : Unix.file_descr; rd : P.reader; mutable next_id : int }
+
+let connect ~socket_path =
+  (if Sys.os_type = "Unix" then
+     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     failwith
+       (Printf.sprintf "cannot connect to %s: %s (is 'mcsim serve' running?)" socket_path
+          (Unix.error_message e)));
+  { fd; rd = P.reader (); next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let str j k = Option.bind (Json.member k j) Json.get_string
+let int j k = Option.bind (Json.member k j) Json.get_int
+
+(* Read frames until [handle] accepts one; frames for other ids fall
+   through. *)
+let rec await t handle =
+  match P.read_frame t.fd t.rd with
+  | None -> failwith "server closed the connection"
+  | Some j -> (
+    match handle j with Some v -> v | None -> await t handle)
+
+let submit ?on_unit t sweep =
+  let id = fresh_id t in
+  P.write_frame t.fd (P.request_to_json (P.Submit { id; sweep }));
+  await t (fun j ->
+      if int j "id" <> Some id then None
+      else
+        match str j "resp" with
+        | Some "unit" ->
+          (match on_unit with
+          | Some f -> (
+            match
+              ( int j "index", int j "total", str j "unit", str j "source",
+                Json.member "data" j )
+            with
+            | Some index, Some total, Some label, Some source, Some data ->
+              f ~index ~total ~label ~source ~data
+            | _ -> ())
+          | None -> ());
+          None
+        | Some "done" -> (
+          match (Json.member "result" j, Option.bind (Json.member "served" j) P.served_of_json)
+          with
+          | Some result, Some served -> Some (result, served)
+          | _ -> failwith "malformed done response")
+        | Some "error" ->
+          failwith
+            (match str j "message" with Some m -> m | None -> "server error")
+        | _ -> None)
+
+let stats t =
+  let id = fresh_id t in
+  P.write_frame t.fd (P.request_to_json (P.Stats id));
+  await t (fun j ->
+      if int j "id" = Some id && str j "resp" = Some "stats" then Json.member "metrics" j
+      else None)
+
+let ping t =
+  let id = fresh_id t in
+  P.write_frame t.fd (P.request_to_json (P.Ping id));
+  await t (fun j ->
+      if int j "id" = Some id && str j "resp" = Some "pong" then Some () else None)
+
+let stop_server t =
+  let id = fresh_id t in
+  P.write_frame t.fd (P.request_to_json (P.Stop id));
+  await t (fun j ->
+      if int j "id" = Some id && str j "resp" = Some "stopping" then Some () else None)
+
+let rows_of_result j =
+  match Json.member "rows" j with
+  | Some (Json.List rows) ->
+    List.fold_left
+      (fun acc rj ->
+        match (acc, Mcsim.Table2.row_of_json rj) with
+        | Some rows, Some row -> Some (rows @ [ row ])
+        | _ -> None)
+      (Some []) rows
+  | _ -> None

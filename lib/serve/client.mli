@@ -1,0 +1,39 @@
+(** Client side of the sweep service: one blocking connection.
+
+    Each call sends one request and reads frames until its response
+    arrives (frames for other request ids are skipped, so a [t] can be
+    handed sequentially between calls but is not domain-safe). *)
+
+type t
+
+val connect : socket_path:string -> t
+(** @raise Failure (one line) when nothing is listening. *)
+
+val close : t -> unit
+
+val submit :
+  ?on_unit:
+    (index:int -> total:int -> label:string -> source:string -> data:Mcsim_obs.Json.t ->
+     unit) ->
+  t ->
+  Protocol.sweep ->
+  Mcsim_obs.Json.t * Protocol.served
+(** Submit a sweep and block until it completes; [on_unit] observes
+    each per-unit progress frame as it streams in ([source] is
+    ["cache"], ["computed"] or ["coalesced"]). Returns the assembled
+    result and the served counters.
+    @raise Failure with the server's message on an [error] response,
+    or when the connection drops mid-sweep. *)
+
+val stats : t -> Mcsim_obs.Json.t
+(** The server's counters as a {!Mcsim_obs.Metrics} snapshot
+    (kind ["serve-stats"]). *)
+
+val ping : t -> unit
+
+val stop_server : t -> unit
+(** Ask the server to shut down; returns once it acknowledges. *)
+
+val rows_of_result : Mcsim_obs.Json.t -> Mcsim.Table2.row list option
+(** Decode a [table2] submit result back into rows ([None] on anything
+    the server cannot have produced). *)

@@ -23,4 +23,5 @@ let () =
       Test_crossval.suite;
       Test_parallel.suite;
       Test_durable.suite;
-      Test_trace_store.suite ]
+      Test_trace_store.suite;
+      Test_serve.suite ]

@@ -51,6 +51,41 @@ let json_parse_errors () =
   in
   List.iter fails [ "{"; "[1,]"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}"; "" ]
 
+(* The parser is fed bytes straight off the serve socket, so hostile
+   input must come back as a one-line [Error], never a stack overflow
+   or a multi-line dump. *)
+let json_hostile_input () =
+  let one_line_error what s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.fail (what ^ ": parsed")
+    | Error e ->
+      check Alcotest.bool (what ^ " error is one line") false (String.contains e '\n');
+      e
+  in
+  (* Just inside the depth bound parses... *)
+  let nest n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match Json.of_string (nest Json.max_depth) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("depth " ^ string_of_int Json.max_depth ^ ": " ^ e));
+  (* ...one past it is a one-line refusal naming the bound, and far past
+     it (deeper than the OCaml stack would survive) is the same error. *)
+  let e = one_line_error "too deep" (nest (Json.max_depth + 1)) in
+  let contains_sub ~sub s =
+    try
+      ignore (Str.search_forward (Str.regexp_string sub) s 0);
+      true
+    with Not_found -> false
+  in
+  check Alcotest.bool "depth error names the bound" true
+    (contains_sub ~sub:(string_of_int Json.max_depth) e);
+  ignore (one_line_error "way too deep" (String.make 200_000 '['));
+  ignore (one_line_error "deep objects too" (String.concat "" (List.init 1000 (fun _ -> "{\"a\":") )));
+  (* Truncated and trailing-garbage frames. *)
+  ignore (one_line_error "truncated object" "{\"a\": [1, 2");
+  ignore (one_line_error "truncated string" "\"abc");
+  ignore (one_line_error "trailing garbage" "{\"a\": 1} xyz");
+  ignore (one_line_error "two values" "[1] [2]")
+
 let json_unicode_escape () =
   check json "\\u escape decodes to UTF-8" (Json.String "caf\xc3\xa9")
     (parse_ok "\"caf\\u00e9\"")
@@ -368,6 +403,7 @@ let suite =
   ( "obs",
     [ case "json round-trip" json_roundtrip;
       case "json parse errors" json_parse_errors;
+      case "json hostile input" json_hostile_input;
       case "json unicode escape" json_unicode_escape;
       case "json queries" json_queries;
       case "manifest schema" manifest_schema;

@@ -1,0 +1,618 @@
+(* Tests for the sweep service (lib/serve): protocol framing and
+   codecs, the content-addressed result store (including its
+   compatibility with checkpoint directories), the batch --result-cache
+   path, and the daemon itself — end-to-end equivalence with in-process
+   runs, full cache service on resubmit, coalescing of identical
+   in-flight units across concurrent clients, and survival of a
+   mid-sweep disconnect. *)
+
+module Json = Mcsim_obs.Json
+module Manifest = Mcsim_obs.Manifest
+module Machine = Mcsim_cluster.Machine
+module Pipeline = Mcsim_compiler.Pipeline
+module Spec92 = Mcsim_workload.Spec92
+module Sampling = Mcsim_sampling.Sampling
+module P = Mcsim_serve.Protocol
+module Server = Mcsim_serve.Server
+module Client = Mcsim_serve.Client
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let jstr j = Json.to_string ~minify:true j
+
+let json : Json.t Alcotest.testable =
+  Alcotest.testable (fun fmt j -> Format.pp_print_string fmt (jstr j)) ( = )
+
+let tmp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* ------------------------------ framing ---------------------------- *)
+
+let frame_roundtrip () =
+  let msgs =
+    [ Json.Null;
+      Json.Obj [ ("k", Json.List [ Json.Int 1; Json.String "x" ]) ];
+      Json.String (String.make 10_000 'z') ]
+  in
+  let bytes = String.concat "" (List.map P.frame_string msgs) in
+  (* Feed the concatenated frames one byte at a time: every frame must
+     pop exactly once, in order, and the reader must end empty. *)
+  let r = P.reader () in
+  let popped = ref [] in
+  String.iter
+    (fun c ->
+      P.push r (String.make 1 c);
+      match P.pop r with Some j -> popped := j :: !popped | None -> ())
+    bytes;
+  check (Alcotest.list json) "framed messages round-trip" msgs (List.rev !popped);
+  check Alcotest.int "reader empty between frames" 0 (P.buffered r)
+
+let frame_hostile () =
+  let one_line f =
+    match f () with
+    | _ -> Alcotest.fail "hostile frame accepted"
+    | exception Failure e ->
+      check Alcotest.bool "error is one line" false (String.contains e '\n')
+  in
+  (* Length prefix far beyond the 16 MiB bound. *)
+  let huge = Bytes.create 4 in
+  Bytes.set_int32_be huge 0 0x7fffffffl;
+  one_line (fun () ->
+      let r = P.reader () in
+      P.push r (Bytes.to_string huge);
+      P.pop r);
+  (* A complete frame whose payload is not JSON. *)
+  let bogus = "notjson!" in
+  let b = Bytes.create (4 + String.length bogus) in
+  Bytes.set_int32_be b 0 (Int32.of_int (String.length bogus));
+  Bytes.blit_string bogus 0 b 4 (String.length bogus);
+  one_line (fun () ->
+      let r = P.reader () in
+      P.push r (Bytes.to_string b);
+      P.pop r);
+  (* An over-limit outgoing payload is refused before hitting the wire. *)
+  one_line (fun () -> P.frame_string (Json.String (String.make (17 * 1024 * 1024) 'x')))
+
+(* ------------------------------ codecs ----------------------------- *)
+
+let some_sweeps =
+  [ P.Table2
+      { benchmarks = Spec92.all; max_instrs = 5000; seed = 3; engine = `Wakeup;
+        sampling = None; four_way = false };
+    P.Table2
+      { benchmarks = [ List.hd Spec92.all ]; max_instrs = 9000; seed = 1; engine = `Scan;
+        sampling = Some { Sampling.interval = 3000; warmup = 300; detail = 300; seed = 1 };
+        four_way = true };
+    P.Run
+      { bench = List.hd Spec92.all; machine = `Single; scheduler = Pipeline.Sched_none;
+        max_instrs = 2000; seed = 7; engine = `Wakeup };
+    P.Run
+      { bench = List.nth Spec92.all 3; machine = `Dual;
+        scheduler = Pipeline.Sched_round_robin; max_instrs = 2000; seed = 2;
+        engine = `Scan };
+    P.Sample
+      { bench = List.nth Spec92.all 2; machine = `Dual; scheduler = Pipeline.default_local;
+        max_instrs = 50_000; seed = 5; engine = `Wakeup;
+        policy = { Sampling.interval = 5000; warmup = 500; detail = 500; seed = 5 } } ]
+
+let sweep_codec_roundtrip () =
+  List.iter
+    (fun s ->
+      check json "sweep round-trips" (P.sweep_to_json s)
+        (P.sweep_to_json (P.sweep_of_json (P.sweep_to_json s))))
+    some_sweeps;
+  (* The wire form uses Pipeline.scheduler_name, which prints
+     "round_robin"; the CLI spells it "round-robin" — both must parse. *)
+  let run_with sched =
+    Json.Obj
+      [ ("kind", Json.String "run"); ("benchmark", Json.String "compress");
+        ("machine", Json.String "dual"); ("scheduler", Json.String sched);
+        ("max_instrs", Json.Int 1000); ("seed", Json.Int 1);
+        ("engine", Json.String "wakeup") ]
+  in
+  List.iter
+    (fun spelling ->
+      match P.sweep_of_json (run_with spelling) with
+      | P.Run { scheduler = Pipeline.Sched_round_robin; _ } -> ()
+      | _ -> Alcotest.fail (spelling ^ " did not parse to round-robin"))
+    [ "round_robin"; "round-robin" ]
+
+let sweep_codec_rejects () =
+  let rejects j =
+    match P.sweep_of_json j with
+    | _ -> Alcotest.fail "malformed sweep accepted"
+    | exception Failure e ->
+      check Alcotest.bool "error is one line" false (String.contains e '\n')
+  in
+  rejects (Json.Obj [ ("kind", Json.String "nope") ]);
+  rejects (Json.Obj [ ("kind", Json.String "table2"); ("benchmarks", Json.List []) ]);
+  rejects
+    (Json.Obj
+       [ ("kind", Json.String "run"); ("benchmark", Json.String "no-such-benchmark") ])
+
+let request_codec_roundtrip () =
+  let reqs =
+    [ P.Submit { id = 42; sweep = List.hd some_sweeps }; P.Stats 1; P.Ping 7; P.Stop 3 ]
+  in
+  List.iter
+    (fun r ->
+      check json "request round-trips" (P.request_to_json r)
+        (P.request_to_json (P.request_of_json (P.request_to_json r))))
+    reqs
+
+let qcheck_sweep_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let bench = oneofl Spec92.all in
+      let engine = oneofl [ `Scan; `Wakeup ] in
+      let machine = oneofl [ `Single; `Dual ] in
+      let scheduler =
+        oneofl
+          [ Pipeline.Sched_none; Pipeline.default_local; Pipeline.Sched_round_robin;
+            Pipeline.Sched_random 7 ]
+      in
+      let policy seed =
+        (* warmup + detail must fit in interval (validate_policy). *)
+        map
+          (fun (i, w, d) -> { Sampling.interval = i; warmup = w; detail = d; seed })
+          (triple (int_range 5000 50_000) (int_range 0 2000) (int_range 1 2000))
+      in
+      int_range 1 1000 >>= fun seed ->
+      oneof
+        [ map
+            (fun (bs, n, e, fw) ->
+              P.Table2
+                { benchmarks = (if bs = [] then Spec92.all else bs); max_instrs = n;
+                  seed; engine = e; sampling = None; four_way = fw })
+            (quad (list_size (int_range 0 6) bench) (int_range 1 1_000_000) engine bool);
+          map
+            (fun (b, m, s, (n, e)) ->
+              P.Run
+                { bench = b; machine = m; scheduler = s; max_instrs = n; seed;
+                  engine = e })
+            (quad bench machine scheduler (pair (int_range 1 1_000_000) engine));
+          map
+            (fun (b, m, s, (n, e, p)) ->
+              P.Sample
+                { bench = b; machine = m; scheduler = s; max_instrs = n; seed;
+                  engine = e; policy = p })
+            (quad bench machine scheduler
+               (triple (int_range 1 1_000_000) engine (policy seed))) ])
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"sweep json codec is a bijection on wire forms"
+       (QCheck.make ~print:(fun s -> jstr (P.sweep_to_json s)) gen)
+       (fun s ->
+         jstr (P.sweep_to_json s) = jstr (P.sweep_to_json (P.sweep_of_json (P.sweep_to_json s)))))
+
+(* --------------------------- result store -------------------------- *)
+
+let manifest_for ?sampling ~seed bench =
+  Manifest.make ~seed ~benchmark:(Spec92.name bench) ?sampling ~trace_instrs:4000
+    (Machine.dual_cluster ())
+
+let store_hit_miss_verify () =
+  let dir = tmp_dir "mcsim-rs" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Mcsim.Result_store.open_ ~dir in
+  let b = List.hd Spec92.all in
+  let manifest = manifest_for ~seed:1 b in
+  let fields = [ ("answer", Json.Int 42) ] in
+  check (Alcotest.option json) "empty store misses" None
+    (Mcsim.Result_store.find store ~manifest ~key:"run");
+  Mcsim.Result_store.record store ~manifest ~key:"run" fields;
+  (match Mcsim.Result_store.find store ~manifest ~key:"run" with
+  | Some d -> check (Alcotest.option json) "hit returns fields" (Some (Json.Int 42))
+                (Json.member "answer" d)
+  | None -> Alcotest.fail "recorded unit not found");
+  (* A different manifest or key is a different identity. *)
+  check Alcotest.bool "other seed misses" true
+    (Mcsim.Result_store.find store ~manifest:(manifest_for ~seed:2 b) ~key:"run" = None);
+  check Alcotest.bool "other key misses" true
+    (Mcsim.Result_store.find store ~manifest ~key:"sample" = None);
+  (* A file copied to another identity's address fails verification:
+     the stored identity, not the file name, is what answers. *)
+  let dg_have = Mcsim.Result_store.digest ~manifest ~key:"run" in
+  let dg_want = Mcsim.Result_store.digest ~manifest:(manifest_for ~seed:2 b) ~key:"run" in
+  let path dg = Filename.concat dir ("res-" ^ dg ^ ".json") in
+  let contents = In_channel.with_open_text (path dg_have) In_channel.input_all in
+  Out_channel.with_open_text (path dg_want) (fun oc ->
+      Out_channel.output_string oc contents);
+  check Alcotest.bool "copied entry reads as a miss" true
+    (Mcsim.Result_store.find store ~manifest:(manifest_for ~seed:2 b) ~key:"run" = None);
+  (* Corruption decodes as a miss, and the listing flags it. *)
+  Out_channel.with_open_text (path dg_have) (fun oc ->
+      Out_channel.output_string oc "{ truncated");
+  check Alcotest.bool "corrupt entry reads as a miss" true
+    (Mcsim.Result_store.find store ~manifest ~key:"run" = None);
+  let entries = Mcsim.Result_store.entries store in
+  check Alcotest.int "both files listed" 2 (List.length entries);
+  check Alcotest.bool "corruption flagged invalid" true
+    (List.exists (fun e -> not e.Mcsim.Result_store.e_valid) entries)
+
+let store_reads_checkpoint_dirs () =
+  let dir = tmp_dir "mcsim-ckpt" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let b = List.hd Spec92.all in
+  let manifest = manifest_for ~seed:1 b in
+  let ck = Mcsim.Checkpoint.open_ ~dir ~kind:"run" ~manifest () in
+  Mcsim.Checkpoint.record ck ~key:"run" [ ("answer", Json.Int 7) ];
+  (* The same identity, asked through the result store, hits the
+     checkpoint-format unit file. *)
+  let store = Mcsim.Result_store.open_ ~dir in
+  (match Mcsim.Result_store.find store ~manifest ~key:"run" with
+  | Some d -> check (Alcotest.option json) "checkpoint unit served" (Some (Json.Int 7))
+                (Json.member "answer" d)
+  | None -> Alcotest.fail "checkpoint-format unit not found");
+  (* A different identity with the same key still misses — the stored
+     manifest is verified, not the file name. *)
+  check Alcotest.bool "foreign identity misses" true
+    (Mcsim.Result_store.find store ~manifest:(manifest_for ~seed:9 b) ~key:"run" = None)
+
+let store_prune () =
+  let dir = tmp_dir "mcsim-prune" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Mcsim.Result_store.open_ ~dir in
+  List.iteri
+    (fun i b ->
+      Mcsim.Result_store.record store ~manifest:(manifest_for ~seed:i b) ~key:"run"
+        [ ("i", Json.Int i) ])
+    (List.filteri (fun i _ -> i < 4) Spec92.all);
+  check Alcotest.int "four entries" 4 (List.length (Mcsim.Result_store.entries store));
+  let removed = Mcsim.Result_store.prune_keep_latest store 2 in
+  check Alcotest.int "two removed" 2 (List.length removed);
+  check Alcotest.int "two kept" 2 (List.length (Mcsim.Result_store.entries store));
+  let removed = Mcsim.Result_store.prune_keep_latest store 0 in
+  check Alcotest.int "keep 0 empties the store" 2 (List.length removed);
+  check Alcotest.int "store empty" 0 (List.length (Mcsim.Result_store.entries store));
+  (match Mcsim.Result_store.prune_keep_latest store (-1) with
+  | _ -> Alcotest.fail "negative keep accepted"
+  | exception Invalid_argument _ -> ())
+
+(* ------------------------- batch result cache ----------------------- *)
+
+let always_fault ~job:_ ~attempt:_ = true
+
+let table2_result_cache_no_recompute () =
+  let dir = tmp_dir "mcsim-t2rs" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let benchmarks = [ List.hd Spec92.all; List.nth Spec92.all 3 ] in
+  let args = (3000, 1) in
+  let max_instrs, seed = args in
+  let fresh = Mcsim.Table2.run ~jobs:1 ~max_instrs ~seed ~benchmarks () in
+  let first =
+    Mcsim.Table2.run ~jobs:1 ~max_instrs ~seed ~benchmarks ~result_cache:dir ()
+  in
+  check (Alcotest.list Alcotest.string) "cached sweep rows equal uncached"
+    (List.map (fun r -> r.Mcsim.Table2.benchmark) fresh)
+    (List.map (fun r -> r.Mcsim.Table2.benchmark) first);
+  check Alcotest.string "first pass CSV" (Mcsim.Report.table2_csv fresh)
+    (Mcsim.Report.table2_csv first);
+  (* Second pass: every unit must come from the store. A fault injector
+     that always fires proves it — any recomputation would raise. *)
+  let second =
+    Mcsim.Table2.run ~jobs:1 ~max_instrs ~seed ~benchmarks ~result_cache:dir
+      ~inject_fault:always_fault ()
+  in
+  check Alcotest.string "second pass CSV byte-identical"
+    (Mcsim.Report.table2_csv first) (Mcsim.Report.table2_csv second);
+  (* A different seed shares nothing with the cached rows. *)
+  match
+    Mcsim.Table2.run ~jobs:1 ~max_instrs ~seed:2 ~benchmarks ~result_cache:dir
+      ~inject_fault:always_fault ()
+  with
+  | _ -> Alcotest.fail "different seed served from cache"
+  | exception _ -> ()
+
+(* ------------------------------ daemon ------------------------------ *)
+
+let free_sock () =
+  let path = Filename.temp_file "mcs" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?(jobs = 2) ?result_cache ?before_compute f =
+  let sock = free_sock () in
+  let ready = Atomic.make false in
+  let cfg =
+    { (Server.default ~socket_path:sock) with
+      jobs;
+      result_cache;
+      before_compute;
+      on_ready = Some (fun () -> Atomic.set ready true) }
+  in
+  let d = Domain.spawn (fun () -> Server.run cfg) in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Client.connect ~socket_path:sock in
+         Client.stop_server c;
+         Client.close c
+       with _ -> ());
+      Domain.join d)
+    (fun () -> f sock)
+
+let stat_counter metrics name =
+  match Option.bind (Json.path [ "data"; name ] metrics) Json.get_int with
+  | Some n -> n
+  | None -> Alcotest.fail ("stats snapshot lacks " ^ name)
+
+let served_equals_in_process () =
+  let benchmarks = [ List.hd Spec92.all; List.nth Spec92.all 3 ] in
+  let max_instrs, seed = (2500, 1) in
+  with_server @@ fun sock ->
+  let c = Client.connect ~socket_path:sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let sweep =
+    P.Table2 { benchmarks; max_instrs; seed; engine = `Wakeup; sampling = None;
+               four_way = false }
+  in
+  let sources = ref [] in
+  let on_unit ~index:_ ~total:_ ~label:_ ~source ~data:_ = sources := source :: !sources in
+  let result, served = Client.submit ~on_unit c sweep in
+  let rows =
+    match Client.rows_of_result result with
+    | Some rows -> rows
+    | None -> Alcotest.fail "malformed table2 result"
+  in
+  let direct = Mcsim.Table2.run ~jobs:1 ~max_instrs ~seed ~benchmarks () in
+  check Alcotest.string "served rows identical to in-process rows"
+    (Mcsim.Report.table2_csv direct) (Mcsim.Report.table2_csv rows);
+  check Alcotest.int "all units computed" (List.length benchmarks) served.P.s_computed;
+  check Alcotest.bool "progress streamed per unit" true
+    (List.length !sources = List.length benchmarks
+    && List.for_all (fun s -> s = "computed") !sources);
+  (* Resubmitting the identical sweep is answered without computing. *)
+  let result2, served2 = Client.submit c sweep in
+  check Alcotest.string "resubmit result byte-identical" (jstr result) (jstr result2);
+  check Alcotest.int "resubmit fully cache-served: units" (List.length benchmarks)
+    served2.P.s_cached;
+  check Alcotest.int "resubmit fully cache-served: computed" 0 served2.P.s_computed;
+  check Alcotest.int "resubmit fully cache-served: coalesced" 0 served2.P.s_coalesced;
+  (* The server's own counters agree, and ping works. *)
+  let m = Client.stats c in
+  check Alcotest.int "stats: computed" (List.length benchmarks)
+    (stat_counter m "units_computed");
+  check Alcotest.int "stats: cached" (List.length benchmarks)
+    (stat_counter m "units_cached");
+  Client.ping c
+
+let serve_run_and_sample_equal_in_process () =
+  with_server @@ fun sock ->
+  let c = Client.connect ~socket_path:sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let bench = List.hd Spec92.all in
+  let max_instrs, seed = (2500, 1) in
+  let scheduler = Pipeline.default_local in
+  (* run *)
+  let result, _ =
+    Client.submit c
+      (P.Run { bench; machine = `Dual; scheduler; max_instrs; seed; engine = `Wakeup })
+  in
+  let served_r =
+    match Option.bind (Json.member "result" result) Mcsim_obs.Metrics.result_of_json with
+    | Some r -> r
+    | None -> Alcotest.fail "malformed run result"
+  in
+  let prog = Spec92.program bench in
+  let profile = Mcsim_trace.Walker.profile ~seed prog in
+  let compiled = Pipeline.compile ~profile ~scheduler prog in
+  let trace = Mcsim_trace.Walker.trace_flat ~seed ~max_instrs compiled.Pipeline.mach in
+  let direct = Machine.run_flat (Machine.dual_cluster ()) trace in
+  check Alcotest.int "served run cycles = in-process cycles" direct.Machine.cycles
+    served_r.Machine.cycles;
+  check Alcotest.int "served trace_instrs"
+    (Mcsim_isa.Flat_trace.length trace)
+    (match Option.bind (Json.member "trace_instrs" result) Json.get_int with
+    | Some n -> n
+    | None -> -1);
+  (* sample, on a trace long enough for the policy *)
+  let policy = { Sampling.interval = 800; warmup = 80; detail = 80; seed } in
+  let result, _ =
+    Client.submit c
+      (P.Sample
+         { bench; machine = `Dual; scheduler; max_instrs; seed; engine = `Wakeup; policy })
+  in
+  let direct_s = Sampling.run_flat ~policy (Machine.dual_cluster ()) trace in
+  check (Alcotest.option json) "served sampling json = in-process"
+    (Some (Mcsim_obs.Metrics.sampling_json direct_s))
+    (Json.member "sampling" result)
+
+let concurrent_submits_coalesce () =
+  let gate = Atomic.make false in
+  let before_compute _ =
+    while not (Atomic.get gate) do
+      Unix.sleepf 0.002
+    done
+  in
+  with_server ~jobs:2 ~before_compute @@ fun sock ->
+  let sweep =
+    P.Run
+      { bench = List.hd Spec92.all; machine = `Dual; scheduler = Pipeline.default_local;
+        max_instrs = 2500; seed = 1; engine = `Wakeup }
+  in
+  let raw () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    fd
+  in
+  let a = raw () and b = raw () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set gate true;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+  @@ fun () ->
+  P.write_frame a (P.request_to_json (P.Submit { id = 1; sweep }));
+  P.write_frame b (P.request_to_json (P.Submit { id = 1; sweep }));
+  (* Wait until the server has registered both submits against the one
+     in-flight unit, then let the (gated) computation proceed. *)
+  let stats_c = Client.connect ~socket_path:sock in
+  Fun.protect ~finally:(fun () -> Client.close stats_c) @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_registered () =
+    let m = Client.stats stats_c in
+    if stat_counter m "units_requested" >= 2 && stat_counter m "in_flight" = 1 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "submits never registered"
+    else begin
+      Unix.sleepf 0.01;
+      wait_registered ()
+    end
+  in
+  wait_registered ();
+  Atomic.set gate true;
+  let read_done fd =
+    let r = P.reader () in
+    let rec loop () =
+      match P.read_frame fd r with
+      | None -> Alcotest.fail "connection closed before done"
+      | Some j -> (
+        match Option.bind (Json.member "resp" j) Json.get_string with
+        | Some "done" -> j
+        | Some "error" -> Alcotest.fail ("server error: " ^ jstr j)
+        | _ -> loop ())
+    in
+    loop ()
+  in
+  let da = read_done a and db = read_done b in
+  check json "both clients get the same result"
+    (Option.get (Json.member "result" da))
+    (Option.get (Json.member "result" db));
+  (* Exactly one computation happened; the other client coalesced. *)
+  let m = Client.stats stats_c in
+  check Alcotest.int "one unit computed" 1 (stat_counter m "units_computed");
+  check Alcotest.int "one unit coalesced" 1 (stat_counter m "units_coalesced");
+  check Alcotest.int "nothing left in flight" 0 (stat_counter m "in_flight")
+
+let disconnect_mid_sweep_leaves_server_healthy () =
+  let gate = Atomic.make false in
+  let before_compute _ =
+    while not (Atomic.get gate) do
+      Unix.sleepf 0.002
+    done
+  in
+  with_server ~jobs:2 ~before_compute @@ fun sock ->
+  let sweep =
+    P.Run
+      { bench = List.hd Spec92.all; machine = `Dual; scheduler = Pipeline.default_local;
+        max_instrs = 2500; seed = 1; engine = `Wakeup }
+  in
+  (* Submit, then vanish while the unit is still computing. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  P.write_frame fd (P.request_to_json (P.Submit { id = 1; sweep }));
+  let c = Client.connect ~socket_path:sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_inflight () =
+    let m = Client.stats c in
+    if stat_counter m "in_flight" = 1 then ()
+    else if Unix.gettimeofday () > deadline then Alcotest.fail "unit never in flight"
+    else begin
+      Unix.sleepf 0.01;
+      wait_inflight ()
+    end
+  in
+  wait_inflight ();
+  Unix.close fd;
+  Atomic.set gate true;
+  (* The server must still answer — and the orphaned computation's
+     result must have landed in the cache, so this submit needs no
+     recompute once it has finished. *)
+  Client.ping c;
+  let _, served = Client.submit c sweep in
+  check Alcotest.int "one unit served" 1 served.P.s_units;
+  (* The orphan's computation either finished (cache hit) or is still in
+     flight (coalesce) — either way this client computes nothing. *)
+  check Alcotest.int "orphaned unit was not recomputed" 0 served.P.s_computed;
+  Client.ping c
+
+let qcheck_served_equals_in_process =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:4
+       ~name:"served run matches in-process run (random bench/seed/machine)"
+       (QCheck.make
+          ~print:(fun (b, s, m) ->
+            Printf.sprintf "%s seed=%d %s" (Spec92.name b) s
+              (match m with `Single -> "single" | `Dual -> "dual"))
+          QCheck.Gen.(
+            triple (oneofl Spec92.all) (int_range 1 3) (oneofl [ `Single; `Dual ])))
+       (fun (bench, seed, machine) ->
+         let max_instrs = 2000 in
+         let scheduler = Pipeline.default_local in
+         with_server @@ fun sock ->
+         let c = Client.connect ~socket_path:sock in
+         Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+         let result, _ =
+           Client.submit c
+             (P.Run { bench; machine; scheduler; max_instrs; seed; engine = `Wakeup })
+         in
+         let served_r =
+           match
+             Option.bind (Json.member "result" result) Mcsim_obs.Metrics.result_of_json
+           with
+           | Some r -> r
+           | None -> failwith "malformed run result"
+         in
+         let prog = Spec92.program bench in
+         let profile = Mcsim_trace.Walker.profile ~seed prog in
+         let compiled = Pipeline.compile ~profile ~scheduler prog in
+         let trace =
+           Mcsim_trace.Walker.trace_flat ~seed ~max_instrs compiled.Pipeline.mach
+         in
+         let cfg =
+           match machine with
+           | `Single -> Machine.single_cluster ()
+           | `Dual -> Machine.dual_cluster ()
+         in
+         let direct = Machine.run_flat cfg trace in
+         served_r.Machine.cycles = direct.Machine.cycles
+         && served_r.Machine.retired = direct.Machine.retired))
+
+let server_refuses_second_listener () =
+  with_server @@ fun sock ->
+  match Server.run (Server.default ~socket_path:sock) with
+  | () -> Alcotest.fail "second server claimed a live socket"
+  | exception Failure e ->
+    check Alcotest.bool "refusal names the socket" true
+      (try
+         ignore (Str.search_forward (Str.regexp_string "already listening") e 0);
+         true
+       with Not_found -> false)
+
+let suite =
+  ( "serve",
+    [ case "protocol: frame round-trip, byte at a time" frame_roundtrip;
+      case "protocol: hostile frames fail one-line" frame_hostile;
+      case "protocol: sweep codec round-trip" sweep_codec_roundtrip;
+      case "protocol: sweep codec rejects junk" sweep_codec_rejects;
+      case "protocol: request codec round-trip" request_codec_roundtrip;
+      qcheck_sweep_roundtrip;
+      case "result store: hit/miss/identity verification" store_hit_miss_verify;
+      case "result store: reads checkpoint directories" store_reads_checkpoint_dirs;
+      case "result store: prune keep-latest" store_prune;
+      case "table2 --result-cache: zero recompute, identical CSV"
+        table2_result_cache_no_recompute;
+      case "daemon: served table2 ≡ in-process, resubmit fully cached"
+        served_equals_in_process;
+      case "daemon: run and sample results ≡ in-process"
+        serve_run_and_sample_equal_in_process;
+      case "daemon: concurrent identical submits coalesce to one computation"
+        concurrent_submits_coalesce;
+      case "daemon: mid-sweep disconnect leaves the server healthy"
+        disconnect_mid_sweep_leaves_server_healthy;
+      qcheck_served_equals_in_process;
+      case "daemon: live socket refused to a second server" server_refuses_second_listener ] )
