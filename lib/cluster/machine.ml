@@ -9,6 +9,7 @@ module Cache = Mcsim_cache.Cache
 module Mcfarling = Mcsim_branch.Mcfarling
 module Deque = Mcsim_util.Deque
 module Fixed_queue = Mcsim_util.Fixed_queue
+module Freelist = Mcsim_util.Freelist
 module Stats = Mcsim_util.Stats
 module Vec = Mcsim_util.Vec
 module Bucket_queue = Mcsim_util.Bucket_queue
@@ -168,8 +169,6 @@ let pp_event fmt = function
 
 type cstate = C_waiting | C_issued | C_suspended | C_squashed
 
-type dst_alloc = { d_reg : Reg.t; d_bank : Regfile.bank; d_new : int; d_prev : int }
-
 (* Local physical sources are packed into an int, [(phys lsl 1) lor bank]
    with bank 0 = integer and 1 = floating point, so a copy's source array
    carries no per-element tuple boxes. *)
@@ -180,44 +179,109 @@ let src_bank code : Regfile.bank = if code land 1 = 0 then Regfile.B_int else Re
 let src_phys code = code lsr 1
 let bank_bit (b : Regfile.bank) = match b with Regfile.B_int -> 0 | Regfile.B_fp -> 1
 
+(* An instruction may source at most two registers (Instr.make enforces
+   it), so per-copy source and operand-entry storage is a fixed two-slot
+   array owned by the pooled record. *)
+let max_srcs = 2
+
+(* validate_config caps the machine at 8 clusters: a group has at most
+   7 slave copies, so the slave array is fixed too. *)
+let max_slaves = 7
+
+(* Copies and groups live in per-state slab pools (see
+   [Freelist.Slab]): dispatch recycles a record and overwrites every
+   field instead of allocating, retire and squash return records to the
+   pool. All fields are therefore mutable; [c_slot]/[g_slot] are the
+   pool indices. The old [dst_alloc] option-of-record is flattened into
+   the (reg, bank, new, prev) fields, with [c_dst_new = -1] for "no
+   destination". *)
 type copy = {
-  c_seq : int;
-  c_cluster : int;
-  c_role : role;
-  c_op : Op_class.t;  (** architectural operation (master/single) *)
-  c_issue_class : Op_class.t;  (** issue-slot class this copy consumes *)
-  c_srcs : int array;  (** local physical sources, see {!src_code} *)
-  c_dst : dst_alloc option;
-  c_forwards : bool;
-  c_receives_result : bool;
-  c_result_forward : bool;  (** master must allocate a result entry *)
-  c_has_slave_operand : bool;  (** master waits for the slave's operand *)
-  c_num_operand_entries : int;  (** entries a forwarding slave needs *)
+  c_slot : int;
+  mutable c_seq : int;
+  mutable c_cluster : int;
+  mutable c_role : role;
+  mutable c_op : Op_class.t;  (** architectural operation (master/single) *)
+  mutable c_issue_class : Op_class.t;  (** issue-slot class this copy consumes *)
+  c_srcs : int array;  (** local physical sources, see {!src_code}; first [c_nsrcs] valid *)
+  mutable c_nsrcs : int;
+  mutable c_dst_reg : Reg.t;  (** meaningful only when [c_dst_new >= 0] *)
+  mutable c_dst_bank : Regfile.bank;
+  mutable c_dst_new : int;  (** renamed physical destination; -1 = none *)
+  mutable c_dst_prev : int;  (** previous mapping (freed at retire) *)
+  mutable c_forwards : bool;
+  mutable c_receives_result : bool;
+  mutable c_result_forward : bool;  (** master must allocate a result entry *)
+  mutable c_has_slave_operand : bool;  (** master waits for the slave's operand *)
+  mutable c_num_operand_entries : int;  (** entries a forwarding slave needs *)
   mutable c_state : cstate;
   mutable c_issue : int;
   mutable c_finish : int;
   mutable c_wait_srcs : int;
       (** wakeup engine: source events still outstanding before every
           operand of this copy is ready *)
-  mutable c_operand_entries : int list;
+  c_operand_ents : int array;  (** first [c_operand_live] valid *)
+  mutable c_operand_live : int;
   mutable c_result_entry : int;
       (** on a receiving slave: the entry (in its own cluster's result
           buffer) reserved by the master; -1 when none *)
-  c_master_cluster : int;  (** the master copy's cluster *)
-  c_group : group;
+  mutable c_master_cluster : int;  (** the master copy's cluster *)
+  mutable c_group : group;
 }
 
 and group = {
-  g_seq : int;  (** position in the current trace — all dynamic payloads
-                    (memory address, branch outcome) are read back from
-                    the flat trace at this index *)
-  g_scenario : int;
-  mutable g_master : copy option;  (** the executing copy (single or master) *)
-  mutable g_slaves : copy list;  (** one per participating other cluster *)
-  g_token : Mcfarling.token option;
-  g_mispred : bool;
-  mutable g_retired : bool;
+  g_slot : int;
+  mutable g_seq : int;
+      (** position in the current trace — all dynamic payloads (memory
+          address, branch outcome) are read back from the flat trace at
+          this index *)
+  mutable g_scenario : int;
+  mutable g_master : copy;
+      (** the executing copy (single or master); [dummy_copy] only
+          transiently inside [try_dispatch_one] *)
+  g_slaves : copy array;  (** first [g_nslaves] valid, one per participating other cluster *)
+  mutable g_nslaves : int;
+  mutable g_token : Mcfarling.token option;
+  mutable g_mispred : bool;
 }
+
+(* Shared read-only sentinels for freshly built pool records. Never
+   mutated and never simulated (dummy state is [C_squashed], which every
+   consumer filters out), so sharing them across states and domains is
+   safe. *)
+let rec dummy_group =
+  { g_slot = -1; g_seq = -1; g_scenario = 0; g_master = dummy_copy; g_slaves = [||];
+    g_nslaves = 0; g_token = None; g_mispred = false }
+
+and dummy_copy =
+  { c_slot = -1; c_seq = -1; c_cluster = 0; c_role = Single_copy;
+    c_op = Op_class.Int_other; c_issue_class = Op_class.Int_other;
+    c_srcs = [||]; c_nsrcs = 0;
+    c_dst_reg = Reg.Int_reg 0; c_dst_bank = Regfile.B_int; c_dst_new = -1; c_dst_prev = -1;
+    c_forwards = false; c_receives_result = false; c_result_forward = false;
+    c_has_slave_operand = false; c_num_operand_entries = 0;
+    c_state = C_squashed; c_issue = -1; c_finish = max_int; c_wait_srcs = 0;
+    c_operand_ents = [||]; c_operand_live = 0; c_result_entry = -1;
+    c_master_cluster = 0; c_group = dummy_group }
+
+let make_pool_copy slot =
+  { c_slot = slot; c_seq = -1; c_cluster = 0; c_role = Single_copy;
+    c_op = Op_class.Int_other; c_issue_class = Op_class.Int_other;
+    c_srcs = Array.make max_srcs 0; c_nsrcs = 0;
+    c_dst_reg = Reg.Int_reg 0; c_dst_bank = Regfile.B_int; c_dst_new = -1; c_dst_prev = -1;
+    c_forwards = false; c_receives_result = false; c_result_forward = false;
+    c_has_slave_operand = false; c_num_operand_entries = 0;
+    c_state = C_squashed; c_issue = -1; c_finish = max_int; c_wait_srcs = 0;
+    c_operand_ents = Array.make max_srcs (-1); c_operand_live = 0; c_result_entry = -1;
+    c_master_cluster = 0; c_group = dummy_group }
+
+let copy_slot (c : copy) = c.c_slot
+
+let make_pool_group slot =
+  { g_slot = slot; g_seq = -1; g_scenario = 0; g_master = dummy_copy;
+    g_slaves = Array.make max_slaves dummy_copy; g_nslaves = 0;
+    g_token = None; g_mispred = false }
+
+let group_slot (g : group) = g.g_slot
 
 type cluster_state = {
   cl_id : int;
@@ -226,6 +290,11 @@ type cluster_state = {
   dqs : copy Deque.t array;
       (** scan engine: one queue ([Unified]) or int/fp/mem ([Per_class]) *)
   dq_waiting : int array;  (** per queue: entries occupied by waiting copies *)
+  mutable cl_waiting : int;
+      (** running total of [dq_waiting] — updated at enqueue, issue and
+          squash so dispatch steering reads it in O(1) instead of
+          rescanning every queue per attempt; [occupancy_snapshot]
+          asserts agreement with the scan *)
   wait_regs : copy Vec.t array array;
       (** wakeup engine: per bank bit, per physical register, the waiting
           copies indexed under that not-yet-written source *)
@@ -329,7 +398,20 @@ type state = {
       (** wakeup engine: suspended scenario-5 slaves, keyed by the cycle
           the master's result reaches their cluster *)
   wake_scratch : copy Vec.t;  (** wake-phase staging, sorted by seq *)
-  scratch_srcs : int array;  (** dispatch-time source staging *)
+  copy_pool : copy Freelist.Slab.t;
+  group_pool : group Freelist.Slab.t;
+  limbo : copy Vec.t;
+      (** squashed copies awaiting recycling: stale references to them
+          may persist in the wheels until every pre-squash source event
+          has fired, so they re-enter the pool only once
+          [limbo_flush_at] passes (see [squash_copy]/[replay]) *)
+  mutable limbo_flush_at : int;
+  mutable src_drain : copy -> unit;  (** preallocated drain callbacks: *)
+  mutable wake_drain : copy -> unit;
+      (** [Bucket_queue.drain_upto] takes a closure; capturing [st] fresh
+          each cycle would put two minor-heap blocks back on the issue
+          and wake paths, so both callbacks are built once per state *)
+  mutable scratch_work : int;  (** per-phase examined-entry accumulator *)
   mutable cycle : int;
   mutable trace_idx : int;
   mutable fetch_resume : int;  (** first cycle fetch may proceed *)
@@ -344,10 +426,20 @@ type state = {
           everything due sits at the front *)
   mutable max_issued_seq : int;
       (** youngest instruction issued so far (issue-disorder metric) *)
-  mutable head_blocked : int * int;
-      (** (seq, consecutive cycles) the oldest in-flight instruction has
+  mutable head_blocked_seq : int;
+  mutable head_blocked_age : int;
+      (** seq and consecutive cycles the oldest in-flight instruction has
           been issue-blocked on a transfer buffer — replay trigger even
-          when younger instructions keep the machine busy *)
+          when younger instructions keep the machine busy (two plain ints
+          rather than a tuple: the tracker updates every blocked cycle) *)
+  mutable last_replay_seq : int;
+  mutable last_replay_retired : int;
+      (** victim seq and retired count at the most recent replay, to
+          detect a replay that changed nothing (same victim again with no
+          instruction retired in between) *)
+  mutable starving_seq : int;
+      (** anti-livelock freeze: while >= 0, groups younger than this seq
+          may not claim transfer-buffer entries (see [buffer_frozen]) *)
 }
 
 let rob_capacity = 16384
@@ -375,32 +467,74 @@ let prof_add st stage work =
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Returns the instruction's own [dst] option (no fresh [Some] box). *)
 let effective_dst (i : Instr.t) =
-  match i.dst with Some d when not (Reg.is_zero d) -> Some d | Some _ | None -> None
+  match i.dst with Some d when not (Reg.is_zero d) -> i.dst | Some _ | None -> None
 
-let empty_srcs : int array = [||]
-let keep_all (_ : Reg.t) = true
+let rec reg_forwarded r (regs : Reg.t list) =
+  match regs with [] -> false | r' :: rest -> Reg.equal r r' || reg_forwarded r rest
 
-(* Collect the local physical sources of [regs] (at most two) into a
-   fresh packed array via the per-state scratch buffer: hardwired zeros
-   and [keep]-rejected registers are dropped without building the
-   intermediate lists the old [nonzero_srcs]/[local_src_phys] pair did. *)
-let rec collect_srcs_loop st rf keep regs n =
+let rec reg_forwarded_by_any r (slaves : Distribution.slave list) =
+  match slaves with
+  | [] -> false
+  | sl :: rest -> reg_forwarded r sl.Distribution.s_forward_srcs || reg_forwarded_by_any r rest
+
+(* Write the local physical sources of [regs] (at most two) into the
+   pooled copy's own source array: hardwired zeros and registers
+   forwarded by one of [slaves] ([] keeps everything) are dropped. A
+   top-level recursion over the memoized plan — the old [collect_srcs]
+   built a fresh array (plus a [keep] closure on the Multi path) per
+   copy. *)
+let rec fill_srcs rf (c : copy) slaves regs n =
   match regs with
-  | [] -> n
+  | [] -> c.c_nsrcs <- n
   | r :: rest ->
-    let n =
-      if (not (Reg.is_zero r)) && keep r then begin
-        st.scratch_srcs.(n) <- src_code (Regfile.bank_of_reg r) (Regfile.lookup rf r);
-        n + 1
-      end
-      else n
-    in
-    collect_srcs_loop st rf keep rest n
+    if (not (Reg.is_zero r)) && not (reg_forwarded_by_any r slaves) then begin
+      c.c_srcs.(n) <- src_code (Regfile.bank_of_reg r) (Regfile.lookup rf r);
+      fill_srcs rf c slaves rest (n + 1)
+    end
+    else fill_srcs rf c slaves rest n
 
-let collect_srcs st rf ?(keep = keep_all) regs =
-  let n = collect_srcs_loop st rf keep regs 0 in
-  if n = 0 then empty_srcs else Array.sub st.scratch_srcs 0 n
+(* Rename the destination into the copy's (reg, bank, new, prev) fields.
+   Callers check freelist headroom first, so the packed rename cannot
+   fail here. *)
+let set_copy_dst (c : copy) rf dst =
+  match dst with
+  | None -> ()
+  | Some d ->
+    let packed = Regfile.rename_packed rf d in
+    assert (packed >= 0);
+    c.c_dst_reg <- d;
+    c.c_dst_bank <- Regfile.bank_of_reg d;
+    c.c_dst_new <- packed lsr 16;
+    c.c_dst_prev <- packed land 0xffff
+
+(* Fetch a recycled copy record and reinitialize every mutable field to
+   dispatch state; role-specific fields are overwritten by the caller
+   before the copy is enqueued. *)
+let acquire_copy st (g : group) cluster role op issue_class =
+  let c = Freelist.Slab.alloc st.copy_pool in
+  c.c_seq <- g.g_seq;
+  c.c_cluster <- cluster;
+  c.c_role <- role;
+  c.c_op <- op;
+  c.c_issue_class <- issue_class;
+  c.c_nsrcs <- 0;
+  c.c_dst_new <- -1;
+  c.c_forwards <- false;
+  c.c_receives_result <- false;
+  c.c_result_forward <- false;
+  c.c_has_slave_operand <- false;
+  c.c_num_operand_entries <- 0;
+  c.c_state <- C_waiting;
+  c.c_issue <- -1;
+  c.c_finish <- max_int;
+  c.c_wait_srcs <- 0;
+  c.c_operand_live <- 0;
+  c.c_result_entry <- -1;
+  c.c_master_cluster <- cluster;
+  c.c_group <- g;
+  c
 
 (* Scenario counter names, preallocated (indexed by Distribution.scenario,
    1-5; 0 is never produced). *)
@@ -427,7 +561,7 @@ let ready_push st (c : copy) =
    to the wheel when the producer issues and calls [set_dst_ready]). A
    copy with no outstanding sources goes straight to the ready list. *)
 let rec register_srcs st cl (c : copy) i pending =
-  if i >= Array.length c.c_srcs then pending
+  if i >= c.c_nsrcs then pending
   else begin
     let code = c.c_srcs.(i) in
     let ready = Regfile.ready_at cl.rf (src_bank code) (src_phys code) in
@@ -456,11 +590,14 @@ let enqueue_copy st cl q (c : copy) =
   | `Scan -> Deque.push_back cl.dqs.(q) c
   | `Wakeup -> register_copy st c
 
-let make_group st (f : fetched) scenario =
-  let g =
-    { g_seq = f.f_idx; g_scenario = scenario; g_master = None;
-      g_slaves = []; g_token = f.f_token; g_mispred = f.f_mispred; g_retired = false }
-  in
+let acquire_group st (f : fetched) scenario =
+  let g = Freelist.Slab.alloc st.group_pool in
+  g.g_seq <- f.f_idx;
+  g.g_scenario <- scenario;
+  g.g_master <- dummy_copy;
+  g.g_nslaves <- 0;
+  g.g_token <- f.f_token;
+  g.g_mispred <- f.f_mispred;
   Deque.push_back st.rob g;
   g
 
@@ -489,12 +626,81 @@ let plan_for st ~pc ~prefer instr =
     p
   end
 
+(* Queue and class per slave copy. A slave that forwards nothing must
+   receive the result, so [dst_bank]'s filler value (passed when the
+   instruction has no destination) is never consulted. *)
+let slave_issue_class dst_bank (sl : Distribution.slave) =
+  match sl.Distribution.s_forward_srcs with
+  | r :: _ -> bank_of_op_for_slot (Regfile.bank_of_reg r)
+  | [] -> bank_of_op_for_slot dst_bank
+
+(* The Multi-path admission checks and attribute scans below are
+   top-level recursions over the memoized plan's slave list: the old
+   [List.for_all]/[List.exists] chains captured dispatch locals in a
+   fresh closure per attempt. *)
+let rec multi_room_ok st dst_bank (slaves : Distribution.slave list) =
+  match slaves with
+  | [] -> true
+  | sl :: rest ->
+    let scl = st.clusters.(sl.Distribution.s_cluster) in
+    let sq = queue_of_class (slave_issue_class dst_bank sl) st.cfg.queue_split in
+    scl.dq_waiting.(sq) < queue_capacity st.cfg.queue_split st.cfg.dq_entries sq
+    && multi_room_ok st dst_bank rest
+
+let rec multi_phys_ok st bank (slaves : Distribution.slave list) =
+  match slaves with
+  | [] -> true
+  | sl :: rest ->
+    ((not sl.Distribution.s_receives_result)
+    || Regfile.free_count st.clusters.(sl.Distribution.s_cluster).rf bank > 0)
+    && multi_phys_ok st bank rest
+
+let rec any_slave_forwards (slaves : Distribution.slave list) =
+  match slaves with
+  | [] -> false
+  | sl :: rest -> sl.Distribution.s_forward_srcs <> [] || any_slave_forwards rest
+
+let rec any_slave_receives (slaves : Distribution.slave list) =
+  match slaves with
+  | [] -> false
+  | sl :: rest -> sl.Distribution.s_receives_result || any_slave_receives rest
+
+let rec dispatch_slaves st (g : group) (instr : Instr.t) dst dst_bank master scenario
+    (slaves : Distribution.slave list) =
+  match slaves with
+  | [] -> ()
+  | sl :: rest ->
+    let scl = st.clusters.(sl.Distribution.s_cluster) in
+    let cls = slave_issue_class dst_bank sl in
+    let sq = queue_of_class cls st.cfg.queue_split in
+    let sc = acquire_copy st g sl.Distribution.s_cluster Slave_copy instr.Instr.op cls in
+    (* Rename before collecting the forwarded sources — the historical
+       slave order (destination bound before the record's source field
+       was evaluated), which matters when the destination register is
+       itself forwarded. *)
+    if sl.Distribution.s_receives_result then set_copy_dst sc scl.rf dst;
+    fill_srcs scl.rf sc [] sl.Distribution.s_forward_srcs 0;
+    sc.c_forwards <- sl.Distribution.s_forward_srcs <> [];
+    sc.c_receives_result <- sl.Distribution.s_receives_result;
+    sc.c_num_operand_entries <- List.length sl.Distribution.s_forward_srcs;
+    sc.c_master_cluster <- master;
+    g.g_slaves.(g.g_nslaves) <- sc;
+    g.g_nslaves <- g.g_nslaves + 1;
+    enqueue_copy st scl sq sc;
+    scl.dq_waiting.(sq) <- scl.dq_waiting.(sq) + 1;
+    scl.cl_waiting <- scl.cl_waiting + 1;
+    if st.observed then
+      st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq;
+                             cluster = sl.Distribution.s_cluster; role = Slave_copy;
+                             scenario });
+    dispatch_slaves st g instr dst dst_bank master scenario rest
+
 let try_dispatch_one st (f : fetched) =
   let cfg = st.cfg in
   let instr = Flat_trace.instr st.trace f.f_idx in
   let prefer =
     if Array.length st.clusters = 1 then 0
-    else if total_waiting st.clusters.(0) <= total_waiting st.clusters.(1) then 0
+    else if st.clusters.(0).cl_waiting <= st.clusters.(1).cl_waiting then 0
     else 1
   in
   let plan = plan_for st ~pc:(Flat_trace.pc st.trace f.f_idx) ~prefer instr in
@@ -508,42 +714,30 @@ let try_dispatch_one st (f : fetched) =
     | Distribution.Single { cluster } ->
       let cl = st.clusters.(cluster) in
       let dst = effective_dst instr in
-      let need_phys = Option.is_some dst in
       let q = queue_of_class instr.Instr.op cfg.queue_split in
       if cl.dq_waiting.(q) >= queue_capacity cfg.queue_split cfg.dq_entries q then begin
         incr st.hot.k_stall_dq_full;
         false
       end
       else if
-        need_phys
-        && Regfile.free_count cl.rf (Regfile.bank_of_reg (Option.get dst)) = 0
+        match dst with
+        | Some d -> Regfile.free_count cl.rf (Regfile.bank_of_reg d) = 0
+        | None -> false
       then begin
         incr st.hot.k_stall_phys;
         false
       end
       else begin
-        let g = make_group st f scenario in
-        let srcs = collect_srcs st cl.rf instr.Instr.srcs in
-        let dst_alloc =
-          match dst with
-          | None -> None
-          | Some d -> (
-            match Regfile.rename cl.rf d with
-            | Some (n, p) ->
-              Some { d_reg = d; d_bank = Regfile.bank_of_reg d; d_new = n; d_prev = p }
-            | None -> assert false)
-        in
-        let c =
-          { c_seq = g.g_seq; c_cluster = cluster; c_role = Single_copy; c_op = instr.Instr.op;
-            c_issue_class = instr.Instr.op; c_srcs = srcs; c_dst = dst_alloc;
-            c_forwards = false; c_receives_result = false; c_result_forward = false;
-            c_has_slave_operand = false; c_num_operand_entries = 0; c_state = C_waiting;
-            c_issue = -1; c_finish = max_int; c_wait_srcs = 0; c_operand_entries = [];
-            c_result_entry = -1; c_master_cluster = cluster; c_group = g }
-        in
-        g.g_master <- Some c;
+        let g = acquire_group st f scenario in
+        let c = acquire_copy st g cluster Single_copy instr.Instr.op instr.Instr.op in
+        (* Sources look up the pre-rename map, so fill before renaming
+           (the destination may also be a source). *)
+        fill_srcs cl.rf c [] instr.Instr.srcs 0;
+        set_copy_dst c cl.rf dst;
+        g.g_master <- c;
         enqueue_copy st cl q c;
         cl.dq_waiting.(q) <- cl.dq_waiting.(q) + 1;
+        cl.cl_waiting <- cl.cl_waiting + 1;
         incr st.hot.k_single_distributed;
         incr st.hot.k_scenarios.(scenario);
         if st.observed then
@@ -554,33 +748,20 @@ let try_dispatch_one st (f : fetched) =
     | Distribution.Multi { master; slaves; master_writes_reg } ->
       let mcl = st.clusters.(master) in
       let dst = effective_dst instr in
-      let dst_bank = Option.map Regfile.bank_of_reg dst in
-      (* Queue and class per slave copy. *)
-      let slave_issue_class (sl : Distribution.slave) =
-        match sl.Distribution.s_forward_srcs with
-        | r :: _ -> bank_of_op_for_slot (Regfile.bank_of_reg r)
-        | [] -> bank_of_op_for_slot (Option.get dst_bank)
+      let dst_bank =
+        match dst with Some d -> Regfile.bank_of_reg d | None -> Regfile.B_int
       in
       let mq = queue_of_class instr.Instr.op cfg.queue_split in
       let room_ok =
         mcl.dq_waiting.(mq) < queue_capacity cfg.queue_split cfg.dq_entries mq
-        && List.for_all
-             (fun sl ->
-               let scl = st.clusters.(sl.Distribution.s_cluster) in
-               let sq = queue_of_class (slave_issue_class sl) cfg.queue_split in
-               scl.dq_waiting.(sq) < queue_capacity cfg.queue_split cfg.dq_entries sq)
-             slaves
+        && multi_room_ok st dst_bank slaves
       in
       let phys_ok =
-        (match dst_bank with
+        match dst with
         | None -> true
-        | Some bank ->
-          ((not master_writes_reg) || Regfile.free_count mcl.rf bank > 0)
-          && List.for_all
-               (fun sl ->
-                 (not sl.Distribution.s_receives_result)
-                 || Regfile.free_count st.clusters.(sl.Distribution.s_cluster).rf bank > 0)
-               slaves)
+        | Some _ ->
+          ((not master_writes_reg) || Regfile.free_count mcl.rf dst_bank > 0)
+          && multi_phys_ok st dst_bank slaves
       in
       if not room_ok then begin
         incr st.hot.k_stall_dq_full;
@@ -591,68 +772,20 @@ let try_dispatch_one st (f : fetched) =
         false
       end
       else begin
-        let g = make_group st f scenario in
-        let alloc cl writes =
-          if not writes then None
-          else
-            let d = Option.get dst in
-            match Regfile.rename cl.rf d with
-            | Some (n, p) ->
-              Some { d_reg = d; d_bank = Regfile.bank_of_reg d; d_new = n; d_prev = p }
-            | None -> assert false
-        in
-        let is_forwarded r =
-          List.exists
-            (fun sl -> List.exists (Reg.equal r) sl.Distribution.s_forward_srcs)
-            slaves
-        in
-        let master_srcs =
-          collect_srcs st mcl.rf ~keep:(fun r -> not (is_forwarded r)) instr.Instr.srcs
-        in
-        let has_forward = List.exists (fun sl -> sl.Distribution.s_forward_srcs <> []) slaves in
-        let result_forward = List.exists (fun sl -> sl.Distribution.s_receives_result) slaves in
-        let master_dst = alloc mcl master_writes_reg in
-        let mc =
-          { c_seq = g.g_seq; c_cluster = master; c_role = Master_copy; c_op = instr.Instr.op;
-            c_issue_class = instr.Instr.op; c_srcs = master_srcs; c_dst = master_dst;
-            c_forwards = false; c_receives_result = false; c_result_forward = result_forward;
-            c_has_slave_operand = has_forward; c_num_operand_entries = 0; c_state = C_waiting;
-            c_issue = -1; c_finish = max_int; c_wait_srcs = 0; c_operand_entries = [];
-            c_result_entry = -1; c_master_cluster = master; c_group = g }
-        in
-        g.g_master <- Some mc;
+        let g = acquire_group st f scenario in
+        let mc = acquire_copy st g master Master_copy instr.Instr.op instr.Instr.op in
+        fill_srcs mcl.rf mc slaves instr.Instr.srcs 0;
+        if master_writes_reg then set_copy_dst mc mcl.rf dst;
+        mc.c_has_slave_operand <- any_slave_forwards slaves;
+        mc.c_result_forward <- any_slave_receives slaves;
+        g.g_master <- mc;
         enqueue_copy st mcl mq mc;
         mcl.dq_waiting.(mq) <- mcl.dq_waiting.(mq) + 1;
+        mcl.cl_waiting <- mcl.cl_waiting + 1;
         if st.observed then
           st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq; cluster = master;
                                  role = Master_copy; scenario });
-        let make_slave (sl : Distribution.slave) =
-          let scl = st.clusters.(sl.Distribution.s_cluster) in
-          let slave_dst = alloc scl sl.Distribution.s_receives_result in
-          let cls = slave_issue_class sl in
-          let sq = queue_of_class cls cfg.queue_split in
-          let sc =
-            { c_seq = g.g_seq; c_cluster = sl.Distribution.s_cluster; c_role = Slave_copy;
-              c_op = instr.Instr.op; c_issue_class = cls;
-              c_srcs = collect_srcs st scl.rf sl.Distribution.s_forward_srcs;
-              c_dst = slave_dst;
-              c_forwards = sl.Distribution.s_forward_srcs <> [];
-              c_receives_result = sl.Distribution.s_receives_result;
-              c_result_forward = false; c_has_slave_operand = false;
-              c_num_operand_entries = List.length sl.Distribution.s_forward_srcs;
-              c_state = C_waiting; c_issue = -1; c_finish = max_int; c_wait_srcs = 0;
-              c_operand_entries = []; c_result_entry = -1; c_master_cluster = master;
-              c_group = g }
-          in
-          enqueue_copy st scl sq sc;
-          scl.dq_waiting.(sq) <- scl.dq_waiting.(sq) + 1;
-          if st.observed then
-            st.emit (Ev_dispatch { cycle = st.cycle; seq = g.g_seq;
-                                   cluster = sl.Distribution.s_cluster; role = Slave_copy;
-                                   scenario });
-          sc
-        in
-        g.g_slaves <- List.map make_slave slaves;
+        dispatch_slaves st g instr dst dst_bank master scenario slaves;
         incr st.hot.k_dual_distributed;
         incr st.hot.k_scenarios.(scenario);
         true
@@ -691,28 +824,49 @@ let rec srcs_ready_from st cl (c : copy) i n =
   && srcs_ready_from st cl c (i + 1) n
 
 let srcs_ready st (c : copy) =
-  srcs_ready_from st st.clusters.(c.c_cluster) c 0 (Array.length c.c_srcs)
+  srcs_ready_from st st.clusters.(c.c_cluster) c 0 c.c_nsrcs
 
-let rec slaves_can_feed st = function
-  | [] -> true
-  | s :: rest ->
-    ((not s.c_forwards) || (s.c_state <> C_waiting && st.cycle >= s.c_issue + 1))
-    && slaves_can_feed st rest
+let rec slaves_can_feed st (g : group) i =
+  i >= g.g_nslaves
+  ||
+  let s = g.g_slaves.(i) in
+  ((not s.c_forwards) || (s.c_state <> C_waiting && st.cycle >= s.c_issue + 1))
+  && slaves_can_feed st g (i + 1)
 
-let rec result_slots_free st = function
-  | [] -> true
-  | s :: rest ->
-    ((not s.c_receives_result)
-    || Transfer_buffer.can_alloc st.clusters.(s.c_cluster).result_buf ~cycle:st.cycle)
-    && result_slots_free st rest
+let rec result_slots_free st (g : group) i =
+  i >= g.g_nslaves
+  ||
+  let s = g.g_slaves.(i) in
+  ((not s.c_receives_result)
+  || Transfer_buffer.can_alloc st.clusters.(s.c_cluster).result_buf ~cycle:st.cycle)
+  && result_slots_free st g (i + 1)
+
+(* Anti-livelock freeze: a head-starvation replay recovers from a
+   transfer-buffer deadlock by squashing and re-executing, but the replay
+   is deterministic — if the head instruction starves again, re-execution
+   would recreate the identical wedge forever (younger slaves refill the
+   buffer before the head's slave reaches it, e.g. from a
+   scanned-earlier per-class queue). Once the same head starves through a
+   replay, groups younger than it are barred from claiming new
+   transfer-buffer entries until it drains. *)
+let buffer_frozen st (c : copy) =
+  st.starving_seq >= 0
+  && c.c_group.g_seq > st.starving_seq
+  &&
+  match c.c_role with
+  | Slave_copy -> c.c_forwards
+  | Master_copy -> c.c_result_forward
+  | Single_copy -> false
 
 (* Readiness beyond source operands and issue slots. *)
 let structurally_ready st (c : copy) =
+  (not (buffer_frozen st c))
+  &&
   match c.c_role with
   | Single_copy -> true
   | Master_copy ->
-    ((not c.c_has_slave_operand) || slaves_can_feed st c.c_group.g_slaves)
-    && ((not c.c_result_forward) || result_slots_free st c.c_group.g_slaves)
+    ((not c.c_has_slave_operand) || slaves_can_feed st c.c_group 0)
+    && ((not c.c_result_forward) || result_slots_free st c.c_group 0)
   | Slave_copy ->
     if c.c_forwards then
       let master_cl = st.clusters.(c.c_master_cluster) in
@@ -720,11 +874,8 @@ let structurally_ready st (c : copy) =
       >= c.c_num_operand_entries
     else begin
       (* Pure result-receiving slave: wait for the master's result. *)
-      match c.c_group.g_master with
-      | Some m ->
-        m.c_state = C_issued
-        && st.cycle >= max (m.c_issue + 1) (m.c_finish - 1)
-      | None -> assert false
+      let m = c.c_group.g_master in
+      m.c_state = C_issued && st.cycle >= max (m.c_issue + 1) (m.c_finish - 1)
     end
 
 let finish_of_issue st (c : copy) =
@@ -742,11 +893,9 @@ let finish_of_issue st (c : copy) =
   | Op_class.Control -> issue + Op_class.latency c.c_op
 
 let set_dst_ready st (c : copy) cycle =
-  match c.c_dst with
-  | None -> ()
-  | Some d ->
+  if c.c_dst_new >= 0 then begin
     let cl = st.clusters.(c.c_cluster) in
-    Regfile.set_ready cl.rf d.d_bank d.d_new cycle;
+    Regfile.set_ready cl.rf c.c_dst_bank c.c_dst_new cycle;
     match st.engine with
     | `Scan -> ()
     | `Wakeup ->
@@ -754,7 +903,7 @@ let set_dst_ready st (c : copy) cycle =
          at its ready cycle. Stale (squashed) waiters are dropped here;
          live waiters of a squashed producer cannot exist, because a
          squash always covers all younger instructions. *)
-      let wv = cl.wait_regs.(bank_bit d.d_bank).(d.d_new) in
+      let wv = cl.wait_regs.(bank_bit c.c_dst_bank).(c.c_dst_new) in
       let nw = Vec.length wv in
       if nw > 0 then begin
         for i = 0 to nw - 1 do
@@ -763,8 +912,48 @@ let set_dst_ready st (c : copy) cycle =
         done;
         Vec.clear wv
       end
+  end
 
 let note_finish st f = if f < max_int && f > st.max_finish then st.max_finish <- f
+
+(* Consume the forwarded operands: free every slave's operand entries
+   (they live in [cl], the master's cluster's, buffer). Entries are
+   released newest-first, matching the order of the historical
+   prepend-built entry list. *)
+let rec consume_slave_operands st cl (g : group) i =
+  if i < g.g_nslaves then begin
+    let s = g.g_slaves.(i) in
+    (if s.c_operand_live > 0 then begin
+       for j = s.c_operand_live - 1 downto 0 do
+         Transfer_buffer.free cl.operand_buf ~cycle:st.cycle s.c_operand_ents.(j)
+       done;
+       s.c_operand_live <- 0
+     end);
+    consume_slave_operands st cl g (i + 1)
+  end
+
+(* Reserve a result-transfer entry in every receiving slave's cluster. *)
+let rec forward_results st (c : copy) (g : group) i =
+  if i < g.g_nslaves then begin
+    let s = g.g_slaves.(i) in
+    (if s.c_receives_result then begin
+       let other = st.clusters.(s.c_cluster) in
+       s.c_result_entry <- Transfer_buffer.alloc other.result_buf ~cycle:st.cycle;
+       if st.observed then
+         st.emit
+           (Ev_result_forward
+              { cycle = c.c_finish; seq = c.c_seq; from_cluster = c.c_cluster;
+                to_cluster = s.c_cluster });
+       (* A suspended scenario-5 slave wakes when the result reaches its
+          cluster: schedule it on the wake wheel now that the wake cycle
+          is known. *)
+       match st.engine with
+       | `Wakeup when s.c_state = C_suspended ->
+         Bucket_queue.add st.wake_wheel ~key:(max (st.cycle + 1) (c.c_finish - 1)) s
+       | `Wakeup | `Scan -> ()
+     end);
+    forward_results st c g (i + 1)
+  end
 
 let issue_executing_copy st (c : copy) =
   (* Single copy or master copy: runs the real operation. *)
@@ -781,35 +970,8 @@ let issue_executing_copy st (c : copy) =
     st.emit
       (Ev_writeback { cycle = c.c_finish; seq = c.c_seq; cluster = c.c_cluster; role = c.c_role })
   end;
-  (* Consume the forwarded operands: free every slave's operand entries
-     (they live in this, the master's, cluster's buffer). *)
-  (if c.c_has_slave_operand then
-     List.iter
-       (fun s ->
-         List.iter (Transfer_buffer.free cl.operand_buf ~cycle:st.cycle) s.c_operand_entries;
-         s.c_operand_entries <- [])
-       c.c_group.g_slaves);
-  (* Reserve a result-transfer entry in every receiving slave's cluster. *)
-  (if c.c_result_forward then
-     List.iter
-       (fun s ->
-         if s.c_receives_result then begin
-           let other = st.clusters.(s.c_cluster) in
-           s.c_result_entry <- Transfer_buffer.alloc other.result_buf ~cycle:st.cycle;
-           if st.observed then
-             st.emit
-               (Ev_result_forward
-                  { cycle = c.c_finish; seq = c.c_seq; from_cluster = c.c_cluster;
-                    to_cluster = s.c_cluster });
-           (* A suspended scenario-5 slave wakes when the result reaches
-              its cluster: schedule it on the wake wheel now that the
-              wake cycle is known. *)
-           match st.engine with
-           | `Wakeup when s.c_state = C_suspended ->
-             Bucket_queue.add st.wake_wheel ~key:(max (st.cycle + 1) (c.c_finish - 1)) s
-           | `Wakeup | `Scan -> ()
-         end)
-       c.c_group.g_slaves);
+  if c.c_has_slave_operand then consume_slave_operands st cl c.c_group 0;
+  if c.c_result_forward then forward_results st c c.c_group 0;
   (* Branch bookkeeping: redirect and deferred predictor training. *)
   match c.c_op with
   | Op_class.Control ->
@@ -836,13 +998,16 @@ let issue_slave_copy st (c : copy) =
       (Ev_issue { cycle = st.cycle; seq = c.c_seq; cluster = c.c_cluster; role = Slave_copy });
   incr st.hot.k_slave_issues;
   if c.c_forwards then begin
-    (* Write the operand(s) into the master cluster's operand buffer. *)
+    (* Write the operand(s) into the master cluster's operand buffer. The
+       historical prepend-built list held the entries newest-first; the
+       scratch array keeps allocation order, so index [n-1] is the newest
+       and frees walk the array backwards. *)
     let master_cl = st.clusters.(c.c_master_cluster) in
-    let entries = ref [] in
-    for _ = 1 to c.c_num_operand_entries do
-      entries := Transfer_buffer.alloc master_cl.operand_buf ~cycle:st.cycle :: !entries
+    let n = c.c_num_operand_entries in
+    for k = 0 to n - 1 do
+      c.c_operand_ents.(k) <- Transfer_buffer.alloc master_cl.operand_buf ~cycle:st.cycle
     done;
-    c.c_operand_entries <- !entries;
+    c.c_operand_live <- n;
     if st.observed then
       st.emit
         (Ev_operand_forward
@@ -894,47 +1059,68 @@ let try_issue st cl qi (c : copy) =
     end
     else st.max_issued_seq <- c.c_seq;
     cl.dq_waiting.(qi) <- cl.dq_waiting.(qi) - 1;
+    cl.cl_waiting <- cl.cl_waiting - 1;
     true
   end
   else false
 
+(* The per-cycle issue walk must not build closures or refs (OCaml
+   without flambda heap-allocates both), so the loops below are top-level
+   recursions threading accumulators as arguments; [st.scratch_work]
+   accumulates the examined-entries profile count for the cycle. The
+   issued and clusters-active totals travel packed into one immediate int
+   ([issued lsl 4 lor active]; validate_config caps clusters at 8). *)
+
+(* Compact one dispatch queue: drop copies that left it. *)
+let rec compact_dq dq n =
+  if n > 0 then begin
+    (match Deque.pop_front dq with
+    | Some c -> if c.c_state = C_waiting then Deque.push_back dq c
+    | None -> assert false);
+    compact_dq dq (n - 1)
+  end
+
+(* Greedy oldest-first scan under the shared per-cycle budget. *)
+let rec scan_dq st cl qi dq i n issued =
+  if i >= n || Fu.issued_this_cycle cl.fu >= st.cfg.issue_limits.Issue_rules.total then
+    issued
+  else begin
+    st.scratch_work <- st.scratch_work + 1;
+    let issued = if try_issue st cl qi (Deque.get dq i) then issued + 1 else issued in
+    scan_dq st cl qi dq (i + 1) n issued
+  end
+
+let rec scan_cluster_queues st cl qi issued =
+  if qi >= Array.length cl.dqs then issued
+  else begin
+    let dq = cl.dqs.(qi) in
+    let n = Deque.length dq in
+    st.scratch_work <- st.scratch_work + n;
+    compact_dq dq n;
+    let issued = scan_dq st cl qi dq 0 (Deque.length dq) issued in
+    scan_cluster_queues st cl (qi + 1) issued
+  end
+
+let rec issue_scan_clusters st ci issued active =
+  if ci >= Array.length st.clusters then (issued lsl 4) lor active
+  else begin
+    let cl = st.clusters.(ci) in
+    let before = Fu.total_issued cl.fu in
+    Fu.new_cycle cl.fu;
+    let issued = scan_cluster_queues st cl 0 issued in
+    let active = if Fu.total_issued cl.fu > before then active + 1 else active in
+    issue_scan_clusters st (ci + 1) issued active
+  end
+
 (* Reference engine: rescan every dispatch-queue entry every cycle. *)
 let issue_phase_scan st =
-  let issued = ref 0 in
-  let clusters_active = ref 0 in
-  let examined = ref 0 in
-  Array.iter
-    (fun cl ->
-      let before = Fu.total_issued cl.fu in
-      Fu.new_cycle cl.fu;
-      Array.iteri
-        (fun qi dq ->
-          (* Compact: drop copies that left the queue. *)
-          let n = Deque.length dq in
-          examined := !examined + n;
-          for _ = 1 to n do
-            match Deque.pop_front dq with
-            | Some c ->
-              if c.c_state = C_waiting then Deque.push_back dq c
-            | None -> assert false
-          done;
-          (* Greedy oldest-first scan under the shared per-cycle budget. *)
-          let scan = Deque.length dq in
-          try
-            for i = 0 to scan - 1 do
-              if Fu.issued_this_cycle cl.fu >= st.cfg.issue_limits.Issue_rules.total then
-                raise Exit;
-              incr examined;
-              if try_issue st cl qi (Deque.get dq i) then incr issued
-            done
-          with Exit -> ())
-        cl.dqs;
-      if Fu.total_issued cl.fu > before then incr clusters_active)
-    st.clusters;
-  prof_add st stage_issue !examined;
-  if !issued > 0 then incr st.hot.k_issue_active;
-  if !clusters_active >= 2 then incr st.hot.k_both_active;
-  !issued
+  st.scratch_work <- 0;
+  let packed = issue_scan_clusters st 0 0 0 in
+  let issued = packed lsr 4 in
+  prof_add st stage_issue st.scratch_work;
+  if issued > 0 then incr st.hot.k_issue_active;
+  if packed land 0xf >= 2 then incr st.hot.k_both_active;
+  issued
 
 (* Dependence-driven engine: only copies whose sources are all ready sit
    on the per-queue ready lists; the scan below touches just those (the
@@ -942,46 +1128,61 @@ let issue_phase_scan st =
    not the whole queue. Issue order — and therefore every downstream
    statistic — is identical to the scan engine because the lists are kept
    in seq order and the same budget and readiness checks apply. *)
+let copy_is_waiting c = c.c_state = C_waiting
+
+(* A source event due this cycle makes its copy ready; installed once as
+   [st.src_drain] so the per-cycle drain passes a preallocated callback. *)
+let src_wakeup st c =
+  if c.c_state = C_waiting then begin
+    c.c_wait_srcs <- c.c_wait_srcs - 1;
+    if c.c_wait_srcs = 0 then ready_push st c
+  end
+
+let rec issue_ready_q st cl qi rq i n issued =
+  if i >= n || Fu.issued_this_cycle cl.fu >= st.cfg.issue_limits.Issue_rules.total then
+    issued
+  else begin
+    st.scratch_work <- st.scratch_work + 1;
+    let issued = if try_issue st cl qi (Vec.get rq i) then issued + 1 else issued in
+    issue_ready_q st cl qi rq (i + 1) n issued
+  end
+
+let rec issue_wakeup_queues st cl qi issued =
+  if qi >= Array.length cl.ready_qs then issued
+  else begin
+    let rq = cl.ready_qs.(qi) in
+    (* Drop copies that issued or were squashed, then restore seq order
+       if out-of-order wakeups appended behind younger copies. *)
+    st.scratch_work <- st.scratch_work + Vec.length rq;
+    Vec.filter_in_place copy_is_waiting rq;
+    if cl.ready_dirty.(qi) then begin
+      Vec.sort ~cmp:by_seq rq;
+      cl.ready_dirty.(qi) <- false
+    end;
+    let issued = issue_ready_q st cl qi rq 0 (Vec.length rq) issued in
+    issue_wakeup_queues st cl (qi + 1) issued
+  end
+
+let rec issue_wakeup_clusters st ci issued active =
+  if ci >= Array.length st.clusters then (issued lsl 4) lor active
+  else begin
+    let cl = st.clusters.(ci) in
+    let before = Fu.total_issued cl.fu in
+    Fu.new_cycle cl.fu;
+    let issued = issue_wakeup_queues st cl 0 issued in
+    let active = if Fu.total_issued cl.fu > before then active + 1 else active in
+    issue_wakeup_clusters st (ci + 1) issued active
+  end
+
 let issue_phase_wakeup st =
-  (* Source events due this cycle make their copies ready. *)
-  Bucket_queue.drain_upto st.src_wheel ~key:st.cycle (fun c ->
-      if c.c_state = C_waiting then begin
-        c.c_wait_srcs <- c.c_wait_srcs - 1;
-        if c.c_wait_srcs = 0 then ready_push st c
-      end);
-  let issued = ref 0 in
-  let clusters_active = ref 0 in
-  let examined = ref 0 in
-  Array.iter
-    (fun cl ->
-      let before = Fu.total_issued cl.fu in
-      Fu.new_cycle cl.fu;
-      Array.iteri
-        (fun qi rq ->
-          (* Drop copies that issued or were squashed, then restore seq
-             order if out-of-order wakeups appended behind younger
-             copies. *)
-          examined := !examined + Vec.length rq;
-          Vec.filter_in_place (fun c -> c.c_state = C_waiting) rq;
-          if cl.ready_dirty.(qi) then begin
-            Vec.sort ~cmp:by_seq rq;
-            cl.ready_dirty.(qi) <- false
-          end;
-          try
-            for i = 0 to Vec.length rq - 1 do
-              if Fu.issued_this_cycle cl.fu >= st.cfg.issue_limits.Issue_rules.total then
-                raise Exit;
-              incr examined;
-              if try_issue st cl qi (Vec.get rq i) then incr issued
-            done
-          with Exit -> ())
-        cl.ready_qs;
-      if Fu.total_issued cl.fu > before then incr clusters_active)
-    st.clusters;
-  prof_add st stage_issue !examined;
-  if !issued > 0 then incr st.hot.k_issue_active;
-  if !clusters_active >= 2 then incr st.hot.k_both_active;
-  !issued
+  st.scratch_work <- 0;
+  Bucket_queue.drain_upto st.src_wheel ~key:st.cycle st.src_drain;
+  let packed = issue_wakeup_clusters st 0 0 0 in
+  let issued = packed lsr 4 in
+  prof_add st stage_issue st.scratch_work;
+  if issued > 0 then incr st.hot.k_issue_active;
+  if packed land 0xf >= 2 then incr st.hot.k_both_active;
+  issued
 
 let issue_phase st =
   match st.engine with `Scan -> issue_phase_scan st | `Wakeup -> issue_phase_wakeup st
@@ -1009,42 +1210,45 @@ let wake_phase_scan st =
   Deque.iter
     (fun g ->
       incr seen;
-      List.iter
-        (fun s ->
-          incr seen;
-          if s.c_state = C_suspended then
-            match g.g_master with
-            | Some m when m.c_state = C_issued ->
-              let wake_at = max (m.c_issue + 1) (m.c_finish - 1) in
-              if st.cycle >= wake_at && s.c_result_entry >= 0 then begin
-                wake_slave st s;
-                incr woke
-              end
-            | Some _ | None -> ())
-        g.g_slaves)
+      let m = g.g_master in
+      for i = 0 to g.g_nslaves - 1 do
+        let s = g.g_slaves.(i) in
+        incr seen;
+        if s.c_state = C_suspended && m.c_state = C_issued then begin
+          let wake_at = max (m.c_issue + 1) (m.c_finish - 1) in
+          if st.cycle >= wake_at && s.c_result_entry >= 0 then begin
+            wake_slave st s;
+            incr woke
+          end
+        end
+      done)
     st.rob;
   prof_add st stage_wake !seen;
   !woke
+
+(* Drain callback for the wake wheel, installed once as [st.wake_drain]. *)
+let wake_collect st s =
+  st.scratch_work <- st.scratch_work + 1;
+  if s.c_state = C_suspended && s.c_result_entry >= 0 then Vec.push st.wake_scratch s
+
+let rec wake_scratch_from st i =
+  if i < Vec.length st.wake_scratch then begin
+    wake_slave st (Vec.get st.wake_scratch i);
+    wake_scratch_from st (i + 1)
+  end
 
 (* Event-driven engine: slaves were scheduled on the wake wheel at master
    issue (the wake cycle is known then); drain the due bucket and wake in
    seq order, matching the scan engine's ROB-order walk. Squashed slaves
    are filtered by state. *)
 let wake_phase_wakeup st =
-  let woke = ref 0 in
-  let seen = ref 0 in
+  st.scratch_work <- 0;
   Vec.clear st.wake_scratch;
-  Bucket_queue.drain_upto st.wake_wheel ~key:st.cycle (fun s ->
-      incr seen;
-      if s.c_state = C_suspended && s.c_result_entry >= 0 then Vec.push st.wake_scratch s);
+  Bucket_queue.drain_upto st.wake_wheel ~key:st.cycle st.wake_drain;
   if Vec.length st.wake_scratch > 1 then Vec.sort ~cmp:by_seq st.wake_scratch;
-  Vec.iter
-    (fun s ->
-      wake_slave st s;
-      incr woke)
-    st.wake_scratch;
-  prof_add st stage_wake !seen;
-  !woke
+  wake_scratch_from st 0;
+  prof_add st stage_wake st.scratch_work;
+  Vec.length st.wake_scratch
 
 let wake_phase st =
   match st.engine with `Scan -> wake_phase_scan st | `Wakeup -> wake_phase_wakeup st
@@ -1055,14 +1259,34 @@ let wake_phase st =
 
 let copy_done st c = c.c_state = C_issued && c.c_finish <= st.cycle
 
+let rec slaves_done st g i =
+  i >= g.g_nslaves || (copy_done st g.g_slaves.(i) && slaves_done st g (i + 1))
+
 let group_done st g =
-  (match g.g_master with Some m -> copy_done st m | None -> false)
-  && List.for_all (copy_done st) g.g_slaves
+  g.g_master != dummy_copy && copy_done st g.g_master && slaves_done st g 0
 
 let retire_copy st (c : copy) =
-  match c.c_dst with
-  | Some d -> Regfile.release st.clusters.(c.c_cluster).rf d.d_bank d.d_prev
-  | None -> ()
+  if c.c_dst_new >= 0 then
+    Regfile.release st.clusters.(c.c_cluster).rf c.c_dst_bank c.c_dst_prev
+
+(* Retiring a group hands its records back to the pools. This is safe
+   mid-flight: the issue phase compacts the dispatch/ready queues (on
+   [c_state]) before the next dispatch can recycle a record, the wheels
+   were drained for every cycle up to the finish times already reached,
+   and wait lists are cleared when the producer issues — so no stale
+   reference to a retired record is ever dereferenced. *)
+let retire_group st g =
+  retire_copy st g.g_master;
+  Freelist.Slab.free st.copy_pool g.g_master;
+  for i = 0 to g.g_nslaves - 1 do
+    let s = g.g_slaves.(i) in
+    retire_copy st s;
+    Freelist.Slab.free st.copy_pool s;
+    g.g_slaves.(i) <- dummy_copy
+  done;
+  g.g_master <- dummy_copy;
+  g.g_nslaves <- 0;
+  Freelist.Slab.free st.group_pool g
 
 let retire_phase st =
   let n = ref 0 in
@@ -1071,11 +1295,10 @@ let retire_phase st =
     match Deque.peek_front st.rob with
     | Some g when group_done st g ->
       ignore (Deque.pop_front st.rob);
-      Option.iter (retire_copy st) g.g_master;
-      List.iter (retire_copy st) g.g_slaves;
-      g.g_retired <- true;
       incr st.hot.k_retired;
       if st.observed then st.emit (Ev_retire { cycle = st.cycle; seq = g.g_seq });
+      if g.g_seq = st.starving_seq then st.starving_seq <- -1;
+      retire_group st g;
       incr n
     | Some _ | None -> continue_ := false
   done;
@@ -1154,60 +1377,69 @@ let blocked_on_buffer st (c : copy) =
   match c.c_role with
   | Single_copy -> false
   | Master_copy ->
-    let slaves_ok =
-      (not c.c_has_slave_operand)
-      || List.for_all
-           (fun s ->
-             (not s.c_forwards) || (s.c_state <> C_waiting && st.cycle >= s.c_issue + 1))
-           c.c_group.g_slaves
-    in
-    slaves_ok && c.c_result_forward
-    && not
-         (List.for_all
-            (fun s ->
-              (not s.c_receives_result)
-              || Transfer_buffer.can_alloc st.clusters.(s.c_cluster).result_buf
-                   ~cycle:st.cycle)
-            c.c_group.g_slaves)
+    ((not c.c_has_slave_operand) || slaves_can_feed st c.c_group 0)
+    && c.c_result_forward
+    && not (result_slots_free st c.c_group 0)
   | Slave_copy ->
     c.c_forwards
     && Transfer_buffer.available st.clusters.(c.c_master_cluster).operand_buf ~cycle:st.cycle
        < c.c_num_operand_entries
 
+let rec find_blocked_slave st (g : group) i =
+  i < g.g_nslaves && (blocked_on_buffer st g.g_slaves.(i) || find_blocked_slave st g (i + 1))
+
+let group_blocked_on_buffer st g =
+  (g.g_master != dummy_copy && blocked_on_buffer st g.g_master)
+  || find_blocked_slave st g 0
+
+let rec find_victim_from st n i =
+  if i >= n then None
+  else
+    match Deque.get st.rob i with
+    | g when group_blocked_on_buffer st g -> Some g
+    | _ -> find_victim_from st n (i + 1)
+
 let find_replay_victim st =
-  let victim = ref None in
-  (try
-     Deque.iter
-       (fun g ->
-         let check c = if blocked_on_buffer st c then begin victim := Some g; raise Exit end in
-         Option.iter check g.g_master;
-         List.iter check g.g_slaves)
-       st.rob
-   with Exit -> ());
-  match !victim with
-  | Some g -> Some g
+  match find_victim_from st (Deque.length st.rob) 0 with
+  | Some _ as v -> v
   | None -> (
     (* Fall back to the oldest group that is not finished. *)
     match Deque.peek_front st.rob with Some g when not (group_done st g) -> Some g | _ -> None)
+
+(* Remove a squashed waiter from the wait lists of its source registers.
+   Required once records are pooled: the producer was squashed with it and
+   will never issue, so nothing else would ever clear the reference, and a
+   recycled record must not be reachable from a stale list. (Rare path —
+   the closure below is the only allocation on a squash.) *)
+let purge_wait_regs st (c : copy) =
+  let cl = st.clusters.(c.c_cluster) in
+  for i = 0 to c.c_nsrcs - 1 do
+    let code = c.c_srcs.(i) in
+    let wv = cl.wait_regs.(code land 1).(code lsr 1) in
+    if Vec.length wv > 0 then Vec.filter_in_place (fun w -> w != c) wv
+  done
 
 let squash_copy st (c : copy) =
   (* Return transfer-buffer entries: forwarded operands live in the master
      cluster's operand buffer; a reserved result entry lives in this
      (receiving slave's) cluster's result buffer. *)
-  (if c.c_operand_entries <> [] then
+  (if c.c_operand_live > 0 then begin
      let master_cl = st.clusters.(c.c_master_cluster) in
-     List.iter (Transfer_buffer.free master_cl.operand_buf ~cycle:st.cycle) c.c_operand_entries;
-     c.c_operand_entries <- []);
+     for j = c.c_operand_live - 1 downto 0 do
+       Transfer_buffer.free master_cl.operand_buf ~cycle:st.cycle c.c_operand_ents.(j)
+     done;
+     c.c_operand_live <- 0
+   end);
   if c.c_result_entry >= 0 then begin
     Transfer_buffer.free st.clusters.(c.c_cluster).result_buf ~cycle:st.cycle c.c_result_entry;
     c.c_result_entry <- -1
   end;
   (* Undo renaming (reverse dispatch order is guaranteed by the caller). *)
-  (match c.c_dst with
-  | Some d ->
-    Regfile.undo_rename st.clusters.(c.c_cluster).rf d.d_reg ~new_phys:d.d_new
-      ~prev_phys:d.d_prev
-  | None -> ());
+  if c.c_dst_new >= 0 then begin
+    Regfile.undo_rename st.clusters.(c.c_cluster).rf c.c_dst_reg ~new_phys:c.c_dst_new
+      ~prev_phys:c.c_dst_prev;
+    c.c_dst_new <- -1
+  end;
   (match c.c_op with
   | Op_class.Fp_divide _ when c.c_state = C_issued && c.c_finish > st.cycle ->
     Fu.clear_divider st.clusters.(c.c_cluster).fu
@@ -1215,13 +1447,27 @@ let squash_copy st (c : copy) =
   if c.c_state = C_waiting then begin
     let cl = st.clusters.(c.c_cluster) in
     let q = queue_of_class c.c_issue_class st.cfg.queue_split in
-    cl.dq_waiting.(q) <- cl.dq_waiting.(q) - 1
+    cl.dq_waiting.(q) <- cl.dq_waiting.(q) - 1;
+    cl.cl_waiting <- cl.cl_waiting - 1;
+    match st.engine with
+    | `Wakeup when c.c_wait_srcs > 0 -> purge_wait_regs st c
+    | `Wakeup | `Scan -> ()
   end;
-  (* Wakeup engine: squashed copies may linger in wait lists, ready
-     lists, and wheels; every consumer of those structures filters on
-     [c_state], so flipping the state is the whole cleanup. *)
+  (* Squashed copies may still be referenced from dispatch/ready queues
+     and the wheels; every consumer filters on [c_state], so flipping the
+     state hides the record. It cannot be recycled until those stale
+     references have drained — park it in limbo; [replay] sets the flush
+     watermark past the last possible stale wheel key. *)
   c.c_state <- C_squashed;
+  Vec.push st.limbo c;
   incr st.hot.k_squashed_copies
+
+let rec squash_slaves_rev st (g : group) i =
+  if i >= 0 then begin
+    squash_copy st g.g_slaves.(i);
+    g.g_slaves.(i) <- dummy_copy;
+    squash_slaves_rev st g (i - 1)
+  end
 
 let replay st =
   match find_replay_victim st with
@@ -1230,6 +1476,17 @@ let replay st =
     let vseq = victim.g_seq in
     if st.observed then st.emit (Ev_replay { cycle = st.cycle; seq = vseq });
     Stats.incr st.ctrs "replays";
+    (* A replay that squashes the same victim with no instruction retired
+       since the previous replay changed nothing: deterministic
+       re-execution will recreate the identical wedge. Escalate to the
+       younger-group buffer freeze (see [buffer_frozen]). *)
+    if vseq = st.last_replay_seq && !(st.hot.k_retired) = st.last_replay_retired
+    then begin
+      st.starving_seq <- vseq;
+      Stats.incr st.ctrs "starvation_freezes"
+    end;
+    st.last_replay_seq <- vseq;
+    st.last_replay_retired <- !(st.hot.k_retired);
     (* Squash from youngest down to the victim, inclusive. *)
     let continue_ = ref true in
     while !continue_ do
@@ -1237,11 +1494,19 @@ let replay st =
       | Some g when g.g_seq >= vseq ->
         ignore (Deque.pop_back st.rob);
         (* Slaves were dispatched after the master within the group. *)
-        List.iter (squash_copy st) (List.rev g.g_slaves);
-        Option.iter (squash_copy st) g.g_master;
+        squash_slaves_rev st g (g.g_nslaves - 1);
+        if g.g_master != dummy_copy then squash_copy st g.g_master;
+        g.g_master <- dummy_copy;
+        g.g_nslaves <- 0;
+        Freelist.Slab.free st.group_pool g;
         Stats.incr st.ctrs "squashed_groups"
       | Some _ | None -> continue_ := false
     done;
+    (* Copies squashed above sit in limbo until every structure that may
+       still reference them has been walked (queues compact next issue
+       phase) or drained (wheel keys never exceed the last finish time
+       scheduled so far). *)
+    st.limbo_flush_at <- max st.limbo_flush_at (max (st.cycle + 2) (st.max_finish + 1));
     (* The dispatch queues still hold squashed copies; compaction in the
        next issue phase removes them. Refetch from the victim. *)
     Fixed_queue.clear st.fetch_buffer;
@@ -1304,6 +1569,7 @@ let build_clusters cfg assignment =
         fu = Fu.create cfg.issue_limits;
         dqs = Array.init nq (fun _ -> Deque.create ());
         dq_waiting = Array.make nq 0;
+        cl_waiting = 0;
         wait_regs =
           Array.init 2 (fun _ -> Array.init cfg.phys_per_bank (fun _ -> Vec.create ()));
         ready_qs = Array.init nq (fun _ -> Vec.create ());
@@ -1362,10 +1628,25 @@ let init_state ?(engine = `Wakeup) ?profile ?on_event ?on_occupancy ?(occupancy_
     src_wheel = Bucket_queue.create ~capacity:256 ();
     wake_wheel = Bucket_queue.create ~capacity:64 ();
     wake_scratch = Vec.create ();
-    scratch_srcs = Array.make 8 0;
+    copy_pool = Freelist.Slab.create ~initial:256 ~make:make_pool_copy ~slot:copy_slot ();
+    group_pool = Freelist.Slab.create ~initial:128 ~make:make_pool_group ~slot:group_slot ();
+    limbo = Vec.create ();
+    limbo_flush_at = 0;
+    (* Placeholders; the real drain callbacks close over the state record
+       and are installed right below, once. *)
+    src_drain = ignore;
+    wake_drain = ignore;
+    scratch_work = 0;
     cycle = 0; trace_idx = 0; fetch_resume = 0; redirect_pending = false;
     last_fetch_line = -1; max_finish = 0; stall_cycles = 0; pending_train = Deque.create ();
-    max_issued_seq = -1; head_blocked = (-1, 0) }
+    max_issued_seq = -1; head_blocked_seq = -1; head_blocked_age = 0;
+    last_replay_seq = -1; last_replay_retired = 0; starving_seq = -1 }
+
+let init_state ?engine ?profile ?on_event ?on_occupancy ?occupancy_period cfg =
+  let st = init_state ?engine ?profile ?on_event ?on_occupancy ?occupancy_period cfg in
+  st.src_drain <- src_wakeup st;
+  st.wake_drain <- wake_collect st;
+  st
 
 (* Registers whose cluster placement changes between two assignments: the
    values the reassignment hardware must copy between register files. *)
@@ -1422,7 +1703,14 @@ let load_phase st assignment trace =
   st.last_fetch_line <- -1;
   Deque.clear st.pending_train;
   st.max_issued_seq <- -1;
-  st.stall_cycles <- 0
+  st.stall_cycles <- 0;
+  (* Seqs are positions in the incoming trace: stale starvation tracking
+     from the previous phase must not freeze the new one. *)
+  st.head_blocked_seq <- -1;
+  st.head_blocked_age <- 0;
+  st.last_replay_seq <- -1;
+  st.last_replay_retired <- !(st.hot.k_retired);
+  st.starving_seq <- -1
 
 (* The thesis's starvation rule: young slaves can keep recycling the
    transfer-buffer entries while the oldest instruction starves behind a
@@ -1432,37 +1720,52 @@ let load_phase st assignment trace =
 let head_starvation_check st =
   let blocked_head =
     match Deque.peek_front st.rob with
-    | Some g ->
-      let blocked c = blocked_on_buffer st c in
-      if
-        (match g.g_master with Some m -> blocked m | None -> false)
-        || List.exists blocked g.g_slaves
-      then Some g.g_seq
-      else None
-    | None -> None
+    | Some g when group_blocked_on_buffer st g -> g.g_seq
+    | Some _ | None -> -1
   in
-  (match (blocked_head, st.head_blocked) with
-  | Some seq, (prev, n) when seq = prev -> st.head_blocked <- (seq, n + 1)
-  | Some seq, _ -> st.head_blocked <- (seq, 1)
-  | None, _ -> st.head_blocked <- (-1, 0));
-  let _, age = st.head_blocked in
-  if age >= 8 * st.cfg.replay_threshold then begin
+  if blocked_head < 0 then begin
+    st.head_blocked_seq <- -1;
+    st.head_blocked_age <- 0
+  end
+  else if blocked_head = st.head_blocked_seq then
+    st.head_blocked_age <- st.head_blocked_age + 1
+  else begin
+    st.head_blocked_seq <- blocked_head;
+    st.head_blocked_age <- 1
+  end;
+  if st.head_blocked_age >= 8 * st.cfg.replay_threshold then begin
     Stats.incr st.ctrs "head_starvation_replays";
     replay st;
-    st.head_blocked <- (-1, 0)
+    st.head_blocked_seq <- -1;
+    st.head_blocked_age <- 0
   end
 
 (* Occupancy snapshot for the sampling sink: ROB entries, waiting
    dispatch-queue entries and in-use transfer-buffer entries per cluster.
    Only built when a sink is attached, so unobserved runs allocate
    nothing here. *)
+(* Snapshots rescan the queues and cross-check the running [cl_waiting]
+   totals the dispatch-steering hot path trusts. *)
+let cluster_waiting cl =
+  let scan = total_waiting cl in
+  assert (scan = cl.cl_waiting);
+  scan
+
 let occupancy_snapshot st =
   let in_use buf = Transfer_buffer.entries buf - Transfer_buffer.available buf ~cycle:st.cycle in
   { oc_cycle = st.cycle;
     oc_rob = Deque.length st.rob;
-    oc_dispatch_queues = Array.map total_waiting st.clusters;
+    oc_dispatch_queues = Array.map cluster_waiting st.clusters;
     oc_operand_buffers = Array.map (fun cl -> in_use cl.operand_buf) st.clusters;
     oc_result_buffers = Array.map (fun cl -> in_use cl.result_buf) st.clusters }
+
+(* Recycle squashed copies once the flush watermark has passed (every
+   stale queue/wheel reference has been compacted or drained by then). *)
+let rec flush_limbo_from st i =
+  if i < Vec.length st.limbo then begin
+    Freelist.Slab.free st.copy_pool (Vec.get st.limbo i);
+    flush_limbo_from st (i + 1)
+  end
 
 let run_loop ?(on_cycle = fun () -> ()) st ~max_cycles =
   let finished () =
@@ -1493,6 +1796,10 @@ let run_loop ?(on_cycle = fun () -> ()) st ~max_cycles =
             %d), %d instructions retired, trace position %d of %d, %d groups in flight"
            st.cycle max_cycles (Stats.get st.ctrs "retired") st.trace_idx
            (Flat_trace.length st.trace) (Deque.length st.rob));
+    if Vec.length st.limbo > 0 && st.cycle >= st.limbo_flush_at then begin
+      flush_limbo_from st 0;
+      Vec.clear st.limbo
+    end;
     let woke = phase_alloc stage_wake wake_phase in
     let retired = phase_alloc stage_retire retire_phase in
     let trained = phase_alloc stage_train train_phase in
@@ -1657,3 +1964,11 @@ let run_interval ?max_cycles st trace ~lo ~hi ~measure_from =
   run_interval_flat ?max_cycles st (Flat_trace.of_dynamic_array trace) ~lo ~hi ~measure_from
 
 let state_result st = finish_result st
+
+(* Test hook: (copy live, copy built, group live, group built). Live
+   counts include limbo residents not yet flushed back to the pool. *)
+let pool_stats st =
+  ( Mcsim_util.Freelist.Slab.live st.copy_pool,
+    Mcsim_util.Freelist.Slab.built st.copy_pool,
+    Mcsim_util.Freelist.Slab.live st.group_pool,
+    Mcsim_util.Freelist.Slab.built st.group_pool )

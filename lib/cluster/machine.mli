@@ -321,6 +321,13 @@ val run_interval :
   interval
 (** {!run_interval_flat} over a record trace (packs the array first). *)
 
+val pool_stats : state -> int * int * int * int
+(** [(copy_live, copy_built, group_live, group_built)] for the state's
+    record pools. Built counts are high-water marks: once the pipeline
+    reaches steady state they stop growing (records are recycled, not
+    re-allocated), which tests assert. Live counts include squashed
+    copies parked in limbo until their flush watermark passes. *)
+
 val state_result : state -> result
 (** Harvest the aggregate counters of everything the state has run.
     [cycles] (and hence [ipc]) counts warming at one cycle per

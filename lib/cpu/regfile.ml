@@ -27,6 +27,7 @@ let make_bank num_phys =
 
 let create ~num_phys =
   if num_phys < 32 then invalid_arg "Regfile.create: num_phys < 32";
+  if num_phys > 0x10000 then invalid_arg "Regfile.create: num_phys > 65536";
   { int_bank = make_bank num_phys; fp_bank = make_bank num_phys; n_phys = num_phys }
 
 let num_phys t = t.n_phys
@@ -51,6 +52,22 @@ let rename t reg =
     bs.map.(a) <- p;
     bs.ready.(p) <- max_int;
     Some (p, prev)
+
+(* Identical to [rename] but writes nothing to the heap: physical ids fit
+   in 16 bits ([create] enforces it), so both halves of the result pack
+   into one immediate int for the dispatch hot path. *)
+let rename_packed t reg =
+  if Mcsim_isa.Reg.is_zero reg then invalid_arg "Regfile.rename_packed: zero register";
+  let bs = bank_state t (bank_of_reg reg) in
+  let p = Mcsim_util.Freelist.take bs.freelist in
+  if p < 0 then -1
+  else begin
+    let a = Mcsim_isa.Reg.index reg in
+    let prev = bs.map.(a) in
+    bs.map.(a) <- p;
+    bs.ready.(p) <- max_int;
+    (p lsl 16) lor prev
+  end
 
 let undo_rename t reg ~new_phys ~prev_phys =
   let bs = bank_state t (bank_of_reg reg) in

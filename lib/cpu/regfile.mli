@@ -38,6 +38,12 @@ val rename : t -> Mcsim_isa.Reg.t -> (int * int) option
     [None] when the bank's freelist is empty (dispatch must stall). The
     new register is marked not-ready. *)
 
+val rename_packed : t -> Mcsim_isa.Reg.t -> int
+(** As {!rename} but allocation-free: returns
+    [(new_phys lsl 16) lor prev_phys], or [-1] when the bank's freelist
+    is empty. Physical ids fit in 16 bits ({!create} requires
+    [num_phys <= 65536]). *)
+
 val undo_rename : t -> Mcsim_isa.Reg.t -> new_phys:int -> prev_phys:int -> unit
 (** Squash: restore the previous mapping and free [new_phys]. Must be
     applied in reverse dispatch order. *)

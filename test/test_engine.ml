@@ -156,6 +156,98 @@ let equiv_sampled () =
     Alcotest.failf "sampled machine results diverge: %s"
       (explain_diff scan.Sampling.machine wake.Sampling.machine)
 
+(* ------------------- record pooling invariants ---------------------- *)
+
+(* Random workloads across every stock configuration, both queue splits,
+   both engines: the pooled copy/group records must leave cycles, IPC and
+   every counter bit-identical between the engines (each exercises a
+   different recycle path through the pools). *)
+let qcheck_pooled_stock seed =
+  let dual_trace = Test_audit.trace_of seed Pipeline.default_local in
+  let quad_trace = Test_audit.quad_trace seed in
+  List.iter
+    (fun (name, cfg_of) ->
+      let cfg = cfg_of () in
+      let trace =
+        if Mcsim_cluster.Assignment.num_clusters cfg.Machine.assignment > 2 then quad_trace
+        else dual_trace
+      in
+      let scan = Machine.run ~engine:`Scan cfg trace in
+      let wake = Machine.run ~engine:`Wakeup cfg trace in
+      if scan <> wake then
+        QCheck.Test.fail_reportf "pooled engines diverge (%s, seed %d): %s" name seed
+          (explain_diff scan wake))
+    (stock_configs ());
+  true
+
+let equiv_pooled_stock =
+  QCheck.Test.make ~name:"pooled records: scan = wakeup on random workloads, stock configs"
+    ~count:4
+    QCheck.(int_bound 10_000)
+    qcheck_pooled_stock
+
+(* Driving one machine state over the same trace repeatedly must reach a
+   fixed point in the pools: after the first run the built populations
+   stop growing (records are recycled, not re-allocated), and a drained
+   pipeline leaves no live group (live copies are at most squash-limbo
+   residue awaiting its flush watermark). *)
+let pool_fixed_point ~cfg ~seed () =
+  let trace = Test_audit.trace_of seed Pipeline.default_local in
+  let flat = Mcsim_isa.Flat_trace.of_dynamic_array trace in
+  let len = Mcsim_isa.Flat_trace.length flat in
+  let st = Machine.init_state cfg in
+  let built_after () =
+    let (_ : Machine.interval) =
+      Machine.run_interval_flat st flat ~lo:0 ~hi:len ~measure_from:0
+    in
+    let copy_live, copy_built, group_live, group_built = Machine.pool_stats st in
+    check Alcotest.int "drained: no live group" 0 group_live;
+    check Alcotest.bool "live copies are limbo residue only" true (copy_live <= copy_built);
+    (copy_built, group_built)
+  in
+  let _ = built_after () in
+  let c2, g2 = built_after () in
+  let c3, g3 = built_after () in
+  check Alcotest.int "copy pool at fixed point" c2 c3;
+  check Alcotest.int "group pool at fixed point" g2 g3;
+  (* Recycling actually happened: the trace dispatches far more copies
+     than the pool ever built. *)
+  check Alcotest.bool "built well below dispatched" true (c3 < len)
+
+let pool_fixed_point_steady = pool_fixed_point ~cfg:(Machine.dual_cluster ()) ~seed:11
+
+(* Starved transfer buffers force replays every few hundred instructions:
+   the squash path must return records through limbo without leaking or
+   double-freeing (Slab.free raises on a double free). *)
+let pool_fixed_point_squash =
+  pool_fixed_point
+    ~cfg:
+      { (Machine.dual_cluster ()) with
+        Machine.operand_buffer_entries = 1;
+        result_buffer_entries = 1;
+        replay_threshold = 4 }
+    ~seed:17
+
+(* Snapshots every cycle cross-check the running cluster waiting totals
+   against a full queue rescan (an assert inside the snapshot), through
+   dispatch, issue, squash and replay, on both engines. *)
+let waiting_totals_cross_check () =
+  let trace = Test_audit.trace_of 23 Pipeline.default_local in
+  let cfg =
+    { (Machine.dual_cluster ()) with
+      Machine.operand_buffer_entries = 2;
+      result_buffer_entries = 2;
+      replay_threshold = 4 }
+  in
+  List.iter
+    (fun engine ->
+      let snaps = ref 0 in
+      let (_ : Machine.result) =
+        Machine.run ~engine ~on_occupancy:(fun _ -> incr snaps) ~occupancy_period:1 cfg trace
+      in
+      check Alcotest.bool "snapshots taken" true (!snaps > 0))
+    [ `Scan; `Wakeup ]
+
 (* ------------------------- Vec unit tests --------------------------- *)
 
 let vec_basics () =
@@ -263,6 +355,10 @@ let suite =
       case "scan = wakeup on all six benchmarks" equiv_benchmarks;
       case "scan = wakeup event streams" equiv_event_stream;
       case "scan = wakeup under sampled simulation" equiv_sampled;
+      QCheck_alcotest.to_alcotest equiv_pooled_stock;
+      case "pools reach a fixed point (steady state)" pool_fixed_point_steady;
+      case "pools reach a fixed point under replays (squash recycling)" pool_fixed_point_squash;
+      case "running waiting totals agree with queue rescan" waiting_totals_cross_check;
       case "Vec: push/get/filter/clear" vec_basics;
       case "Vec: insertion sort" vec_sort;
       case "Bucket_queue: key ordering" wheel_ordering;

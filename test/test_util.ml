@@ -224,6 +224,93 @@ let fl_invariant =
         ops;
       Freelist.available f = 4 - List.length !held)
 
+(* ------------------------- slab object pool ------------------------ *)
+
+(* The pooled record shape the machine uses: a slot field the pool reads
+   back, plus mutable payload the caller reinitializes per alloc. *)
+type slab_obj = { so_slot : int; mutable so_payload : int }
+
+let slab_pool ?initial () =
+  Freelist.Slab.create ?initial
+    ~make:(fun i -> { so_slot = i; so_payload = 0 })
+    ~slot:(fun o -> o.so_slot)
+    ()
+
+let slab_alloc_free_reset () =
+  let p = slab_pool ~initial:2 () in
+  let a = Freelist.Slab.alloc p in
+  let b = Freelist.Slab.alloc p in
+  check Alcotest.int "distinct slots" 1 (abs (a.so_slot - b.so_slot));
+  check Alcotest.int "live" 2 (Freelist.Slab.live p);
+  check Alcotest.int "built" 2 (Freelist.Slab.built p);
+  Freelist.Slab.free p a;
+  check Alcotest.int "live after free" 1 (Freelist.Slab.live p);
+  (* LIFO recycling: the freed object comes back, not a fresh build. *)
+  let a' = Freelist.Slab.alloc p in
+  check Alcotest.bool "recycled the freed object" true (a' == a);
+  check Alcotest.int "no growth on recycle" 2 (Freelist.Slab.built p);
+  Freelist.Slab.reset p;
+  check Alcotest.int "reset: nothing live" 0 (Freelist.Slab.live p);
+  check Alcotest.int "reset keeps built objects" 2 (Freelist.Slab.built p);
+  let c = Freelist.Slab.alloc p in
+  check Alcotest.bool "post-reset alloc reuses built storage" true
+    (c == a || c == b)
+
+let slab_growth () =
+  let p = slab_pool ~initial:2 () in
+  let objs = Array.init 100 (fun _ -> Freelist.Slab.alloc p) in
+  check Alcotest.int "built tracks demand" 100 (Freelist.Slab.built p);
+  check Alcotest.bool "capacity grew geometrically" true (Freelist.Slab.capacity p >= 100);
+  (* Slots are distinct across growth. *)
+  let seen = Hashtbl.create 128 in
+  Array.iter
+    (fun o ->
+      check Alcotest.bool "slot unique" false (Hashtbl.mem seen o.so_slot);
+      Hashtbl.add seen o.so_slot ())
+    objs;
+  Array.iter (Freelist.Slab.free p) objs;
+  check Alcotest.int "all returned" 0 (Freelist.Slab.live p)
+
+let slab_errors () =
+  let p = slab_pool () in
+  let a = Freelist.Slab.alloc p in
+  Freelist.Slab.free p a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Freelist.Slab.free: double free") (fun () -> Freelist.Slab.free p a);
+  let q = slab_pool () in
+  let foreign = Freelist.Slab.alloc q in
+  (* Same slot index, different pool: identity check must reject it. *)
+  Alcotest.check_raises "foreign object"
+    (Invalid_argument "Freelist.Slab.free: not from this pool") (fun () ->
+      Freelist.Slab.free p foreign);
+  Alcotest.check_raises "filler/unbuilt slot"
+    (Invalid_argument "Freelist.Slab.free: not from this pool") (fun () ->
+      Freelist.Slab.free p { so_slot = -1; so_payload = 0 })
+
+let slab_invariant =
+  QCheck.Test.make ~name:"slab pool never double-allocates a live object" ~count:200
+    QCheck.(list bool)
+    (fun ops ->
+      let p = slab_pool ~initial:1 () in
+      let held = ref [] in
+      List.iter
+        (fun is_alloc ->
+          if is_alloc then begin
+            let o = Freelist.Slab.alloc p in
+            assert (not (List.memq o !held));
+            o.so_payload <- List.length !held;
+            held := o :: !held
+          end
+          else
+            match !held with
+            | o :: rest ->
+              Freelist.Slab.free p o;
+              held := rest
+            | [] -> ())
+        ops;
+      Freelist.Slab.live p = List.length !held
+      && Freelist.Slab.built p <= List.length ops + 1)
+
 (* ---------------------------- deque -------------------------------- *)
 
 let dq_both_ends () =
@@ -417,6 +504,10 @@ let suite =
       case "freelist: error cases" fl_errors;
       case "freelist: reset" fl_reset;
       QCheck_alcotest.to_alcotest fl_invariant;
+      case "slab pool: alloc/free/reset recycling" slab_alloc_free_reset;
+      case "slab pool: geometric growth" slab_growth;
+      case "slab pool: double free and foreign objects" slab_errors;
+      QCheck_alcotest.to_alcotest slab_invariant;
       case "deque: both ends" dq_both_ends;
       case "deque: growth and indexing" dq_grow;
       case "deque: iteration order" dq_iter_order;
