@@ -136,9 +136,12 @@ let four_way () =
     (header :: body)
 
 let cluster_scaling () =
-  section "Cluster-count scaling (the paper's two clusters, generalized to four)";
-  print_string
-    (Mcsim.Cluster_count.render (Mcsim.Cluster_count.run ~max_instrs:(table2_instrs / 2) ()))
+  section "Cluster-count scaling (1/2/4/8 clusters x interconnect topology)";
+  let rows = Mcsim.Cluster_count.run ~max_instrs:(table2_instrs / 2) () in
+  print_string (Mcsim.Cluster_count.render rows);
+  write_bench_json "BENCH_clusters.json" ~kind:"bench-clusters"
+    ~trace_instrs:(table2_instrs / 2)
+    [ ("clusters", Mcsim.Cluster_count.rows_json rows) ]
 
 let reassignment () =
   section "Section 6 extension - dynamic register reassignment";
@@ -691,8 +694,12 @@ let () =
   | Some "durable" ->
     durable ();
     finish ()
+  | Some "clusters" ->
+    cluster_scaling ();
+    finish ()
   | Some other ->
-    Printf.eprintf "unknown MCSIM_BENCH_ONLY=%s (known: machine, trace, durable)\n" other;
+    Printf.eprintf
+      "unknown MCSIM_BENCH_ONLY=%s (known: machine, trace, durable, clusters)\n" other;
     exit 2
   | None ->
     table1 ();

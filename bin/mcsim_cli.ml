@@ -128,6 +128,65 @@ let engine_arg =
        & opt (enum [ ("scan", `Scan); ("wakeup", `Wakeup) ]) `Wakeup
        & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
+let topology_conv =
+  let parse s =
+    match Mcsim_cluster.Interconnect.of_string s with
+    | t -> Ok t
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt t -> Format.pp_print_string fmt (Mcsim_cluster.Interconnect.to_string t) )
+
+let topology_arg =
+  let doc =
+    "Inter-cluster interconnect: $(b,p2p) (dedicated pairwise links, the default — \
+     one-cycle transfers), $(b,ring) (neighbor links only, distance is paid in \
+     extra transfer cycles), or $(b,xbar) (a shared crossbar, two cycles between \
+     any two distinct clusters)."
+  in
+  Arg.(value
+       & opt topology_conv Mcsim_cluster.Interconnect.Point_to_point
+       & info [ "topology" ] ~docv:"TOPO" ~doc)
+
+let clusters_arg =
+  let doc =
+    "Partition the same total resources into $(docv) clusters (1, 2, 4 or 8) wired \
+     as --topology, instead of the stock single/dual machine pair; overrides \
+     --machine."
+  in
+  Arg.(value
+       & opt (some (pos_int ~what:"CLUSTERS")) None
+       & info [ "clusters" ] ~docv:"N" ~doc)
+
+(* --clusters overrides the single/dual selection; --topology applies
+   either way (it is part of the machine config, hence of manifests and
+   cache identities). Validation of the count itself lives in
+   [Machine.config_for_clusters], whose [Invalid_argument] surfaces as a
+   one-line error through [Cli_errors.wrap]. *)
+let config_of ~machine ~clusters ~topology =
+  match clusters with
+  | Some n -> Mcsim_cluster.Machine.config_for_clusters ~topology n
+  | None ->
+    let base =
+      match machine with
+      | `Single -> Mcsim_cluster.Machine.single_cluster ()
+      | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
+    in
+    { base with Mcsim_cluster.Machine.topology }
+
+(* Binaries are compiled for the cluster count they run on; without
+   --clusters that is the historical default of 2 (the single-cluster
+   machine runs the same native binary the dual machine does). *)
+let compile_clusters = function Some n -> n | None -> 2
+
+let machine_desc ~machine ~clusters ~topology =
+  match clusters with
+  | Some n ->
+    Printf.sprintf "%d-cluster (%s)" n (Mcsim_cluster.Interconnect.to_string topology)
+  | None -> (
+    match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
+
 let bench_conv =
   let parse s =
     match Mcsim_workload.Spec92.of_name s with
@@ -158,14 +217,20 @@ let four_way_arg =
        & info [ "four-way" ] ~doc:"Use the four-way-issue machine pair instead of eight-way.")
 
 (* The body of the table2 command, shared with `mcsim resume`. *)
-let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engine
-    ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
+let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters ~topology ~jobs
+    ~sample ~engine ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
   let t_start = Unix.gettimeofday () in
+  if four_way && clusters <> None then
+    failwith "table2: --four-way and --clusters are mutually exclusive";
   let single_config, dual_config =
     if four_way then
-      (Some (Mcsim_cluster.Machine.single_cluster_4 ()),
-       Some (Mcsim_cluster.Machine.dual_cluster_2x2 ()))
-    else (None, None)
+      (Some { (Mcsim_cluster.Machine.single_cluster_4 ()) with Mcsim_cluster.Machine.topology },
+       Some { (Mcsim_cluster.Machine.dual_cluster_2x2 ()) with Mcsim_cluster.Machine.topology })
+    else
+      match clusters with
+      | Some n -> (None, Some (Mcsim_cluster.Machine.config_for_clusters ~topology n))
+      | None ->
+        (None, Some { (Mcsim_cluster.Machine.dual_cluster ()) with Mcsim_cluster.Machine.topology })
   in
   let sampling = Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample in
   let report =
@@ -219,9 +284,14 @@ let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engi
              dir dir
          | None -> "; rerun with --checkpoint DIR to make progress durable"))
 
-let table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~sample ~engine
-    ~metrics_out ~retries ~trace_cache ~result_cache =
-  [ ("command", Json.String "table2");
+let cluster_command_fields ~clusters ~topology =
+  [ ("clusters", match clusters with Some n -> Json.Int n | None -> Json.Null);
+    ("topology", Json.String (Mcsim_cluster.Interconnect.to_string topology)) ]
+
+let table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters ~topology
+    ~sample ~engine ~metrics_out ~retries ~trace_cache ~result_cache =
+  cluster_command_fields ~clusters ~topology
+  @ [ ("command", Json.String "table2");
     ("benchmarks",
      Json.List (List.map (fun b -> Json.String (Mcsim_workload.Spec92.name b)) benchmarks));
     ("max_instrs", Json.Int max_instrs);
@@ -256,21 +326,22 @@ let with_command checkpoint command_json run =
     result
 
 let table2_cmd =
-  let run max_instrs seed benchmarks csv four_way jobs sample engine metrics_out retries
-      checkpoint trace_cache result_cache =
+  let run max_instrs seed benchmarks csv four_way clusters topology jobs sample engine
+      metrics_out retries checkpoint trace_cache result_cache =
     wrap @@ fun () ->
     with_command checkpoint (fun () ->
-        table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~sample ~engine
-          ~metrics_out ~retries ~trace_cache ~result_cache)
+        table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters
+          ~topology ~sample ~engine ~metrics_out ~retries ~trace_cache ~result_cache)
     @@ fun () ->
-    table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~jobs ~sample ~engine
-      ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
+    table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters ~topology ~jobs
+      ~sample ~engine ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Run the Table-2 experiment (none/local vs single-cluster).")
     Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg
-          $ jobs_arg $ sample_arg $ engine_arg $ metrics_out_arg $ retries_arg
-          $ checkpoint_arg $ trace_cache_arg $ result_cache_arg)
+          $ clusters_arg $ topology_arg $ jobs_arg $ sample_arg $ engine_arg
+          $ metrics_out_arg $ retries_arg $ checkpoint_arg $ trace_cache_arg
+          $ result_cache_arg)
 
 let scenarios_cmd =
   let run () =
@@ -345,11 +416,11 @@ let machine_of_string = function
 (* Generate the benchmark's committed trace in the flat binary form —
    or, with --trace-cache, memory-map it from the store (generating and
    saving it on the first run). Shared by run and sample. *)
-let flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () =
+let flat_trace ~trace_cache ~bench ~scheduler ~clusters ~seed ~max_instrs () =
   let walk () =
     let prog = Mcsim_workload.Spec92.program bench in
     let profile = Mcsim_trace.Walker.profile ~seed prog in
-    let c = Mcsim_compiler.Pipeline.compile ~profile ~scheduler prog in
+    let c = Mcsim_compiler.Pipeline.compile ~clusters ~profile ~scheduler prog in
     Mcsim_trace.Walker.trace_flat ~seed ~max_instrs c.Mcsim_compiler.Pipeline.mach
   in
   match trace_cache with
@@ -358,7 +429,7 @@ let flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () =
     let store = Mcsim.Trace_store.open_ ~dir in
     let key =
       { Mcsim.Trace_store.benchmark = Mcsim_workload.Spec92.name bench;
-        scheduler = Mcsim.Experiment.scheduler_ident scheduler;
+        scheduler = Mcsim.Experiment.scheduler_ident_n ~clusters scheduler;
         seed;
         max_instrs }
     in
@@ -368,14 +439,11 @@ let flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () =
    checkpoint the single simulation is one durable unit; --profile
    bypasses the cache (profiling counters cannot be reconstructed from a
    stored result). *)
-let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics_out
-    ~retries ~checkpoint ~trace_cache ~result_cache () =
+let run_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed ~engine
+    ~prof ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
   let t_start = Unix.gettimeofday () in
-  let cfg =
-    match machine with
-    | `Single -> Mcsim_cluster.Machine.single_cluster ()
-    | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
-  in
+  let cfg = config_of ~machine ~clusters ~topology in
+  let cclusters = compile_clusters clusters in
   let manifest =
     Mcsim_obs.Manifest.make ~engine ~seed
       ~benchmark:(Mcsim_workload.Spec92.name bench)
@@ -420,7 +488,10 @@ let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics
     | Some (r, n) -> (r, n, None)
     | None ->
       let run_once () =
-        let trace = flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () in
+        let trace =
+          flat_trace ~trace_cache ~bench ~scheduler ~clusters:cclusters ~seed ~max_instrs
+            ()
+        in
         let n = Mcsim_isa.Flat_trace.length trace in
         let counters =
           if prof then Some (Mcsim_cluster.Machine.profile_counters ()) else None
@@ -447,7 +518,7 @@ let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics
   in
   Printf.printf "%s on the %s machine, %s scheduler:%s\n"
     (Mcsim_workload.Spec92.name bench)
-    (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
+    (machine_desc ~machine ~clusters ~topology)
     (Mcsim_compiler.Pipeline.scheduler_name scheduler)
     (if Option.is_some cached then " (from cache)" else "");
   Printf.printf "  %d instructions in %d cycles (IPC %.2f)\n" r.Mcsim_cluster.Machine.retired
@@ -482,9 +553,10 @@ let run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics
          ~wall_seconds:(Unix.gettimeofday () -. t_start)
          ())
 
-let run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
-    ~metrics_out ~retries ~trace_cache ~result_cache =
-  [ ("command", Json.String "run");
+let run_command_json ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed
+    ~engine ~prof ~metrics_out ~retries ~trace_cache ~result_cache =
+  cluster_command_fields ~clusters ~topology
+  @ [ ("command", Json.String "run");
     ("benchmark", Json.String (Mcsim_workload.Spec92.name bench));
     ("machine", Json.String (machine_name machine));
     ("scheduler", Json.String (Mcsim_compiler.Pipeline.scheduler_name scheduler));
@@ -497,15 +569,15 @@ let run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
     ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null);
     ("result_cache", match result_cache with Some p -> Json.String p | None -> Json.Null) ]
 
-let run_entry bench machine scheduler max_instrs seed engine prof metrics_out retries
-    checkpoint trace_cache result_cache =
+let run_entry bench machine clusters topology scheduler max_instrs seed engine prof
+    metrics_out retries checkpoint trace_cache result_cache =
   wrap @@ fun () ->
   with_command checkpoint (fun () ->
-      run_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof
-        ~metrics_out ~retries ~trace_cache ~result_cache)
+      run_command_json ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed
+        ~engine ~prof ~metrics_out ~retries ~trace_cache ~result_cache)
   @@ fun () ->
-  run_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~engine ~prof ~metrics_out
-    ~retries ~checkpoint ~trace_cache ~result_cache ()
+  run_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed ~engine
+    ~prof ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
 
 let run_cmd =
   let machine_arg =
@@ -523,26 +595,24 @@ let run_cmd =
                    for the simulation.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark and dump all counters.")
-    Term.(const run_entry $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg
-          $ seed_arg $ engine_arg $ profile_arg $ metrics_out_arg $ retries_arg
-          $ checkpoint_arg $ trace_cache_arg $ result_cache_arg)
+    Term.(const run_entry $ bench_pos $ machine_arg $ clusters_arg $ topology_arg
+          $ scheduler_arg $ max_instrs_arg $ seed_arg $ engine_arg $ profile_arg
+          $ metrics_out_arg $ retries_arg $ checkpoint_arg $ trace_cache_arg
+          $ result_cache_arg)
 
 (* The body of the sample command, shared with `mcsim resume`. The
    sampled estimate is one durable unit; --full always recomputes the
    trace and the detailed run (only the estimate is cached). *)
-let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv ~engine
-    ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
+let sample_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed ~sample
+    ~full ~csv ~engine ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
   let t_start = Unix.gettimeofday () in
   let policy =
     match sample with
     | Some p -> { p with Mcsim_sampling.Sampling.seed }
     | None -> { Mcsim_sampling.Sampling.default_policy with seed }
   in
-  let cfg =
-    match machine with
-    | `Single -> Mcsim_cluster.Machine.single_cluster ()
-    | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
-  in
+  let cfg = config_of ~machine ~clusters ~topology in
+  let cclusters = compile_clusters clusters in
   let manifest =
     Mcsim_obs.Manifest.make ~engine ~seed
       ~benchmark:(Mcsim_workload.Spec92.name bench)
@@ -578,7 +648,9 @@ let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv 
       Option.bind rstore (fun st ->
           Option.bind (Mcsim.Result_store.find st ~manifest ~key:"sample") decode_unit)
   in
-  let make_trace = flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs in
+  let make_trace =
+    flat_trace ~trace_cache ~bench ~scheduler ~clusters:cclusters ~seed ~max_instrs
+  in
   let s =
     match cached with
     | Some s -> s
@@ -616,7 +688,7 @@ let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv 
   else begin
     Printf.printf "%s on the %s machine, %s scheduler:%s\n"
       (Mcsim_workload.Spec92.name bench)
-      (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
+      (machine_desc ~machine ~clusters ~topology)
       (Mcsim_compiler.Pipeline.scheduler_name scheduler)
       (if Option.is_some cached then " (from cache)" else "");
     print_string (Mcsim_sampling.Sampling.render s);
@@ -632,9 +704,10 @@ let sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv 
     end
   end
 
-let sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv
-    ~engine ~metrics_out ~retries ~trace_cache ~result_cache =
-  [ ("command", Json.String "sample");
+let sample_command_json ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed
+    ~sample ~full ~csv ~engine ~metrics_out ~retries ~trace_cache ~result_cache =
+  cluster_command_fields ~clusters ~topology
+  @ [ ("command", Json.String "sample");
     ("benchmark", Json.String (Mcsim_workload.Spec92.name bench));
     ("machine", Json.String (machine_name machine));
     ("scheduler", Json.String (Mcsim_compiler.Pipeline.scheduler_name scheduler));
@@ -652,15 +725,15 @@ let sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~fu
     ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null);
     ("result_cache", match result_cache with Some p -> Json.String p | None -> Json.Null) ]
 
-let sample_entry bench machine scheduler max_instrs seed sample full csv engine
-    metrics_out retries checkpoint trace_cache result_cache =
+let sample_entry bench machine clusters topology scheduler max_instrs seed sample full
+    csv engine metrics_out retries checkpoint trace_cache result_cache =
   wrap @@ fun () ->
   with_command checkpoint (fun () ->
-      sample_command_json ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv
-        ~engine ~metrics_out ~retries ~trace_cache ~result_cache)
+      sample_command_json ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs
+        ~seed ~sample ~full ~csv ~engine ~metrics_out ~retries ~trace_cache ~result_cache)
   @@ fun () ->
-  sample_impl ~bench ~machine ~scheduler ~max_instrs ~seed ~sample ~full ~csv ~engine
-    ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
+  sample_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed ~sample
+    ~full ~csv ~engine ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
 
 let sample_cmd =
   let machine_arg =
@@ -679,9 +752,10 @@ let sample_cmd =
   Cmd.v
     (Cmd.info "sample"
        ~doc:"Sampled simulation of one benchmark (optionally vs the full detailed run).")
-    Term.(const sample_entry $ bench_pos $ machine_arg $ scheduler_arg $ max_instrs_arg
-          $ seed_arg $ sample_arg $ full_arg $ csv_arg $ engine_arg $ metrics_out_arg
-          $ retries_arg $ checkpoint_arg $ trace_cache_arg $ result_cache_arg)
+    Term.(const sample_entry $ bench_pos $ machine_arg $ clusters_arg $ topology_arg
+          $ scheduler_arg $ max_instrs_arg $ seed_arg $ sample_arg $ full_arg $ csv_arg
+          $ engine_arg $ metrics_out_arg $ retries_arg $ checkpoint_arg $ trace_cache_arg
+          $ result_cache_arg)
 
 (* `mcsim resume DIR`: reread the command.json written by a previous
    --checkpoint invocation and re-dispatch the same command against the
@@ -744,6 +818,15 @@ let resume_cmd =
     let trace_cache = str_opt "trace_cache" in
     (* Absent in command.json written before the result store existed. *)
     let result_cache = str_opt "result_cache" in
+    (* Likewise absent before the machine grew beyond two clusters. *)
+    let clusters =
+      match List.assoc_opt "clusters" fields with Some (Json.Int n) -> Some n | _ -> None
+    in
+    let topology =
+      match str_opt "topology" with
+      | None -> Mcsim_cluster.Interconnect.Point_to_point
+      | Some s -> Mcsim_cluster.Interconnect.of_string s
+    in
     let checkpoint = Some dir in
     match str "command" with
     | "table2" ->
@@ -762,20 +845,23 @@ let resume_cmd =
         | _ -> failwith (Printf.sprintf "checkpoint %s: command.json lacks %S" dir "benchmarks")
       in
       table2_impl ~max_instrs:(int "max_instrs") ~seed:(Lazy.force seed) ~benchmarks
-        ~csv:(flag "csv") ~four_way:(flag "four_way") ~jobs:(Mcsim_util.Pool.default_jobs ())
+        ~csv:(flag "csv") ~four_way:(flag "four_way") ~clusters ~topology
+        ~jobs:(Mcsim_util.Pool.default_jobs ())
         ~sample:(sampling "sampling") ~engine:(engine ()) ~metrics_out ~retries
         ~checkpoint ~trace_cache ~result_cache ()
     | "run" ->
       run_impl ~bench:(bench "benchmark") ~machine:(machine_of_string (str "machine"))
-        ~scheduler:(scheduler_of_string (str "scheduler")) ~max_instrs:(int "max_instrs")
-        ~seed:(Lazy.force seed) ~engine:(engine ()) ~prof:(flag "profile") ~metrics_out
-        ~retries ~checkpoint ~trace_cache ~result_cache ()
+        ~clusters ~topology ~scheduler:(scheduler_of_string (str "scheduler"))
+        ~max_instrs:(int "max_instrs") ~seed:(Lazy.force seed) ~engine:(engine ())
+        ~prof:(flag "profile") ~metrics_out ~retries ~checkpoint ~trace_cache
+        ~result_cache ()
     | "sample" ->
       sample_impl ~bench:(bench "benchmark") ~machine:(machine_of_string (str "machine"))
-        ~scheduler:(scheduler_of_string (str "scheduler")) ~max_instrs:(int "max_instrs")
-        ~seed:(Lazy.force seed) ~sample:(sampling "sampling") ~full:(flag "full")
-        ~csv:(flag "csv") ~engine:(engine ()) ~metrics_out ~retries ~checkpoint
-        ~trace_cache ~result_cache ()
+        ~clusters ~topology ~scheduler:(scheduler_of_string (str "scheduler"))
+        ~max_instrs:(int "max_instrs") ~seed:(Lazy.force seed)
+        ~sample:(sampling "sampling") ~full:(flag "full") ~csv:(flag "csv")
+        ~engine:(engine ()) ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache
+        ()
     | c ->
       failwith
         (Printf.sprintf "checkpoint %s: cannot resume command %S (only table2, run, sample)"
@@ -981,15 +1067,32 @@ let trace_cmd =
           $ engine_arg $ out_arg $ timeline_arg $ counter_period_arg)
 
 let clusters_cmd =
-  let run max_instrs seed benchmarks jobs =
+  let run max_instrs seed benchmarks jobs metrics_out =
     wrap @@ fun () ->
-    print_string
-      (Mcsim.Cluster_count.render
-         (Mcsim.Cluster_count.run ~jobs ~max_instrs ~seed ~benchmarks ()))
+    let t_start = Unix.gettimeofday () in
+    let rows = Mcsim.Cluster_count.run ~jobs ~max_instrs ~seed ~benchmarks () in
+    print_string (Mcsim.Cluster_count.render rows);
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      let manifest =
+        Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~seed
+          ~benchmark:(String.concat "," (List.map Mcsim_workload.Spec92.name benchmarks))
+          ~trace_instrs:max_instrs
+          (Mcsim.Cluster_count.config_for 1)
+      in
+      Mcsim_obs.Metrics.write_file path
+        (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"clusters"
+           ~wall_seconds:(Unix.gettimeofday () -. t_start)
+           ~extra:[ ("clusters", Mcsim.Cluster_count.rows_json rows) ]
+           ())
   in
   Cmd.v
-    (Cmd.info "clusters" ~doc:"Cluster-count scaling: 1 vs 2 vs 4 clusters.")
-    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ jobs_arg)
+    (Cmd.info "clusters"
+       ~doc:"Cluster-count x interconnect-topology scaling: 1/2/4/8 clusters, each \
+             multi-cluster point wired p2p, ring and xbar.")
+    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ jobs_arg
+          $ metrics_out_arg)
 
 let reassign_cmd =
   let run jobs =
@@ -1150,13 +1253,14 @@ let with_client socket f =
   Fun.protect ~finally:(fun () -> Mcsim_serve.Client.close c) (fun () -> f c)
 
 let submit_table2_cmd =
-  let run socket max_instrs seed benchmarks csv four_way sample engine metrics_out =
+  let run socket max_instrs seed benchmarks csv four_way clusters topology sample engine
+      metrics_out =
     wrap @@ fun () ->
     let t_start = Unix.gettimeofday () in
     let sampling = Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample in
     let sweep =
       Mcsim_serve.Protocol.Table2
-        { benchmarks; max_instrs; seed; engine; sampling; four_way }
+        { benchmarks; max_instrs; seed; engine; sampling; four_way; clusters; topology }
     in
     with_client socket @@ fun c ->
     let result, served = Mcsim_serve.Client.submit ~on_unit:progress_on_unit c sweep in
@@ -1175,8 +1279,12 @@ let submit_table2_cmd =
     | None -> ()
     | Some path ->
       let cfg =
-        if four_way then Mcsim_cluster.Machine.dual_cluster_2x2 ()
-        else Mcsim_cluster.Machine.dual_cluster ()
+        if four_way then
+          { (Mcsim_cluster.Machine.dual_cluster_2x2 ()) with Mcsim_cluster.Machine.topology }
+        else
+          match clusters with
+          | Some n -> Mcsim_cluster.Machine.config_for_clusters ~topology n
+          | None -> { (Mcsim_cluster.Machine.dual_cluster ()) with Mcsim_cluster.Machine.topology }
       in
       let manifest =
         Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
@@ -1192,7 +1300,8 @@ let submit_table2_cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Submit a Table-2 sweep to the service (one unit per row).")
     Term.(const run $ socket_arg $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg
-          $ four_way_arg $ sample_arg $ engine_arg $ metrics_out_arg)
+          $ four_way_arg $ clusters_arg $ topology_arg $ sample_arg $ engine_arg
+          $ metrics_out_arg)
 
 let submit_machine_arg =
   Arg.(value & opt (enum [ ("single", `Single); ("dual", `Dual) ]) `Dual
@@ -1203,10 +1312,11 @@ let submit_scheduler_arg =
        & info [ "scheduler" ] ~doc:"none, local, round-robin, or random.")
 
 let submit_run_cmd =
-  let run socket bench machine scheduler max_instrs seed engine =
+  let run socket bench machine clusters topology scheduler max_instrs seed engine =
     wrap @@ fun () ->
     let sweep =
-      Mcsim_serve.Protocol.Run { bench; machine; scheduler; max_instrs; seed; engine }
+      Mcsim_serve.Protocol.Run
+        { bench; machine; scheduler; max_instrs; seed; engine; clusters; topology }
     in
     with_client socket @@ fun c ->
     let result, served = Mcsim_serve.Client.submit ~on_unit:progress_on_unit c sweep in
@@ -1217,7 +1327,7 @@ let submit_run_cmd =
     | Some r, Some n ->
       Printf.printf "%s on the %s machine, %s scheduler (served):\n"
         (Mcsim_workload.Spec92.name bench)
-        (match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
+        (machine_desc ~machine ~clusters ~topology)
         (Mcsim_compiler.Pipeline.scheduler_name scheduler);
       Printf.printf "  %d instructions in %d cycles (IPC %.2f), %d replays\n" n
         r.Mcsim_cluster.Machine.cycles r.Mcsim_cluster.Machine.ipc
@@ -1227,11 +1337,11 @@ let submit_run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Submit one detailed run to the service.")
-    Term.(const run $ socket_arg $ bench_pos $ submit_machine_arg $ submit_scheduler_arg
-          $ max_instrs_arg $ seed_arg $ engine_arg)
+    Term.(const run $ socket_arg $ bench_pos $ submit_machine_arg $ clusters_arg
+          $ topology_arg $ submit_scheduler_arg $ max_instrs_arg $ seed_arg $ engine_arg)
 
 let submit_sample_cmd =
-  let run socket bench machine scheduler max_instrs seed sample engine =
+  let run socket bench machine clusters topology scheduler max_instrs seed sample engine =
     wrap @@ fun () ->
     let policy =
       match sample with
@@ -1240,7 +1350,7 @@ let submit_sample_cmd =
     in
     let sweep =
       Mcsim_serve.Protocol.Sample
-        { bench; machine; scheduler; max_instrs; seed; engine; policy }
+        { bench; machine; scheduler; max_instrs; seed; engine; policy; clusters; topology }
     in
     with_client socket @@ fun c ->
     let result, served = Mcsim_serve.Client.submit ~on_unit:progress_on_unit c sweep in
@@ -1260,8 +1370,9 @@ let submit_sample_cmd =
   in
   Cmd.v
     (Cmd.info "sample" ~doc:"Submit one sampled estimate to the service.")
-    Term.(const run $ socket_arg $ bench_pos $ submit_machine_arg $ submit_scheduler_arg
-          $ max_instrs_arg $ seed_arg $ sample_arg $ engine_arg)
+    Term.(const run $ socket_arg $ bench_pos $ submit_machine_arg $ clusters_arg
+          $ topology_arg $ submit_scheduler_arg $ max_instrs_arg $ seed_arg $ sample_arg
+          $ engine_arg)
 
 let submit_stats_cmd =
   let run socket =

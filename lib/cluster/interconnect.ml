@@ -1,0 +1,40 @@
+type topology = Point_to_point | Ring | Crossbar
+
+let all = [ Point_to_point; Ring; Crossbar ]
+
+let to_string = function Point_to_point -> "p2p" | Ring -> "ring" | Crossbar -> "xbar"
+
+let of_string = function
+  | "p2p" | "point-to-point" -> Point_to_point
+  | "ring" -> Ring
+  | "xbar" | "crossbar" -> Crossbar
+  | s -> invalid_arg (Printf.sprintf "Interconnect.of_string: %s (want p2p, ring or xbar)" s)
+
+let describe = function
+  | Point_to_point -> "dedicated link per cluster pair, one cycle per transfer"
+  | Ring -> "neighbor links only, one cycle per hop of ring distance"
+  | Crossbar -> "shared switch, arbitration plus traversal (two cycles)"
+
+let hop_latency topology ~clusters ~src ~dst =
+  if clusters < 1 then invalid_arg "Interconnect.hop_latency: clusters < 1";
+  if src < 0 || src >= clusters || dst < 0 || dst >= clusters then
+    invalid_arg "Interconnect.hop_latency: cluster out of range";
+  if src = dst then 1
+  else
+    match topology with
+    | Point_to_point -> 1
+    | Ring ->
+      let d = abs (src - dst) in
+      max 1 (min d (clusters - d))
+    | Crossbar -> 2
+
+let max_hop topology ~clusters =
+  if clusters < 1 then invalid_arg "Interconnect.max_hop: clusters < 1";
+  match topology with
+  | Point_to_point -> 1
+  | Ring -> max 1 (clusters / 2)
+  | Crossbar -> if clusters > 1 then 2 else 1
+
+let matrix topology ~clusters =
+  Array.init (clusters * clusters) (fun k ->
+      hop_latency topology ~clusters ~src:(k / clusters) ~dst:(k mod clusters))

@@ -1,0 +1,53 @@
+(** Inter-cluster interconnect model.
+
+    The paper's dual-cluster machine wires its two clusters
+    point-to-point: a forwarded operand or result is visible in the
+    other cluster one cycle after the producing copy issues. With more
+    clusters the wiring discipline matters, so the transfer latency
+    between a master and a slave cluster becomes a function of (src,
+    dst, topology) rather than the scalar "+1" baked into the dual
+    machine:
+
+    - {!Point_to_point}: a dedicated link per cluster pair. Every
+      transfer takes one cycle, the paper's model — but the wiring
+      grows quadratically, which the cycle-time model
+      ({!Mcsim_timing.Net_performance}) charges against the clock.
+    - {!Ring}: only neighbor links; a transfer pays one cycle per hop
+      of minimal ring distance. Cheap wires, distance-dependent
+      latency.
+    - {!Crossbar}: a shared switch; every distinct-cluster transfer
+      pays two cycles (arbitration + traversal) regardless of
+      distance.
+
+    All three degenerate to the paper's one-cycle transfer at two
+    clusters except the crossbar, whose arbitration stage is modeled
+    even then. *)
+
+type topology = Point_to_point | Ring | Crossbar
+
+val all : topology list
+(** [[Point_to_point; Ring; Crossbar]]. *)
+
+val to_string : topology -> string
+(** ["p2p"], ["ring"], ["xbar"] — the CLI spelling. *)
+
+val of_string : string -> topology
+(** Inverse of {!to_string} (also accepts ["point-to-point"] and
+    ["crossbar"]). Raises [Invalid_argument] on anything else. *)
+
+val describe : topology -> string
+(** One-line human description. *)
+
+val hop_latency : topology -> clusters:int -> src:int -> dst:int -> int
+(** Cycles for a transfer written in cluster [src] to become visible in
+    cluster [dst]; always >= 1, and 1 when [src = dst] (the local
+    write-back cost). Raises [Invalid_argument] if a cluster index is
+    out of range. *)
+
+val max_hop : topology -> clusters:int -> int
+(** The worst-case {!hop_latency} over all cluster pairs. *)
+
+val matrix : topology -> clusters:int -> int array
+(** The full latency table, flattened row-major:
+    [(matrix t ~clusters).(src * clusters + dst) =
+     hop_latency t ~clusters ~src ~dst]. *)

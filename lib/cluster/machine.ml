@@ -42,6 +42,7 @@ type engine = [ `Scan | `Wakeup ]
 
 type config = {
   assignment : Assignment.t;
+  topology : Interconnect.topology;
   dq_entries : int;
   phys_per_bank : int;
   fetch_width : int;
@@ -61,6 +62,7 @@ type config = {
 
 let single_cluster () =
   { assignment = Assignment.single;
+    topology = Interconnect.Point_to_point;
     dq_entries = 128;
     phys_per_bank = 128;
     fetch_width = 12;
@@ -93,6 +95,15 @@ let quad_cluster () =
     operand_buffer_entries = 4;
     result_buffer_entries = 4 }
 
+let octa_cluster () =
+  { (single_cluster ()) with
+    assignment = Assignment.create ~num_clusters:8 ();
+    dq_entries = 16;
+    phys_per_bank = 32;
+    issue_limits = Issue_rules.octa_per_cluster;
+    operand_buffer_entries = 2;
+    result_buffer_entries = 2 }
+
 let single_cluster_4 () =
   { (single_cluster ()) with
     dq_entries = 64;
@@ -110,6 +121,18 @@ let dual_cluster_2x2 () =
     issue_limits = Issue_rules.four_way_dual_per_cluster;
     operand_buffer_entries = 4;
     result_buffer_entries = 4 }
+
+let config_for_clusters ?(topology = Interconnect.Point_to_point) clusters =
+  let base =
+    match clusters with
+    | 1 -> single_cluster ()
+    | 2 -> dual_cluster ()
+    | 4 -> quad_cluster ()
+    | 8 -> octa_cluster ()
+    | n ->
+      invalid_arg (Printf.sprintf "Machine.config_for_clusters: %d (want 1, 2, 4 or 8)" n)
+  in
+  { base with topology }
 
 let validate_config c =
   if Assignment.num_clusters c.assignment < 1 || Assignment.num_clusters c.assignment > 8 then
@@ -364,14 +387,21 @@ type hot_counters = {
 type state = {
   cfg : config;
   engine : engine;
+  n_clust : int;
+  hops : int array;
+      (** interconnect hop latencies, flattened [src * n_clust + dst]
+          ({!Interconnect.matrix}); the dual machine's point-to-point
+          table is all ones, the scalar "+1" the transfer paths used to
+          hard-code *)
   mutable assignment : Assignment.t;  (* current phase's register assignment *)
   mutable trace : Flat_trace.t;
   mutable clusters : cluster_state array;
   mutable plan_memo : Distribution.plan option array;
-      (** distribution plans memoized per [(pc lsl 1) lor prefer]:
-          [Distribution.plan] is pure in (assignment, prefer, instr), so
-          each static instruction is planned at most twice (once per
-          preferred cluster) per assignment. Cleared on [load_phase]. *)
+      (** distribution plans memoized per [(pc lsl 3) lor prefer]
+          ([validate_config] caps clusters at 8, so [prefer] fits three
+          bits): [Distribution.plan] is pure in (assignment, prefer,
+          instr), so each static instruction is planned at most once per
+          preferred cluster per assignment. Cleared on [load_phase]. *)
   mutable plan_instrs : Instr.t array;
       (** the interned instruction each memo slot was planned for
           (physical identity is the validity check); [plan_dummy] marks
@@ -607,7 +637,7 @@ let acquire_group st (f : fetched) scenario =
    possible on hand-built traces that reuse a pc — recomputes without
    caching. *)
 let plan_for st ~pc ~prefer instr =
-  let key = (pc lsl 1) lor prefer in
+  let key = (pc lsl 3) lor prefer in
   if key >= Array.length st.plan_memo then begin
     let cap = max (key + 1) (max 128 (2 * Array.length st.plan_memo)) in
     let memo = Array.make cap None in
@@ -695,13 +725,25 @@ let rec dispatch_slaves st (g : group) (instr : Instr.t) dst dst_bank master sce
                              scenario });
     dispatch_slaves st g instr dst dst_bank master scenario rest
 
+(* Occupancy-based steering: the least-loaded cluster by the running
+   [cl_waiting] totals, lowest index winning ties (strict [<], so two
+   clusters reproduce the historical [<=] comparison exactly). A
+   top-level recursion — a closure or ref pair here would put dispatch
+   allocation back on the hot path. *)
+let rec steer_argmin (clusters : cluster_state array) i n best best_w =
+  if i >= n then best
+  else begin
+    let w = clusters.(i).cl_waiting in
+    if w < best_w then steer_argmin clusters (i + 1) n i w
+    else steer_argmin clusters (i + 1) n best best_w
+  end
+
 let try_dispatch_one st (f : fetched) =
   let cfg = st.cfg in
   let instr = Flat_trace.instr st.trace f.f_idx in
   let prefer =
-    if Array.length st.clusters = 1 then 0
-    else if st.clusters.(0).cl_waiting <= st.clusters.(1).cl_waiting then 0
-    else 1
+    let n = Array.length st.clusters in
+    if n = 1 then 0 else steer_argmin st.clusters 1 n 0 st.clusters.(0).cl_waiting
   in
   let plan = plan_for st ~pc:(Flat_trace.pc st.trace f.f_idx) ~prefer instr in
   let scenario = Distribution.scenario plan in
@@ -826,11 +868,20 @@ let rec srcs_ready_from st cl (c : copy) i n =
 let srcs_ready st (c : copy) =
   srcs_ready_from st st.clusters.(c.c_cluster) c 0 c.c_nsrcs
 
+(* Interconnect hop latency from cluster [src] to cluster [dst]; the
+   table is precomputed at [init_state], so the issue-path checks below
+   pay one array read. Point-to-point at any cluster count (and every
+   topology at two clusters except the crossbar) reads 1 — the transfer
+   cost the dual machine used to hard-code. *)
+let hop st ~src ~dst = st.hops.((src * st.n_clust) + dst)
+
 let rec slaves_can_feed st (g : group) i =
   i >= g.g_nslaves
   ||
   let s = g.g_slaves.(i) in
-  ((not s.c_forwards) || (s.c_state <> C_waiting && st.cycle >= s.c_issue + 1))
+  ((not s.c_forwards)
+  || (s.c_state <> C_waiting
+     && st.cycle >= s.c_issue + hop st ~src:s.c_cluster ~dst:s.c_master_cluster))
   && slaves_can_feed st g (i + 1)
 
 let rec result_slots_free st (g : group) i =
@@ -873,9 +924,13 @@ let structurally_ready st (c : copy) =
       Transfer_buffer.available master_cl.operand_buf ~cycle:st.cycle
       >= c.c_num_operand_entries
     else begin
-      (* Pure result-receiving slave: wait for the master's result. *)
+      (* Pure result-receiving slave: wait for the master's result to
+         cross the interconnect. At one hop this is the paper's rule —
+         issuable at [master_finish - 1], but never before the cycle
+         after the master issues. *)
       let m = c.c_group.g_master in
-      m.c_state = C_issued && st.cycle >= max (m.c_issue + 1) (m.c_finish - 1)
+      let h = hop st ~src:m.c_cluster ~dst:c.c_cluster in
+      m.c_state = C_issued && st.cycle >= max (m.c_issue + h) (m.c_finish - 2 + h)
     end
 
 let finish_of_issue st (c : copy) =
@@ -938,18 +993,19 @@ let rec forward_results st (c : copy) (g : group) i =
     let s = g.g_slaves.(i) in
     (if s.c_receives_result then begin
        let other = st.clusters.(s.c_cluster) in
+       let h = hop st ~src:c.c_cluster ~dst:s.c_cluster in
        s.c_result_entry <- Transfer_buffer.alloc other.result_buf ~cycle:st.cycle;
        if st.observed then
          st.emit
            (Ev_result_forward
-              { cycle = c.c_finish; seq = c.c_seq; from_cluster = c.c_cluster;
+              { cycle = c.c_finish + h - 1; seq = c.c_seq; from_cluster = c.c_cluster;
                 to_cluster = s.c_cluster });
        (* A suspended scenario-5 slave wakes when the result reaches its
           cluster: schedule it on the wake wheel now that the wake cycle
           is known. *)
        match st.engine with
        | `Wakeup when s.c_state = C_suspended ->
-         Bucket_queue.add st.wake_wheel ~key:(max (st.cycle + 1) (c.c_finish - 1)) s
+         Bucket_queue.add st.wake_wheel ~key:(max (st.cycle + h) (c.c_finish - 2 + h)) s
        | `Wakeup | `Scan -> ()
      end);
     forward_results st c g (i + 1)
@@ -1003,6 +1059,7 @@ let issue_slave_copy st (c : copy) =
        scratch array keeps allocation order, so index [n-1] is the newest
        and frees walk the array backwards. *)
     let master_cl = st.clusters.(c.c_master_cluster) in
+    let h = hop st ~src:c.c_cluster ~dst:c.c_master_cluster in
     let n = c.c_num_operand_entries in
     for k = 0 to n - 1 do
       c.c_operand_ents.(k) <- Transfer_buffer.alloc master_cl.operand_buf ~cycle:st.cycle
@@ -1011,17 +1068,17 @@ let issue_slave_copy st (c : copy) =
     if st.observed then
       st.emit
         (Ev_operand_forward
-           { cycle = st.cycle + 1; seq = c.c_seq; from_cluster = c.c_cluster;
+           { cycle = st.cycle + h; seq = c.c_seq; from_cluster = c.c_cluster;
              to_cluster = c.c_master_cluster });
     if c.c_receives_result then begin
       (* Scenario 5: wait (without re-issuing) for the master's result. *)
       c.c_state <- C_suspended;
       if st.observed then
-        st.emit (Ev_suspend { cycle = st.cycle + 1; seq = c.c_seq; cluster = c.c_cluster })
+        st.emit (Ev_suspend { cycle = st.cycle + h; seq = c.c_seq; cluster = c.c_cluster })
     end
     else begin
       c.c_state <- C_issued;
-      c.c_finish <- st.cycle + 1;
+      c.c_finish <- st.cycle + h;
       note_finish st c.c_finish
     end
   end
@@ -1215,7 +1272,8 @@ let wake_phase_scan st =
         let s = g.g_slaves.(i) in
         incr seen;
         if s.c_state = C_suspended && m.c_state = C_issued then begin
-          let wake_at = max (m.c_issue + 1) (m.c_finish - 1) in
+          let h = hop st ~src:m.c_cluster ~dst:s.c_cluster in
+          let wake_at = max (m.c_issue + h) (m.c_finish - 2 + h) in
           if st.cycle >= wake_at && s.c_result_entry >= 0 then begin
             wake_slave st s;
             incr woke
@@ -1605,8 +1663,11 @@ let init_state ?(engine = `Wakeup) ?profile ?on_event ?on_occupancy ?(occupancy_
       k_redirects = k "redirects";
       k_squashed_copies = k "squashed_copies" }
   in
+  let n_clust = Assignment.num_clusters cfg.assignment in
   { cfg;
     engine;
+    n_clust;
+    hops = Interconnect.matrix cfg.topology ~clusters:n_clust;
     assignment = cfg.assignment;
     trace = Flat_trace.of_dynamic_array [||];
     clusters = build_clusters cfg cfg.assignment;
@@ -1751,7 +1812,24 @@ let cluster_waiting cl =
   assert (scan = cl.cl_waiting);
   scan
 
+(* The steering argmin the dispatch hot path computes from the running
+   totals must match one recomputed from a full queue rescan. *)
+let steering_cross_check st =
+  let n = Array.length st.clusters in
+  if n > 1 then begin
+    let rec rescan_argmin i best best_w =
+      if i >= n then best
+      else begin
+        let w = total_waiting st.clusters.(i) in
+        if w < best_w then rescan_argmin (i + 1) i w else rescan_argmin (i + 1) best best_w
+      end
+    in
+    let fast = steer_argmin st.clusters 1 n 0 st.clusters.(0).cl_waiting in
+    assert (fast = rescan_argmin 1 0 (total_waiting st.clusters.(0)))
+  end
+
 let occupancy_snapshot st =
+  steering_cross_check st;
   let in_use buf = Transfer_buffer.entries buf - Transfer_buffer.available buf ~cycle:st.cycle in
   { oc_cycle = st.cycle;
     oc_rob = Deque.length st.rob;

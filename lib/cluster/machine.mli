@@ -23,9 +23,15 @@
     Dual-distributed instructions follow §2.1's five scenarios: the slave
     forwards operands through the master cluster's operand transfer buffer
     and/or receives the result through its own cluster's result transfer
-    buffer, with the paper's timing rules (master issuable the cycle after
-    an operand-forwarding slave issues; a result-receiving slave issuable
-    at [master_finish - 1], i.e. one cycle after the master for one-cycle
+    buffer, with the paper's timing rules generalized to a modeled
+    interconnect ({!Interconnect}): a transfer from cluster [src] to
+    cluster [dst] takes [hop_latency topology ~src ~dst] cycles, so the
+    master is issuable [hop] cycles after an operand-forwarding slave
+    issues, and a result-receiving slave is issuable at
+    [master_finish - 2 + hop]. At one hop — every pair of the
+    point-to-point dual machine — these are the paper's rules exactly
+    (master issuable the cycle after the slave; the slave issuable at
+    [master_finish - 1], i.e. one cycle after the master for one-cycle
     operations; freed buffer entries reusable the next cycle). An
     issue deadlock on transfer-buffer entries is broken by an
     instruction-replay exception: the blocked instruction and everything
@@ -64,6 +70,9 @@ type queue_split =
 
 type config = {
   assignment : Assignment.t;
+  topology : Interconnect.topology;
+      (** inter-cluster transfer latencies; {!Interconnect.Point_to_point}
+          is the paper's one-cycle model *)
   dq_entries : int;  (** dispatch-queue entries per cluster (all queues) *)
   phys_per_bank : int;  (** physical registers per bank per cluster *)
   fetch_width : int;
@@ -101,6 +110,19 @@ val quad_cluster : unit -> config
     four (sp/gp global), four operand- and four result-buffer entries per
     cluster. The paper develops two clusters "without loss of
     generality"; this is the generalization it implies. *)
+
+val octa_cluster : unit -> config
+(** An eight-cluster machine, same split discipline continued: eight
+    1-issue clusters, 16-entry dispatch queues, 32+32 physical registers
+    each (the register-file floor), registers assigned by index modulo
+    eight (sp/gp global), two operand- and two result-buffer entries per
+    cluster. *)
+
+val config_for_clusters : ?topology:Interconnect.topology -> int -> config
+(** The stock configuration for 1, 2, 4 or 8 clusters
+    ({!single_cluster} … {!octa_cluster}) with the given interconnect
+    topology (default {!Interconnect.Point_to_point}).
+    @raise Invalid_argument on any other cluster count. *)
 
 val single_cluster_4 : unit -> config
 (** The four-way-issue baseline the paper also evaluated (§4): one

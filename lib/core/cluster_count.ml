@@ -1,25 +1,39 @@
 module Machine = Mcsim_cluster.Machine
+module Interconnect = Mcsim_cluster.Interconnect
 module Pipeline = Mcsim_compiler.Pipeline
 module Walker = Mcsim_trace.Walker
 module Spec92 = Mcsim_workload.Spec92
 module Palacharla = Mcsim_timing.Palacharla
+module Net = Mcsim_timing.Net_performance
 module Pool = Mcsim_util.Pool
+
+type cell = {
+  clusters : int;
+  topology : Interconnect.topology;
+  cycles : int;
+  cycles_pct : float;
+  multi_fraction : float;
+  net_018_pct : float;
+}
 
 type row = {
   benchmark : string;
-  cycles : int array;
-  cycles_pct : float array;
-  multi_fraction : float array;
-  net_018_pct : float array;
+  single_cycles : int;
+  cells : cell list;
 }
 
-let cluster_counts = [ 1; 2; 4 ]
+let cluster_counts = [ 1; 2; 4; 8 ]
 
-let config_for = function
-  | 1 -> Machine.single_cluster ()
-  | 2 -> Machine.dual_cluster ()
-  | 4 -> Machine.quad_cluster ()
-  | n -> invalid_arg (Printf.sprintf "Cluster_count: %d clusters" n)
+(* One cell per (cluster count, topology); the 1-cluster machine has no
+   interconnect, so it appears once, as the point-to-point baseline. *)
+let matrix_points =
+  List.concat_map
+    (fun n ->
+      if n = 1 then [ (1, Interconnect.Point_to_point) ]
+      else List.map (fun t -> (n, t)) Interconnect.all)
+    cluster_counts
+
+let config_for ?topology n = Machine.config_for_clusters ?topology n
 
 module Json = Mcsim_obs.Json
 
@@ -35,15 +49,19 @@ let run ?jobs ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?ret
             ~trace_instrs:max_instrs (config_for 1)
         in
         let extra =
-          [ ("cluster_counts", Json.List (List.map (fun c -> Json.Int c) cluster_counts)) ]
+          [ ("cluster_counts", Json.List (List.map (fun c -> Json.Int c) cluster_counts));
+            ( "topologies",
+              Json.List
+                (List.map (fun t -> Json.String (Interconnect.to_string t)) Interconnect.all)
+            ) ]
         in
         Checkpoint.open_ ~dir ~kind:"clusters" ~manifest ~extra ())
       checkpoint
   in
   (* Stage 1: one job per benchmark (program + profile). Stage 2: one job
-     per (benchmark x cluster count); each compiles, traces and simulates
-     independently from the shared immutable profile, so the rows are the
-     same for every [jobs]. *)
+     per (benchmark x cluster count x topology); each compiles, traces
+     and simulates independently from the shared immutable profile, so
+     the rows are the same for every [jobs]. *)
   let preps =
     Array.of_list
       (Pool.parallel_map ?retries ?backoff ?inject_fault ~jobs
@@ -54,13 +72,13 @@ let run ?jobs ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?ret
   in
   let sims =
     List.concat
-      (List.mapi (fun i _ -> List.map (fun c -> (i, c)) cluster_counts) benchmarks)
+      (List.mapi (fun i _ -> List.map (fun p -> (i, p)) matrix_points) benchmarks)
   in
-  (* One durable unit per (benchmark, cluster count); cached cells are
-     decoded serially here, before the fan-out. *)
-  let key (i, clusters) =
+  (* One durable unit per (benchmark, cluster count, topology); cached
+     cells are decoded serially here, before the fan-out. *)
+  let key (i, (clusters, topology)) =
     let b, _, _ = preps.(i) in
-    Spec92.name b ^ "/" ^ string_of_int clusters
+    Printf.sprintf "%s/%d/%s" (Spec92.name b) clusters (Interconnect.to_string topology)
   in
   let cached =
     List.map
@@ -76,14 +94,14 @@ let run ?jobs ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?ret
   let exec = List.filter_map (fun (s, hit) -> if hit = None then Some s else None) cached in
   let fresh =
     Pool.parallel_map ?retries ?backoff ?inject_fault ~jobs
-      (fun ((i, clusters) as s) ->
+      (fun ((i, (clusters, topology)) as s) ->
         let _, prog, profile = preps.(i) in
         let scheduler =
           if clusters = 1 then Pipeline.Sched_none else Pipeline.default_local
         in
         let c = Pipeline.compile ~clusters ~profile ~scheduler prog in
         let trace = Walker.trace ~seed ~max_instrs c.Pipeline.mach in
-        let r = Machine.run (config_for clusters) trace in
+        let r = Machine.run (config_for ~topology clusters) trace in
         Option.iter
           (fun st ->
             Checkpoint.record st ~key:(key s)
@@ -100,62 +118,80 @@ let run ?jobs ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all) ?ret
       match fresh with [] -> assert false | r :: rest -> r :: merge tl rest)
   in
   let outs = merge cached fresh in
-  let per_bench = List.length cluster_counts in
+  let per_bench = List.length matrix_points in
   List.mapi
     (fun i (b, _, _) ->
       let results = List.filteri (fun j _ -> j / per_bench = i) outs in
-      let cycles = Array.of_list (List.map (fun r -> r.Machine.cycles) results) in
-      let single = cycles.(0) in
-      let t_single =
-        Palacharla.cycle_time (Palacharla.per_cluster_config ~clusters:1 Palacharla.F0_18)
-      in
+      let single = (List.hd results).Machine.cycles in
       { benchmark = Spec92.name b;
-        cycles;
-        cycles_pct =
-          Array.map
-            (fun c -> 100.0 -. (100.0 *. float_of_int c /. float_of_int single))
-            cycles;
-        multi_fraction =
-          Array.of_list
-            (List.map
-               (fun r ->
-                 Mcsim_util.Stats.ratio r.Machine.dual_distributed r.Machine.retired)
-               results);
-        net_018_pct =
-          Array.of_list
-            (List.mapi
-               (fun i r ->
-                 let clusters = List.nth cluster_counts i in
-                 let t =
-                   Palacharla.cycle_time
-                     (Palacharla.per_cluster_config ~clusters Palacharla.F0_18)
-                 in
-                 100.0
-                 -. (100.0 *. float_of_int r.Machine.cycles *. t
-                     /. (float_of_int single *. t_single)))
-               results) })
+        single_cycles = single;
+        cells =
+          List.map2
+            (fun (clusters, topology) (r : Machine.result) ->
+              { clusters;
+                topology;
+                cycles = r.Machine.cycles;
+                cycles_pct =
+                  100.0
+                  -. (100.0 *. float_of_int r.Machine.cycles /. float_of_int single);
+                multi_fraction =
+                  Mcsim_util.Stats.ratio r.Machine.dual_distributed r.Machine.retired;
+                net_018_pct =
+                  Net.net_speedup_pct_n ~single_cycles:single ~cycles:r.Machine.cycles
+                    ~clusters ~topology ~feature:Palacharla.F0_18 })
+            matrix_points results })
     (Array.to_list preps)
 
+let find_cell row ~clusters ~topology =
+  List.find_opt (fun c -> c.clusters = clusters && c.topology = topology) row.cells
+
 let render rows =
+  let multi_counts = List.filter (fun n -> n > 1) cluster_counts in
   let header =
-    [ "benchmark"; "1-cluster cyc"; "2-cluster %"; "4-cluster %"; "multi frac 2/4";
-      "net@0.18um 2/4" ]
+    "benchmark" :: "topology" :: "1-cl cyc"
+    :: List.map (fun n -> Printf.sprintf "%d-cl %% (net)" n) multi_counts
   in
   let body =
-    List.map
+    List.concat_map
       (fun r ->
-        [ r.benchmark;
-          string_of_int r.cycles.(0);
-          Printf.sprintf "%+.1f" r.cycles_pct.(1);
-          Printf.sprintf "%+.1f" r.cycles_pct.(2);
-          Printf.sprintf "%.2f/%.2f" r.multi_fraction.(1) r.multi_fraction.(2);
-          Printf.sprintf "%+.1f/%+.1f" r.net_018_pct.(1) r.net_018_pct.(2) ])
+        List.map
+          (fun t ->
+            r.benchmark :: Interconnect.to_string t
+            :: string_of_int r.single_cycles
+            :: List.map
+                 (fun n ->
+                   match find_cell r ~clusters:n ~topology:t with
+                   | Some c -> Printf.sprintf "%+.1f (%+.1f)" c.cycles_pct c.net_018_pct
+                   | None -> "-")
+                 multi_counts)
+          Interconnect.all)
       rows
   in
-  Mcsim_util.Text_table.render
-    ~aligns:
-      [| Mcsim_util.Text_table.Left; Right; Right; Right; Right; Right |]
-    (header :: body)
+  let aligns =
+    Array.of_list
+      (Mcsim_util.Text_table.Left :: Left :: Right
+      :: List.map (fun _ -> Mcsim_util.Text_table.Right) multi_counts)
+  in
+  Mcsim_util.Text_table.render ~aligns (header :: body)
   ^ "cycle %% vs the 8-issue monolith (negative = more cycles); net folds in the\n\
-     Palacharla 0.18um clock of each cluster's window (2-issue/32-entry clusters\n\
-     clock fastest)\n"
+     Palacharla 0.18um clock of each cluster's window capped by one interconnect\n\
+     hop (point-to-point wiring stops scaling, ring/crossbar pay cycles instead)\n"
+
+let cell_json (c : cell) =
+  Json.Obj
+    [ ("clusters", Json.Int c.clusters);
+      ("topology", Json.String (Interconnect.to_string c.topology));
+      ("cycles", Json.Int c.cycles);
+      ("cycles_pct", Json.Float c.cycles_pct);
+      ("multi_fraction", Json.Float c.multi_fraction);
+      ("net_018_pct", Json.Float c.net_018_pct) ]
+
+let rows_json rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [ ("benchmark", Json.String r.benchmark);
+             ("single_cycles", Json.Int r.single_cycles);
+             ("cells", Json.List (List.map cell_json r.cells)) ])
+       rows)

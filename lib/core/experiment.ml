@@ -45,24 +45,35 @@ let scheduler_ident = function
   | Pipeline.Sched_round_robin -> "round_robin"
   | Pipeline.Sched_random s -> Printf.sprintf "random:%d" s
 
+(* The target cluster count changes the compiled binary (partitioning
+   and residue-class register assignment), hence the trace. Non-default
+   counts get their own trace-store keys; the historical 2-cluster keys
+   are unchanged. *)
+let scheduler_ident_n ~clusters scheduler =
+  if clusters = 2 then scheduler_ident scheduler
+  else Printf.sprintf "%s@%dcl" (scheduler_ident scheduler) clusters
+
 (* The committed trace of [prog]'s binary under [scheduler]: from the
    trace store when present there, otherwise walked (and saved). Keyed by
    benchmark name — the store assumes a name identifies one program. *)
-let trace_of ~trace_store ~seed ~max_instrs ~benchmark ~scheduler walk =
+let trace_of ~trace_store ~clusters ~seed ~max_instrs ~benchmark ~scheduler walk =
   match trace_store with
   | None -> walk ()
   | Some store ->
     let key =
-      { Trace_store.benchmark; scheduler = scheduler_ident scheduler; seed; max_instrs }
+      { Trace_store.benchmark;
+        scheduler = scheduler_ident_n ~clusters scheduler;
+        seed;
+        max_instrs }
     in
     fst (Trace_store.load_or_build store key walk)
 
-let make_prep ?trace_store ~seed ~max_instrs prog =
+let make_prep ?trace_store ~clusters ~seed ~max_instrs prog =
   let profile = Walker.profile ~seed prog in
-  let native = Pipeline.compile ~profile ~scheduler:Pipeline.Sched_none prog in
+  let native = Pipeline.compile ~clusters ~profile ~scheduler:Pipeline.Sched_none prog in
   let native_trace =
-    trace_of ~trace_store ~seed ~max_instrs ~benchmark:prog.Mcsim_ir.Program.name
-      ~scheduler:Pipeline.Sched_none (fun () ->
+    trace_of ~trace_store ~clusters ~seed ~max_instrs
+      ~benchmark:prog.Mcsim_ir.Program.name ~scheduler:Pipeline.Sched_none (fun () ->
         Walker.trace_flat ~seed ~max_instrs native.Pipeline.mach)
   in
   { p_prog = prog; p_profile = profile; p_native = native; p_native_trace = native_trace }
@@ -88,8 +99,8 @@ let simulate ~engine ~sampling cfg trace =
   | None -> Machine.run_flat ?engine cfg trace
   | Some policy -> Sampling.estimate (Sampling.run_flat ?engine ~policy cfg trace)
 
-let run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config ~trace_store
-    prep_of = function
+let run_sim ~clusters ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config
+    ~trace_store prep_of = function
   | Sim_single i ->
     Out_single (simulate ~engine ~sampling single_config (prep_of i).p_native_trace)
   | Sim_sched (i, (name, scheduler)) ->
@@ -98,13 +109,13 @@ let run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config ~tra
       match scheduler with
       | Pipeline.Sched_none -> prep.p_native
       | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
-        Pipeline.compile ~profile:prep.p_profile ~scheduler prep.p_prog
+        Pipeline.compile ~clusters ~profile:prep.p_profile ~scheduler prep.p_prog
     in
     let trace =
       match scheduler with
       | Pipeline.Sched_none -> prep.p_native_trace
       | Pipeline.Sched_local _ | Pipeline.Sched_round_robin | Pipeline.Sched_random _ ->
-        trace_of ~trace_store ~seed ~max_instrs
+        trace_of ~trace_store ~clusters ~seed ~max_instrs
           ~benchmark:prep.p_prog.Mcsim_ir.Program.name ~scheduler (fun () ->
             Walker.trace_flat ~seed ~max_instrs compiled.Pipeline.mach)
     in
@@ -198,6 +209,8 @@ let run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_
     match single_config with Some c -> c | None -> Machine.single_cluster ()
   in
   let dual_config = match dual_config with Some c -> c | None -> Machine.dual_cluster () in
+  (* Binaries are scheduled for the partitioned machine they run on. *)
+  let clusters = Mcsim_cluster.Assignment.num_clusters dual_config.Machine.assignment in
   let trace_store = Option.map (fun dir -> Trace_store.open_ ~dir) trace_cache in
   let store =
     Option.map
@@ -237,7 +250,7 @@ let run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_
   let prep_fail : Pool.failure option array = Array.make n None in
   Pool.parallel_map_status ~retries ?backoff ?inject_fault ~jobs
     (fun (i, prog) ->
-      let p = make_prep ?trace_store ~seed ~max_instrs prog in
+      let p = make_prep ?trace_store ~clusters ~seed ~max_instrs prog in
       Option.iter
         (fun st ->
           Checkpoint.record st ~key:(key_meta names.(i))
@@ -269,8 +282,8 @@ let run_many_core ~jobs ~max_instrs ~seed ~schedulers ~engine ~sampling ~single_
     Pool.parallel_map_status ~retries ?backoff ?inject_fault ~jobs
       (fun spec ->
         let out =
-          run_sim ~seed ~max_instrs ~engine ~sampling ~single_config ~dual_config
-            ~trace_store get_prep spec
+          run_sim ~clusters ~seed ~max_instrs ~engine ~sampling ~single_config
+            ~dual_config ~trace_store get_prep spec
         in
         let bench = match spec with Sim_single i | Sim_sched (i, _) -> names.(i) in
         Option.iter (fun st -> record_out st bench out) store;

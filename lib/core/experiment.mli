@@ -37,6 +37,14 @@ val scheduler_ident : Mcsim_compiler.Pipeline.scheduler -> string
     distinct idents, so differently-tuned schedulers never share a
     cached trace. *)
 
+val scheduler_ident_n : clusters:int -> Mcsim_compiler.Pipeline.scheduler -> string
+(** {!scheduler_ident} for a binary compiled for [clusters] clusters:
+    the cluster count changes the partitioning and the residue-class
+    register assignment, hence the trace, so non-default counts carry a
+    ["@Ncl"] suffix (e.g. ["local:2:0@4cl"]). [~clusters:2] is exactly
+    {!scheduler_ident}, so historical trace-store entries keep their
+    keys. *)
+
 val run_many :
   ?jobs:int ->
   ?max_instrs:int ->

@@ -23,6 +23,10 @@ let four_way_dual_per_cluster =
   { total = 2; int_multiply = 2; int_other = 2; fp_all = 1; fp_divide = 1; fp_other = 1;
     memory = 1; control = 1 }
 
+let octa_per_cluster =
+  { total = 1; int_multiply = 1; int_other = 1; fp_all = 1; fp_divide = 1; fp_other = 1;
+    memory = 1; control = 1 }
+
 let scale l k =
   if k < 1 then invalid_arg "Issue_rules.scale";
   let s x = max 1 (x * k) in

@@ -32,6 +32,10 @@ val four_way_dual_per_cluster : limits
 (** One cluster of the four-way dual machine: 2-issue; 2/2 integer,
     1 fp, 1 memory, 1 control. *)
 
+val octa_per_cluster : limits
+(** One cluster of the eight-cluster machine: scalar issue, every cap
+    at 1 — the Table-1 split discipline taken to its end point. *)
+
 val scale : limits -> int -> limits
 (** [scale l k] multiplies every cap by [k] (for what-if configurations);
     caps never drop below 1. Requires [k >= 1]. *)

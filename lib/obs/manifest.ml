@@ -36,10 +36,11 @@ let config_description (cfg : Machine.config) =
   in
   let p = cfg.Machine.predictor in
   Printf.sprintf
-    "clusters=%d;globals=[%s];dq=%d;phys=%d;fetch=%d;dispatch=%d;retire=%d;limits=%s;\
-     queues=%s;operand_buf=%d;result_buf=%d;icache=%s;dcache=%s;predictor=%d/%d/%d/%d;\
-     redirect=%d;replay=%d:%d"
+    "clusters=%d;topology=%s;globals=[%s];dq=%d;phys=%d;fetch=%d;dispatch=%d;retire=%d;\
+     limits=%s;queues=%s;operand_buf=%d;result_buf=%d;icache=%s;dcache=%s;\
+     predictor=%d/%d/%d/%d;redirect=%d;replay=%d:%d"
     (Assignment.num_clusters asg)
+    (Mcsim_cluster.Interconnect.to_string cfg.Machine.topology)
     globals cfg.Machine.dq_entries cfg.Machine.phys_per_bank cfg.Machine.fetch_width
     cfg.Machine.dispatch_width cfg.Machine.retire_width
     (Format.asprintf "%a" Mcsim_isa.Issue_rules.pp cfg.Machine.issue_limits)

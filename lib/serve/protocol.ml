@@ -74,6 +74,11 @@ let read_frame fd r =
 (* Sweeps                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* [clusters = None] keeps the sweep's historical machine selection
+   ([machine], or single-vs-dual for Table2); [Some n] partitions into n
+   clusters wired as [topology] instead. Both fields are omitted from
+   the wire format when at their defaults, so old clients and servers
+   interoperate for every sweep they could already express. *)
 type sweep =
   | Table2 of {
       benchmarks : Spec92.benchmark list;
@@ -82,6 +87,8 @@ type sweep =
       engine : Mcsim_cluster.Machine.engine;
       sampling : Sampling.policy option;
       four_way : bool;
+      clusters : int option;
+      topology : Mcsim_cluster.Interconnect.topology;
     }
   | Run of {
       bench : Spec92.benchmark;
@@ -90,6 +97,8 @@ type sweep =
       max_instrs : int;
       seed : int;
       engine : Mcsim_cluster.Machine.engine;
+      clusters : int option;
+      topology : Mcsim_cluster.Interconnect.topology;
     }
   | Sample of {
       bench : Spec92.benchmark;
@@ -99,6 +108,8 @@ type sweep =
       seed : int;
       engine : Mcsim_cluster.Machine.engine;
       policy : Sampling.policy;
+      clusters : int option;
+      topology : Mcsim_cluster.Interconnect.topology;
     }
 
 let sweep_kind = function Table2 _ -> "table2" | Run _ -> "run" | Sample _ -> "sample"
@@ -145,6 +156,29 @@ let bool_field j k =
   | Some (Json.Bool b) -> b
   | _ -> failwith (Printf.sprintf "protocol: missing or mistyped field %S" k)
 
+(* Absent on frames from pre-interconnect clients. *)
+let clusters_field j =
+  match Json.member "clusters" j with
+  | None | Some Json.Null -> None
+  | Some (Json.Int n) -> Some n
+  | Some _ -> failwith "protocol: missing or mistyped field \"clusters\""
+
+let topology_field j =
+  match Json.member "topology" j with
+  | None | Some Json.Null -> Mcsim_cluster.Interconnect.Point_to_point
+  | Some (Json.String s) -> (
+    match Mcsim_cluster.Interconnect.of_string s with
+    | t -> t
+    | exception Invalid_argument m -> failwith ("protocol: " ^ m))
+  | Some _ -> failwith "protocol: missing or mistyped field \"topology\""
+
+let cluster_fields ~clusters ~topology =
+  (match clusters with Some n -> [ ("clusters", Json.Int n) ] | None -> [])
+  @
+  match topology with
+  | Mcsim_cluster.Interconnect.Point_to_point -> []
+  | t -> [ ("topology", Json.String (Mcsim_cluster.Interconnect.to_string t)) ]
+
 let policy_field ~seed j k =
   match Json.member k j with
   | Some Json.Null | None -> None
@@ -155,37 +189,42 @@ let policy_field ~seed j k =
   | Some _ -> failwith (Printf.sprintf "protocol: missing or mistyped field %S" k)
 
 let sweep_to_json = function
-  | Table2 { benchmarks; max_instrs; seed; engine; sampling; four_way } ->
+  | Table2 { benchmarks; max_instrs; seed; engine; sampling; four_way; clusters; topology }
+    ->
     Json.Obj
-      [ ("kind", Json.String "table2");
-        ("benchmarks", Json.List (List.map (fun b -> Json.String (Spec92.name b)) benchmarks));
-        ("max_instrs", Json.Int max_instrs);
-        ("seed", Json.Int seed);
-        ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
-        ("sampling",
-         match sampling with
-         | Some p -> Json.String (Sampling.policy_to_string p)
-         | None -> Json.Null);
-        ("four_way", Json.Bool four_way) ]
-  | Run { bench; machine; scheduler; max_instrs; seed; engine } ->
+      ([ ("kind", Json.String "table2");
+         ("benchmarks", Json.List (List.map (fun b -> Json.String (Spec92.name b)) benchmarks));
+         ("max_instrs", Json.Int max_instrs);
+         ("seed", Json.Int seed);
+         ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
+         ("sampling",
+          match sampling with
+          | Some p -> Json.String (Sampling.policy_to_string p)
+          | None -> Json.Null);
+         ("four_way", Json.Bool four_way) ]
+      @ cluster_fields ~clusters ~topology)
+  | Run { bench; machine; scheduler; max_instrs; seed; engine; clusters; topology } ->
     Json.Obj
-      [ ("kind", Json.String "run");
-        ("benchmark", Json.String (Spec92.name bench));
-        ("machine", Json.String (machine_name machine));
-        ("scheduler", Json.String (Pipeline.scheduler_name scheduler));
-        ("max_instrs", Json.Int max_instrs);
-        ("seed", Json.Int seed);
-        ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine)) ]
-  | Sample { bench; machine; scheduler; max_instrs; seed; engine; policy } ->
+      ([ ("kind", Json.String "run");
+         ("benchmark", Json.String (Spec92.name bench));
+         ("machine", Json.String (machine_name machine));
+         ("scheduler", Json.String (Pipeline.scheduler_name scheduler));
+         ("max_instrs", Json.Int max_instrs);
+         ("seed", Json.Int seed);
+         ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine)) ]
+      @ cluster_fields ~clusters ~topology)
+  | Sample { bench; machine; scheduler; max_instrs; seed; engine; policy; clusters; topology }
+    ->
     Json.Obj
-      [ ("kind", Json.String "sample");
-        ("benchmark", Json.String (Spec92.name bench));
-        ("machine", Json.String (machine_name machine));
-        ("scheduler", Json.String (Pipeline.scheduler_name scheduler));
-        ("max_instrs", Json.Int max_instrs);
-        ("seed", Json.Int seed);
-        ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
-        ("sampling", Json.String (Sampling.policy_to_string policy)) ]
+      ([ ("kind", Json.String "sample");
+         ("benchmark", Json.String (Spec92.name bench));
+         ("machine", Json.String (machine_name machine));
+         ("scheduler", Json.String (Pipeline.scheduler_name scheduler));
+         ("max_instrs", Json.Int max_instrs);
+         ("seed", Json.Int seed);
+         ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
+         ("sampling", Json.String (Sampling.policy_to_string policy)) ]
+      @ cluster_fields ~clusters ~topology)
 
 let sweep_of_json j =
   match str_field j "kind" with
@@ -207,7 +246,9 @@ let sweep_of_json j =
         seed;
         engine = engine_of_name (str_field j "engine");
         sampling = policy_field ~seed j "sampling";
-        four_way = bool_field j "four_way" }
+        four_way = bool_field j "four_way";
+        clusters = clusters_field j;
+        topology = topology_field j }
   | "run" ->
     Run
       { bench = bench_of_name (str_field j "benchmark");
@@ -215,7 +256,9 @@ let sweep_of_json j =
         scheduler = scheduler_of_name (str_field j "scheduler");
         max_instrs = int_field j "max_instrs";
         seed = int_field j "seed";
-        engine = engine_of_name (str_field j "engine") }
+        engine = engine_of_name (str_field j "engine");
+        clusters = clusters_field j;
+        topology = topology_field j }
   | "sample" ->
     let seed = int_field j "seed" in
     let policy =
@@ -230,7 +273,9 @@ let sweep_of_json j =
         max_instrs = int_field j "max_instrs";
         seed;
         engine = engine_of_name (str_field j "engine");
-        policy }
+        policy;
+        clusters = clusters_field j;
+        topology = topology_field j }
   | k -> failwith (Printf.sprintf "protocol: unknown sweep kind %S" k)
 
 (* ------------------------------------------------------------------ *)

@@ -55,6 +55,12 @@ val read_frame : Unix.file_descr -> reader -> Mcsim_obs.Json.t option
 
 (** {2 Sweeps} *)
 
+(** [clusters = None] keeps the sweep's historical machine selection
+    ([machine], or single-vs-dual for Table2); [Some n] runs the n-way
+    partitioned machine wired as [topology] instead. Both fields are
+    omitted from the wire format at their defaults ([None],
+    point-to-point), so frames from pre-interconnect peers decode
+    unchanged. *)
 type sweep =
   | Table2 of {
       benchmarks : Mcsim_workload.Spec92.benchmark list;
@@ -63,6 +69,8 @@ type sweep =
       engine : Mcsim_cluster.Machine.engine;
       sampling : Mcsim_sampling.Sampling.policy option;
       four_way : bool;
+      clusters : int option;
+      topology : Mcsim_cluster.Interconnect.topology;
     }
   | Run of {
       bench : Mcsim_workload.Spec92.benchmark;
@@ -71,6 +79,8 @@ type sweep =
       max_instrs : int;
       seed : int;
       engine : Mcsim_cluster.Machine.engine;
+      clusters : int option;
+      topology : Mcsim_cluster.Interconnect.topology;
     }
   | Sample of {
       bench : Mcsim_workload.Spec92.benchmark;
@@ -80,6 +90,8 @@ type sweep =
       seed : int;
       engine : Mcsim_cluster.Machine.engine;
       policy : Mcsim_sampling.Sampling.policy;
+      clusters : int option;
+      topology : Mcsim_cluster.Interconnect.topology;
     }
 
 val sweep_kind : sweep -> string

@@ -37,13 +37,13 @@ type unit_spec = {
   u_compute : unit -> (string * Json.t) list;
 }
 
-(* Mirrors the CLI's trace path: walk the committed trace, or map it
-   from the shared trace store. *)
-let flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () =
+(* Mirrors the CLI's trace path: walk the committed trace (compiled for
+   the target cluster count), or map it from the shared trace store. *)
+let flat_trace ~trace_cache ~bench ~scheduler ~clusters ~seed ~max_instrs () =
   let walk () =
     let prog = Spec92.program bench in
     let profile = Mcsim_trace.Walker.profile ~seed prog in
-    let c = Pipeline.compile ~profile ~scheduler prog in
+    let c = Pipeline.compile ~clusters ~profile ~scheduler prog in
     Mcsim_trace.Walker.trace_flat ~seed ~max_instrs c.Pipeline.mach
   in
   match trace_cache with
@@ -52,18 +52,45 @@ let flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () =
     let store = Mcsim.Trace_store.open_ ~dir in
     let key =
       { Mcsim.Trace_store.benchmark = Spec92.name bench;
-        scheduler = Mcsim.Experiment.scheduler_ident scheduler;
+        scheduler = Mcsim.Experiment.scheduler_ident_n ~clusters scheduler;
         seed;
         max_instrs }
     in
     fst (Mcsim.Trace_store.load_or_build store key walk)
 
+(* The machine a Run/Sample sweep simulates: --clusters overrides the
+   single/dual pair, --topology applies either way (it is part of the
+   config and so of the cache identity). *)
+let config_of ~machine ~clusters ~topology =
+  match clusters with
+  | Some n -> Machine.config_for_clusters ~topology n
+  | None ->
+    let base =
+      match machine with
+      | `Single -> Machine.single_cluster ()
+      | `Dual -> Machine.dual_cluster ()
+    in
+    { base with Machine.topology }
+
+(* Binaries are compiled for the cluster count of the machine that runs
+   them; without --clusters that is the historical default of 2 (even
+   for the single-cluster machine, which runs the same native binary the
+   dual machine does — the Table-2 methodology). *)
+let compile_clusters = function Some n -> n | None -> 2
+
 let units_of_sweep ~trace_cache = function
-  | P.Table2 { benchmarks; max_instrs; seed; engine; sampling; four_way } ->
+  | P.Table2 { benchmarks; max_instrs; seed; engine; sampling; four_way; clusters; topology }
+    ->
+    if four_way && clusters <> None then
+      failwith "table2: --four-way and --clusters are mutually exclusive";
     let single_config, dual_config =
       if four_way then
-        (Some (Machine.single_cluster_4 ()), Some (Machine.dual_cluster_2x2 ()))
-      else (None, None)
+        (Some { (Machine.single_cluster_4 ()) with Machine.topology },
+         Some { (Machine.dual_cluster_2x2 ()) with Machine.topology })
+      else
+        match clusters with
+        | Some n -> (None, Some (Machine.config_for_clusters ~topology n))
+        | None -> (None, Some { (Machine.dual_cluster ()) with Machine.topology })
     in
     let units =
       List.map
@@ -94,12 +121,9 @@ let units_of_sweep ~trace_cache = function
       Json.Obj [ ("rows", Json.List rows) ]
     in
     (units, assemble)
-  | P.Run { bench; machine; scheduler; max_instrs; seed; engine } ->
-    let cfg =
-      match machine with
-      | `Single -> Machine.single_cluster ()
-      | `Dual -> Machine.dual_cluster ()
-    in
+  | P.Run { bench; machine; scheduler; max_instrs; seed; engine; clusters; topology } ->
+    let cfg = config_of ~machine ~clusters ~topology in
+    let cclusters = compile_clusters clusters in
     let manifest =
       Manifest.make ~engine ~seed ~benchmark:(Spec92.name bench)
         ~scheduler:(Pipeline.scheduler_name scheduler) ~trace_instrs:max_instrs cfg
@@ -110,18 +134,19 @@ let units_of_sweep ~trace_cache = function
         u_key = "run";
         u_compute =
           (fun () ->
-            let trace = flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () in
+            let trace =
+              flat_trace ~trace_cache ~bench ~scheduler ~clusters:cclusters ~seed
+                ~max_instrs ()
+            in
             let n = Mcsim_isa.Flat_trace.length trace in
             let r = Machine.run_flat ~engine cfg trace in
             [ ("result", Metrics.result_json r); ("trace_instrs", Json.Int n) ]) }
     in
     ([ unit ], fun slots -> Json.Obj slots.(0))
-  | P.Sample { bench; machine; scheduler; max_instrs; seed; engine; policy } ->
-    let cfg =
-      match machine with
-      | `Single -> Machine.single_cluster ()
-      | `Dual -> Machine.dual_cluster ()
-    in
+  | P.Sample { bench; machine; scheduler; max_instrs; seed; engine; policy; clusters; topology }
+    ->
+    let cfg = config_of ~machine ~clusters ~topology in
+    let cclusters = compile_clusters clusters in
     let manifest =
       Manifest.make ~engine ~seed ~benchmark:(Spec92.name bench)
         ~scheduler:(Pipeline.scheduler_name scheduler) ~trace_instrs:max_instrs
@@ -133,7 +158,10 @@ let units_of_sweep ~trace_cache = function
         u_key = "sample";
         u_compute =
           (fun () ->
-            let trace = flat_trace ~trace_cache ~bench ~scheduler ~seed ~max_instrs () in
+            let trace =
+              flat_trace ~trace_cache ~bench ~scheduler ~clusters:cclusters ~seed
+                ~max_instrs ()
+            in
             let s = Sampling.run_flat ~engine ~policy cfg trace in
             [ ("sampling", Metrics.sampling_json s);
               ("result", Metrics.result_json s.Sampling.machine) ]) }

@@ -24,6 +24,13 @@ type config = {
   feature : feature;
 }
 
+val gate_scale : feature -> float
+(** Shrink factor for gate-dominated delays (1.0 at 0.35 µm). *)
+
+val wire_scale : feature -> float
+(** Shrink factor for wire-dominated delays — about 0.9 across the
+    0.35 → 0.18 shrink. *)
+
 val rename_delay : config -> float
 (** Picoseconds. *)
 
@@ -45,8 +52,10 @@ val dual_cluster_config : feature -> config
 
 val per_cluster_config : clusters:int -> feature -> config
 (** One cluster of an [clusters]-way partitioned 8-issue machine:
-    [8/clusters]-issue with a [128/clusters]-entry window. [clusters]
-    must divide 8. *)
+    [8/clusters]-issue with a [128/clusters]-entry window.
+    @raise Invalid_argument unless [clusters >= 1] and [clusters]
+    divides 8 — the message names the constraint, so CLI validation can
+    surface it as a one-line error. *)
 
 val eight_vs_four_ratio : feature -> float
 (** [cycle_time (single_cluster_config f) /. cycle_time

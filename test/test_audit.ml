@@ -97,10 +97,24 @@ let quad_trace seed =
   in
   Mcsim_trace.Walker.trace ~max_instrs:2_500 c.Mcsim_compiler.Pipeline.mach
 
+let octa_trace seed =
+  let prog = random_program seed in
+  let profile = Mcsim_trace.Walker.profile prog in
+  let c =
+    Mcsim_compiler.Pipeline.compile ~clusters:8 ~profile
+      ~scheduler:Mcsim_compiler.Pipeline.default_local prog
+  in
+  Mcsim_trace.Walker.trace ~max_instrs:2_500 c.Mcsim_compiler.Pipeline.mach
+
 let audit_quad_cluster =
   QCheck.Test.make ~name:"pipeline invariants hold on the four-cluster machine" ~count:8
     QCheck.(int_bound 10_000)
     (fun seed -> assert_clean (Machine.quad_cluster ()) (quad_trace seed))
+
+let audit_octa_cluster =
+  QCheck.Test.make ~name:"pipeline invariants hold on the eight-cluster machine" ~count:6
+    QCheck.(int_bound 10_000)
+    (fun seed -> assert_clean (Machine.octa_cluster ()) (octa_trace seed))
 
 let audit_quad_native =
   QCheck.Test.make ~name:"four-cluster machine survives cluster-oblivious binaries" ~count:6
@@ -132,5 +146,6 @@ let suite =
       QCheck_alcotest.to_alcotest audit_tight_registers;
       QCheck_alcotest.to_alcotest audit_split_queues;
       QCheck_alcotest.to_alcotest audit_quad_cluster;
+      QCheck_alcotest.to_alcotest audit_octa_cluster;
       QCheck_alcotest.to_alcotest audit_quad_native;
       case "audit: all six benchmarks" audit_benchmarks ] )

@@ -496,6 +496,108 @@ let m_conservation =
       && rd.Machine.single_distributed + rd.Machine.dual_distributed
          >= rd.Machine.retired)
 
+(* -------------------------- interconnect --------------------------- *)
+
+module Interconnect = Mcsim_cluster.Interconnect
+
+let ic_string_round_trip () =
+  List.iter
+    (fun t ->
+      check Alcotest.bool
+        (Interconnect.to_string t ^ " round-trips")
+        true
+        (Interconnect.of_string (Interconnect.to_string t) = t))
+    Interconnect.all;
+  check Alcotest.bool "long spellings accepted" true
+    (Interconnect.of_string "point-to-point" = Interconnect.Point_to_point
+    && Interconnect.of_string "crossbar" = Interconnect.Crossbar);
+  check Alcotest.bool "unknown rejected" true
+    (try
+       ignore (Interconnect.of_string "mesh");
+       false
+     with Invalid_argument _ -> true)
+
+let ic_hop_properties () =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun clusters ->
+          for src = 0 to clusters - 1 do
+            for dst = 0 to clusters - 1 do
+              let h = Interconnect.hop_latency t ~clusters ~src ~dst in
+              check Alcotest.bool "at least one cycle" true (h >= 1);
+              check Alcotest.int "symmetric"
+                (Interconnect.hop_latency t ~clusters ~src:dst ~dst:src)
+                h;
+              if src = dst then check Alcotest.int "local write-back" 1 h;
+              check Alcotest.bool "below the worst case" true
+                (h <= Interconnect.max_hop t ~clusters);
+              check Alcotest.int "matrix agrees" h
+                (Interconnect.matrix t ~clusters).((src * clusters) + dst)
+            done
+          done)
+        [ 1; 2; 4; 8 ])
+    Interconnect.all
+
+let ic_known_latencies () =
+  (* The paper's machine: every dual transfer is one cycle on p2p/ring. *)
+  check Alcotest.int "dual p2p" 1
+    (Interconnect.hop_latency Interconnect.Point_to_point ~clusters:2 ~src:0 ~dst:1);
+  check Alcotest.int "dual ring" 1
+    (Interconnect.hop_latency Interconnect.Ring ~clusters:2 ~src:0 ~dst:1);
+  check Alcotest.int "xbar arbitrates even at two" 2
+    (Interconnect.hop_latency Interconnect.Crossbar ~clusters:2 ~src:0 ~dst:1);
+  (* Ring distance is minimal around the ring. *)
+  check Alcotest.int "ring of 8: neighbors" 1
+    (Interconnect.hop_latency Interconnect.Ring ~clusters:8 ~src:0 ~dst:7);
+  check Alcotest.int "ring of 8: diameter" 4
+    (Interconnect.hop_latency Interconnect.Ring ~clusters:8 ~src:0 ~dst:4);
+  check Alcotest.int "ring of 4: diameter" 2
+    (Interconnect.hop_latency Interconnect.Ring ~clusters:4 ~src:1 ~dst:3)
+
+let ic_out_of_range () =
+  check Alcotest.bool "bad cluster index rejected" true
+    (try
+       ignore (Interconnect.hop_latency Interconnect.Ring ~clusters:4 ~src:0 ~dst:4);
+       false
+     with Invalid_argument _ -> true)
+
+(* --------------------------- steering ------------------------------ *)
+
+(* Regression for the dual-era steering bias: the dispatch preference
+   used to be a comparison of clusters 0 and 1 only, so on a
+   four-cluster machine steering-free work could never be steered at
+   idle clusters 2 and 3. Load clusters 0 and 1 with dependent multiply
+   chains, then dispatch instructions with no sources and no effective
+   destination: the argmin steering must spread them over clusters 2
+   and 3 (this fails on the old two-way preference, which parks them
+   all on cluster 0/1). *)
+let m_steering_uses_all_clusters () =
+  let chain_len = 12 in
+  let fillers = 8 in
+  let n = (2 * chain_len) + fillers in
+  let trace =
+    Array.init n (fun i ->
+        if i < 2 * chain_len then
+          (* r 8 is local to cluster 0, r 9 to cluster 1 (mod-4 parity). *)
+          let reg = r (8 + (i mod 2)) in
+          mk ~seq:i ~pc:(i mod 8) Op.Int_multiply (if i < 2 then [] else [ reg ]) (Some reg)
+        else mk ~seq:i ~pc:(i mod 8) Op.Int_other [] (Some Reg.zero_int))
+  in
+  let filler_clusters = ref [] in
+  let on_event = function
+    | Machine.Ev_dispatch { seq; cluster; _ } when seq >= 2 * chain_len ->
+      filler_clusters := cluster :: !filler_clusters
+    | _ -> ()
+  in
+  let res = Machine.run ~on_event (Machine.quad_cluster ()) trace in
+  check Alcotest.int "all retired" n res.Machine.retired;
+  check Alcotest.int "every filler dispatched" fillers (List.length !filler_clusters);
+  check Alcotest.bool "cluster 2 used" true (List.mem 2 !filler_clusters);
+  check Alcotest.bool "cluster 3 used" true (List.mem 3 !filler_clusters);
+  check Alcotest.bool "loaded clusters avoided" true
+    (List.for_all (fun c -> c >= 2) !filler_clusters)
+
 let suite =
   ( "cluster",
     [ case "assignment: even/odd with sp+gp global" asg_even_odd;
@@ -537,4 +639,9 @@ let suite =
       case "machine: split-queue fragmentation" m_split_queue_fragmentation;
       case "machine: determinism" m_determinism;
       case "machine: config validation" m_validate_config;
+      case "interconnect: to_string/of_string round-trip" ic_string_round_trip;
+      case "interconnect: hop latency properties" ic_hop_properties;
+      case "interconnect: known latencies" ic_known_latencies;
+      case "interconnect: cluster index range" ic_out_of_range;
+      case "machine: steering reaches clusters 2 and 3" m_steering_uses_all_clusters;
       QCheck_alcotest.to_alcotest m_conservation ] )

@@ -83,6 +83,37 @@ let equiv_tiny_queues =
     (qcheck_engines_agree (fun () ->
          { (Machine.dual_cluster ()) with Machine.dq_entries = 4 }))
 
+(* Multi-hop interconnects: ring and crossbar are the only topologies
+   whose hop latency exceeds one cycle, so these are the configurations
+   where the hop-threaded transfer timing can diverge between engines. *)
+let qcheck_engines_agree_n ~clusters ~topology seed =
+  let trace =
+    if clusters > 4 then Test_audit.octa_trace seed else Test_audit.quad_trace seed
+  in
+  let cfg = Machine.config_for_clusters ~topology clusters in
+  let scan = Machine.run ~engine:`Scan cfg trace in
+  let wake = Machine.run ~engine:`Wakeup cfg trace in
+  if scan <> wake then
+    QCheck.Test.fail_reportf "engines diverge (%d clusters, %s, seed %d): %s" clusters
+      (Mcsim_cluster.Interconnect.to_string topology)
+      seed (explain_diff scan wake);
+  true
+
+let equiv_quad_ring =
+  QCheck.Test.make ~name:"scan = wakeup on the four-cluster ring" ~count:6
+    QCheck.(int_bound 10_000)
+    (qcheck_engines_agree_n ~clusters:4 ~topology:Mcsim_cluster.Interconnect.Ring)
+
+let equiv_octa_ring =
+  QCheck.Test.make ~name:"scan = wakeup on the eight-cluster ring" ~count:6
+    QCheck.(int_bound 10_000)
+    (qcheck_engines_agree_n ~clusters:8 ~topology:Mcsim_cluster.Interconnect.Ring)
+
+let equiv_octa_xbar =
+  QCheck.Test.make ~name:"scan = wakeup on the eight-cluster crossbar" ~count:6
+    QCheck.(int_bound 10_000)
+    (qcheck_engines_agree_n ~clusters:8 ~topology:Mcsim_cluster.Interconnect.Crossbar)
+
 (* ----------------- engine equivalence: stock configs ---------------- *)
 
 (* Every stock configuration, both queue-split modes, on a fixed
@@ -96,20 +127,26 @@ let stock_configs () =
   both "single_cluster" Machine.single_cluster
   @ both "dual_cluster" Machine.dual_cluster
   @ both "quad_cluster" Machine.quad_cluster
+  @ both "octa_cluster" Machine.octa_cluster
   @ both "single_cluster_4" Machine.single_cluster_4
   @ both "dual_cluster_2x2" Machine.dual_cluster_2x2
 
+(* A binary scheduled for the machine it runs on: the trace's register
+   assignment must match the config's cluster count. *)
+let trace_for ~dual ~quad ~octa cfg =
+  match Mcsim_cluster.Assignment.num_clusters cfg.Machine.assignment with
+  | n when n > 4 -> octa
+  | n when n > 2 -> quad
+  | _ -> dual
+
 let equiv_stock_configs () =
-  let dual_trace = Test_audit.trace_of 42 Pipeline.default_local in
-  let quad_trace = Test_audit.quad_trace 42 in
+  let dual = Test_audit.trace_of 42 Pipeline.default_local in
+  let quad = Test_audit.quad_trace 42 in
+  let octa = Test_audit.octa_trace 42 in
   List.iter
     (fun (name, cfg_of) ->
       let cfg = cfg_of () in
-      let trace =
-        if Mcsim_cluster.Assignment.num_clusters cfg.Machine.assignment > 2 then quad_trace
-        else dual_trace
-      in
-      assert_engines_agree ~msg:name cfg trace)
+      assert_engines_agree ~msg:name cfg (trace_for ~dual ~quad ~octa cfg))
     (stock_configs ())
 
 let equiv_benchmarks () =
@@ -163,15 +200,13 @@ let equiv_sampled () =
    every counter bit-identical between the engines (each exercises a
    different recycle path through the pools). *)
 let qcheck_pooled_stock seed =
-  let dual_trace = Test_audit.trace_of seed Pipeline.default_local in
-  let quad_trace = Test_audit.quad_trace seed in
+  let dual = Test_audit.trace_of seed Pipeline.default_local in
+  let quad = Test_audit.quad_trace seed in
+  let octa = Test_audit.octa_trace seed in
   List.iter
     (fun (name, cfg_of) ->
       let cfg = cfg_of () in
-      let trace =
-        if Mcsim_cluster.Assignment.num_clusters cfg.Machine.assignment > 2 then quad_trace
-        else dual_trace
-      in
+      let trace = trace_for ~dual ~quad ~octa cfg in
       let scan = Machine.run ~engine:`Scan cfg trace in
       let wake = Machine.run ~engine:`Wakeup cfg trace in
       if scan <> wake then
@@ -351,6 +386,9 @@ let suite =
       QCheck_alcotest.to_alcotest equiv_dual_split;
       QCheck_alcotest.to_alcotest equiv_starved_buffers;
       QCheck_alcotest.to_alcotest equiv_tiny_queues;
+      QCheck_alcotest.to_alcotest equiv_quad_ring;
+      QCheck_alcotest.to_alcotest equiv_octa_ring;
+      QCheck_alcotest.to_alcotest equiv_octa_xbar;
       case "scan = wakeup on all stock configs, both queue splits" equiv_stock_configs;
       case "scan = wakeup on all six benchmarks" equiv_benchmarks;
       case "scan = wakeup event streams" equiv_event_stream;

@@ -393,6 +393,22 @@ let cli_error_formatting () =
   (match Mcsim.Cli_errors.handle (fun () -> invalid_arg "bad knob") with
   | Error "mcsim: error: bad knob" -> ()
   | Ok _ | Error _ -> Alcotest.fail "Invalid_argument not formatted");
+  (* A bad --clusters value surfaces the model's own message, one line. *)
+  (match
+     Mcsim.Cli_errors.handle (fun () -> Machine.config_for_clusters 3)
+   with
+  | Error "mcsim: error: Machine.config_for_clusters: 3 (want 1, 2, 4 or 8)" -> ()
+  | Ok _ -> Alcotest.fail "3 clusters accepted"
+  | Error other -> Alcotest.failf "unexpected clusters error: %s" other);
+  (match
+     Mcsim.Cli_errors.handle (fun () ->
+         Mcsim_timing.Palacharla.per_cluster_config ~clusters:5
+           Mcsim_timing.Palacharla.F0_35)
+   with
+  | Error "mcsim: error: Palacharla.per_cluster_config: 5 clusters (must be >= 1 and divide 8)" ->
+    ()
+  | Ok _ -> Alcotest.fail "5 clusters accepted"
+  | Error other -> Alcotest.failf "unexpected palacharla error: %s" other);
   check Alcotest.int "ok passes through" 3 (Result.get_ok (Mcsim.Cli_errors.handle (fun () -> 3)));
   (* Unexpected exceptions still escape. *)
   match Mcsim.Cli_errors.handle (fun () -> raise Exit) with

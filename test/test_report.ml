@@ -130,12 +130,28 @@ let cluster_count_runs () =
   in
   match rows with
   | [ r ] ->
-    check Alcotest.int "three configurations" 3 (Array.length r.Mcsim.Cluster_count.cycles);
-    check (Alcotest.float 1e-9) "baseline is 0%" 0.0 r.Mcsim.Cluster_count.cycles_pct.(0);
+    let cell n t =
+      match
+        Mcsim.Cluster_count.find_cell r ~clusters:n ~topology:t
+      with
+      | Some c -> c
+      | None -> Alcotest.fail (Printf.sprintf "missing cell %d" n)
+    in
+    let p2p = Mcsim_cluster.Interconnect.Point_to_point in
+    check Alcotest.int "full matrix"
+      (List.length Mcsim.Cluster_count.matrix_points)
+      (List.length r.Mcsim.Cluster_count.cells);
+    check (Alcotest.float 1e-9) "baseline is 0%" 0.0
+      (cell 1 p2p).Mcsim.Cluster_count.cycles_pct;
     check Alcotest.bool "partitioning costs cycles" true
-      (r.Mcsim.Cluster_count.cycles_pct.(1) < 0.0 && r.Mcsim.Cluster_count.cycles_pct.(2) < 0.0);
+      ((cell 2 p2p).Mcsim.Cluster_count.cycles_pct < 0.0
+      && (cell 4 p2p).Mcsim.Cluster_count.cycles_pct < 0.0);
     check Alcotest.bool "more clusters, more multi-distribution" true
-      (r.Mcsim.Cluster_count.multi_fraction.(2) > r.Mcsim.Cluster_count.multi_fraction.(1));
+      ((cell 4 p2p).Mcsim.Cluster_count.multi_fraction
+      > (cell 2 p2p).Mcsim.Cluster_count.multi_fraction);
+    check Alcotest.bool "longer ring hops cost cycles at 4 clusters" true
+      ((cell 4 Mcsim_cluster.Interconnect.Ring).Mcsim.Cluster_count.cycles
+      >= (cell 4 p2p).Mcsim.Cluster_count.cycles);
     check Alcotest.bool "render works" true
       (String.length (Mcsim.Cluster_count.render rows) > 50)
   | _ -> Alcotest.fail "one row expected"

@@ -20,6 +20,7 @@ let check = Alcotest.check
 let case name f = Alcotest.test_case name `Quick f
 
 let jstr j = Json.to_string ~minify:true j
+let p2p = Mcsim_cluster.Interconnect.Point_to_point
 
 let json : Json.t Alcotest.testable =
   Alcotest.testable (fun fmt j -> Format.pp_print_string fmt (jstr j)) ( = )
@@ -88,22 +89,24 @@ let frame_hostile () =
 let some_sweeps =
   [ P.Table2
       { benchmarks = Spec92.all; max_instrs = 5000; seed = 3; engine = `Wakeup;
-        sampling = None; four_way = false };
+        sampling = None; four_way = false; clusters = None; topology = p2p };
     P.Table2
       { benchmarks = [ List.hd Spec92.all ]; max_instrs = 9000; seed = 1; engine = `Scan;
         sampling = Some { Sampling.interval = 3000; warmup = 300; detail = 300; seed = 1 };
-        four_way = true };
+        four_way = true; clusters = Some 4; topology = Mcsim_cluster.Interconnect.Ring };
     P.Run
       { bench = List.hd Spec92.all; machine = `Single; scheduler = Pipeline.Sched_none;
-        max_instrs = 2000; seed = 7; engine = `Wakeup };
+        max_instrs = 2000; seed = 7; engine = `Wakeup; clusters = None; topology = p2p };
     P.Run
       { bench = List.nth Spec92.all 3; machine = `Dual;
         scheduler = Pipeline.Sched_round_robin; max_instrs = 2000; seed = 2;
-        engine = `Scan };
+        engine = `Scan; clusters = Some 8;
+        topology = Mcsim_cluster.Interconnect.Crossbar };
     P.Sample
       { bench = List.nth Spec92.all 2; machine = `Dual; scheduler = Pipeline.default_local;
         max_instrs = 50_000; seed = 5; engine = `Wakeup;
-        policy = { Sampling.interval = 5000; warmup = 500; detail = 500; seed = 5 } } ]
+        policy = { Sampling.interval = 5000; warmup = 500; detail = 500; seed = 5 };
+        clusters = None; topology = p2p } ]
 
 let sweep_codec_roundtrip () =
   List.iter
@@ -161,6 +164,8 @@ let qcheck_sweep_roundtrip =
           [ Pipeline.Sched_none; Pipeline.default_local; Pipeline.Sched_round_robin;
             Pipeline.Sched_random 7 ]
       in
+      let clusters = oneofl [ None; Some 1; Some 2; Some 4; Some 8 ] in
+      let topology = oneofl Mcsim_cluster.Interconnect.all in
       let policy seed =
         (* warmup + detail must fit in interval (validate_policy). *)
         map
@@ -170,24 +175,29 @@ let qcheck_sweep_roundtrip =
       int_range 1 1000 >>= fun seed ->
       oneof
         [ map
-            (fun (bs, n, e, fw) ->
+            (fun ((bs, n, e, fw), (cl, t)) ->
               P.Table2
                 { benchmarks = (if bs = [] then Spec92.all else bs); max_instrs = n;
-                  seed; engine = e; sampling = None; four_way = fw })
-            (quad (list_size (int_range 0 6) bench) (int_range 1 1_000_000) engine bool);
+                  seed; engine = e; sampling = None;
+                  four_way = (fw && cl = None); clusters = cl; topology = t })
+            (pair
+               (quad (list_size (int_range 0 6) bench) (int_range 1 1_000_000) engine bool)
+               (pair clusters topology));
           map
-            (fun (b, m, s, (n, e)) ->
+            (fun (b, m, s, (n, e, (cl, t))) ->
               P.Run
                 { bench = b; machine = m; scheduler = s; max_instrs = n; seed;
-                  engine = e })
-            (quad bench machine scheduler (pair (int_range 1 1_000_000) engine));
+                  engine = e; clusters = cl; topology = t })
+            (quad bench machine scheduler
+               (triple (int_range 1 1_000_000) engine (pair clusters topology)));
           map
-            (fun (b, m, s, (n, e, p)) ->
+            (fun (b, m, s, (n, e, p, (cl, t))) ->
               P.Sample
                 { bench = b; machine = m; scheduler = s; max_instrs = n; seed;
-                  engine = e; policy = p })
+                  engine = e; policy = p; clusters = cl; topology = t })
             (quad bench machine scheduler
-               (triple (int_range 1 1_000_000) engine (policy seed))) ])
+               (quad (int_range 1 1_000_000) engine (policy seed)
+                  (pair clusters topology))) ])
   in
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:200 ~name:"sweep json codec is a bijection on wire forms"
@@ -358,7 +368,7 @@ let served_equals_in_process () =
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let sweep =
     P.Table2 { benchmarks; max_instrs; seed; engine = `Wakeup; sampling = None;
-               four_way = false }
+               four_way = false; clusters = None; topology = p2p }
   in
   let sources = ref [] in
   let on_unit ~index:_ ~total:_ ~label:_ ~source ~data:_ = sources := source :: !sources in
@@ -400,7 +410,8 @@ let serve_run_and_sample_equal_in_process () =
   (* run *)
   let result, _ =
     Client.submit c
-      (P.Run { bench; machine = `Dual; scheduler; max_instrs; seed; engine = `Wakeup })
+      (P.Run { bench; machine = `Dual; scheduler; max_instrs; seed; engine = `Wakeup;
+               clusters = None; topology = p2p })
   in
   let served_r =
     match Option.bind (Json.member "result" result) Mcsim_obs.Metrics.result_of_json with
@@ -424,7 +435,8 @@ let serve_run_and_sample_equal_in_process () =
   let result, _ =
     Client.submit c
       (P.Sample
-         { bench; machine = `Dual; scheduler; max_instrs; seed; engine = `Wakeup; policy })
+         { bench; machine = `Dual; scheduler; max_instrs; seed; engine = `Wakeup; policy;
+           clusters = None; topology = p2p })
   in
   let direct_s = Sampling.run_flat ~policy (Machine.dual_cluster ()) trace in
   check (Alcotest.option json) "served sampling json = in-process"
@@ -442,7 +454,7 @@ let concurrent_submits_coalesce () =
   let sweep =
     P.Run
       { bench = List.hd Spec92.all; machine = `Dual; scheduler = Pipeline.default_local;
-        max_instrs = 2500; seed = 1; engine = `Wakeup }
+        max_instrs = 2500; seed = 1; engine = `Wakeup; clusters = None; topology = p2p }
   in
   let raw () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -508,7 +520,7 @@ let disconnect_mid_sweep_leaves_server_healthy () =
   let sweep =
     P.Run
       { bench = List.hd Spec92.all; machine = `Dual; scheduler = Pipeline.default_local;
-        max_instrs = 2500; seed = 1; engine = `Wakeup }
+        max_instrs = 2500; seed = 1; engine = `Wakeup; clusters = None; topology = p2p }
   in
   (* Submit, then vanish while the unit is still computing. *)
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -558,7 +570,8 @@ let qcheck_served_equals_in_process =
          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
          let result, _ =
            Client.submit c
-             (P.Run { bench; machine; scheduler; max_instrs; seed; engine = `Wakeup })
+             (P.Run { bench; machine; scheduler; max_instrs; seed; engine = `Wakeup;
+                      clusters = None; topology = p2p })
          in
          let served_r =
            match

@@ -71,6 +71,50 @@ let net_runtime () =
   let r = Net.net_speedup_pct ~single_cycles:100 ~dual_cycles:125 ~feature:P.F0_18 in
   check Alcotest.bool "25% slowdown wins at 0.18um" true (r > 0.0)
 
+let net_n_cluster () =
+  let p2p = Mcsim_cluster.Interconnect.Point_to_point in
+  (* The dual wrappers are exactly the N-cluster model at 2/p2p. *)
+  check (Alcotest.float 0.0) "dual wrapper = n-cluster model"
+    (Net.net_speedup_pct ~single_cycles:100 ~dual_cycles:125 ~feature:P.F0_35)
+    (Net.net_speedup_pct_n ~single_cycles:100 ~cycles:125 ~clusters:2 ~topology:p2p
+       ~feature:P.F0_35);
+  check (Alcotest.float 0.0) "ratio wrapper too"
+    (Net.net_runtime_ratio ~single_cycles:100 ~dual_cycles:125 ~feature:P.F0_35)
+    (Net.net_runtime_ratio_n ~single_cycles:100 ~cycles:125 ~clusters:2 ~topology:p2p
+       ~feature:P.F0_35);
+  (* One cluster is the monolith: unit clock ratio, pure cycle ratio. *)
+  check (Alcotest.float 1e-9) "one cluster has unit clock ratio" 1.0
+    (Net.clock_ratio ~clusters:1 ~topology:p2p P.F0_35);
+  check (Alcotest.float 1e-9) "one cluster: run time = cycle ratio" 1.25
+    (Net.net_runtime_ratio_n ~single_cycles:100 ~cycles:125 ~clusters:1 ~topology:p2p
+       ~feature:P.F0_35)
+
+let interconnect_binds_at_8 () =
+  let p2p = Mcsim_cluster.Interconnect.Point_to_point in
+  let ring = Mcsim_cluster.Interconnect.Ring in
+  (* The dual machine's clock is never interconnect-bound (the paper's
+     model holds), but eight point-to-point clusters at 0.18 um span
+     seven cluster pitches of wire: the interconnect outweighs the tiny
+     one-issue cluster and caps the clock. *)
+  check Alcotest.bool "dual clock is structure-bound" true
+    (Net.interconnect_delay ~clusters:2 ~topology:p2p P.F0_18
+    < P.cycle_time (P.per_cluster_config ~clusters:2 P.F0_18));
+  check Alcotest.bool "8-way p2p clock is wire-bound at 0.18um" true
+    (Net.interconnect_delay ~clusters:8 ~topology:p2p P.F0_18
+    > P.cycle_time (P.per_cluster_config ~clusters:8 P.F0_18));
+  (* A ring keeps links one pitch long, so it clocks no slower than p2p. *)
+  check Alcotest.bool "ring clocks no slower than p2p at 8" true
+    (Net.cluster_cycle_time ~clusters:8 ~topology:ring P.F0_18
+    <= Net.cluster_cycle_time ~clusters:8 ~topology:p2p P.F0_18)
+
+let per_cluster_config_validation () =
+  Alcotest.check_raises "clusters must divide the issue width"
+    (Invalid_argument "Palacharla.per_cluster_config: 3 clusters (must be >= 1 and divide 8)")
+    (fun () -> ignore (P.per_cluster_config ~clusters:3 P.F0_35));
+  Alcotest.check_raises "zero clusters"
+    (Invalid_argument "Palacharla.per_cluster_config: 0 clusters (must be >= 1 and divide 8)")
+    (fun () -> ignore (P.per_cluster_config ~clusters:0 P.F0_35))
+
 let net_crossover () =
   (* At 0.35um the break-even cycle slowdown is about 19%; check the sign
      flips around it. *)
@@ -89,4 +133,7 @@ let suite =
       case "net: break-even math" break_even_math;
       case "net: speedup metric" speedup_metric;
       case "net: runtime ratios" net_runtime;
+      case "net: n-cluster model and dual wrappers agree" net_n_cluster;
+      case "net: interconnect binds the 8-way clock at 0.18um" interconnect_binds_at_8;
+      case "palacharla: per-cluster config validation" per_cluster_config_validation;
       case "net: crossover near 19% at 0.35um" net_crossover ] )
