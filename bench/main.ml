@@ -147,6 +147,41 @@ let reassignment () =
   section "Section 6 extension - dynamic register reassignment";
   print_string (Mcsim.Reassign.render (Mcsim.Reassign.run ()))
 
+(* The paper's closing static-vs-dynamic question (§6): the compile-time
+   scheduler x dispatch-time steering x cluster-count matrix. *)
+let steer_matrix () =
+  section "Section 6 extension - dispatch-time steering vs compile-time scheduling";
+  let instrs = table2_instrs / 2 in
+  let rows = Mcsim.Steer.run ~max_instrs:instrs () in
+  print_string (Mcsim.Steer.render rows);
+  print_newline ();
+  print_endline "Best dynamic policy at >= 4 clusters (vs static, same scheduler):";
+  List.iter
+    (fun (r : Mcsim.Steer.row) ->
+      let best =
+        List.fold_left
+          (fun acc (c : Mcsim.Steer.cell) ->
+            if
+              c.Mcsim.Steer.clusters >= 4
+              && Mcsim_cluster.Steering.is_dynamic c.Mcsim.Steer.steering
+              && (match acc with
+                 | None -> true
+                 | Some b -> c.Mcsim.Steer.vs_static_pct > b.Mcsim.Steer.vs_static_pct)
+            then Some c
+            else acc)
+          None r.Mcsim.Steer.cells
+      in
+      match best with
+      | Some c ->
+        Printf.printf "  %-9s %s/%d-cluster %-12s %+.1f%%\n" r.Mcsim.Steer.benchmark
+          c.Mcsim.Steer.scheduler c.Mcsim.Steer.clusters
+          (Mcsim_cluster.Steering.to_string c.Mcsim.Steer.steering)
+          c.Mcsim.Steer.vs_static_pct
+      | None -> ())
+    rows;
+  write_bench_json "BENCH_steer.json" ~kind:"bench-steer" ~trace_instrs:instrs
+    [ ("max_instrs", J.Int instrs); ("steer", Mcsim.Steer.rows_json rows) ]
+
 (* ------------------------------------------------------------------ *)
 (* Sampled simulation: full detailed run vs SMARTS-style sampling on a
    long trace, recording accuracy and wall-clock speedup per benchmark. *)
@@ -697,9 +732,13 @@ let () =
   | Some "clusters" ->
     cluster_scaling ();
     finish ()
+  | Some "steer" ->
+    steer_matrix ();
+    finish ()
   | Some other ->
     Printf.eprintf
-      "unknown MCSIM_BENCH_ONLY=%s (known: machine, trace, durable, clusters)\n" other;
+      "unknown MCSIM_BENCH_ONLY=%s (known: machine, trace, durable, clusters, steer)\n"
+      other;
     exit 2
   | None ->
     table1 ();
@@ -710,6 +749,7 @@ let () =
     four_way ();
     cluster_scaling ();
     reassignment ();
+    steer_matrix ();
     sampled_simulation ();
     engine_comparison ();
     trace_store_bench ();

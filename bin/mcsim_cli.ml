@@ -159,33 +159,71 @@ let clusters_arg =
        & opt (some (pos_int ~what:"CLUSTERS")) None
        & info [ "clusters" ] ~docv:"N" ~doc)
 
+let steering_conv =
+  let parse s =
+    match Mcsim_cluster.Steering.of_string s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt p -> Format.pp_print_string fmt (Mcsim_cluster.Steering.to_string p) )
+
+let steering_arg =
+  let doc =
+    "Dispatch-time steering policy: $(b,static) (follow the compile-time partition, \
+     the default), $(b,modulo) (round-robin), $(b,dependence) (cluster owning the \
+     producer of the first unready source), $(b,load) (least-loaded cluster), or \
+     $(b,ineffectual) (predicted-dead results exiled to the last cluster). Dynamic \
+     policies need a machine with at least two clusters."
+  in
+  Arg.(value
+       & opt steering_conv Mcsim_cluster.Steering.Static
+       & info [ "steering" ] ~docv:"POLICY" ~doc)
+
+(* A dynamic policy on a machine with nowhere to steer to is a usage
+   error, reported as a one-line message (not silently a no-op). *)
+let check_steerable ~what ~steering ~n_clusters =
+  Mcsim_cluster.Steering.require_clustered ~what steering ~clusters:n_clusters
+
 (* --clusters overrides the single/dual selection; --topology applies
    either way (it is part of the machine config, hence of manifests and
    cache identities). Validation of the count itself lives in
    [Machine.config_for_clusters], whose [Invalid_argument] surfaces as a
    one-line error through [Cli_errors.wrap]. *)
-let config_of ~machine ~clusters ~topology =
-  match clusters with
-  | Some n -> Mcsim_cluster.Machine.config_for_clusters ~topology n
-  | None ->
-    let base =
+let config_of ?(what = "run") ~machine ~clusters ~topology ~steering () =
+  let base =
+    match clusters with
+    | Some n -> Mcsim_cluster.Machine.config_for_clusters ~topology n
+    | None -> (
       match machine with
       | `Single -> Mcsim_cluster.Machine.single_cluster ()
-      | `Dual -> Mcsim_cluster.Machine.dual_cluster ()
-    in
-    { base with Mcsim_cluster.Machine.topology }
+      | `Dual -> Mcsim_cluster.Machine.dual_cluster ())
+  in
+  check_steerable ~what ~steering
+    ~n_clusters:(Mcsim_cluster.Assignment.num_clusters base.Mcsim_cluster.Machine.assignment);
+  { base with Mcsim_cluster.Machine.topology; steering }
 
 (* Binaries are compiled for the cluster count they run on; without
    --clusters that is the historical default of 2 (the single-cluster
    machine runs the same native binary the dual machine does). *)
 let compile_clusters = function Some n -> n | None -> 2
 
-let machine_desc ~machine ~clusters ~topology =
+let machine_desc ~machine ~clusters ~topology ~steering =
+  let steer =
+    if Mcsim_cluster.Steering.is_dynamic steering then
+      Printf.sprintf ", %s-steered" (Mcsim_cluster.Steering.to_string steering)
+    else ""
+  in
   match clusters with
   | Some n ->
-    Printf.sprintf "%d-cluster (%s)" n (Mcsim_cluster.Interconnect.to_string topology)
+    Printf.sprintf "%d-cluster (%s%s)" n
+      (Mcsim_cluster.Interconnect.to_string topology)
+      steer
   | None -> (
-    match machine with `Single -> "single-cluster" | `Dual -> "dual-cluster")
+    match machine with
+    | `Single -> "single-cluster"
+    | `Dual -> "dual-cluster" ^ steer)
 
 let bench_conv =
   let parse s =
@@ -217,20 +255,34 @@ let four_way_arg =
        & info [ "four-way" ] ~doc:"Use the four-way-issue machine pair instead of eight-way.")
 
 (* The body of the table2 command, shared with `mcsim resume`. *)
-let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters ~topology ~jobs
-    ~sample ~engine ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
+let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters ~topology ~steering
+    ~jobs ~sample ~engine ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
   let t_start = Unix.gettimeofday () in
   if four_way && clusters <> None then
     failwith "table2: --four-way and --clusters are mutually exclusive";
+  if clusters = Some 1 then check_steerable ~what:"table2" ~steering ~n_clusters:1;
+  (* Steering applies to the clustered side of the pair; the single-cluster
+     baseline has nowhere to steer and stays static. *)
   let single_config, dual_config =
     if four_way then
       (Some { (Mcsim_cluster.Machine.single_cluster_4 ()) with Mcsim_cluster.Machine.topology },
-       Some { (Mcsim_cluster.Machine.dual_cluster_2x2 ()) with Mcsim_cluster.Machine.topology })
+       Some
+         { (Mcsim_cluster.Machine.dual_cluster_2x2 ()) with
+           Mcsim_cluster.Machine.topology;
+           steering })
     else
       match clusters with
-      | Some n -> (None, Some (Mcsim_cluster.Machine.config_for_clusters ~topology n))
+      | Some n ->
+        ( None,
+          Some
+            { (Mcsim_cluster.Machine.config_for_clusters ~topology n) with
+              Mcsim_cluster.Machine.steering } )
       | None ->
-        (None, Some { (Mcsim_cluster.Machine.dual_cluster ()) with Mcsim_cluster.Machine.topology })
+        ( None,
+          Some
+            { (Mcsim_cluster.Machine.dual_cluster ()) with
+              Mcsim_cluster.Machine.topology;
+              steering } )
   in
   let sampling = Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample in
   let report =
@@ -260,7 +312,7 @@ let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters ~topology
     let cfg =
       match dual_config with
       | Some c -> c
-      | None -> Mcsim_cluster.Machine.dual_cluster ()
+      | None -> { (Mcsim_cluster.Machine.dual_cluster ()) with Mcsim_cluster.Machine.steering }
     in
     let manifest =
       Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
@@ -284,13 +336,14 @@ let table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters ~topology
              dir dir
          | None -> "; rerun with --checkpoint DIR to make progress durable"))
 
-let cluster_command_fields ~clusters ~topology =
+let cluster_command_fields ~clusters ~topology ~steering =
   [ ("clusters", match clusters with Some n -> Json.Int n | None -> Json.Null);
-    ("topology", Json.String (Mcsim_cluster.Interconnect.to_string topology)) ]
+    ("topology", Json.String (Mcsim_cluster.Interconnect.to_string topology));
+    ("steering", Json.String (Mcsim_cluster.Steering.to_string steering)) ]
 
 let table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters ~topology
-    ~sample ~engine ~metrics_out ~retries ~trace_cache ~result_cache =
-  cluster_command_fields ~clusters ~topology
+    ~steering ~sample ~engine ~metrics_out ~retries ~trace_cache ~result_cache =
+  cluster_command_fields ~clusters ~topology ~steering
   @ [ ("command", Json.String "table2");
     ("benchmarks",
      Json.List (List.map (fun b -> Json.String (Mcsim_workload.Spec92.name b)) benchmarks));
@@ -326,21 +379,23 @@ let with_command checkpoint command_json run =
     result
 
 let table2_cmd =
-  let run max_instrs seed benchmarks csv four_way clusters topology jobs sample engine
-      metrics_out retries checkpoint trace_cache result_cache =
+  let run max_instrs seed benchmarks csv four_way clusters topology steering jobs sample
+      engine metrics_out retries checkpoint trace_cache result_cache =
     wrap @@ fun () ->
     with_command checkpoint (fun () ->
         table2_command_json ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters
-          ~topology ~sample ~engine ~metrics_out ~retries ~trace_cache ~result_cache)
+          ~topology ~steering ~sample ~engine ~metrics_out ~retries ~trace_cache
+          ~result_cache)
     @@ fun () ->
-    table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters ~topology ~jobs
-      ~sample ~engine ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
+    table2_impl ~max_instrs ~seed ~benchmarks ~csv ~four_way ~clusters ~topology ~steering
+      ~jobs ~sample ~engine ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache
+      ()
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Run the Table-2 experiment (none/local vs single-cluster).")
     Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg $ four_way_arg
-          $ clusters_arg $ topology_arg $ jobs_arg $ sample_arg $ engine_arg
-          $ metrics_out_arg $ retries_arg $ checkpoint_arg $ trace_cache_arg
+          $ clusters_arg $ topology_arg $ steering_arg $ jobs_arg $ sample_arg
+          $ engine_arg $ metrics_out_arg $ retries_arg $ checkpoint_arg $ trace_cache_arg
           $ result_cache_arg)
 
 let scenarios_cmd =
@@ -439,10 +494,10 @@ let flat_trace ~trace_cache ~bench ~scheduler ~clusters ~seed ~max_instrs () =
    checkpoint the single simulation is one durable unit; --profile
    bypasses the cache (profiling counters cannot be reconstructed from a
    stored result). *)
-let run_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed ~engine
-    ~prof ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
+let run_impl ~bench ~machine ~clusters ~topology ~steering ~scheduler ~max_instrs ~seed
+    ~engine ~prof ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
   let t_start = Unix.gettimeofday () in
-  let cfg = config_of ~machine ~clusters ~topology in
+  let cfg = config_of ~what:"run" ~machine ~clusters ~topology ~steering () in
   let cclusters = compile_clusters clusters in
   let manifest =
     Mcsim_obs.Manifest.make ~engine ~seed
@@ -518,7 +573,7 @@ let run_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed ~e
   in
   Printf.printf "%s on the %s machine, %s scheduler:%s\n"
     (Mcsim_workload.Spec92.name bench)
-    (machine_desc ~machine ~clusters ~topology)
+    (machine_desc ~machine ~clusters ~topology ~steering)
     (Mcsim_compiler.Pipeline.scheduler_name scheduler)
     (if Option.is_some cached then " (from cache)" else "");
   Printf.printf "  %d instructions in %d cycles (IPC %.2f)\n" r.Mcsim_cluster.Machine.retired
@@ -553,9 +608,9 @@ let run_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed ~e
          ~wall_seconds:(Unix.gettimeofday () -. t_start)
          ())
 
-let run_command_json ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed
-    ~engine ~prof ~metrics_out ~retries ~trace_cache ~result_cache =
-  cluster_command_fields ~clusters ~topology
+let run_command_json ~bench ~machine ~clusters ~topology ~steering ~scheduler ~max_instrs
+    ~seed ~engine ~prof ~metrics_out ~retries ~trace_cache ~result_cache =
+  cluster_command_fields ~clusters ~topology ~steering
   @ [ ("command", Json.String "run");
     ("benchmark", Json.String (Mcsim_workload.Spec92.name bench));
     ("machine", Json.String (machine_name machine));
@@ -569,15 +624,15 @@ let run_command_json ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs 
     ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null);
     ("result_cache", match result_cache with Some p -> Json.String p | None -> Json.Null) ]
 
-let run_entry bench machine clusters topology scheduler max_instrs seed engine prof
-    metrics_out retries checkpoint trace_cache result_cache =
+let run_entry bench machine clusters topology steering scheduler max_instrs seed engine
+    prof metrics_out retries checkpoint trace_cache result_cache =
   wrap @@ fun () ->
   with_command checkpoint (fun () ->
-      run_command_json ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed
-        ~engine ~prof ~metrics_out ~retries ~trace_cache ~result_cache)
+      run_command_json ~bench ~machine ~clusters ~topology ~steering ~scheduler
+        ~max_instrs ~seed ~engine ~prof ~metrics_out ~retries ~trace_cache ~result_cache)
   @@ fun () ->
-  run_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed ~engine
-    ~prof ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
+  run_impl ~bench ~machine ~clusters ~topology ~steering ~scheduler ~max_instrs ~seed
+    ~engine ~prof ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
 
 let run_cmd =
   let machine_arg =
@@ -596,22 +651,23 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark and dump all counters.")
     Term.(const run_entry $ bench_pos $ machine_arg $ clusters_arg $ topology_arg
-          $ scheduler_arg $ max_instrs_arg $ seed_arg $ engine_arg $ profile_arg
-          $ metrics_out_arg $ retries_arg $ checkpoint_arg $ trace_cache_arg
+          $ steering_arg $ scheduler_arg $ max_instrs_arg $ seed_arg $ engine_arg
+          $ profile_arg $ metrics_out_arg $ retries_arg $ checkpoint_arg $ trace_cache_arg
           $ result_cache_arg)
 
 (* The body of the sample command, shared with `mcsim resume`. The
    sampled estimate is one durable unit; --full always recomputes the
    trace and the detailed run (only the estimate is cached). *)
-let sample_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed ~sample
-    ~full ~csv ~engine ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache () =
+let sample_impl ~bench ~machine ~clusters ~topology ~steering ~scheduler ~max_instrs
+    ~seed ~sample ~full ~csv ~engine ~metrics_out ~retries ~checkpoint ~trace_cache
+    ~result_cache () =
   let t_start = Unix.gettimeofday () in
   let policy =
     match sample with
     | Some p -> { p with Mcsim_sampling.Sampling.seed }
     | None -> { Mcsim_sampling.Sampling.default_policy with seed }
   in
-  let cfg = config_of ~machine ~clusters ~topology in
+  let cfg = config_of ~what:"sample" ~machine ~clusters ~topology ~steering () in
   let cclusters = compile_clusters clusters in
   let manifest =
     Mcsim_obs.Manifest.make ~engine ~seed
@@ -688,7 +744,7 @@ let sample_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed
   else begin
     Printf.printf "%s on the %s machine, %s scheduler:%s\n"
       (Mcsim_workload.Spec92.name bench)
-      (machine_desc ~machine ~clusters ~topology)
+      (machine_desc ~machine ~clusters ~topology ~steering)
       (Mcsim_compiler.Pipeline.scheduler_name scheduler)
       (if Option.is_some cached then " (from cache)" else "");
     print_string (Mcsim_sampling.Sampling.render s);
@@ -704,9 +760,10 @@ let sample_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed
     end
   end
 
-let sample_command_json ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed
-    ~sample ~full ~csv ~engine ~metrics_out ~retries ~trace_cache ~result_cache =
-  cluster_command_fields ~clusters ~topology
+let sample_command_json ~bench ~machine ~clusters ~topology ~steering ~scheduler
+    ~max_instrs ~seed ~sample ~full ~csv ~engine ~metrics_out ~retries ~trace_cache
+    ~result_cache =
+  cluster_command_fields ~clusters ~topology ~steering
   @ [ ("command", Json.String "sample");
     ("benchmark", Json.String (Mcsim_workload.Spec92.name bench));
     ("machine", Json.String (machine_name machine));
@@ -725,15 +782,17 @@ let sample_command_json ~bench ~machine ~clusters ~topology ~scheduler ~max_inst
     ("trace_cache", match trace_cache with Some p -> Json.String p | None -> Json.Null);
     ("result_cache", match result_cache with Some p -> Json.String p | None -> Json.Null) ]
 
-let sample_entry bench machine clusters topology scheduler max_instrs seed sample full
-    csv engine metrics_out retries checkpoint trace_cache result_cache =
+let sample_entry bench machine clusters topology steering scheduler max_instrs seed
+    sample full csv engine metrics_out retries checkpoint trace_cache result_cache =
   wrap @@ fun () ->
   with_command checkpoint (fun () ->
-      sample_command_json ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs
-        ~seed ~sample ~full ~csv ~engine ~metrics_out ~retries ~trace_cache ~result_cache)
+      sample_command_json ~bench ~machine ~clusters ~topology ~steering ~scheduler
+        ~max_instrs ~seed ~sample ~full ~csv ~engine ~metrics_out ~retries ~trace_cache
+        ~result_cache)
   @@ fun () ->
-  sample_impl ~bench ~machine ~clusters ~topology ~scheduler ~max_instrs ~seed ~sample
-    ~full ~csv ~engine ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache ()
+  sample_impl ~bench ~machine ~clusters ~topology ~steering ~scheduler ~max_instrs ~seed
+    ~sample ~full ~csv ~engine ~metrics_out ~retries ~checkpoint ~trace_cache
+    ~result_cache ()
 
 let sample_cmd =
   let machine_arg =
@@ -753,9 +812,9 @@ let sample_cmd =
     (Cmd.info "sample"
        ~doc:"Sampled simulation of one benchmark (optionally vs the full detailed run).")
     Term.(const sample_entry $ bench_pos $ machine_arg $ clusters_arg $ topology_arg
-          $ scheduler_arg $ max_instrs_arg $ seed_arg $ sample_arg $ full_arg $ csv_arg
-          $ engine_arg $ metrics_out_arg $ retries_arg $ checkpoint_arg $ trace_cache_arg
-          $ result_cache_arg)
+          $ steering_arg $ scheduler_arg $ max_instrs_arg $ seed_arg $ sample_arg
+          $ full_arg $ csv_arg $ engine_arg $ metrics_out_arg $ retries_arg
+          $ checkpoint_arg $ trace_cache_arg $ result_cache_arg)
 
 (* `mcsim resume DIR`: reread the command.json written by a previous
    --checkpoint invocation and re-dispatch the same command against the
@@ -827,6 +886,15 @@ let resume_cmd =
       | None -> Mcsim_cluster.Interconnect.Point_to_point
       | Some s -> Mcsim_cluster.Interconnect.of_string s
     in
+    (* Absent before dispatch-time steering existed; absent = static. *)
+    let steering =
+      match str_opt "steering" with
+      | None -> Mcsim_cluster.Steering.Static
+      | Some s -> (
+        match Mcsim_cluster.Steering.of_string s with
+        | Ok p -> p
+        | Error e -> failwith (Printf.sprintf "checkpoint %s: %s" dir e))
+    in
     let checkpoint = Some dir in
     match str "command" with
     | "table2" ->
@@ -845,19 +913,19 @@ let resume_cmd =
         | _ -> failwith (Printf.sprintf "checkpoint %s: command.json lacks %S" dir "benchmarks")
       in
       table2_impl ~max_instrs:(int "max_instrs") ~seed:(Lazy.force seed) ~benchmarks
-        ~csv:(flag "csv") ~four_way:(flag "four_way") ~clusters ~topology
+        ~csv:(flag "csv") ~four_way:(flag "four_way") ~clusters ~topology ~steering
         ~jobs:(Mcsim_util.Pool.default_jobs ())
         ~sample:(sampling "sampling") ~engine:(engine ()) ~metrics_out ~retries
         ~checkpoint ~trace_cache ~result_cache ()
     | "run" ->
       run_impl ~bench:(bench "benchmark") ~machine:(machine_of_string (str "machine"))
-        ~clusters ~topology ~scheduler:(scheduler_of_string (str "scheduler"))
+        ~clusters ~topology ~steering ~scheduler:(scheduler_of_string (str "scheduler"))
         ~max_instrs:(int "max_instrs") ~seed:(Lazy.force seed) ~engine:(engine ())
         ~prof:(flag "profile") ~metrics_out ~retries ~checkpoint ~trace_cache
         ~result_cache ()
     | "sample" ->
       sample_impl ~bench:(bench "benchmark") ~machine:(machine_of_string (str "machine"))
-        ~clusters ~topology ~scheduler:(scheduler_of_string (str "scheduler"))
+        ~clusters ~topology ~steering ~scheduler:(scheduler_of_string (str "scheduler"))
         ~max_instrs:(int "max_instrs") ~seed:(Lazy.force seed)
         ~sample:(sampling "sampling") ~full:(flag "full") ~csv:(flag "csv")
         ~engine:(engine ()) ~metrics_out ~retries ~checkpoint ~trace_cache ~result_cache
@@ -1094,6 +1162,41 @@ let clusters_cmd =
     Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ jobs_arg
           $ metrics_out_arg)
 
+(* `mcsim steer`: the scheduler x steering x cluster-count matrix. Every
+   policy (including static, the baseline) runs at 2/4/8 clusters under
+   both the no-effort and the local compile-time schedulers. *)
+let steer_cmd =
+  let run max_instrs seed benchmarks topology csv jobs retries checkpoint metrics_out =
+    wrap @@ fun () ->
+    let t_start = Unix.gettimeofday () in
+    let rows =
+      Mcsim.Steer.run ~jobs ~max_instrs ~seed ~benchmarks ~topology ~retries ?checkpoint ()
+    in
+    if csv then print_string (Mcsim.Steer.csv rows)
+    else print_string (Mcsim.Steer.render rows);
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      let manifest =
+        Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~seed
+          ~benchmark:(String.concat "," (List.map Mcsim_workload.Spec92.name benchmarks))
+          ~trace_instrs:max_instrs
+          (Mcsim_cluster.Machine.config_for_clusters ~topology 2)
+      in
+      Mcsim_obs.Metrics.write_file path
+        (Mcsim_obs.Metrics.snapshot ~manifest ~kind:"steer"
+           ~wall_seconds:(Unix.gettimeofday () -. t_start)
+           ~extra:[ ("steer", Mcsim.Steer.rows_json rows) ]
+           ())
+  in
+  Cmd.v
+    (Cmd.info "steer"
+       ~doc:"Compile-time scheduler x dispatch-time steering policy x cluster-count \
+             matrix: every steering policy at 2/4/8 clusters, against code compiled \
+             with no partitioning effort and with the paper's local scheduler.")
+    Term.(const run $ max_instrs_arg $ seed_arg $ benchmarks_arg $ topology_arg $ csv_arg
+          $ jobs_arg $ retries_arg $ checkpoint_arg $ metrics_out_arg)
+
 let reassign_cmd =
   let run jobs =
     wrap @@ fun () -> print_string (Mcsim.Reassign.render (Mcsim.Reassign.run ~jobs ()))
@@ -1253,14 +1356,15 @@ let with_client socket f =
   Fun.protect ~finally:(fun () -> Mcsim_serve.Client.close c) (fun () -> f c)
 
 let submit_table2_cmd =
-  let run socket max_instrs seed benchmarks csv four_way clusters topology sample engine
-      metrics_out =
+  let run socket max_instrs seed benchmarks csv four_way clusters topology steering sample
+      engine metrics_out =
     wrap @@ fun () ->
     let t_start = Unix.gettimeofday () in
     let sampling = Option.map (fun p -> { p with Mcsim_sampling.Sampling.seed }) sample in
     let sweep =
       Mcsim_serve.Protocol.Table2
-        { benchmarks; max_instrs; seed; engine; sampling; four_way; clusters; topology }
+        { benchmarks; max_instrs; seed; engine; sampling; four_way; clusters; topology;
+          steering }
     in
     with_client socket @@ fun c ->
     let result, served = Mcsim_serve.Client.submit ~on_unit:progress_on_unit c sweep in
@@ -1280,11 +1384,16 @@ let submit_table2_cmd =
     | Some path ->
       let cfg =
         if four_way then
-          { (Mcsim_cluster.Machine.dual_cluster_2x2 ()) with Mcsim_cluster.Machine.topology }
+          { (Mcsim_cluster.Machine.dual_cluster_2x2 ()) with
+            Mcsim_cluster.Machine.topology; steering }
         else
           match clusters with
-          | Some n -> Mcsim_cluster.Machine.config_for_clusters ~topology n
-          | None -> { (Mcsim_cluster.Machine.dual_cluster ()) with Mcsim_cluster.Machine.topology }
+          | Some n ->
+            { (Mcsim_cluster.Machine.config_for_clusters ~topology n) with
+              Mcsim_cluster.Machine.steering }
+          | None ->
+            { (Mcsim_cluster.Machine.dual_cluster ()) with
+              Mcsim_cluster.Machine.topology; steering }
       in
       let manifest =
         Mcsim_obs.Manifest.make ~created_unix:(Unix.time ()) ~engine ~seed
@@ -1300,8 +1409,8 @@ let submit_table2_cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Submit a Table-2 sweep to the service (one unit per row).")
     Term.(const run $ socket_arg $ max_instrs_arg $ seed_arg $ benchmarks_arg $ csv_arg
-          $ four_way_arg $ clusters_arg $ topology_arg $ sample_arg $ engine_arg
-          $ metrics_out_arg)
+          $ four_way_arg $ clusters_arg $ topology_arg $ steering_arg $ sample_arg
+          $ engine_arg $ metrics_out_arg)
 
 let submit_machine_arg =
   Arg.(value & opt (enum [ ("single", `Single); ("dual", `Dual) ]) `Dual
@@ -1312,11 +1421,13 @@ let submit_scheduler_arg =
        & info [ "scheduler" ] ~doc:"none, local, round-robin, or random.")
 
 let submit_run_cmd =
-  let run socket bench machine clusters topology scheduler max_instrs seed engine =
+  let run socket bench machine clusters topology steering scheduler max_instrs seed engine
+      =
     wrap @@ fun () ->
     let sweep =
       Mcsim_serve.Protocol.Run
-        { bench; machine; scheduler; max_instrs; seed; engine; clusters; topology }
+        { bench; machine; scheduler; max_instrs; seed; engine; clusters; topology;
+          steering }
     in
     with_client socket @@ fun c ->
     let result, served = Mcsim_serve.Client.submit ~on_unit:progress_on_unit c sweep in
@@ -1327,7 +1438,7 @@ let submit_run_cmd =
     | Some r, Some n ->
       Printf.printf "%s on the %s machine, %s scheduler (served):\n"
         (Mcsim_workload.Spec92.name bench)
-        (machine_desc ~machine ~clusters ~topology)
+        (machine_desc ~machine ~clusters ~topology ~steering)
         (Mcsim_compiler.Pipeline.scheduler_name scheduler);
       Printf.printf "  %d instructions in %d cycles (IPC %.2f), %d replays\n" n
         r.Mcsim_cluster.Machine.cycles r.Mcsim_cluster.Machine.ipc
@@ -1338,10 +1449,12 @@ let submit_run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Submit one detailed run to the service.")
     Term.(const run $ socket_arg $ bench_pos $ submit_machine_arg $ clusters_arg
-          $ topology_arg $ submit_scheduler_arg $ max_instrs_arg $ seed_arg $ engine_arg)
+          $ topology_arg $ steering_arg $ submit_scheduler_arg $ max_instrs_arg $ seed_arg
+          $ engine_arg)
 
 let submit_sample_cmd =
-  let run socket bench machine clusters topology scheduler max_instrs seed sample engine =
+  let run socket bench machine clusters topology steering scheduler max_instrs seed sample
+      engine =
     wrap @@ fun () ->
     let policy =
       match sample with
@@ -1350,7 +1463,8 @@ let submit_sample_cmd =
     in
     let sweep =
       Mcsim_serve.Protocol.Sample
-        { bench; machine; scheduler; max_instrs; seed; engine; policy; clusters; topology }
+        { bench; machine; scheduler; max_instrs; seed; engine; policy; clusters; topology;
+          steering }
     in
     with_client socket @@ fun c ->
     let result, served = Mcsim_serve.Client.submit ~on_unit:progress_on_unit c sweep in
@@ -1371,8 +1485,8 @@ let submit_sample_cmd =
   Cmd.v
     (Cmd.info "sample" ~doc:"Submit one sampled estimate to the service.")
     Term.(const run $ socket_arg $ bench_pos $ submit_machine_arg $ clusters_arg
-          $ topology_arg $ submit_scheduler_arg $ max_instrs_arg $ seed_arg $ sample_arg
-          $ engine_arg)
+          $ topology_arg $ steering_arg $ submit_scheduler_arg $ max_instrs_arg $ seed_arg
+          $ sample_arg $ engine_arg)
 
 let submit_stats_cmd =
   let run socket =
@@ -1399,5 +1513,5 @@ let () =
        (Cmd.group info
           [ table1_cmd; table2_cmd; scenarios_cmd; figure6_cmd; cycle_time_cmd; workloads_cmd;
             run_cmd; sample_cmd; resume_cmd; trace_cmd; trace_store_cmd; result_store_cmd;
-            serve_cmd; submit_cmd; ablate_cmd; reassign_cmd; clusters_cmd; compile_cmd;
-            simulate_cmd ]))
+            serve_cmd; submit_cmd; ablate_cmd; reassign_cmd; clusters_cmd; steer_cmd;
+            compile_cmd; simulate_cmd ]))

@@ -32,26 +32,90 @@ let rec all_readable_in asg c = function
   | [] -> true
   | r :: rest -> Assignment.readable_in asg r c && all_readable_in asg c rest
 
+let not_zero r = not (Mcsim_isa.Reg.is_zero r)
+
+(* Deduped non-zero sources in first-occurrence order; the common
+   arities are unrolled so the dispatch hot path builds at most the
+   final two-element list. *)
+let effective_srcs (instr : Mcsim_isa.Instr.t) =
+  match instr.srcs with
+  | [] -> []
+  | [ a ] -> if not_zero a then instr.srcs else []
+  | [ a; b ] ->
+    if not_zero a then
+      if not_zero b && not (Mcsim_isa.Reg.equal a b) then instr.srcs else [ a ]
+    else if not_zero b then [ b ]
+    else []
+  | _ -> dedupe (List.filter not_zero instr.srcs)
+
+let effective_dst (instr : Mcsim_isa.Instr.t) =
+  match instr.dst with Some d when not_zero d -> Some d | Some _ | None -> None
+
+(* The bitmask of clusters allowed to host a single-copy execution as far
+   as the destination is concerned: any cluster when there is no
+   (non-zero) destination, the home cluster when it is local, none when
+   it is global (a global write must reach every cluster). *)
+let dst_home_mask asg dst =
+  match dst with
+  | None -> -1 (* all clusters allowed *)
+  | Some d -> (
+    match Assignment.placement asg d with
+    | Assignment.Local c' -> 1 lsl c'
+    | Assignment.Global -> 0)
+
+(* The Multi plan for a given master: a slave in every cluster that must
+   forward a source the master cannot read, and/or receive a copy of the
+   result. Shared by the static planner (majority-chosen master) and the
+   steered planner (forced master). *)
+let multi_of asg ~n ~master ~srcs ~dst =
+  let clusters = List.init n Fun.id in
+  let forward_srcs_of c =
+    List.filter
+      (fun r ->
+        (not (Assignment.readable_in asg r master))
+        && Assignment.placement asg r = Assignment.Local c)
+      srcs
+  in
+  let receives c =
+    match dst with
+    | None -> false
+    | Some d -> (
+      match Assignment.placement asg d with
+      | Assignment.Local c' -> c = c' && c <> master
+      | Assignment.Global -> c <> master)
+  in
+  let master_writes_reg =
+    match dst with
+    | None -> false
+    | Some d -> (
+      match Assignment.placement asg d with
+      | Assignment.Local c' -> c' = master
+      | Assignment.Global -> true)
+  in
+  let slaves =
+    List.filter_map
+      (fun c ->
+        if c = master then None
+        else begin
+          let fwd = forward_srcs_of c in
+          let rcv = receives c in
+          if fwd = [] && not rcv then None
+          else Some { s_cluster = c; s_forward_srcs = fwd; s_receives_result = rcv }
+        end)
+      clusters
+  in
+  (* At least one slave exists whenever the master cannot single-execute:
+     an unreadable source names its owner cluster, and an unhosted
+     destination names its home (or, global, every other cluster). *)
+  assert (slaves <> []);
+  Multi { master; slaves; master_writes_reg }
+
 let plan asg ?(prefer = 0) (instr : Mcsim_isa.Instr.t) =
   let n = Assignment.num_clusters asg in
   if n = 1 then Single { cluster = 0 }
   else begin
-    let not_zero r = not (Mcsim_isa.Reg.is_zero r) in
-    (* Deduped non-zero sources in first-occurrence order; the common
-       arities are unrolled so the dispatch hot path builds at most the
-       final two-element list. *)
-    let srcs =
-      match instr.srcs with
-      | [] -> []
-      | [ a ] -> if not_zero a then instr.srcs else []
-      | [ a; b ] ->
-        if not_zero a then
-          if not_zero b && not (Mcsim_isa.Reg.equal a b) then instr.srcs else [ a ]
-        else if not_zero b then [ b ]
-        else []
-      | _ -> dedupe (List.filter not_zero instr.srcs)
-    in
-    let dst = match instr.dst with Some d when not_zero d -> Some d | Some _ | None -> None in
+    let srcs = effective_srcs instr in
+    let dst = effective_dst instr in
     (* Count the local registers named per cluster (the master-selection
        majority of §2.1; globals do not vote). *)
     let counts = Array.make n 0 in
@@ -65,17 +129,10 @@ let plan asg ?(prefer = 0) (instr : Mcsim_isa.Instr.t) =
     (* Cluster sets are bitmasks over the (at most a handful of) cluster
        ids, so candidate selection allocates nothing. A single-copy home
        must read every source and hold the destination locally. *)
-    let dst_home_mask =
-      match dst with
-      | None -> -1 (* all clusters allowed *)
-      | Some d -> (
-        match Assignment.placement asg d with
-        | Assignment.Local c' -> 1 lsl c'
-        | Assignment.Global -> 0)
-    in
+    let dst_mask = dst_home_mask asg dst in
     let candidates = ref 0 in
     for c = 0 to n - 1 do
-      if dst_home_mask land (1 lsl c) <> 0 && all_readable_in asg c srcs then
+      if dst_mask land (1 lsl c) <> 0 && all_readable_in asg c srcs then
         candidates := !candidates lor (1 lsl c)
     done;
     let best_of mask =
@@ -111,49 +168,21 @@ let plan asg ?(prefer = 0) (instr : Mcsim_isa.Instr.t) =
       end
     in
     if !candidates <> 0 then Single { cluster = best_of !candidates }
-    else begin
-      let clusters = List.init n Fun.id in
-      let master = best_of ((1 lsl n) - 1) in
-      let forward_srcs_of c =
-        List.filter
-          (fun r ->
-            (not (Assignment.readable_in asg r master))
-            && Assignment.placement asg r = Assignment.Local c)
-          srcs
-      in
-      let receives c =
-        match dst with
-        | None -> false
-        | Some d -> (
-          match Assignment.placement asg d with
-          | Assignment.Local c' -> c = c' && c <> master
-          | Assignment.Global -> c <> master)
-      in
-      let master_writes_reg =
-        match dst with
-        | None -> false
-        | Some d -> (
-          match Assignment.placement asg d with
-          | Assignment.Local c' -> c' = master
-          | Assignment.Global -> true)
-      in
-      let slaves =
-        List.filter_map
-          (fun c ->
-            if c = master then None
-            else begin
-              let fwd = forward_srcs_of c in
-              let rcv = receives c in
-              if fwd = [] && not rcv then None
-              else Some { s_cluster = c; s_forward_srcs = fwd; s_receives_result = rcv }
-            end)
-          clusters
-      in
-      (* At least one slave exists, else a single-cluster candidate would
-         have been found. *)
-      assert (slaves <> []);
-      Multi { master; slaves; master_writes_reg }
-    end
+    else multi_of asg ~n ~master:(best_of ((1 lsl n) - 1)) ~srcs ~dst
+  end
+
+let plan_steered asg ~master (instr : Mcsim_isa.Instr.t) =
+  let n = Assignment.num_clusters asg in
+  if n = 1 then Single { cluster = 0 }
+  else begin
+    if master < 0 || master >= n then
+      invalid_arg
+        (Printf.sprintf "Distribution.plan_steered: master %d outside [0, %d)" master n);
+    let srcs = effective_srcs instr in
+    let dst = effective_dst instr in
+    if dst_home_mask asg dst land (1 lsl master) <> 0 && all_readable_in asg master srcs
+    then Single { cluster = master }
+    else multi_of asg ~n ~master ~srcs ~dst
   end
 
 let copies = function Single _ -> 1 | Multi { slaves; _ } -> 1 + List.length slaves

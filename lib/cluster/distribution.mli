@@ -55,6 +55,16 @@ val plan : Assignment.t -> ?prefer:int -> Mcsim_isa.Instr.t -> plan
     cluster when the destination is local, then [prefer], then the lowest
     tied cluster. *)
 
+val plan_steered : Assignment.t -> master:int -> Mcsim_isa.Instr.t -> plan
+(** The plan when a dynamic steering policy ({!Steering.policy}) has
+    already {e forced} the executing cluster: [Single] in [master] when
+    the instruction's registers allow it (every source readable there and
+    the destination local to it or absent), otherwise [Multi] with
+    [master] as given and the slave copies the forced choice requires —
+    the same construction {!plan} uses, minus the majority vote.
+
+    @raise Invalid_argument when [master] is not a cluster id. *)
+
 val copies : plan -> int
 (** 1 for [Single]; 1 + number of slaves otherwise. *)
 

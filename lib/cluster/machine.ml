@@ -43,6 +43,7 @@ type engine = [ `Scan | `Wakeup ]
 type config = {
   assignment : Assignment.t;
   topology : Interconnect.topology;
+  steering : Steering.policy;
   dq_entries : int;
   phys_per_bank : int;
   fetch_width : int;
@@ -63,6 +64,7 @@ type config = {
 let single_cluster () =
   { assignment = Assignment.single;
     topology = Interconnect.Point_to_point;
+    steering = Steering.Static;
     dq_entries = 128;
     phys_per_bank = 128;
     fetch_width = 12;
@@ -406,7 +408,35 @@ type state = {
       (** the interned instruction each memo slot was planned for
           (physical identity is the validity check); [plan_dummy] marks
           an empty slot *)
+  mutable splan_memo : Distribution.plan option array;
+      (** {!Distribution.plan_steered} memoized per
+          [(pc lsl 3) lor master], mirroring [plan_memo]
+          ([plan_steered] is pure in (assignment, master, instr));
+          only populated under a dynamic steering policy *)
+  mutable splan_instrs : Instr.t array;
   plan_dummy : Instr.t;
+  steer_dynamic : bool;
+      (** a dynamic steering policy is active and the machine has more
+          than one cluster — the one test the dispatch hot path pays *)
+  steer_train : bool;  (** policy is [Ineffectual]: train at retire *)
+  mutable steer_rr : int;  (** [Modulo]: next cluster, advanced per dispatch *)
+  mutable steer_kind : int;
+      (** classification of the latest dynamic decision: 0 = policy hit,
+          1 = fell back to least-loaded, 2 = predicted-dead exile —
+          promoted to the [steer_*] counters only when the dispatch
+          attempt succeeds *)
+  mutable steer_hits : int;
+  mutable steer_fallbacks : int;
+  mutable steer_dead_exiles : int;
+  ineff : Steering.Ineff_table.t;
+      (** per-pc dead-result predictor ([Ineffectual] only; empty-trained
+          otherwise) *)
+  arch_last_pc : int array;
+      (** per architectural register ({!Reg.flat_index}): pc of the
+          youngest retired writer, -1 when none this phase — the
+          instruction the next overwrite's verdict trains *)
+  arch_read : bool array;
+      (** whether the youngest retired writer's value has been read *)
   icache : Cache.t;
   dcache : Cache.t;
   predictor : Mcfarling.t;
@@ -704,12 +734,14 @@ let rec dispatch_slaves st (g : group) (instr : Instr.t) dst dst_bank master sce
     let cls = slave_issue_class dst_bank sl in
     let sq = queue_of_class cls st.cfg.queue_split in
     let sc = acquire_copy st g sl.Distribution.s_cluster Slave_copy instr.Instr.op cls in
-    (* Rename before collecting the forwarded sources — the historical
-       slave order (destination bound before the record's source field
-       was evaluated), which matters when the destination register is
-       itself forwarded. *)
-    if sl.Distribution.s_receives_result then set_copy_dst sc scl.rf dst;
+    (* Forwarded sources look up the pre-rename map, like every other
+       source. A steered plan can make one slave both forward a register
+       and receive the result into it (impossible under static masters,
+       where the source+destination cluster always wins the majority);
+       renaming first would have the slave forward its own pending
+       result — a dispatch-time deadlock cycle. *)
     fill_srcs scl.rf sc [] sl.Distribution.s_forward_srcs 0;
+    if sl.Distribution.s_receives_result then set_copy_dst sc scl.rf dst;
     sc.c_forwards <- sl.Distribution.s_forward_srcs <> [];
     sc.c_receives_result <- sl.Distribution.s_receives_result;
     sc.c_num_operand_entries <- List.length sl.Distribution.s_forward_srcs;
@@ -738,14 +770,92 @@ let rec steer_argmin (clusters : cluster_state array) i n best best_w =
     else steer_argmin clusters (i + 1) n best best_w
   end
 
+(* Memoized [Distribution.plan_steered], mirroring [plan_for] but keyed
+   by the forced master instead of the tie-break preference. Only dynamic
+   policies reach it, so one state never mixes the two memo families. *)
+let plan_steered_for st ~pc ~master instr =
+  let key = (pc lsl 3) lor master in
+  if key >= Array.length st.splan_memo then begin
+    let cap = max (key + 1) (max 128 (2 * Array.length st.splan_memo)) in
+    let memo = Array.make cap None in
+    let instrs = Array.make cap st.plan_dummy in
+    Array.blit st.splan_memo 0 memo 0 (Array.length st.splan_memo);
+    Array.blit st.splan_instrs 0 instrs 0 (Array.length st.splan_instrs);
+    st.splan_memo <- memo;
+    st.splan_instrs <- instrs
+  end;
+  if st.splan_instrs.(key) == instr then
+    match st.splan_memo.(key) with Some p -> p | None -> assert false
+  else begin
+    let p = Distribution.plan_steered st.assignment ~master instr in
+    st.splan_instrs.(key) <- instr;
+    st.splan_memo.(key) <- Some p;
+    p
+  end
+
+(* Dependence steering: the cluster owning the producer of the first
+   not-yet-ready (or never-written) non-zero local source, in operand
+   order. Global sources are readable everywhere and pin nothing; -1
+   when every source is ready, global or zero. A top-level recursion for
+   the same reason as [steer_argmin]. *)
+let rec steer_dependence st (srcs : Reg.t list) =
+  match srcs with
+  | [] -> -1
+  | r :: rest ->
+    if Reg.is_zero r then steer_dependence st rest
+    else begin
+      match Assignment.placement st.assignment r with
+      | Assignment.Global -> steer_dependence st rest
+      | Assignment.Local c ->
+        let rf = st.clusters.(c).rf in
+        let bank = Regfile.bank_of_reg r in
+        if Regfile.ready_at rf bank (Regfile.lookup rf r) > st.cycle then c
+        else steer_dependence st rest
+    end
+
+(* The dynamic policy's cluster choice for this dispatch attempt; also
+   records the decision's classification in [steer_kind] so a successful
+   dispatch can promote it to the right counter. Never called under
+   [Static] or with one cluster. *)
+let steer_cluster st policy (instr : Instr.t) ~pc n =
+  let fallback () =
+    st.steer_kind <- 1;
+    steer_argmin st.clusters 1 n 0 st.clusters.(0).cl_waiting
+  in
+  st.steer_kind <- 0;
+  match (policy : Steering.policy) with
+  | Steering.Static -> assert false
+  | Steering.Modulo -> st.steer_rr
+  | Steering.Load -> steer_argmin st.clusters 1 n 0 st.clusters.(0).cl_waiting
+  | Steering.Dependence ->
+    let c = steer_dependence st instr.Instr.srcs in
+    if c >= 0 then c else fallback ()
+  | Steering.Ineffectual ->
+    if Steering.Ineff_table.predict_dead st.ineff ~pc then begin
+      st.steer_kind <- 2;
+      n - 1
+    end
+    else begin
+      let c = steer_dependence st instr.Instr.srcs in
+      if c >= 0 then c else fallback ()
+    end
+
 let try_dispatch_one st (f : fetched) =
   let cfg = st.cfg in
   let instr = Flat_trace.instr st.trace f.f_idx in
-  let prefer =
-    let n = Array.length st.clusters in
-    if n = 1 then 0 else steer_argmin st.clusters 1 n 0 st.clusters.(0).cl_waiting
+  let pc = Flat_trace.pc st.trace f.f_idx in
+  let plan =
+    if st.steer_dynamic then
+      let master = steer_cluster st cfg.steering instr ~pc (Array.length st.clusters) in
+      plan_steered_for st ~pc ~master instr
+    else begin
+      let prefer =
+        let n = Array.length st.clusters in
+        if n = 1 then 0 else steer_argmin st.clusters 1 n 0 st.clusters.(0).cl_waiting
+      in
+      plan_for st ~pc ~prefer instr
+    end
   in
-  let plan = plan_for st ~pc:(Flat_trace.pc st.trace f.f_idx) ~prefer instr in
   let scenario = Distribution.scenario plan in
   if Deque.length st.rob >= rob_capacity then begin
     incr st.hot.k_stall_rob_full;
@@ -833,6 +943,18 @@ let try_dispatch_one st (f : fetched) =
         true
       end
 
+(* Bookkeeping for a successful dynamically steered dispatch: promote
+   the decision classification recorded by [steer_cluster] and advance
+   the round-robin counter (per dispatched instruction, so a stalled
+   attempt retries the same cluster). *)
+let note_steered_dispatch st =
+  (match st.steer_kind with
+  | 0 -> st.steer_hits <- st.steer_hits + 1
+  | 1 -> st.steer_fallbacks <- st.steer_fallbacks + 1
+  | _ -> st.steer_dead_exiles <- st.steer_dead_exiles + 1);
+  if st.cfg.steering = Steering.Modulo then
+    st.steer_rr <- (st.steer_rr + 1) mod st.n_clust
+
 let dispatch_phase st =
   let n = ref 0 in
   let blocked = ref false in
@@ -841,6 +963,7 @@ let dispatch_phase st =
     | None -> blocked := true
     | Some f ->
       if try_dispatch_one st f then begin
+        if st.steer_dynamic then note_steered_dispatch st;
         ignore (Fixed_queue.pop st.fetch_buffer);
         incr n
       end
@@ -1346,6 +1469,33 @@ let retire_group st g =
   g.g_nslaves <- 0;
   Freelist.Slab.free st.group_pool g
 
+(* Ineffectuality training ([Steering.Ineffectual] only), performed at
+   retire because groups leave the ROB in program order on both engines:
+   mark every architectural source register as read, then — when the
+   instruction overwrites a register — the previous writer's verdict is
+   in: its result was dead iff nothing read the register in between.
+   Sources are marked first so an instruction that reads and rewrites
+   the same register vindicates the previous writer. *)
+let rec mark_arch_reads st (srcs : Reg.t list) =
+  match srcs with
+  | [] -> ()
+  | r :: rest ->
+    if not (Reg.is_zero r) then st.arch_read.(Reg.flat_index r) <- true;
+    mark_arch_reads st rest
+
+let train_ineffectuality st seq =
+  let instr = Flat_trace.instr st.trace seq in
+  mark_arch_reads st instr.Instr.srcs;
+  match instr.Instr.dst with
+  | Some d when not (Reg.is_zero d) ->
+    let i = Reg.flat_index d in
+    let prev = st.arch_last_pc.(i) in
+    if prev >= 0 then
+      Steering.Ineff_table.train st.ineff ~pc:prev ~dead:(not st.arch_read.(i));
+    st.arch_last_pc.(i) <- Flat_trace.pc st.trace seq;
+    st.arch_read.(i) <- false
+  | Some _ | None -> ()
+
 let retire_phase st =
   let n = ref 0 in
   let continue_ = ref true in
@@ -1356,6 +1506,7 @@ let retire_phase st =
       incr st.hot.k_retired;
       if st.observed then st.emit (Ev_retire { cycle = st.cycle; seq = g.g_seq });
       if g.g_seq = st.starving_seq then st.starving_seq <- -1;
+      if st.steer_train then train_ineffectuality st g.g_seq;
       retire_group st g;
       incr n
     | Some _ | None -> continue_ := false
@@ -1673,7 +1824,19 @@ let init_state ?(engine = `Wakeup) ?profile ?on_event ?on_occupancy ?(occupancy_
     clusters = build_clusters cfg cfg.assignment;
     plan_memo = [||];
     plan_instrs = [||];
+    splan_memo = [||];
+    splan_instrs = [||];
     plan_dummy = Instr.make ~op:Op_class.Int_other ~srcs:[] ~dst:None;
+    steer_dynamic = Steering.is_dynamic cfg.steering && n_clust > 1;
+    steer_train = cfg.steering = Steering.Ineffectual && n_clust > 1;
+    steer_rr = 0;
+    steer_kind = 0;
+    steer_hits = 0;
+    steer_fallbacks = 0;
+    steer_dead_exiles = 0;
+    ineff = Steering.Ineff_table.create ();
+    arch_last_pc = Array.make (Reg.num_int + Reg.num_fp) (-1);
+    arch_read = Array.make (Reg.num_int + Reg.num_fp) false;
     icache = Cache.create cfg.icache;
     dcache = Cache.create cfg.dcache;
     predictor = Mcfarling.create ~config:cfg.predictor ();
@@ -1758,6 +1921,13 @@ let load_phase st assignment trace =
      instructions belong to the incoming trace: drop every memo slot. *)
   Array.fill st.plan_memo 0 (Array.length st.plan_memo) None;
   Array.fill st.plan_instrs 0 (Array.length st.plan_instrs) st.plan_dummy;
+  Array.fill st.splan_memo 0 (Array.length st.splan_memo) None;
+  Array.fill st.splan_instrs 0 (Array.length st.splan_instrs) st.plan_dummy;
+  (* Whether a value from the outgoing phase gets read can no longer be
+     observed; drop the per-register training state (the ineffectuality
+     table itself persists, like the branch predictor). *)
+  Array.fill st.arch_last_pc 0 (Array.length st.arch_last_pc) (-1);
+  Array.fill st.arch_read 0 (Array.length st.arch_read) false;
   Fixed_queue.clear st.fetch_buffer;
   st.redirect_pending <- false;
   st.fetch_resume <- st.cycle + overhead;
@@ -1930,6 +2100,16 @@ let finish_result st =
   Stats.add st.ctrs "icache_accesses" (Cache.accesses st.icache);
   Stats.add st.ctrs "icache_misses"
     (Cache.primary_misses st.icache + Cache.secondary_misses st.icache);
+  (* Steering statistics exist only under a dynamic policy, so a [Static]
+     machine's counter list — and every golden diffed against it — is
+     exactly the pre-steering one. *)
+  if Steering.is_dynamic st.cfg.steering then begin
+    Stats.add st.ctrs "steer_hits" st.steer_hits;
+    Stats.add st.ctrs "steer_fallbacks" st.steer_fallbacks;
+    Stats.add st.ctrs "steer_dead_exiles" st.steer_dead_exiles;
+    Stats.add st.ctrs "ineff_trainings" (Steering.Ineff_table.trainings st.ineff);
+    Stats.add st.ctrs "ineff_dead_trainings" (Steering.Ineff_table.dead_trainings st.ineff)
+  end;
   Stats.add st.ctrs "cycles" cycles;
   let counter_lookup = Stats.lookup_of_counters st.ctrs in
   { cycles;

@@ -73,6 +73,12 @@ type config = {
   topology : Interconnect.topology;
       (** inter-cluster transfer latencies; {!Interconnect.Point_to_point}
           is the paper's one-cycle model *)
+  steering : Steering.policy;
+      (** dispatch-time cluster choice; {!Steering.Static} (every stock
+          config) follows the compile-time partition exactly and is
+          bit-identical to the pre-steering machine, while a dynamic
+          policy forces each instruction's executing cluster at dispatch
+          ({!Distribution.plan_steered}) in both engines *)
   dq_entries : int;  (** dispatch-queue entries per cluster (all queues) *)
   phys_per_bank : int;  (** physical registers per bank per cluster *)
   fetch_width : int;

@@ -1,0 +1,70 @@
+type policy = Static | Modulo | Dependence | Load | Ineffectual
+
+let all = [ Static; Modulo; Dependence; Load; Ineffectual ]
+
+let to_string = function
+  | Static -> "static"
+  | Modulo -> "modulo"
+  | Dependence -> "dependence"
+  | Load -> "load"
+  | Ineffectual -> "ineffectual"
+
+let of_string = function
+  | "static" -> Ok Static
+  | "modulo" | "round-robin" | "rr" -> Ok Modulo
+  | "dependence" | "dep" -> Ok Dependence
+  | "load" -> Ok Load
+  | "ineffectual" | "ineff" -> Ok Ineffectual
+  | s -> Error (Printf.sprintf "unknown steering policy %S" s)
+
+let describe = function
+  | Static -> "compile-time partition only (the paper's machine, unchanged)"
+  | Modulo -> "round-robin over clusters, one step per dispatched instruction"
+  | Dependence -> "cluster owning the producer of the first unready source, else least-loaded"
+  | Load -> "least-loaded cluster by running dispatch-queue occupancy"
+  | Ineffectual -> "predicted-dead results exiled to the last cluster, rest as dependence"
+
+let is_dynamic = function Static -> false | _ -> true
+
+let require_clustered ~what policy ~clusters =
+  if is_dynamic policy && clusters < 2 then
+    failwith
+      (Printf.sprintf "%s: --steering %s needs a clustered machine (use --clusters 2, 4 or 8)"
+         what (to_string policy))
+
+module Ineff_table = struct
+  (* One byte per counter; only the low two bits are used. *)
+  type t = {
+    counters : Bytes.t;
+    mask : int;
+    mutable trainings : int;
+    mutable dead_trainings : int;
+  }
+
+  let create ?(bits = 12) () =
+    if bits < 4 || bits > 24 then invalid_arg "Steering.Ineff_table.create: bits outside [4, 24]";
+    { counters = Bytes.make (1 lsl bits) '\000';
+      mask = (1 lsl bits) - 1;
+      trainings = 0;
+      dead_trainings = 0 }
+
+  let slot t pc = pc land t.mask
+
+  let predict_dead t ~pc = Char.code (Bytes.unsafe_get t.counters (slot t pc)) >= 2
+
+  let train t ~pc ~dead =
+    let i = slot t pc in
+    let c = Char.code (Bytes.unsafe_get t.counters i) in
+    let c' = if dead then min 3 (c + 1) else max 0 (c - 1) in
+    Bytes.unsafe_set t.counters i (Char.unsafe_chr c');
+    t.trainings <- t.trainings + 1;
+    if dead then t.dead_trainings <- t.dead_trainings + 1
+
+  let trainings t = t.trainings
+  let dead_trainings t = t.dead_trainings
+
+  let reset t =
+    Bytes.fill t.counters 0 (Bytes.length t.counters) '\000';
+    t.trainings <- 0;
+    t.dead_trainings <- 0
+end

@@ -1,0 +1,247 @@
+module Machine = Mcsim_cluster.Machine
+module Steering = Mcsim_cluster.Steering
+module Interconnect = Mcsim_cluster.Interconnect
+module Pipeline = Mcsim_compiler.Pipeline
+module Walker = Mcsim_trace.Walker
+module Spec92 = Mcsim_workload.Spec92
+module Pool = Mcsim_util.Pool
+
+type cell = {
+  scheduler : string;
+  steering : Steering.policy;
+  clusters : int;
+  cycles : int;
+  ipc : float;
+  multi_fraction : float;
+  vs_static_pct : float;
+}
+
+type row = {
+  benchmark : string;
+  cells : cell list;
+}
+
+let cluster_counts = [ 2; 4; 8 ]
+
+(* The compile-time rivals: no partitioning effort at all (pure hardware
+   steering) and the paper's local scheduler (hardware second-guessing a
+   static partition). *)
+let schedulers = [ Pipeline.Sched_none; Pipeline.default_local ]
+
+(* One cell per (scheduler, cluster count, steering policy); the static
+   policy is every (scheduler, count)'s baseline, so it is always
+   included even though it adds no new machine behavior. *)
+let matrix_points =
+  List.concat_map
+    (fun sched ->
+      List.concat_map
+        (fun n -> List.map (fun pol -> (sched, n, pol)) Steering.all)
+        cluster_counts)
+    schedulers
+
+module Json = Mcsim_obs.Json
+
+let config_for ~topology ~steering n =
+  { (Machine.config_for_clusters ~topology n) with Machine.steering }
+
+let run ?jobs ?(max_instrs = 60_000) ?(seed = 1) ?(benchmarks = Spec92.all)
+    ?(topology = Interconnect.Point_to_point) ?retries ?backoff ?inject_fault ?checkpoint
+    () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let store =
+    Option.map
+      (fun dir ->
+        let manifest =
+          Mcsim_obs.Manifest.make ~seed
+            ~benchmark:(String.concat "," (List.map Spec92.name benchmarks))
+            ~trace_instrs:max_instrs
+            (config_for ~topology ~steering:Steering.Static 2)
+        in
+        let extra =
+          [ ("cluster_counts", Json.List (List.map (fun c -> Json.Int c) cluster_counts));
+            ( "schedulers",
+              Json.List
+                (List.map (fun s -> Json.String (Pipeline.scheduler_name s)) schedulers) );
+            ( "steerings",
+              Json.List
+                (List.map (fun p -> Json.String (Steering.to_string p)) Steering.all) ) ]
+        in
+        Checkpoint.open_ ~dir ~kind:"steer" ~manifest ~extra ())
+      checkpoint
+  in
+  (* Stage 1: one job per benchmark (program + profile). Stage 2: one job
+     per matrix cell; each compiles, traces and simulates independently
+     from the shared immutable profile, so the rows are the same for
+     every [jobs]. *)
+  let preps =
+    Array.of_list
+      (Pool.parallel_map ?retries ?backoff ?inject_fault ~jobs
+         (fun b ->
+           let prog = Spec92.program b in
+           (b, prog, Walker.profile ~seed prog))
+         benchmarks)
+  in
+  let sims =
+    List.concat
+      (List.mapi (fun i _ -> List.map (fun p -> (i, p)) matrix_points) benchmarks)
+  in
+  let key (i, (sched, clusters, pol)) =
+    let b, _, _ = preps.(i) in
+    Printf.sprintf "%s/%s/%d/%s" (Spec92.name b) (Pipeline.scheduler_name sched) clusters
+      (Steering.to_string pol)
+  in
+  let cached =
+    List.map
+      (fun s ->
+        let hit =
+          Option.bind store (fun st ->
+              Option.bind (Checkpoint.find st (key s)) (fun d ->
+                  Option.bind (Json.member "result" d) Mcsim_obs.Metrics.result_of_json))
+        in
+        (s, hit))
+      sims
+  in
+  let exec = List.filter_map (fun (s, hit) -> if hit = None then Some s else None) cached in
+  let fresh =
+    Pool.parallel_map ?retries ?backoff ?inject_fault ~jobs
+      (fun ((i, (sched, clusters, pol)) as s) ->
+        let _, prog, profile = preps.(i) in
+        let c = Pipeline.compile ~clusters ~profile ~scheduler:sched prog in
+        let trace = Walker.trace ~seed ~max_instrs c.Pipeline.mach in
+        let r = Machine.run (config_for ~topology ~steering:pol clusters) trace in
+        Option.iter
+          (fun st ->
+            Checkpoint.record st ~key:(key s)
+              [ ("result", Mcsim_obs.Metrics.result_json r) ])
+          store;
+        r)
+      exec
+  in
+  let rec merge cached fresh =
+    match cached with
+    | [] -> []
+    | (_, Some r) :: tl -> r :: merge tl fresh
+    | (_, None) :: tl -> (
+      match fresh with [] -> assert false | r :: rest -> r :: merge tl rest)
+  in
+  let outs = merge cached fresh in
+  let per_bench = List.length matrix_points in
+  List.mapi
+    (fun i (b, _, _) ->
+      let results = List.filteri (fun j _ -> j / per_bench = i) outs in
+      let paired = List.combine matrix_points results in
+      let static_cycles sched clusters =
+        match
+          List.find_opt
+            (fun ((s, n, pol), _) -> s = sched && n = clusters && pol = Steering.Static)
+            paired
+        with
+        | Some (_, (r : Machine.result)) -> r.Machine.cycles
+        | None -> assert false
+      in
+      { benchmark = Spec92.name b;
+        cells =
+          List.map
+            (fun ((sched, clusters, pol), (r : Machine.result)) ->
+              let base = static_cycles sched clusters in
+              { scheduler = Pipeline.scheduler_name sched;
+                steering = pol;
+                clusters;
+                cycles = r.Machine.cycles;
+                ipc = r.Machine.ipc;
+                multi_fraction =
+                  Mcsim_util.Stats.ratio r.Machine.dual_distributed r.Machine.retired;
+                vs_static_pct =
+                  100.0 -. (100.0 *. float_of_int r.Machine.cycles /. float_of_int base) })
+            paired })
+    (Array.to_list preps)
+
+let find_cell row ~scheduler ~clusters ~steering =
+  List.find_opt
+    (fun c -> c.scheduler = scheduler && c.clusters = clusters && c.steering = steering)
+    row.cells
+
+let scheduler_names = List.map Pipeline.scheduler_name schedulers
+
+let render rows =
+  let policies = Steering.all in
+  let header =
+    "benchmark" :: "sched" :: "clusters" :: "static cyc"
+    :: List.filter_map
+         (fun p ->
+           if p = Steering.Static then None else Some (Steering.to_string p ^ " %"))
+         policies
+  in
+  let body =
+    List.concat_map
+      (fun r ->
+        List.concat_map
+          (fun sched ->
+            List.map
+              (fun n ->
+                let static =
+                  match find_cell r ~scheduler:sched ~clusters:n ~steering:Steering.Static with
+                  | Some c -> string_of_int c.cycles
+                  | None -> "-"
+                in
+                r.benchmark :: sched :: string_of_int n :: static
+                :: List.filter_map
+                     (fun p ->
+                       if p = Steering.Static then None
+                       else
+                         Some
+                           (match find_cell r ~scheduler:sched ~clusters:n ~steering:p with
+                           | Some c -> Printf.sprintf "%+.1f" c.vs_static_pct
+                           | None -> "-"))
+                     policies)
+              cluster_counts)
+          scheduler_names)
+      rows
+  in
+  let aligns =
+    Array.of_list
+      (Mcsim_util.Text_table.Left :: Left :: Right :: Right
+      :: List.filter_map
+           (fun p -> if p = Steering.Static then None else Some Mcsim_util.Text_table.Right)
+           policies)
+  in
+  Mcsim_util.Text_table.render ~aligns (header :: body)
+  ^ "cycle %% vs static steering under the same compile-time scheduler and cluster\n\
+     count (positive = the dynamic policy is faster); 'none' rows steer a program\n\
+     compiled with no partitioning effort, 'local' rows second-guess the paper's\n\
+     static local scheduler at dispatch\n"
+
+let csv rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "benchmark,scheduler,clusters,steering,cycles,ipc,multi_fraction,vs_static_pct\n";
+  List.iter
+    (fun r ->
+      List.iter
+        (fun c ->
+          Buffer.add_string b
+            (Printf.sprintf "%s,%s,%d,%s,%d,%.4f,%.4f,%.2f\n" r.benchmark c.scheduler
+               c.clusters (Steering.to_string c.steering) c.cycles c.ipc c.multi_fraction
+               c.vs_static_pct))
+        r.cells)
+    rows;
+  Buffer.contents b
+
+let cell_json (c : cell) =
+  Json.Obj
+    [ ("scheduler", Json.String c.scheduler);
+      ("steering", Json.String (Steering.to_string c.steering));
+      ("clusters", Json.Int c.clusters);
+      ("cycles", Json.Int c.cycles);
+      ("ipc", Json.Float c.ipc);
+      ("multi_fraction", Json.Float c.multi_fraction);
+      ("vs_static_pct", Json.Float c.vs_static_pct) ]
+
+let rows_json rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [ ("benchmark", Json.String r.benchmark);
+             ("cells", Json.List (List.map cell_json r.cells)) ])
+       rows)

@@ -35,10 +35,18 @@ let config_description (cfg : Machine.config) =
     Assignment.globals asg |> List.map Reg.to_string |> String.concat ","
   in
   let p = cfg.Machine.predictor in
+  (* Appended only under a dynamic policy: a static machine's description
+     — hence its config digest and every cached result keyed by it — is
+     byte-identical to the pre-steering one. *)
+  let steering =
+    match cfg.Machine.steering with
+    | Mcsim_cluster.Steering.Static -> ""
+    | p -> ";steering=" ^ Mcsim_cluster.Steering.to_string p
+  in
   Printf.sprintf
     "clusters=%d;topology=%s;globals=[%s];dq=%d;phys=%d;fetch=%d;dispatch=%d;retire=%d;\
      limits=%s;queues=%s;operand_buf=%d;result_buf=%d;icache=%s;dcache=%s;\
-     predictor=%d/%d/%d/%d;redirect=%d;replay=%d:%d"
+     predictor=%d/%d/%d/%d;redirect=%d;replay=%d:%d%s"
     (Assignment.num_clusters asg)
     (Mcsim_cluster.Interconnect.to_string cfg.Machine.topology)
     globals cfg.Machine.dq_entries cfg.Machine.phys_per_bank cfg.Machine.fetch_width
@@ -53,6 +61,7 @@ let config_description (cfg : Machine.config) =
     p.Mcsim_branch.Mcfarling.bimodal_bits p.Mcsim_branch.Mcfarling.global_bits
     p.Mcsim_branch.Mcfarling.choice_bits p.Mcsim_branch.Mcfarling.history_bits
     cfg.Machine.redirect_penalty cfg.Machine.replay_threshold cfg.Machine.replay_penalty
+    steering
 
 let make ?(created_unix = 0.0) ?(engine = `Wakeup) ?seed ?benchmark ?scheduler ?trace_instrs
     ?sampling cfg =

@@ -89,6 +89,7 @@ type sweep =
       four_way : bool;
       clusters : int option;
       topology : Mcsim_cluster.Interconnect.topology;
+      steering : Mcsim_cluster.Steering.policy;
     }
   | Run of {
       bench : Spec92.benchmark;
@@ -99,6 +100,7 @@ type sweep =
       engine : Mcsim_cluster.Machine.engine;
       clusters : int option;
       topology : Mcsim_cluster.Interconnect.topology;
+      steering : Mcsim_cluster.Steering.policy;
     }
   | Sample of {
       bench : Spec92.benchmark;
@@ -110,6 +112,7 @@ type sweep =
       policy : Sampling.policy;
       clusters : int option;
       topology : Mcsim_cluster.Interconnect.topology;
+      steering : Mcsim_cluster.Steering.policy;
     }
 
 let sweep_kind = function Table2 _ -> "table2" | Run _ -> "run" | Sample _ -> "sample"
@@ -172,12 +175,25 @@ let topology_field j =
     | exception Invalid_argument m -> failwith ("protocol: " ^ m))
   | Some _ -> failwith "protocol: missing or mistyped field \"topology\""
 
-let cluster_fields ~clusters ~topology =
+(* Absent on frames from pre-steering clients; absent = static. *)
+let steering_field j =
+  match Json.member "steering" j with
+  | None | Some Json.Null -> Mcsim_cluster.Steering.Static
+  | Some (Json.String s) -> (
+    match Mcsim_cluster.Steering.of_string s with
+    | Ok p -> p
+    | Error e -> failwith ("protocol: " ^ e))
+  | Some _ -> failwith "protocol: missing or mistyped field \"steering\""
+
+let cluster_fields ~clusters ~topology ~steering =
   (match clusters with Some n -> [ ("clusters", Json.Int n) ] | None -> [])
+  @ (match topology with
+    | Mcsim_cluster.Interconnect.Point_to_point -> []
+    | t -> [ ("topology", Json.String (Mcsim_cluster.Interconnect.to_string t)) ])
   @
-  match topology with
-  | Mcsim_cluster.Interconnect.Point_to_point -> []
-  | t -> [ ("topology", Json.String (Mcsim_cluster.Interconnect.to_string t)) ]
+  match steering with
+  | Mcsim_cluster.Steering.Static -> []
+  | p -> [ ("steering", Json.String (Mcsim_cluster.Steering.to_string p)) ]
 
 let policy_field ~seed j k =
   match Json.member k j with
@@ -189,8 +205,9 @@ let policy_field ~seed j k =
   | Some _ -> failwith (Printf.sprintf "protocol: missing or mistyped field %S" k)
 
 let sweep_to_json = function
-  | Table2 { benchmarks; max_instrs; seed; engine; sampling; four_way; clusters; topology }
-    ->
+  | Table2
+      { benchmarks; max_instrs; seed; engine; sampling; four_way; clusters; topology;
+        steering } ->
     Json.Obj
       ([ ("kind", Json.String "table2");
          ("benchmarks", Json.List (List.map (fun b -> Json.String (Spec92.name b)) benchmarks));
@@ -202,8 +219,10 @@ let sweep_to_json = function
           | Some p -> Json.String (Sampling.policy_to_string p)
           | None -> Json.Null);
          ("four_way", Json.Bool four_way) ]
-      @ cluster_fields ~clusters ~topology)
-  | Run { bench; machine; scheduler; max_instrs; seed; engine; clusters; topology } ->
+      @ cluster_fields ~clusters ~topology ~steering)
+  | Run
+      { bench; machine; scheduler; max_instrs; seed; engine; clusters; topology; steering }
+    ->
     Json.Obj
       ([ ("kind", Json.String "run");
          ("benchmark", Json.String (Spec92.name bench));
@@ -212,9 +231,10 @@ let sweep_to_json = function
          ("max_instrs", Json.Int max_instrs);
          ("seed", Json.Int seed);
          ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine)) ]
-      @ cluster_fields ~clusters ~topology)
-  | Sample { bench; machine; scheduler; max_instrs; seed; engine; policy; clusters; topology }
-    ->
+      @ cluster_fields ~clusters ~topology ~steering)
+  | Sample
+      { bench; machine; scheduler; max_instrs; seed; engine; policy; clusters; topology;
+        steering } ->
     Json.Obj
       ([ ("kind", Json.String "sample");
          ("benchmark", Json.String (Spec92.name bench));
@@ -224,7 +244,7 @@ let sweep_to_json = function
          ("seed", Json.Int seed);
          ("engine", Json.String (Mcsim_obs.Manifest.engine_name engine));
          ("sampling", Json.String (Sampling.policy_to_string policy)) ]
-      @ cluster_fields ~clusters ~topology)
+      @ cluster_fields ~clusters ~topology ~steering)
 
 let sweep_of_json j =
   match str_field j "kind" with
@@ -248,7 +268,8 @@ let sweep_of_json j =
         sampling = policy_field ~seed j "sampling";
         four_way = bool_field j "four_way";
         clusters = clusters_field j;
-        topology = topology_field j }
+        topology = topology_field j;
+        steering = steering_field j }
   | "run" ->
     Run
       { bench = bench_of_name (str_field j "benchmark");
@@ -258,7 +279,8 @@ let sweep_of_json j =
         seed = int_field j "seed";
         engine = engine_of_name (str_field j "engine");
         clusters = clusters_field j;
-        topology = topology_field j }
+        topology = topology_field j;
+        steering = steering_field j }
   | "sample" ->
     let seed = int_field j "seed" in
     let policy =
@@ -275,7 +297,8 @@ let sweep_of_json j =
         engine = engine_of_name (str_field j "engine");
         policy;
         clusters = clusters_field j;
-        topology = topology_field j }
+        topology = topology_field j;
+        steering = steering_field j }
   | k -> failwith (Printf.sprintf "protocol: unknown sweep kind %S" k)
 
 (* ------------------------------------------------------------------ *)

@@ -57,10 +57,11 @@ val read_frame : Unix.file_descr -> reader -> Mcsim_obs.Json.t option
 
 (** [clusters = None] keeps the sweep's historical machine selection
     ([machine], or single-vs-dual for Table2); [Some n] runs the n-way
-    partitioned machine wired as [topology] instead. Both fields are
-    omitted from the wire format at their defaults ([None],
-    point-to-point), so frames from pre-interconnect peers decode
-    unchanged. *)
+    partitioned machine wired as [topology] instead, with instructions
+    placed at dispatch by [steering]. All three fields are omitted from
+    the wire format at their defaults ([None], point-to-point,
+    {!Mcsim_cluster.Steering.Static}), so frames from pre-interconnect
+    and pre-steering peers decode unchanged. *)
 type sweep =
   | Table2 of {
       benchmarks : Mcsim_workload.Spec92.benchmark list;
@@ -71,6 +72,7 @@ type sweep =
       four_way : bool;
       clusters : int option;
       topology : Mcsim_cluster.Interconnect.topology;
+      steering : Mcsim_cluster.Steering.policy;
     }
   | Run of {
       bench : Mcsim_workload.Spec92.benchmark;
@@ -81,6 +83,7 @@ type sweep =
       engine : Mcsim_cluster.Machine.engine;
       clusters : int option;
       topology : Mcsim_cluster.Interconnect.topology;
+      steering : Mcsim_cluster.Steering.policy;
     }
   | Sample of {
       bench : Mcsim_workload.Spec92.benchmark;
@@ -92,6 +95,7 @@ type sweep =
       policy : Mcsim_sampling.Sampling.policy;
       clusters : int option;
       topology : Mcsim_cluster.Interconnect.topology;
+      steering : Mcsim_cluster.Steering.policy;
     }
 
 val sweep_kind : sweep -> string

@@ -59,18 +59,23 @@ let flat_trace ~trace_cache ~bench ~scheduler ~clusters ~seed ~max_instrs () =
     fst (Mcsim.Trace_store.load_or_build store key walk)
 
 (* The machine a Run/Sample sweep simulates: --clusters overrides the
-   single/dual pair, --topology applies either way (it is part of the
-   config and so of the cache identity). *)
-let config_of ~machine ~clusters ~topology =
-  match clusters with
-  | Some n -> Machine.config_for_clusters ~topology n
-  | None ->
-    let base =
-      match machine with
-      | `Single -> Machine.single_cluster ()
-      | `Dual -> Machine.dual_cluster ()
-    in
-    { base with Machine.topology }
+   single/dual pair, --topology and --steering apply either way (both
+   are part of the config and so of the cache identity). *)
+let config_of ~what ~machine ~clusters ~topology ~steering =
+  let base =
+    match clusters with
+    | Some n -> Machine.config_for_clusters ~topology n
+    | None ->
+      let b =
+        match machine with
+        | `Single -> Machine.single_cluster ()
+        | `Dual -> Machine.dual_cluster ()
+      in
+      { b with Machine.topology }
+  in
+  Mcsim_cluster.Steering.require_clustered ~what steering
+    ~clusters:(Mcsim_cluster.Assignment.num_clusters base.Machine.assignment);
+  { base with Machine.steering }
 
 (* Binaries are compiled for the cluster count of the machine that runs
    them; without --clusters that is the historical default of 2 (even
@@ -79,18 +84,23 @@ let config_of ~machine ~clusters ~topology =
 let compile_clusters = function Some n -> n | None -> 2
 
 let units_of_sweep ~trace_cache = function
-  | P.Table2 { benchmarks; max_instrs; seed; engine; sampling; four_way; clusters; topology }
-    ->
+  | P.Table2
+      { benchmarks; max_instrs; seed; engine; sampling; four_way; clusters; topology;
+        steering } ->
     if four_way && clusters <> None then
       failwith "table2: --four-way and --clusters are mutually exclusive";
+    if clusters = Some 1 then
+      Mcsim_cluster.Steering.require_clustered ~what:"table2" steering ~clusters:1;
+    (* As in the CLI: the single-issue baseline column stays static (it
+       has nowhere to steer), the clustered column gets the policy. *)
     let single_config, dual_config =
       if four_way then
         (Some { (Machine.single_cluster_4 ()) with Machine.topology },
-         Some { (Machine.dual_cluster_2x2 ()) with Machine.topology })
+         Some { (Machine.dual_cluster_2x2 ()) with Machine.topology; steering })
       else
         match clusters with
-        | Some n -> (None, Some (Machine.config_for_clusters ~topology n))
-        | None -> (None, Some { (Machine.dual_cluster ()) with Machine.topology })
+        | Some n -> (None, Some { (Machine.config_for_clusters ~topology n) with Machine.steering })
+        | None -> (None, Some { (Machine.dual_cluster ()) with Machine.topology; steering })
     in
     let units =
       List.map
@@ -121,8 +131,10 @@ let units_of_sweep ~trace_cache = function
       Json.Obj [ ("rows", Json.List rows) ]
     in
     (units, assemble)
-  | P.Run { bench; machine; scheduler; max_instrs; seed; engine; clusters; topology } ->
-    let cfg = config_of ~machine ~clusters ~topology in
+  | P.Run
+      { bench; machine; scheduler; max_instrs; seed; engine; clusters; topology; steering }
+    ->
+    let cfg = config_of ~what:"run" ~machine ~clusters ~topology ~steering in
     let cclusters = compile_clusters clusters in
     let manifest =
       Manifest.make ~engine ~seed ~benchmark:(Spec92.name bench)
@@ -143,9 +155,10 @@ let units_of_sweep ~trace_cache = function
             [ ("result", Metrics.result_json r); ("trace_instrs", Json.Int n) ]) }
     in
     ([ unit ], fun slots -> Json.Obj slots.(0))
-  | P.Sample { bench; machine; scheduler; max_instrs; seed; engine; policy; clusters; topology }
-    ->
-    let cfg = config_of ~machine ~clusters ~topology in
+  | P.Sample
+      { bench; machine; scheduler; max_instrs; seed; engine; policy; clusters; topology;
+        steering } ->
+    let cfg = config_of ~what:"sample" ~machine ~clusters ~topology ~steering in
     let cclusters = compile_clusters clusters in
     let manifest =
       Manifest.make ~engine ~seed ~benchmark:(Spec92.name bench)

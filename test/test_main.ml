@@ -6,6 +6,7 @@ let () =
       Test_branch_cache.suite;
       Test_cpu.suite;
       Test_cluster.suite;
+      Test_steering.suite;
       Test_compiler.suite;
       Test_trace.suite;
       Test_workload.suite;

@@ -12,6 +12,7 @@ module Machine = Mcsim_cluster.Machine
 module Pipeline = Mcsim_compiler.Pipeline
 module Spec92 = Mcsim_workload.Spec92
 module Sampling = Mcsim_sampling.Sampling
+module Steering = Mcsim_cluster.Steering
 module P = Mcsim_serve.Protocol
 module Server = Mcsim_serve.Server
 module Client = Mcsim_serve.Client
@@ -89,24 +90,28 @@ let frame_hostile () =
 let some_sweeps =
   [ P.Table2
       { benchmarks = Spec92.all; max_instrs = 5000; seed = 3; engine = `Wakeup;
-        sampling = None; four_way = false; clusters = None; topology = p2p };
+        sampling = None; four_way = false; clusters = None; topology = p2p;
+        steering = Steering.Static };
     P.Table2
       { benchmarks = [ List.hd Spec92.all ]; max_instrs = 9000; seed = 1; engine = `Scan;
         sampling = Some { Sampling.interval = 3000; warmup = 300; detail = 300; seed = 1 };
-        four_way = true; clusters = Some 4; topology = Mcsim_cluster.Interconnect.Ring };
+        four_way = true; clusters = Some 4; topology = Mcsim_cluster.Interconnect.Ring;
+        steering = Steering.Load };
     P.Run
       { bench = List.hd Spec92.all; machine = `Single; scheduler = Pipeline.Sched_none;
-        max_instrs = 2000; seed = 7; engine = `Wakeup; clusters = None; topology = p2p };
+        max_instrs = 2000; seed = 7; engine = `Wakeup; clusters = None; topology = p2p;
+        steering = Steering.Static };
     P.Run
       { bench = List.nth Spec92.all 3; machine = `Dual;
         scheduler = Pipeline.Sched_round_robin; max_instrs = 2000; seed = 2;
         engine = `Scan; clusters = Some 8;
-        topology = Mcsim_cluster.Interconnect.Crossbar };
+        topology = Mcsim_cluster.Interconnect.Crossbar;
+        steering = Steering.Ineffectual };
     P.Sample
       { bench = List.nth Spec92.all 2; machine = `Dual; scheduler = Pipeline.default_local;
         max_instrs = 50_000; seed = 5; engine = `Wakeup;
         policy = { Sampling.interval = 5000; warmup = 500; detail = 500; seed = 5 };
-        clusters = None; topology = p2p } ]
+        clusters = None; topology = p2p; steering = Steering.Dependence } ]
 
 let sweep_codec_roundtrip () =
   List.iter
@@ -128,7 +133,14 @@ let sweep_codec_roundtrip () =
       match P.sweep_of_json (run_with spelling) with
       | P.Run { scheduler = Pipeline.Sched_round_robin; _ } -> ()
       | _ -> Alcotest.fail (spelling ^ " did not parse to round-robin"))
-    [ "round_robin"; "round-robin" ]
+    [ "round_robin"; "round-robin" ];
+  (* Frames from pre-interconnect / pre-steering peers omit the cluster
+     fields entirely; absent must decode to the historical defaults. *)
+  match P.sweep_of_json (run_with "round_robin") with
+  | P.Run
+      { clusters = None; topology = Mcsim_cluster.Interconnect.Point_to_point;
+        steering = Steering.Static; _ } -> ()
+  | _ -> Alcotest.fail "absent cluster fields did not default"
 
 let sweep_codec_rejects () =
   let rejects j =
@@ -141,7 +153,16 @@ let sweep_codec_rejects () =
   rejects (Json.Obj [ ("kind", Json.String "table2"); ("benchmarks", Json.List []) ]);
   rejects
     (Json.Obj
-       [ ("kind", Json.String "run"); ("benchmark", Json.String "no-such-benchmark") ])
+       [ ("kind", Json.String "run"); ("benchmark", Json.String "no-such-benchmark") ]);
+  let run_with_steering steering =
+    Json.Obj
+      [ ("kind", Json.String "run"); ("benchmark", Json.String "compress");
+        ("machine", Json.String "dual"); ("scheduler", Json.String "none");
+        ("max_instrs", Json.Int 1000); ("seed", Json.Int 1);
+        ("engine", Json.String "wakeup"); ("steering", steering) ]
+  in
+  rejects (run_with_steering (Json.String "warp"));
+  rejects (run_with_steering (Json.Int 3))
 
 let request_codec_roundtrip () =
   let reqs =
@@ -166,6 +187,7 @@ let qcheck_sweep_roundtrip =
       in
       let clusters = oneofl [ None; Some 1; Some 2; Some 4; Some 8 ] in
       let topology = oneofl Mcsim_cluster.Interconnect.all in
+      let steering = oneofl Steering.all in
       let policy seed =
         (* warmup + detail must fit in interval (validate_policy). *)
         map
@@ -175,29 +197,30 @@ let qcheck_sweep_roundtrip =
       int_range 1 1000 >>= fun seed ->
       oneof
         [ map
-            (fun ((bs, n, e, fw), (cl, t)) ->
+            (fun ((bs, n, e, fw), (cl, t, st)) ->
               P.Table2
                 { benchmarks = (if bs = [] then Spec92.all else bs); max_instrs = n;
                   seed; engine = e; sampling = None;
-                  four_way = (fw && cl = None); clusters = cl; topology = t })
+                  four_way = (fw && cl = None); clusters = cl; topology = t;
+                  steering = st })
             (pair
                (quad (list_size (int_range 0 6) bench) (int_range 1 1_000_000) engine bool)
-               (pair clusters topology));
+               (triple clusters topology steering));
           map
-            (fun (b, m, s, (n, e, (cl, t))) ->
+            (fun (b, m, s, (n, e, (cl, t, st))) ->
               P.Run
                 { bench = b; machine = m; scheduler = s; max_instrs = n; seed;
-                  engine = e; clusters = cl; topology = t })
+                  engine = e; clusters = cl; topology = t; steering = st })
             (quad bench machine scheduler
-               (triple (int_range 1 1_000_000) engine (pair clusters topology)));
+               (triple (int_range 1 1_000_000) engine (triple clusters topology steering)));
           map
-            (fun (b, m, s, (n, e, p, (cl, t))) ->
+            (fun (b, m, s, (n, e, p, (cl, t, st))) ->
               P.Sample
                 { bench = b; machine = m; scheduler = s; max_instrs = n; seed;
-                  engine = e; policy = p; clusters = cl; topology = t })
+                  engine = e; policy = p; clusters = cl; topology = t; steering = st })
             (quad bench machine scheduler
                (quad (int_range 1 1_000_000) engine (policy seed)
-                  (pair clusters topology))) ])
+                  (triple clusters topology steering))) ])
   in
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:200 ~name:"sweep json codec is a bijection on wire forms"
@@ -368,7 +391,8 @@ let served_equals_in_process () =
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let sweep =
     P.Table2 { benchmarks; max_instrs; seed; engine = `Wakeup; sampling = None;
-               four_way = false; clusters = None; topology = p2p }
+               four_way = false; clusters = None; topology = p2p;
+               steering = Steering.Static }
   in
   let sources = ref [] in
   let on_unit ~index:_ ~total:_ ~label:_ ~source ~data:_ = sources := source :: !sources in
@@ -411,7 +435,7 @@ let serve_run_and_sample_equal_in_process () =
   let result, _ =
     Client.submit c
       (P.Run { bench; machine = `Dual; scheduler; max_instrs; seed; engine = `Wakeup;
-               clusters = None; topology = p2p })
+               clusters = None; topology = p2p; steering = Steering.Static })
   in
   let served_r =
     match Option.bind (Json.member "result" result) Mcsim_obs.Metrics.result_of_json with
@@ -436,7 +460,7 @@ let serve_run_and_sample_equal_in_process () =
     Client.submit c
       (P.Sample
          { bench; machine = `Dual; scheduler; max_instrs; seed; engine = `Wakeup; policy;
-           clusters = None; topology = p2p })
+           clusters = None; topology = p2p; steering = Steering.Static })
   in
   let direct_s = Sampling.run_flat ~policy (Machine.dual_cluster ()) trace in
   check (Alcotest.option json) "served sampling json = in-process"
@@ -454,7 +478,8 @@ let concurrent_submits_coalesce () =
   let sweep =
     P.Run
       { bench = List.hd Spec92.all; machine = `Dual; scheduler = Pipeline.default_local;
-        max_instrs = 2500; seed = 1; engine = `Wakeup; clusters = None; topology = p2p }
+        max_instrs = 2500; seed = 1; engine = `Wakeup; clusters = None; topology = p2p;
+        steering = Steering.Static }
   in
   let raw () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -520,7 +545,8 @@ let disconnect_mid_sweep_leaves_server_healthy () =
   let sweep =
     P.Run
       { bench = List.hd Spec92.all; machine = `Dual; scheduler = Pipeline.default_local;
-        max_instrs = 2500; seed = 1; engine = `Wakeup; clusters = None; topology = p2p }
+        max_instrs = 2500; seed = 1; engine = `Wakeup; clusters = None; topology = p2p;
+        steering = Steering.Static }
   in
   (* Submit, then vanish while the unit is still computing. *)
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -571,7 +597,7 @@ let qcheck_served_equals_in_process =
          let result, _ =
            Client.submit c
              (P.Run { bench; machine; scheduler; max_instrs; seed; engine = `Wakeup;
-                      clusters = None; topology = p2p })
+                      clusters = None; topology = p2p; steering = Steering.Static })
          in
          let served_r =
            match
